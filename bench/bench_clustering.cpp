@@ -1,0 +1,156 @@
+// E7 — clustering-coefficient scaling laws (Thm. 1 / Thm. 2).
+//
+// Reproduces the paper's contrast: the vertex law η_C = θ η_A η_B is
+// *controlled* (θ ∈ [1/3, 1), so the product of factor coefficients is
+// recoverable to within 3x), while the edge law's φ has no lower bound —
+// disassortative factors (high-degree vertices attached to low-degree
+// vertices, here stars and BA hubs) push φ toward 0.  The artifact prints
+// the θ and φ distributions for assortative vs disassortative factor
+// pairs.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "analytics/triangles.hpp"
+#include "bench_common.hpp"
+#include "core/ground_truth.hpp"
+#include "core/index.hpp"
+#include "core/laws.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace kron {
+namespace {
+
+constexpr std::uint64_t kSeed = 20190526;
+
+/// A star-of-cliques: hubs attached to many degree-2 satellites — strongly
+/// disassortative, the adversarial case for φ.
+EdgeList disassortative_factor(vertex_t cliques) {
+  // A central K_4 whose members each carry `cliques` pendant triangles.
+  EdgeList g(4 + cliques * 8);
+  for (vertex_t u = 0; u < 4; ++u)
+    for (vertex_t v = u + 1; v < 4; ++v) g.add_undirected(u, v);
+  vertex_t next = 4;
+  for (vertex_t c = 0; c < cliques * 4; ++c) {
+    const vertex_t hub = c % 4;
+    const vertex_t x = next++;
+    const vertex_t y = next++;
+    g.add_undirected(hub, x);
+    g.add_undirected(hub, y);
+    g.add_undirected(x, y);
+  }
+  g.sort_dedupe();
+  return g;
+}
+
+void law_stats(const EdgeList& a, const EdgeList& b, const std::string& label,
+               Table& theta_table, Table& phi_table) {
+  const Csr ca(a), cb(b);
+  const auto census_a = count_triangles(ca);
+  const auto census_b = count_triangles(cb);
+
+  Stats theta_stats;
+  for (vertex_t i = 0; i < ca.num_vertices(); ++i) {
+    if (ca.degree(i) < 2 || census_a.per_vertex[i] == 0) continue;
+    for (vertex_t k = 0; k < cb.num_vertices(); ++k) {
+      if (cb.degree(k) < 2 || census_b.per_vertex[k] == 0) continue;
+      theta_stats.add(theta(ca.degree(i), cb.degree(k)));
+    }
+  }
+  theta_table.row({label, std::to_string(theta_stats.count()),
+                   Table::num(theta_stats.min(), 4), Table::num(theta_stats.mean(), 4),
+                   Table::num(theta_stats.max(), 4),
+                   theta_stats.min() >= 1.0 / 3.0 - 1e-12 ? "yes" : "NO"});
+
+  Stats phi_stats;
+  for (vertex_t i = 0; i < ca.num_vertices(); ++i) {
+    for (const vertex_t j : ca.neighbors(i)) {
+      if (census_a.per_arc[ca.arc_index(i, j)] == 0) continue;
+      if (ca.degree(i) < 2 || ca.degree(j) < 2) continue;
+      for (vertex_t k = 0; k < cb.num_vertices(); ++k) {
+        for (const vertex_t l : cb.neighbors(k)) {
+          if (census_b.per_arc[cb.arc_index(k, l)] == 0) continue;
+          if (cb.degree(k) < 2 || cb.degree(l) < 2) continue;
+          phi_stats.add(phi(ca.degree(i), ca.degree(j), cb.degree(k), cb.degree(l)));
+        }
+      }
+    }
+  }
+  phi_table.row({label, std::to_string(phi_stats.count()), Table::num(phi_stats.min(), 4),
+                 Table::num(phi_stats.mean(), 4), Table::num(phi_stats.max(), 4),
+                 phi_stats.min() < 1.0 / 3.0 ? "yes (uncontrolled)" : "no"});
+}
+
+void print_artifact() {
+  bench::banner("E7", "clustering scaling laws: controlled theta vs uncontrolled phi");
+  std::cout << "seed " << kSeed << "\n";
+
+  Table theta_table({"factor pair", "pairs", "theta min", "theta mean", "theta max",
+                     ">= 1/3"});
+  Table phi_table({"factor pair", "edge pairs", "phi min", "phi mean", "phi max",
+                   "drops below 1/3"});
+
+  const EdgeList er = prepare_factor(make_gnm(60, 240, kSeed), false);
+  const EdgeList ba = prepare_factor(make_pref_attachment(80, 3, kSeed + 1), false);
+  const EdgeList dis = disassortative_factor(6);
+
+  law_stats(er, er, "ER x ER (assortative-ish)", theta_table, phi_table);
+  law_stats(ba, ba, "BA x BA (hubs)", theta_table, phi_table);
+  law_stats(dis, dis, "pendant-triangles x same (disassortative)", theta_table, phi_table);
+
+  bench::section("Thm. 1: theta distribution (vertex law, controlled)");
+  std::cout << theta_table.str();
+  bench::section("Thm. 2: phi distribution (edge law, uncontrolled)");
+  std::cout << phi_table.str();
+  std::cout << "(theta never leaves [1/3, 1); phi collapses toward 0 exactly when\n"
+               " factors are degree-disassortative, as Thm. 2's discussion predicts)\n";
+
+  // Verify the law end-to-end on the disassortative pair.
+  bench::section("end-to-end check: eta_C = theta eta_A eta_B on the worst pair");
+  const KroneckerGroundTruth gt(dis, dis, LoopRegime::kNoLoops);
+  EdgeList c_list = gt.materialize();
+  c_list.sort_dedupe();
+  const Csr c(c_list);
+  const auto census = count_triangles(c);
+  std::uint64_t checked = 0, matches = 0;
+  for (vertex_t p = 0; p < c.num_vertices(); ++p) {
+    ++checked;
+    if (gt.vertex_triangles(p) == census.per_vertex[p]) ++matches;
+  }
+  std::cout << matches << " / " << checked << " vertex triangle counts match on C ("
+            << c.num_undirected_edges() << " edges)\n";
+}
+
+// ---------------------------------------------------------------- timings
+
+void BM_VertexClusteringSweep(benchmark::State& state) {
+  const EdgeList ba = prepare_factor(make_pref_attachment(300, 3, kSeed + 2), false);
+  const KroneckerGroundTruth gt(ba, ba, LoopRegime::kNoLoops);
+  for (auto _ : state) {
+    double sum = 0;
+    for (vertex_t p = 0; p < gt.num_vertices(); ++p) sum += gt.vertex_clustering_coeff(p);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["n_C"] = static_cast<double>(gt.num_vertices());
+}
+BENCHMARK(BM_VertexClusteringSweep)->Unit(benchmark::kMillisecond);
+
+void BM_ThetaEvaluation(benchmark::State& state) {
+  std::uint64_t x = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(theta(x, x + 3));
+    x = (x % 1000) + 2;
+  }
+}
+BENCHMARK(BM_ThetaEvaluation);
+
+}  // namespace
+}  // namespace kron
+
+KRON_BENCH_MAIN(kron::print_artifact)

@@ -1,0 +1,35 @@
+// Shared scaffolding for the bench binaries.
+//
+// Every bench binary reproduces one paper artifact (see DESIGN.md §4): it
+// first prints the corresponding table/figure data to stdout, then runs its
+// google-benchmark timing section.  All workloads are seeded and print
+// their seeds, so each run is exactly reproducible.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace kron::bench {
+
+inline void banner(const std::string& experiment_id, const std::string& title) {
+  std::cout << "\n=== " << experiment_id << ": " << title << " ===\n";
+}
+
+inline void section(const std::string& title) { std::cout << "\n--- " << title << " ---\n"; }
+
+/// Shared main: emit the experiment artifact, then run registered timing
+/// benchmarks.  Each bench binary defines `print_artifact()` and registers
+/// its BENCHMARK()s at namespace scope.
+#define KRON_BENCH_MAIN(print_artifact)                  \
+  int main(int argc, char** argv) {                      \
+    print_artifact();                                    \
+    ::benchmark::Initialize(&argc, argv);                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();               \
+    ::benchmark::Shutdown();                             \
+    return 0;                                            \
+  }
+
+}  // namespace kron::bench

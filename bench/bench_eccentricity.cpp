@@ -1,0 +1,177 @@
+// E3 — the gnutella eccentricity experiment (Sec. V-A, Fig. 1).
+//
+// The paper takes gnutella08 (largest CC, undirected, self loops added;
+// 6.3K vertices / 21K edges), forms C = A ⊗ A (40M vertices / 1.1B edges)
+// with the distributed generator, and shows the vertex-eccentricity
+// distribution of C obeys the max-law of Cor. 4.  Here (see DESIGN.md §2):
+//
+//  * A is a matched-size scale-free stand-in (no network access);
+//  * the paper-scale row of the table and the full Fig. 1 histogram of C
+//    are produced *without materialising C* — Cor. 4 needs only A's
+//    eccentricities;
+//  * the law itself is cross-checked on a smaller product (BA(500) ⊗ same)
+//    that is materialised, by BFS from sampled vertices.
+#include <iostream>
+
+#include "analytics/bfs.hpp"
+#include "analytics/eccentricity.hpp"
+#include "bench_common.hpp"
+#include "core/distance_gt.hpp"
+#include "core/index.hpp"
+#include "core/kron.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace kron {
+namespace {
+
+constexpr std::uint64_t kSeed = 20190522;
+
+void print_artifact() {
+  bench::banner("E3", "gnutella eccentricity experiment (Sec. V-A table + Fig. 1)");
+  std::cout << "seed " << kSeed << "\n";
+
+  // --- paper-scale table: A and C = A (x) A, C never materialised ---
+  const EdgeList a = make_gnutella_like(kSeed);
+  const KroneckerShape shape = kronecker_shape(a, a);
+  Table table({"graph", "vertices", "edges"});
+  table.row({"A (gnutella-like)", std::to_string(a.num_vertices()),
+             std::to_string(a.num_undirected_edges() - a.num_loops())});
+  table.row({"C = A (x) A", std::to_string(shape.num_vertices),
+             std::to_string(shape.num_undirected_edges - shape.num_loops)});
+  std::cout << table.str();
+  std::cout << "(paper: A 6.3K/21K, C 40M/1.1B — matched by construction)\n";
+
+  // --- Fig. 1: eccentricity histograms of A and C ---
+  const Timer ecc_timer;
+  EdgeList a_simple = a;
+  a_simple.strip_loops();
+  const DistanceGroundTruth dgt(a_simple, a_simple);
+  const double factor_seconds = ecc_timer.seconds();
+
+  Histogram hist_a;
+  for (const auto e : dgt.ecc_a()) hist_a.add(e);
+  bench::section("Fig. 1 (left): eccentricity distribution of A (exact, all-BFS)");
+  std::cout << hist_a.ascii(40);
+
+  const Timer combine_timer;
+  const Histogram hist_c = dgt.eccentricity_histogram();
+  const double combine_seconds = combine_timer.seconds();
+  bench::section("Fig. 1 (right): eccentricity distribution of C via Cor. 4");
+  std::cout << hist_c.ascii(40);
+  std::cout << "factor eccentricities: " << Table::num(factor_seconds, 3)
+            << " s; C distribution from factor histograms: "
+            << Table::num(combine_seconds * 1e3, 3) << " ms for "
+            << hist_c.total() << " vertices (sublinear in |E_C|)\n";
+
+  // --- cross-check on a materialisable product ---
+  bench::section("cross-check: sampled direct BFS on a materialised product");
+  const EdgeList small = prepare_factor(make_pref_attachment(500, 3, kSeed + 1), false);
+  const DistanceGroundTruth small_gt(small, small);
+  EdgeList c_list = small_gt.materialize();
+  c_list.sort_dedupe();
+  const Csr c(c_list);
+  std::cout << "small product: " << c.num_vertices() << " vertices, "
+            << c.num_undirected_edges() << " edges\n";
+
+  Xoshiro256 rng(kSeed + 2);
+  Table check({"vertex p", "ecc by Cor. 4", "ecc by BFS", "match"});
+  std::uint64_t mismatches = 0;
+  for (int sample = 0; sample < 12; ++sample) {
+    const vertex_t p = rng.below(c.num_vertices());
+    const auto hops = hops_from(c, p);
+    std::uint64_t direct = 0;
+    for (const auto h : hops) direct = std::max(direct, h);
+    const std::uint64_t predicted = small_gt.eccentricity(p);
+    mismatches += predicted == direct ? 0 : 1;
+    check.row({std::to_string(p), std::to_string(predicted), std::to_string(direct),
+               predicted == direct ? "yes" : "NO"});
+  }
+  std::cout << check.str();
+  std::cout << (mismatches == 0 ? "all sampled eccentricities match Cor. 4\n"
+                                : "MISMATCHES FOUND\n");
+
+  // --- the paper's approximate direct side (Fig. 1 caption) ---
+  // The paper computes C's eccentricities with the approximate algorithms
+  // of [3] and notes "30% of vertices may be estimating a value 1 greater
+  // than actual eccentricity".  Running a pivot-based approximation on the
+  // materialised product shows the same error profile — while Cor. 4 is
+  // exact at a fraction of the cost.
+  bench::section("approximate direct algorithm vs exact Cor. 4 ground truth");
+  const Timer approx_timer;
+  const auto approx = approx_eccentricities(c, 16);
+  const double approx_seconds = approx_timer.seconds();
+  std::uint64_t exact_count = 0, plus_one = 0, worse = 0;
+  for (vertex_t p = 0; p < c.num_vertices(); ++p) {
+    const std::uint64_t truth = small_gt.eccentricity(p);
+    if (approx.estimate[p] == truth) {
+      ++exact_count;
+    } else if (approx.estimate[p] == truth + 1) {
+      ++plus_one;
+    } else {
+      ++worse;
+    }
+  }
+  const auto percent = [&](std::uint64_t count) {
+    return Table::num(100.0 * static_cast<double>(count) /
+                          static_cast<double>(c.num_vertices()),
+                      3) + "%";
+  };
+  Table profile({"estimate quality", "vertices", "share"});
+  profile.row({"exact", std::to_string(exact_count), percent(exact_count)});
+  profile.row({"+1 (paper's caveat)", std::to_string(plus_one), percent(plus_one)});
+  profile.row({"worse", std::to_string(worse), percent(worse)});
+  std::cout << profile.str();
+  std::cout << "approximate direct: " << approx.bfs_count << " BFS over |E_C|, "
+            << Table::num(approx_seconds, 2) << " s; Cor. 4 exact answer needed only "
+            << "factor BFS (paper Fig. 1 reports the same +1-type error profile)\n";
+}
+
+// ---------------------------------------------------------------- timings
+
+void BM_FactorEccentricities(benchmark::State& state) {
+  // The one-time factor cost behind Cor. 4 (exact all-BFS on A).
+  EdgeList a = prepare_factor(make_pref_attachment(1500, 3, kSeed + 3), true);
+  const Csr csr(a);
+  for (auto _ : state) benchmark::DoNotOptimize(exact_eccentricities(csr));
+}
+BENCHMARK(BM_FactorEccentricities)->Unit(benchmark::kMillisecond);
+
+void BM_BoundedFactorEccentricities(benchmark::State& state) {
+  EdgeList a = prepare_factor(make_pref_attachment(1500, 3, kSeed + 3), true);
+  const Csr csr(a);
+  for (auto _ : state) benchmark::DoNotOptimize(bounded_eccentricities(csr));
+}
+BENCHMARK(BM_BoundedFactorEccentricities)->Unit(benchmark::kMillisecond);
+
+void BM_EccDistributionOfC(benchmark::State& state) {
+  // Fig. 1 right-hand series from precomputed factor eccentricities.
+  EdgeList a = prepare_factor(make_pref_attachment(1500, 3, kSeed + 3), false);
+  const DistanceGroundTruth gt(a, a);
+  for (auto _ : state) benchmark::DoNotOptimize(gt.eccentricity_histogram());
+}
+BENCHMARK(BM_EccDistributionOfC)->Unit(benchmark::kMicrosecond);
+
+void BM_DirectEccOneVertexOfC(benchmark::State& state) {
+  // What the direct approach pays *per vertex* of C (one BFS over |E_C|).
+  EdgeList a = prepare_factor(make_pref_attachment(300, 3, kSeed + 4), false);
+  const DistanceGroundTruth gt(a, a);
+  EdgeList c_list = gt.materialize();
+  c_list.sort_dedupe();
+  const Csr c(c_list);
+  vertex_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hops_from(c, p));
+    p = (p + 12345) % c.num_vertices();
+  }
+}
+BENCHMARK(BM_DirectEccOneVertexOfC)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kron
+
+KRON_BENCH_MAIN(kron::print_artifact)

@@ -1,0 +1,152 @@
+// E8 — probabilistic edge rejection (Sec. IV-C, Def. 8).
+//
+// Reproduces the joint-generation story: the family {G_{C,ν}} for
+// ν ∈ {1, 0.99, 0.95, 0.90} is counted in ONE triangle-enumeration sweep
+// of G_C; observed totals track the ν³ law; per-vertex expectations are
+// ν³ t_p; and the filtered graphs smooth the artificial degree spectrum
+// of nonstochastic Kronecker graphs (more distinct degree values, fewer
+// giant ties — the paper's motivation for rejection in good-faith
+// benchmarks).
+#include <cmath>
+#include <iostream>
+
+#include "analytics/triangles.hpp"
+#include "bench_common.hpp"
+#include "core/ground_truth.hpp"
+#include "core/kron.hpp"
+#include "core/rejection.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace kron {
+namespace {
+
+constexpr std::uint64_t kSeed = 20190527;
+
+void print_artifact() {
+  bench::banner("E8", "probabilistic edge rejection: joint family G_{C,nu}");
+  std::cout << "seed " << kSeed << "\n";
+
+  const EdgeList a = prepare_factor(make_pref_attachment(150, 3, kSeed), false);
+  const EdgeList b = prepare_factor(make_gnm(100, 300, kSeed + 1), false);
+  const KroneckerGroundTruth gt(a, b, LoopRegime::kFullLoops);
+  EdgeList c_list = gt.materialize();
+  c_list.sort_dedupe();
+  const Csr c(c_list);
+  std::cout << "C = (A+I) (x) (B+I): " << c.num_vertices() << " vertices, "
+            << c.num_undirected_edges() << " edges\n";
+
+  // --- joint triangle counting across the whole family, one sweep ---
+  const std::vector<double> nus{0.90, 0.95, 0.99, 1.0};
+  const Timer joint_timer;
+  const JointTriangleCensus joint = joint_triangle_census(c, nus, kSeed);
+  const double joint_ms = joint_timer.millis();
+
+  bench::section("global triangle counts across the family (one enumeration sweep)");
+  Table table({"nu", "edges kept", "tau observed", "nu^3 tau expected", "rel err"});
+  const std::uint64_t tau = joint.totals.back();  // nu = 1
+  for (std::size_t i = 0; i < joint.nus.size(); ++i) {
+    const double nu = joint.nus[i];
+    const double expected = nu * nu * nu * static_cast<double>(tau);
+    const double rel =
+        std::abs(static_cast<double>(joint.totals[i]) - expected) / expected;
+    table.row({Table::num(nu, 3), std::to_string(surviving_edge_count(c, nu, kSeed)),
+               std::to_string(joint.totals[i]), Table::num(expected, 8),
+               Table::sci(rel, 2)});
+  }
+  std::cout << table.str();
+  std::cout << "one sweep counted all " << joint.nus.size() << " family members in "
+            << Table::num(joint_ms, 2) << " ms\n";
+
+  // --- per-vertex expectation E[t_p^(nu)] = nu^3 t_p ---
+  bench::section("per-vertex expectation: mean of t_p^(nu) / t_p vs nu^3");
+  Table per_vertex({"nu", "mean ratio", "nu^3", "vertices"});
+  for (std::size_t i = 0; i + 1 < joint.nus.size(); ++i) {
+    Stats ratio;
+    for (vertex_t p = 0; p < c.num_vertices(); ++p) {
+      const std::uint64_t full = joint.per_vertex.back()[p];
+      if (full < 10) continue;
+      ratio.add(static_cast<double>(joint.per_vertex[i][p]) / static_cast<double>(full));
+    }
+    per_vertex.row({Table::num(joint.nus[i], 3), Table::num(ratio.mean(), 5),
+                    Table::num(std::pow(joint.nus[i], 3), 5),
+                    std::to_string(ratio.count())});
+  }
+  std::cout << per_vertex.str();
+
+  // --- ground truth of G_C checked through the family (validation story) ---
+  bench::section("validation story: Cor. 1 ground truth == nu=1 census");
+  const auto predicted = gt.all_vertex_triangles();
+  std::cout << (predicted == joint.per_vertex.back()
+                    ? "Kronecker formulas reproduce the nu=1 census exactly\n"
+                    : "MISMATCH between formulas and census\n");
+
+  // --- degree-spectrum smoothing (the paper's 'large holes / ties' point) --
+  bench::section("degree-spectrum smoothing under rejection");
+  Table spectrum({"graph", "distinct degrees", "largest tie"});
+  const auto spectrum_row = [&spectrum](const std::string& label, const Csr& graph) {
+    Histogram degrees;
+    for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+      degrees.add(graph.degree_no_loop(v));
+    std::uint64_t largest_tie = 0;
+    for (const auto& [value, count] : degrees.items())
+      largest_tie = std::max(largest_tie, count);
+    spectrum.row({label, std::to_string(degrees.distinct()), std::to_string(largest_tie)});
+  };
+  spectrum_row("G_C (pure Kronecker)", c);
+  for (const double nu : {0.99, 0.95, 0.90}) {
+    spectrum_row("G_{C," + Table::num(nu, 2) + "}", Csr(hashed_subgraph(c_list, nu, kSeed)));
+  }
+  std::cout << spectrum.str();
+  std::cout << "(rejection multiplies the number of distinct degree values and breaks\n"
+               " the giant ties — degrees are no longer confined to products d_i d_k)\n";
+}
+
+// ---------------------------------------------------------------- timings
+
+void BM_JointCensusFourNus(benchmark::State& state) {
+  const EdgeList a = prepare_factor(make_pref_attachment(100, 3, kSeed + 2), false);
+  const EdgeList b = prepare_factor(make_gnm(80, 240, kSeed + 3), false);
+  EdgeList c_list = kronecker_product_with_loops(a, b);
+  c_list.sort_dedupe();
+  const Csr c(c_list);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(joint_triangle_census(c, {0.9, 0.95, 0.99, 1.0}, kSeed));
+}
+BENCHMARK(BM_JointCensusFourNus)->Unit(benchmark::kMillisecond);
+
+void BM_FourSeparateCensuses(benchmark::State& state) {
+  // The naive alternative the joint sweep replaces.
+  const EdgeList a = prepare_factor(make_pref_attachment(100, 3, kSeed + 2), false);
+  const EdgeList b = prepare_factor(make_gnm(80, 240, kSeed + 3), false);
+  EdgeList c_list = kronecker_product_with_loops(a, b);
+  c_list.sort_dedupe();
+  for (auto _ : state) {
+    for (const double nu : {0.9, 0.95, 0.99, 1.0}) {
+      const Csr sub(hashed_subgraph(c_list, nu, kSeed));
+      benchmark::DoNotOptimize(count_triangles(sub));
+    }
+  }
+}
+BENCHMARK(BM_FourSeparateCensuses)->Unit(benchmark::kMillisecond);
+
+void BM_HashFilter(benchmark::State& state) {
+  const EdgeList a = prepare_factor(make_pref_attachment(100, 3, kSeed + 2), false);
+  const EdgeList b = prepare_factor(make_gnm(80, 240, kSeed + 3), false);
+  EdgeList c_list = kronecker_product_with_loops(a, b);
+  c_list.sort_dedupe();
+  for (auto _ : state) benchmark::DoNotOptimize(hashed_subgraph(c_list, 0.95, kSeed));
+  state.counters["arcs"] = static_cast<double>(c_list.num_arcs());
+}
+BENCHMARK(BM_HashFilter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kron
+
+KRON_BENCH_MAIN(kron::print_artifact)

@@ -1,0 +1,188 @@
+// E1 — the intro scaling-law table (Sec. I).
+//
+// For a representative factor pair, every row of the paper's table is
+// evaluated twice: predicted from the factors alone (the Kronecker law) and
+// measured directly on the materialised product with the reference
+// algorithms.  The timing section contrasts the sublinear/linear ground
+// truth with the direct computation.
+#include <algorithm>
+#include <iostream>
+
+#include "analytics/clustering.hpp"
+#include "analytics/eccentricity.hpp"
+#include "analytics/triangles.hpp"
+#include "bench_common.hpp"
+#include "core/community_gt.hpp"
+#include "core/distance_gt.hpp"
+#include "core/ground_truth.hpp"
+#include "core/index.hpp"
+#include "core/kron.hpp"
+#include "core/laws.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "gen/sbm.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace kron {
+namespace {
+
+constexpr std::uint64_t kSeed = 20190520;  // printed for reproducibility
+
+EdgeList factor_a() { return prepare_factor(make_pref_attachment(220, 3, kSeed), false); }
+EdgeList factor_b() { return prepare_factor(make_gnm(150, 450, kSeed + 1), false); }
+
+void print_artifact() {
+  bench::banner("E1", "intro scaling-law table (predicted vs measured)");
+  std::cout << "seed " << kSeed << "; A = BA(220,3) LCC, B = G(150,450) LCC\n";
+
+  const EdgeList a = factor_a();
+  const EdgeList b = factor_b();
+  const Csr ca(a), cb(b);
+
+  // --- no-loop regime rows ---
+  const KroneckerGroundTruth gt(a, b, LoopRegime::kNoLoops);
+  EdgeList c_list = gt.materialize();
+  c_list.sort_dedupe();
+  const Csr c(c_list);
+  const TriangleCounts census_c = count_triangles(c);
+  const TriangleCounts census_a = count_triangles(ca);
+  const TriangleCounts census_b = count_triangles(cb);
+
+  Table table({"quantity", "scaling law", "predicted", "measured", "match"});
+  const auto row = [&table](const std::string& quantity, const std::string& law,
+                            std::uint64_t predicted, std::uint64_t measured) {
+    table.row({quantity, law, std::to_string(predicted), std::to_string(measured),
+               predicted == measured ? "yes" : "NO"});
+  };
+
+  row("vertices n_C", "n_A n_B", gt.num_vertices(), c.num_vertices());
+  row("edges m_C", "2 m_A m_B", gt.num_edges(), c.num_undirected_edges());
+
+  // Degree law d_C = d_A (x) d_B at a probe vertex.
+  const vertex_t probe = gamma(3, 5, cb.num_vertices());
+  row("degree d_p (probe)", "d_i d_k", gt.degree(probe), c.degree_no_loop(probe));
+
+  row("vertex tri t_p (probe)", "2 t_i t_k", gt.vertex_triangles(probe),
+      census_c.per_vertex[probe]);
+
+  // Edge-triangle law at the first product edge with nonzero count.
+  {
+    std::uint64_t predicted = 0, measured = 0;
+    bool found = false;
+    for (vertex_t p = 0; p < c.num_vertices() && !found; ++p) {
+      for (const vertex_t q : c.neighbors(p)) {
+        if (p == q) continue;
+        measured = census_c.per_arc[c.arc_index(p, q)];
+        if (measured == 0) continue;
+        predicted = gt.edge_triangles(p, q);
+        found = true;
+        break;
+      }
+    }
+    row("edge tri D_pq (probe)", "D_ij D_kl", predicted, measured);
+  }
+
+  row("global tri tau_C", "6 tau_A tau_B", gt.global_triangles(), census_c.total);
+
+  // Clustering-coefficient law: worst observed ratio vs the 1/3 floor.
+  {
+    const auto eta_a = all_vertex_clustering(ca, census_a);
+    const auto eta_b = all_vertex_clustering(cb, census_b);
+    double worst_ratio = 1.0;
+    for (vertex_t i = 0; i < ca.num_vertices(); ++i) {
+      for (vertex_t k = 0; k < cb.num_vertices(); ++k) {
+        if (census_a.per_vertex[i] == 0 || census_b.per_vertex[k] == 0) continue;
+        const double product = eta_a[i] * eta_b[k];
+        if (product <= 0) continue;
+        const double ratio =
+            gt.vertex_clustering_coeff(gamma(i, k, cb.num_vertices())) / product;
+        worst_ratio = std::min(worst_ratio, ratio);
+      }
+    }
+    table.row({"clustering eta_C", "theta in [1/3,1)", ">= " + Table::num(1.0 / 3.0, 4),
+               "min ratio " + Table::num(worst_ratio, 4),
+               worst_ratio >= 1.0 / 3.0 - 1e-12 ? "yes" : "NO"});
+  }
+
+  // --- distance rows (full-loop regime; smaller factors so the measured
+  // side's all-BFS eccentricity stays cheap) ---
+  {
+    const EdgeList a2 = prepare_factor(make_pref_attachment(60, 2, kSeed + 7), false);
+    const EdgeList b2 = prepare_factor(make_gnm(40, 100, kSeed + 8), false);
+    const DistanceGroundTruth dgt(a2, b2);
+    const Csr c_loops(dgt.materialize());
+    const auto ecc_direct = exact_eccentricities(c_loops);
+    const vertex_t p = gamma(1, 2, dgt.factor_b().num_vertices());
+    row("eccentricity (probe)", "max(e_A, e_B)", dgt.eccentricity(p), ecc_direct[p]);
+    std::uint64_t diam_direct = 0;
+    for (const auto e : ecc_direct) diam_direct = std::max(diam_direct, e);
+    row("diameter", "max(diam_A, diam_B)", dgt.diameter(), diam_direct);
+  }
+
+  // --- community rows (full-loop regime, Thm. 6) ---
+  {
+    SbmParams params;
+    params.num_vertices = 120;
+    params.blocks = 4;
+    params.p_in = 0.4;
+    params.p_out = 0.02;
+    params.seed = kSeed + 2;
+    const SbmGraph sa = make_sbm(params);
+    params.seed = kSeed + 3;
+    const SbmGraph sb = make_sbm(params);
+    const auto predicted = partition_product_stats(Csr(sa.graph), sa.block_of, 4,
+                                                   Csr(sb.graph), sb.block_of, 4);
+    EdgeList cc = kronecker_product_with_loops(sa.graph, sb.graph);
+    cc.sort_dedupe();
+    const auto measured =
+        partition_stats(Csr(cc), kron_partition(sa.block_of, 4, sb.block_of, 4), 16);
+    row("# communities", "|Pi_A||Pi_B|", predicted.size(), measured.size());
+    bool in_ok = true, out_ok = true;
+    for (std::size_t idx = 0; idx < predicted.size(); ++idx) {
+      in_ok &= predicted[idx].m_in == measured[idx].m_in;
+      out_ok &= predicted[idx].m_out == measured[idx].m_out;
+    }
+    table.row({"internal density", "Thm.6 + Cor.6", "exact per community",
+               in_ok ? "all 16 match" : "MISMATCH", in_ok ? "yes" : "NO"});
+    table.row({"external density", "Thm.6 + Cor.7", "exact per community",
+               out_ok ? "all 16 match" : "MISMATCH", out_ok ? "yes" : "NO"});
+  }
+
+  std::cout << table.str();
+  std::cout << "\nproduct size: " << c.num_vertices() << " vertices, "
+            << c.num_undirected_edges() << " edges\n";
+}
+
+// ---------------------------------------------------------------- timings
+
+void BM_GlobalTrianglesGroundTruth(benchmark::State& state) {
+  const EdgeList a = factor_a();
+  const EdgeList b = factor_b();
+  for (auto _ : state) {
+    const KroneckerGroundTruth gt(a, b, LoopRegime::kNoLoops);
+    benchmark::DoNotOptimize(gt.global_triangles());
+  }
+}
+BENCHMARK(BM_GlobalTrianglesGroundTruth)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalTrianglesDirect(benchmark::State& state) {
+  EdgeList c = kronecker_product(factor_a(), factor_b());
+  c.sort_dedupe();
+  const Csr csr(c);
+  for (auto _ : state) benchmark::DoNotOptimize(global_triangle_count(csr));
+}
+BENCHMARK(BM_GlobalTrianglesDirect)->Unit(benchmark::kMillisecond);
+
+void BM_DegreeHistogramGroundTruth(benchmark::State& state) {
+  const KroneckerGroundTruth gt(factor_a(), factor_b(), LoopRegime::kNoLoops);
+  for (auto _ : state) benchmark::DoNotOptimize(gt.degree_histogram());
+}
+BENCHMARK(BM_DegreeHistogramGroundTruth)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kron
+
+KRON_BENCH_MAIN(kron::print_artifact)

@@ -1,0 +1,71 @@
+// The Sec. VI-A experiment as a runnable example: a community-structured
+// factor (SBM stand-in for groundtruth_20000) is squared into a Kronecker
+// graph whose 33² = 1089 communities have exactly known internal/external
+// edge counts and densities (Thm. 6) — ready-made ground truth for
+// validating community-detection or graph-partition quality metrics.
+//
+//   ./community_benchmark [scale] [output.tsv]
+//
+// scale in (0, 1]: 1.0 reproduces the paper's 20K-vertex factor / 400M-
+// vertex product (ground truth only, C is never built).  Default 0.25.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analytics/communities.hpp"
+#include "core/community_gt.hpp"
+#include "core/kron.hpp"
+#include "gen/sbm.hpp"
+#include "graph/csr.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kron;
+  const double scale = argc > 1 ? std::stod(argv[1]) : 0.25;
+
+  const SbmGraph sbm = make_groundtruth_like(scale, 7);
+  const Csr a(sbm.graph);
+  std::cout << "factor A: " << a.num_vertices() << " vertices, "
+            << a.num_undirected_edges() << " edges, " << sbm.num_blocks
+            << " planted communities\n";
+
+  const KroneckerShape shape = kronecker_shape_with_loops(sbm.graph, sbm.graph);
+  std::cout << "product C = (A+I) (x) (A+I): " << shape.num_vertices << " vertices, "
+            << shape.num_undirected_edges << " edges, "
+            << sbm.num_blocks * sbm.num_blocks << " Kronecker communities\n\n";
+
+  const auto stats_a = partition_stats(a, sbm.block_of, sbm.num_blocks);
+  const auto stats_c = partition_product_stats(a, sbm.block_of, sbm.num_blocks, a,
+                                               sbm.block_of, sbm.num_blocks);
+
+  Table table({"community", "|S|", "m_in", "m_out", "rho_in", "rho_out"});
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& s = stats_c[i];
+    table.row({"C#" + std::to_string(i), std::to_string(s.size), std::to_string(s.m_in),
+               std::to_string(s.m_out), Table::sci(s.rho_in, 3), Table::sci(s.rho_out, 3)});
+  }
+  std::cout << "first 5 product communities (exact ground truth, via Thm. 6):\n"
+            << table.str();
+
+  double in_min = 1e300, in_max = 0, out_min = 1e300, out_max = 0;
+  for (const auto& s : stats_c) {
+    in_min = std::min(in_min, s.rho_in);
+    in_max = std::max(in_max, s.rho_in);
+    out_min = std::min(out_min, s.rho_out);
+    out_max = std::max(out_max, s.rho_out);
+  }
+  std::cout << "\nC density ranges: rho_in [" << Table::sci(in_min, 2) << ", "
+            << Table::sci(in_max, 2) << "], rho_out [" << Table::sci(out_min, 2) << ", "
+            << Table::sci(out_max, 2) << "]\n";
+  std::cout << "(compare the paper's Fig. 2: rho_in [1e-3, 1.2e-2], rho_out [5e-7, 3e-6]\n"
+            << " at scale 1.0 — communities remain well separated after the product)\n";
+
+  if (argc > 2) {
+    std::ofstream out(argv[2]);
+    out << "# graph\trho_in\trho_out\n";
+    for (const auto& s : stats_a) out << "A\t" << s.rho_in << "\t" << s.rho_out << "\n";
+    for (const auto& s : stats_c) out << "C\t" << s.rho_in << "\t" << s.rho_out << "\n";
+    std::cout << "wrote Fig. 2 scatter data to " << argv[2] << "\n";
+  }
+  return 0;
+}

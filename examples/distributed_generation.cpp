@@ -1,0 +1,67 @@
+// End-to-end distributed generation (Sec. III): read factors from edge-list
+// files (or synthesise them), generate C = A ⊗ B across R ranks with the
+// 2D partition and hash-based storage owners, and write one edge-list file
+// per rank — the layout a distributed analytics pipeline would consume.
+//
+//   ./distributed_generation [ranks] [out_dir]
+//   ./distributed_generation [ranks] [out_dir] A.txt B.txt
+//
+// Prints the per-rank generation/storage statistics that Sec. III's cost
+// model predicts.
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/generator.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/io.hpp"
+#include "graph/ops.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kron;
+  const int ranks = argc > 1 ? std::stoi(argv[1]) : 4;
+  const std::filesystem::path out_dir = argc > 2 ? argv[2] : "kron_out";
+
+  EdgeList a, b;
+  if (argc > 4) {
+    a = read_edge_list_file(argv[3]);
+    b = read_edge_list_file(argv[4]);
+    a.symmetrize();
+    b.symmetrize();
+    std::cout << "factors read from " << argv[3] << " and " << argv[4] << "\n";
+  } else {
+    a = prepare_factor(make_pref_attachment(400, 3, 5), false);
+    b = prepare_factor(make_gnm(250, 800, 6), false);
+    std::cout << "factors synthesised (pass two edge-list files to use your own)\n";
+  }
+  std::cout << "A: " << a.num_vertices() << " vertices / " << a.num_arcs() << " arcs; "
+            << "B: " << b.num_vertices() << " vertices / " << b.num_arcs() << " arcs\n";
+
+  GeneratorConfig config;
+  config.ranks = ranks;
+  config.scheme = PartitionScheme::k2D;
+  config.shuffle_to_owner = true;
+  const Timer timer;
+  const GeneratorResult result = generate_distributed(a, b, config);
+  std::cout << "generated " << result.total_arcs() << " arcs (n_C = "
+            << result.num_vertices << ") on " << ranks << " ranks in "
+            << Table::num(timer.seconds(), 3) << " s\n\n";
+
+  Table table({"rank", "arcs generated", "arcs stored", "rank seconds", "output file"});
+  std::filesystem::create_directories(out_dir);
+  for (std::size_t r = 0; r < result.stored_per_rank.size(); ++r) {
+    const auto path = out_dir / ("edges_rank" + std::to_string(r) + ".txt");
+    EdgeList shard(result.num_vertices,
+                   {result.stored_per_rank[r].begin(), result.stored_per_rank[r].end()});
+    write_edge_list_file(path, shard);
+    table.row({std::to_string(r), std::to_string(result.generated_per_rank[r]),
+               std::to_string(result.stored_per_rank[r].size()),
+               Table::num(result.rank_seconds[r], 3), path.string()});
+  }
+  std::cout << table.str();
+  std::cout << "\nreassemble with: cat " << (out_dir / "edges_rank*.txt").string() << "\n";
+  return 0;
+}

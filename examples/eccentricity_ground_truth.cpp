@@ -1,0 +1,50 @@
+// The Sec. V-A experiment as a runnable example: take a scale-free factor
+// A, form C = A ⊗ A with full self loops, and print the exact vertex
+// eccentricity distribution of C — without ever materialising C — next to
+// A's own distribution (Fig. 1).
+//
+//   ./eccentricity_ground_truth [n_factor] [output.tsv]
+//
+// With an output path, the two distributions are written as TSV for
+// plotting.  Default factor size is 1200 vertices (a fast stand-in for the
+// 6.3K-vertex gnutella08 factor; pass 6300 for paper scale, ~10 s).
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/distance_gt.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/ops.hpp"
+#include "util/histogram.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kron;
+  const vertex_t n = argc > 1 ? static_cast<vertex_t>(std::stoull(argv[1])) : 1200;
+
+  const EdgeList a = prepare_factor(make_pref_attachment(n, 3, 42), false);
+  std::cout << "factor A: " << a.num_vertices() << " vertices, "
+            << a.num_undirected_edges() << " edges (largest CC of BA graph)\n";
+
+  const DistanceGroundTruth gt(a, a);
+  std::cout << "product C = A (x) A: " << gt.num_vertices() << " vertices\n\n";
+
+  Histogram hist_a;
+  for (const auto e : gt.ecc_a()) hist_a.add(e);
+  const Histogram hist_c = gt.eccentricity_histogram();
+
+  std::cout << "eccentricity distribution of A (exact):\n" << hist_a.ascii(40) << "\n";
+  std::cout << "eccentricity distribution of C via Cor. 4 (exact, C never built):\n"
+            << hist_c.ascii(40);
+  std::cout << "\nmax-law sanity: diam(C) = " << gt.diameter() << " = max over factors\n";
+
+  if (argc > 2) {
+    std::ofstream out(argv[2]);
+    out << "# graph\teccentricity\tvertex_count\n";
+    for (const auto& [value, count] : hist_a.items())
+      out << "A\t" << value << "\t" << count << "\n";
+    for (const auto& [value, count] : hist_c.items())
+      out << "C\t" << value << "\t" << count << "\n";
+    std::cout << "wrote TSV to " << argv[2] << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// The paper's headline anecdote, taken further: "Very recently this
+// approach was used to generate a trillion-edge graph ... in under a
+// minute on 1.57M cores of IBM BG/Q SEQUOIA."  Materialising such a graph
+// needs a supercomputer — but its *ground truth* doesn't.  This example
+// computes exact scalars and exact degree/triangle distributions for
+// Kronecker powers far beyond a trillion edges, on one core, in
+// milliseconds.
+//
+//   ./trillion_edge_ground_truth [factor_vertices] [max_power]
+#include <iostream>
+#include <string>
+
+#include "core/power_gt.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/ops.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kron;
+  const vertex_t n = argc > 1 ? static_cast<vertex_t>(std::stoull(argv[1])) : 2000;
+  const unsigned max_power = argc > 2 ? static_cast<unsigned>(std::stoul(argv[2])) : 4;
+
+  const EdgeList a = prepare_factor(make_pref_attachment(n, 5, 77), false);
+  std::cout << "factor A: " << a.num_vertices() << " vertices, "
+            << a.num_undirected_edges() << " edges (scale-free)\n\n";
+
+  Table table({"k", "vertices", "edges", "triangles", "distinct degrees", "ms"});
+  for (unsigned k = 1; k <= max_power; ++k) {
+    const Timer timer;
+    const PowerGroundTruth gt(a, k);
+    const Histogram degrees = gt.degree_histogram();
+    const double ms = timer.millis();
+    table.row({std::to_string(k), Table::sci(gt.num_vertices_approx(), 3),
+               Table::sci(gt.num_edges_approx(), 3),
+               Table::sci(gt.global_triangles_approx(), 3),
+               std::to_string(degrees.distinct()), Table::num(ms, 1)});
+  }
+  std::cout << table.str();
+
+  const PowerGroundTruth big(a, max_power);
+  std::cout << "\nexact degree distribution of A^{(x)" << max_power << "} ("
+            << Table::sci(big.num_edges_approx(), 2)
+            << " edges) — top of the distribution:\n";
+  const Histogram degrees = big.degree_histogram();
+  const auto items = degrees.items();
+  for (std::size_t i = items.size() >= 5 ? items.size() - 5 : 0; i < items.size(); ++i)
+    std::cout << "  degree " << items[i].first << ": " << items[i].second << " vertices\n";
+  std::cout << "median degree " << degrees.quantile(0.5) << ", max degree " << degrees.max()
+            << "\n";
+  std::cout << "\n(every number above is exact; nothing was materialised — the paper's\n"
+               " validation story at 10^3 x the Sequoia run's scale)\n";
+  return 0;
+}

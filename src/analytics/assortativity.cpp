@@ -1,0 +1,34 @@
+#include "analytics/assortativity.hpp"
+
+#include <cmath>
+
+namespace kron {
+
+double degree_assortativity(const Csr& g) {
+  // Pearson correlation of (deg(u), deg(v)) over arcs (u, v), u != v.
+  // Single pass accumulating the standard sums.
+  double count = 0;
+  double sum_x = 0, sum_y = 0, sum_xy = 0, sum_x2 = 0, sum_y2 = 0;
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    const auto du = static_cast<double>(g.degree_no_loop(u));
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u == v) continue;
+      const auto dv = static_cast<double>(g.degree_no_loop(v));
+      count += 1;
+      sum_x += du;
+      sum_y += dv;
+      sum_xy += du * dv;
+      sum_x2 += du * du;
+      sum_y2 += dv * dv;
+    }
+  }
+  if (count < 2) return 0.0;
+  const double cov = sum_xy / count - (sum_x / count) * (sum_y / count);
+  const double var_x = sum_x2 / count - (sum_x / count) * (sum_x / count);
+  const double var_y = sum_y2 / count - (sum_y / count) * (sum_y / count);
+  const double denom = std::sqrt(var_x * var_y);
+  if (denom <= 0.0) return 0.0;
+  return cov / denom;
+}
+
+}  // namespace kron

@@ -1,0 +1,19 @@
+// Degree assortativity (Newman, the paper's ref. [20]).
+//
+// Thm. 2's discussion predicts the edge-clustering law collapses exactly
+// when factors have "relatively negative assortativity (more than expected
+// high-degree vertices connected to low-degree vertices)".  This analytic
+// quantifies that: the Pearson correlation of endpoint degrees over all
+// (directed) arcs, in [-1, 1]; negative = disassortative.
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+/// Degree assortativity coefficient.  Self loops are excluded; returns 0
+/// for graphs with fewer than 2 edges or zero degree variance (regular
+/// graphs).
+[[nodiscard]] double degree_assortativity(const Csr& g);
+
+}  // namespace kron

@@ -1,0 +1,62 @@
+#include "analytics/betweenness.hpp"
+
+#include <vector>
+
+namespace kron {
+
+std::vector<double> betweenness_centrality(const Csr& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<double> centrality(n, 0.0);
+
+  // Brandes: one BFS per source with path counting, then dependency
+  // accumulation in reverse BFS order.
+  std::vector<std::uint64_t> distance(n);
+  std::vector<double> sigma(n);       // shortest-path counts
+  std::vector<double> delta(n);       // dependencies
+  std::vector<vertex_t> order;        // vertices in BFS discovery order
+  std::vector<std::vector<vertex_t>> predecessors(n);
+  constexpr std::uint64_t kInf = ~std::uint64_t{0};
+
+  for (vertex_t source = 0; source < n; ++source) {
+    std::fill(distance.begin(), distance.end(), kInf);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& preds : predecessors) preds.clear();
+    order.clear();
+
+    distance[source] = 0;
+    sigma[source] = 1.0;
+    std::vector<vertex_t> frontier{source};
+    std::size_t head = 0;
+    order.push_back(source);
+    while (head < order.size()) {
+      const vertex_t u = order[head++];
+      for (const vertex_t v : g.neighbors(u)) {
+        if (u == v) continue;
+        if (distance[v] == kInf) {
+          distance[v] = distance[u] + 1;
+          order.push_back(v);
+        }
+        if (distance[v] == distance[u] + 1) {
+          sigma[v] += sigma[u];
+          predecessors[v].push_back(u);
+        }
+      }
+    }
+
+    for (std::size_t i = order.size(); i-- > 1;) {  // skip the source itself
+      const vertex_t w = order[i];
+      for (const vertex_t u : predecessors[w])
+        delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+      centrality[w] += delta[w];
+    }
+    // The source's own dependency is accumulated when it appears as a
+    // predecessor; nothing to add for i == 0.
+  }
+
+  // Each unordered pair was counted from both endpoints.
+  for (double& value : centrality) value /= 2.0;
+  return centrality;
+}
+
+}  // namespace kron

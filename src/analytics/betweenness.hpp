@@ -1,0 +1,22 @@
+// Betweenness centrality (Brandes' algorithm, the paper's ref. [24]).
+//
+// The paper lists betweenness among the expensive distance-based metrics
+// motivating ground-truth generation, but derives no Kronecker formula for
+// it (shortest-path *counts* do not factor through the max-law the way
+// distances do).  It is included as a reference analytic so benchmark
+// consumers can decorate Kronecker graphs with it; exactness is validated
+// against hand-computed values on structured graphs in the tests.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+/// Exact betweenness centrality of every vertex (unnormalised, counting
+/// each unordered pair once — the standard undirected convention).  Self
+/// loops are ignored.  O(|V||E|) time, O(|V| + |E|) space (Brandes).
+[[nodiscard]] std::vector<double> betweenness_centrality(const Csr& g);
+
+}  // namespace kron

@@ -1,0 +1,52 @@
+#include "analytics/bfs.hpp"
+
+#include <stdexcept>
+
+namespace kron {
+
+std::vector<std::uint64_t> bfs_levels(const Csr& g, vertex_t source) {
+  if (source >= g.num_vertices()) throw std::out_of_range("bfs_levels: bad source");
+  std::vector<std::uint64_t> level(g.num_vertices(), kUnreachable);
+  std::vector<vertex_t> frontier{source};
+  std::vector<vertex_t> next;
+  level[source] = 0;
+  std::uint64_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (const vertex_t u : frontier) {
+      for (const vertex_t v : g.neighbors(u)) {
+        if (level[v] == kUnreachable) {
+          level[v] = depth;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return level;
+}
+
+std::vector<std::uint64_t> hops_from(const Csr& g, vertex_t source) {
+  std::vector<std::uint64_t> hops = bfs_levels(g, source);
+  if (g.has_loop(source)) {
+    hops[source] = 1;
+  } else if (g.degree(source) > 0) {
+    hops[source] = 2;  // out and back over any incident edge
+  } else {
+    hops[source] = kUnreachable;
+  }
+  return hops;
+}
+
+std::vector<std::uint64_t> all_pairs_hops(const Csr& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<std::uint64_t> matrix(n * n);
+  for (vertex_t i = 0; i < n; ++i) {
+    const auto row = hops_from(g, i);
+    std::copy(row.begin(), row.end(), matrix.begin() + static_cast<std::ptrdiff_t>(i * n));
+  }
+  return matrix;
+}
+
+}  // namespace kron

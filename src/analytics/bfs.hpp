@@ -1,0 +1,34 @@
+// Breadth-first search and hop-count computation.
+//
+// Hop counts follow the paper's Def. 9: when every vertex carries a self
+// loop, hops(i, j) = min{ h : (A^h)_ij > 0 } — in particular hops(i, i) = 1,
+// because the self loop gives (A^1)_ii > 0.  Without a self loop at i the
+// diagonal entry appears only via a round trip, so hops(i, i) = 2 when i has
+// any neighbor.  Plain BFS level numbers give hops for i != j; the i == j
+// case is patched according to the loop structure.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+/// Level number per vertex from plain BFS (source level 0), kUnreachable if
+/// disconnected from `source`.
+inline constexpr std::uint64_t kUnreachable = std::numeric_limits<std::uint64_t>::max();
+
+[[nodiscard]] std::vector<std::uint64_t> bfs_levels(const Csr& g, vertex_t source);
+
+/// Hop counts per Def. 9: hops(source, j).  For j != source this is the BFS
+/// level; for j == source it is 1 if `source` has a self loop, 2 if it has
+/// any neighbor (round trip), kUnreachable if isolated.
+[[nodiscard]] std::vector<std::uint64_t> hops_from(const Csr& g, vertex_t source);
+
+/// All-pairs hop-count matrix, row-major n*n (for small graphs / factors).
+/// Entry [i*n + j] = hops(i, j).
+[[nodiscard]] std::vector<std::uint64_t> all_pairs_hops(const Csr& g);
+
+}  // namespace kron

@@ -1,0 +1,33 @@
+#include "analytics/bipartite.hpp"
+
+namespace kron {
+
+std::optional<std::vector<std::uint8_t>> bipartition(const Csr& g) {
+  constexpr std::uint8_t kUncolored = 2;
+  const vertex_t n = g.num_vertices();
+  std::vector<std::uint8_t> side(n, kUncolored);
+  std::vector<vertex_t> frontier;
+  for (vertex_t root = 0; root < n; ++root) {
+    if (side[root] != kUncolored) continue;
+    side[root] = 0;
+    frontier.assign(1, root);
+    while (!frontier.empty()) {
+      const vertex_t u = frontier.back();
+      frontier.pop_back();
+      for (const vertex_t v : g.neighbors(u)) {
+        if (u == v) return std::nullopt;  // self loop = odd closed walk
+        if (side[v] == kUncolored) {
+          side[v] = static_cast<std::uint8_t>(1 - side[u]);
+          frontier.push_back(v);
+        } else if (side[v] == side[u]) {
+          return std::nullopt;  // odd cycle
+        }
+      }
+    }
+  }
+  return side;
+}
+
+bool is_bipartite(const Csr& g) { return bipartition(g).has_value(); }
+
+}  // namespace kron

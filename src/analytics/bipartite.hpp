@@ -1,0 +1,25 @@
+// Bipartiteness testing (BFS 2-coloring).
+//
+// Needed by the connectivity ground truth (core/connectivity_gt.hpp):
+// Weichsel's theorem [paper ref. 1] makes the component count of a
+// Kronecker product depend on whether the factors contain an odd closed
+// walk.  A self loop is an odd closed walk, so a graph with any loop is
+// treated as non-bipartite here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+/// A proper 2-coloring (side 0/1 per vertex) if the graph is bipartite,
+/// nullopt otherwise.  Works per connected component; isolated vertices
+/// get side 0.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> bipartition(const Csr& g);
+
+[[nodiscard]] bool is_bipartite(const Csr& g);
+
+}  // namespace kron

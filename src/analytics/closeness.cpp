@@ -1,0 +1,23 @@
+#include "analytics/closeness.hpp"
+
+#include "analytics/bfs.hpp"
+
+namespace kron {
+
+double closeness(const Csr& g, vertex_t i) {
+  const auto hops = hops_from(g, i);
+  double sum = 0.0;
+  for (const std::uint64_t h : hops) {
+    if (h == kUnreachable) continue;
+    sum += 1.0 / static_cast<double>(h);
+  }
+  return sum;
+}
+
+std::vector<double> all_closeness(const Csr& g) {
+  std::vector<double> scores(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) scores[v] = closeness(g, v);
+  return scores;
+}
+
+}  // namespace kron

@@ -1,0 +1,22 @@
+// Closeness centrality (Def. 12): ζ(i) = Σ_j 1 / hops(i, j).
+//
+// Note the paper's definition sums reciprocal hop counts (what much of the
+// literature calls *harmonic* centrality) over every j ∈ V, including j = i;
+// with full self loops hops(i, i) = 1 and the diagonal contributes 1.
+// Unreachable vertices contribute 0 (1/∞).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+/// ζ(i) for one vertex: a single BFS, O(|E|).
+[[nodiscard]] double closeness(const Csr& g, vertex_t i);
+
+/// ζ for all vertices: O(|V||E|), reference implementation for factors and
+/// small products.
+[[nodiscard]] std::vector<double> all_closeness(const Csr& g);
+
+}  // namespace kron

@@ -1,0 +1,59 @@
+#include "analytics/clustering.hpp"
+
+#include <algorithm>
+
+namespace kron {
+
+double vertex_clustering(std::uint64_t triangles, std::uint64_t degree) {
+  if (degree < 2) return 0.0;
+  return 2.0 * static_cast<double>(triangles) /
+         (static_cast<double>(degree) * static_cast<double>(degree - 1));
+}
+
+double edge_clustering(std::uint64_t edge_triangles, std::uint64_t deg_u, std::uint64_t deg_v) {
+  const std::uint64_t dmin = std::min(deg_u, deg_v);
+  if (dmin < 2) return 0.0;
+  return static_cast<double>(edge_triangles) / static_cast<double>(dmin - 1);
+}
+
+std::vector<double> all_vertex_clustering(const Csr& g) {
+  return all_vertex_clustering(g, count_triangles(g));
+}
+
+std::vector<double> all_vertex_clustering(const Csr& g, const TriangleCounts& counts) {
+  std::vector<double> eta(g.num_vertices());
+  for (vertex_t v = 0; v < g.num_vertices(); ++v)
+    eta[v] = vertex_clustering(counts.per_vertex[v], g.degree_no_loop(v));
+  return eta;
+}
+
+std::uint64_t wedge_count(const Csr& g) {
+  std::uint64_t wedges = 0;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.degree_no_loop(v);
+    wedges += d * (d - (d > 0 ? 1 : 0)) / 2;
+  }
+  return wedges;
+}
+
+double transitivity(const Csr& g) {
+  const std::uint64_t wedges = wedge_count(g);
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(global_triangle_count(g)) / static_cast<double>(wedges);
+}
+
+std::vector<double> all_edge_clustering(const Csr& g, const TriangleCounts& counts) {
+  std::vector<double> xi(g.num_arcs(), 0.0);
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    const auto row = g.neighbors(u);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      const vertex_t v = row[k];
+      if (u == v) continue;
+      const std::uint64_t idx = g.arc_index(u, v);
+      xi[idx] = edge_clustering(counts.per_arc[idx], g.degree_no_loop(u), g.degree_no_loop(v));
+    }
+  }
+  return xi;
+}
+
+}  // namespace kron

@@ -1,0 +1,41 @@
+// Clustering coefficients (Def. 7).
+//
+// Vertex: η(i) = 2 t_i / (d_i (d_i - 1)); edge: ξ(i,j) = Δ_ij /
+// (min(d_i, d_j) - 1).  Degrees are loop-free (`d_i` in the paper's
+// formulas always refers to the simple part of the graph).  Vertices of
+// degree < 2 have undefined η; we report 0 for them, and likewise ξ = 0
+// when min degree < 2, matching the usual convention.
+#pragma once
+
+#include <vector>
+
+#include "analytics/triangles.hpp"
+#include "graph/csr.hpp"
+
+namespace kron {
+
+/// η at one vertex given its triangle count.
+[[nodiscard]] double vertex_clustering(std::uint64_t triangles, std::uint64_t degree);
+
+/// ξ at one edge given its triangle count and endpoint degrees.
+[[nodiscard]] double edge_clustering(std::uint64_t edge_triangles, std::uint64_t deg_u,
+                                     std::uint64_t deg_v);
+
+/// η for every vertex (computes a triangle census internally).
+[[nodiscard]] std::vector<double> all_vertex_clustering(const Csr& g);
+
+/// η for every vertex from a precomputed census.
+[[nodiscard]] std::vector<double> all_vertex_clustering(const Csr& g,
+                                                        const TriangleCounts& counts);
+
+/// ξ aligned with the graph's arc order, from a precomputed census.
+[[nodiscard]] std::vector<double> all_edge_clustering(const Csr& g,
+                                                      const TriangleCounts& counts);
+
+/// Wedge (open two-path) count: Σ_v d_v (d_v - 1) / 2, loop-free degrees.
+[[nodiscard]] std::uint64_t wedge_count(const Csr& g);
+
+/// Global transitivity: 3 τ / wedges (0 if the graph has no wedges).
+[[nodiscard]] double transitivity(const Csr& g);
+
+}  // namespace kron

@@ -1,0 +1,75 @@
+#include "analytics/communities.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace kron {
+
+double internal_density(std::uint64_t m_in, std::uint64_t size) {
+  if (size < 2) return 0.0;
+  return 2.0 * static_cast<double>(m_in) /
+         (static_cast<double>(size) * static_cast<double>(size - 1));
+}
+
+double external_density(std::uint64_t m_out, std::uint64_t size, std::uint64_t n_total) {
+  if (size == 0 || n_total <= size) return 0.0;
+  return static_cast<double>(m_out) /
+         (static_cast<double>(size) * static_cast<double>(n_total - size));
+}
+
+CommunityStats community_stats(const Csr& g, const std::vector<vertex_t>& members) {
+  std::vector<bool> in_set(g.num_vertices(), false);
+  for (const vertex_t v : members) {
+    if (v >= g.num_vertices()) throw std::out_of_range("community_stats: bad vertex id");
+    in_set[v] = true;
+  }
+  CommunityStats stats;
+  stats.size = members.size();
+  std::uint64_t internal_arcs = 0;
+  for (const vertex_t u : members) {
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u == v) continue;  // loops excluded (Thm. 6 uses C - I_C)
+      if (in_set[v]) {
+        ++internal_arcs;
+      } else {
+        ++stats.m_out;
+      }
+    }
+  }
+  stats.m_in = internal_arcs / 2;
+  stats.rho_in = internal_density(stats.m_in, stats.size);
+  stats.rho_out = external_density(stats.m_out, stats.size, g.num_vertices());
+  return stats;
+}
+
+std::vector<CommunityStats> partition_stats(const Csr& g,
+                                            const std::vector<std::uint64_t>& block_of,
+                                            std::uint64_t num_blocks) {
+  if (block_of.size() != g.num_vertices())
+    throw std::invalid_argument("partition_stats: block vector size mismatch");
+  std::vector<CommunityStats> stats(num_blocks);
+  std::vector<std::uint64_t> internal_arcs(num_blocks, 0);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    if (block_of[v] >= num_blocks) throw std::out_of_range("partition_stats: bad block id");
+    ++stats[block_of[v]].size;
+  }
+  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
+    const std::uint64_t bu = block_of[u];
+    for (const vertex_t v : g.neighbors(u)) {
+      if (u == v) continue;
+      if (block_of[v] == bu) {
+        ++internal_arcs[bu];
+      } else {
+        ++stats[bu].m_out;
+      }
+    }
+  }
+  for (std::uint64_t b = 0; b < num_blocks; ++b) {
+    stats[b].m_in = internal_arcs[b] / 2;
+    stats[b].rho_in = internal_density(stats[b].m_in, stats[b].size);
+    stats[b].rho_out = external_density(stats[b].m_out, stats[b].size, g.num_vertices());
+  }
+  return stats;
+}
+
+}  // namespace kron

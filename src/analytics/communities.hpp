@@ -1,0 +1,35 @@
+// Measured community structure (Def. 13): internal/external edge counts and
+// densities of vertex sets, computed directly on a graph.  Self loops are
+// excluded from both counts, matching the paper's use of C - I_C in Thm. 6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+struct CommunityStats {
+  std::uint64_t size = 0;      ///< |S|
+  std::uint64_t m_in = 0;      ///< internal undirected edge count
+  std::uint64_t m_out = 0;     ///< external (boundary) edge count
+  double rho_in = 0.0;         ///< 2 m_in / (|S|(|S|-1))
+  double rho_out = 0.0;        ///< m_out / (|S|(n - |S|))
+};
+
+/// Stats for one vertex set.
+[[nodiscard]] CommunityStats community_stats(const Csr& g,
+                                             const std::vector<vertex_t>& members);
+
+/// Stats for every part of a partition given as a block-id-per-vertex
+/// vector with ids 0..k-1.
+[[nodiscard]] std::vector<CommunityStats> partition_stats(
+    const Csr& g, const std::vector<std::uint64_t>& block_of, std::uint64_t num_blocks);
+
+/// Density helpers (shared with the ground-truth side).
+[[nodiscard]] double internal_density(std::uint64_t m_in, std::uint64_t size);
+[[nodiscard]] double external_density(std::uint64_t m_out, std::uint64_t size,
+                                      std::uint64_t n_total);
+
+}  // namespace kron

@@ -1,0 +1,183 @@
+#include "analytics/eccentricity.hpp"
+#include <tuple>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analytics/bfs.hpp"
+
+namespace kron {
+namespace {
+
+std::uint64_t max_hop(const std::vector<std::uint64_t>& hops) {
+  std::uint64_t ecc = 0;
+  for (const std::uint64_t h : hops) {
+    if (h == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, h);
+  }
+  return ecc;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> exact_eccentricities(const Csr& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<std::uint64_t> ecc(n);
+  for (vertex_t v = 0; v < n; ++v) ecc[v] = max_hop(hops_from(g, v));
+  return ecc;
+}
+
+BoundedEccResult bounded_eccentricities(const Csr& g) {
+  const vertex_t n = g.num_vertices();
+  BoundedEccResult result;
+  result.ecc.assign(n, 0);
+  if (n == 0) return result;
+
+  std::vector<std::uint64_t> lower(n, 0);
+  std::vector<std::uint64_t> upper(n, kUnreachable);
+  std::vector<bool> resolved(n, false);
+  std::uint64_t unresolved = n;
+
+  // Alternate between the vertex with the largest upper bound (tightens the
+  // diameter side) and the smallest lower bound (tightens the radius side);
+  // start from a max-degree vertex, a good center candidate.
+  bool pick_max_upper = false;
+  vertex_t pivot = 0;
+  for (vertex_t v = 1; v < n; ++v)
+    if (g.degree(v) > g.degree(pivot)) pivot = v;
+
+  while (unresolved > 0) {
+    const auto hops = hops_from(g, pivot);
+    const std::uint64_t ecc_pivot = max_hop(hops);
+    if (ecc_pivot == kUnreachable)
+      throw std::invalid_argument("bounded_eccentricities: graph is disconnected");
+    ++result.bfs_count;
+    if (!resolved[pivot]) {
+      result.ecc[pivot] = ecc_pivot;
+      resolved[pivot] = true;
+      --unresolved;
+    }
+
+    for (vertex_t v = 0; v < n; ++v) {
+      if (resolved[v]) continue;
+      const std::uint64_t d = hops[v];
+      // Triangle-inequality bounds: |ecc(p) - d| <= ecc(v) <= ecc(p) + d,
+      // and ecc(v) >= d always.
+      const std::uint64_t lo_candidate =
+          std::max(d, ecc_pivot > d ? ecc_pivot - d : d - ecc_pivot);
+      lower[v] = std::max(lower[v], lo_candidate);
+      upper[v] = std::min(upper[v], ecc_pivot + d);
+      if (lower[v] == upper[v]) {
+        result.ecc[v] = lower[v];
+        resolved[v] = true;
+        --unresolved;
+      }
+    }
+
+    // Propagate the edge constraint |ecc(u) - ecc(v)| <= 1 to a fixpoint:
+    // upper(v) <= upper(u) + 1 across every edge.  This closes the large
+    // plateaus of tied eccentricities that pivot distances alone cannot,
+    // cutting the number of BFS sweeps dramatically on small-world graphs.
+    bool changed = unresolved > 0;
+    while (changed) {
+      changed = false;
+      for (vertex_t u = 0; u < n; ++u) {
+        const std::uint64_t cap = upper[u] == kUnreachable ? kUnreachable : upper[u] + 1;
+        if (cap == kUnreachable) continue;
+        for (const vertex_t v : g.neighbors(u)) {
+          if (upper[v] > cap) {
+            upper[v] = cap;
+            changed = true;
+            if (!resolved[v] && lower[v] == upper[v]) {
+              result.ecc[v] = lower[v];
+              resolved[v] = true;
+              --unresolved;
+            }
+          }
+        }
+      }
+    }
+
+    if (unresolved == 0) break;
+    // Choose the next pivot among unresolved vertices, alternating between
+    // the largest upper bound (attacks the periphery, raises lower bounds
+    // of everything far away) and the smallest lower bound (attacks the
+    // center); ties break toward the larger bound gap, then higher degree.
+    vertex_t best = n;  // sentinel
+    for (vertex_t v = 0; v < n; ++v) {
+      if (resolved[v]) continue;
+      if (best == n) {
+        best = v;
+        continue;
+      }
+      const auto key = [&](vertex_t w) {
+        const std::uint64_t primary = pick_max_upper ? upper[w] : ~lower[w];
+        return std::tuple(primary, upper[w] - lower[w], g.degree(w));
+      };
+      if (key(v) > key(best)) best = v;
+    }
+    pivot = best;
+    pick_max_upper = !pick_max_upper;
+  }
+  return result;
+}
+
+ApproxEccResult approx_eccentricities(const Csr& g, std::uint64_t num_pivots) {
+  const vertex_t n = g.num_vertices();
+  ApproxEccResult result;
+  result.lower.assign(n, 0);
+  result.upper.assign(n, kUnreachable);
+  if (n == 0) return result;
+  num_pivots = std::max<std::uint64_t>(1, std::min<std::uint64_t>(num_pivots, n));
+
+  // min distance to any previous pivot, for farthest-point spreading.
+  std::vector<std::uint64_t> closest(n, kUnreachable);
+  vertex_t pivot = 0;
+  for (vertex_t v = 1; v < n; ++v)
+    if (g.degree(v) > g.degree(pivot)) pivot = v;
+
+  for (std::uint64_t round = 0; round < num_pivots; ++round) {
+    const auto hops = hops_from(g, pivot);
+    std::uint64_t ecc_pivot = 0;
+    for (const std::uint64_t h : hops) {
+      if (h == kUnreachable)
+        throw std::invalid_argument("approx_eccentricities: graph is disconnected");
+      ecc_pivot = std::max(ecc_pivot, h);
+    }
+    ++result.bfs_count;
+    for (vertex_t v = 0; v < n; ++v) {
+      const std::uint64_t d = hops[v];
+      result.lower[v] = std::max(
+          result.lower[v], std::max(d, ecc_pivot > d ? ecc_pivot - d : d - ecc_pivot));
+      result.upper[v] = std::min(result.upper[v], ecc_pivot + d);
+      closest[v] = std::min(closest[v], d);
+    }
+    result.lower[pivot] = result.upper[pivot] = ecc_pivot;
+    // Next pivot: the vertex farthest from every pivot so far.
+    vertex_t farthest = 0;
+    for (vertex_t v = 1; v < n; ++v)
+      if (closest[v] > closest[farthest]) farthest = v;
+    pivot = farthest;
+  }
+  result.estimate = result.upper;
+  return result;
+}
+
+std::uint64_t diameter(const Csr& g) {
+  const auto ecc = exact_eccentricities(g);
+  std::uint64_t d = 0;
+  for (const std::uint64_t e : ecc) {
+    if (e == kUnreachable) return kUnreachable;
+    d = std::max(d, e);
+  }
+  return d;
+}
+
+std::uint64_t radius(const Csr& g) {
+  const auto ecc = exact_eccentricities(g);
+  std::uint64_t r = kUnreachable;
+  for (const std::uint64_t e : ecc) r = std::min(r, e);
+  return r;
+}
+
+}  // namespace kron

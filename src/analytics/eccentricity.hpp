@@ -1,0 +1,66 @@
+// Vertex eccentricity (Def. 11): ε(i) = max_j hops(i, j).
+//
+// Two implementations:
+//  * exact_eccentricities — one BFS per vertex, O(|V||E|); the trusted
+//    reference for factors and small products.
+//  * bounded_eccentricities — a Takes–Kosters-style bounding algorithm,
+//    standing in for the distributed exact-eccentricity algorithms of the
+//    paper's reference [3]: BFS from a few well-chosen roots, propagate
+//    lower/upper bounds ecc(u) ± d(u,v) until every vertex's bounds meet.
+//    Exact results, usually far fewer than |V| BFS runs on small-world
+//    graphs.
+//
+// Hop-count semantics follow Def. 9 (see analytics/bfs.hpp): the diagonal
+// term hops(i,i) participates in the max, which matters only for degenerate
+// graphs; with full self loops hops(i,i)=1 and the value agrees with the
+// classical eccentricity.  Disconnected graphs have infinite eccentricity;
+// we report kUnreachable for vertices that cannot reach the whole graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+/// O(|V||E|) exact eccentricities via BFS from every vertex.
+[[nodiscard]] std::vector<std::uint64_t> exact_eccentricities(const Csr& g);
+
+struct BoundedEccResult {
+  std::vector<std::uint64_t> ecc;
+  std::uint64_t bfs_count = 0;  ///< BFS runs actually performed.
+};
+
+/// Exact eccentricities with the bounding strategy; requires a connected
+/// graph (throws otherwise).  `bfs_count` reports how many BFS sweeps were
+/// needed — the quantity the paper's reference [3] optimises.
+[[nodiscard]] BoundedEccResult bounded_eccentricities(const Csr& g);
+
+/// Approximate eccentricities from a handful of pivot BFS sweeps — the
+/// flavor of estimate the paper's Fig. 1 uses for the direct side
+/// ("30% of vertices may be estimating a value 1 greater than actual").
+/// From each pivot s with exact ecc(s):
+///   lower(v) = max_s max(d(s,v), ecc(s) - d(s,v))   (never exceeds ecc)
+///   upper(v) = min_s (ecc(s) + d(s,v))              (never undershoots)
+/// `estimate` is the upper bound, whose error is observed to be mostly
+/// 0 or +1 on small-world graphs with a few well-spread pivots.
+struct ApproxEccResult {
+  std::vector<std::uint64_t> lower;
+  std::vector<std::uint64_t> upper;
+  std::vector<std::uint64_t> estimate;  ///< == upper
+  std::uint64_t bfs_count = 0;
+};
+
+/// Requires a connected graph (throws otherwise).  Pivots: the max-degree
+/// vertex, then repeatedly the vertex farthest from all previous pivots
+/// (2-sweep style spreading); `num_pivots` BFS total.
+[[nodiscard]] ApproxEccResult approx_eccentricities(const Csr& g, std::uint64_t num_pivots);
+
+/// Graph diameter (Def. 10): max eccentricity.
+[[nodiscard]] std::uint64_t diameter(const Csr& g);
+
+/// Graph radius: min eccentricity.
+[[nodiscard]] std::uint64_t radius(const Csr& g);
+
+}  // namespace kron

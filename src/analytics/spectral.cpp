@@ -1,0 +1,119 @@
+#include "analytics/spectral.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace kron {
+namespace {
+
+double dot(const std::vector<double>& x, const std::vector<double>& y) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double norm(const std::vector<double>& x) { return std::sqrt(dot(x, x)); }
+
+void normalize(std::vector<double>& x) {
+  const double scale = norm(x);
+  if (scale == 0.0) return;
+  for (double& value : x) value /= scale;
+}
+
+std::vector<double> random_unit_vector(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> x(n);
+  for (double& value : x) value = rng.uniform() - 0.5;
+  normalize(x);
+  return x;
+}
+
+/// Remove the components of x along each vector in basis (Gram–Schmidt).
+void deflate(std::vector<double>& x, const std::vector<std::vector<double>>& basis) {
+  for (const auto& b : basis) {
+    const double coefficient = dot(x, b);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] -= coefficient * b[i];
+  }
+}
+
+}  // namespace
+
+void adjacency_multiply(const Csr& g, const std::vector<double>& x, std::vector<double>& y) {
+  const vertex_t n = g.num_vertices();
+  y.assign(n, 0.0);
+  for (vertex_t u = 0; u < n; ++u) {
+    double sum = 0.0;
+    for (const vertex_t v : g.neighbors(u)) sum += x[v];
+    y[u] = sum;
+  }
+}
+
+SpectralRadiusResult spectral_radius(const Csr& g, double tolerance,
+                                     std::uint64_t max_iterations, std::uint64_t seed) {
+  SpectralRadiusResult result;
+  const vertex_t n = g.num_vertices();
+  if (n == 0 || g.num_arcs() == 0) return result;
+
+  std::vector<double> x = random_unit_vector(n, seed);
+  std::vector<double> y;
+  std::vector<double> z;
+  double previous = 0.0;
+  for (std::uint64_t iteration = 0; iteration < max_iterations; ++iteration) {
+    adjacency_multiply(g, x, y);
+    adjacency_multiply(g, y, z);  // z = A² x
+    const double rayleigh = dot(x, z);  // converges to ρ(A)²
+    const double estimate = std::sqrt(std::max(rayleigh, 0.0));
+    result.iterations = iteration + 1;
+    result.residual = std::abs(estimate - previous);
+    x.swap(z);
+    normalize(x);
+    if (iteration > 0 && result.residual <= tolerance * std::max(1.0, estimate)) {
+      result.value = estimate;
+      return result;
+    }
+    previous = estimate;
+  }
+  result.value = previous;
+  return result;
+}
+
+std::vector<double> top_eigenvalue_magnitudes(const Csr& g, std::size_t k, double tolerance,
+                                              std::uint64_t max_iterations,
+                                              std::uint64_t seed) {
+  if (!g.is_symmetric())
+    throw std::invalid_argument("top_eigenvalue_magnitudes: graph must be undirected");
+  const vertex_t n = g.num_vertices();
+  k = std::min<std::size_t>(k, n);
+  std::vector<double> magnitudes;
+  std::vector<std::vector<double>> basis;  // converged A²-eigenvectors
+
+  for (std::size_t mode = 0; mode < k; ++mode) {
+    std::vector<double> x = random_unit_vector(n, seed + mode);
+    deflate(x, basis);
+    normalize(x);
+    std::vector<double> y, z;
+    double previous = 0.0;
+    for (std::uint64_t iteration = 0; iteration < max_iterations; ++iteration) {
+      adjacency_multiply(g, x, y);
+      adjacency_multiply(g, y, z);
+      deflate(z, basis);  // keep the iterate orthogonal to converged modes
+      const double rayleigh = dot(x, z);
+      const double estimate = std::sqrt(std::max(rayleigh, 0.0));
+      x.swap(z);
+      normalize(x);
+      if (iteration > 0 && std::abs(estimate - previous) <=
+                               tolerance * std::max(1.0, estimate)) {
+        previous = estimate;
+        break;
+      }
+      previous = estimate;
+    }
+    magnitudes.push_back(previous);
+    basis.push_back(x);
+  }
+  return magnitudes;
+}
+
+}  // namespace kron

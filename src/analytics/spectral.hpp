@@ -1,0 +1,47 @@
+// Spectral analytics: spectral radius and dominant eigenvalues of a
+// symmetric adjacency matrix.
+//
+// Supports the paper's Sec. IV-C observation that the Kronecker structure
+// leaks through the spectrum: eig(A ⊗ B) = { λ μ : λ ∈ eig(A), μ ∈ eig(B) },
+// so ρ(C) = ρ(A) ρ(B) and large swathes of C's eigenspace come from factor
+// eigenpairs — one of the ways a benchmark consumer could (accidentally)
+// exploit the structure.  See core/spectral_gt.hpp for the product side.
+//
+// The spectral radius is computed by power iteration on A² (symmetric PSD
+// shift-free dominant mode), which converges to ρ(A)² monotonically and is
+// immune to the ±ρ oscillation of bipartite spectra.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+/// y = A x for the (possibly non-symmetric) adjacency matrix of g.
+void adjacency_multiply(const Csr& g, const std::vector<double>& x, std::vector<double>& y);
+
+struct SpectralRadiusResult {
+  double value = 0.0;
+  std::uint64_t iterations = 0;  ///< A² applications performed
+  double residual = 0.0;         ///< |ρ_k - ρ_{k-1}| at termination
+};
+
+/// Spectral radius of the adjacency matrix by power iteration on A².
+/// Deterministic for a given seed.  `tolerance` is the relative change
+/// stopping criterion; `max_iterations` caps work.
+[[nodiscard]] SpectralRadiusResult spectral_radius(const Csr& g, double tolerance = 1e-10,
+                                                   std::uint64_t max_iterations = 5000,
+                                                   std::uint64_t seed = 1);
+
+/// Top-k eigenvalues of a *symmetric* adjacency matrix by magnitude,
+/// via power iteration on A² with Gram–Schmidt deflation; returned as
+/// |λ| values in decreasing order.  Intended for small factors (k and n
+/// modest); throws if g is not symmetric.
+[[nodiscard]] std::vector<double> top_eigenvalue_magnitudes(const Csr& g, std::size_t k,
+                                                            double tolerance = 1e-10,
+                                                            std::uint64_t max_iterations = 5000,
+                                                            std::uint64_t seed = 1);
+
+}  // namespace kron

@@ -1,0 +1,36 @@
+#include "analytics/triangles.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kron {
+
+TriangleCounts count_triangles(const Csr& g) {
+  TriangleCounts counts;
+  counts.per_vertex.assign(g.num_vertices(), 0);
+  counts.per_arc.assign(g.num_arcs(), 0);
+  for_each_triangle(g, [&](vertex_t a, vertex_t b, vertex_t c) {
+    ++counts.total;
+    ++counts.per_vertex[a];
+    ++counts.per_vertex[b];
+    ++counts.per_vertex[c];
+    for (const auto& [u, v] : {std::pair{a, b}, std::pair{a, c}, std::pair{b, c}}) {
+      ++counts.per_arc[g.arc_index(u, v)];
+      ++counts.per_arc[g.arc_index(v, u)];
+    }
+  });
+  return counts;
+}
+
+std::uint64_t edge_triangle_count(const Csr& g, const TriangleCounts& counts, vertex_t u,
+                                  vertex_t v) {
+  return counts.per_arc[g.arc_index(u, v)];
+}
+
+std::uint64_t global_triangle_count(const Csr& g) {
+  std::uint64_t total = 0;
+  for_each_triangle(g, [&total](vertex_t, vertex_t, vertex_t) { ++total; });
+  return total;
+}
+
+}  // namespace kron

@@ -1,0 +1,60 @@
+#include "core/community_gt.hpp"
+
+#include <stdexcept>
+
+#include "core/index.hpp"
+
+namespace kron {
+
+CommunityStats community_product(const CommunityStats& s_a, std::uint64_t n_a,
+                                 const CommunityStats& s_b, std::uint64_t n_b) {
+  CommunityStats out;
+  out.size = s_a.size * s_b.size;
+  out.m_in = 2 * s_a.m_in * s_b.m_in + s_a.m_in * s_b.size + s_a.size * s_b.m_in;
+  out.m_out = s_a.m_out * s_b.m_out + s_a.m_out * (s_b.size + 2 * s_b.m_in) +
+              s_b.m_out * (s_a.size + 2 * s_a.m_in);
+  out.rho_in = internal_density(out.m_in, out.size);
+  out.rho_out = external_density(out.m_out, out.size, n_a * n_b);
+  return out;
+}
+
+std::vector<vertex_t> kron_vertex_set(const std::vector<vertex_t>& s_a,
+                                      const std::vector<vertex_t>& s_b, vertex_t n_b) {
+  std::vector<vertex_t> members;
+  members.reserve(s_a.size() * s_b.size());
+  for (const vertex_t i : s_a)
+    for (const vertex_t k : s_b) members.push_back(gamma(i, k, n_b));
+  return members;
+}
+
+std::vector<std::uint64_t> kron_partition(const std::vector<std::uint64_t>& block_a,
+                                          std::uint64_t a_max,
+                                          const std::vector<std::uint64_t>& block_b,
+                                          std::uint64_t b_max) {
+  std::vector<std::uint64_t> block_c(block_a.size() * block_b.size());
+  const vertex_t n_b = block_b.size();
+  for (vertex_t i = 0; i < block_a.size(); ++i) {
+    if (block_a[i] >= a_max) throw std::out_of_range("kron_partition: bad A block id");
+    for (vertex_t k = 0; k < n_b; ++k) {
+      if (block_b[k] >= b_max) throw std::out_of_range("kron_partition: bad B block id");
+      block_c[gamma(i, k, n_b)] = block_a[i] * b_max + block_b[k];
+    }
+  }
+  return block_c;
+}
+
+std::vector<CommunityStats> partition_product_stats(
+    const Csr& a_simple, const std::vector<std::uint64_t>& block_a, std::uint64_t a_max,
+    const Csr& b_simple, const std::vector<std::uint64_t>& block_b, std::uint64_t b_max) {
+  const auto stats_a = partition_stats(a_simple, block_a, a_max);
+  const auto stats_b = partition_stats(b_simple, block_b, b_max);
+  std::vector<CommunityStats> out;
+  out.reserve(a_max * b_max);
+  for (std::uint64_t a = 0; a < a_max; ++a)
+    for (std::uint64_t b = 0; b < b_max; ++b)
+      out.push_back(community_product(stats_a[a], a_simple.num_vertices(), stats_b[b],
+                                      b_simple.num_vertices()));
+  return out;
+}
+
+}  // namespace kron

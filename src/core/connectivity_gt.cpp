@@ -1,0 +1,82 @@
+#include "core/connectivity_gt.hpp"
+
+#include <vector>
+
+#include "analytics/bipartite.hpp"
+#include "graph/ops.hpp"
+
+namespace kron {
+namespace {
+
+/// Per-component summary of one factor.
+struct ComponentClass {
+  std::uint64_t vertices = 0;
+  bool has_arcs = false;
+  bool bipartite = true;
+};
+
+std::vector<ComponentClass> classify_components(const Csr& g) {
+  const auto component = connected_components(g);
+  std::uint64_t count = 0;
+  for (const auto c : component) count = std::max(count, c + 1);
+  std::vector<ComponentClass> classes(count);
+
+  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+    ++classes[component[v]].vertices;
+    if (g.degree(v) > 0) classes[component[v]].has_arcs = true;
+  }
+
+  // 2-color each component in one global sweep; a conflict (odd cycle or
+  // self loop) marks that component non-bipartite.
+  constexpr std::uint8_t kUncolored = 2;
+  std::vector<std::uint8_t> side(g.num_vertices(), kUncolored);
+  std::vector<vertex_t> frontier;
+  for (vertex_t root = 0; root < g.num_vertices(); ++root) {
+    if (side[root] != kUncolored) continue;
+    side[root] = 0;
+    frontier.assign(1, root);
+    while (!frontier.empty()) {
+      const vertex_t u = frontier.back();
+      frontier.pop_back();
+      for (const vertex_t v : g.neighbors(u)) {
+        if (u == v) {
+          classes[component[u]].bipartite = false;
+          continue;
+        }
+        if (side[v] == kUncolored) {
+          side[v] = static_cast<std::uint8_t>(1 - side[u]);
+          frontier.push_back(v);
+        } else if (side[v] == side[u]) {
+          classes[component[u]].bipartite = false;
+        }
+      }
+    }
+  }
+  return classes;
+}
+
+}  // namespace
+
+std::uint64_t kronecker_num_components(const Csr& a, const Csr& b) {
+  const auto classes_a = classify_components(a);
+  const auto classes_b = classify_components(b);
+  std::uint64_t total = 0;
+  for (const auto& x : classes_a) {
+    for (const auto& y : classes_b) {
+      if (!x.has_arcs || !y.has_arcs) {
+        total += x.vertices * y.vertices;  // every product vertex isolated
+      } else if (!x.bipartite || !y.bipartite) {
+        total += 1;  // Weichsel: odd closed walk on either side connects
+      } else {
+        total += 2;  // both bipartite: exactly two components
+      }
+    }
+  }
+  return total;
+}
+
+bool kronecker_is_connected(const Csr& a, const Csr& b) {
+  return kronecker_num_components(a, b) == 1;
+}
+
+}  // namespace kron

@@ -1,0 +1,50 @@
+#include "core/directed_gt.hpp"
+
+#include <algorithm>
+
+#include "core/index.hpp"
+
+namespace kron {
+
+DirectedDegrees directed_degrees(const EdgeList& g) {
+  DirectedDegrees degrees;
+  degrees.out.assign(g.num_vertices(), 0);
+  degrees.in.assign(g.num_vertices(), 0);
+  for (const Edge& e : g.edges()) {
+    ++degrees.out[e.u];
+    ++degrees.in[e.v];
+  }
+  return degrees;
+}
+
+DirectedDegrees kronecker_directed_degrees(const EdgeList& a, const EdgeList& b) {
+  const DirectedDegrees da = directed_degrees(a);
+  const DirectedDegrees db = directed_degrees(b);
+  const vertex_t n_b = b.num_vertices();
+  DirectedDegrees out;
+  out.out.resize(a.num_vertices() * n_b);
+  out.in.resize(a.num_vertices() * n_b);
+  for (vertex_t i = 0; i < a.num_vertices(); ++i) {
+    for (vertex_t k = 0; k < n_b; ++k) {
+      out.out[gamma(i, k, n_b)] = da.out[i] * db.out[k];
+      out.in[gamma(i, k, n_b)] = da.in[i] * db.in[k];
+    }
+  }
+  return out;
+}
+
+std::uint64_t reciprocal_pair_count(const EdgeList& g) {
+  std::vector<Edge> sorted(g.edges().begin(), g.edges().end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::uint64_t count = 0;
+  for (const Edge& e : sorted)
+    if (std::binary_search(sorted.begin(), sorted.end(), reversed(e))) ++count;
+  return count;
+}
+
+std::uint64_t kronecker_reciprocal_pairs(const EdgeList& a, const EdgeList& b) {
+  return reciprocal_pair_count(a) * reciprocal_pair_count(b);
+}
+
+}  // namespace kron

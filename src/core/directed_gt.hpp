@@ -1,0 +1,43 @@
+// Directed-graph ground truth for Kronecker products.
+//
+// The library's main formulas target undirected factors (as does the
+// paper; its predecessor [11] extends the triangle results to directed and
+// labeled graphs).  Some directed ground truth carries over with no extra
+// machinery, because Kronecker products act independently on rows and
+// columns (Def. 1):
+//
+//   out-degree:  d⁺_C(p) = d⁺_A(i) · d⁺_B(k)      (row sums multiply)
+//   in-degree:   d⁻_C(p) = d⁻_A(i) · d⁻_B(k)      (column sums multiply)
+//   reciprocity: C_pq C_qp = (A_ij A_ji)(B_kl B_lk), so the count of
+//   *ordered* pairs (p,q) with both arcs present multiplies exactly:
+//   r_C = r_A · r_B  (a loop contributes one ordered pair (v,v)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+struct DirectedDegrees {
+  std::vector<std::uint64_t> out;  ///< d⁺ per vertex
+  std::vector<std::uint64_t> in;   ///< d⁻ per vertex
+};
+
+/// Out/in degree vectors of a (possibly directed) edge list.
+[[nodiscard]] DirectedDegrees directed_degrees(const EdgeList& g);
+
+/// Ground-truth out/in degrees of every vertex of A ⊗ B (O(n_C) time,
+/// factor-only input).
+[[nodiscard]] DirectedDegrees kronecker_directed_degrees(const EdgeList& a,
+                                                         const EdgeList& b);
+
+/// Number of ordered pairs (i, j) with A_ij = A_ji = 1 (a non-loop
+/// reciprocated edge contributes 2, a loop contributes 1).
+[[nodiscard]] std::uint64_t reciprocal_pair_count(const EdgeList& g);
+
+/// Ground truth: reciprocal pairs of A ⊗ B = product of factor counts.
+[[nodiscard]] std::uint64_t kronecker_reciprocal_pairs(const EdgeList& a, const EdgeList& b);
+
+}  // namespace kron

@@ -1,0 +1,192 @@
+#include "core/distance_gt.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analytics/bfs.hpp"
+#include "analytics/eccentricity.hpp"
+#include "core/index.hpp"
+#include "core/kron.hpp"
+
+namespace kron {
+namespace {
+
+Csr loopy_csr(const EdgeList& factor) {
+  EdgeList copy = factor;
+  copy.strip_loops();
+  copy.add_full_loops();
+  Csr csr(copy);
+  if (!csr.is_symmetric())
+    throw std::invalid_argument("DistanceGroundTruth: factor must be undirected");
+  return csr;
+}
+
+/// Per-hop-value counting buckets of a hop row: bucket[h] = #{j : hops = h}.
+std::vector<std::uint64_t> hop_buckets(const std::vector<std::uint64_t>& row,
+                                       std::uint64_t max_hop) {
+  std::vector<std::uint64_t> buckets(max_hop + 1, 0);
+  for (const std::uint64_t h : row) {
+    if (h == kUnreachable)
+      throw std::logic_error("DistanceGroundTruth: factor is disconnected");
+    ++buckets[h];
+  }
+  return buckets;
+}
+
+}  // namespace
+
+Histogram max_combine(const Histogram& a, const Histogram& b) {
+  // count_C(v) = cnt_A(v)·cum_B(v) + cum_A(v-1)·cnt_B(v), the standard
+  // decomposition of max(X, Y) = v into (X = v, Y <= v) ∪ (X < v, Y = v).
+  const auto items_a = a.items();
+  const auto items_b = b.items();
+  Histogram out;
+  // Merge over the union of values, tracking cumulative counts.
+  std::size_t ia = 0, ib = 0;
+  std::uint64_t cum_a = 0, cum_b = 0;
+  while (ia < items_a.size() || ib < items_b.size()) {
+    const std::uint64_t va =
+        ia < items_a.size() ? items_a[ia].first : ~std::uint64_t{0};
+    const std::uint64_t vb =
+        ib < items_b.size() ? items_b[ib].first : ~std::uint64_t{0};
+    const std::uint64_t v = std::min(va, vb);
+    const std::uint64_t cnt_a = (va == v) ? items_a[ia].second : 0;
+    const std::uint64_t cnt_b = (vb == v) ? items_b[ib].second : 0;
+    // Pairs whose max equals v.
+    const std::uint64_t pairs = cnt_a * (cum_b + cnt_b) + cum_a * cnt_b;
+    if (pairs > 0) out.add(v, pairs);
+    cum_a += cnt_a;
+    cum_b += cnt_b;
+    if (va == v) ++ia;
+    if (vb == v) ++ib;
+  }
+  return out;
+}
+
+DistanceGroundTruth::DistanceGroundTruth(const EdgeList& a, const EdgeList& b)
+    : a_(loopy_csr(a)), b_(loopy_csr(b)) {
+  ecc_a_ = exact_eccentricities(a_);
+  ecc_b_ = exact_eccentricities(b_);
+  for (const std::uint64_t e : ecc_a_)
+    if (e == kUnreachable)
+      throw std::invalid_argument("DistanceGroundTruth: factor A is disconnected");
+  for (const std::uint64_t e : ecc_b_)
+    if (e == kUnreachable)
+      throw std::invalid_argument("DistanceGroundTruth: factor B is disconnected");
+}
+
+const std::vector<std::uint64_t>& DistanceGroundTruth::hops_row_a(vertex_t i) const {
+  auto it = rows_a_.find(i);
+  if (it == rows_a_.end()) it = rows_a_.emplace(i, hops_from(a_, i)).first;
+  return it->second;
+}
+
+const std::vector<std::uint64_t>& DistanceGroundTruth::hops_row_b(vertex_t k) const {
+  auto it = rows_b_.find(k);
+  if (it == rows_b_.end()) it = rows_b_.emplace(k, hops_from(b_, k)).first;
+  return it->second;
+}
+
+std::uint64_t DistanceGroundTruth::hops(vertex_t p, vertex_t q) const {
+  const vertex_t n_b = b_.num_vertices();
+  const auto& row_a = hops_row_a(alpha(p, n_b));
+  const auto& row_b = hops_row_b(beta(p, n_b));
+  return hops_product(row_a[alpha(q, n_b)], row_b[beta(q, n_b)]);
+}
+
+std::uint64_t DistanceGroundTruth::eccentricity(vertex_t p) const {
+  const vertex_t n_b = b_.num_vertices();
+  return hops_product(ecc_a_[alpha(p, n_b)], ecc_b_[beta(p, n_b)]);
+}
+
+std::uint64_t DistanceGroundTruth::diameter() const {
+  const std::uint64_t diam_a = *std::max_element(ecc_a_.begin(), ecc_a_.end());
+  const std::uint64_t diam_b = *std::max_element(ecc_b_.begin(), ecc_b_.end());
+  return hops_product(diam_a, diam_b);
+}
+
+double DistanceGroundTruth::closeness_naive(vertex_t p) const {
+  const vertex_t n_b = b_.num_vertices();
+  const auto& row_a = hops_row_a(alpha(p, n_b));
+  const auto& row_b = hops_row_b(beta(p, n_b));
+  double sum = 0.0;
+  for (const std::uint64_t ha : row_a)
+    for (const std::uint64_t hb : row_b)
+      sum += 1.0 / static_cast<double>(hops_product(ha, hb));
+  return sum;
+}
+
+double DistanceGroundTruth::closeness_fast(vertex_t p) const {
+  const vertex_t n_b = b_.num_vertices();
+  const vertex_t i = alpha(p, n_b);
+  const vertex_t k = beta(p, n_b);
+  const auto& row_a = hops_row_a(i);
+  const auto& row_b = hops_row_b(k);
+  const std::uint64_t h_star = hops_product(ecc_a_[i], ecc_b_[k]);
+  const auto buckets_a = hop_buckets(row_a, h_star);
+  const auto buckets_b = hop_buckets(row_b, h_star);
+
+  // ζ_C(p) = Σ_h |{q : hops_C(p,q) = h}| / h with the max-decomposition.
+  double sum = 0.0;
+  std::uint64_t cum_a = 0, cum_b = 0;
+  for (std::uint64_t h = 0; h <= h_star; ++h) {
+    const std::uint64_t pairs = buckets_a[h] * (cum_b + buckets_b[h]) + cum_a * buckets_b[h];
+    if (h > 0 && pairs > 0) sum += static_cast<double>(pairs) / static_cast<double>(h);
+    cum_a += buckets_a[h];
+    cum_b += buckets_b[h];
+  }
+  return sum;
+}
+
+std::vector<double> DistanceGroundTruth::closeness_grid(
+    const std::vector<vertex_t>& rows_a, const std::vector<vertex_t>& rows_b) const {
+  // Global bucket cap: the largest h* over the grid.
+  std::uint64_t h_star = 0;
+  for (const vertex_t i : rows_a)
+    for (const vertex_t k : rows_b)
+      h_star = std::max(h_star, hops_product(ecc_a_.at(i), ecc_b_.at(k)));
+
+  // One BFS + one bucketing per factor row (the r-row setup).
+  const auto bucketize = [h_star](const std::vector<std::uint64_t>& row) {
+    std::vector<std::uint64_t> buckets(h_star + 1, 0);
+    for (const std::uint64_t h : row) {
+      if (h == kUnreachable)
+        throw std::logic_error("closeness_grid: factor is disconnected");
+      ++buckets[h];
+    }
+    // Prefix sums so each grid evaluation is a flat O(h*) scan.
+    return buckets;
+  };
+  std::vector<std::vector<std::uint64_t>> buckets_a, buckets_b;
+  buckets_a.reserve(rows_a.size());
+  buckets_b.reserve(rows_b.size());
+  for (const vertex_t i : rows_a) buckets_a.push_back(bucketize(hops_row_a(i)));
+  for (const vertex_t k : rows_b) buckets_b.push_back(bucketize(hops_row_b(k)));
+
+  std::vector<double> scores;
+  scores.reserve(rows_a.size() * rows_b.size());
+  for (const auto& ba : buckets_a) {
+    for (const auto& bb : buckets_b) {
+      double sum = 0.0;
+      std::uint64_t cum_a = 0, cum_b = 0;
+      for (std::uint64_t h = 0; h <= h_star; ++h) {
+        const std::uint64_t pairs = ba[h] * (cum_b + bb[h]) + cum_a * bb[h];
+        if (h > 0 && pairs > 0) sum += static_cast<double>(pairs) / static_cast<double>(h);
+        cum_a += ba[h];
+        cum_b += bb[h];
+      }
+      scores.push_back(sum);
+    }
+  }
+  return scores;
+}
+
+Histogram DistanceGroundTruth::eccentricity_histogram() const {
+  return max_combine(Histogram::from(ecc_a_), Histogram::from(ecc_b_));
+}
+
+EdgeList DistanceGroundTruth::materialize() const {
+  return kronecker_product(a_.to_edge_list(), b_.to_edge_list());
+}
+
+}  // namespace kron

@@ -1,0 +1,117 @@
+// Distance-based ground truth (Sec. V): hop counts, diameter, eccentricity,
+// closeness centrality of C = (A + I_A) ⊗ (B + I_B).
+//
+// With full self loops in both factors (Def. 9), hop counts obey the
+// max-law of Thm. 3:
+//
+//   hops_C(p, q) = max{ hops_A(i, j), hops_B(k, l) },
+//
+// which cascades into Cor. 3 (diameter), Cor. 4 (eccentricity) and Thm. 4
+// (closeness).  All queries here are answered from factor BFS only — the
+// product graph is never built.  Closeness has two evaluators:
+//
+//   * closeness_naive — the Thm. 4 double sum, O(n_A n_B) per vertex;
+//   * closeness_fast  — the paper's sorted/bucketed evaluation: group the
+//     two hop rows by hop value and combine per distance class,
+//     O(n_A + n_B + h*) per vertex after the BFS (the paper states
+//     O(r n_A log n_A + r² h*) for r vertices via sorting; counting
+//     buckets achieve the same factorization without the log).
+//
+// Thm. 5 / Cor. 5 (A with full loops, B plain undirected) give the ±1
+// sandwich used for diameter control; exposed as the *_mixed helpers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "util/histogram.hpp"
+
+namespace kron {
+
+/// Thm. 3 combination.
+[[nodiscard]] constexpr std::uint64_t hops_product(std::uint64_t h_a,
+                                                   std::uint64_t h_b) noexcept {
+  return h_a > h_b ? h_a : h_b;
+}
+
+/// Thm. 5 sandwich for the mixed regime (A full loops, B loop-free).
+struct HopBounds {
+  std::uint64_t lower = 0;
+  std::uint64_t upper = 0;
+};
+[[nodiscard]] constexpr HopBounds hops_product_mixed(std::uint64_t h_a,
+                                                     std::uint64_t h_b) noexcept {
+  const std::uint64_t m = hops_product(h_a, h_b);
+  return {m, m + 1};
+}
+
+/// Max-combination of two value histograms: the distribution of
+/// max(X_A, X_B) when X_A, X_B are drawn from all pairs — the Fig. 1
+/// eccentricity distribution of C from the factor distributions alone.
+[[nodiscard]] Histogram max_combine(const Histogram& a, const Histogram& b);
+
+class DistanceGroundTruth {
+ public:
+  /// Factors are reduced to simple parts and a full self loop is added at
+  /// every vertex (the Thm. 3 regime).  Both factors must be connected and
+  /// undirected; throws otherwise.
+  DistanceGroundTruth(const EdgeList& a, const EdgeList& b);
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept {
+    return a_.num_vertices() * b_.num_vertices();
+  }
+
+  /// hops_C(p, q) per Thm. 3.  Runs (cached) factor BFS — O(|E_A| + |E_B|)
+  /// first touch per factor row, O(1) after.
+  [[nodiscard]] std::uint64_t hops(vertex_t p, vertex_t q) const;
+
+  /// ε_C(p) per Cor. 4 — O(1) after construction.
+  [[nodiscard]] std::uint64_t eccentricity(vertex_t p) const;
+
+  /// diam(G_C) per Cor. 3.
+  [[nodiscard]] std::uint64_t diameter() const;
+
+  /// ζ_C(p) per Thm. 4, naive double sum (reference).
+  [[nodiscard]] double closeness_naive(vertex_t p) const;
+
+  /// ζ_C(p) by per-distance-class bucket combination (fast path).
+  [[nodiscard]] double closeness_fast(vertex_t p) const;
+
+  /// The paper's r² scheme (Sec. V-B): pick r_A factor-A vertices and r_B
+  /// factor-B vertices, pay one BFS + one bucketing per *factor* row, and
+  /// evaluate ζ_C at all r_A·r_B grid vertices gamma(i, k) in O(h*) each —
+  /// total O(r(|E| + n) + r² h*) versus O(r² n_A n_B) naively.  Returns
+  /// row-major r_A × r_B scores.
+  [[nodiscard]] std::vector<double> closeness_grid(const std::vector<vertex_t>& rows_a,
+                                                   const std::vector<vertex_t>& rows_b) const;
+
+  /// Full eccentricity distribution of C without materialising it (Fig. 1).
+  [[nodiscard]] Histogram eccentricity_histogram() const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& ecc_a() const noexcept { return ecc_a_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& ecc_b() const noexcept { return ecc_b_; }
+
+  /// The loop-full factors (for cross-checks).
+  [[nodiscard]] const Csr& factor_a() const noexcept { return a_; }
+  [[nodiscard]] const Csr& factor_b() const noexcept { return b_; }
+
+  /// Materialise C = (A+I)⊗(B+I) for cross-checking.
+  [[nodiscard]] EdgeList materialize() const;
+
+ private:
+  [[nodiscard]] const std::vector<std::uint64_t>& hops_row_a(vertex_t i) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& hops_row_b(vertex_t k) const;
+
+  Csr a_;  // simple part + full loops
+  Csr b_;
+  std::vector<std::uint64_t> ecc_a_;
+  std::vector<std::uint64_t> ecc_b_;
+  // BFS row caches (not thread-safe; benches query from one thread).
+  mutable std::unordered_map<vertex_t, std::vector<std::uint64_t>> rows_a_;
+  mutable std::unordered_map<vertex_t, std::vector<std::uint64_t>> rows_b_;
+};
+
+}  // namespace kron

@@ -1,0 +1,197 @@
+#include "core/generator.hpp"
+
+#include <span>
+#include <stdexcept>
+
+#include "core/index.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/partition.hpp"
+#include "util/timer.hpp"
+
+namespace kron {
+namespace {
+
+// Message tags for the asynchronous exchange.
+constexpr int kTagEdges = 1;
+constexpr int kTagDone = 2;
+
+void generate_cell(std::span<const Edge> a_arcs, std::span<const Edge> b_arcs, vertex_t n_b,
+                   std::vector<Edge>& out) {
+  for (const Edge& ea : a_arcs)
+    for (const Edge& eb : b_arcs)
+      out.push_back({gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
+}
+
+std::uint64_t owner_of(const Edge& e, const GeneratorConfig& config, std::uint64_t ranks) {
+  return config.owner_map == OwnerMap::kHash
+             ? edge_storage_owner(e.u, e.v, ranks, config.owner_seed)
+             : e.u % ranks;
+}
+
+/// Streaming shuffle (ExchangeMode::kAsync): arcs are produced by `produce`
+/// (which invokes its callback once per arc), buffered per destination, and
+/// sent as chunks the moment a buffer fills; incoming chunks are drained
+/// opportunistically between sends.  Termination: every rank sends kTagDone
+/// to all ranks after its last flush; since each mailbox preserves a
+/// sender's ordering, receiving R kTagDone messages guarantees all data has
+/// arrived.
+template <typename Produce>
+void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ranks,
+                    Produce&& produce, std::vector<Edge>& stored,
+                    std::uint64_t& generated_count) {
+  std::vector<std::vector<Edge>> buffers(ranks);
+  int done_seen = 0;
+
+  const auto drain = [&](bool block) {
+    while (true) {
+      std::optional<RankMessage> message =
+          block ? std::optional<RankMessage>(comm.recv()) : comm.try_recv();
+      if (!message) return;
+      if (message->tag == kTagDone) {
+        ++done_seen;
+      } else {
+        const auto arcs = Comm::decode<Edge>(*message);
+        stored.insert(stored.end(), arcs.begin(), arcs.end());
+      }
+      if (block) return;  // blocking mode consumes exactly one message
+    }
+  };
+
+  const auto flush = [&](std::uint64_t dest) {
+    auto& buffer = buffers[dest];
+    if (buffer.empty()) return;
+    if (dest == static_cast<std::uint64_t>(comm.rank())) {
+      stored.insert(stored.end(), buffer.begin(), buffer.end());
+    } else {
+      comm.send_values<Edge>(static_cast<int>(dest), kTagEdges, buffer);
+    }
+    buffer.clear();
+  };
+
+  produce([&](const Edge& e) {
+    ++generated_count;
+    const std::uint64_t dest = owner_of(e, config, ranks);
+    buffers[dest].push_back(e);
+    if (buffers[dest].size() >= config.async_chunk) {
+      flush(dest);
+      drain(/*block=*/false);
+    }
+  });
+  for (std::uint64_t dest = 0; dest < ranks; ++dest) flush(dest);
+  for (std::uint64_t dest = 0; dest < ranks; ++dest)
+    comm.send(static_cast<int>(dest), kTagDone, {});
+
+  // Drain until every rank's end-of-stream marker (including our own) has
+  // been observed.
+  while (done_seen < static_cast<int>(ranks)) drain(/*block=*/true);
+}
+
+}  // namespace
+
+std::uint64_t GeneratorResult::total_arcs() const {
+  std::uint64_t total = 0;
+  for (const auto& arcs : stored_per_rank) total += arcs.size();
+  return total;
+}
+
+EdgeList GeneratorResult::gather() const {
+  std::vector<Edge> all;
+  all.reserve(total_arcs());
+  for (const auto& arcs : stored_per_rank) all.insert(all.end(), arcs.begin(), arcs.end());
+  EdgeList c(num_vertices, std::move(all));
+  c.sort_dedupe();
+  return c;
+}
+
+GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
+                                     const GeneratorConfig& config) {
+  if (config.ranks < 1) throw std::invalid_argument("generate_distributed: ranks < 1");
+  if (config.async_chunk == 0)
+    throw std::invalid_argument("generate_distributed: async_chunk must be positive");
+
+  EdgeList a = a_in;
+  EdgeList b = b_in;
+  if (config.add_full_loops) {
+    a.strip_loops();
+    a.add_full_loops();
+    b.strip_loops();
+    b.add_full_loops();
+  }
+
+  const vertex_t n_b = b.num_vertices();
+  const auto ranks = static_cast<std::uint64_t>(config.ranks);
+
+  GeneratorResult result;
+  result.num_vertices = a.num_vertices() * n_b;
+  result.stored_per_rank.resize(ranks);
+  result.generated_per_rank.assign(ranks, 0);
+  result.rank_seconds.assign(ranks, 0.0);
+
+  const Grid2D grid(ranks);
+
+  Runtime::run(config.ranks, [&](Comm& comm) {
+    const auto r = static_cast<std::uint64_t>(comm.rank());
+    const Timer timer;
+
+    // Arc production for this rank under the active partition scheme.
+    const auto produce = [&](auto&& emit) {
+      if (config.scheme == PartitionScheme::k1D) {
+        const IndexRange range = block_range(a.num_arcs(), ranks, r);
+        for (const Edge& ea : a.edges().subspan(range.begin, range.size()))
+          for (const Edge& eb : b.edges())
+            emit(Edge{gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
+      } else {
+        for (const auto& [a_part, b_part] : grid.cells_of(r)) {
+          const IndexRange ra = block_range(a.num_arcs(), grid.parts_a(), a_part);
+          const IndexRange rb = block_range(b.num_arcs(), grid.parts_b(), b_part);
+          for (const Edge& ea : a.edges().subspan(ra.begin, ra.size()))
+            for (const Edge& eb : b.edges().subspan(rb.begin, rb.size()))
+              emit(Edge{gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
+        }
+      }
+    };
+
+    if (config.shuffle_to_owner && ranks > 1 && config.exchange == ExchangeMode::kAsync) {
+      async_exchange(comm, config, ranks, produce, result.stored_per_rank[r],
+                     result.generated_per_rank[r]);
+    } else if (config.shuffle_to_owner && ranks > 1) {
+      // Bulk-synchronous: buffer everything, one all-to-all.
+      std::vector<std::vector<Edge>> outbox(ranks);
+      std::uint64_t generated = 0;
+      produce([&](const Edge& e) {
+        ++generated;
+        outbox[owner_of(e, config, ranks)].push_back(e);
+      });
+      result.generated_per_rank[r] = generated;
+      auto inbox = comm.alltoallv(std::move(outbox));
+      std::vector<Edge>& stored = result.stored_per_rank[r];
+      for (auto& from_rank : inbox) {
+        stored.insert(stored.end(), from_rank.begin(), from_rank.end());
+        from_rank.clear();
+      }
+    } else {
+      // No shuffle: keep what we generate.
+      std::vector<Edge> generated;
+      if (config.scheme == PartitionScheme::k1D) {
+        const IndexRange range = block_range(a.num_arcs(), ranks, r);
+        generated.reserve(range.size() * b.num_arcs());
+        generate_cell(a.edges().subspan(range.begin, range.size()), b.edges(), n_b,
+                      generated);
+      } else {
+        for (const auto& [a_part, b_part] : grid.cells_of(r)) {
+          const IndexRange ra = block_range(a.num_arcs(), grid.parts_a(), a_part);
+          const IndexRange rb = block_range(b.num_arcs(), grid.parts_b(), b_part);
+          generate_cell(a.edges().subspan(ra.begin, ra.size()),
+                        b.edges().subspan(rb.begin, rb.size()), n_b, generated);
+        }
+      }
+      result.generated_per_rank[r] = generated.size();
+      result.stored_per_rank[r] = std::move(generated);
+    }
+    result.rank_seconds[r] = timer.seconds();
+  });
+
+  return result;
+}
+
+}  // namespace kron

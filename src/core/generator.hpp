@@ -1,0 +1,83 @@
+// Distributed Kronecker generator (Sec. III, Rem. 1).
+//
+// SPMD over the in-process runtime (runtime/comm.hpp):
+//
+//  * 1D scheme (the paper's primary implementation): B is replicated on
+//    every rank and the arcs of A are block-partitioned, so rank r
+//    generates C_r = A_r ⊗ B and C = Σ_r C_r.  Per-rank storage is
+//    O(|E_A|/R + |E_B|), generation time O(|E_A||E_B|/R); at most
+//    O(|E_C|^{1/2}) ranks are usable (Rem. 1).
+//
+//  * 2D scheme (Rem. 1's fix): both factors are partitioned over an
+//    R_{1/2} × ⌈R/R_{1/2}⌉ grid; rank r generates the (A-part, B-part)
+//    cells dealt to it, so per-rank factor storage also shrinks and weak
+//    scaling extends to O(|E_C|) ranks.
+//
+//  * Storage shuffle (optional): generated edges are routed to the rank
+//    that owns them under a hash map ("the processor responsible for its
+//    storage as determined by some mapping scheme"), decoupling generation
+//    from storage exactly as the paper prescribes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+enum class PartitionScheme {
+  k1D,  ///< distribute A, replicate B (paper's implementation)
+  k2D,  ///< distribute both factors on the Rem. 1 grid
+};
+
+/// How generated edges map to storage ranks.
+enum class OwnerMap {
+  kHash,    ///< hash(u,v) % R — uniform by construction (the paper's scheme)
+  kModulo,  ///< u % R — simple but skewed by hub rows (ablation comparator)
+};
+
+/// How generated edges travel to their owners.
+enum class ExchangeMode {
+  kBulkSynchronous,  ///< buffer everything, one alltoallv
+  kAsync,            ///< stream chunks with asynchronous sends as they are
+                     ///< generated, receivers drain concurrently — the
+                     ///< HavoqGT-style "asynchronous" mode of the title
+};
+
+struct GeneratorConfig {
+  int ranks = 1;
+  PartitionScheme scheme = PartitionScheme::k1D;
+  /// Route generated edges to storage owners; when false each rank keeps
+  /// what it generates.
+  bool shuffle_to_owner = false;
+  OwnerMap owner_map = OwnerMap::kHash;
+  ExchangeMode exchange = ExchangeMode::kBulkSynchronous;
+  /// Arcs per asynchronous message (kAsync only).
+  std::uint64_t async_chunk = 4096;
+  std::uint64_t owner_seed = 0;
+  /// Add full self loops to both factors before the product, producing
+  /// (A + I_A) ⊗ (B + I_B).
+  bool add_full_loops = false;
+};
+
+struct GeneratorResult {
+  vertex_t num_vertices = 0;                       ///< n_C
+  std::vector<std::vector<Edge>> stored_per_rank;  ///< arcs held by each rank at the end
+  std::vector<std::uint64_t> generated_per_rank;   ///< arcs produced by each rank
+  std::vector<double> rank_seconds;                ///< per-rank generation wall time
+
+  [[nodiscard]] std::uint64_t total_arcs() const;
+
+  /// Concatenate all per-rank arcs into one canonical edge list (the graph C).
+  [[nodiscard]] EdgeList gather() const;
+};
+
+/// Run the distributed generation of C = A ⊗ B (factors given as edge
+/// lists).  The result is identical — as a canonical edge list — for every
+/// rank count and scheme; only the distribution of arcs across ranks
+/// differs.
+[[nodiscard]] GeneratorResult generate_distributed(const EdgeList& a, const EdgeList& b,
+                                                   const GeneratorConfig& config);
+
+}  // namespace kron

@@ -1,0 +1,355 @@
+#include "core/ground_truth.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "analytics/clustering.hpp"
+#include "core/index.hpp"
+#include "core/kron.hpp"
+
+namespace kron {
+namespace {
+
+Csr simple_csr(const EdgeList& factor) {
+  EdgeList copy = factor;
+  copy.strip_loops();
+  Csr csr(copy);
+  if (!csr.is_symmetric())
+    throw std::invalid_argument("KroneckerGroundTruth: factor must be undirected");
+  return csr;
+}
+
+}  // namespace
+
+KroneckerGroundTruth::KroneckerGroundTruth(const EdgeList& a, const EdgeList& b,
+                                           LoopRegime regime)
+    : a_(simple_csr(a)),
+      b_(simple_csr(b)),
+      census_a_(count_triangles(a_)),
+      census_b_(count_triangles(b_)),
+      deg_a_(a_.degrees()),
+      deg_b_(b_.degrees()),
+      regime_(regime) {
+  // Global triangle count from factor aggregates only (O(n_A + n_B)).
+  std::uint64_t sum_t_a = 0, sum_d_a = 0, sum_t_b = 0, sum_d_b = 0;
+  for (const auto t : census_a_.per_vertex) sum_t_a += t;
+  for (const auto d : deg_a_) sum_d_a += d;
+  for (const auto t : census_b_.per_vertex) sum_t_b += t;
+  for (const auto d : deg_b_) sum_d_b += d;
+  const std::uint64_t n_a = a_.num_vertices();
+  const std::uint64_t n_b = b_.num_vertices();
+  switch (regime_) {
+    case LoopRegime::kNoLoops:
+      // τ_C = 6 τ_A τ_B, with Σ t = 3 τ.
+      global_triangles_ = 6 * census_a_.total * census_b_.total;
+      break;
+    case LoopRegime::kFullLoops: {
+      // Σ_p t_p over Cor. 1, then τ_C = Σ t_p / 3.
+      const std::uint64_t sum_tp =
+          2 * sum_t_a * sum_t_b +
+          3 * (sum_t_a * sum_d_b + sum_d_a * sum_d_b + sum_d_a * sum_t_b) +
+          sum_t_a * n_b + n_a * sum_t_b;
+      global_triangles_ = sum_tp / 3;
+      break;
+    }
+    case LoopRegime::kFullLoopsAOnly: {
+      // Σ_p t_p = Σ_i (2 t_i + 3 d_i + 1) · Σ_k t_k.
+      const std::uint64_t sum_tp = (2 * sum_t_a + 3 * sum_d_a + n_a) * sum_t_b;
+      global_triangles_ = sum_tp / 3;
+      break;
+    }
+  }
+}
+
+vertex_t KroneckerGroundTruth::num_vertices() const noexcept {
+  return a_.num_vertices() * b_.num_vertices();
+}
+
+std::uint64_t KroneckerGroundTruth::num_edges() const noexcept {
+  const std::uint64_t arcs_a = a_.num_arcs();
+  const std::uint64_t arcs_b = b_.num_arcs();
+  const std::uint64_t n_a = a_.num_vertices();
+  const std::uint64_t n_b = b_.num_vertices();
+  switch (regime_) {
+    case LoopRegime::kNoLoops:
+      // arcs(C) = arcs(A) arcs(B), no loops: m_C = 2 m_A m_B.
+      return arcs_a * arcs_b / 2;
+    case LoopRegime::kFullLoops: {
+      const std::uint64_t arcs_c = (arcs_a + n_a) * (arcs_b + n_b);
+      const std::uint64_t loops_c = n_a * n_b;
+      return (arcs_c - loops_c) / 2 + loops_c;
+    }
+    case LoopRegime::kFullLoopsAOnly:
+      // B is loop-free, so C is loop-free.
+      return (arcs_a + n_a) * arcs_b / 2;
+  }
+  return 0;  // unreachable
+}
+
+KroneckerGroundTruth::Pair KroneckerGroundTruth::decompose(vertex_t p) const {
+  const vertex_t n_b = b_.num_vertices();
+  const vertex_t i = alpha(p, n_b);
+  const vertex_t k = beta(p, n_b);
+  if (i >= a_.num_vertices()) throw std::out_of_range("KroneckerGroundTruth: bad vertex");
+  return {i, k, deg_a_[i], deg_b_[k], census_a_.per_vertex[i], census_b_.per_vertex[k]};
+}
+
+bool KroneckerGroundTruth::has_edge(vertex_t p, vertex_t q) const {
+  const vertex_t n_b = b_.num_vertices();
+  const vertex_t i = alpha(p, n_b), j = alpha(q, n_b);
+  const vertex_t k = beta(p, n_b), l = beta(q, n_b);
+  if (i >= a_.num_vertices() || j >= a_.num_vertices())
+    throw std::out_of_range("KroneckerGroundTruth: bad vertex");
+  const bool a_loops = regime_ != LoopRegime::kNoLoops;
+  const bool b_loops = regime_ == LoopRegime::kFullLoops;
+  const bool a_side = (a_loops && i == j) || a_.has_edge(i, j);
+  const bool b_side = (b_loops && k == l) || b_.has_edge(k, l);
+  return a_side && b_side;
+}
+
+std::uint64_t KroneckerGroundTruth::degree_formula(std::uint64_t d_i,
+                                                   std::uint64_t d_k) const noexcept {
+  switch (regime_) {
+    case LoopRegime::kNoLoops: return d_i * d_k;
+    case LoopRegime::kFullLoops: return d_i * d_k + d_i + d_k;
+    case LoopRegime::kFullLoopsAOnly: return (d_i + 1) * d_k;
+  }
+  return 0;  // unreachable
+}
+
+std::uint64_t KroneckerGroundTruth::triangle_formula(std::uint64_t t_i, std::uint64_t d_i,
+                                                     std::uint64_t t_k,
+                                                     std::uint64_t d_k) const noexcept {
+  switch (regime_) {
+    case LoopRegime::kNoLoops:
+      return 2 * t_i * t_k;
+    case LoopRegime::kFullLoops:
+      // Cor. 1.
+      return 2 * t_i * t_k + 3 * (t_i * d_k + d_i * d_k + d_i * t_k) + t_i + t_k;
+    case LoopRegime::kFullLoopsAOnly:
+      // diag((A+I)³)_ii = 2 t_i + 3 d_i + 1, times diag(B³)_kk / 2 = t_k.
+      return (2 * t_i + 3 * d_i + 1) * t_k;
+  }
+  return 0;  // unreachable
+}
+
+std::uint64_t KroneckerGroundTruth::degree(vertex_t p) const {
+  const Pair f = decompose(p);
+  return degree_formula(f.d_i, f.d_k);
+}
+
+std::uint64_t KroneckerGroundTruth::vertex_triangles(vertex_t p) const {
+  const Pair f = decompose(p);
+  return triangle_formula(f.t_i, f.d_i, f.t_k, f.d_k);
+}
+
+std::uint64_t KroneckerGroundTruth::edge_triangles(vertex_t p, vertex_t q) const {
+  if (p == q)
+    throw std::invalid_argument("edge_triangles: (p,p) is a self loop, not an edge");
+  if (!has_edge(p, q)) throw std::invalid_argument("edge_triangles: (p,q) not an edge of C");
+  const vertex_t n_b = b_.num_vertices();
+  const vertex_t i = alpha(p, n_b), j = alpha(q, n_b);
+  const vertex_t k = beta(p, n_b), l = beta(q, n_b);
+  const bool diag_a = (i == j);
+  const bool diag_b = (k == l);
+  const std::uint64_t delta_ij = diag_a ? 0 : census_a_.per_arc[a_.arc_index(i, j)];
+  const std::uint64_t delta_kl = diag_b ? 0 : census_b_.per_arc[b_.arc_index(k, l)];
+  const std::uint64_t d_i = deg_a_[i];
+  const std::uint64_t d_k = deg_b_[k];
+  switch (regime_) {
+    case LoopRegime::kNoLoops:
+      return delta_ij * delta_kl;
+    case LoopRegime::kFullLoops:
+      // Cor. 2, with the A_ij / B_kl indicators kept explicit.  Expanding
+      // the appendix derivation of [paper, Cor. 2] and substituting
+      // A_ij = 1-δ(i,j) (valid because (p,q) ∈ E_C) collapses to three
+      // disjoint cases; the corollary as *printed* in the paper drops the
+      // A_ij/B_kl factors on the 2(Δ_ij + Δ_kl) and +2 terms and therefore
+      // overcounts the diagonal cases by 2Δ + 2 — e.g. it predicts 31
+      // instead of the true 23 for any edge of (K_5+I) ⊗ (K_5+I) = K_25+I
+      // with i = j.  The direct-enumeration sweep in
+      // tests/test_ground_truth.cpp pins the corrected form (DESIGN.md §7).
+      if (diag_a) return delta_kl * (d_i + 1) + 2 * d_i;
+      if (diag_b) return delta_ij * (d_k + 1) + 2 * d_k;
+      return delta_ij * delta_kl + 2 * (delta_ij + delta_kl + 1);
+    case LoopRegime::kFullLoopsAOnly:
+      // Δ_C = [(A+I)²∘(A+I)] ⊗ [B²∘B]: off-diagonal A-entry Δ_ij + 2A_ij,
+      // diagonal A-entry d_i + 1.
+      if (diag_a) return (d_i + 1) * delta_kl;
+      return (delta_ij + 2) * delta_kl;
+  }
+  return 0;  // unreachable
+}
+
+std::uint64_t KroneckerGroundTruth::wedge_count() const {
+  // Σ_p d_p(d_p - 1)/2 = (Σ d_p² - Σ d_p)/2 with the degree moments of the
+  // factors; each regime's d_p is a product of per-factor terms, so the
+  // sums of squares and sums factor.
+  std::uint64_t s1_a = 0, s2_a = 0, s1_b = 0, s2_b = 0;  // Σd, Σd² of factors
+  std::uint64_t e1_a = 0, e2_a = 0, e1_b = 0, e2_b = 0;  // with e = d + 1
+  for (const auto d : deg_a_) {
+    s1_a += d;
+    s2_a += d * d;
+    e1_a += d + 1;
+    e2_a += (d + 1) * (d + 1);
+  }
+  for (const auto d : deg_b_) {
+    s1_b += d;
+    s2_b += d * d;
+    e1_b += d + 1;
+    e2_b += (d + 1) * (d + 1);
+  }
+  switch (regime_) {
+    case LoopRegime::kNoLoops:
+      // d_p = d_i d_k.
+      return (s2_a * s2_b - s1_a * s1_b) / 2;
+    case LoopRegime::kFullLoops: {
+      // d_p = (d_i+1)(d_k+1) - 1 = e_i e_k - 1:
+      // Σ d_p² - Σ d_p = E2 E2 - 3 E1 E1 + 2 n_C.
+      const std::uint64_t n_c = num_vertices();
+      return (e2_a * e2_b + 2 * n_c - 3 * e1_a * e1_b) / 2;
+    }
+    case LoopRegime::kFullLoopsAOnly:
+      // d_p = e_i d_k.
+      return (e2_a * s2_b - e1_a * s1_b) / 2;
+  }
+  return 0;  // unreachable
+}
+
+double KroneckerGroundTruth::transitivity() const {
+  const std::uint64_t wedges = wedge_count();
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(global_triangles_) / static_cast<double>(wedges);
+}
+
+double KroneckerGroundTruth::vertex_clustering_coeff(vertex_t p) const {
+  return vertex_clustering(vertex_triangles(p), degree(p));
+}
+
+double KroneckerGroundTruth::edge_clustering_coeff(vertex_t p, vertex_t q) const {
+  return edge_clustering(edge_triangles(p, q), degree(p), degree(q));
+}
+
+std::vector<std::uint64_t> KroneckerGroundTruth::all_degrees() const {
+  const vertex_t n_b = b_.num_vertices();
+  std::vector<std::uint64_t> out(num_vertices());
+  for (vertex_t i = 0; i < a_.num_vertices(); ++i)
+    for (vertex_t k = 0; k < n_b; ++k)
+      out[gamma(i, k, n_b)] = degree_formula(deg_a_[i], deg_b_[k]);
+  return out;
+}
+
+std::vector<std::uint64_t> KroneckerGroundTruth::all_vertex_triangles() const {
+  const vertex_t n_b = b_.num_vertices();
+  std::vector<std::uint64_t> out(num_vertices());
+  for (vertex_t i = 0; i < a_.num_vertices(); ++i) {
+    const std::uint64_t t_i = census_a_.per_vertex[i];
+    const std::uint64_t d_i = deg_a_[i];
+    for (vertex_t k = 0; k < n_b; ++k)
+      out[gamma(i, k, n_b)] =
+          triangle_formula(t_i, d_i, census_b_.per_vertex[k], deg_b_[k]);
+  }
+  return out;
+}
+
+Histogram KroneckerGroundTruth::degree_histogram() const {
+  // Outer product of factor degree histograms — O(D_A · D_B) where D is the
+  // number of distinct degrees, independent of n_C.
+  const Histogram ha = Histogram::from(deg_a_);
+  const Histogram hb = Histogram::from(deg_b_);
+  Histogram out;
+  for (const auto& [da, ca] : ha.items())
+    for (const auto& [db, cb] : hb.items()) out.add(degree_formula(da, db), ca * cb);
+  return out;
+}
+
+Histogram KroneckerGroundTruth::vertex_triangle_histogram() const {
+  // t_p depends jointly on (t_i, d_i) and (t_k, d_k): outer product over the
+  // distinct (t, d) classes of each factor.
+  using Class = std::pair<std::uint64_t, std::uint64_t>;  // (t, d)
+  const auto classes = [](const std::vector<std::uint64_t>& tri,
+                          const std::vector<std::uint64_t>& deg) {
+    std::map<Class, std::uint64_t> counts;
+    for (std::size_t v = 0; v < tri.size(); ++v) ++counts[{tri[v], deg[v]}];
+    return counts;
+  };
+  const auto ca = classes(census_a_.per_vertex, deg_a_);
+  const auto cb = classes(census_b_.per_vertex, deg_b_);
+  Histogram out;
+  for (const auto& [cls_a, cnt_a] : ca) {
+    const auto [t_i, d_i] = cls_a;
+    for (const auto& [cls_b, cnt_b] : cb) {
+      const auto [t_k, d_k] = cls_b;
+      out.add(triangle_formula(t_i, d_i, t_k, d_k), cnt_a * cnt_b);
+    }
+  }
+  return out;
+}
+
+Histogram KroneckerGroundTruth::edge_triangle_histogram() const {
+  // Classes on each factor side: off-diagonal arcs grouped by Δ value, and
+  // (for loop regimes) diagonal entries grouped by vertex degree.  Every
+  // arc of C is one (A-side class, B-side class) pair; loop arcs of C are
+  // excluded, and arc counts halve into undirected edge counts at the end.
+  const Histogram arcs_a = Histogram::from(census_a_.per_arc);
+  const Histogram arcs_b = Histogram::from(census_b_.per_arc);
+  const Histogram diag_a = Histogram::from(deg_a_);  // diagonal of A+I by d_i
+  const Histogram diag_b = Histogram::from(deg_b_);
+
+  Histogram arc_hist;  // Δ value -> number of C arcs
+  // (off-diagonal A arc, off-diagonal B arc) — present in every regime.
+  for (const auto& [delta_a, count_a] : arcs_a.items()) {
+    for (const auto& [delta_b, count_b] : arcs_b.items()) {
+      std::uint64_t value = 0;
+      switch (regime_) {
+        case LoopRegime::kNoLoops: value = delta_a * delta_b; break;
+        case LoopRegime::kFullLoops:
+          value = delta_a * delta_b + 2 * (delta_a + delta_b + 1);
+          break;
+        case LoopRegime::kFullLoopsAOnly: value = (delta_a + 2) * delta_b; break;
+      }
+      arc_hist.add(value, count_a * count_b);
+    }
+  }
+  if (regime_ != LoopRegime::kNoLoops) {
+    // (diagonal of A+I, off-diagonal B arc): Δ_pq depends on d_i and Δ_kl.
+    for (const auto& [d_i, count_a] : diag_a.items()) {
+      for (const auto& [delta_b, count_b] : arcs_b.items()) {
+        const std::uint64_t value = regime_ == LoopRegime::kFullLoops
+                                        ? delta_b * (d_i + 1) + 2 * d_i
+                                        : (d_i + 1) * delta_b;
+        arc_hist.add(value, count_a * count_b);
+      }
+    }
+  }
+  if (regime_ == LoopRegime::kFullLoops) {
+    // (off-diagonal A arc, diagonal of B+I).
+    for (const auto& [delta_a, count_a] : arcs_a.items())
+      for (const auto& [d_k, count_b] : diag_b.items())
+        arc_hist.add(delta_a * (d_k + 1) + 2 * d_k, count_a * count_b);
+    // (diagonal, diagonal) pairs are the self loops of C — not edges.
+  }
+
+  // Both arc directions of an undirected edge carry the same Δ, so arc
+  // counts are exactly twice the edge counts.
+  Histogram edges;
+  for (const auto& [value, count] : arc_hist.items()) edges.add(value, count / 2);
+  return edges;
+}
+
+EdgeList KroneckerGroundTruth::materialize() const {
+  EdgeList a_list = a_.to_edge_list();
+  const EdgeList b_list = b_.to_edge_list();
+  switch (regime_) {
+    case LoopRegime::kNoLoops:
+      return kronecker_product(a_list, b_list);
+    case LoopRegime::kFullLoops:
+      return kronecker_product_with_loops(a_list, b_list);
+    case LoopRegime::kFullLoopsAOnly:
+      a_list.add_full_loops();
+      return kronecker_product(a_list, b_list);
+  }
+  return EdgeList(0);  // unreachable
+}
+
+}  // namespace kron

@@ -1,0 +1,147 @@
+// Ground-truth Kronecker formulas for degrees, triangles and clustering
+// coefficients (Sec. IV).
+//
+// The central object of the paper: a `KroneckerGroundTruth` holds only the
+// two *factors* — O(|E_C|^{1/2}) state — and answers queries about the
+// product graph C without ever materialising it:
+//
+//   no-loop regime,  C = A ⊗ B             (results from [11])
+//     d_p   = d_i d_k
+//     t_p   = 2 t_i t_k
+//     Δ_pq  = Δ_ij Δ_kl
+//     τ_C   = 6 τ_A τ_B
+//
+//   full-loop regime, C = (A+I_A) ⊗ (B+I_B)  (this paper, Cor. 1 / Cor. 2)
+//     d_p   = d_i d_k + d_i + d_k                       (loop-free degree)
+//     t_p   = 2 t_i t_k + 3(t_i d_k + d_i d_k + d_i t_k) + t_i + t_k
+//     Δ_pq  = Δ_ij Δ_kl + 2(Δ_ij + Δ_kl + 1)            if i ≠ j, k ≠ l
+//           = Δ_kl (d_i + 1) + 2 d_i                    if i = j
+//           = Δ_ij (d_k + 1) + 2 d_k                    if k = l
+//     (the case split follows from the paper's appendix derivation; the
+//      one-line form printed as Cor. 2 overcounts the diagonal cases —
+//      see DESIGN.md §7 errata)
+//
+// where (i, k) = (alpha(p), beta(p)), d/t/Δ are the factor's loop-free
+// degree / vertex-triangle / edge-triangle values, and δ is the Kronecker
+// delta.  Global scalars are O(n_A + n_B) after factor setup (sublinear in
+// |E_C|); per-vertex sweeps are O(n_C) (linear), exactly the cost profile
+// claimed in Sec. I.
+//
+// Factors passed in are reduced to their simple parts (self loops
+// stripped); the regime selects how C is built from them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analytics/triangles.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "util/histogram.hpp"
+
+namespace kron {
+
+enum class LoopRegime {
+  kNoLoops,        ///< C = A ⊗ B with simple factors
+  kFullLoops,      ///< C = (A + I_A) ⊗ (B + I_B) (this paper, Cor. 1/2)
+  kFullLoopsAOnly  ///< C = (A + I_A) ⊗ B (the single-factor-loops design of
+                   ///< [11] that Sec. IV-A extends; C is loop-free):
+                   ///<   d_p  = (d_i + 1) d_k
+                   ///<   t_p  = (2 t_i + 3 d_i + 1) t_k
+                   ///<   Δ_pq = (Δ_ij + 2) Δ_kl   for i ≠ j
+                   ///<        = (d_i + 1) Δ_kl    for i = j
+};
+
+class KroneckerGroundTruth {
+ public:
+  /// Build from factor edge lists.  Factors must be undirected; loops in
+  /// the inputs are stripped (the formulas are stated for simple factors).
+  KroneckerGroundTruth(const EdgeList& a, const EdgeList& b, LoopRegime regime);
+
+  [[nodiscard]] LoopRegime regime() const noexcept { return regime_; }
+  [[nodiscard]] vertex_t num_vertices() const noexcept;
+
+  /// Undirected edge count of C (self loops counted once in the full-loop
+  /// regime).
+  [[nodiscard]] std::uint64_t num_edges() const noexcept;
+
+  /// True if (p, q) is an edge of C — answered from the factors in
+  /// O(log d) time.
+  [[nodiscard]] bool has_edge(vertex_t p, vertex_t q) const;
+
+  /// Loop-free degree of p in C (the d_p of the clustering formulas).
+  [[nodiscard]] std::uint64_t degree(vertex_t p) const;
+
+  /// t_p: triangles incident to vertex p (Def. 5 / Cor. 1).
+  [[nodiscard]] std::uint64_t vertex_triangles(vertex_t p) const;
+
+  /// Δ_pq: triangles incident to edge (p, q) (Def. 6 / Cor. 2).  Throws if
+  /// (p, q) is not an edge of C or is a self loop.
+  [[nodiscard]] std::uint64_t edge_triangles(vertex_t p, vertex_t q) const;
+
+  /// τ_C: total distinct triangles — O(1) (precomputed from factor sums).
+  [[nodiscard]] std::uint64_t global_triangles() const noexcept { return global_triangles_; }
+
+  /// Wedge count Σ_p d_p(d_p-1)/2 of C — O(n_A + n_B) via factor degree
+  /// moment sums.
+  [[nodiscard]] std::uint64_t wedge_count() const;
+
+  /// Global transitivity 3 τ_C / wedges — the whole-graph clustering
+  /// analog of the η law, fully closed-form.
+  [[nodiscard]] double transitivity() const;
+
+  /// η_C(p) (Def. 7), from the formulas above.
+  [[nodiscard]] double vertex_clustering_coeff(vertex_t p) const;
+
+  /// ξ_C(p, q) (Def. 7).
+  [[nodiscard]] double edge_clustering_coeff(vertex_t p, vertex_t q) const;
+
+  /// Linear-time full sweeps (O(n_C)).
+  [[nodiscard]] std::vector<std::uint64_t> all_degrees() const;
+  [[nodiscard]] std::vector<std::uint64_t> all_vertex_triangles() const;
+
+  /// Sublinear distribution queries: built from factor histograms without
+  /// touching n_C-sized state.
+  [[nodiscard]] Histogram degree_histogram() const;
+  [[nodiscard]] Histogram vertex_triangle_histogram() const;
+
+  /// Distribution of Δ_pq over the undirected non-loop edges of C, from
+  /// factor per-arc censuses — O(E_A-classes × E_B-classes), independent
+  /// of |E_C|.
+  [[nodiscard]] Histogram edge_triangle_histogram() const;
+
+  /// Factor access (simple parts) for law checks and benches.
+  [[nodiscard]] const Csr& factor_a() const noexcept { return a_; }
+  [[nodiscard]] const Csr& factor_b() const noexcept { return b_; }
+  [[nodiscard]] const TriangleCounts& census_a() const noexcept { return census_a_; }
+  [[nodiscard]] const TriangleCounts& census_b() const noexcept { return census_b_; }
+
+  /// Materialise C (for cross-checking against direct algorithms).
+  [[nodiscard]] EdgeList materialize() const;
+
+ private:
+  // Factor-local quantities for vertex p of C.
+  struct Pair {
+    vertex_t i, k;
+    std::uint64_t d_i, d_k, t_i, t_k;
+  };
+  [[nodiscard]] Pair decompose(vertex_t p) const;
+
+  // Per-regime closed forms.
+  [[nodiscard]] std::uint64_t degree_formula(std::uint64_t d_i,
+                                             std::uint64_t d_k) const noexcept;
+  [[nodiscard]] std::uint64_t triangle_formula(std::uint64_t t_i, std::uint64_t d_i,
+                                               std::uint64_t t_k,
+                                               std::uint64_t d_k) const noexcept;
+
+  Csr a_;
+  Csr b_;
+  TriangleCounts census_a_;
+  TriangleCounts census_b_;
+  std::vector<std::uint64_t> deg_a_;
+  std::vector<std::uint64_t> deg_b_;
+  LoopRegime regime_;
+  std::uint64_t global_triangles_ = 0;
+};
+
+}  // namespace kron

@@ -1,0 +1,31 @@
+// Kronecker block-index maps (Sec. II-A).
+//
+// The paper uses 1-based maps α_n(i) = ⌊(i-1)/n⌋ + 1, β_n(i) = (i-1)%n + 1,
+// γ_n(x, y) = (x-1)n + y.  With the library's 0-based vertex ids these
+// become the plain div/mod maps below; the correspondence is pinned in
+// tests/core/test_index.cpp.
+//
+// For C = A ⊗ B with block size n_B: vertex p of C corresponds to the pair
+// (i, k) = (alpha(p), beta(p)) with i ∈ V_A, k ∈ V_B, and arcs satisfy
+// C[gamma(i,k), gamma(j,l)] = A[i,j] * B[k,l]   (Def. 1).
+#pragma once
+
+#include "graph/types.hpp"
+
+namespace kron {
+
+/// Block number of p (the A-side vertex i).
+[[nodiscard]] constexpr vertex_t alpha(vertex_t p, vertex_t n_b) noexcept { return p / n_b; }
+
+/// Intra-block index of p (the B-side vertex k).
+[[nodiscard]] constexpr vertex_t beta(vertex_t p, vertex_t n_b) noexcept { return p % n_b; }
+
+/// Inverse map: the C-vertex for the pair (i, k).
+[[nodiscard]] constexpr vertex_t gamma(vertex_t i, vertex_t k, vertex_t n_b) noexcept {
+  return i * n_b + k;
+}
+
+static_assert(gamma(alpha(17, 5), beta(17, 5), 5) == 17,
+              "gamma must invert (alpha, beta)");
+
+}  // namespace kron

@@ -1,0 +1,100 @@
+#include "core/kron.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/index.hpp"
+
+namespace kron {
+namespace {
+
+void check_product_bounds(const EdgeList& a, const EdgeList& b) {
+  const vertex_t n_a = a.num_vertices();
+  const vertex_t n_b = b.num_vertices();
+  if (n_b != 0 && n_a > std::numeric_limits<vertex_t>::max() / n_b)
+    throw std::overflow_error("kronecker_product: vertex count overflow");
+  const std::uint64_t arcs_a = a.num_arcs();
+  const std::uint64_t arcs_b = b.num_arcs();
+  if (arcs_b != 0 && arcs_a > std::numeric_limits<std::uint64_t>::max() / arcs_b)
+    throw std::overflow_error("kronecker_product: arc count overflow");
+}
+
+std::uint64_t count_loops(const EdgeList& g) { return g.num_loops(); }
+
+}  // namespace
+
+EdgeList kronecker_product(const EdgeList& a, const EdgeList& b) {
+  check_product_bounds(a, b);
+  const vertex_t n_b = b.num_vertices();
+  EdgeList c(a.num_vertices() * n_b);
+  std::vector<Edge> arcs;
+  arcs.reserve(a.num_arcs() * b.num_arcs());
+  for (const Edge& ea : a.edges())
+    for (const Edge& eb : b.edges())
+      arcs.push_back({gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
+  c = EdgeList(a.num_vertices() * n_b, std::move(arcs));
+  return c;
+}
+
+EdgeList kronecker_product_with_loops(const EdgeList& a, const EdgeList& b) {
+  EdgeList a_loops = a;
+  a_loops.strip_loops();
+  a_loops.add_full_loops();
+  EdgeList b_loops = b;
+  b_loops.strip_loops();
+  b_loops.add_full_loops();
+  return kronecker_product(a_loops, b_loops);
+}
+
+KroneckerShape kronecker_shape(const EdgeList& a, const EdgeList& b) {
+  check_product_bounds(a, b);
+  KroneckerShape shape;
+  shape.num_vertices = a.num_vertices() * b.num_vertices();
+  shape.num_arcs = a.num_arcs() * b.num_arcs();
+  shape.num_loops = count_loops(a) * count_loops(b);
+  shape.num_undirected_edges = (shape.num_arcs - shape.num_loops) / 2 + shape.num_loops;
+  return shape;
+}
+
+EdgeList kronecker_power(const EdgeList& a, unsigned k) {
+  if (k == 0) throw std::invalid_argument("kronecker_power: k must be >= 1");
+  EdgeList result = a;
+  for (unsigned level = 1; level < k; ++level) result = kronecker_product(result, a);
+  return result;
+}
+
+KroneckerShape kronecker_power_shape(const EdgeList& a, unsigned k) {
+  if (k == 0) throw std::invalid_argument("kronecker_power_shape: k must be >= 1");
+  KroneckerShape shape;
+  shape.num_vertices = a.num_vertices();
+  shape.num_arcs = a.num_arcs();
+  shape.num_loops = count_loops(a);
+  const std::uint64_t base_vertices = a.num_vertices();
+  const std::uint64_t base_arcs = a.num_arcs();
+  const std::uint64_t base_loops = shape.num_loops;
+  for (unsigned level = 1; level < k; ++level) {
+    if (base_vertices != 0 &&
+        shape.num_vertices > std::numeric_limits<vertex_t>::max() / base_vertices)
+      throw std::overflow_error("kronecker_power_shape: vertex count overflow");
+    if (base_arcs != 0 &&
+        shape.num_arcs > std::numeric_limits<std::uint64_t>::max() / base_arcs)
+      throw std::overflow_error("kronecker_power_shape: arc count overflow");
+    shape.num_vertices *= base_vertices;
+    shape.num_arcs *= base_arcs;
+    shape.num_loops *= base_loops;
+  }
+  shape.num_undirected_edges = (shape.num_arcs - shape.num_loops) / 2 + shape.num_loops;
+  return shape;
+}
+
+KroneckerShape kronecker_shape_with_loops(const EdgeList& a, const EdgeList& b) {
+  EdgeList a_loops = a;
+  a_loops.strip_loops();
+  a_loops.add_full_loops();
+  EdgeList b_loops = b;
+  b_loops.strip_loops();
+  b_loops.add_full_loops();
+  return kronecker_shape(a_loops, b_loops);
+}
+
+}  // namespace kron

@@ -1,0 +1,49 @@
+// Sequential (single-rank) nonstochastic Kronecker product.
+//
+// The reference implementation: C = A ⊗ B materialised as an edge list by
+// the double loop over factor arcs (Def. 1).  The distributed generator
+// (core/generator.hpp) must produce exactly this graph for every rank count
+// and partition scheme — that invariant is the generator's main test.
+#pragma once
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+/// C = A ⊗ B.  n_C = n_A * n_B, arcs(C) = arcs(A) * arcs(B).
+/// O(|E_A||E_B|) time.  Throws std::overflow_error if n_A * n_B or the arc
+/// product would overflow.
+[[nodiscard]] EdgeList kronecker_product(const EdgeList& a, const EdgeList& b);
+
+/// C = (A + I_A) ⊗ (B + I_B): the full-self-loop construction used by the
+/// triangle (Cor. 1/2), distance (Thm. 3) and community (Thm. 6) results.
+/// Input factors are taken as their simple parts (existing loops stripped
+/// first, so passing a factor that already has loops is harmless).
+[[nodiscard]] EdgeList kronecker_product_with_loops(const EdgeList& a, const EdgeList& b);
+
+/// Predicted sizes without materialising C.
+struct KroneckerShape {
+  vertex_t num_vertices = 0;
+  std::uint64_t num_arcs = 0;
+  std::uint64_t num_loops = 0;
+  std::uint64_t num_undirected_edges = 0;
+};
+
+/// Shape of A ⊗ B for canonical symmetric factors.
+[[nodiscard]] KroneckerShape kronecker_shape(const EdgeList& a, const EdgeList& b);
+
+/// Shape of (A + I_A) ⊗ (B + I_B) (loops in inputs ignored).
+[[nodiscard]] KroneckerShape kronecker_shape_with_loops(const EdgeList& a, const EdgeList& b);
+
+/// Kronecker power A^{⊗k} = A ⊗ A ⊗ ... ⊗ A (k >= 1 factors), the
+/// repeated-product construction behind stochastic Kronecker models [16]
+/// and a convenient way to grow a scale series with composable ground
+/// truth (laws iterate: m = 2^{k-1} m_A^k, τ = 6^{k-1} τ_A^k, ...).
+/// Throws std::invalid_argument for k = 0 and std::overflow_error when the
+/// result would overflow.
+[[nodiscard]] EdgeList kronecker_power(const EdgeList& a, unsigned k);
+
+/// Shape of A^{⊗k} without materialising it.
+[[nodiscard]] KroneckerShape kronecker_power_shape(const EdgeList& a, unsigned k);
+
+}  // namespace kron

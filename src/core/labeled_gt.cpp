@@ -1,0 +1,73 @@
+#include "core/labeled_gt.hpp"
+
+#include <stdexcept>
+
+namespace kron {
+
+std::vector<std::uint64_t> label_arc_matrix(const LabeledGraph& g) {
+  if (!g.valid()) throw std::invalid_argument("label_arc_matrix: invalid labeling");
+  const label_t num_labels = g.num_labels;
+  std::vector<std::uint64_t> matrix(static_cast<std::size_t>(num_labels) * num_labels, 0);
+  for (const Edge& e : g.graph.edges())
+    ++matrix[static_cast<std::size_t>(g.label_of[e.u]) * num_labels + g.label_of[e.v]];
+  return matrix;
+}
+
+std::vector<std::uint64_t> label_sizes(const LabeledGraph& g) {
+  if (!g.valid()) throw std::invalid_argument("label_sizes: invalid labeling");
+  std::vector<std::uint64_t> sizes(g.num_labels, 0);
+  for (const label_t l : g.label_of) ++sizes[l];
+  return sizes;
+}
+
+LabeledProductTruth labeled_product_truth(const LabeledGraph& a, const LabeledGraph& b) {
+  if (!a.valid() || !b.valid())
+    throw std::invalid_argument("labeled_product_truth: invalid labeling");
+  LabeledProductTruth truth;
+  truth.num_labels = a.num_labels * b.num_labels;
+
+  const auto sizes_a = label_sizes(a);
+  const auto sizes_b = label_sizes(b);
+  truth.class_sizes.resize(truth.num_labels);
+  for (label_t la = 0; la < a.num_labels; ++la)
+    for (label_t lb = 0; lb < b.num_labels; ++lb)
+      truth.class_sizes[product_label(la, lb, b.num_labels)] = sizes_a[la] * sizes_b[lb];
+
+  const auto arcs_a = label_arc_matrix(a);
+  const auto arcs_b = label_arc_matrix(b);
+  const std::size_t l_c = truth.num_labels;
+  truth.arc_matrix.assign(l_c * l_c, 0);
+  for (label_t a_from = 0; a_from < a.num_labels; ++a_from) {
+    for (label_t a_to = 0; a_to < a.num_labels; ++a_to) {
+      const std::uint64_t count_a =
+          arcs_a[static_cast<std::size_t>(a_from) * a.num_labels + a_to];
+      if (count_a == 0) continue;
+      for (label_t b_from = 0; b_from < b.num_labels; ++b_from) {
+        for (label_t b_to = 0; b_to < b.num_labels; ++b_to) {
+          const std::uint64_t count_b =
+              arcs_b[static_cast<std::size_t>(b_from) * b.num_labels + b_to];
+          if (count_b == 0) continue;
+          const label_t from = product_label(a_from, b_from, b.num_labels);
+          const label_t to = product_label(a_to, b_to, b.num_labels);
+          truth.arc_matrix[static_cast<std::size_t>(from) * l_c + to] += count_a * count_b;
+        }
+      }
+    }
+  }
+  return truth;
+}
+
+std::uint64_t labeled_degree_product(const LabeledGraph& a, vertex_t i, label_t lambda,
+                                     const LabeledGraph& b, vertex_t k, label_t mu) {
+  if (!a.valid() || !b.valid())
+    throw std::invalid_argument("labeled_degree_product: invalid labeling");
+  std::uint64_t deg_a = 0;
+  for (const Edge& e : a.graph.edges())
+    if (e.u == i && a.label_of[e.v] == lambda) ++deg_a;
+  std::uint64_t deg_b = 0;
+  for (const Edge& e : b.graph.edges())
+    if (e.u == k && b.label_of[e.v] == mu) ++deg_b;
+  return deg_a * deg_b;
+}
+
+}  // namespace kron

@@ -1,0 +1,47 @@
+// Ground truth for vertex-labeled Kronecker products (the [11] extension
+// referenced in Sec. IV-A).
+//
+// With product labels (λ, μ) (graph/labels.hpp), label-class statistics
+// factor exactly:
+//
+//   vertices per class:   n_C(λ,μ) = n_A(λ) · n_B(μ)
+//   arcs between classes: arcs_C[(λ₁,μ₁) → (λ₂,μ₂)]
+//                           = arcs_A[λ₁ → λ₂] · arcs_B[μ₁ → μ₂]
+//   labeled degree:       d_C(p → (λ,μ)) = d_A(i → λ) · d_B(k → μ)
+//
+// so label-pattern workloads (GraphChallenge-style subgraph matching on
+// labels) get the same validate-at-any-scale treatment as the unlabeled
+// statistics.  All matrices are dense over the label alphabets (assumed
+// small, as in practice).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/labels.hpp"
+
+namespace kron {
+
+/// Dense L×L matrix of arc counts between label classes: entry [from*L+to].
+[[nodiscard]] std::vector<std::uint64_t> label_arc_matrix(const LabeledGraph& g);
+
+/// Vertices per label class.
+[[nodiscard]] std::vector<std::uint64_t> label_sizes(const LabeledGraph& g);
+
+/// The labeled product graph's statistics, computed from the factors.
+struct LabeledProductTruth {
+  label_t num_labels = 0;                      ///< L_C = L_A · L_B
+  std::vector<std::uint64_t> class_sizes;      ///< n_C per product class
+  std::vector<std::uint64_t> arc_matrix;       ///< L_C × L_C arc counts
+};
+
+[[nodiscard]] LabeledProductTruth labeled_product_truth(const LabeledGraph& a,
+                                                        const LabeledGraph& b);
+
+/// Labeled degree of one product vertex toward one product class,
+/// d_C(gamma(i,k) → (λ,μ)), from factor adjacency alone.
+[[nodiscard]] std::uint64_t labeled_degree_product(const LabeledGraph& a, vertex_t i,
+                                                   label_t lambda, const LabeledGraph& b,
+                                                   vertex_t k, label_t mu);
+
+}  // namespace kron

@@ -1,0 +1,45 @@
+#include "core/laws.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kron {
+
+double theta(std::uint64_t x, std::uint64_t y) {
+  if (x < 2 || y < 2) throw std::invalid_argument("theta: requires x, y >= 2");
+  return (static_cast<double>(x - 1) * static_cast<double>(y - 1)) /
+         (static_cast<double>(x) * static_cast<double>(y) - 1.0);
+}
+
+double phi(std::uint64_t d_i, std::uint64_t d_j, std::uint64_t d_k, std::uint64_t d_l) {
+  if (d_i < 2 || d_j < 2 || d_k < 2 || d_l < 2)
+    throw std::invalid_argument("phi: requires all degrees >= 2");
+  const double num = static_cast<double>(std::min(d_i, d_j) - 1) *
+                     static_cast<double>(std::min(d_k, d_l) - 1);
+  const double den =
+      static_cast<double>(std::min(d_i * d_k, d_j * d_l)) - 1.0;
+  return num / den;
+}
+
+double omega(std::uint64_t m_in_a, std::uint64_t m_out_a, std::uint64_t m_in_b,
+             std::uint64_t m_out_b) {
+  if (m_out_a == 0 || m_out_b == 0)
+    throw std::invalid_argument("omega: requires nonzero external edge counts");
+  return std::max(static_cast<double>(m_in_a) / static_cast<double>(m_out_a),
+                  static_cast<double>(m_in_b) / static_cast<double>(m_out_b));
+}
+
+double capital_omega(std::uint64_t size_a, std::uint64_t n_a, std::uint64_t size_b,
+                     std::uint64_t n_b) {
+  const double fraction = (static_cast<double>(size_a) * static_cast<double>(size_b)) /
+                          (static_cast<double>(n_a) * static_cast<double>(n_b));
+  if (fraction >= 1.0)
+    throw std::invalid_argument("capital_omega: community covers the whole graph");
+  return (1.0 + fraction) / (1.0 - fraction);
+}
+
+double cor7_paper_coefficient(double omega_value) { return 1.0 + 3.0 * omega_value; }
+
+double cor7_provable_coefficient(double omega_value) { return 3.0 + 4.0 * omega_value; }
+
+}  // namespace kron

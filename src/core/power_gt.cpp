@@ -1,0 +1,95 @@
+#include "core/power_gt.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analytics/triangles.hpp"
+#include "graph/csr.hpp"
+#include "util/overflow.hpp"
+
+namespace kron {
+namespace {
+
+/// One composition step: out(value) = Σ left(v1) * base(v2) over pairs with
+/// combine(v1, v2) = value.
+template <typename Combine>
+Histogram compose(const Histogram& left, const Histogram& base, Combine&& combine) {
+  Histogram out;
+  for (const auto& [v1, c1] : left.items())
+    for (const auto& [v2, c2] : base.items())
+      out.add(combine(v1, v2), checked_mul(c1, c2));
+  return out;
+}
+
+template <typename Combine>
+Histogram compose_power(const Histogram& base, unsigned k, Combine&& combine) {
+  Histogram result = base;
+  for (unsigned level = 1; level < k; ++level) result = compose(result, base, combine);
+  return result;
+}
+
+}  // namespace
+
+PowerGroundTruth::PowerGroundTruth(const EdgeList& a, unsigned k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("PowerGroundTruth: k must be >= 1");
+  EdgeList simple = a;
+  simple.strip_loops();
+  const Csr csr(simple);
+  if (!csr.is_symmetric())
+    throw std::invalid_argument("PowerGroundTruth: factor must be undirected");
+  const TriangleCounts census = count_triangles(csr);
+  n_a_ = csr.num_vertices();
+  m_a_ = csr.num_undirected_edges();
+  tau_a_ = census.total;
+  for (vertex_t v = 0; v < csr.num_vertices(); ++v) {
+    base_degrees_.add(csr.degree(v));
+    base_triangles_.add(census.per_vertex[v]);
+  }
+}
+
+std::uint64_t PowerGroundTruth::num_vertices() const {
+  std::uint64_t n = 1;
+  for (unsigned level = 0; level < k_; ++level) n = checked_mul(n, n_a_);
+  return n;
+}
+
+std::uint64_t PowerGroundTruth::num_edges() const {
+  // m_k = 2^{k-1} m^k.
+  std::uint64_t m = m_a_;
+  for (unsigned level = 1; level < k_; ++level) m = checked_mul(m, checked_mul(2, m_a_));
+  return m;
+}
+
+std::uint64_t PowerGroundTruth::global_triangles() const {
+  // τ_k = 6^{k-1} τ^k.
+  std::uint64_t tau = tau_a_;
+  for (unsigned level = 1; level < k_; ++level)
+    tau = checked_mul(tau, checked_mul(6, tau_a_));
+  return tau;
+}
+
+double PowerGroundTruth::num_vertices_approx() const noexcept {
+  return std::pow(static_cast<double>(n_a_), k_);
+}
+
+double PowerGroundTruth::num_edges_approx() const noexcept {
+  return std::pow(2.0, k_ - 1) * std::pow(static_cast<double>(m_a_), k_);
+}
+
+double PowerGroundTruth::global_triangles_approx() const noexcept {
+  return std::pow(6.0, k_ - 1) * std::pow(static_cast<double>(tau_a_), k_);
+}
+
+Histogram PowerGroundTruth::degree_histogram() const {
+  return compose_power(base_degrees_, k_, [](std::uint64_t d1, std::uint64_t d2) {
+    return checked_mul(d1, d2);
+  });
+}
+
+Histogram PowerGroundTruth::vertex_triangle_histogram() const {
+  return compose_power(base_triangles_, k_, [](std::uint64_t t1, std::uint64_t t2) {
+    return checked_mul(2, checked_mul(t1, t2));
+  });
+}
+
+}  // namespace kron

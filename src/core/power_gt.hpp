@@ -1,0 +1,66 @@
+// Ground truth for Kronecker powers A^{⊗k} by iterated histogram
+// composition.
+//
+// The paper's headline anecdote generates a *trillion-edge* graph (two
+// Graph500 scale-18 factors) with ground truth.  This module shows the
+// formula side of that story scales even further: in the no-loop regime
+// the per-vertex laws are univariate —
+//
+//   d_p = d_i d_k        (degree values multiply)
+//   t_p = 2 t_i t_k      (triangle counts multiply, with the factor 2)
+//
+// — so the full degree and triangle *distributions* of A^{⊗k} follow from
+// composing the factor's value histograms k-1 times.  State is the number
+// of distinct values per level (typically hundreds), not the n_A^k
+// vertices; exact distributions for graphs with 10^12+ edges take
+// milliseconds.  Scalars iterate as n_k = n^k, m_k = 2^{k-1} m^k,
+// τ_k = 6^{k-1} τ^k.
+//
+// All counts and values use checked 64-bit arithmetic and throw
+// std::overflow_error when a quantity genuinely exceeds 2^64 - 1; the
+// scalar accessors also have double-precision variants that never throw.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "util/histogram.hpp"
+
+namespace kron {
+
+class PowerGroundTruth {
+ public:
+  /// Ground truth of A^{⊗k} for a simple undirected factor A (no-loop
+  /// regime).  k >= 1.  Setup cost: one factor triangle census; histogram
+  /// compositions are deferred to the first distribution query.
+  PowerGroundTruth(const EdgeList& a, unsigned k);
+
+  [[nodiscard]] unsigned power() const noexcept { return k_; }
+
+  /// Exact scalars (throw std::overflow_error when > 2^64 - 1).
+  [[nodiscard]] std::uint64_t num_vertices() const;
+  [[nodiscard]] std::uint64_t num_edges() const;
+  [[nodiscard]] std::uint64_t global_triangles() const;
+
+  /// Approximate scalars in double precision (never throw).
+  [[nodiscard]] double num_vertices_approx() const noexcept;
+  [[nodiscard]] double num_edges_approx() const noexcept;
+  [[nodiscard]] double global_triangles_approx() const noexcept;
+
+  /// Exact degree distribution of A^{⊗k} (value = degree, count = number
+  /// of vertices, totalling n_A^k).
+  [[nodiscard]] Histogram degree_histogram() const;
+
+  /// Exact t_p distribution of A^{⊗k}.
+  [[nodiscard]] Histogram vertex_triangle_histogram() const;
+
+ private:
+  Histogram base_degrees_;
+  Histogram base_triangles_;
+  unsigned k_ = 1;
+  std::uint64_t n_a_ = 0;
+  std::uint64_t m_a_ = 0;
+  std::uint64_t tau_a_ = 0;
+};
+
+}  // namespace kron

@@ -1,0 +1,61 @@
+#include "core/rejection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "analytics/triangles.hpp"
+#include "util/hash.hpp"
+
+namespace kron {
+
+EdgeList hashed_subgraph(const EdgeList& c, double nu, std::uint64_t seed) {
+  if (nu < 0.0 || nu > 1.0) throw std::invalid_argument("hashed_subgraph: nu outside [0,1]");
+  std::vector<Edge> kept;
+  for (const Edge& e : c.edges())
+    if (edge_unit_hash(e.u, e.v, seed) <= nu) kept.push_back(e);
+  return EdgeList(c.num_vertices(), std::move(kept));
+}
+
+JointTriangleCensus joint_triangle_census(const Csr& c, std::vector<double> nus,
+                                          std::uint64_t seed) {
+  // Sort thresholds ascending so each triangle does one binary search to
+  // find the smallest surviving ν.
+  std::sort(nus.begin(), nus.end());
+  JointTriangleCensus census;
+  census.nus = nus;
+  census.totals.assign(nus.size(), 0);
+  census.per_vertex.assign(nus.size(),
+                           std::vector<std::uint64_t>(c.num_vertices(), 0));
+  for_each_triangle(c, [&](vertex_t a, vertex_t b, vertex_t w) {
+    const double h = std::max({edge_unit_hash(a, b, seed), edge_unit_hash(a, w, seed),
+                               edge_unit_hash(b, w, seed)});
+    // Triangle survives for every ν >= h.
+    const auto first = std::lower_bound(nus.begin(), nus.end(), h);
+    for (auto it = first; it != nus.end(); ++it) {
+      const auto idx = static_cast<std::size_t>(it - nus.begin());
+      ++census.totals[idx];
+      ++census.per_vertex[idx][a];
+      ++census.per_vertex[idx][b];
+      ++census.per_vertex[idx][w];
+    }
+  });
+  return census;
+}
+
+std::uint64_t surviving_edge_count(const Csr& c, double nu, std::uint64_t seed) {
+  if (nu < 0.0 || nu > 1.0)
+    throw std::invalid_argument("surviving_edge_count: nu outside [0,1]");
+  std::uint64_t arcs = 0;
+  std::uint64_t loops = 0;
+  for (vertex_t u = 0; u < c.num_vertices(); ++u) {
+    for (const vertex_t v : c.neighbors(u)) {
+      if (edge_unit_hash(u, v, seed) <= nu) {
+        ++arcs;
+        if (u == v) ++loops;
+      }
+    }
+  }
+  return (arcs - loops) / 2 + loops;
+}
+
+}  // namespace kron

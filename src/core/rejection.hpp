@@ -1,0 +1,58 @@
+// Probabilistic edge rejection (Sec. IV-C, Def. 8).
+//
+// A fixed hash maps every undirected edge of C to [0, 1); the subgraph
+// G_{C,ν} keeps edge (p, q) iff hash(p, q) <= ν.  Because the hash is a
+// function of the edge (not a random draw), the whole family
+// {G_{C,ν}}_{ν} is generated *jointly*: one pass stores the hash per edge
+// and every ν-subgraph is a threshold filter.  Likewise one triangle
+// enumeration of G_C counts triangles of every member: triangle
+// (p1, p2, p3) survives in G_{C,ν} iff the max of its three edge hashes is
+// <= ν.  Expected local counts follow the paper:
+//
+//   E[t_p in G_{C,ν}]    = ν³ t_p      (vertex p survives trivially)
+//   E[Δ_pq in G_{C,ν}]   = ν² Δ_pq     (conditioned on edge (p,q) surviving)
+//
+// This machinery makes the Kronecker structure much harder to exploit
+// accidentally in benchmarks while preserving checkable local ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+/// The ν-subgraph of any graph: arcs whose (symmetric) edge hash is <= ν.
+/// Both directions of an undirected edge share one hash, so symmetry is
+/// preserved.
+[[nodiscard]] EdgeList hashed_subgraph(const EdgeList& c, double nu, std::uint64_t seed = 0);
+
+/// Joint triangle census of {G_{C,ν}} for several thresholds in one
+/// enumeration sweep of G_C.
+struct JointTriangleCensus {
+  std::vector<double> nus;
+  std::vector<std::uint64_t> totals;                   ///< τ per ν
+  std::vector<std::vector<std::uint64_t>> per_vertex;  ///< [ν index][vertex]
+};
+
+[[nodiscard]] JointTriangleCensus joint_triangle_census(const Csr& c,
+                                                        std::vector<double> nus,
+                                                        std::uint64_t seed = 0);
+
+/// Expected counts per Def. 8.
+[[nodiscard]] constexpr double expected_vertex_triangles(double nu, std::uint64_t t_p) noexcept {
+  return nu * nu * nu * static_cast<double>(t_p);
+}
+[[nodiscard]] constexpr double expected_edge_triangles(double nu,
+                                                       std::uint64_t delta_pq) noexcept {
+  return nu * nu * static_cast<double>(delta_pq);
+}
+
+/// Number of surviving undirected edges of G_{C,ν} without building it
+/// (counts hashes over the arc set; loops counted once).
+[[nodiscard]] std::uint64_t surviving_edge_count(const Csr& c, double nu,
+                                                 std::uint64_t seed = 0);
+
+}  // namespace kron

@@ -1,0 +1,51 @@
+#include "core/spectral_gt.hpp"
+
+#include <queue>
+#include <set>
+
+#include "analytics/spectral.hpp"
+
+namespace kron {
+
+double kronecker_spectral_radius(const Csr& a, const Csr& b, double tolerance,
+                                 std::uint64_t max_iterations) {
+  const double rho_a = spectral_radius(a, tolerance, max_iterations).value;
+  const double rho_b = spectral_radius(b, tolerance, max_iterations).value;
+  return rho_a * rho_b;
+}
+
+std::vector<double> top_k_products(const std::vector<double>& x, const std::vector<double>& y,
+                                   std::size_t k) {
+  std::vector<double> out;
+  if (x.empty() || y.empty() || k == 0) return out;
+  // Best-first frontier search over the (i, j) grid: (0,0) is the maximum;
+  // each popped cell pushes its right and down neighbors.
+  using Cell = std::pair<double, std::pair<std::size_t, std::size_t>>;
+  std::priority_queue<Cell> frontier;
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  frontier.push({x[0] * y[0], {0, 0}});
+  seen.insert({0, 0});
+  while (!frontier.empty() && out.size() < k) {
+    const auto [value, cell] = frontier.top();
+    frontier.pop();
+    out.push_back(value);
+    const auto [i, j] = cell;
+    if (i + 1 < x.size() && seen.insert({i + 1, j}).second)
+      frontier.push({x[i + 1] * y[j], {i + 1, j}});
+    if (j + 1 < y.size() && seen.insert({i, j + 1}).second)
+      frontier.push({x[i] * y[j + 1], {i, j + 1}});
+  }
+  return out;
+}
+
+std::vector<double> kronecker_top_eigenvalue_magnitudes(const Csr& a, const Csr& b,
+                                                        std::size_t k, double tolerance,
+                                                        std::uint64_t max_iterations) {
+  // The k-th largest product uses at most the first k entries of each
+  // factor list, so top-k per factor suffices.
+  const auto mags_a = top_eigenvalue_magnitudes(a, k, tolerance, max_iterations);
+  const auto mags_b = top_eigenvalue_magnitudes(b, k, tolerance, max_iterations);
+  return top_k_products(mags_a, mags_b, k);
+}
+
+}  // namespace kron

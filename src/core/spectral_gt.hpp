@@ -1,0 +1,36 @@
+// Spectral ground truth for Kronecker products.
+//
+// eig(A ⊗ B) = { λ μ } (Prop. 1d applied to eigen-decompositions), hence
+// ρ(C) = ρ(A) ρ(B), and the k largest eigenvalue magnitudes of C are the
+// k largest pairwise products of factor eigenvalue magnitudes — computable
+// from the factors' spectra alone.  This implements the paper's Sec. IV-C
+// warning quantitatively: "a spectral method can efficiently solve for
+// large swathes of the eigenspace of C ... without the algorithm developer
+// even realizing it".  bench_spectral demonstrates the exploit and the
+// extent to which probabilistic edge rejection (Def. 8) degrades it.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+/// ρ(A ⊗ B) = ρ(A) ρ(B), each factor radius via power iteration.
+[[nodiscard]] double kronecker_spectral_radius(const Csr& a, const Csr& b,
+                                               double tolerance = 1e-10,
+                                               std::uint64_t max_iterations = 5000);
+
+/// The k largest eigenvalue magnitudes of A ⊗ B from the factors' top-k
+/// magnitude lists (largest k products of two sorted lists — a bounded
+/// best-first merge).
+[[nodiscard]] std::vector<double> kronecker_top_eigenvalue_magnitudes(
+    const Csr& a, const Csr& b, std::size_t k, double tolerance = 1e-10,
+    std::uint64_t max_iterations = 5000);
+
+/// Largest k products x_i * y_j of two lists sorted in decreasing order
+/// (exposed for testing).
+[[nodiscard]] std::vector<double> top_k_products(const std::vector<double>& x,
+                                                 const std::vector<double>& y, std::size_t k);
+
+}  // namespace kron

@@ -1,0 +1,59 @@
+// Streaming Kronecker product: visit every arc of C = A ⊗ B without
+// storing C.
+//
+// The paper's Sec. III decouples generation from storage ("the processor
+// responsible for generating an edge must then send it to the processor
+// responsible for its storage").  The fully decoupled limit is a stream:
+// O(1) state per arc, so statistics of C — edge counts, degree histograms,
+// filters like the Def. 8 rejection — can be computed for products far too
+// large to materialise.
+#pragma once
+
+#include <cstdint>
+
+#include "core/index.hpp"
+#include "graph/edge_list.hpp"
+#include "runtime/partition.hpp"
+
+namespace kron {
+
+/// Invoke fn(Edge) for every arc of A ⊗ B, in A-major order.
+/// O(|E_A||E_B|) time, O(1) extra space.
+template <typename Fn>
+void for_each_product_arc(const EdgeList& a, const EdgeList& b, Fn&& fn) {
+  const vertex_t n_b = b.num_vertices();
+  for (const Edge& ea : a.edges())
+    for (const Edge& eb : b.edges())
+      fn(Edge{gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
+}
+
+/// Invoke fn(Edge) for the slice of A ⊗ B a single rank would generate
+/// under the 1D scheme (contiguous block of A's arcs, full B) — the
+/// building block for owner-rank streaming statistics.
+template <typename Fn>
+void for_each_product_arc_1d(const EdgeList& a, const EdgeList& b, std::uint64_t ranks,
+                             std::uint64_t rank, Fn&& fn) {
+  const IndexRange range = block_range(a.num_arcs(), ranks, rank);
+  const vertex_t n_b = b.num_vertices();
+  const auto arcs = a.edges().subspan(range.begin, range.size());
+  for (const Edge& ea : arcs)
+    for (const Edge& eb : b.edges())
+      fn(Edge{gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
+}
+
+/// Invoke fn(Edge) for the cells a rank generates under the Rem. 1 2D grid.
+template <typename Fn>
+void for_each_product_arc_2d(const EdgeList& a, const EdgeList& b, std::uint64_t ranks,
+                             std::uint64_t rank, Fn&& fn) {
+  const Grid2D grid(ranks);
+  const vertex_t n_b = b.num_vertices();
+  for (const auto& [a_part, b_part] : grid.cells_of(rank)) {
+    const IndexRange ra = block_range(a.num_arcs(), grid.parts_a(), a_part);
+    const IndexRange rb = block_range(b.num_arcs(), grid.parts_b(), b_part);
+    for (const Edge& ea : a.edges().subspan(ra.begin, ra.size()))
+      for (const Edge& eb : b.edges().subspan(rb.begin, rb.size()))
+        fn(Edge{gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
+  }
+}
+
+}  // namespace kron

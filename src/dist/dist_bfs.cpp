@@ -1,0 +1,61 @@
+#include "dist/dist_bfs.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "runtime/comm.hpp"
+#include "runtime/partition.hpp"
+
+namespace kron {
+namespace {
+
+constexpr std::uint64_t kUnset = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+std::vector<std::uint64_t> distributed_bfs_levels(const Csr& g, vertex_t source, int ranks) {
+  if (source >= g.num_vertices())
+    throw std::out_of_range("distributed_bfs_levels: bad source");
+  if (ranks < 1) throw std::invalid_argument("distributed_bfs_levels: ranks < 1");
+
+  const auto num_ranks = static_cast<std::uint64_t>(ranks);
+  std::vector<std::uint64_t> levels(g.num_vertices(), kUnset);
+
+  Runtime::run(ranks, [&](Comm& comm) {
+    const auto me = static_cast<std::uint64_t>(comm.rank());
+    // Per-rank view: level of owned vertices only.
+    std::vector<vertex_t> frontier;  // owned vertices discovered last level
+    if (cyclic_owner(source, num_ranks) == me) {
+      levels[source] = 0;
+      frontier.push_back(source);
+    }
+    std::uint64_t depth = 0;
+    while (true) {
+      ++depth;
+      // Expand owned frontier rows; bucket discoveries by owner.
+      std::vector<std::vector<vertex_t>> outbox(num_ranks);
+      for (const vertex_t u : frontier) {
+        for (const vertex_t v : g.neighbors(u)) {
+          outbox[cyclic_owner(v, num_ranks)].push_back(v);
+        }
+      }
+      frontier.clear();
+      auto inbox = comm.alltoallv(std::move(outbox));
+      for (const auto& from_rank : inbox) {
+        for (const vertex_t v : from_rank) {
+          if (levels[v] == kUnset) {
+            levels[v] = depth;
+            frontier.push_back(v);
+          }
+        }
+      }
+      // Global termination: stop when no rank discovered anything.
+      const std::uint64_t discovered = comm.allreduce_sum(
+          static_cast<std::uint64_t>(frontier.size()));
+      if (discovered == 0) break;
+    }
+  });
+  return levels;
+}
+
+}  // namespace kron

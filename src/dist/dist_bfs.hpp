@@ -1,0 +1,26 @@
+// Distributed level-synchronous BFS over the in-process runtime.
+//
+// The distributed counterpart of analytics/bfs.hpp, exercising the
+// communication pattern a cluster BFS would use: vertices are partitioned
+// cyclically across ranks, each rank expands only the frontier vertices it
+// owns (reading only its own adjacency rows), and newly discovered
+// vertices are routed to their owners with an all-to-all exchange per
+// level.  Under the single-process runtime the graph lives in shared
+// memory, but every rank touches only its own partition's rows — the
+// access pattern and message volume match the MPI setting (DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+/// BFS level per vertex (source = 0, unreachable = kUnreachable from
+/// analytics/bfs.hpp).  Runs on `ranks` runtime ranks; the result is
+/// gathered and identical to sequential bfs_levels().
+[[nodiscard]] std::vector<std::uint64_t> distributed_bfs_levels(const Csr& g, vertex_t source,
+                                                                int ranks);
+
+}  // namespace kron

@@ -1,0 +1,29 @@
+// Distributed degree computation from partitioned edge shards.
+//
+// Consumes exactly what the distributed generator produces
+// (GeneratorResult::stored_per_rank): each rank holds an arbitrary shard of
+// C's arcs and contributes partial degree counts, which are routed to the
+// vertex owners with an all-to-all and then gathered.  This is the cheapest
+// whole-graph statistic the paper's validation pipeline checks against
+// d_C = d_A ⊗ d_B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/histogram.hpp"
+
+namespace kron {
+
+/// Out-degree per vertex from per-rank arc shards; runs shards.size()
+/// ranks.  For a symmetric graph this equals the undirected degree with
+/// loops counted once.
+[[nodiscard]] std::vector<std::uint64_t> distributed_degrees(
+    const std::vector<std::vector<Edge>>& shards, vertex_t num_vertices);
+
+/// Degree histogram computed the same way (counts merged at the owners).
+[[nodiscard]] Histogram distributed_degree_histogram(
+    const std::vector<std::vector<Edge>>& shards, vertex_t num_vertices);
+
+}  // namespace kron

@@ -1,0 +1,28 @@
+// Distributed triangle counting (wedge-query algorithm).
+//
+// The distributed counterpart of analytics/triangles.hpp, mirroring the
+// structure of the paper's reference [23] (Pearce, HPEC'17): vertices are
+// degree-ordered and partitioned across ranks; every rank generates the
+// wedges (u; v, w) closed by its own forward adjacency lists and sends
+// each wedge as an existence query to the owner of v; owners answer from
+// their forward lists; counts are combined with an all-reduce.  One
+// all-to-all round of queries, one of answers (folded into local counting
+// here since answers only feed a global sum).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace kron {
+
+struct DistTriangleResult {
+  std::uint64_t total = 0;          ///< τ: distinct triangles
+  std::uint64_t wedge_queries = 0;  ///< queries exchanged (comm volume)
+};
+
+/// Global triangle count of an undirected graph on `ranks` runtime ranks;
+/// identical to analytics' global_triangle_count.  Self loops are ignored.
+[[nodiscard]] DistTriangleResult distributed_triangle_count(const Csr& g, int ranks);
+
+}  // namespace kron

@@ -1,0 +1,70 @@
+#include "gen/classic.hpp"
+
+#include <stdexcept>
+
+namespace kron {
+
+EdgeList make_clique(vertex_t n) {
+  EdgeList g(n);
+  for (vertex_t u = 0; u < n; ++u)
+    for (vertex_t v = u + 1; v < n; ++v) g.add_undirected(u, v);
+  g.sort_dedupe();
+  return g;
+}
+
+EdgeList make_cycle(vertex_t n) {
+  if (n < 3) throw std::invalid_argument("make_cycle: need n >= 3");
+  EdgeList g(n);
+  for (vertex_t v = 0; v < n; ++v) g.add_undirected(v, (v + 1) % n);
+  g.sort_dedupe();
+  return g;
+}
+
+EdgeList make_path(vertex_t n) {
+  EdgeList g(n);
+  for (vertex_t v = 0; v + 1 < n; ++v) g.add_undirected(v, v + 1);
+  g.sort_dedupe();
+  return g;
+}
+
+EdgeList make_star(vertex_t n) {
+  if (n < 1) throw std::invalid_argument("make_star: need n >= 1");
+  EdgeList g(n);
+  for (vertex_t v = 1; v < n; ++v) g.add_undirected(0, v);
+  g.sort_dedupe();
+  return g;
+}
+
+EdgeList make_complete_bipartite(vertex_t a, vertex_t b) {
+  EdgeList g(a + b);
+  for (vertex_t u = 0; u < a; ++u)
+    for (vertex_t v = a; v < a + b; ++v) g.add_undirected(u, v);
+  g.sort_dedupe();
+  return g;
+}
+
+EdgeList make_disjoint_cliques(vertex_t count, vertex_t size) {
+  EdgeList g(count * size);
+  for (vertex_t c = 0; c < count; ++c) {
+    const vertex_t base = c * size;
+    for (vertex_t u = 0; u < size; ++u)
+      for (vertex_t v = u + 1; v < size; ++v) g.add_undirected(base + u, base + v);
+  }
+  g.sort_dedupe();
+  return g;
+}
+
+EdgeList make_grid(vertex_t rows, vertex_t cols) {
+  EdgeList g(rows * cols);
+  const auto id = [cols](vertex_t r, vertex_t c) { return r * cols + c; };
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_undirected(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_undirected(id(r, c), id(r + 1, c));
+    }
+  }
+  g.sort_dedupe();
+  return g;
+}
+
+}  // namespace kron

@@ -1,0 +1,34 @@
+// Deterministic classic graph families.
+//
+// These are the factor building blocks the paper reasons with: cliques
+// (maximal clustering coefficient, Thm. 1 discussion), disjoint cliques
+// (community example Ex. 1), paths/cycles (diameter control, Sec. V-C),
+// stars (tree-like neighborhoods, clustering coefficient 0).
+#pragma once
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+/// Complete graph K_n (no self loops).
+[[nodiscard]] EdgeList make_clique(vertex_t n);
+
+/// Cycle C_n (n >= 3).
+[[nodiscard]] EdgeList make_cycle(vertex_t n);
+
+/// Path P_n (n vertices, n-1 edges).
+[[nodiscard]] EdgeList make_path(vertex_t n);
+
+/// Star S_n: vertex 0 joined to vertices 1..n-1.
+[[nodiscard]] EdgeList make_star(vertex_t n);
+
+/// Complete bipartite graph K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+[[nodiscard]] EdgeList make_complete_bipartite(vertex_t a, vertex_t b);
+
+/// `count` disjoint copies of K_{size} (the paper's Ex. 1 community factor).
+[[nodiscard]] EdgeList make_disjoint_cliques(vertex_t count, vertex_t size);
+
+/// rows x cols 2D grid (4-neighbor lattice).
+[[nodiscard]] EdgeList make_grid(vertex_t rows, vertex_t cols);
+
+}  // namespace kron

@@ -1,0 +1,77 @@
+#include "gen/erdos.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/hash.hpp"
+#include "util/random.hpp"
+
+namespace kron {
+
+EdgeList make_gnm(vertex_t n, std::uint64_t m, std::uint64_t seed) {
+  if (n < 2 && m > 0) throw std::invalid_argument("make_gnm: too few vertices");
+  const std::uint64_t max_edges = n * (n - 1) / 2;
+  if (m > max_edges) throw std::invalid_argument("make_gnm: m exceeds n(n-1)/2");
+
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  EdgeList g(n);
+  while (chosen.size() < m) {
+    vertex_t u = rng.below(n);
+    vertex_t v = rng.below(n);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = u * n + v;
+    if (chosen.insert(key).second) g.add_undirected(u, v);
+  }
+  g.sort_dedupe();
+  return g;
+}
+
+EdgeList make_gnp(vertex_t n, double p, std::uint64_t seed) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("make_gnp: p outside [0,1]");
+  EdgeList g(n);
+  if (p == 0.0 || n < 2) return g;
+  Xoshiro256 rng(seed);
+  if (p == 1.0) {
+    for (vertex_t u = 0; u < n; ++u)
+      for (vertex_t v = u + 1; v < n; ++v) g.add_undirected(u, v);
+    g.sort_dedupe();
+    return g;
+  }
+  // Geometric skipping over the upper-triangle index space (Batagelj–Brandes).
+  const double log1mp = std::log1p(-p);
+  const std::uint64_t total = n * (n - 1) / 2;
+  std::uint64_t idx = 0;
+  // Map a linear upper-triangle index to (u, v).
+  const auto unrank = [n](std::uint64_t k, vertex_t& u, vertex_t& v) {
+    // Row u has (n-1-u) entries; walk rows (fast enough: amortized O(1) when
+    // iterating in increasing k with a cached row start).
+    vertex_t row = 0;
+    std::uint64_t row_start = 0;
+    while (row_start + (n - 1 - row) <= k) {
+      row_start += n - 1 - row;
+      ++row;
+    }
+    u = row;
+    v = row + 1 + static_cast<vertex_t>(k - row_start);
+  };
+  while (true) {
+    const double r = rng.uniform();
+    const double skip = std::floor(std::log1p(-r) / log1mp);
+    if (skip >= static_cast<double>(total - idx)) break;
+    idx += static_cast<std::uint64_t>(skip);
+    vertex_t u = 0;
+    vertex_t v = 0;
+    unrank(idx, u, v);
+    g.add_undirected(u, v);
+    ++idx;
+    if (idx >= total) break;
+  }
+  g.sort_dedupe();
+  return g;
+}
+
+}  // namespace kron

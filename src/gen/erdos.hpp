@@ -1,0 +1,18 @@
+// Erdős–Rényi random graphs (undirected, simple, no self loops).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+/// G(n, m): exactly m distinct undirected edges chosen uniformly.
+/// Requires m <= n(n-1)/2.
+[[nodiscard]] EdgeList make_gnm(vertex_t n, std::uint64_t m, std::uint64_t seed);
+
+/// G(n, p): each of the n(n-1)/2 undirected edges present independently
+/// with probability p.  Uses geometric skipping, O(m) expected time.
+[[nodiscard]] EdgeList make_gnp(vertex_t n, double p, std::uint64_t seed);
+
+}  // namespace kron

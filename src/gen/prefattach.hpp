@@ -1,0 +1,27 @@
+// Barabási–Albert preferential-attachment generator.
+//
+// Stand-in for the SNAP gnutella08 graph used in the paper's eccentricity
+// experiment (Sec. V-A): a small-world, scale-free, heavy-tailed graph of
+// matched size (see DESIGN.md §2 substitution table).  The experiment tests
+// the max-type eccentricity law (Cor. 4), which only needs *a* real-looking
+// scale-free factor, not that particular dataset.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+/// Barabási–Albert model: start from a small seed clique, then each new
+/// vertex attaches to `edges_per_vertex` existing vertices chosen with
+/// probability proportional to degree (implemented by uniform sampling from
+/// the endpoint repetition list).  Undirected, simple, connected.
+[[nodiscard]] EdgeList make_pref_attachment(vertex_t n, vertex_t edges_per_vertex,
+                                            std::uint64_t seed);
+
+/// A gnutella08-sized factor: |V| ~ 6.3K, |E| ~ 21K, largest CC, with all
+/// self loops added — exactly the preparation of Sec. V-A.
+[[nodiscard]] EdgeList make_gnutella_like(std::uint64_t seed);
+
+}  // namespace kron

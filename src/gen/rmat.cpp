@@ -1,0 +1,50 @@
+#include "gen/rmat.hpp"
+
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace kron {
+
+EdgeList make_rmat(const RmatParams& params) {
+  if (params.scale < 1 || params.scale > 40)
+    throw std::invalid_argument("make_rmat: scale outside [1, 40]");
+  const double d = 1.0 - params.a - params.b - params.c;
+  if (params.a < 0 || params.b < 0 || params.c < 0 || d < 0)
+    throw std::invalid_argument("make_rmat: probabilities must be nonnegative and sum <= 1");
+
+  const vertex_t n = vertex_t{1} << params.scale;
+  const std::uint64_t samples = params.edge_factor * n;
+  Xoshiro256 rng(params.seed);
+
+  EdgeList g(n);
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    vertex_t u = 0;
+    vertex_t v = 0;
+    for (int level = 0; level < params.scale; ++level) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left quadrant
+      } else if (r < params.a + params.b) {
+        v |= 1;  // top-right
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;  // bottom-left
+      } else {
+        u |= 1;  // bottom-right
+        v |= 1;
+      }
+    }
+    if (params.strip_loops && u == v) continue;
+    g.add(u, v);
+  }
+  if (params.symmetrize) {
+    g.symmetrize();
+  } else {
+    g.sort_dedupe();
+  }
+  return g;
+}
+
+}  // namespace kron

@@ -1,0 +1,32 @@
+// R-MAT / Graph500-style stochastic Kronecker generator.
+//
+// This is the *baseline comparator* the paper contrasts against (Sec. I):
+// stochastic Kronecker generation is fast and produces realistic graphs in
+// expectation, but exact graph properties are unknown until generation
+// completes.  We implement the recursive quadrant-descent sampler with the
+// Graph500 parameters (a=0.57, b=0.19, c=0.19, d=0.05) as defaults.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+struct RmatParams {
+  int scale = 10;                 ///< n = 2^scale vertices.
+  std::uint64_t edge_factor = 16; ///< m = edge_factor * n sampled edges.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  // d = 1 - a - b - c.
+  bool symmetrize = true;         ///< emit the undirected version.
+  bool strip_loops = true;
+  std::uint64_t seed = 1;
+};
+
+/// Sample an R-MAT graph.  Duplicate samples are deduplicated, so the final
+/// edge count is at most edge_factor * 2^scale.
+[[nodiscard]] EdgeList make_rmat(const RmatParams& params);
+
+}  // namespace kron

@@ -1,0 +1,51 @@
+#include "gen/smallworld.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace kron {
+
+EdgeList make_small_world(vertex_t n, vertex_t k, double beta, std::uint64_t seed) {
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("make_small_world: k must be even >= 2");
+  if (n <= k) throw std::invalid_argument("make_small_world: need n > k");
+  if (beta < 0.0 || beta > 1.0)
+    throw std::invalid_argument("make_small_world: beta outside [0,1]");
+
+  Xoshiro256 rng(seed);
+  // Canonical undirected edge set, mutated during rewiring.
+  std::set<std::pair<vertex_t, vertex_t>> edges;
+  const auto canonical = [](vertex_t u, vertex_t v) {
+    return u < v ? std::pair{u, v} : std::pair{v, u};
+  };
+  for (vertex_t v = 0; v < n; ++v)
+    for (vertex_t offset = 1; offset <= k / 2; ++offset)
+      edges.insert(canonical(v, (v + offset) % n));
+
+  // Watts–Strogatz rewiring: each lattice edge (v, v+offset) is replaced
+  // with probability beta by (v, random target) avoiding loops/duplicates.
+  for (vertex_t v = 0; v < n; ++v) {
+    for (vertex_t offset = 1; offset <= k / 2; ++offset) {
+      if (!rng.chance(beta)) continue;
+      const auto old_edge = canonical(v, (v + offset) % n);
+      if (edges.count(old_edge) == 0) continue;  // already rewired away
+      vertex_t target = rng.below(n);
+      int attempts = 0;
+      while ((target == v || edges.count(canonical(v, target)) != 0) && attempts < 64) {
+        target = rng.below(n);
+        ++attempts;
+      }
+      if (target == v || edges.count(canonical(v, target)) != 0) continue;  // saturated
+      edges.erase(old_edge);
+      edges.insert(canonical(v, target));
+    }
+  }
+
+  EdgeList g(n);
+  for (const auto& [u, v] : edges) g.add_undirected(u, v);
+  g.sort_dedupe();
+  return g;
+}
+
+}  // namespace kron

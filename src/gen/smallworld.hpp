@@ -1,0 +1,23 @@
+// Watts–Strogatz small-world generator (the paper's ref. [19], where the
+// clustering coefficient of Def. 7 originates).
+//
+// Ring of n vertices each joined to its k nearest neighbors, with every
+// edge endpoint rewired with probability beta.  Interpolates between a
+// high-clustering lattice (beta = 0) and an Erdős–Rényi-like graph
+// (beta = 1) — a useful factor family for exercising the clustering-
+// coefficient scaling laws across the whole η range.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+/// Watts–Strogatz graph: n vertices, ring degree k (even, >= 2), rewiring
+/// probability beta in [0, 1].  Simple and undirected; rewiring never
+/// creates loops or duplicate edges.
+[[nodiscard]] EdgeList make_small_world(vertex_t n, vertex_t k, double beta,
+                                        std::uint64_t seed);
+
+}  // namespace kron

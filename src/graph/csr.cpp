@@ -1,0 +1,87 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kron {
+
+Csr::Csr(const EdgeList& edges) : n_(edges.num_vertices()), offsets_(n_ + 1, 0) {
+  // Counting sort by source vertex, then per-row sort + dedupe.  Two passes
+  // over the arcs; no global sort of the (possibly huge) arc vector.
+  for (const Edge& e : edges.edges()) ++offsets_[e.u + 1];
+  for (vertex_t v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+
+  targets_.resize(edges.num_arcs());
+  std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) targets_[cursor[e.u]++] = e.v;
+
+  // Per-row sort + in-place dedupe, rebuilding offsets as we compact.
+  std::vector<std::uint64_t> new_offsets(n_ + 1, 0);
+  std::uint64_t write = 0;
+  for (vertex_t v = 0; v < n_; ++v) {
+    const std::uint64_t row_start = offsets_[v];
+    const std::uint64_t row_end = offsets_[v + 1];
+    std::sort(targets_.begin() + static_cast<std::ptrdiff_t>(row_start),
+              targets_.begin() + static_cast<std::ptrdiff_t>(row_end));
+    new_offsets[v] = write;
+    for (std::uint64_t i = row_start; i < row_end; ++i)
+      if (i == row_start || targets_[i] != targets_[i - 1]) targets_[write++] = targets_[i];
+  }
+  new_offsets[n_] = write;
+  offsets_ = std::move(new_offsets);
+  targets_.resize(write);
+  targets_.shrink_to_fit();
+}
+
+std::uint64_t Csr::num_undirected_edges() const {
+  const std::uint64_t loops = num_loops();
+  return (num_arcs() - loops) / 2 + loops;
+}
+
+bool Csr::has_edge(vertex_t u, vertex_t v) const {
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+std::uint64_t Csr::arc_index(vertex_t u, vertex_t v) const {
+  const auto row = neighbors(u);
+  const auto it = std::lower_bound(row.begin(), row.end(), v);
+  if (it == row.end() || *it != v)
+    throw std::invalid_argument("Csr::arc_index: arc not present");
+  return offsets_[u] + static_cast<std::uint64_t>(it - row.begin());
+}
+
+std::uint64_t Csr::num_loops() const {
+  std::uint64_t loops = 0;
+  for (vertex_t v = 0; v < n_; ++v) loops += has_loop(v) ? 1u : 0u;
+  return loops;
+}
+
+std::vector<std::uint64_t> Csr::degrees() const {
+  std::vector<std::uint64_t> d(n_);
+  for (vertex_t v = 0; v < n_; ++v) d[v] = degree(v);
+  return d;
+}
+
+std::vector<std::uint64_t> Csr::degrees_no_loops() const {
+  std::vector<std::uint64_t> d(n_);
+  for (vertex_t v = 0; v < n_; ++v) d[v] = degree_no_loop(v);
+  return d;
+}
+
+bool Csr::is_symmetric() const {
+  for (vertex_t u = 0; u < n_; ++u)
+    for (const vertex_t v : neighbors(u))
+      if (!has_edge(v, u)) return false;
+  return true;
+}
+
+EdgeList Csr::to_edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_arcs());
+  for (vertex_t u = 0; u < n_; ++u)
+    for (const vertex_t v : neighbors(u)) edges.push_back({u, v});
+  return EdgeList(n_, std::move(edges));
+}
+
+}  // namespace kron

@@ -1,0 +1,79 @@
+// Compressed sparse row (CSR) graph for traversal and analytics.
+//
+// Immutable once built.  Neighbor lists are sorted, which gives
+// O(log d) membership queries (`has_edge`) and allows the triangle counter
+// to use ordered intersection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/types.hpp"
+
+namespace kron {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from an edge list.  The list is copied, sorted and deduplicated;
+  /// the input need not be canonical.
+  explicit Csr(const EdgeList& edges);
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return targets_.size(); }
+
+  /// Number of undirected edges (requires a symmetric graph).
+  [[nodiscard]] std::uint64_t num_undirected_edges() const;
+
+  /// Sorted neighbor list of v (self loop included if present).
+  [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+  /// Out-degree counting a self loop once if present.
+  [[nodiscard]] std::uint64_t degree(vertex_t v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Degree with any self loop excluded — this is the `d_i` of the paper's
+  /// formulas, which always refer to the loop-free factor.
+  [[nodiscard]] std::uint64_t degree_no_loop(vertex_t v) const {
+    return degree(v) - (has_loop(v) ? 1 : 0);
+  }
+
+  /// O(log d) membership query.
+  [[nodiscard]] bool has_edge(vertex_t u, vertex_t v) const;
+
+  /// Position of arc (u, v) in the global arc array — stable index for
+  /// per-arc attribute vectors (e.g. triangle counts).  Throws
+  /// std::invalid_argument if the arc is absent.
+  [[nodiscard]] std::uint64_t arc_index(vertex_t u, vertex_t v) const;
+
+  [[nodiscard]] bool has_loop(vertex_t v) const { return has_edge(v, v); }
+
+  [[nodiscard]] std::uint64_t num_loops() const;
+
+  /// Degree vector (self loops counted once); the paper's d_A for loop-free
+  /// graphs.
+  [[nodiscard]] std::vector<std::uint64_t> degrees() const;
+
+  [[nodiscard]] std::vector<std::uint64_t> degrees_no_loops() const;
+
+  /// True if the adjacency matrix is symmetric.
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// Convert back to a canonical edge list.
+  [[nodiscard]] EdgeList to_edge_list() const;
+
+  friend bool operator==(const Csr&, const Csr&) = default;
+
+ private:
+  vertex_t n_ = 0;
+  std::vector<std::uint64_t> offsets_;  // size n_+1
+  std::vector<vertex_t> targets_;       // size num_arcs, sorted per row
+};
+
+}  // namespace kron

@@ -1,0 +1,75 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kron {
+
+std::uint64_t EdgeList::num_undirected_edges() const {
+  const std::uint64_t loops = num_loops();
+  return (edges_.size() - loops) / 2 + loops;
+}
+
+std::uint64_t EdgeList::num_loops() const {
+  return static_cast<std::uint64_t>(
+      std::count_if(edges_.begin(), edges_.end(), [](const Edge& e) { return is_loop(e); }));
+}
+
+void EdgeList::add(vertex_t u, vertex_t v) {
+  if (u >= n_ || v >= n_)
+    throw std::out_of_range("EdgeList::add: endpoint exceeds vertex count");
+  edges_.push_back({u, v});
+}
+
+void EdgeList::add_undirected(vertex_t u, vertex_t v) {
+  add(u, v);
+  if (u != v) add(v, u);
+}
+
+void EdgeList::sort_dedupe() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+void EdgeList::symmetrize() {
+  const std::size_t original = edges_.size();
+  edges_.reserve(original * 2);
+  for (std::size_t i = 0; i < original; ++i)
+    if (!is_loop(edges_[i])) edges_.push_back(reversed(edges_[i]));
+  sort_dedupe();
+}
+
+void EdgeList::strip_loops() {
+  edges_.erase(
+      std::remove_if(edges_.begin(), edges_.end(), [](const Edge& e) { return is_loop(e); }),
+      edges_.end());
+}
+
+void EdgeList::add_full_loops() {
+  edges_.reserve(edges_.size() + n_);
+  for (vertex_t v = 0; v < n_; ++v) edges_.push_back({v, v});
+  sort_dedupe();
+}
+
+bool EdgeList::is_symmetric() const {
+  std::vector<Edge> sorted(edges_.begin(), edges_.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const Edge& e : edges_) {
+    if (is_loop(e)) continue;
+    if (!std::binary_search(sorted.begin(), sorted.end(), reversed(e))) return false;
+  }
+  return true;
+}
+
+bool EdgeList::is_canonical() const {
+  return std::is_sorted(edges_.begin(), edges_.end()) &&
+         std::adjacent_find(edges_.begin(), edges_.end()) == edges_.end();
+}
+
+vertex_t EdgeList::max_vertex_bound() const {
+  vertex_t bound = 0;
+  for (const Edge& e : edges_) bound = std::max({bound, e.u + 1, e.v + 1});
+  return bound;
+}
+
+}  // namespace kron

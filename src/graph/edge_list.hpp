@@ -1,0 +1,77 @@
+// Mutable edge-list graph representation.
+//
+// The generator side of the library works in edge lists (the paper assumes
+// factors "are given as (unordered) edge lists", Sec. III); the analytics
+// side converts to CSR (graph/csr.hpp) for traversal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace kron {
+
+class EdgeList {
+ public:
+  /// An empty graph on `n` vertices (vertices 0..n-1 exist even if isolated).
+  explicit EdgeList(vertex_t n = 0) : n_(n) {}
+
+  /// Takes ownership of a prebuilt arc vector.
+  EdgeList(vertex_t n, std::vector<Edge> edges) : n_(n), edges_(std::move(edges)) {}
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return edges_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return edges_.empty(); }
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// Number of undirected edges: (arcs - loops)/2 + loops.  Requires the
+  /// list to be symmetric and deduplicated for the count to be meaningful.
+  [[nodiscard]] std::uint64_t num_undirected_edges() const;
+
+  /// Number of self loops.
+  [[nodiscard]] std::uint64_t num_loops() const;
+
+  /// Append one arc.  Vertex ids must be < num_vertices().
+  void add(vertex_t u, vertex_t v);
+
+  /// Append both arcs of an undirected edge (one arc if u == v).
+  void add_undirected(vertex_t u, vertex_t v);
+
+  /// Grow the vertex set (no-op if n <= current).
+  void ensure_vertices(vertex_t n) { if (n > n_) n_ = n; }
+
+  /// Sort arcs lexicographically and remove duplicates.
+  void sort_dedupe();
+
+  /// Add the reverse of every arc, then sort_dedupe().  After this the list
+  /// represents an undirected graph.
+  void symmetrize();
+
+  /// Remove all self loops.
+  void strip_loops();
+
+  /// Add a self loop at every vertex (the paper's `A + I_A`), then
+  /// sort_dedupe().
+  void add_full_loops();
+
+  /// True if for every arc (u,v) the arc (v,u) is present.  O(arcs log arcs)
+  /// on an unsorted list (sorts a copy).
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// True if sorted and free of duplicate arcs.
+  [[nodiscard]] bool is_canonical() const;
+
+  /// Largest endpoint + 1, or 0 for an empty list.  Useful when reading
+  /// files that do not declare a vertex count.
+  [[nodiscard]] vertex_t max_vertex_bound() const;
+
+  friend bool operator==(const EdgeList&, const EdgeList&) = default;
+
+ private:
+  vertex_t n_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace kron

@@ -1,0 +1,96 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kron {
+
+EdgeList read_edge_list(std::istream& in, vertex_t min_vertices) {
+  std::vector<Edge> edges;
+  vertex_t n = min_vertices;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(fields >> u >> v)) {
+      throw std::runtime_error("read_edge_list: malformed line " + std::to_string(line_no) +
+                               ": '" + line + "'");
+    }
+    edges.push_back({u, v});
+    n = std::max({n, u + 1, v + 1});
+  }
+  return EdgeList(n, std::move(edges));
+}
+
+EdgeList read_edge_list_file(const std::filesystem::path& path, vertex_t min_vertices) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_edge_list_file: cannot open " + path.string());
+  return read_edge_list(in, min_vertices);
+}
+
+void write_edge_list(std::ostream& out, const EdgeList& edges) {
+  out << "# vertices " << edges.num_vertices() << "\n";
+  out << "# arcs " << edges.num_arcs() << "\n";
+  for (const Edge& e : edges.edges()) out << e.u << " " << e.v << "\n";
+}
+
+void write_edge_list_file(const std::filesystem::path& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_edge_list_file: cannot open " + path.string());
+  write_edge_list(out, edges);
+  if (!out) throw std::runtime_error("write_edge_list_file: write failed for " + path.string());
+}
+
+namespace {
+constexpr char kBinaryMagic[8] = {'K', 'R', 'O', 'N', 'E', 'L', '1', '\0'};
+}  // namespace
+
+void write_edge_list_binary(const std::filesystem::path& path, const EdgeList& edges) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_edge_list_binary: cannot open " + path.string());
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  const std::uint64_t n = edges.num_vertices();
+  const std::uint64_t arcs = edges.num_arcs();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&arcs), sizeof(arcs));
+  out.write(reinterpret_cast<const char*>(edges.edges().data()),
+            static_cast<std::streamsize>(arcs * sizeof(Edge)));
+  if (!out)
+    throw std::runtime_error("write_edge_list_binary: write failed for " + path.string());
+}
+
+EdgeList read_edge_list_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_edge_list_binary: cannot open " + path.string());
+  char magic[sizeof(kBinaryMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0)
+    throw std::runtime_error("read_edge_list_binary: bad magic in " + path.string());
+  std::uint64_t n = 0;
+  std::uint64_t arcs = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&arcs), sizeof(arcs));
+  if (!in) throw std::runtime_error("read_edge_list_binary: truncated header");
+  std::vector<Edge> list(arcs);
+  in.read(reinterpret_cast<char*>(list.data()),
+          static_cast<std::streamsize>(arcs * sizeof(Edge)));
+  if (!in || in.gcount() != static_cast<std::streamsize>(arcs * sizeof(Edge)))
+    throw std::runtime_error("read_edge_list_binary: truncated payload");
+  if (in.peek() != std::ifstream::traits_type::eof())
+    throw std::runtime_error("read_edge_list_binary: trailing bytes");
+  for (const Edge& e : list)
+    if (e.u >= n || e.v >= n)
+      throw std::runtime_error("read_edge_list_binary: arc endpoint out of range");
+  return EdgeList(n, std::move(list));
+}
+
+}  // namespace kron

@@ -1,0 +1,42 @@
+// Text edge-list file I/O.
+//
+// Format: one arc per line, "u v" (whitespace separated, 0-based ids);
+// lines starting with '#' or '%' are comments.  This matches the format
+// the paper's generator consumes ("we assume A and B are given as
+// (unordered) edge lists", Sec. III) and the common SNAP dataset layout.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+/// Parse an edge list from a stream.  The vertex count is the largest id
+/// seen + 1 unless `min_vertices` is larger.  Throws std::runtime_error on
+/// malformed lines.
+[[nodiscard]] EdgeList read_edge_list(std::istream& in, vertex_t min_vertices = 0);
+
+/// Parse an edge list from a file.  Throws std::runtime_error if the file
+/// cannot be opened.
+[[nodiscard]] EdgeList read_edge_list_file(const std::filesystem::path& path,
+                                           vertex_t min_vertices = 0);
+
+/// Write one arc per line, preceded by a comment header with counts.
+void write_edge_list(std::ostream& out, const EdgeList& edges);
+
+void write_edge_list_file(const std::filesystem::path& path, const EdgeList& edges);
+
+/// Binary edge-list format for large graphs: a 24-byte header
+/// ("KRONEL1\0", u64 vertex count, u64 arc count) followed by arc pairs of
+/// little-endian u64 — the kind of format the paper's trillion-edge
+/// generation runs write.  Roughly 3x smaller and an order of magnitude
+/// faster to parse than the text form.
+void write_edge_list_binary(const std::filesystem::path& path, const EdgeList& edges);
+
+/// Read the binary format; throws std::runtime_error on a bad magic,
+/// truncated payload, or trailing bytes.
+[[nodiscard]] EdgeList read_edge_list_binary(const std::filesystem::path& path);
+
+}  // namespace kron

@@ -1,0 +1,14 @@
+#include "graph/labels.hpp"
+
+namespace kron {
+
+std::vector<label_t> kron_labels(const std::vector<label_t>& labels_a, label_t num_labels_b,
+                                 const std::vector<label_t>& labels_b) {
+  std::vector<label_t> out(labels_a.size() * labels_b.size());
+  std::size_t index = 0;
+  for (const label_t la : labels_a)
+    for (const label_t lb : labels_b) out[index++] = product_label(la, lb, num_labels_b);
+  return out;
+}
+
+}  // namespace kron

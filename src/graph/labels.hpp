@@ -1,0 +1,44 @@
+// Vertex-labeled graphs.
+//
+// The predecessor paper [11] extends the Kronecker ground-truth results to
+// labeled graphs (label-pattern statistics are a core GraphChallenge
+// workload, ref. [14]).  A labeling is a dense id per vertex; product
+// vertices inherit the *pair* of factor labels, so a product alphabet of
+// size L_A · L_B (see core/labeled_gt.hpp for the ground-truth laws).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+using label_t = std::uint32_t;
+
+struct LabeledGraph {
+  EdgeList graph;
+  std::vector<label_t> label_of;  ///< one label per vertex
+  label_t num_labels = 0;         ///< labels are 0..num_labels-1
+
+  [[nodiscard]] bool valid() const {
+    if (label_of.size() != graph.num_vertices()) return false;
+    for (const label_t l : label_of)
+      if (l >= num_labels) return false;
+    return true;
+  }
+};
+
+/// Label of the product vertex (i, k): the flattened pair
+/// label_A(i) * L_B + label_B(k).
+[[nodiscard]] constexpr label_t product_label(label_t label_a, label_t label_b,
+                                              label_t num_labels_b) noexcept {
+  return label_a * num_labels_b + label_b;
+}
+
+/// Labeling of A ⊗ B induced by factor labelings.
+[[nodiscard]] std::vector<label_t> kron_labels(const std::vector<label_t>& labels_a,
+                                               label_t num_labels_b,
+                                               const std::vector<label_t>& labels_b);
+
+}  // namespace kron

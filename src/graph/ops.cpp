@@ -1,0 +1,90 @@
+#include "graph/ops.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace kron {
+namespace {
+
+constexpr std::uint64_t kUnassigned = std::numeric_limits<std::uint64_t>::max();
+
+}  // namespace
+
+std::vector<std::uint64_t> connected_components(const Csr& g) {
+  const vertex_t n = g.num_vertices();
+  std::vector<std::uint64_t> component(n, kUnassigned);
+  std::vector<vertex_t> frontier;
+  std::uint64_t next_id = 0;
+  for (vertex_t root = 0; root < n; ++root) {
+    if (component[root] != kUnassigned) continue;
+    const std::uint64_t id = next_id++;
+    component[root] = id;
+    frontier.assign(1, root);
+    while (!frontier.empty()) {
+      const vertex_t u = frontier.back();
+      frontier.pop_back();
+      for (const vertex_t v : g.neighbors(u)) {
+        if (component[v] == kUnassigned) {
+          component[v] = id;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+std::uint64_t num_components(const Csr& g) {
+  const auto component = connected_components(g);
+  std::uint64_t count = 0;
+  for (const std::uint64_t c : component) count = std::max(count, c + 1);
+  return g.num_vertices() == 0 ? 0 : count;
+}
+
+EdgeList largest_component(const Csr& g, std::vector<vertex_t>* old_ids) {
+  if (g.num_vertices() == 0) return EdgeList(0);
+  const auto component = connected_components(g);
+  std::uint64_t num_ids = 0;
+  for (const std::uint64_t c : component) num_ids = std::max(num_ids, c + 1);
+  std::vector<std::uint64_t> sizes(num_ids, 0);
+  for (const std::uint64_t c : component) ++sizes[c];
+  const std::uint64_t best =
+      static_cast<std::uint64_t>(std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<vertex_t> members;
+  members.reserve(sizes[best]);
+  for (vertex_t v = 0; v < g.num_vertices(); ++v)
+    if (component[v] == best) members.push_back(v);
+  if (old_ids != nullptr) *old_ids = members;
+  return induced_subgraph(g, members);
+}
+
+EdgeList induced_subgraph(const Csr& g, const std::vector<vertex_t>& vertices) {
+  std::vector<std::uint64_t> new_id(g.num_vertices(), kUnassigned);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const vertex_t v = vertices[i];
+    if (v >= g.num_vertices())
+      throw std::out_of_range("induced_subgraph: vertex id out of range");
+    new_id[v] = i;
+  }
+  EdgeList sub(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (const vertex_t w : g.neighbors(vertices[i])) {
+      if (new_id[w] != kUnassigned) sub.add(i, new_id[w]);
+    }
+  }
+  sub.sort_dedupe();
+  return sub;
+}
+
+EdgeList prepare_factor(const EdgeList& raw, bool add_loops) {
+  EdgeList sym = raw;
+  sym.strip_loops();
+  sym.symmetrize();
+  EdgeList lcc = largest_component(Csr(sym));
+  if (add_loops) lcc.add_full_loops();
+  return lcc;
+}
+
+}  // namespace kron

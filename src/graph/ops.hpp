@@ -1,0 +1,36 @@
+// Whole-graph operations: connected components, subgraph extraction,
+// validation.  These prepare factor graphs the way the paper's experiments
+// do ("we formed the undirected version of the largest connected component,
+// adding all self loops", Sec. V-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+/// Component id per vertex (ids are 0-based, dense, in discovery order).
+[[nodiscard]] std::vector<std::uint64_t> connected_components(const Csr& g);
+
+/// Number of connected components.
+[[nodiscard]] std::uint64_t num_components(const Csr& g);
+
+/// Extract the largest connected component as a relabelled graph.  Vertices
+/// keep their relative order.  Also returns the old-id list (new id -> old
+/// id) through `old_ids` if non-null.
+[[nodiscard]] EdgeList largest_component(const Csr& g,
+                                         std::vector<vertex_t>* old_ids = nullptr);
+
+/// Induced subgraph on the given (sorted or unsorted) vertex set, relabelled
+/// to 0..k-1 in the order given.
+[[nodiscard]] EdgeList induced_subgraph(const Csr& g, const std::vector<vertex_t>& vertices);
+
+/// Prepare a factor the way the paper's experiments do: symmetrize, take the
+/// largest connected component, and optionally add a self loop at every
+/// vertex.
+[[nodiscard]] EdgeList prepare_factor(const EdgeList& raw, bool add_loops);
+
+}  // namespace kron

@@ -1,0 +1,33 @@
+// Fundamental graph types.
+//
+// Conventions (fixed across the whole library, see DESIGN.md §5):
+//  * Vertices are 0-based std::uint64_t.  The paper's 1-based block-index
+//    maps α, β, γ (Sec. II-A) become alpha(p)=p/n_B, beta(p)=p%n_B,
+//    gamma(i,k)=i*n_B+k in 0-based form.
+//  * An undirected graph stores both arcs (u,v) and (v,u); a self loop is
+//    stored once as (v,v).  "Edge count" m counts undirected edges:
+//    m = (arcs - loops)/2 + loops.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace kron {
+
+using vertex_t = std::uint64_t;
+
+/// One directed arc (one nonzero of the adjacency matrix).
+struct Edge {
+  vertex_t u = 0;
+  vertex_t v = 0;
+
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// True if the arc is a self loop.
+[[nodiscard]] constexpr bool is_loop(const Edge& e) noexcept { return e.u == e.v; }
+
+/// The reverse arc.
+[[nodiscard]] constexpr Edge reversed(const Edge& e) noexcept { return {e.v, e.u}; }
+
+}  // namespace kron

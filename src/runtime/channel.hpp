@@ -1,0 +1,69 @@
+// Multi-producer single-consumer blocking channel.
+//
+// The unit of transport between ranks of the in-process runtime
+// (runtime/comm.hpp).  Unbounded FIFO; `pop` blocks until a message or
+// close, mirroring a blocking MPI receive.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace kron {
+
+template <typename T>
+class Channel {
+ public:
+  /// Enqueue a message (any thread).
+  void push(T value) {
+    {
+      const std::scoped_lock lock(mutex_);
+      queue_.push_back(std::move(value));
+    }
+    ready_.notify_one();
+  }
+
+  /// Dequeue, blocking until a message arrives or the channel is closed.
+  /// Returns nullopt only when closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Dequeue without blocking; nullopt when currently empty.
+  std::optional<T> try_pop() {
+    const std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  /// Close: pending pops drain the queue, then observe end-of-stream.
+  void close() {
+    {
+      const std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace kron

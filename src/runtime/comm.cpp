@@ -1,0 +1,148 @@
+#include "runtime/comm.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace kron {
+namespace detail {
+
+/// State shared by all ranks of one Runtime::run invocation.
+struct CommShared {
+  explicit CommShared(int num_ranks) : size(num_ranks), slots(static_cast<std::size_t>(num_ranks)) {
+    mailboxes.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r)
+      mailboxes.push_back(std::make_unique<Channel<RankMessage>>());
+    a2a.resize(static_cast<std::size_t>(size));
+  }
+
+  const int size;
+
+  // Point-to-point mailboxes, one per destination rank.
+  std::vector<std::unique_ptr<Channel<RankMessage>>> mailboxes;
+
+  // Central sense-reversing barrier.
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::uint64_t generation = 0;
+  bool aborted = false;
+
+  // Staging areas for collectives (guarded by the barrier protocol: write
+  // own slot, barrier, read, barrier).
+  std::vector<std::vector<std::byte>> slots;
+  std::vector<std::vector<std::vector<std::byte>>> a2a;  // [source][dest]
+
+  void abort_all() {
+    {
+      const std::scoped_lock lock(mutex);
+      aborted = true;
+    }
+    cv.notify_all();
+    for (auto& box : mailboxes) box->close();
+  }
+
+  void barrier() {
+    std::unique_lock lock(mutex);
+    if (aborted) throw std::runtime_error("Comm: runtime aborted by another rank");
+    const std::uint64_t my_generation = generation;
+    if (++arrived == size) {
+      arrived = 0;
+      ++generation;
+      cv.notify_all();
+      return;
+    }
+    cv.wait(lock, [&] { return generation != my_generation || aborted; });
+    if (generation == my_generation && aborted)
+      throw std::runtime_error("Comm: runtime aborted by another rank");
+  }
+};
+
+}  // namespace detail
+
+void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
+  if (dest < 0 || dest >= size_) throw std::out_of_range("Comm::send: bad destination rank");
+  shared_->mailboxes[static_cast<std::size_t>(dest)]->push(
+      RankMessage{rank_, tag, std::move(payload)});
+}
+
+RankMessage Comm::recv() {
+  auto message = shared_->mailboxes[static_cast<std::size_t>(rank_)]->pop();
+  if (!message) throw std::runtime_error("Comm::recv: mailbox closed (runtime aborted)");
+  return std::move(*message);
+}
+
+std::optional<RankMessage> Comm::try_recv() {
+  return shared_->mailboxes[static_cast<std::size_t>(rank_)]->try_pop();
+}
+
+void Comm::barrier() { shared_->barrier(); }
+
+std::vector<std::vector<std::byte>> Comm::allgather(std::vector<std::byte> mine) {
+  shared_->slots[static_cast<std::size_t>(rank_)] = std::move(mine);
+  shared_->barrier();
+  std::vector<std::vector<std::byte>> all = shared_->slots;  // copy while stable
+  shared_->barrier();
+  return all;
+}
+
+std::uint64_t Comm::allreduce_sum(std::uint64_t value) {
+  const auto all = allgather_values<std::uint64_t>(std::span(&value, 1));
+  std::uint64_t sum = 0;
+  for (const auto& contribution : all) sum += contribution.at(0);
+  return sum;
+}
+
+std::uint64_t Comm::allreduce_max(std::uint64_t value) {
+  const auto all = allgather_values<std::uint64_t>(std::span(&value, 1));
+  std::uint64_t best = 0;
+  for (const auto& contribution : all) best = std::max(best, contribution.at(0));
+  return best;
+}
+
+double Comm::allreduce_sum(double value) {
+  const auto all = allgather_values<double>(std::span(&value, 1));
+  double sum = 0;
+  for (const auto& contribution : all) sum += contribution.at(0);
+  return sum;
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
+    std::vector<std::vector<std::byte>> outbox) {
+  if (outbox.size() != static_cast<std::size_t>(size_))
+    throw std::invalid_argument("Comm::alltoallv: outbox must have one bucket per rank");
+  shared_->a2a[static_cast<std::size_t>(rank_)] = std::move(outbox);
+  shared_->barrier();
+  std::vector<std::vector<std::byte>> inbox(static_cast<std::size_t>(size_));
+  for (int s = 0; s < size_; ++s)
+    inbox[static_cast<std::size_t>(s)] =
+        shared_->a2a[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)];
+  shared_->barrier();
+  return inbox;
+}
+
+void Runtime::run(int ranks, const std::function<void(Comm&)>& body) {
+  if (ranks < 1) throw std::invalid_argument("Runtime::run: need at least one rank");
+  auto shared = std::make_shared<detail::CommShared>(ranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([r, ranks, &body, shared, &errors] {
+      Comm comm(r, ranks, shared);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        shared->abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace kron

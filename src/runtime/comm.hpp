@@ -1,0 +1,147 @@
+// In-process message-passing runtime: the distributed substrate.
+//
+// The paper's generator runs on MPI/HavoqGT across up to 1.57M cores.  This
+// library targets environments without an MPI installation, so it provides
+// an MPI-shaped runtime in a single process: each *rank* is a thread, ranks
+// exchange byte payloads through per-rank channels, and the usual
+// collectives (barrier, allreduce, gather, all-to-all) are built on a
+// shared staging area.  Algorithms written against `Comm` exercise the same
+// partitioning and communication structure they would under MPI — rank
+// counts, per-rank memory bounds, and message volumes are all real; only
+// physical parallel speedup is limited by the host's core count.
+//
+// Usage:
+//   Runtime::run(8, [&](Comm& comm) {
+//     ...             // SPMD body, comm.rank() in [0, comm.size())
+//   });
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/channel.hpp"
+
+namespace kron {
+
+/// One point-to-point message.
+struct RankMessage {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+namespace detail {
+struct CommShared;  // shared collective state, defined in comm.cpp
+}
+
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return size_; }
+
+  // --- point-to-point ----------------------------------------------------
+
+  /// Asynchronous send: enqueues and returns immediately (never blocks).
+  void send(int dest, int tag, std::vector<std::byte> payload);
+
+  /// Typed convenience: send a vector of trivially copyable values.
+  template <typename T>
+  void send_values(int dest, int tag, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(values.size_bytes());
+    std::memcpy(bytes.data(), values.data(), values.size_bytes());
+    send(dest, tag, std::move(bytes));
+  }
+
+  /// Blocking receive of the next message addressed to this rank.
+  [[nodiscard]] RankMessage recv();
+
+  /// Non-blocking receive; nullopt if no message is waiting.
+  [[nodiscard]] std::optional<RankMessage> try_recv();
+
+  /// Decode a typed payload.
+  template <typename T>
+  [[nodiscard]] static std::vector<T> decode(const RankMessage& message) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> values(message.payload.size() / sizeof(T));
+    std::memcpy(values.data(), message.payload.data(), values.size() * sizeof(T));
+    return values;
+  }
+
+  // --- collectives (must be called by every rank, in the same order) ------
+
+  void barrier();
+
+  [[nodiscard]] std::uint64_t allreduce_sum(std::uint64_t value);
+  [[nodiscard]] std::uint64_t allreduce_max(std::uint64_t value);
+  [[nodiscard]] double allreduce_sum(double value);
+
+  /// Every rank contributes a blob; every rank receives all blobs indexed
+  /// by source rank (an allgather).
+  [[nodiscard]] std::vector<std::vector<std::byte>> allgather(std::vector<std::byte> mine);
+
+  /// Typed allgather of value vectors.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> allgather_values(std::span<const T> mine) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(mine.size_bytes());
+    std::memcpy(bytes.data(), mine.data(), mine.size_bytes());
+    auto blobs = allgather(std::move(bytes));
+    std::vector<std::vector<T>> out(blobs.size());
+    for (std::size_t r = 0; r < blobs.size(); ++r) {
+      out[r].resize(blobs[r].size() / sizeof(T));
+      std::memcpy(out[r].data(), blobs[r].data(), out[r].size() * sizeof(T));
+    }
+    return out;
+  }
+
+  /// All-to-all personalized exchange: `outbox[d]` goes to rank d; returns
+  /// the inbox indexed by source rank.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv(std::vector<std::vector<T>> outbox);
+
+ private:
+  friend class Runtime;
+  Comm(int rank, int size, std::shared_ptr<detail::CommShared> shared)
+      : rank_(rank), size_(size), shared_(std::move(shared)) {}
+
+  // Untyped all-to-all used by the template above.
+  [[nodiscard]] std::vector<std::vector<std::byte>> alltoallv_bytes(
+      std::vector<std::vector<std::byte>> outbox);
+
+  int rank_ = 0;
+  int size_ = 1;
+  std::shared_ptr<detail::CommShared> shared_;
+};
+
+template <typename T>
+std::vector<std::vector<T>> Comm::alltoallv(std::vector<std::vector<T>> outbox) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::vector<std::byte>> raw(outbox.size());
+  for (std::size_t d = 0; d < outbox.size(); ++d) {
+    raw[d].resize(outbox[d].size() * sizeof(T));
+    std::memcpy(raw[d].data(), outbox[d].data(), raw[d].size());
+  }
+  auto in_raw = alltoallv_bytes(std::move(raw));
+  std::vector<std::vector<T>> inbox(in_raw.size());
+  for (std::size_t s = 0; s < in_raw.size(); ++s) {
+    inbox[s].resize(in_raw[s].size() / sizeof(T));
+    std::memcpy(inbox[s].data(), in_raw[s].data(), in_raw[s].size());
+  }
+  return inbox;
+}
+
+/// SPMD launcher.
+class Runtime {
+ public:
+  /// Run `body` on `ranks` threads, each with its own Comm.  Rethrows the
+  /// first exception thrown by any rank (after joining all of them).
+  static void run(int ranks, const std::function<void(Comm&)>& body);
+};
+
+}  // namespace kron

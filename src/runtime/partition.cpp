@@ -1,0 +1,39 @@
+#include "runtime/partition.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kron {
+
+IndexRange block_range(std::uint64_t total, std::uint64_t parts, std::uint64_t part) {
+  if (parts == 0) throw std::invalid_argument("block_range: zero parts");
+  if (part >= parts) throw std::out_of_range("block_range: part index out of range");
+  const std::uint64_t base = total / parts;
+  const std::uint64_t extra = total % parts;
+  const std::uint64_t begin = part * base + std::min(part, extra);
+  const std::uint64_t size = base + (part < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+Grid2D::Grid2D(std::uint64_t ranks) : ranks_(ranks) {
+  if (ranks == 0) throw std::invalid_argument("Grid2D: zero ranks");
+  parts_a_ = static_cast<std::uint64_t>(std::ceil(std::sqrt(static_cast<double>(ranks))));
+  parts_b_ = (ranks + parts_a_ - 1) / parts_a_;
+}
+
+std::uint64_t Grid2D::owner(std::uint64_t a_part, std::uint64_t b_part) const {
+  if (a_part >= parts_a_ || b_part >= parts_b_)
+    throw std::out_of_range("Grid2D::owner: cell out of range");
+  return (a_part * parts_b_ + b_part) % ranks_;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Grid2D::cells_of(
+    std::uint64_t rank) const {
+  if (rank >= ranks_) throw std::out_of_range("Grid2D::cells_of: rank out of range");
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cells;
+  for (std::uint64_t cell = rank; cell < num_cells(); cell += ranks_)
+    cells.emplace_back(cell / parts_b_, cell % parts_b_);
+  return cells;
+}
+
+}  // namespace kron

@@ -1,0 +1,47 @@
+// Compact dynamic bitset used as the visited set in graph traversals.
+//
+// std::vector<bool> has awkward iterator semantics and no fast reset-to-zero
+// guarantee; this is a plain word array with the three operations BFS needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kron {
+
+class Bitset {
+ public:
+  explicit Bitset(std::size_t n = 0) : n_(n), words_((n + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= 1ULL << (i & 63); }
+
+  /// Set bit i; returns true iff the bit was previously clear.
+  bool set_once(std::size_t i) noexcept {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    const bool was_clear = (w & mask) == 0;
+    w |= mask;
+    return was_clear;
+  }
+
+  void reset() noexcept { std::fill(words_.begin(), words_.end(), 0ULL); }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t popcount() const noexcept {
+    std::size_t c = 0;
+    for (const std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace kron

@@ -1,0 +1,76 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace kron {
+
+CliArgs::CliArgs(int argc, const char* const* argv, int first,
+                 const std::set<std::string>& flags) {
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    const std::string name = token.substr(2);
+    if (name.empty()) throw std::invalid_argument("CliArgs: bare '--' is not an option");
+    if (flags.count(name) != 0) {
+      flags_.insert(name);
+      continue;
+    }
+    if (i + 1 >= argc)
+      throw std::invalid_argument("CliArgs: option --" + name + " needs a value");
+    values_[name] = argv[++i];
+  }
+}
+
+bool CliArgs::has_flag(const std::string& name) const { return flags_.count(name) != 0; }
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::string CliArgs::require(const std::string& name) const {
+  const auto value = get(name);
+  if (!value) throw std::invalid_argument("missing required option --" + name);
+  return *value;
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name, std::uint64_t fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  try {
+    return std::stoull(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" + *value +
+                                "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" + *value +
+                                "'");
+  }
+}
+
+void CliArgs::reject_unknown(const std::set<std::string>& known) const {
+  for (const auto& [name, value] : values_)
+    if (known.count(name) == 0)
+      throw std::invalid_argument("unknown option --" + name);
+  for (const auto& name : flags_)
+    if (known.count(name) == 0)
+      throw std::invalid_argument("unknown option --" + name);
+}
+
+}  // namespace kron

@@ -1,0 +1,49 @@
+// Minimal command-line option parser for the tools/ binaries.
+//
+// Grammar: `prog <command> [--flag] [--key value] ... [positional ...]`.
+// Options may be declared required, carry defaults, and parse as strings,
+// integers or doubles.  Unknown options are errors (catches typos in
+// benchmark scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace kron {
+
+class CliArgs {
+ public:
+  /// Parse argv after the command word.  `flags` lists the valueless
+  /// option names; everything else starting with "--" consumes the next
+  /// token as its value.  Throws std::invalid_argument on malformed input.
+  CliArgs(int argc, const char* const* argv, int first,
+          const std::set<std::string>& flags = {});
+
+  [[nodiscard]] bool has_flag(const std::string& name) const;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] std::string require(const std::string& name) const;
+
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Throws if any parsed option name is not in `known` — call after
+  /// reading everything a command understands.
+  void reject_unknown(const std::set<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kron

@@ -1,0 +1,15 @@
+#include "util/hash.hpp"
+
+// All hash utilities are constexpr and header-only; this translation unit
+// exists to anchor the library and to host compile-time self-checks.
+
+namespace kron {
+namespace {
+
+static_assert(mix64(0) != 0, "mix64 must not fix zero");
+static_assert(edge_hash(3, 7) == edge_hash(7, 3), "edge_hash must be symmetric");
+static_assert(edge_unit_hash(1, 2) >= 0.0 && edge_unit_hash(1, 2) < 1.0,
+              "edge_unit_hash must land in [0,1)");
+
+}  // namespace
+}  // namespace kron

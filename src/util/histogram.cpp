@@ -1,0 +1,78 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace kron {
+
+void Histogram::add(std::uint64_t value, std::uint64_t multiplicity) {
+  if (multiplicity == 0) return;
+  counts_[value] += multiplicity;
+  total_ += multiplicity;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [value, count] : other.counts_) add(value, count);
+}
+
+std::uint64_t Histogram::count(std::uint64_t value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t Histogram::min() const {
+  if (counts_.empty()) throw std::logic_error("Histogram::min on empty histogram");
+  return counts_.begin()->first;
+}
+
+std::uint64_t Histogram::max() const {
+  if (counts_.empty()) throw std::logic_error("Histogram::max on empty histogram");
+  return counts_.rbegin()->first;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) throw std::logic_error("Histogram::mean on empty histogram");
+  double sum = 0.0;
+  for (const auto& [value, count] : counts_)
+    sum += static_cast<double>(value) * static_cast<double>(count);
+  return sum / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (total_ == 0) throw std::logic_error("Histogram::quantile on empty histogram");
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (const auto& [value, count] : counts_) {
+    seen += count;
+    if (static_cast<double>(seen) >= target) return value;
+  }
+  return counts_.rbegin()->first;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Histogram::items() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::string Histogram::ascii(int width) const {
+  if (counts_.empty()) return "(empty)\n";
+  std::uint64_t peak = 0;
+  for (const auto& [value, count] : counts_) peak = std::max(peak, count);
+  std::ostringstream out;
+  for (const auto& [value, count] : counts_) {
+    const auto bar = static_cast<int>(
+        static_cast<double>(count) / static_cast<double>(peak) * width);
+    out << value << "\t" << count << "\t" << std::string(static_cast<std::size_t>(bar), '#')
+        << "\n";
+  }
+  return out.str();
+}
+
+Histogram Histogram::from(const std::vector<std::uint64_t>& samples) {
+  Histogram h;
+  for (const std::uint64_t s : samples) h.add(s);
+  return h;
+}
+
+}  // namespace kron

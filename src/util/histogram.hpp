@@ -1,0 +1,61 @@
+// Integer-valued histograms.
+//
+// Used throughout the benches: degree distributions, eccentricity
+// distributions (Fig. 1), triangle-count distributions.  A histogram over a
+// product graph's eccentricities can be formed *without materialising the
+// product* by an outer max-combination of the factor histograms
+// (see core/distance_gt.hpp), so the histogram type also supports
+// multiplicity-weighted insertion.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kron {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Count one observation of `value`.
+  void add(std::uint64_t value, std::uint64_t multiplicity = 1);
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other);
+
+  /// Number of distinct values observed.
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+
+  /// Total number of observations (sum of multiplicities).
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Count for a particular value (0 if absent).
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const;
+
+  [[nodiscard]] std::uint64_t min() const;
+  [[nodiscard]] std::uint64_t max() const;
+
+  /// Mean of the observed distribution.
+  [[nodiscard]] double mean() const;
+
+  /// Smallest value v such that at least `q * total()` observations are <= v.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  /// (value, count) pairs in increasing value order.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const;
+
+  /// Render as an ASCII bar chart, one row per distinct value.  `width` is
+  /// the maximum bar width in characters.
+  [[nodiscard]] std::string ascii(int width = 50) const;
+
+  /// Build from a vector of samples.
+  static Histogram from(const std::vector<std::uint64_t>& samples);
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace kron

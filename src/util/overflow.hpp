@@ -1,0 +1,29 @@
+// Checked 64-bit arithmetic.
+//
+// Kronecker quantities grow multiplicatively (counts like n_A^k, τ ~ 6^k τ^k
+// for the k-th power), so the ground-truth composition code must detect —
+// not silently wrap on — overflow.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace kron {
+
+/// a * b, throwing std::overflow_error if the product exceeds 64 bits.
+[[nodiscard]] inline std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t result = 0;
+  if (__builtin_mul_overflow(a, b, &result))
+    throw std::overflow_error("checked_mul: 64-bit overflow");
+  return result;
+}
+
+/// a + b, throwing std::overflow_error on wraparound.
+[[nodiscard]] inline std::uint64_t checked_add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t result = 0;
+  if (__builtin_add_overflow(a, b, &result))
+    throw std::overflow_error("checked_add: 64-bit overflow");
+  return result;
+}
+
+}  // namespace kron

@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace kron {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Table: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| " << std::left << std::setw(static_cast<int>(width[c])) << cells[c] << " ";
+    }
+    out << "|\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out << "|" << std::string(width[c] + 2, '-');
+  out << "|\n";
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream out;
+  out << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string Table::sci(double v, int precision) {
+  std::ostringstream out;
+  out << std::scientific << std::setprecision(precision) << v;
+  return out.str();
+}
+
+}  // namespace kron

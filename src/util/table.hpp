@@ -1,0 +1,29 @@
+// Aligned ASCII table printer used by the bench binaries to render the
+// paper's tables (scaling-law table, experiment summary tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kron {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same number of cells as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  [[nodiscard]] std::string str() const;
+
+  /// Format helpers for numeric cells.
+  static std::string num(double v, int precision = 4);
+  static std::string sci(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kron

@@ -1,0 +1,28 @@
+// Monotonic wall-clock timer for benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace kron {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace kron

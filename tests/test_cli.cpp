@@ -1,0 +1,70 @@
+// Unit tests for the command-line option parser behind tools/krongen.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace kron {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> tokens,
+              const std::set<std::string>& flags = {}) {
+  std::vector<const char*> argv{"prog", "cmd"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), 2, flags);
+}
+
+TEST(Cli, ParsesKeyValueOptions) {
+  const CliArgs args = parse({"--a", "input.txt", "--ranks", "4"});
+  EXPECT_EQ(args.get("a"), "input.txt");
+  EXPECT_EQ(args.get_u64("ranks", 1), 4u);
+  EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(Cli, FlagsDoNotConsumeValues) {
+  const CliArgs args = parse({"--shuffle", "--out", "c.txt"}, {"shuffle"});
+  EXPECT_TRUE(args.has_flag("shuffle"));
+  EXPECT_EQ(args.get("out"), "c.txt");
+}
+
+TEST(Cli, PositionalArguments) {
+  const CliArgs args = parse({"first", "--k", "v", "second"});
+  EXPECT_EQ(args.positional(), (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(Cli, DefaultsAndRequire) {
+  const CliArgs args = parse({"--n", "12"});
+  EXPECT_EQ(args.get_or("family", "er"), "er");
+  EXPECT_EQ(args.get_u64("n", 0), 12u);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.5), 0.5);
+  EXPECT_THROW((void)args.require("out"), std::invalid_argument);
+  EXPECT_EQ(args.require("n"), "12");
+}
+
+TEST(Cli, MissingValueIsError) {
+  EXPECT_THROW(parse({"--out"}), std::invalid_argument);
+}
+
+TEST(Cli, BareDashesRejected) {
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+TEST(Cli, NonNumericValuesRejectedByTypedGetters) {
+  const CliArgs args = parse({"--n", "twelve", "--p", "many"});
+  EXPECT_THROW((void)args.get_u64("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("p", 0), std::invalid_argument);
+}
+
+TEST(Cli, RejectUnknownCatchesTypos) {
+  const CliArgs args = parse({"--rnaks", "4"});
+  EXPECT_THROW(args.reject_unknown({"ranks", "out"}), std::invalid_argument);
+  const CliArgs ok = parse({"--ranks", "4"});
+  EXPECT_NO_THROW(ok.reject_unknown({"ranks", "out"}));
+}
+
+TEST(Cli, UnknownFlagAlsoRejected) {
+  const CliArgs args = parse({"--verbose"}, {"verbose"});
+  EXPECT_THROW(args.reject_unknown({"quiet"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kron

@@ -1,0 +1,282 @@
+// Tests for community structure (Sec. VI): measured internal/external edge
+// counts and densities (Def. 13), the Thm. 6 product formulas, Kronecker
+// vertex sets and partitions (Def. 14-16), and the Cor. 6 / Cor. 7 scaling
+// laws.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analytics/communities.hpp"
+#include "core/community_gt.hpp"
+#include "core/index.hpp"
+#include "core/kron.hpp"
+#include "core/laws.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "gen/sbm.hpp"
+#include "graph/csr.hpp"
+#include "test_factors.hpp"
+
+namespace kron {
+namespace {
+
+// -------------------------------------------------------- measured stats
+
+TEST(CommunityStats, CliqueSubsetCounts) {
+  const Csr g(make_clique(6));
+  const CommunityStats s = community_stats(g, {0, 1, 2});
+  EXPECT_EQ(s.size, 3u);
+  EXPECT_EQ(s.m_in, 3u);    // triangle inside
+  EXPECT_EQ(s.m_out, 9u);   // 3 members x 3 outsiders
+  EXPECT_DOUBLE_EQ(s.rho_in, 1.0);
+  EXPECT_DOUBLE_EQ(s.rho_out, 1.0);
+}
+
+TEST(CommunityStats, LoopsAreExcluded) {
+  EdgeList g = make_clique(4);
+  g.add_full_loops();
+  const CommunityStats s = community_stats(Csr(g), {0, 1});
+  EXPECT_EQ(s.m_in, 1u);
+  EXPECT_EQ(s.m_out, 4u);
+}
+
+TEST(CommunityStats, DisjointSetHasNoInternalEdges) {
+  const Csr g(make_star(5));
+  const CommunityStats s = community_stats(g, {1, 2});
+  EXPECT_EQ(s.m_in, 0u);
+  EXPECT_EQ(s.m_out, 2u);
+}
+
+TEST(CommunityStats, ValidatesVertexIds) {
+  const Csr g(make_clique(3));
+  EXPECT_THROW((void)community_stats(g, {0, 7}), std::out_of_range);
+}
+
+TEST(PartitionStats, CoversAllBlocks) {
+  const SbmGraph sbm = [] {
+    SbmParams params;
+    params.num_vertices = 60;
+    params.blocks = 3;
+    params.p_in = 0.5;
+    params.p_out = 0.05;
+    params.seed = 5;
+    return make_sbm(params);
+  }();
+  const Csr g(sbm.graph);
+  const auto stats = partition_stats(g, sbm.block_of, sbm.num_blocks);
+  ASSERT_EQ(stats.size(), 3u);
+  std::uint64_t total_members = 0;
+  for (const auto& s : stats) total_members += s.size;
+  EXPECT_EQ(total_members, 60u);
+  // Per-block stats agree with the one-set routine.
+  for (std::uint64_t b = 0; b < 3; ++b) {
+    const CommunityStats single = community_stats(g, sbm.block_members(b));
+    EXPECT_EQ(stats[b].m_in, single.m_in);
+    EXPECT_EQ(stats[b].m_out, single.m_out);
+    EXPECT_EQ(stats[b].size, single.size);
+  }
+}
+
+TEST(PartitionStats, ValidatesInput) {
+  const Csr g(make_clique(4));
+  EXPECT_THROW((void)partition_stats(g, {0, 1}, 2), std::invalid_argument);
+  EXPECT_THROW((void)partition_stats(g, {0, 1, 5, 0}, 2), std::out_of_range);
+}
+
+TEST(Densities, Formulas) {
+  EXPECT_DOUBLE_EQ(internal_density(3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(internal_density(0, 1), 0.0);  // degenerate size
+  EXPECT_DOUBLE_EQ(external_density(6, 3, 5), 1.0);
+  EXPECT_DOUBLE_EQ(external_density(1, 5, 5), 0.0);  // S covers everything
+}
+
+// ----------------------------------------------------------- Thm. 6 sweep
+
+/// Direct measurement of S_C = S_A ⊗ S_B in the materialised product.
+CommunityStats measured_product(const EdgeList& a, const std::vector<vertex_t>& sa,
+                                const EdgeList& b, const std::vector<vertex_t>& sb) {
+  EdgeList c = kronecker_product_with_loops(a, b);
+  c.sort_dedupe();
+  return community_stats(Csr(c), kron_vertex_set(sa, sb, b.num_vertices()));
+}
+
+TEST(CommunityProduct, MatchesDirectOnCliqueSets) {
+  const EdgeList a = make_clique(5);
+  const EdgeList b = make_clique(4);
+  const std::vector<vertex_t> sa{0, 1, 2};
+  const std::vector<vertex_t> sb{0, 1};
+  const CommunityStats stats_a = community_stats(Csr(a), sa);
+  const CommunityStats stats_b = community_stats(Csr(b), sb);
+  const CommunityStats predicted = community_product(stats_a, 5, stats_b, 4);
+  const CommunityStats measured = measured_product(a, sa, b, sb);
+  EXPECT_EQ(predicted.size, measured.size);
+  EXPECT_EQ(predicted.m_in, measured.m_in);
+  EXPECT_EQ(predicted.m_out, measured.m_out);
+  EXPECT_DOUBLE_EQ(predicted.rho_in, measured.rho_in);
+  EXPECT_DOUBLE_EQ(predicted.rho_out, measured.rho_out);
+}
+
+TEST(CommunityProduct, MatchesDirectOnRandomFactors) {
+  const EdgeList a = make_gnm(10, 20, 3);
+  const EdgeList b = make_gnm(8, 14, 4);
+  const std::vector<vertex_t> sa{1, 3, 5, 7};
+  const std::vector<vertex_t> sb{0, 2, 4};
+  const CommunityStats predicted = community_product(community_stats(Csr(a), sa), 10,
+                                                     community_stats(Csr(b), sb), 8);
+  const CommunityStats measured = measured_product(a, sa, b, sb);
+  EXPECT_EQ(predicted.m_in, measured.m_in);
+  EXPECT_EQ(predicted.m_out, measured.m_out);
+  EXPECT_NEAR(predicted.rho_in, measured.rho_in, 1e-12);
+  EXPECT_NEAR(predicted.rho_out, measured.rho_out, 1e-12);
+}
+
+TEST(CommunityProduct, SweepOverFactorsAndSets) {
+  for (const auto& [name_a, a] : testing::compact_factors()) {
+    for (const auto& [name_b, b] : testing::compact_factors()) {
+      // Take the low half of each factor as the community.
+      std::vector<vertex_t> sa(a.num_vertices() / 2);
+      std::iota(sa.begin(), sa.end(), 0);
+      std::vector<vertex_t> sb(b.num_vertices() / 2);
+      std::iota(sb.begin(), sb.end(), 0);
+      if (sa.empty() || sb.empty()) continue;
+      const CommunityStats predicted =
+          community_product(community_stats(Csr(a), sa), a.num_vertices(),
+                            community_stats(Csr(b), sb), b.num_vertices());
+      const CommunityStats measured = measured_product(a, sa, b, sb);
+      EXPECT_EQ(predicted.m_in, measured.m_in) << name_a << " x " << name_b;
+      EXPECT_EQ(predicted.m_out, measured.m_out) << name_a << " x " << name_b;
+    }
+  }
+}
+
+// ------------------------------------------------- partitions (Def. 15/16)
+
+TEST(KronPartition, BlockIdsAndCount) {
+  // |Π_C| = |Π_A| |Π_B| (intro table).
+  const std::vector<std::uint64_t> block_a{0, 0, 1};
+  const std::vector<std::uint64_t> block_b{0, 1};
+  const auto block_c = kron_partition(block_a, 2, block_b, 2);
+  ASSERT_EQ(block_c.size(), 6u);
+  // Vertex (i, k) -> block a*2 + b.
+  EXPECT_EQ(block_c[gamma(0, 0, 2)], 0u);
+  EXPECT_EQ(block_c[gamma(0, 1, 2)], 1u);
+  EXPECT_EQ(block_c[gamma(2, 0, 2)], 2u);
+  EXPECT_EQ(block_c[gamma(2, 1, 2)], 3u);
+}
+
+TEST(KronPartition, IsAPartition) {
+  const std::vector<std::uint64_t> block_a{0, 1, 2, 0};
+  const std::vector<std::uint64_t> block_b{0, 0, 1};
+  const auto block_c = kron_partition(block_a, 3, block_b, 2);
+  // Every vertex gets a block id < 6, and every block id corresponds to the
+  // Kronecker set of its factor blocks.
+  for (const auto id : block_c) EXPECT_LT(id, 6u);
+}
+
+TEST(KronPartition, ValidatesBlockIds) {
+  EXPECT_THROW((void)kron_partition({0, 5}, 2, {0}, 1), std::out_of_range);
+}
+
+TEST(KronVertexSet, MatchesGammaMap) {
+  const auto members = kron_vertex_set({1, 2}, {0, 3}, 4);
+  EXPECT_EQ(members, (std::vector<vertex_t>{4, 7, 8, 11}));
+}
+
+TEST(PartitionProduct, MatchesDirectMeasurement) {
+  // Full pipeline on an SBM pair: Thm. 6 per block pair vs measuring the
+  // materialised product with the Kronecker partition.
+  SbmParams params;
+  params.num_vertices = 24;
+  params.blocks = 3;
+  params.p_in = 0.7;
+  params.p_out = 0.1;
+  params.seed = 17;
+  const SbmGraph sbm_a = make_sbm(params);
+  params.seed = 18;
+  const SbmGraph sbm_b = make_sbm(params);
+
+  const Csr a(sbm_a.graph), b(sbm_b.graph);
+  const auto predicted =
+      partition_product_stats(a, sbm_a.block_of, 3, b, sbm_b.block_of, 3);
+  ASSERT_EQ(predicted.size(), 9u);
+
+  EdgeList c = kronecker_product_with_loops(sbm_a.graph, sbm_b.graph);
+  c.sort_dedupe();
+  const auto block_c = kron_partition(sbm_a.block_of, 3, sbm_b.block_of, 3);
+  const auto measured = partition_stats(Csr(c), block_c, 9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(predicted[i].size, measured[i].size) << "block " << i;
+    EXPECT_EQ(predicted[i].m_in, measured[i].m_in) << "block " << i;
+    EXPECT_EQ(predicted[i].m_out, measured[i].m_out) << "block " << i;
+  }
+}
+
+// ------------------------------------------------------- Cor. 6 / Cor. 7
+
+TEST(ScalingLaws, Cor6LowerBoundHolds) {
+  // ρ_in(S_C) >= (1/3) ρ_in(S_A) ρ_in(S_B) whenever |S| > 1.
+  const EdgeList a = make_gnm(12, 30, 5);
+  const EdgeList b = make_gnm(10, 22, 6);
+  for (const std::size_t half_a : {2u, 4u, 6u}) {
+    for (const std::size_t half_b : {2u, 3u, 5u}) {
+      std::vector<vertex_t> sa(half_a);
+      std::iota(sa.begin(), sa.end(), 0);
+      std::vector<vertex_t> sb(half_b);
+      std::iota(sb.begin(), sb.end(), 0);
+      const CommunityStats stats_a = community_stats(Csr(a), sa);
+      const CommunityStats stats_b = community_stats(Csr(b), sb);
+      const CommunityStats product = community_product(stats_a, 12, stats_b, 10);
+      EXPECT_GE(product.rho_in + 1e-12, stats_a.rho_in * stats_b.rho_in / 3.0);
+      // The tight factor is θ(|S_A|, |S_B|).
+      EXPECT_GE(product.rho_in + 1e-12,
+                theta(stats_a.size, stats_b.size) * stats_a.rho_in * stats_b.rho_in);
+    }
+  }
+}
+
+TEST(ScalingLaws, Cor7UpperBoundHoldsWithProvableCoefficient) {
+  // With m_out >= |S| in both factors, ρ_out(S_C) <= (3+4ω) Ω ρ_out ρ_out.
+  const EdgeList a = make_gnm(14, 40, 9);
+  const EdgeList b = make_gnm(12, 30, 10);
+  std::vector<vertex_t> sa{0, 1, 2};
+  std::vector<vertex_t> sb{0, 1, 2, 3};
+  const CommunityStats stats_a = community_stats(Csr(a), sa);
+  const CommunityStats stats_b = community_stats(Csr(b), sb);
+  ASSERT_GE(stats_a.m_out, stats_a.size);
+  ASSERT_GE(stats_b.m_out, stats_b.size);
+  const CommunityStats product = community_product(stats_a, 14, stats_b, 12);
+  const double w = omega(stats_a.m_in, stats_a.m_out, stats_b.m_in, stats_b.m_out);
+  const double big_omega = capital_omega(stats_a.size, 14, stats_b.size, 12);
+  EXPECT_LE(product.rho_out, cor7_provable_coefficient(w) * big_omega * stats_a.rho_out *
+                                 stats_b.rho_out +
+                                 1e-12);
+}
+
+TEST(ScalingLaws, OmegaAndCapitalOmega) {
+  EXPECT_DOUBLE_EQ(omega(4, 2, 3, 6), 2.0);
+  EXPECT_GT(capital_omega(2, 100, 2, 100), 1.0);
+  EXPECT_LT(capital_omega(2, 100, 2, 100), 1.01);
+  EXPECT_THROW((void)omega(1, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)capital_omega(10, 10, 10, 10), std::invalid_argument);
+}
+
+TEST(ScalingLaws, ExampleOneDisjointCliqueDensities) {
+  // Ex. 1: disjoint-clique factors give disjoint-clique products with
+  // ρ_in = 1 and ρ_out = 0 for every Kronecker community.
+  const EdgeList a = make_disjoint_cliques(2, 3);
+  const EdgeList b = make_disjoint_cliques(2, 2);
+  std::vector<std::uint64_t> block_a(6), block_b(4);
+  for (vertex_t v = 0; v < 6; ++v) block_a[v] = v / 3;
+  for (vertex_t v = 0; v < 4; ++v) block_b[v] = v / 2;
+  const auto stats =
+      partition_product_stats(Csr(a), block_a, 2, Csr(b), block_b, 2);
+  ASSERT_EQ(stats.size(), 4u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.size, 6u);
+    EXPECT_DOUBLE_EQ(s.rho_in, 1.0);
+    EXPECT_EQ(s.m_out, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace kron

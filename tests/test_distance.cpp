@@ -1,0 +1,374 @@
+// Tests for the distance-based ground truth (Sec. V): hop counts (Thm. 3
+// and the Thm. 5 sandwich), diameter (Cor. 3/5), eccentricity (Cor. 4),
+// closeness centrality (Thm. 4, both evaluators), plus the direct
+// reference algorithms they are checked against (BFS, exact and bounded
+// eccentricity).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analytics/bfs.hpp"
+#include "analytics/closeness.hpp"
+#include "analytics/eccentricity.hpp"
+#include "core/distance_gt.hpp"
+#include "core/index.hpp"
+#include "core/kron.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "test_factors.hpp"
+
+namespace kron {
+namespace {
+
+// ------------------------------------------------------------ BFS baseline
+
+TEST(Bfs, LevelsOnPath) {
+  const Csr g(make_path(5));
+  const auto levels = bfs_levels(g, 0);
+  for (vertex_t v = 0; v < 5; ++v) EXPECT_EQ(levels[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  const Csr g(make_disjoint_cliques(2, 3));
+  const auto levels = bfs_levels(g, 0);
+  EXPECT_EQ(levels[1], 1u);
+  EXPECT_EQ(levels[3], kUnreachable);
+}
+
+TEST(Bfs, HopsDiagonalWithLoop) {
+  // Def. 9: with a self loop at the source, hops(i, i) = 1.
+  EdgeList g = make_path(3);
+  g.add_full_loops();
+  const auto hops = hops_from(Csr(g), 1);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[0], 1u);
+  EXPECT_EQ(hops[2], 1u);
+}
+
+TEST(Bfs, HopsDiagonalWithoutLoop) {
+  // Without a loop the shortest closed walk is out-and-back: hops = 2.
+  const auto hops = hops_from(Csr(make_path(3)), 1);
+  EXPECT_EQ(hops[1], 2u);
+}
+
+TEST(Bfs, HopsDiagonalIsolatedVertex) {
+  EdgeList g(2);
+  g.add_undirected(0, 1);
+  g.ensure_vertices(3);
+  const auto hops = hops_from(Csr(g), 2);
+  EXPECT_EQ(hops[2], kUnreachable);
+}
+
+TEST(Bfs, AllPairsMatrixConsistent) {
+  const Csr g(make_cycle(6));
+  const auto matrix = all_pairs_hops(g);
+  for (vertex_t i = 0; i < 6; ++i)
+    for (vertex_t j = 0; j < 6; ++j)
+      if (i != j) EXPECT_EQ(matrix[i * 6 + j], matrix[j * 6 + i]);
+  EXPECT_EQ(matrix[0 * 6 + 3], 3u);
+}
+
+// ------------------------------------------------------------ eccentricity
+
+TEST(Eccentricity, ExactOnCycle) {
+  EdgeList g = make_cycle(8);
+  g.add_full_loops();
+  const auto ecc = exact_eccentricities(Csr(g));
+  for (const auto e : ecc) EXPECT_EQ(e, 4u);
+}
+
+TEST(Eccentricity, ExactOnPathEnds) {
+  EdgeList g = make_path(5);
+  g.add_full_loops();
+  const auto ecc = exact_eccentricities(Csr(g));
+  EXPECT_EQ(ecc[0], 4u);
+  EXPECT_EQ(ecc[2], 2u);
+  EXPECT_EQ(ecc[4], 4u);
+}
+
+TEST(Eccentricity, BoundedMatchesExact) {
+  for (const auto& [name, factor] : testing::standard_factors()) {
+    if (num_components(Csr(factor)) != 1) continue;
+    EdgeList g = factor;
+    g.add_full_loops();
+    const Csr csr(g);
+    const auto exact = exact_eccentricities(csr);
+    const auto bounded = bounded_eccentricities(csr);
+    EXPECT_EQ(bounded.ecc, exact) << name;
+    EXPECT_GE(bounded.bfs_count, 1u);
+    EXPECT_LE(bounded.bfs_count, csr.num_vertices());
+  }
+}
+
+TEST(Eccentricity, BoundedUsesFewerBfsOnScaleFree) {
+  // Scale-free graphs have a narrow eccentricity plateau ({r+1, r+2} holds
+  // almost every vertex), the hard case for bound-based exact algorithms;
+  // the win is real but bounded — well under one BFS per vertex.
+  EdgeList g = prepare_factor(make_pref_attachment(400, 3, 5), true);
+  const auto result = bounded_eccentricities(Csr(g));
+  EXPECT_LT(result.bfs_count, g.num_vertices() / 2);
+}
+
+TEST(Eccentricity, BoundedNeedsVeryFewBfsOnWideEccRange) {
+  // A long path with a clique blob at one end has a wide eccentricity
+  // range; the pivot bounds collapse it in a handful of BFS sweeps.
+  EdgeList g(64);
+  for (vertex_t u = 0; u < 8; ++u)
+    for (vertex_t v = u + 1; v < 8; ++v) g.add_undirected(u, v);
+  for (vertex_t v = 7; v + 1 < 64; ++v) g.add_undirected(v, v + 1);
+  g.add_full_loops();
+  const auto result = bounded_eccentricities(Csr(g));
+  EXPECT_EQ(result.ecc, exact_eccentricities(Csr(g)));
+  EXPECT_LE(result.bfs_count, 10u);
+}
+
+TEST(Eccentricity, BoundedRejectsDisconnected) {
+  EXPECT_THROW((void)bounded_eccentricities(Csr(make_disjoint_cliques(2, 3))),
+               std::invalid_argument);
+}
+
+TEST(Eccentricity, DiameterAndRadius) {
+  EdgeList g = make_path(7);
+  g.add_full_loops();
+  const Csr csr(g);
+  EXPECT_EQ(diameter(csr), 6u);
+  EXPECT_EQ(radius(csr), 3u);
+}
+
+// ------------------------------------------------------- closeness (direct)
+
+TEST(Closeness, MatchesHandComputationOnPathWithLoops) {
+  EdgeList g = make_path(3);
+  g.add_full_loops();
+  const Csr csr(g);
+  // Vertex 0: hops = [1, 1, 2] → ζ = 1 + 1 + 0.5.
+  EXPECT_DOUBLE_EQ(closeness(csr, 0), 2.5);
+  // Vertex 1: hops = [1, 1, 1] → 3.
+  EXPECT_DOUBLE_EQ(closeness(csr, 1), 3.0);
+}
+
+TEST(Closeness, UnreachableContributesZero) {
+  const Csr csr(make_disjoint_cliques(2, 2));
+  // Vertex 0: hops(0)=2 (no loop), hops(1)=1, others unreachable.
+  EXPECT_DOUBLE_EQ(closeness(csr, 0), 1.5);
+}
+
+TEST(Closeness, AllVector) {
+  EdgeList g = make_cycle(5);
+  g.add_full_loops();
+  const auto scores = all_closeness(Csr(g));
+  for (const double s : scores) EXPECT_DOUBLE_EQ(s, scores[0]);  // vertex-transitive
+}
+
+// ------------------------------------------------- DistanceGroundTruth sweep
+
+class DistanceSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(DistanceSweep, AllFormulasMatchDirect) {
+  const auto factors = testing::compact_factors();
+  const auto& fa = factors[std::get<0>(GetParam())];
+  const auto& fb = factors[std::get<1>(GetParam())];
+  if (num_components(Csr(fa.graph)) != 1 || num_components(Csr(fb.graph)) != 1)
+    GTEST_SKIP() << "factors must be connected";
+
+  const DistanceGroundTruth gt(fa.graph, fb.graph);
+  const Csr c(gt.materialize());
+  ASSERT_EQ(c.num_vertices(), gt.num_vertices());
+
+  // Hop counts: every pair (product is small enough).
+  for (vertex_t p = 0; p < c.num_vertices(); ++p) {
+    const auto direct = hops_from(c, p);
+    for (vertex_t q = 0; q < c.num_vertices(); ++q)
+      ASSERT_EQ(gt.hops(p, q), direct[q]) << fa.name << "x" << fb.name << " " << p << "->" << q;
+  }
+
+  // Eccentricity per Cor. 4 and closeness per Thm. 4.
+  const auto ecc_direct = exact_eccentricities(c);
+  for (vertex_t p = 0; p < c.num_vertices(); ++p) {
+    EXPECT_EQ(gt.eccentricity(p), ecc_direct[p]) << "vertex " << p;
+    const double zeta_direct = closeness(c, p);
+    EXPECT_NEAR(gt.closeness_naive(p), zeta_direct, 1e-9) << "vertex " << p;
+    EXPECT_NEAR(gt.closeness_fast(p), zeta_direct, 1e-9) << "vertex " << p;
+  }
+
+  EXPECT_EQ(gt.diameter(), diameter(c));
+
+  // Eccentricity distribution (Fig. 1 machinery).
+  Histogram direct_hist;
+  for (const auto e : ecc_direct) direct_hist.add(e);
+  EXPECT_EQ(gt.eccentricity_histogram().items(), direct_hist.items());
+}
+
+INSTANTIATE_TEST_SUITE_P(ConnectedPairs, DistanceSweep,
+                         ::testing::Combine(::testing::Range<std::size_t>(0, 6),
+                                            ::testing::Range<std::size_t>(0, 6)));
+
+// ---------------------------------------------------------- targeted cases
+
+TEST(DistanceGroundTruth, HopsIsMaxOfFactorHops) {
+  const DistanceGroundTruth gt(make_path(4), make_cycle(5));
+  // p = (0, 0), q = (3, 2): hops_A = 3, hops_B = 2 → max 3.
+  const vertex_t p = gamma(0, 0, 5);
+  const vertex_t q = gamma(3, 2, 5);
+  EXPECT_EQ(gt.hops(p, q), 3u);
+}
+
+TEST(DistanceGroundTruth, DiameterIsMaxOfFactorDiameters) {
+  const DistanceGroundTruth gt(make_path(6), make_cycle(4));
+  EXPECT_EQ(gt.diameter(), 5u);  // max(5, 2)
+}
+
+TEST(DistanceGroundTruth, EccentricityVectorsExposed) {
+  const DistanceGroundTruth gt(make_path(5), make_path(3));
+  EXPECT_EQ(gt.ecc_a(), (std::vector<std::uint64_t>{4, 3, 2, 3, 4}));
+  EXPECT_EQ(gt.ecc_b(), (std::vector<std::uint64_t>{2, 1, 2}));
+  // ε_C((0,1)) = max(4, 1) = 4.
+  EXPECT_EQ(gt.eccentricity(gamma(0, 1, 3)), 4u);
+}
+
+TEST(DistanceGroundTruth, RejectsDisconnectedFactor) {
+  EXPECT_THROW(DistanceGroundTruth(make_disjoint_cliques(2, 3), make_clique(3)),
+               std::invalid_argument);
+}
+
+TEST(DistanceGroundTruth, DiameterControlCor5) {
+  // Cor. 5: with loops only in A, diam(C) is within +1 of
+  // max(diam A, diam B).  Build C = (A+I) ⊗ B explicitly and check.
+  EdgeList a = make_path(7);  // diameter 6 once loops added
+  a.add_full_loops();
+  const EdgeList b = make_cycle(5);  // diameter 2, no loops
+  EdgeList c = kronecker_product(a, b);
+  c.sort_dedupe();
+  const Csr csr(c);
+  ASSERT_EQ(num_components(csr), 1u);
+  const std::uint64_t diam_c = diameter(csr);
+  EXPECT_GE(diam_c, 6u);
+  EXPECT_LE(diam_c, 7u);
+}
+
+TEST(DistanceGroundTruth, Thm5SandwichHoldsPairwise) {
+  // hops_C within [max, max+1] when only A has loops.
+  EdgeList a = make_path(4);
+  a.add_full_loops();
+  const EdgeList b = make_cycle(6);
+  EdgeList c_list = kronecker_product(a, b);
+  c_list.sort_dedupe();
+  const Csr c(c_list);
+  const Csr ca(a), cb(b);
+  const vertex_t n_b = cb.num_vertices();
+  for (vertex_t p = 0; p < c.num_vertices(); ++p) {
+    const auto direct = hops_from(c, p);
+    const auto row_a = hops_from(ca, alpha(p, n_b));
+    const auto row_b = hops_from(cb, beta(p, n_b));
+    for (vertex_t q = 0; q < c.num_vertices(); ++q) {
+      if (p == q) continue;
+      const HopBounds bounds =
+          hops_product_mixed(row_a[alpha(q, n_b)], row_b[beta(q, n_b)]);
+      EXPECT_GE(direct[q], bounds.lower) << p << "->" << q;
+      EXPECT_LE(direct[q], bounds.upper) << p << "->" << q;
+    }
+  }
+}
+
+// -------------------------------------------------------- approx ecc / grid
+
+TEST(ApproxEccentricity, BoundsBracketExact) {
+  EdgeList g = prepare_factor(make_pref_attachment(300, 3, 9), true);
+  const Csr csr(g);
+  const auto exact = exact_eccentricities(csr);
+  const auto approx = approx_eccentricities(csr, 8);
+  for (vertex_t v = 0; v < csr.num_vertices(); ++v) {
+    EXPECT_LE(approx.lower[v], exact[v]) << "vertex " << v;
+    EXPECT_GE(approx.upper[v], exact[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(approx.bfs_count, 8u);
+}
+
+TEST(ApproxEccentricity, MostEstimatesWithinOne) {
+  // The paper's Fig. 1 caveat: the approximate direct algorithm may
+  // overshoot by 1 on a minority of vertices.  Our pivot estimator shows
+  // the same profile: everything within +1 on a small-world graph, and a
+  // majority exact.
+  EdgeList g = prepare_factor(make_pref_attachment(300, 3, 9), true);
+  const Csr csr(g);
+  const auto exact = exact_eccentricities(csr);
+  const auto approx = approx_eccentricities(csr, 8);
+  std::uint64_t exact_hits = 0, within_one = 0;
+  for (vertex_t v = 0; v < csr.num_vertices(); ++v) {
+    if (approx.estimate[v] == exact[v]) ++exact_hits;
+    if (approx.estimate[v] <= exact[v] + 1) ++within_one;
+  }
+  EXPECT_EQ(within_one, csr.num_vertices());
+  EXPECT_GT(exact_hits * 2, csr.num_vertices());  // majority exact
+}
+
+TEST(ApproxEccentricity, MorePivotsTightenBounds) {
+  EdgeList g = prepare_factor(make_gnm(200, 600, 4), true);
+  const Csr csr(g);
+  const auto few = approx_eccentricities(csr, 2);
+  const auto many = approx_eccentricities(csr, 16);
+  std::uint64_t few_gap = 0, many_gap = 0;
+  for (vertex_t v = 0; v < csr.num_vertices(); ++v) {
+    few_gap += few.upper[v] - few.lower[v];
+    many_gap += many.upper[v] - many.lower[v];
+  }
+  EXPECT_LE(many_gap, few_gap);
+}
+
+TEST(ApproxEccentricity, RejectsDisconnected) {
+  EXPECT_THROW((void)approx_eccentricities(Csr(make_disjoint_cliques(2, 4)), 3),
+               std::invalid_argument);
+}
+
+TEST(ClosenessGrid, MatchesPerVertexEvaluators) {
+  const DistanceGroundTruth gt(prepare_factor(make_gnm(40, 120, 8), false),
+                               prepare_factor(make_pref_attachment(30, 2, 9), false));
+  const std::vector<vertex_t> rows_a{0, 5, 11};
+  const std::vector<vertex_t> rows_b{2, 7};
+  const auto grid = gt.closeness_grid(rows_a, rows_b);
+  ASSERT_EQ(grid.size(), 6u);
+  const vertex_t n_b = gt.factor_b().num_vertices();
+  for (std::size_t ia = 0; ia < rows_a.size(); ++ia) {
+    for (std::size_t ib = 0; ib < rows_b.size(); ++ib) {
+      const vertex_t p = gamma(rows_a[ia], rows_b[ib], n_b);
+      EXPECT_NEAR(grid[ia * rows_b.size() + ib], gt.closeness_fast(p), 1e-9)
+          << "cell " << ia << "," << ib;
+      EXPECT_NEAR(grid[ia * rows_b.size() + ib], gt.closeness_naive(p), 1e-9);
+    }
+  }
+}
+
+TEST(ClosenessGrid, EmptySelectionGivesEmptyResult) {
+  const DistanceGroundTruth gt(make_clique(4), make_clique(3));
+  EXPECT_TRUE(gt.closeness_grid({}, {0}).empty());
+  EXPECT_TRUE(gt.closeness_grid({0}, {}).empty());
+}
+
+// --------------------------------------------------------------- max_combine
+
+TEST(MaxCombine, MatchesBruteForce) {
+  const Histogram a = Histogram::from({1, 2, 2, 5});
+  const Histogram b = Histogram::from({2, 3, 3});
+  Histogram expected;
+  for (const std::uint64_t x : {1u, 2u, 2u, 5u})
+    for (const std::uint64_t y : {2u, 3u, 3u}) expected.add(std::max<std::uint64_t>(x, y));
+  EXPECT_EQ(max_combine(a, b).items(), expected.items());
+}
+
+TEST(MaxCombine, TotalIsProductOfTotals) {
+  const Histogram a = Histogram::from({1, 1, 4, 9});
+  const Histogram b = Histogram::from({3, 3, 3, 7, 8});
+  EXPECT_EQ(max_combine(a, b).total(), a.total() * b.total());
+}
+
+TEST(MaxCombine, EmptyOperandGivesEmpty) {
+  const Histogram a = Histogram::from({1, 2});
+  EXPECT_EQ(max_combine(a, Histogram{}).total(), 0u);
+}
+
+}  // namespace
+}  // namespace kron

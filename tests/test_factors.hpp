@@ -1,0 +1,77 @@
+// Shared factor-graph factories for the test suite.
+//
+// Each factory returns a small undirected simple graph; parameterized test
+// suites sweep over pairs of them to exercise the Kronecker formulas on
+// structurally diverse factors (dense, sparse, regular, scale-free,
+// community-structured, bipartite, tree-like).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "gen/rmat.hpp"
+#include "gen/sbm.hpp"
+#include "gen/smallworld.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/ops.hpp"
+
+namespace kron::testing {
+
+struct NamedFactor {
+  std::string name;
+  EdgeList graph;
+};
+
+/// The standard sweep set: small, connected, simple, undirected factors.
+inline std::vector<NamedFactor> standard_factors() {
+  std::vector<NamedFactor> factors;
+  factors.push_back({"clique5", make_clique(5)});
+  factors.push_back({"clique7", make_clique(7)});
+  factors.push_back({"cycle6", make_cycle(6)});
+  factors.push_back({"cycle9", make_cycle(9)});
+  factors.push_back({"path8", make_path(8)});
+  factors.push_back({"star7", make_star(7)});
+  factors.push_back({"bipartite34", make_complete_bipartite(3, 4)});
+  factors.push_back({"grid3x4", make_grid(3, 4)});
+  // Random graphs: take the largest connected component to guarantee the
+  // distance formulas apply.
+  factors.push_back({"gnm_12_20", prepare_factor(make_gnm(12, 20, 7), false)});
+  factors.push_back({"gnp_14", prepare_factor(make_gnp(14, 0.3, 11), false)});
+  factors.push_back({"ba_15", prepare_factor(make_pref_attachment(15, 2, 3), false)});
+  {
+    RmatParams params;
+    params.scale = 4;
+    params.edge_factor = 4;
+    params.seed = 5;
+    factors.push_back({"rmat_s4", prepare_factor(make_rmat(params), false)});
+  }
+  {
+    SbmParams params;
+    params.num_vertices = 18;
+    params.blocks = 3;
+    params.p_in = 0.7;
+    params.p_out = 0.1;
+    params.seed = 13;
+    factors.push_back({"sbm18", prepare_factor(make_sbm(params).graph, false)});
+  }
+  factors.push_back({"cliques2x4", make_disjoint_cliques(2, 4)});
+  factors.push_back({"ws16", prepare_factor(make_small_world(16, 4, 0.3, 19), false)});
+  return factors;
+}
+
+/// A compact subset for the more expensive product sweeps.
+inline std::vector<NamedFactor> compact_factors() {
+  std::vector<NamedFactor> factors;
+  factors.push_back({"clique5", make_clique(5)});
+  factors.push_back({"cycle6", make_cycle(6)});
+  factors.push_back({"star7", make_star(7)});
+  factors.push_back({"grid3x4", make_grid(3, 4)});
+  factors.push_back({"gnm_12_20", prepare_factor(make_gnm(12, 20, 7), false)});
+  factors.push_back({"ba_15", prepare_factor(make_pref_attachment(15, 2, 3), false)});
+  return factors;
+}
+
+}  // namespace kron::testing

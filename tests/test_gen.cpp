@@ -1,0 +1,412 @@
+// Unit tests for the factor generators: classic families, Erdős–Rényi,
+// R-MAT, preferential attachment, and the stochastic block model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/clustering.hpp"
+#include "analytics/triangles.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "gen/rmat.hpp"
+#include "gen/sbm.hpp"
+#include "gen/smallworld.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+
+namespace kron {
+namespace {
+
+// ---------------------------------------------------------------- classic
+
+TEST(Classic, CliqueShape) {
+  const EdgeList g = make_clique(6);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_undirected_edges(), 15u);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.num_loops(), 0u);
+}
+
+TEST(Classic, CliqueIsComplete) {
+  const Csr g(make_clique(5));
+  for (vertex_t u = 0; u < 5; ++u)
+    for (vertex_t v = 0; v < 5; ++v)
+      EXPECT_EQ(g.has_edge(u, v), u != v) << u << "," << v;
+}
+
+TEST(Classic, CycleShape) {
+  const EdgeList g = make_cycle(8);
+  EXPECT_EQ(g.num_undirected_edges(), 8u);
+  const Csr csr(g);
+  for (vertex_t v = 0; v < 8; ++v) EXPECT_EQ(csr.degree(v), 2u);
+}
+
+TEST(Classic, CycleRejectsTiny) { EXPECT_THROW((void)make_cycle(2), std::invalid_argument); }
+
+TEST(Classic, PathShape) {
+  const EdgeList g = make_path(6);
+  EXPECT_EQ(g.num_undirected_edges(), 5u);
+  const Csr csr(g);
+  EXPECT_EQ(csr.degree(0), 1u);
+  EXPECT_EQ(csr.degree(5), 1u);
+  EXPECT_EQ(csr.degree(3), 2u);
+}
+
+TEST(Classic, SinglePathVertexHasNoEdges) {
+  EXPECT_EQ(make_path(1).num_arcs(), 0u);
+}
+
+TEST(Classic, StarShape) {
+  const Csr g(make_star(7));
+  EXPECT_EQ(g.degree(0), 6u);
+  for (vertex_t v = 1; v < 7; ++v) EXPECT_EQ(g.degree(v), 1u);
+  // A star has no triangles.
+  EXPECT_EQ(global_triangle_count(g), 0u);
+}
+
+TEST(Classic, CompleteBipartiteShape) {
+  const EdgeList g = make_complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_undirected_edges(), 12u);
+  // Bipartite: no triangles.
+  EXPECT_EQ(global_triangle_count(Csr(g)), 0u);
+}
+
+TEST(Classic, DisjointCliques) {
+  const EdgeList g = make_disjoint_cliques(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u * 6u);
+  EXPECT_EQ(num_components(Csr(g)), 3u);
+}
+
+TEST(Classic, GridShape) {
+  const EdgeList g = make_grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  // 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_undirected_edges(), 17u);
+  EXPECT_EQ(num_components(Csr(g)), 1u);
+}
+
+// ------------------------------------------------------------ Erdős–Rényi
+
+TEST(Gnm, ExactEdgeCount) {
+  const EdgeList g = make_gnm(30, 50, 42);
+  EXPECT_EQ(g.num_vertices(), 30u);
+  EXPECT_EQ(g.num_undirected_edges(), 50u);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.num_loops(), 0u);
+}
+
+TEST(Gnm, Deterministic) {
+  EXPECT_EQ(make_gnm(20, 30, 7), make_gnm(20, 30, 7));
+  EXPECT_NE(make_gnm(20, 30, 7), make_gnm(20, 30, 8));
+}
+
+TEST(Gnm, FullDensity) {
+  const EdgeList g = make_gnm(6, 15, 1);
+  EXPECT_EQ(g.num_undirected_edges(), 15u);
+}
+
+TEST(Gnm, RejectsTooManyEdges) {
+  EXPECT_THROW((void)make_gnm(4, 7, 1), std::invalid_argument);
+}
+
+TEST(Gnp, ZeroAndOneProbability) {
+  EXPECT_EQ(make_gnp(10, 0.0, 3).num_arcs(), 0u);
+  EXPECT_EQ(make_gnp(6, 1.0, 3).num_undirected_edges(), 15u);
+}
+
+TEST(Gnp, EdgeCountNearExpectation) {
+  const vertex_t n = 200;
+  const double p = 0.1;
+  const EdgeList g = make_gnp(n, p, 5);
+  const double expected = p * n * (n - 1) / 2.0;
+  // Within 5 standard deviations.
+  const double sd = std::sqrt(expected * (1 - p));
+  EXPECT_NEAR(static_cast<double>(g.num_undirected_edges()), expected, 5 * sd);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.num_loops(), 0u);
+}
+
+TEST(Gnp, RejectsBadProbability) {
+  EXPECT_THROW((void)make_gnp(5, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_gnp(5, 1.1, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ R-MAT
+
+TEST(Rmat, ShapeAndSimplicity) {
+  RmatParams params;
+  params.scale = 6;
+  params.edge_factor = 8;
+  const EdgeList g = make_rmat(params);
+  EXPECT_EQ(g.num_vertices(), 64u);
+  EXPECT_LE(g.num_undirected_edges(), params.edge_factor * 64);
+  EXPECT_GT(g.num_undirected_edges(), 0u);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.num_loops(), 0u);
+  EXPECT_TRUE(g.is_canonical());
+}
+
+TEST(Rmat, Deterministic) {
+  RmatParams params;
+  params.scale = 5;
+  EXPECT_EQ(make_rmat(params), make_rmat(params));
+  RmatParams other = params;
+  other.seed = 2;
+  EXPECT_NE(make_rmat(params), make_rmat(other));
+}
+
+TEST(Rmat, SkewedParametersConcentrateDegree) {
+  // With a >> d, low-id vertices should accumulate much higher degree.
+  RmatParams params;
+  params.scale = 8;
+  params.edge_factor = 8;
+  const Csr g(make_rmat(params));
+  std::uint64_t low = 0, high = 0;
+  const vertex_t n = g.num_vertices();
+  for (vertex_t v = 0; v < n / 4; ++v) low += g.degree(v);
+  for (vertex_t v = 3 * n / 4; v < n; ++v) high += g.degree(v);
+  EXPECT_GT(low, 2 * high);
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  RmatParams params;
+  params.scale = 0;
+  EXPECT_THROW((void)make_rmat(params), std::invalid_argument);
+  params.scale = 5;
+  params.a = 0.9;
+  params.b = 0.2;  // sum > 1
+  EXPECT_THROW((void)make_rmat(params), std::invalid_argument);
+}
+
+// -------------------------------------------------- preferential attachment
+
+TEST(PrefAttachment, ShapeAndConnectivity) {
+  const EdgeList g = make_pref_attachment(100, 3, 17);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.num_loops(), 0u);
+  EXPECT_EQ(num_components(Csr(g)), 1u);
+  // Each non-seed vertex contributes exactly 3 edges; the seed clique has 6.
+  EXPECT_EQ(g.num_undirected_edges(), 6u + 96u * 3u);
+}
+
+TEST(PrefAttachment, Deterministic) {
+  EXPECT_EQ(make_pref_attachment(50, 2, 9), make_pref_attachment(50, 2, 9));
+  EXPECT_NE(make_pref_attachment(50, 2, 9), make_pref_attachment(50, 2, 10));
+}
+
+TEST(PrefAttachment, HeavyTail) {
+  const Csr g(make_pref_attachment(2000, 2, 23));
+  std::uint64_t max_degree = 0;
+  for (vertex_t v = 0; v < g.num_vertices(); ++v)
+    max_degree = std::max(max_degree, g.degree(v));
+  // Scale-free graphs develop hubs far above the mean degree (4).
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(PrefAttachment, RejectsBadArguments) {
+  EXPECT_THROW((void)make_pref_attachment(2, 3, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_pref_attachment(10, 0, 1), std::invalid_argument);
+}
+
+TEST(GnutellaLike, MatchesPaperSignature) {
+  const EdgeList g = make_gnutella_like(1);
+  // Sec. V-A table: ~6.3K vertices, ~21K edges, connected, full loops.
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()), 6300.0, 200.0);
+  EXPECT_EQ(g.num_loops(), g.num_vertices());
+  const std::uint64_t simple_edges = g.num_undirected_edges() - g.num_loops();
+  EXPECT_NEAR(static_cast<double>(simple_edges), 21000.0, 2000.0);
+  EXPECT_EQ(num_components(Csr(g)), 1u);
+}
+
+// ------------------------------------------------------------- small world
+
+TEST(SmallWorld, LatticeLimitIsRegularRing) {
+  // beta = 0: the pristine ring lattice, every vertex degree k.
+  const Csr g(make_small_world(30, 4, 0.0, 1));
+  for (vertex_t v = 0; v < 30; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(g.num_undirected_edges(), 60u);
+}
+
+TEST(SmallWorld, EdgeCountIsPreservedByRewiring) {
+  // Rewiring replaces edges one for one (unless saturated): m = nk/2.
+  for (const double beta : {0.1, 0.5, 1.0}) {
+    const EdgeList g = make_small_world(60, 6, beta, 7);
+    EXPECT_EQ(g.num_undirected_edges(), 180u) << "beta=" << beta;
+    EXPECT_TRUE(g.is_symmetric());
+    EXPECT_EQ(g.num_loops(), 0u);
+  }
+}
+
+TEST(SmallWorld, RewiringLowersClustering) {
+  // The defining WS phenomenon: transitivity decays as beta grows.
+  const double lattice = transitivity(Csr(make_small_world(200, 6, 0.0, 3)));
+  const double random_ish = transitivity(Csr(make_small_world(200, 6, 1.0, 3)));
+  EXPECT_GT(lattice, 0.5);  // ring lattice: 3(k-2)/(4(k-1)) = 0.6 for k=6
+  EXPECT_LT(random_ish, lattice / 2);
+}
+
+TEST(SmallWorld, Deterministic) {
+  EXPECT_EQ(make_small_world(40, 4, 0.3, 5), make_small_world(40, 4, 0.3, 5));
+}
+
+TEST(SmallWorld, RejectsBadParameters) {
+  EXPECT_THROW((void)make_small_world(10, 3, 0.1, 1), std::invalid_argument);  // odd k
+  EXPECT_THROW((void)make_small_world(4, 4, 0.1, 1), std::invalid_argument);   // n <= k
+  EXPECT_THROW((void)make_small_world(10, 4, 1.5, 1), std::invalid_argument);
+}
+
+// -------------------------------------------------------------------- SBM
+
+TEST(Sbm, BlocksAreContiguousAndBalanced) {
+  SbmParams params;
+  params.num_vertices = 100;
+  params.blocks = 4;
+  params.seed = 3;
+  const SbmGraph sbm = make_sbm(params);
+  EXPECT_EQ(sbm.num_blocks, 4u);
+  EXPECT_EQ(sbm.block_of.size(), 100u);
+  for (std::uint64_t b = 0; b < 4; ++b) EXPECT_EQ(sbm.block_members(b).size(), 25u);
+  // Contiguity: block id is nondecreasing.
+  for (vertex_t v = 1; v < 100; ++v) EXPECT_LE(sbm.block_of[v - 1], sbm.block_of[v]);
+}
+
+TEST(Sbm, IntraDensityExceedsInterDensity) {
+  SbmParams params;
+  params.num_vertices = 300;
+  params.blocks = 3;
+  params.p_in = 0.2;
+  params.p_out = 0.01;
+  params.seed = 21;
+  const SbmGraph sbm = make_sbm(params);
+  const Csr g(sbm.graph);
+  std::uint64_t intra = 0, inter = 0;
+  for (vertex_t u = 0; u < g.num_vertices(); ++u)
+    for (const vertex_t v : g.neighbors(u))
+      (sbm.block_of[u] == sbm.block_of[v] ? intra : inter) += 1;
+  // 100-vertex blocks: ~0.2*3*C(100,2) intra vs ~0.01*3*10000 inter arcs.
+  EXPECT_GT(intra, 2 * inter);
+}
+
+TEST(Sbm, EdgeProbabilitiesApproximatelyRespected) {
+  SbmParams params;
+  params.num_vertices = 400;
+  params.blocks = 4;
+  params.p_in = 0.1;
+  params.p_out = 0.005;
+  params.seed = 8;
+  const SbmGraph sbm = make_sbm(params);
+  const Csr g(sbm.graph);
+  std::uint64_t intra_arcs = 0;
+  for (vertex_t u = 0; u < g.num_vertices(); ++u)
+    for (const vertex_t v : g.neighbors(u))
+      if (sbm.block_of[u] == sbm.block_of[v]) ++intra_arcs;
+  const double intra_pairs = 4 * 100.0 * 99.0 / 2.0;
+  const double observed_p = static_cast<double>(intra_arcs / 2) / intra_pairs;
+  EXPECT_NEAR(observed_p, 0.1, 0.02);
+}
+
+TEST(Sbm, Deterministic) {
+  SbmParams params;
+  params.seed = 5;
+  EXPECT_EQ(make_sbm(params).graph, make_sbm(params).graph);
+}
+
+TEST(Sbm, RejectsBadParameters) {
+  SbmParams params;
+  params.num_vertices = 3;
+  params.blocks = 5;
+  EXPECT_THROW((void)make_sbm(params), std::invalid_argument);
+  params.blocks = 2;
+  params.p_in = 1.5;
+  EXPECT_THROW((void)make_sbm(params), std::invalid_argument);
+}
+
+TEST(Sbm, PerBlockProbabilitiesProduceHeterogeneousDensities) {
+  SbmParams params;
+  params.num_vertices = 600;
+  params.blocks = 3;
+  params.p_in_per_block = {0.05, 0.2, 0.6};
+  params.p_out = 0.0;
+  params.seed = 19;
+  const SbmGraph sbm = make_sbm(params);
+  const Csr g(sbm.graph);
+  // Per-block observed densities should be ordered like the probabilities.
+  std::vector<double> density(3);
+  for (std::uint64_t b = 0; b < 3; ++b) {
+    const auto members = sbm.block_members(b);
+    std::uint64_t arcs = 0;
+    for (const vertex_t v : members) arcs += g.degree(v);
+    const double pairs = static_cast<double>(members.size()) *
+                         static_cast<double>(members.size() - 1);
+    density[b] = static_cast<double>(arcs) / pairs;
+  }
+  EXPECT_LT(density[0], density[1]);
+  EXPECT_LT(density[1], density[2]);
+  EXPECT_NEAR(density[0], 0.05, 0.02);
+  EXPECT_NEAR(density[2], 0.6, 0.05);
+}
+
+TEST(Sbm, PerBlockVectorSizeValidated) {
+  SbmParams params;
+  params.blocks = 4;
+  params.p_in_per_block = {0.1, 0.2};  // wrong size
+  EXPECT_THROW((void)make_sbm(params), std::invalid_argument);
+  params.p_in_per_block = {0.1, 0.2, 0.3, 1.5};  // bad probability
+  EXPECT_THROW((void)make_sbm(params), std::invalid_argument);
+}
+
+TEST(Sbm, UniformAndPerBlockAgreeInDistribution) {
+  // A per-block vector of identical probabilities should give the same
+  // *expected* edge count as the uniform path (not the same graph — the
+  // sampling order differs — but statistically matched).
+  SbmParams uniform;
+  uniform.num_vertices = 900;
+  uniform.blocks = 3;
+  uniform.p_in = 0.1;
+  uniform.p_out = 0.01;
+  uniform.seed = 23;
+  SbmParams per_block = uniform;
+  per_block.p_in_per_block = {0.1, 0.1, 0.1};
+  const double m_uniform = static_cast<double>(make_sbm(uniform).graph.num_undirected_edges());
+  const double m_block = static_cast<double>(make_sbm(per_block).graph.num_undirected_edges());
+  EXPECT_NEAR(m_uniform, m_block, 0.1 * m_uniform);
+}
+
+TEST(GroundtruthLike, HeterogeneousDensitySpread) {
+  // The stand-in now carries the paper's per-community rho_in spread.
+  const SbmGraph sbm = make_groundtruth_like(0.2, 11);
+  const Csr g(sbm.graph);
+  double min_density = 1.0, max_density = 0.0;
+  for (std::uint64_t b = 0; b < sbm.num_blocks; ++b) {
+    const auto members = sbm.block_members(b);
+    std::uint64_t arcs = 0;
+    for (const vertex_t v : members)
+      for (const vertex_t w : g.neighbors(v))
+        if (sbm.block_of[w] == b && w != v) ++arcs;
+    const double pairs = static_cast<double>(members.size()) *
+                         static_cast<double>(members.size() - 1);
+    const double density = static_cast<double>(arcs) / pairs;
+    min_density = std::min(min_density, density);
+    max_density = std::max(max_density, density);
+  }
+  // Spread should roughly cover the paper's [3e-2, 1e-1] band.
+  EXPECT_LT(min_density, 0.05);
+  EXPECT_GT(max_density, 0.07);
+}
+
+TEST(GroundtruthLike, MatchesPaperDensityRanges) {
+  // Scaled-down groundtruth_20000 stand-in: densities are intensive, so the
+  // paper's ranges should hold at 10% scale.
+  const SbmGraph sbm = make_groundtruth_like(0.1, 7);
+  EXPECT_EQ(sbm.num_blocks, 33u);
+  EXPECT_EQ(sbm.graph.num_vertices(), 2000u);
+  EXPECT_TRUE(sbm.graph.is_symmetric());
+}
+
+}  // namespace
+}  // namespace kron

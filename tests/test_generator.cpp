@@ -1,0 +1,233 @@
+// Tests for the distributed generator (Sec. III, Rem. 1): equivalence with
+// the sequential product for every rank count and partition scheme, storage
+// balance under the hash owner map, and the per-rank cost model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "core/generator.hpp"
+#include "core/kron.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "graph/csr.hpp"
+#include "runtime/partition.hpp"
+#include "test_factors.hpp"
+
+namespace kron {
+namespace {
+
+EdgeList sequential_reference(const EdgeList& a, const EdgeList& b, bool loops) {
+  EdgeList c = loops ? kronecker_product_with_loops(a, b) : kronecker_product(a, b);
+  c.sort_dedupe();
+  return c;
+}
+
+// Parameterized over (ranks, scheme, shuffle).
+class GeneratorEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, PartitionScheme, bool>> {};
+
+TEST_P(GeneratorEquivalence, MatchesSequentialProduct) {
+  const auto [ranks, scheme, shuffle] = GetParam();
+  const EdgeList a = make_gnm(9, 14, 5);
+  const EdgeList b = make_gnm(7, 9, 6);
+
+  GeneratorConfig config;
+  config.ranks = ranks;
+  config.scheme = scheme;
+  config.shuffle_to_owner = shuffle;
+  const GeneratorResult result = generate_distributed(a, b, config);
+
+  EXPECT_EQ(result.gather(), sequential_reference(a, b, false));
+  EXPECT_EQ(result.num_vertices, 63u);
+  // Every arc is generated exactly once: totals match the arc product.
+  const std::uint64_t generated = std::accumulate(result.generated_per_rank.begin(),
+                                                  result.generated_per_rank.end(), 0ULL);
+  EXPECT_EQ(generated, a.num_arcs() * b.num_arcs());
+  EXPECT_EQ(result.total_arcs(), generated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksSchemesShuffles, GeneratorEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8),
+                       ::testing::Values(PartitionScheme::k1D, PartitionScheme::k2D),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "R" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == PartitionScheme::k1D ? "_1D" : "_2D") +
+             (std::get<2>(info.param) ? "_shuffle" : "_local");
+    });
+
+// Parameterized over (ranks, chunk): the asynchronous streaming exchange
+// must produce the same graph as the bulk-synchronous path, including with
+// tiny chunks that force many in-flight messages.
+class AsyncGenerator : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(AsyncGenerator, MatchesBulkSynchronous) {
+  const auto [ranks, chunk] = GetParam();
+  const EdgeList a = make_gnm(10, 18, 15);
+  const EdgeList b = make_gnm(8, 12, 16);
+  GeneratorConfig config;
+  config.ranks = ranks;
+  config.scheme = PartitionScheme::k2D;
+  config.shuffle_to_owner = true;
+  config.exchange = ExchangeMode::kAsync;
+  config.async_chunk = chunk;
+  const GeneratorResult async_result = generate_distributed(a, b, config);
+  config.exchange = ExchangeMode::kBulkSynchronous;
+  const GeneratorResult sync_result = generate_distributed(a, b, config);
+  EXPECT_EQ(async_result.gather(), sync_result.gather());
+  // Same owner map, so the same per-rank storage contents (as sets).
+  for (std::size_t rank = 0; rank < async_result.stored_per_rank.size(); ++rank) {
+    auto lhs = async_result.stored_per_rank[rank];
+    auto rhs = sync_result.stored_per_rank[rank];
+    std::sort(lhs.begin(), lhs.end());
+    std::sort(rhs.begin(), rhs.end());
+    EXPECT_EQ(lhs, rhs) << "rank " << rank;
+  }
+  EXPECT_EQ(async_result.generated_per_rank, sync_result.generated_per_rank);
+}
+
+INSTANTIATE_TEST_SUITE_P(RanksChunks, AsyncGenerator,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                                            ::testing::Values(std::uint64_t{1},
+                                                              std::uint64_t{7},
+                                                              std::uint64_t{4096})),
+                         [](const auto& info) {
+                           return "R" + std::to_string(std::get<0>(info.param)) + "_chunk" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(Generator, AsyncRejectsZeroChunk) {
+  GeneratorConfig config;
+  config.async_chunk = 0;
+  EXPECT_THROW((void)generate_distributed(make_clique(3), make_clique(3), config),
+               std::invalid_argument);
+}
+
+TEST(Generator, ModuloOwnerMapRoutesByRow) {
+  const EdgeList a = make_gnm(8, 12, 3);
+  const EdgeList b = make_gnm(6, 8, 4);
+  GeneratorConfig config;
+  config.ranks = 4;
+  config.shuffle_to_owner = true;
+  config.owner_map = OwnerMap::kModulo;
+  const GeneratorResult result = generate_distributed(a, b, config);
+  for (std::size_t r = 0; r < result.stored_per_rank.size(); ++r)
+    for (const Edge& e : result.stored_per_rank[r]) EXPECT_EQ(e.u % 4, r);
+  EXPECT_EQ(result.gather(), sequential_reference(a, b, false));
+}
+
+TEST(Generator, FullLoopConfigMatchesWithLoopsProduct) {
+  const EdgeList a = make_cycle(5);
+  const EdgeList b = make_path(4);
+  GeneratorConfig config;
+  config.ranks = 4;
+  config.scheme = PartitionScheme::k2D;
+  config.add_full_loops = true;
+  const GeneratorResult result = generate_distributed(a, b, config);
+  EXPECT_EQ(result.gather(), sequential_reference(a, b, true));
+}
+
+TEST(Generator, SweepOverFactorPairs) {
+  for (const auto& [name_a, a] : testing::compact_factors()) {
+    for (const auto& [name_b, b] : testing::compact_factors()) {
+      GeneratorConfig config;
+      config.ranks = 3;
+      config.scheme = PartitionScheme::k2D;
+      config.shuffle_to_owner = true;
+      const GeneratorResult result = generate_distributed(a, b, config);
+      EXPECT_EQ(result.gather(), sequential_reference(a, b, false))
+          << name_a << " x " << name_b;
+    }
+  }
+}
+
+TEST(Generator, RejectsBadRankCount) {
+  GeneratorConfig config;
+  config.ranks = 0;
+  EXPECT_THROW((void)generate_distributed(make_clique(3), make_clique(3), config),
+               std::invalid_argument);
+}
+
+TEST(Generator, OneDGenerationIsBalancedInAArcs) {
+  // Under 1D each rank generates |E_A|/R * |E_B| arcs (±|E_B| for the
+  // block remainder).
+  const EdgeList a = make_gnm(20, 40, 9);
+  const EdgeList b = make_gnm(10, 15, 10);
+  GeneratorConfig config;
+  config.ranks = 6;
+  const GeneratorResult result = generate_distributed(a, b, config);
+  const std::uint64_t arcs_b = b.num_arcs();
+  const std::uint64_t lo = (a.num_arcs() / 6) * arcs_b;
+  const std::uint64_t hi = (a.num_arcs() / 6 + 1) * arcs_b;
+  for (const std::uint64_t g : result.generated_per_rank) {
+    EXPECT_GE(g, lo);
+    EXPECT_LE(g, hi);
+  }
+}
+
+TEST(Generator, ShuffleKeepsUndirectedEdgesTogether) {
+  // The hash owner map is symmetric, so both arcs of an undirected edge
+  // must land on the same rank after the shuffle.
+  const EdgeList a = make_gnm(8, 12, 3);
+  const EdgeList b = make_gnm(6, 8, 4);
+  GeneratorConfig config;
+  config.ranks = 5;
+  config.shuffle_to_owner = true;
+  const GeneratorResult result = generate_distributed(a, b, config);
+  for (std::size_t r = 0; r < result.stored_per_rank.size(); ++r) {
+    EdgeList rank_edges(result.num_vertices,
+                        {result.stored_per_rank[r].begin(), result.stored_per_rank[r].end()});
+    EXPECT_TRUE(rank_edges.is_symmetric()) << "rank " << r;
+  }
+}
+
+TEST(Generator, ShuffleRoutesToHashOwner) {
+  const EdgeList a = make_gnm(8, 12, 3);
+  const EdgeList b = make_gnm(6, 8, 4);
+  GeneratorConfig config;
+  config.ranks = 4;
+  config.shuffle_to_owner = true;
+  config.owner_seed = 11;
+  const GeneratorResult result = generate_distributed(a, b, config);
+  for (std::size_t r = 0; r < result.stored_per_rank.size(); ++r)
+    for (const Edge& e : result.stored_per_rank[r])
+      EXPECT_EQ(edge_storage_owner(e.u, e.v, 4, 11), r);
+}
+
+TEST(Generator, TwoDUsesAllRanksBeyondAArcCount) {
+  // Rem. 1's motivation: with 1D, ranks beyond |E_A| sit idle; with 2D they
+  // do not.  Factor A has 4 arcs; run with 8 ranks.
+  EdgeList a(3);
+  a.add_undirected(0, 1);
+  a.add_undirected(1, 2);  // 4 arcs
+  const EdgeList b = make_clique(6);
+
+  GeneratorConfig one_d;
+  one_d.ranks = 8;
+  const GeneratorResult r1 = generate_distributed(a, b, one_d);
+  const std::uint64_t idle_1d = static_cast<std::uint64_t>(
+      std::count(r1.generated_per_rank.begin(), r1.generated_per_rank.end(), 0ULL));
+  EXPECT_GE(idle_1d, 4u);  // at most 4 ranks can have work
+
+  GeneratorConfig two_d = one_d;
+  two_d.scheme = PartitionScheme::k2D;
+  const GeneratorResult r2 = generate_distributed(a, b, two_d);
+  const std::uint64_t idle_2d = static_cast<std::uint64_t>(
+      std::count(r2.generated_per_rank.begin(), r2.generated_per_rank.end(), 0ULL));
+  EXPECT_LT(idle_2d, idle_1d);
+  EXPECT_EQ(r2.gather(), r1.gather());
+}
+
+TEST(Generator, GatherIsCanonical) {
+  GeneratorConfig config;
+  config.ranks = 3;
+  const EdgeList c =
+      generate_distributed(make_clique(4), make_cycle(5), config).gather();
+  EXPECT_TRUE(c.is_canonical());
+}
+
+}  // namespace
+}  // namespace kron

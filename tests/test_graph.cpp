@@ -1,0 +1,399 @@
+// Unit tests for the graph substrate: edge lists, CSR, file I/O, and
+// whole-graph operations.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "gen/classic.hpp"
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/io.hpp"
+#include "graph/ops.hpp"
+
+namespace kron {
+namespace {
+
+// -------------------------------------------------------------- edge list
+
+TEST(EdgeList, EmptyGraph) {
+  EdgeList g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.num_undirected_edges(), 0u);
+}
+
+TEST(EdgeList, AddValidatesEndpoints) {
+  EdgeList g(3);
+  g.add(0, 2);
+  EXPECT_THROW(g.add(0, 3), std::out_of_range);
+  EXPECT_THROW(g.add(3, 0), std::out_of_range);
+}
+
+TEST(EdgeList, AddUndirectedAddsBothArcs) {
+  EdgeList g(3);
+  g.add_undirected(0, 1);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  g.add_undirected(2, 2);  // loop: one arc
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_EQ(g.num_loops(), 1u);
+}
+
+TEST(EdgeList, UndirectedEdgeCount) {
+  EdgeList g(4);
+  g.add_undirected(0, 1);
+  g.add_undirected(1, 2);
+  g.add_undirected(3, 3);
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+}
+
+TEST(EdgeList, SortDedupe) {
+  EdgeList g(3);
+  g.add(1, 0);
+  g.add(0, 1);
+  g.add(1, 0);
+  g.sort_dedupe();
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_TRUE(g.is_canonical());
+}
+
+TEST(EdgeList, SymmetrizeProducesSymmetricGraph) {
+  EdgeList g(4);
+  g.add(0, 1);
+  g.add(2, 3);
+  g.add(3, 3);
+  EXPECT_FALSE(g.is_symmetric());
+  g.symmetrize();
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.num_arcs(), 5u);  // two pairs + one loop
+}
+
+TEST(EdgeList, StripLoops) {
+  EdgeList g(3);
+  g.add_undirected(0, 1);
+  g.add(1, 1);
+  g.add(2, 2);
+  g.strip_loops();
+  EXPECT_EQ(g.num_loops(), 0u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(EdgeList, AddFullLoops) {
+  EdgeList g(4);
+  g.add_undirected(0, 1);
+  g.add_full_loops();
+  EXPECT_EQ(g.num_loops(), 4u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  // Idempotent thanks to dedupe.
+  g.add_full_loops();
+  EXPECT_EQ(g.num_loops(), 4u);
+}
+
+TEST(EdgeList, IsCanonicalDetectsDisorder) {
+  EdgeList g(3);
+  g.add(2, 0);
+  g.add(0, 1);
+  EXPECT_FALSE(g.is_canonical());
+  g.sort_dedupe();
+  EXPECT_TRUE(g.is_canonical());
+}
+
+TEST(EdgeList, MaxVertexBound) {
+  EdgeList g(10);
+  EXPECT_EQ(g.max_vertex_bound(), 0u);
+  g.add(2, 7);
+  EXPECT_EQ(g.max_vertex_bound(), 8u);
+}
+
+TEST(EdgeList, EnsureVerticesGrowsOnly) {
+  EdgeList g(3);
+  g.ensure_vertices(10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  g.ensure_vertices(4);
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(EdgeList, EqualityComparesContent) {
+  EdgeList a(3);
+  a.add_undirected(0, 1);
+  EdgeList b(3);
+  b.add_undirected(0, 1);
+  EXPECT_EQ(a, b);
+  b.add(2, 2);
+  EXPECT_NE(a, b);
+}
+
+// -------------------------------------------------------------------- CSR
+
+TEST(Csr, BuildsSortedNeighborLists) {
+  EdgeList g(4);
+  g.add(0, 3);
+  g.add(0, 1);
+  g.add(0, 2);
+  const Csr csr(g);
+  const auto row = csr.neighbors(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 1u);
+  EXPECT_EQ(row[1], 2u);
+  EXPECT_EQ(row[2], 3u);
+}
+
+TEST(Csr, DeduplicatesArcs) {
+  EdgeList g(3);
+  g.add(0, 1);
+  g.add(0, 1);
+  g.add(0, 2);
+  const Csr csr(g);
+  EXPECT_EQ(csr.num_arcs(), 2u);
+  EXPECT_EQ(csr.degree(0), 2u);
+}
+
+TEST(Csr, DegreeAndLoopHandling) {
+  EdgeList g(3);
+  g.add_undirected(0, 1);
+  g.add(0, 0);
+  const Csr csr(g);
+  EXPECT_EQ(csr.degree(0), 2u);          // neighbor 1 + self loop
+  EXPECT_EQ(csr.degree_no_loop(0), 1u);  // self loop excluded
+  EXPECT_TRUE(csr.has_loop(0));
+  EXPECT_FALSE(csr.has_loop(1));
+  EXPECT_EQ(csr.num_loops(), 1u);
+}
+
+TEST(Csr, HasEdge) {
+  const Csr csr(make_cycle(5));
+  EXPECT_TRUE(csr.has_edge(0, 1));
+  EXPECT_TRUE(csr.has_edge(0, 4));
+  EXPECT_FALSE(csr.has_edge(0, 2));
+}
+
+TEST(Csr, ArcIndexIsStableAndDense) {
+  const Csr csr(make_clique(4));
+  std::vector<bool> seen(csr.num_arcs(), false);
+  for (vertex_t u = 0; u < 4; ++u) {
+    for (const vertex_t v : csr.neighbors(u)) {
+      const std::uint64_t idx = csr.arc_index(u, v);
+      ASSERT_LT(idx, csr.num_arcs());
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+}
+
+TEST(Csr, ArcIndexThrowsForMissingArc) {
+  const Csr csr(make_path(4));
+  EXPECT_THROW((void)csr.arc_index(0, 3), std::invalid_argument);
+}
+
+TEST(Csr, UndirectedEdgeCountMatchesEdgeList) {
+  EdgeList g = make_clique(6);
+  g.add_full_loops();
+  const Csr csr(g);
+  EXPECT_EQ(csr.num_undirected_edges(), g.num_undirected_edges());
+  EXPECT_EQ(csr.num_undirected_edges(), 15u + 6u);
+}
+
+TEST(Csr, IsSymmetric) {
+  EXPECT_TRUE(Csr(make_clique(4)).is_symmetric());
+  EdgeList g(3);
+  g.add(0, 1);
+  EXPECT_FALSE(Csr(g).is_symmetric());
+}
+
+TEST(Csr, RoundTripThroughEdgeList) {
+  EdgeList g = make_grid(3, 3);
+  g.add_full_loops();
+  const Csr csr(g);
+  EXPECT_EQ(csr.to_edge_list(), g);
+}
+
+TEST(Csr, DegreesVectors) {
+  const Csr csr(make_star(5));
+  const auto d = csr.degrees();
+  EXPECT_EQ(d[0], 4u);
+  for (vertex_t v = 1; v < 5; ++v) EXPECT_EQ(d[v], 1u);
+}
+
+// --------------------------------------------------------------------- IO
+
+TEST(Io, RoundTrip) {
+  EdgeList g = make_clique(5);
+  std::ostringstream out;
+  write_edge_list(out, g);
+  std::istringstream in(out.str());
+  const EdgeList back = read_edge_list(in);
+  EXPECT_EQ(back, g);
+}
+
+TEST(Io, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n% other comment\n0 1\n1 0\n");
+  const EdgeList g = read_edge_list(in);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_EQ(g.num_vertices(), 2u);
+}
+
+TEST(Io, RejectsMalformedLines) {
+  std::istringstream in("0 1\nnot numbers\n");
+  EXPECT_THROW((void)read_edge_list(in), std::runtime_error);
+}
+
+TEST(Io, MinVerticesExtendsVertexSet) {
+  std::istringstream in("0 1\n");
+  const EdgeList g = read_edge_list(in, 10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(Io, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "kron_io_test.txt";
+  EdgeList g = make_cycle(7);
+  write_edge_list_file(path, g);
+  EXPECT_EQ(read_edge_list_file(path), g);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW((void)read_edge_list_file("/nonexistent/path/graph.txt"), std::runtime_error);
+}
+
+TEST(IoBinary, RoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "kron_io_test.bin";
+  EdgeList g = make_clique(9);
+  g.add_full_loops();
+  write_edge_list_binary(path, g);
+  EXPECT_EQ(read_edge_list_binary(path), g);
+  std::filesystem::remove(path);
+}
+
+TEST(IoBinary, EmptyGraphRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "kron_io_empty.bin";
+  write_edge_list_binary(path, EdgeList(17));
+  const EdgeList back = read_edge_list_binary(path);
+  EXPECT_EQ(back.num_vertices(), 17u);
+  EXPECT_EQ(back.num_arcs(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(IoBinary, RejectsBadMagic) {
+  const auto path = std::filesystem::temp_directory_path() / "kron_io_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a kron file at all, definitely longer than the header";
+  }
+  EXPECT_THROW((void)read_edge_list_binary(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(IoBinary, RejectsTruncatedPayload) {
+  const auto path = std::filesystem::temp_directory_path() / "kron_io_trunc.bin";
+  write_edge_list_binary(path, make_clique(6));
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 8);
+  EXPECT_THROW((void)read_edge_list_binary(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(IoBinary, RejectsOutOfRangeEndpoint) {
+  const auto path = std::filesystem::temp_directory_path() / "kron_io_range.bin";
+  // Hand-craft a file claiming 2 vertices but containing arc (0, 5).
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char magic[8] = {'K', 'R', 'O', 'N', 'E', 'L', '1', '\0'};
+    out.write(magic, 8);
+    const std::uint64_t n = 2, arcs = 1, u = 0, v = 5;
+    out.write(reinterpret_cast<const char*>(&n), 8);
+    out.write(reinterpret_cast<const char*>(&arcs), 8);
+    out.write(reinterpret_cast<const char*>(&u), 8);
+    out.write(reinterpret_cast<const char*>(&v), 8);
+  }
+  EXPECT_THROW((void)read_edge_list_binary(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(IoBinary, TextAndBinaryAgree) {
+  const auto dir = std::filesystem::temp_directory_path();
+  EdgeList g = make_grid(4, 5);
+  write_edge_list_file(dir / "kron_agree.txt", g);
+  write_edge_list_binary(dir / "kron_agree.bin", g);
+  EXPECT_EQ(read_edge_list_file(dir / "kron_agree.txt"),
+            read_edge_list_binary(dir / "kron_agree.bin"));
+  std::filesystem::remove(dir / "kron_agree.txt");
+  std::filesystem::remove(dir / "kron_agree.bin");
+}
+
+// -------------------------------------------------------------------- ops
+
+TEST(Ops, ConnectedComponentsSingle) {
+  const auto comp = connected_components(Csr(make_cycle(6)));
+  for (const auto c : comp) EXPECT_EQ(c, 0u);
+  EXPECT_EQ(num_components(Csr(make_cycle(6))), 1u);
+}
+
+TEST(Ops, ConnectedComponentsMultiple) {
+  const Csr g(make_disjoint_cliques(3, 4));
+  EXPECT_EQ(num_components(g), 3u);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[3]);
+  EXPECT_NE(comp[0], comp[4]);
+}
+
+TEST(Ops, IsolatedVerticesAreOwnComponents) {
+  EdgeList g(4);
+  g.add_undirected(0, 1);
+  EXPECT_EQ(num_components(Csr(g)), 3u);
+}
+
+TEST(Ops, LargestComponentExtractsBiggest) {
+  // Two components: a 5-clique and a 3-cycle.
+  EdgeList g(8);
+  for (vertex_t u = 0; u < 5; ++u)
+    for (vertex_t v = u + 1; v < 5; ++v) g.add_undirected(u, v);
+  g.add_undirected(5, 6);
+  g.add_undirected(6, 7);
+  g.add_undirected(7, 5);
+  std::vector<vertex_t> old_ids;
+  const EdgeList lcc = largest_component(Csr(g), &old_ids);
+  EXPECT_EQ(lcc.num_vertices(), 5u);
+  EXPECT_EQ(lcc.num_undirected_edges(), 10u);
+  EXPECT_EQ(old_ids, (std::vector<vertex_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Ops, InducedSubgraphRelabels) {
+  const Csr g(make_cycle(6));
+  const EdgeList sub = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  // Edges 1-2 and 2-3 survive as 0-1, 1-2.
+  EXPECT_EQ(sub.num_undirected_edges(), 2u);
+}
+
+TEST(Ops, InducedSubgraphValidatesIds) {
+  const Csr g(make_cycle(4));
+  EXPECT_THROW((void)induced_subgraph(g, {0, 9}), std::out_of_range);
+}
+
+TEST(Ops, PrepareFactorSymmetrizesAndTakesLcc) {
+  EdgeList raw(6);
+  raw.add(0, 1);  // directed arc only
+  raw.add(1, 2);
+  raw.add(4, 5);  // smaller component
+  raw.add(2, 2);  // loop must be stripped
+  const EdgeList factor = prepare_factor(raw, /*add_loops=*/false);
+  EXPECT_EQ(factor.num_vertices(), 3u);
+  EXPECT_TRUE(factor.is_symmetric());
+  EXPECT_EQ(factor.num_loops(), 0u);
+}
+
+TEST(Ops, PrepareFactorAddsLoops) {
+  EdgeList raw(3);
+  raw.add_undirected(0, 1);
+  raw.add_undirected(1, 2);
+  const EdgeList factor = prepare_factor(raw, /*add_loops=*/true);
+  EXPECT_EQ(factor.num_loops(), factor.num_vertices());
+}
+
+TEST(Ops, LargestComponentOfEmptyGraph) {
+  const EdgeList lcc = largest_component(Csr(EdgeList(0)));
+  EXPECT_EQ(lcc.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace kron

@@ -1,0 +1,335 @@
+// The central validation of the paper's formulas: for sweeps of factor
+// pairs, materialise C, compute every analytic directly with the reference
+// algorithms, and compare against the Kronecker ground-truth formulas —
+// degrees, vertex/edge triangle participation (both self-loop regimes,
+// Cor. 1/Cor. 2), global triangle counts, clustering coefficients and the
+// θ/φ laws (Thm. 1/Thm. 2), and the distribution queries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "analytics/clustering.hpp"
+#include "analytics/triangles.hpp"
+#include "core/ground_truth.hpp"
+#include "core/index.hpp"
+#include "core/laws.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "graph/csr.hpp"
+#include "test_factors.hpp"
+
+namespace kron {
+namespace {
+
+struct ProductCase {
+  std::string name;
+  EdgeList a;
+  EdgeList b;
+  LoopRegime regime;
+};
+
+std::vector<ProductCase> product_cases() {
+  std::vector<ProductCase> cases;
+  for (const auto& [name_a, a] : testing::compact_factors()) {
+    for (const auto& [name_b, b] : testing::compact_factors()) {
+      cases.push_back({name_a + "_x_" + name_b + "_noloops", a, b, LoopRegime::kNoLoops});
+      cases.push_back({name_a + "_x_" + name_b + "_fullloops", a, b, LoopRegime::kFullLoops});
+      cases.push_back(
+          {name_a + "_x_" + name_b + "_aloops", a, b, LoopRegime::kFullLoopsAOnly});
+    }
+  }
+  return cases;
+}
+
+class GroundTruthSweep : public ::testing::TestWithParam<ProductCase> {
+ protected:
+  void SetUp() override {
+    gt_ = std::make_unique<KroneckerGroundTruth>(GetParam().a, GetParam().b,
+                                                 GetParam().regime);
+    c_ = Csr(gt_->materialize());
+    census_ = count_triangles(c_);
+  }
+
+  std::unique_ptr<KroneckerGroundTruth> gt_;
+  Csr c_;
+  TriangleCounts census_;
+};
+
+TEST_P(GroundTruthSweep, ShapeMatches) {
+  EXPECT_EQ(gt_->num_vertices(), c_.num_vertices());
+  EXPECT_EQ(gt_->num_edges(), c_.num_undirected_edges());
+}
+
+TEST_P(GroundTruthSweep, HasEdgeMatches) {
+  for (vertex_t p = 0; p < c_.num_vertices(); ++p)
+    for (const vertex_t q : c_.neighbors(p)) EXPECT_TRUE(gt_->has_edge(p, q));
+  // Spot-check non-edges on a stride.
+  const vertex_t n = c_.num_vertices();
+  for (vertex_t p = 0; p < n; p += 3)
+    for (vertex_t q = 0; q < n; q += 5)
+      EXPECT_EQ(gt_->has_edge(p, q), c_.has_edge(p, q)) << p << "," << q;
+}
+
+TEST_P(GroundTruthSweep, DegreesMatchDirect) {
+  const auto degrees = gt_->all_degrees();
+  for (vertex_t p = 0; p < c_.num_vertices(); ++p) {
+    EXPECT_EQ(degrees[p], c_.degree_no_loop(p)) << "vertex " << p;
+    EXPECT_EQ(gt_->degree(p), c_.degree_no_loop(p)) << "vertex " << p;
+  }
+}
+
+TEST_P(GroundTruthSweep, VertexTrianglesMatchDirect) {
+  const auto triangles = gt_->all_vertex_triangles();
+  for (vertex_t p = 0; p < c_.num_vertices(); ++p) {
+    EXPECT_EQ(triangles[p], census_.per_vertex[p]) << "vertex " << p;
+    EXPECT_EQ(gt_->vertex_triangles(p), census_.per_vertex[p]) << "vertex " << p;
+  }
+}
+
+TEST_P(GroundTruthSweep, EdgeTrianglesMatchDirect) {
+  for (vertex_t p = 0; p < c_.num_vertices(); ++p) {
+    for (const vertex_t q : c_.neighbors(p)) {
+      if (p == q) continue;
+      EXPECT_EQ(gt_->edge_triangles(p, q), census_.per_arc[c_.arc_index(p, q)])
+          << "edge (" << p << "," << q << ")";
+    }
+  }
+}
+
+TEST_P(GroundTruthSweep, GlobalTrianglesMatchDirect) {
+  EXPECT_EQ(gt_->global_triangles(), census_.total);
+}
+
+TEST_P(GroundTruthSweep, WedgesAndTransitivityMatchDirect) {
+  EXPECT_EQ(gt_->wedge_count(), wedge_count(c_));
+  EXPECT_DOUBLE_EQ(gt_->transitivity(), transitivity(c_));
+}
+
+TEST_P(GroundTruthSweep, ClusteringCoefficientsMatchDirect) {
+  const auto eta = all_vertex_clustering(c_, census_);
+  for (vertex_t p = 0; p < c_.num_vertices(); ++p)
+    EXPECT_DOUBLE_EQ(gt_->vertex_clustering_coeff(p), eta[p]) << "vertex " << p;
+}
+
+TEST_P(GroundTruthSweep, EdgeClusteringCoefficientsMatchDirect) {
+  const auto xi = all_edge_clustering(c_, census_);
+  for (vertex_t p = 0; p < c_.num_vertices(); ++p) {
+    for (const vertex_t q : c_.neighbors(p)) {
+      if (p == q) continue;
+      EXPECT_DOUBLE_EQ(gt_->edge_clustering_coeff(p, q), xi[c_.arc_index(p, q)])
+          << "edge (" << p << "," << q << ")";
+    }
+  }
+}
+
+TEST_P(GroundTruthSweep, DegreeHistogramMatchesDirect) {
+  Histogram direct;
+  for (vertex_t p = 0; p < c_.num_vertices(); ++p) direct.add(c_.degree_no_loop(p));
+  const Histogram predicted = gt_->degree_histogram();
+  EXPECT_EQ(predicted.items(), direct.items());
+}
+
+TEST_P(GroundTruthSweep, EdgeTriangleHistogramMatchesDirect) {
+  Histogram direct;
+  for (vertex_t p = 0; p < c_.num_vertices(); ++p) {
+    for (const vertex_t q : c_.neighbors(p)) {
+      if (p >= q) continue;  // one direction per undirected edge, skip loops
+      direct.add(census_.per_arc[c_.arc_index(p, q)]);
+    }
+  }
+  const Histogram predicted = gt_->edge_triangle_histogram();
+  EXPECT_EQ(predicted.items(), direct.items());
+}
+
+TEST_P(GroundTruthSweep, TriangleHistogramMatchesDirect) {
+  Histogram direct;
+  for (const auto t : census_.per_vertex) direct.add(t);
+  const Histogram predicted = gt_->vertex_triangle_histogram();
+  EXPECT_EQ(predicted.items(), direct.items());
+}
+
+INSTANTIATE_TEST_SUITE_P(FactorPairs, GroundTruthSweep, ::testing::ValuesIn(product_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// ------------------------------------------------------- targeted formulas
+
+TEST(GroundTruth, NoLoopVertexTriangleLawOnCliques) {
+  // K_5 ⊗ K_5: every factor vertex has t = C(4,2) = 6; law says 2*6*6 = 72.
+  const KroneckerGroundTruth gt(make_clique(5), make_clique(5), LoopRegime::kNoLoops);
+  for (vertex_t p = 0; p < gt.num_vertices(); ++p)
+    EXPECT_EQ(gt.vertex_triangles(p), 72u);
+}
+
+TEST(GroundTruth, GlobalTriangleLawSixTimesProduct) {
+  // τ_C = 6 τ_A τ_B for simple factors.
+  const EdgeList a = make_gnm(10, 20, 1);
+  const EdgeList b = make_gnm(9, 16, 2);
+  const std::uint64_t tau_a = global_triangle_count(Csr(a));
+  const std::uint64_t tau_b = global_triangle_count(Csr(b));
+  const KroneckerGroundTruth gt(a, b, LoopRegime::kNoLoops);
+  EXPECT_EQ(gt.global_triangles(), 6 * tau_a * tau_b);
+}
+
+TEST(GroundTruth, TriangleFreeFactorsGiveTriangleFreeProduct) {
+  // Bipartite ⊗ anything simple is triangle-free under the no-loop law
+  // (t_i = 0 everywhere in A).
+  const KroneckerGroundTruth gt(make_complete_bipartite(3, 3), make_clique(4),
+                                LoopRegime::kNoLoops);
+  EXPECT_EQ(gt.global_triangles(), 0u);
+  const Csr c(gt.materialize());
+  EXPECT_EQ(global_triangle_count(c), 0u);
+}
+
+TEST(GroundTruth, FullLoopCliqueProductIsCompleteGraphCounts) {
+  // (K_3+I) ⊗ (K_4+I) = K_12 + I: every vertex sits in C(11,2) = 55
+  // triangles.
+  const KroneckerGroundTruth gt(make_clique(3), make_clique(4), LoopRegime::kFullLoops);
+  for (vertex_t p = 0; p < 12; ++p) EXPECT_EQ(gt.vertex_triangles(p), 55u);
+  EXPECT_EQ(gt.global_triangles(), 12u * 55u / 3u);
+}
+
+TEST(GroundTruth, Cor1ReducesToPaperFormula) {
+  // Hand-check Cor. 1 on a concrete pair: i with (t=1, d=2), k with (t=0, d=1)
+  // → t_p = 0 + 3(0 + 2 + 0) + 1 + 0 = 7.
+  const EdgeList a = make_clique(3);  // every vertex: t=1, d=2
+  const EdgeList b = make_path(2);    // every vertex: t=0, d=1
+  const KroneckerGroundTruth gt(a, b, LoopRegime::kFullLoops);
+  EXPECT_EQ(gt.vertex_triangles(0), 2 * 1 * 0 + 3 * (1 * 1 + 2 * 1 + 2 * 0) + 1 + 0);
+}
+
+TEST(GroundTruth, AOnlyRegimeHandFormula) {
+  // C = (K_3 + I) ⊗ K_4: t_p = (2 t_i + 3 d_i + 1) t_k with t_i = 1,
+  // d_i = 2, t_k = 3  →  9 · 3 = 27.
+  const KroneckerGroundTruth gt(make_clique(3), make_clique(4),
+                                LoopRegime::kFullLoopsAOnly);
+  for (vertex_t p = 0; p < gt.num_vertices(); ++p)
+    EXPECT_EQ(gt.vertex_triangles(p), 27u);
+}
+
+TEST(GroundTruth, AOnlyRegimeProductIsLoopFree) {
+  const KroneckerGroundTruth gt(make_clique(3), make_clique(4),
+                                LoopRegime::kFullLoopsAOnly);
+  EdgeList c = gt.materialize();
+  c.sort_dedupe();
+  EXPECT_EQ(c.num_loops(), 0u);
+  EXPECT_EQ(gt.num_edges(), c.num_undirected_edges());
+}
+
+TEST(GroundTruth, AOnlyRegimeDegreeLaw) {
+  // d_p = (d_i + 1) d_k.
+  const EdgeList a = make_gnm(8, 14, 3);
+  const EdgeList b = make_gnm(7, 11, 4);
+  const KroneckerGroundTruth gt(a, b, LoopRegime::kFullLoopsAOnly);
+  const Csr c(gt.materialize());
+  for (vertex_t p = 0; p < c.num_vertices(); ++p)
+    EXPECT_EQ(gt.degree(p), c.degree_no_loop(p));
+}
+
+TEST(GroundTruth, EdgeTrianglesRejectsNonEdges) {
+  const KroneckerGroundTruth gt(make_path(3), make_path(3), LoopRegime::kNoLoops);
+  EXPECT_THROW((void)gt.edge_triangles(0, 0), std::invalid_argument);
+  // (0,0)-(2,2) is not an edge of P3 ⊗ P3.
+  EXPECT_THROW((void)gt.edge_triangles(0, 8), std::invalid_argument);
+}
+
+TEST(GroundTruth, RejectsDirectedFactors) {
+  EdgeList directed(3);
+  directed.add(0, 1);
+  EXPECT_THROW(KroneckerGroundTruth(directed, make_clique(3), LoopRegime::kNoLoops),
+               std::invalid_argument);
+}
+
+TEST(GroundTruth, StripsLoopsFromInputFactors) {
+  // Passing a factor that already has loops must behave as its simple part.
+  EdgeList with_loops = make_clique(4);
+  with_loops.add_full_loops();
+  const KroneckerGroundTruth gt_a(with_loops, make_clique(3), LoopRegime::kFullLoops);
+  const KroneckerGroundTruth gt_b(make_clique(4), make_clique(3), LoopRegime::kFullLoops);
+  EXPECT_EQ(gt_a.num_edges(), gt_b.num_edges());
+  EXPECT_EQ(gt_a.global_triangles(), gt_b.global_triangles());
+}
+
+// --------------------------------------------------- Thm. 1 / Thm. 2 laws
+
+TEST(ClusteringLaw, VertexLawHoldsExactly) {
+  // η_C(p) = θ_p η_A(i) η_B(k) whenever t_i, t_k > 0 and degrees >= 2.
+  const EdgeList a = make_gnm(10, 22, 3);
+  const EdgeList b = make_gnm(9, 18, 4);
+  const KroneckerGroundTruth gt(a, b, LoopRegime::kNoLoops);
+  const Csr ca(a), cb(b);
+  const auto eta_a = all_vertex_clustering(ca);
+  const auto eta_b = all_vertex_clustering(cb);
+  const auto census_a = count_triangles(ca);
+  const auto census_b = count_triangles(cb);
+  const vertex_t n_b = cb.num_vertices();
+  for (vertex_t p = 0; p < gt.num_vertices(); ++p) {
+    const vertex_t i = alpha(p, n_b), k = beta(p, n_b);
+    if (census_a.per_vertex[i] == 0 || census_b.per_vertex[k] == 0) continue;
+    if (ca.degree(i) < 2 || cb.degree(k) < 2) continue;
+    const double expected = theta(ca.degree(i), cb.degree(k)) * eta_a[i] * eta_b[k];
+    EXPECT_NEAR(gt.vertex_clustering_coeff(p), expected, 1e-12) << "vertex " << p;
+  }
+}
+
+TEST(ClusteringLaw, ThetaWithinThirdAndOne) {
+  for (std::uint64_t x = 2; x < 40; ++x) {
+    for (std::uint64_t y = 2; y < 40; ++y) {
+      const double t = theta(x, y);
+      EXPECT_GE(t, 1.0 / 3.0);
+      EXPECT_LT(t, 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(theta(2, 2), 1.0 / 3.0);  // minimum at d_i = d_k = 2
+}
+
+TEST(ClusteringLaw, EdgeLawHoldsExactly) {
+  // ξ_C(p,q) = φ ξ_A(i,j) ξ_B(k,l) for qualifying edges.
+  const EdgeList a = make_gnm(9, 18, 7);
+  const EdgeList b = make_gnm(8, 15, 8);
+  const KroneckerGroundTruth gt(a, b, LoopRegime::kNoLoops);
+  const Csr ca(a), cb(b);
+  const auto census_a = count_triangles(ca);
+  const auto census_b = count_triangles(cb);
+  const vertex_t n_b = cb.num_vertices();
+  for (vertex_t i = 0; i < ca.num_vertices(); ++i) {
+    for (const vertex_t j : ca.neighbors(i)) {
+      for (vertex_t k = 0; k < n_b; ++k) {
+        for (const vertex_t l : cb.neighbors(k)) {
+          const std::uint64_t delta_a = census_a.per_arc[ca.arc_index(i, j)];
+          const std::uint64_t delta_b = census_b.per_arc[cb.arc_index(k, l)];
+          if (delta_a == 0 || delta_b == 0) continue;
+          if (ca.degree(i) < 2 || ca.degree(j) < 2 || cb.degree(k) < 2 || cb.degree(l) < 2)
+            continue;
+          const vertex_t p = gamma(i, k, n_b), q = gamma(j, l, n_b);
+          const double xi_a =
+              edge_clustering(delta_a, ca.degree(i), ca.degree(j));
+          const double xi_b =
+              edge_clustering(delta_b, cb.degree(k), cb.degree(l));
+          const double expected =
+              phi(ca.degree(i), ca.degree(j), cb.degree(k), cb.degree(l)) * xi_a * xi_b;
+          EXPECT_NEAR(gt.edge_clustering_coeff(p, q), expected, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(ClusteringLaw, PhiCanBeArbitrarilySmall) {
+  // Thm. 2 discussion: φ → 0 as the mismatched degrees grow.
+  EXPECT_LT(phi(2, 100, 100, 2), 0.06);
+  EXPECT_LT(phi(2, 1000, 1000, 2), 0.006);
+}
+
+TEST(ClusteringLaw, CliqueProductWithLoopsReachesThetaOne) {
+  // Thm. 1 discussion: with loops in both factors and η_A = η_B = 1
+  // (cliques), the product clustering coefficient is exactly 1.
+  const KroneckerGroundTruth gt(make_clique(4), make_clique(5), LoopRegime::kFullLoops);
+  for (vertex_t p = 0; p < gt.num_vertices(); ++p)
+    EXPECT_DOUBLE_EQ(gt.vertex_clustering_coeff(p), 1.0);
+}
+
+}  // namespace
+}  // namespace kron

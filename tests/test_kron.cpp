@@ -1,0 +1,329 @@
+// Tests for the index maps (Sec. II-A) and the sequential Kronecker product
+// (Def. 1), including brute-force dense cross-checks and the algebraic
+// identities of Prop. 1.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/index.hpp"
+#include "core/kron.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "test_factors.hpp"
+
+namespace kron {
+namespace {
+
+// ------------------------------------------------------------- index maps
+
+TEST(Index, RoundTripAllPairs) {
+  for (const vertex_t n_b : {1u, 2u, 5u, 9u}) {
+    for (vertex_t i = 0; i < 7; ++i) {
+      for (vertex_t k = 0; k < n_b; ++k) {
+        const vertex_t p = gamma(i, k, n_b);
+        EXPECT_EQ(alpha(p, n_b), i);
+        EXPECT_EQ(beta(p, n_b), k);
+      }
+    }
+  }
+}
+
+TEST(Index, FlatRoundTrip) {
+  for (const vertex_t n_b : {1u, 3u, 8u}) {
+    for (vertex_t p = 0; p < 50; ++p)
+      EXPECT_EQ(gamma(alpha(p, n_b), beta(p, n_b), n_b), p);
+  }
+}
+
+TEST(Index, MatchesPaperOneBasedConvention) {
+  // Paper (1-based): alpha_n(i) = floor((i-1)/n)+1, beta_n(i) = (i-1)%n + 1.
+  // Our 0-based p corresponds to the paper's i = p+1; the paper's block
+  // alpha-1 equals our alpha, etc.
+  const vertex_t n = 4;
+  for (vertex_t p = 0; p < 20; ++p) {
+    const vertex_t paper_i = p + 1;
+    const vertex_t paper_alpha = (paper_i - 1) / n + 1;
+    const vertex_t paper_beta = (paper_i - 1) % n + 1;
+    EXPECT_EQ(alpha(p, n), paper_alpha - 1);
+    EXPECT_EQ(beta(p, n), paper_beta - 1);
+  }
+}
+
+// -------------------------------------------------- product vs dense brute force
+
+/// Dense boolean adjacency matrix of an edge list.
+std::vector<std::vector<bool>> dense(const EdgeList& g) {
+  std::vector<std::vector<bool>> m(g.num_vertices(),
+                                   std::vector<bool>(g.num_vertices(), false));
+  for (const Edge& e : g.edges()) m[e.u][e.v] = true;
+  return m;
+}
+
+/// Dense Kronecker product per Def. 1 directly.
+std::vector<std::vector<bool>> dense_kron(const std::vector<std::vector<bool>>& a,
+                                          const std::vector<std::vector<bool>>& b) {
+  const std::size_t n_a = a.size();
+  const std::size_t n_b = b.size();
+  std::vector<std::vector<bool>> c(n_a * n_b, std::vector<bool>(n_a * n_b, false));
+  for (std::size_t i = 0; i < n_a; ++i)
+    for (std::size_t j = 0; j < n_a; ++j)
+      for (std::size_t k = 0; k < n_b; ++k)
+        for (std::size_t l = 0; l < n_b; ++l)
+          c[i * n_b + k][j * n_b + l] = a[i][j] && b[k][l];
+  return c;
+}
+
+void expect_matches_dense(const EdgeList& a, const EdgeList& b, const EdgeList& c) {
+  const auto dc = dense_kron(dense(a), dense(b));
+  const auto actual = dense(c);
+  ASSERT_EQ(actual.size(), dc.size());
+  for (std::size_t p = 0; p < dc.size(); ++p)
+    for (std::size_t q = 0; q < dc.size(); ++q)
+      EXPECT_EQ(actual[p][q], dc[p][q]) << "entry (" << p << "," << q << ")";
+}
+
+TEST(KronProduct, MatchesDenseBruteForceSmall) {
+  const EdgeList a = make_path(3);
+  const EdgeList b = make_cycle(3);
+  expect_matches_dense(a, b, kronecker_product(a, b));
+}
+
+TEST(KronProduct, MatchesDenseBruteForceWithLoops) {
+  EdgeList a = make_path(3);
+  a.add_full_loops();
+  EdgeList b = make_star(4);
+  b.add_full_loops();
+  expect_matches_dense(a, b, kronecker_product(a, b));
+}
+
+TEST(KronProduct, WithLoopsHelperEqualsManualLoops) {
+  const EdgeList a = make_cycle(4);
+  const EdgeList b = make_path(3);
+  EdgeList a_manual = a;
+  a_manual.add_full_loops();
+  EdgeList b_manual = b;
+  b_manual.add_full_loops();
+  EdgeList expected = kronecker_product(a_manual, b_manual);
+  expected.sort_dedupe();
+  EdgeList actual = kronecker_product_with_loops(a, b);
+  actual.sort_dedupe();
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(KronProduct, RandomFactorsMatchDense) {
+  const EdgeList a = make_gnm(6, 8, 3);
+  const EdgeList b = make_gnm(5, 6, 4);
+  expect_matches_dense(a, b, kronecker_product(a, b));
+}
+
+// ------------------------------------------------ algebraic / structural laws
+
+TEST(KronProduct, VertexCountLaw) {
+  // n_C = n_A n_B (intro table row 1).
+  const EdgeList c = kronecker_product(make_clique(4), make_cycle(5));
+  EXPECT_EQ(c.num_vertices(), 20u);
+}
+
+TEST(KronProduct, ArcCountIsProduct) {
+  const EdgeList a = make_clique(4);
+  const EdgeList b = make_cycle(5);
+  const EdgeList c = kronecker_product(a, b);
+  EXPECT_EQ(c.num_arcs(), a.num_arcs() * b.num_arcs());
+}
+
+TEST(KronProduct, EdgeCountLawForSimpleFactors) {
+  // m_C = 2 m_A m_B for loop-free undirected factors (intro table row 2).
+  const EdgeList a = make_gnm(8, 12, 1);
+  const EdgeList b = make_gnm(7, 10, 2);
+  EdgeList c = kronecker_product(a, b);
+  c.sort_dedupe();
+  EXPECT_EQ(c.num_undirected_edges(), 2 * 12u * 10u);
+  EXPECT_EQ(c.num_loops(), 0u);
+}
+
+TEST(KronProduct, SymmetryIsPreserved) {
+  const EdgeList c = kronecker_product(make_grid(2, 3), make_cycle(4));
+  EXPECT_TRUE(c.is_symmetric());
+}
+
+TEST(KronProduct, ProductOfEmptyIsEmpty) {
+  const EdgeList c = kronecker_product(EdgeList(3), make_clique(3));
+  EXPECT_EQ(c.num_vertices(), 9u);
+  EXPECT_EQ(c.num_arcs(), 0u);
+}
+
+TEST(KronProduct, CliqueTimesCliqueWithLoopsIsClique) {
+  // Ex. 1 special case: (K_a + I) ⊗ (K_b + I) = K_{ab} + I.
+  const EdgeList c = kronecker_product_with_loops(make_clique(3), make_clique(4));
+  const Csr csr(c);
+  EXPECT_EQ(csr.num_vertices(), 12u);
+  for (vertex_t u = 0; u < 12; ++u)
+    for (vertex_t v = 0; v < 12; ++v) EXPECT_TRUE(csr.has_edge(u, v));
+}
+
+TEST(KronProduct, DisjointCliquesExampleOne) {
+  // Ex. 1: x_A cliques of size y_A ⊗ x_B cliques of size y_B gives
+  // x_A x_B cliques of size y_A y_B (with loops).
+  const EdgeList a = make_disjoint_cliques(2, 3);
+  const EdgeList b = make_disjoint_cliques(3, 2);
+  EdgeList c = kronecker_product_with_loops(a, b);
+  c.sort_dedupe();
+  c.strip_loops();
+  EXPECT_EQ(num_components(Csr(c)), 6u);
+  // Each component is a K_6: 6*15 = 90 undirected edges.
+  EXPECT_EQ(c.num_undirected_edges(), 90u);
+}
+
+TEST(KronProduct, DegreeFactorsMultiply) {
+  // d_C = d_A ⊗ d_B pinned structurally (Def. 1 row sums).
+  const EdgeList a = make_star(4);
+  const EdgeList b = make_cycle(5);
+  const Csr ca(a), cb(b), cc(kronecker_product(a, b));
+  for (vertex_t i = 0; i < ca.num_vertices(); ++i)
+    for (vertex_t k = 0; k < cb.num_vertices(); ++k)
+      EXPECT_EQ(cc.degree(gamma(i, k, cb.num_vertices())), ca.degree(i) * cb.degree(k));
+}
+
+TEST(KronProduct, TransposeIdentity) {
+  // (A ⊗ B)^t = A^t ⊗ B^t (Prop. 1c): for symmetric factors the product is
+  // symmetric; for a directed pair, transposing factors transposes C.
+  EdgeList a(3);
+  a.add(0, 1);
+  a.add(1, 2);
+  EdgeList b(2);
+  b.add(0, 1);
+  const EdgeList c = kronecker_product(a, b);
+  EdgeList at(3);
+  at.add(1, 0);
+  at.add(2, 1);
+  EdgeList bt(2);
+  bt.add(1, 0);
+  const EdgeList ct = kronecker_product(at, bt);
+  // ct must be exactly the reversed arcs of c.
+  EdgeList c_rev(c.num_vertices());
+  for (const Edge& e : c.edges()) c_rev.add(e.v, e.u);
+  EdgeList lhs = ct, rhs = c_rev;
+  lhs.sort_dedupe();
+  rhs.sort_dedupe();
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(KronProduct, AssociativityOnSmallFactors) {
+  // (A ⊗ B) ⊗ C == A ⊗ (B ⊗ C) as graphs.
+  const EdgeList a = make_path(2);
+  const EdgeList b = make_cycle(3);
+  const EdgeList c = make_star(3);
+  EdgeList lhs = kronecker_product(kronecker_product(a, b), c);
+  EdgeList rhs = kronecker_product(a, kronecker_product(b, c));
+  lhs.sort_dedupe();
+  rhs.sort_dedupe();
+  EXPECT_EQ(lhs, rhs);
+}
+
+// ------------------------------------------------------------------ shape
+
+TEST(KronShape, MatchesMaterializedProduct) {
+  for (const auto& [name_a, a] : testing::compact_factors()) {
+    for (const auto& [name_b, b] : testing::compact_factors()) {
+      const KroneckerShape shape = kronecker_shape(a, b);
+      EdgeList c = kronecker_product(a, b);
+      c.sort_dedupe();
+      EXPECT_EQ(shape.num_vertices, c.num_vertices()) << name_a << " x " << name_b;
+      EXPECT_EQ(shape.num_arcs, c.num_arcs()) << name_a << " x " << name_b;
+      EXPECT_EQ(shape.num_loops, c.num_loops()) << name_a << " x " << name_b;
+      EXPECT_EQ(shape.num_undirected_edges, c.num_undirected_edges())
+          << name_a << " x " << name_b;
+    }
+  }
+}
+
+TEST(KronShape, WithLoopsMatchesMaterializedProduct) {
+  for (const auto& [name_a, a] : testing::compact_factors()) {
+    for (const auto& [name_b, b] : testing::compact_factors()) {
+      const KroneckerShape shape = kronecker_shape_with_loops(a, b);
+      EdgeList c = kronecker_product_with_loops(a, b);
+      c.sort_dedupe();
+      EXPECT_EQ(shape.num_vertices, c.num_vertices()) << name_a << " x " << name_b;
+      EXPECT_EQ(shape.num_arcs, c.num_arcs()) << name_a << " x " << name_b;
+      EXPECT_EQ(shape.num_loops, c.num_loops()) << name_a << " x " << name_b;
+      EXPECT_EQ(shape.num_undirected_edges, c.num_undirected_edges())
+          << name_a << " x " << name_b;
+    }
+  }
+}
+
+// ------------------------------------------------------------ kron powers
+
+TEST(KronPower, FirstPowerIsIdentityOperation) {
+  const EdgeList a = make_cycle(5);
+  EXPECT_EQ(kronecker_power(a, 1), a);
+}
+
+TEST(KronPower, SquareMatchesProduct) {
+  const EdgeList a = make_gnm(6, 9, 2);
+  EdgeList direct = kronecker_product(a, a);
+  EdgeList powered = kronecker_power(a, 2);
+  direct.sort_dedupe();
+  powered.sort_dedupe();
+  EXPECT_EQ(powered, direct);
+}
+
+TEST(KronPower, CubeIsAssociative) {
+  const EdgeList a = make_path(3);
+  EdgeList lhs = kronecker_power(a, 3);
+  EdgeList rhs = kronecker_product(kronecker_product(a, a), a);
+  lhs.sort_dedupe();
+  rhs.sort_dedupe();
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(KronPower, IteratedScalingLaws) {
+  // m(A^{⊗k}) = 2^{k-1} m_A^k and n = n_A^k for simple undirected factors.
+  const EdgeList a = make_gnm(5, 7, 3);
+  for (const unsigned k : {1u, 2u, 3u}) {
+    EdgeList p = kronecker_power(a, k);
+    p.sort_dedupe();
+    std::uint64_t expected_edges = 7;
+    std::uint64_t expected_vertices = 5;
+    for (unsigned level = 1; level < k; ++level) {
+      expected_edges *= 2 * 7;
+      expected_vertices *= 5;
+    }
+    EXPECT_EQ(p.num_vertices(), expected_vertices) << "k=" << k;
+    EXPECT_EQ(p.num_undirected_edges(), expected_edges) << "k=" << k;
+  }
+}
+
+TEST(KronPower, ShapeMatchesMaterialized) {
+  const EdgeList a = make_cycle(4);
+  for (const unsigned k : {1u, 2u, 3u}) {
+    const KroneckerShape shape = kronecker_power_shape(a, k);
+    EdgeList p = kronecker_power(a, k);
+    p.sort_dedupe();
+    EXPECT_EQ(shape.num_vertices, p.num_vertices());
+    EXPECT_EQ(shape.num_arcs, p.num_arcs());
+    EXPECT_EQ(shape.num_undirected_edges, p.num_undirected_edges());
+  }
+}
+
+TEST(KronPower, RejectsZero) {
+  EXPECT_THROW((void)kronecker_power(make_clique(3), 0), std::invalid_argument);
+  EXPECT_THROW((void)kronecker_power_shape(make_clique(3), 0), std::invalid_argument);
+}
+
+TEST(KronPower, ShapeOverflowDetected) {
+  // scale-10 R-MAT-sized factor to the 8th power overflows 64-bit arcs.
+  EdgeList big(1u << 20);
+  for (vertex_t v = 0; v + 1 < 1000; ++v) big.add_undirected(v, v + 1);
+  EXPECT_THROW((void)kronecker_power_shape(big, 8), std::overflow_error);
+}
+
+TEST(KronShape, OverflowDetected) {
+  EdgeList huge(vertex_t{1} << 33);
+  EXPECT_THROW((void)kronecker_shape(huge, huge), std::overflow_error);
+}
+
+}  // namespace
+}  // namespace kron

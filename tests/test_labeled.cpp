@@ -1,0 +1,139 @@
+// Tests for vertex-labeled Kronecker ground truth (graph/labels.hpp,
+// core/labeled_gt.hpp): label-class sizes, inter-class arc counts, and
+// labeled degrees, validated against direct measurement on materialised
+// labeled products.
+#include <gtest/gtest.h>
+
+#include "core/index.hpp"
+#include "core/kron.hpp"
+#include "core/labeled_gt.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "graph/labels.hpp"
+#include "util/random.hpp"
+
+namespace kron {
+namespace {
+
+LabeledGraph labeled_fixture(EdgeList graph, label_t num_labels, std::uint64_t seed) {
+  LabeledGraph g;
+  g.num_labels = num_labels;
+  g.label_of.resize(graph.num_vertices());
+  Xoshiro256 rng(seed);
+  for (auto& l : g.label_of) l = static_cast<label_t>(rng.below(num_labels));
+  g.graph = std::move(graph);
+  return g;
+}
+
+/// Direct measurement on the materialised labeled product.
+LabeledGraph materialize_labeled(const LabeledGraph& a, const LabeledGraph& b) {
+  LabeledGraph c;
+  c.graph = kronecker_product(a.graph, b.graph);
+  c.num_labels = a.num_labels * b.num_labels;
+  c.label_of = kron_labels(a.label_of, b.num_labels, b.label_of);
+  return c;
+}
+
+TEST(Labels, ProductLabelFlattening) {
+  EXPECT_EQ(product_label(0, 0, 3), 0u);
+  EXPECT_EQ(product_label(1, 2, 3), 5u);
+  EXPECT_EQ(product_label(2, 0, 3), 6u);
+}
+
+TEST(Labels, KronLabelsFollowGammaOrder) {
+  const std::vector<label_t> la{0, 1};
+  const std::vector<label_t> lb{2, 0, 1};
+  const auto lc = kron_labels(la, 3, lb);
+  ASSERT_EQ(lc.size(), 6u);
+  // Vertex gamma(i, k, 3) = 3i + k carries (la[i], lb[k]).
+  for (vertex_t i = 0; i < 2; ++i)
+    for (vertex_t k = 0; k < 3; ++k)
+      EXPECT_EQ(lc[gamma(i, k, 3)], product_label(la[i], lb[k], 3));
+}
+
+TEST(Labels, ValidDetectsBadLabels) {
+  LabeledGraph g;
+  g.graph = make_clique(3);
+  g.num_labels = 2;
+  g.label_of = {0, 1, 5};  // out of range
+  EXPECT_FALSE(g.valid());
+  g.label_of = {0, 1};  // wrong size
+  EXPECT_FALSE(g.valid());
+  g.label_of = {0, 1, 1};
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(LabeledGt, ClassSizesMultiply) {
+  const LabeledGraph a = labeled_fixture(make_clique(6), 2, 3);
+  const LabeledGraph b = labeled_fixture(make_cycle(5), 3, 4);
+  const LabeledProductTruth truth = labeled_product_truth(a, b);
+  const LabeledGraph c = materialize_labeled(a, b);
+  EXPECT_EQ(truth.num_labels, 6u);
+  EXPECT_EQ(truth.class_sizes, label_sizes(c));
+}
+
+TEST(LabeledGt, ArcMatrixMatchesDirect) {
+  const LabeledGraph a = labeled_fixture(make_gnm(8, 16, 5), 3, 6);
+  const LabeledGraph b = labeled_fixture(make_gnm(7, 12, 7), 2, 8);
+  const LabeledProductTruth truth = labeled_product_truth(a, b);
+  const LabeledGraph c = materialize_labeled(a, b);
+  EXPECT_EQ(truth.arc_matrix, label_arc_matrix(c));
+}
+
+TEST(LabeledGt, ArcMatrixTotalEqualsArcProduct) {
+  const LabeledGraph a = labeled_fixture(make_gnm(9, 20, 9), 4, 10);
+  const LabeledGraph b = labeled_fixture(make_clique(5), 2, 11);
+  const LabeledProductTruth truth = labeled_product_truth(a, b);
+  std::uint64_t total = 0;
+  for (const auto count : truth.arc_matrix) total += count;
+  EXPECT_EQ(total, a.graph.num_arcs() * b.graph.num_arcs());
+}
+
+TEST(LabeledGt, LabeledDegreeMatchesDirect) {
+  const LabeledGraph a = labeled_fixture(make_gnm(8, 18, 13), 2, 14);
+  const LabeledGraph b = labeled_fixture(make_gnm(6, 10, 15), 2, 16);
+  const LabeledGraph c = materialize_labeled(a, b);
+  const vertex_t n_b = b.graph.num_vertices();
+  // Direct labeled degree on the product vs the product of factor labeled
+  // degrees, for a grid of (vertex, class) probes.
+  for (vertex_t i = 0; i < 4; ++i) {
+    for (vertex_t k = 0; k < 3; ++k) {
+      const vertex_t p = gamma(i, k, n_b);
+      for (label_t lambda = 0; lambda < 2; ++lambda) {
+        for (label_t mu = 0; mu < 2; ++mu) {
+          std::uint64_t direct = 0;
+          for (const Edge& e : c.graph.edges())
+            if (e.u == p &&
+                c.label_of[e.v] == product_label(lambda, mu, b.num_labels))
+              ++direct;
+          EXPECT_EQ(labeled_degree_product(a, i, lambda, b, k, mu), direct)
+              << "p=" << p << " class=(" << lambda << "," << mu << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(LabeledGt, SingleLabelReducesToUnlabeled) {
+  // With one label everywhere, the arc matrix is just the arc count.
+  const LabeledGraph a = labeled_fixture(make_clique(4), 1, 1);
+  const LabeledGraph b = labeled_fixture(make_cycle(4), 1, 2);
+  const LabeledProductTruth truth = labeled_product_truth(a, b);
+  ASSERT_EQ(truth.arc_matrix.size(), 1u);
+  EXPECT_EQ(truth.arc_matrix[0], a.graph.num_arcs() * b.graph.num_arcs());
+  EXPECT_EQ(truth.class_sizes[0], 16u);
+}
+
+TEST(LabeledGt, RejectsInvalidLabelings) {
+  LabeledGraph bad;
+  bad.graph = make_clique(3);
+  bad.num_labels = 1;
+  bad.label_of = {0, 0};  // size mismatch
+  const LabeledGraph good = labeled_fixture(make_clique(3), 1, 1);
+  EXPECT_THROW((void)labeled_product_truth(bad, good), std::invalid_argument);
+  EXPECT_THROW((void)label_arc_matrix(bad), std::invalid_argument);
+  EXPECT_THROW((void)label_sizes(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kron

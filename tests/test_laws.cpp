@@ -1,0 +1,181 @@
+// Tests for the intro scaling-law table as a whole: every row checked
+// end-to-end on materialised products, plus the law-coefficient helpers.
+// This is the executable form of the table in Sec. I.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analytics/clustering.hpp"
+#include "analytics/eccentricity.hpp"
+#include "analytics/triangles.hpp"
+#include "core/community_gt.hpp"
+#include "core/distance_gt.hpp"
+#include "core/ground_truth.hpp"
+#include "core/index.hpp"
+#include "core/kron.hpp"
+#include "core/laws.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+
+namespace kron {
+namespace {
+
+// Fixed factor pair used by most rows: connected, triangle-rich, irregular.
+EdgeList factor_a() { return prepare_factor(make_gnm(11, 24, 31), false); }
+EdgeList factor_b() { return prepare_factor(make_gnm(9, 17, 32), false); }
+
+TEST(ScalingTable, VerticesRow) {
+  // n_C = n_A n_B.
+  const EdgeList a = factor_a(), b = factor_b();
+  EXPECT_EQ(kronecker_product(a, b).num_vertices(), a.num_vertices() * b.num_vertices());
+}
+
+TEST(ScalingTable, EdgesRow) {
+  // m_C = 2 m_A m_B (simple factors).
+  const EdgeList a = factor_a(), b = factor_b();
+  EdgeList c = kronecker_product(a, b);
+  c.sort_dedupe();
+  EXPECT_EQ(c.num_undirected_edges(),
+            2 * a.num_undirected_edges() * b.num_undirected_edges());
+}
+
+TEST(ScalingTable, DegreeRow) {
+  // d_C = d_A ⊗ d_B.
+  const EdgeList a = factor_a(), b = factor_b();
+  const Csr ca(a), cb(b), cc(kronecker_product(a, b));
+  const vertex_t n_b = cb.num_vertices();
+  for (vertex_t i = 0; i < ca.num_vertices(); ++i)
+    for (vertex_t k = 0; k < n_b; ++k)
+      EXPECT_EQ(cc.degree(gamma(i, k, n_b)), ca.degree(i) * cb.degree(k));
+}
+
+TEST(ScalingTable, VertexTrianglesRow) {
+  // t_C = 2 t_A ⊗ t_B.
+  const EdgeList a = factor_a(), b = factor_b();
+  const auto ta = count_triangles(Csr(a)).per_vertex;
+  const auto tb = count_triangles(Csr(b)).per_vertex;
+  EdgeList c = kronecker_product(a, b);
+  c.sort_dedupe();
+  const auto tc = count_triangles(Csr(c)).per_vertex;
+  const vertex_t n_b = b.num_vertices();
+  for (vertex_t i = 0; i < a.num_vertices(); ++i)
+    for (vertex_t k = 0; k < n_b; ++k)
+      EXPECT_EQ(tc[gamma(i, k, n_b)], 2 * ta[i] * tb[k]);
+}
+
+TEST(ScalingTable, EdgeTrianglesRow) {
+  // Δ_C = Δ_A ⊗ Δ_B at every product edge.
+  const EdgeList a = factor_a(), b = factor_b();
+  const Csr ca(a), cb(b);
+  const auto census_a = count_triangles(ca);
+  const auto census_b = count_triangles(cb);
+  EdgeList c_list = kronecker_product(a, b);
+  c_list.sort_dedupe();
+  const Csr cc(c_list);
+  const auto census_c = count_triangles(cc);
+  const vertex_t n_b = cb.num_vertices();
+  for (vertex_t i = 0; i < ca.num_vertices(); ++i)
+    for (const vertex_t j : ca.neighbors(i))
+      for (vertex_t k = 0; k < n_b; ++k)
+        for (const vertex_t l : cb.neighbors(k))
+          EXPECT_EQ(census_c.per_arc[cc.arc_index(gamma(i, k, n_b), gamma(j, l, n_b))],
+                    census_a.per_arc[ca.arc_index(i, j)] *
+                        census_b.per_arc[cb.arc_index(k, l)]);
+}
+
+TEST(ScalingTable, GlobalTrianglesRow) {
+  // τ_C = 6 τ_A τ_B.
+  const EdgeList a = factor_a(), b = factor_b();
+  EdgeList c = kronecker_product(a, b);
+  c.sort_dedupe();
+  EXPECT_EQ(global_triangle_count(Csr(c)),
+            6 * global_triangle_count(Csr(a)) * global_triangle_count(Csr(b)));
+}
+
+TEST(ScalingTable, ClusteringRow) {
+  // η_C(p) >= (1/3) η_A(i) η_B(k) for qualifying vertices.
+  const EdgeList a = factor_a(), b = factor_b();
+  const Csr ca(a), cb(b);
+  const auto eta_a = all_vertex_clustering(ca);
+  const auto eta_b = all_vertex_clustering(cb);
+  const KroneckerGroundTruth gt(a, b, LoopRegime::kNoLoops);
+  const vertex_t n_b = cb.num_vertices();
+  for (vertex_t i = 0; i < ca.num_vertices(); ++i) {
+    for (vertex_t k = 0; k < n_b; ++k) {
+      if (ca.degree(i) < 2 || cb.degree(k) < 2) continue;
+      EXPECT_GE(gt.vertex_clustering_coeff(gamma(i, k, n_b)) + 1e-12,
+                eta_a[i] * eta_b[k] / 3.0);
+    }
+  }
+}
+
+TEST(ScalingTable, EccentricityRow) {
+  // ε_C(p) = max(ε_A(i), ε_B(k)) with full loops.
+  const EdgeList a = factor_a(), b = factor_b();
+  const DistanceGroundTruth gt(a, b);
+  const Csr c(gt.materialize());
+  const auto direct = exact_eccentricities(c);
+  for (vertex_t p = 0; p < c.num_vertices(); ++p) EXPECT_EQ(gt.eccentricity(p), direct[p]);
+}
+
+TEST(ScalingTable, DiameterRow) {
+  const EdgeList a = factor_a(), b = factor_b();
+  const DistanceGroundTruth gt(a, b);
+  EXPECT_EQ(gt.diameter(), diameter(Csr(gt.materialize())));
+}
+
+TEST(ScalingTable, CommunityCountRow) {
+  // |Π_C| = |Π_A| |Π_B| by construction of the Kronecker partition.
+  const std::vector<std::uint64_t> block_a{0, 0, 1, 1, 2};
+  const std::vector<std::uint64_t> block_b{0, 1, 1};
+  const auto block_c = kron_partition(block_a, 3, block_b, 2);
+  const std::uint64_t distinct = [&] {
+    std::vector<std::uint64_t> ids = block_c;
+    std::sort(ids.begin(), ids.end());
+    return static_cast<std::uint64_t>(std::unique(ids.begin(), ids.end()) - ids.begin());
+  }();
+  EXPECT_EQ(distinct, 6u);
+}
+
+// -------------------------------------------------------- law coefficients
+
+TEST(LawCoefficients, ThetaMonotoneInDegrees) {
+  double previous = 0.0;
+  for (std::uint64_t d = 2; d < 100; ++d) {
+    const double value = theta(d, d);
+    EXPECT_GT(value, previous);
+    previous = value;
+  }
+  EXPECT_GT(theta(1000, 1000), 0.99);
+}
+
+TEST(LawCoefficients, ThetaValidation) {
+  EXPECT_THROW((void)theta(1, 5), std::invalid_argument);
+  EXPECT_THROW((void)theta(5, 0), std::invalid_argument);
+}
+
+TEST(LawCoefficients, PhiInUnitInterval) {
+  for (std::uint64_t di = 2; di < 12; ++di)
+    for (std::uint64_t dj = 2; dj < 12; ++dj)
+      for (std::uint64_t dk = 2; dk < 12; ++dk)
+        for (std::uint64_t dl = 2; dl < 12; ++dl) {
+          const double value = phi(di, dj, dk, dl);
+          EXPECT_GT(value, 0.0);
+          EXPECT_LE(value, 1.0);
+        }
+}
+
+TEST(LawCoefficients, PhiValidation) {
+  EXPECT_THROW((void)phi(1, 2, 2, 2), std::invalid_argument);
+}
+
+TEST(LawCoefficients, Cor7Coefficients) {
+  EXPECT_DOUBLE_EQ(cor7_paper_coefficient(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cor7_provable_coefficient(1.0), 7.0);
+  EXPECT_LT(cor7_paper_coefficient(0.5), cor7_provable_coefficient(0.5));
+}
+
+}  // namespace
+}  // namespace kron

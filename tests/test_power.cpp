@@ -1,0 +1,196 @@
+// Tests for the Kronecker-power ground truth (core/power_gt.hpp), plus the
+// assortativity and betweenness reference analytics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/assortativity.hpp"
+#include "analytics/bfs.hpp"
+#include "analytics/betweenness.hpp"
+#include "analytics/triangles.hpp"
+#include "core/kron.hpp"
+#include "core/power_gt.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "util/overflow.hpp"
+
+namespace kron {
+namespace {
+
+// ---------------------------------------------------------------- power GT
+
+TEST(PowerGroundTruth, FirstPowerIsTheFactorItself) {
+  const EdgeList a = make_gnm(10, 25, 3);
+  const PowerGroundTruth gt(a, 1);
+  const Csr csr(a);
+  const TriangleCounts census = count_triangles(csr);
+  EXPECT_EQ(gt.num_vertices(), 10u);
+  EXPECT_EQ(gt.num_edges(), 25u);
+  EXPECT_EQ(gt.global_triangles(), census.total);
+  Histogram direct;
+  for (vertex_t v = 0; v < 10; ++v) direct.add(csr.degree(v));
+  EXPECT_EQ(gt.degree_histogram().items(), direct.items());
+}
+
+TEST(PowerGroundTruth, MatchesMaterializedPowers) {
+  const EdgeList a = prepare_factor(make_gnm(8, 16, 5), false);
+  for (const unsigned k : {2u, 3u}) {
+    const PowerGroundTruth gt(a, k);
+    EdgeList p = kronecker_power(a, k);
+    p.sort_dedupe();
+    const Csr csr(p);
+    const TriangleCounts census = count_triangles(csr);
+    EXPECT_EQ(gt.num_vertices(), csr.num_vertices()) << "k=" << k;
+    EXPECT_EQ(gt.num_edges(), csr.num_undirected_edges()) << "k=" << k;
+    EXPECT_EQ(gt.global_triangles(), census.total) << "k=" << k;
+
+    Histogram degree_direct;
+    for (vertex_t v = 0; v < csr.num_vertices(); ++v) degree_direct.add(csr.degree(v));
+    EXPECT_EQ(gt.degree_histogram().items(), degree_direct.items()) << "k=" << k;
+
+    Histogram tri_direct;
+    for (const auto t : census.per_vertex) tri_direct.add(t);
+    EXPECT_EQ(gt.vertex_triangle_histogram().items(), tri_direct.items()) << "k=" << k;
+  }
+}
+
+TEST(PowerGroundTruth, HistogramTotalsEqualVertexCount) {
+  const PowerGroundTruth gt(prepare_factor(make_pref_attachment(20, 2, 7), false), 3);
+  EXPECT_EQ(gt.degree_histogram().total(), gt.num_vertices());
+  EXPECT_EQ(gt.vertex_triangle_histogram().total(), gt.num_vertices());
+}
+
+TEST(PowerGroundTruth, TrillionEdgeScaleIsReachable) {
+  // A gnutella-sized factor cubed crosses 10^13 edges; the formulas still
+  // answer exactly (scalars via checked arithmetic, distributions via
+  // class composition) with tiny state.
+  const EdgeList a = prepare_factor(make_pref_attachment(2000, 5, 9), false);
+  const PowerGroundTruth gt(a, 3);
+  EXPECT_GT(gt.num_edges_approx(), 1e12);
+  EXPECT_EQ(gt.num_edges(), static_cast<std::uint64_t>(4) * a.num_undirected_edges() *
+                                a.num_undirected_edges() * a.num_undirected_edges());
+  const Histogram degrees = gt.degree_histogram();
+  EXPECT_EQ(degrees.total(), gt.num_vertices());
+  // State is the number of distinct degree values — sublinear in n_A^k.
+  EXPECT_LT(degrees.distinct(), 200'000u);
+}
+
+TEST(PowerGroundTruth, ScalarOverflowThrowsAndApproxSurvives) {
+  const EdgeList a = prepare_factor(make_gnm(50, 500, 11), false);
+  const PowerGroundTruth gt(a, 9);
+  EXPECT_THROW((void)gt.num_edges(), std::overflow_error);
+  EXPECT_GT(gt.num_edges_approx(), 1e20);
+}
+
+TEST(PowerGroundTruth, RejectsBadInput) {
+  EXPECT_THROW(PowerGroundTruth(make_clique(3), 0), std::invalid_argument);
+  EdgeList directed(3);
+  directed.add(0, 1);
+  EXPECT_THROW(PowerGroundTruth(directed, 2), std::invalid_argument);
+}
+
+TEST(CheckedArithmetic, DetectsOverflow) {
+  EXPECT_EQ(checked_mul(1u << 20, 1u << 20), 1ULL << 40);
+  EXPECT_THROW((void)checked_mul(1ULL << 40, 1ULL << 40), std::overflow_error);
+  EXPECT_EQ(checked_add(5, 7), 12u);
+  EXPECT_THROW((void)checked_add(~0ULL, 1), std::overflow_error);
+}
+
+// ------------------------------------------------------------ assortativity
+
+TEST(Assortativity, RegularGraphsAreNeutral) {
+  EXPECT_EQ(degree_assortativity(Csr(make_cycle(8))), 0.0);
+  EXPECT_EQ(degree_assortativity(Csr(make_clique(5))), 0.0);
+}
+
+TEST(Assortativity, StarIsPerfectlyDisassortative) {
+  EXPECT_NEAR(degree_assortativity(Csr(make_star(8))), -1.0, 1e-12);
+}
+
+TEST(Assortativity, ScaleFreeGraphsAreDisassortative) {
+  // BA graphs are known to be mildly disassortative under this estimator.
+  const double r = degree_assortativity(Csr(make_pref_attachment(800, 3, 13)));
+  EXPECT_LT(r, 0.0);
+  EXPECT_GT(r, -1.0);
+}
+
+TEST(Assortativity, InRange) {
+  const double r = degree_assortativity(Csr(make_gnm(60, 200, 17)));
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(Assortativity, LoopsIgnored) {
+  EdgeList g = make_star(6);
+  const double without = degree_assortativity(Csr(g));
+  g.add_full_loops();
+  EXPECT_DOUBLE_EQ(degree_assortativity(Csr(g)), without);
+}
+
+// -------------------------------------------------------------- betweenness
+
+TEST(Betweenness, PathCenterDominates) {
+  // P5: betweenness (pairs through v) = 0, 3, 4, 3, 0.
+  const auto bc = betweenness_centrality(Csr(make_path(5)));
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 3.0);
+  EXPECT_DOUBLE_EQ(bc[2], 4.0);
+  EXPECT_DOUBLE_EQ(bc[3], 3.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+}
+
+TEST(Betweenness, StarCenterCarriesAllPairs) {
+  // S_6: center mediates all C(5,2) = 10 leaf pairs.
+  const auto bc = betweenness_centrality(Csr(make_star(6)));
+  EXPECT_DOUBLE_EQ(bc[0], 10.0);
+  for (vertex_t v = 1; v < 6; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(Betweenness, CliqueHasNoIntermediaries) {
+  for (const double value : betweenness_centrality(Csr(make_clique(6))))
+    EXPECT_DOUBLE_EQ(value, 0.0);
+}
+
+TEST(Betweenness, EvenCycleSplitsPaths) {
+  // C6: for each vertex, opposite-pair paths split; known value 1.5... —
+  // verify by the sum rule instead: Σ bc = Σ over pairs (path length - 1).
+  const Csr g(make_cycle(6));
+  const auto bc = betweenness_centrality(g);
+  double total = 0;
+  for (const double value : bc) total += value;
+  // Distances in C6 from any vertex: 1,1,2,2,3 → Σ (d-1) over ordered pairs
+  // = 6 * (0+0+1+1+2) / 2 unordered = 12.
+  EXPECT_NEAR(total, 12.0, 1e-9);
+  for (const double value : bc) EXPECT_NEAR(value, 2.0, 1e-9);  // transitive
+}
+
+TEST(Betweenness, SumRuleOnRandomGraph) {
+  // Σ_v bc(v) = Σ_{pairs u<w reachable} (hops(u,w) - 1).
+  const EdgeList g = prepare_factor(make_gnm(30, 70, 19), false);
+  const Csr csr(g);
+  const auto bc = betweenness_centrality(csr);
+  double total = 0;
+  for (const double value : bc) total += value;
+  double expected = 0;
+  for (vertex_t u = 0; u < csr.num_vertices(); ++u) {
+    const auto levels = bfs_levels(csr, u);
+    for (vertex_t w = u + 1; w < csr.num_vertices(); ++w)
+      if (levels[w] != kUnreachable && levels[w] > 0)
+        expected += static_cast<double>(levels[w] - 1);
+  }
+  EXPECT_NEAR(total, expected, 1e-6);
+}
+
+TEST(Betweenness, LoopsDoNotChangeResults) {
+  EdgeList g = make_path(6);
+  const auto without = betweenness_centrality(Csr(g));
+  g.add_full_loops();
+  const auto with = betweenness_centrality(Csr(g));
+  for (vertex_t v = 0; v < 6; ++v) EXPECT_DOUBLE_EQ(with[v], without[v]);
+}
+
+}  // namespace
+}  // namespace kron

@@ -1,0 +1,140 @@
+// Property-based tests: randomized factor pairs across many seeds, each
+// checking a bundle of structural invariants of the Kronecker machinery.
+// These complement the fixed-fixture suites with breadth — every invariant
+// here must hold for *any* valid input, so each seed is an independent
+// trial.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "analytics/triangles.hpp"
+#include "core/connectivity_gt.hpp"
+#include "core/generator.hpp"
+#include "core/ground_truth.hpp"
+#include "core/kron.hpp"
+#include "core/rejection.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "util/random.hpp"
+
+namespace kron {
+namespace {
+
+/// Random factor: structure and size vary with the seed.
+EdgeList random_factor(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const vertex_t n = 6 + rng.below(10);
+  switch (rng.below(3)) {
+    case 0: return prepare_factor(make_gnm(n, n + rng.below(2 * n), seed), false);
+    case 1: return prepare_factor(make_gnp(n, 0.2 + 0.3 * rng.uniform(), seed), false);
+    default:
+      return prepare_factor(make_pref_attachment(std::max<vertex_t>(n, 5), 2, seed), false);
+  }
+}
+
+class RandomPair : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    a_ = random_factor(GetParam() * 2 + 1);
+    b_ = random_factor(GetParam() * 2 + 2);
+    if (a_.num_arcs() == 0 || b_.num_arcs() == 0) GTEST_SKIP() << "degenerate factor";
+  }
+  EdgeList a_;
+  EdgeList b_;
+};
+
+TEST_P(RandomPair, ProductStructuralInvariants) {
+  EdgeList c = kronecker_product(a_, b_);
+  c.sort_dedupe();
+  // Symmetric factors give a symmetric, loop-free product of the exact
+  // predicted shape.
+  EXPECT_TRUE(c.is_symmetric());
+  EXPECT_EQ(c.num_loops(), 0u);
+  const KroneckerShape shape = kronecker_shape(a_, b_);
+  EXPECT_EQ(c.num_vertices(), shape.num_vertices);
+  EXPECT_EQ(c.num_arcs(), shape.num_arcs);
+  EXPECT_EQ(c.num_undirected_edges(), 2 * a_.num_undirected_edges() * b_.num_undirected_edges());
+}
+
+TEST_P(RandomPair, GroundTruthInternalConsistency) {
+  // Invariants of the formulas themselves (no product needed):
+  // Σ t_p = 3 τ_C,  Σ d_p = 2 m'_C where m' excludes loops.
+  for (const LoopRegime regime :
+       {LoopRegime::kNoLoops, LoopRegime::kFullLoops, LoopRegime::kFullLoopsAOnly}) {
+    const KroneckerGroundTruth gt(a_, b_, regime);
+    const auto triangles = gt.all_vertex_triangles();
+    const std::uint64_t sum_t = std::accumulate(triangles.begin(), triangles.end(), 0ULL);
+    EXPECT_EQ(sum_t, 3 * gt.global_triangles());
+    const auto degrees = gt.all_degrees();
+    const std::uint64_t sum_d = std::accumulate(degrees.begin(), degrees.end(), 0ULL);
+    const std::uint64_t loops =
+        regime == LoopRegime::kFullLoops ? gt.num_vertices() : 0;
+    EXPECT_EQ(sum_d, 2 * (gt.num_edges() - loops));
+  }
+}
+
+TEST_P(RandomPair, HistogramsAreConsistentWithSweeps) {
+  const KroneckerGroundTruth gt(a_, b_, LoopRegime::kFullLoops);
+  const auto degrees = gt.all_degrees();
+  Histogram from_sweep;
+  for (const auto d : degrees) from_sweep.add(d);
+  EXPECT_EQ(gt.degree_histogram().items(), from_sweep.items());
+  const auto triangles = gt.all_vertex_triangles();
+  Histogram tri_sweep;
+  for (const auto t : triangles) tri_sweep.add(t);
+  EXPECT_EQ(gt.vertex_triangle_histogram().items(), tri_sweep.items());
+}
+
+TEST_P(RandomPair, GeneratorAgreesAcrossConfigurations) {
+  GeneratorConfig base;
+  base.ranks = 1;
+  const EdgeList reference = generate_distributed(a_, b_, base).gather();
+  Xoshiro256 rng(GetParam());
+  GeneratorConfig other;
+  other.ranks = static_cast<int>(2 + rng.below(6));
+  other.scheme = rng.chance(0.5) ? PartitionScheme::k1D : PartitionScheme::k2D;
+  other.shuffle_to_owner = rng.chance(0.5);
+  other.owner_seed = rng();
+  EXPECT_EQ(generate_distributed(a_, b_, other).gather(), reference);
+}
+
+TEST_P(RandomPair, WeichselPredictionMatchesDirect) {
+  EdgeList c = kronecker_product(a_, b_);
+  c.sort_dedupe();
+  EXPECT_EQ(kronecker_num_components(Csr(a_), Csr(b_)), num_components(Csr(c)));
+}
+
+TEST_P(RandomPair, RejectionFamilyIsNested) {
+  EdgeList c = kronecker_product(a_, b_);
+  c.sort_dedupe();
+  Xoshiro256 rng(GetParam() + 99);
+  const double lo = 0.3 + 0.3 * rng.uniform();
+  const double hi = lo + (1.0 - lo) * rng.uniform();
+  const EdgeList sub_lo = hashed_subgraph(c, lo, GetParam());
+  const EdgeList sub_hi = hashed_subgraph(c, hi, GetParam());
+  EXPECT_LE(sub_lo.num_arcs(), sub_hi.num_arcs());
+  const Csr hi_csr(sub_hi);
+  for (const Edge& e : sub_lo.edges()) EXPECT_TRUE(hi_csr.has_edge(e.u, e.v));
+}
+
+TEST_P(RandomPair, TriangleFormulaMatchesEnumerationSpotChecks) {
+  const KroneckerGroundTruth gt(a_, b_, LoopRegime::kNoLoops);
+  EdgeList c_list = gt.materialize();
+  c_list.sort_dedupe();
+  const Csr c(c_list);
+  const auto census = count_triangles(c);
+  EXPECT_EQ(census.total, gt.global_triangles());
+  Xoshiro256 rng(GetParam() + 7);
+  for (int probe = 0; probe < 20; ++probe) {
+    const vertex_t p = rng.below(c.num_vertices());
+    EXPECT_EQ(gt.vertex_triangles(p), census.per_vertex[p]) << "vertex " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPair, ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace kron

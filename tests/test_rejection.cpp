@@ -1,0 +1,185 @@
+// Tests for probabilistic edge rejection (Sec. IV-C, Def. 8): hashed
+// subgraph semantics, joint multi-ν triangle counting, and the expected
+// local triangle counts ν³ t_p / ν² Δ_pq.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/triangles.hpp"
+#include "core/ground_truth.hpp"
+#include "core/kron.hpp"
+#include "core/rejection.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "util/hash.hpp"
+#include "util/stats.hpp"
+
+namespace kron {
+namespace {
+
+EdgeList test_product() {
+  EdgeList c = kronecker_product_with_loops(prepare_factor(make_pref_attachment(20, 2, 3), false),
+                                            make_gnm(12, 24, 5));
+  c.sort_dedupe();
+  return c;
+}
+
+// --------------------------------------------------------- subgraph filter
+
+TEST(HashedSubgraph, NuOneKeepsEverything) {
+  const EdgeList c = test_product();
+  EXPECT_EQ(hashed_subgraph(c, 1.0).num_arcs(), c.num_arcs());
+}
+
+TEST(HashedSubgraph, NuZeroKeepsAlmostNothing) {
+  // hash == 0.0 exactly has probability ~2^-53 per edge.
+  const EdgeList c = test_product();
+  EXPECT_EQ(hashed_subgraph(c, 0.0).num_arcs(), 0u);
+}
+
+TEST(HashedSubgraph, PreservesSymmetry) {
+  const EdgeList c = test_product();
+  const EdgeList sub = hashed_subgraph(c, 0.7);
+  EXPECT_TRUE(sub.is_symmetric());
+}
+
+TEST(HashedSubgraph, FamilyIsMonotone) {
+  // ν < ν' ⟹ G_{C,ν} ⊆ G_{C,ν'}: every kept edge of the smaller threshold
+  // appears in the larger one.
+  const EdgeList c = test_product();
+  const EdgeList small = hashed_subgraph(c, 0.5);
+  const Csr large_csr(hashed_subgraph(c, 0.9));
+  for (const Edge& e : small.edges()) EXPECT_TRUE(large_csr.has_edge(e.u, e.v));
+}
+
+TEST(HashedSubgraph, SurvivalRateNearNu) {
+  const EdgeList c = test_product();
+  for (const double nu : {0.9, 0.5, 0.2}) {
+    const EdgeList sub = hashed_subgraph(c, nu);
+    const double rate =
+        static_cast<double>(sub.num_arcs()) / static_cast<double>(c.num_arcs());
+    // Binomial concentration: thousands of edges, so ±0.03 is generous.
+    EXPECT_NEAR(rate, nu, 0.03) << "nu=" << nu;
+  }
+}
+
+TEST(HashedSubgraph, SeedChangesSelection) {
+  const EdgeList c = test_product();
+  EXPECT_NE(hashed_subgraph(c, 0.5, 1), hashed_subgraph(c, 0.5, 2));
+}
+
+TEST(HashedSubgraph, RejectsBadNu) {
+  EXPECT_THROW((void)hashed_subgraph(EdgeList(2), -0.1), std::invalid_argument);
+  EXPECT_THROW((void)hashed_subgraph(EdgeList(2), 1.1), std::invalid_argument);
+}
+
+TEST(SurvivingEdgeCount, MatchesFilteredGraph) {
+  const EdgeList c = test_product();
+  const Csr csr(c);
+  for (const double nu : {1.0, 0.95, 0.5}) {
+    const EdgeList sub = hashed_subgraph(c, nu);
+    EXPECT_EQ(surviving_edge_count(csr, nu), sub.num_undirected_edges()) << "nu=" << nu;
+  }
+}
+
+// ------------------------------------------------------------ joint census
+
+TEST(JointCensus, NuOneMatchesPlainCensus) {
+  const Csr c(test_product());
+  const TriangleCounts plain = count_triangles(c);
+  const JointTriangleCensus joint = joint_triangle_census(c, {1.0});
+  EXPECT_EQ(joint.totals[0], plain.total);
+  EXPECT_EQ(joint.per_vertex[0], plain.per_vertex);
+}
+
+TEST(JointCensus, MatchesPerNuDirectCounts) {
+  // The one-sweep joint count must equal counting triangles of each
+  // filtered subgraph separately — the Def. 8 consistency property.
+  const EdgeList c_list = test_product();
+  const Csr c(c_list);
+  const std::vector<double> nus{0.9, 0.95, 0.99, 1.0};
+  const JointTriangleCensus joint = joint_triangle_census(c, nus, 7);
+  for (std::size_t idx = 0; idx < nus.size(); ++idx) {
+    const Csr sub(hashed_subgraph(c_list, nus[idx], 7));
+    const TriangleCounts direct = count_triangles(sub);
+    EXPECT_EQ(joint.totals[idx], direct.total) << "nu=" << nus[idx];
+    EXPECT_EQ(joint.per_vertex[idx], direct.per_vertex) << "nu=" << nus[idx];
+  }
+}
+
+TEST(JointCensus, TotalsAreMonotoneInNu) {
+  const Csr c(test_product());
+  const JointTriangleCensus joint = joint_triangle_census(c, {0.5, 0.7, 0.9, 1.0});
+  for (std::size_t i = 1; i < joint.nus.size(); ++i)
+    EXPECT_LE(joint.totals[i - 1], joint.totals[i]);
+}
+
+TEST(JointCensus, UnsortedInputIsSorted) {
+  const Csr c(test_product());
+  const JointTriangleCensus joint = joint_triangle_census(c, {1.0, 0.5, 0.9});
+  EXPECT_EQ(joint.nus, (std::vector<double>{0.5, 0.9, 1.0}));
+}
+
+// ----------------------------------------------------------- expectations
+
+TEST(Expectations, VertexTriangleMeanNearNuCubed) {
+  // Average over many vertices: Σ_p t_p^(ν) ≈ ν³ Σ_p t_p.  One hash draw
+  // per edge, so this is a concentration test on the global count (each
+  // triangle survives with probability exactly ν³).
+  const Csr c(test_product());
+  const TriangleCounts plain = count_triangles(c);
+  const JointTriangleCensus joint = joint_triangle_census(c, {0.9, 0.95});
+  for (std::size_t idx = 0; idx < joint.nus.size(); ++idx) {
+    const double nu = joint.nus[idx];
+    const double expected = nu * nu * nu * static_cast<double>(plain.total);
+    const double sd = std::sqrt(expected);  // Poisson-ish scale
+    EXPECT_NEAR(static_cast<double>(joint.totals[idx]), expected, 6 * sd) << "nu=" << nu;
+  }
+}
+
+TEST(Expectations, EdgeTriangleMeanNearNuSquared) {
+  // Over surviving edges, the mean ratio Δ^(ν)/Δ should approach ν².
+  const EdgeList c_list = test_product();
+  const Csr c(c_list);
+  const TriangleCounts plain = count_triangles(c);
+  const double nu = 0.9;
+  const Csr sub(hashed_subgraph(c_list, nu, 0));
+  const TriangleCounts filtered = count_triangles(sub);
+  Stats ratio;
+  for (vertex_t u = 0; u < sub.num_vertices(); ++u) {
+    for (const vertex_t v : sub.neighbors(u)) {
+      if (u >= v) continue;
+      const std::uint64_t before = plain.per_arc[c.arc_index(u, v)];
+      if (before < 3) continue;  // skip tiny denominators
+      const std::uint64_t after = filtered.per_arc[sub.arc_index(u, v)];
+      ratio.add(static_cast<double>(after) / static_cast<double>(before));
+    }
+  }
+  ASSERT_GT(ratio.count(), 50u);
+  EXPECT_NEAR(ratio.mean(), nu * nu, 0.05);
+}
+
+TEST(Expectations, HelperFormulas) {
+  EXPECT_DOUBLE_EQ(expected_vertex_triangles(0.5, 80), 10.0);
+  EXPECT_DOUBLE_EQ(expected_edge_triangles(0.5, 80), 20.0);
+  EXPECT_DOUBLE_EQ(expected_vertex_triangles(1.0, 7), 7.0);
+}
+
+TEST(Expectations, GroundTruthSurvivesRejectionCheck) {
+  // The paper's validation story: an algorithm that gets all local counts
+  // of G_C right can be checked on G_{C,ν} by filtering its enumeration.
+  // Here: ground-truth t_p of C (Cor. 1) equals the ν=1 joint census.
+  const EdgeList a = prepare_factor(make_pref_attachment(15, 2, 3), false);
+  const EdgeList b = make_gnm(10, 18, 5);
+  const KroneckerGroundTruth gt(a, b, LoopRegime::kFullLoops);
+  const Csr c(gt.materialize());
+  const JointTriangleCensus joint = joint_triangle_census(c, {1.0});
+  const auto predicted = gt.all_vertex_triangles();
+  EXPECT_EQ(joint.per_vertex[0], predicted);
+}
+
+}  // namespace
+}  // namespace kron

@@ -1,0 +1,312 @@
+// Unit tests for the in-process message-passing runtime: channels,
+// point-to-point messaging, collectives, and the partitioning schemes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "runtime/channel.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/partition.hpp"
+
+namespace kron {
+namespace {
+
+// ---------------------------------------------------------------- channel
+
+TEST(Channel, FifoOrder) {
+  Channel<int> ch;
+  ch.push(1);
+  ch.push(2);
+  ch.push(3);
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), 2);
+  EXPECT_EQ(ch.pop(), 3);
+}
+
+TEST(Channel, TryPopOnEmpty) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_pop().has_value());
+  ch.push(7);
+  EXPECT_EQ(ch.try_pop(), 7);
+}
+
+TEST(Channel, CloseDrainsThenEnds) {
+  Channel<int> ch;
+  ch.push(5);
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+  EXPECT_EQ(ch.pop(), 5);
+  EXPECT_FALSE(ch.pop().has_value());
+}
+
+TEST(Channel, PopBlocksUntilPush) {
+  Channel<int> ch;
+  std::thread producer([&ch] { ch.push(42); });
+  EXPECT_EQ(ch.pop(), 42);
+  producer.join();
+}
+
+TEST(Channel, ConcurrentProducers) {
+  Channel<int> ch;
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p)
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) ch.push(p * kPerProducer + i);
+    });
+  std::set<int> received;
+  for (int i = 0; i < 4 * kPerProducer; ++i) received.insert(*ch.pop());
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(received.size(), 4u * kPerProducer);
+}
+
+// ---------------------------------------------------------------- runtime
+
+TEST(Runtime, RanksSeeCorrectIdentity) {
+  for (const int ranks : {1, 2, 5}) {
+    std::vector<int> seen(static_cast<std::size_t>(ranks), -1);
+    Runtime::run(ranks, [&](Comm& comm) {
+      EXPECT_EQ(comm.size(), ranks);
+      seen[static_cast<std::size_t>(comm.rank())] = comm.rank();
+    });
+    for (int r = 0; r < ranks; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], r);
+  }
+}
+
+TEST(Runtime, RejectsZeroRanks) {
+  EXPECT_THROW(Runtime::run(0, [](Comm&) {}), std::invalid_argument);
+}
+
+TEST(Runtime, PropagatesExceptions) {
+  EXPECT_THROW(Runtime::run(3,
+                            [](Comm& comm) {
+                              if (comm.rank() == 1) throw std::runtime_error("rank failure");
+                              // Other ranks park in a barrier; the abort
+                              // must wake them rather than deadlock.
+                              comm.barrier();
+                            }),
+               std::runtime_error);
+}
+
+TEST(Runtime, BarrierSynchronizes) {
+  constexpr int kRanks = 4;
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> violation{false};
+  Runtime::run(kRanks, [&](Comm& comm) {
+    ++phase_one;
+    comm.barrier();
+    // After the barrier every rank must observe all increments.
+    if (phase_one.load() != kRanks) violation = true;
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(Runtime, RepeatedBarriers) {
+  std::atomic<int> counter{0};
+  Runtime::run(3, [&](Comm& comm) {
+    for (int round = 0; round < 50; ++round) {
+      comm.barrier();
+      ++counter;
+      comm.barrier();
+      EXPECT_EQ(counter.load() % 3, 0);  // all ranks finished the round
+    }
+  });
+  EXPECT_EQ(counter.load(), 150);
+}
+
+TEST(Comm, SendRecvPointToPoint) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<std::uint64_t> data{10, 20, 30};
+      comm.send_values<std::uint64_t>(1, 7, data);
+    } else {
+      const RankMessage message = comm.recv();
+      EXPECT_EQ(message.source, 0);
+      EXPECT_EQ(message.tag, 7);
+      EXPECT_EQ(Comm::decode<std::uint64_t>(message),
+                (std::vector<std::uint64_t>{10, 20, 30}));
+    }
+  });
+}
+
+TEST(Comm, SendToInvalidRankThrows) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) EXPECT_THROW(comm.send(5, 0, {}), std::out_of_range);
+  });
+}
+
+TEST(Comm, TryRecvNonBlocking) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(comm.try_recv().has_value());
+      comm.barrier();  // let rank 1 send
+      comm.barrier();
+      const auto message = comm.try_recv();
+      ASSERT_TRUE(message.has_value());
+      EXPECT_EQ(message->tag, 3);
+    } else {
+      comm.barrier();
+      comm.send(0, 3, {});
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Comm, AllreduceSum) {
+  for (const int ranks : {1, 2, 4, 7}) {
+    Runtime::run(ranks, [ranks](Comm& comm) {
+      const std::uint64_t total =
+          comm.allreduce_sum(static_cast<std::uint64_t>(comm.rank() + 1));
+      EXPECT_EQ(total, static_cast<std::uint64_t>(ranks) * (ranks + 1) / 2);
+    });
+  }
+}
+
+TEST(Comm, AllreduceMax) {
+  Runtime::run(5, [](Comm& comm) {
+    const std::uint64_t best =
+        comm.allreduce_max(static_cast<std::uint64_t>(comm.rank() * 10));
+    EXPECT_EQ(best, 40u);
+  });
+}
+
+TEST(Comm, AllreduceSumDouble) {
+  Runtime::run(4, [](Comm& comm) {
+    const double total = comm.allreduce_sum(0.5);
+    EXPECT_DOUBLE_EQ(total, 2.0);
+  });
+}
+
+TEST(Comm, AllgatherValues) {
+  Runtime::run(3, [](Comm& comm) {
+    const std::vector<std::uint64_t> mine(static_cast<std::size_t>(comm.rank()) + 1,
+                                          static_cast<std::uint64_t>(comm.rank()));
+    const auto all = comm.allgather_values<std::uint64_t>(mine);
+    ASSERT_EQ(all.size(), 3u);
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(all[r].size(), r + 1);
+      for (const auto v : all[r]) EXPECT_EQ(v, r);
+    }
+  });
+}
+
+TEST(Comm, AlltoallvRoutesBuckets) {
+  constexpr int kRanks = 4;
+  Runtime::run(kRanks, [](Comm& comm) {
+    // Rank r sends value 100*r + d to destination d.
+    std::vector<std::vector<std::uint64_t>> outbox(kRanks);
+    for (int d = 0; d < kRanks; ++d)
+      outbox[static_cast<std::size_t>(d)].push_back(
+          static_cast<std::uint64_t>(100 * comm.rank() + d));
+    const auto inbox = comm.alltoallv(std::move(outbox));
+    ASSERT_EQ(inbox.size(), static_cast<std::size_t>(kRanks));
+    for (int s = 0; s < kRanks; ++s) {
+      ASSERT_EQ(inbox[static_cast<std::size_t>(s)].size(), 1u);
+      EXPECT_EQ(inbox[static_cast<std::size_t>(s)][0],
+                static_cast<std::uint64_t>(100 * s + comm.rank()));
+    }
+  });
+}
+
+TEST(Comm, AlltoallvRejectsWrongBucketCount) {
+  Runtime::run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::vector<std::uint64_t>> outbox(1);
+      EXPECT_THROW((void)comm.alltoallv(std::move(outbox)), std::invalid_argument);
+    }
+  });
+}
+
+TEST(Comm, CollectivesComposeAcrossRounds) {
+  Runtime::run(3, [](Comm& comm) {
+    std::uint64_t running = 1;
+    for (int round = 0; round < 10; ++round) running = comm.allreduce_max(running + 1);
+    EXPECT_EQ(running, 11u);
+  });
+}
+
+// -------------------------------------------------------------- partition
+
+TEST(Partition, BlockRangeCoversWithoutOverlap) {
+  for (const std::uint64_t total : {0ULL, 1ULL, 10ULL, 97ULL}) {
+    for (const std::uint64_t parts : {1ULL, 2ULL, 3ULL, 8ULL}) {
+      std::uint64_t covered = 0;
+      std::uint64_t previous_end = 0;
+      for (std::uint64_t p = 0; p < parts; ++p) {
+        const IndexRange range = block_range(total, parts, p);
+        EXPECT_EQ(range.begin, previous_end);
+        previous_end = range.end;
+        covered += range.size();
+      }
+      EXPECT_EQ(previous_end, total);
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(Partition, BlockRangeBalanced) {
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    const IndexRange range = block_range(10, 4, p);
+    EXPECT_GE(range.size(), 2u);
+    EXPECT_LE(range.size(), 3u);
+  }
+}
+
+TEST(Partition, BlockRangeValidates) {
+  EXPECT_THROW((void)block_range(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)block_range(10, 2, 2), std::out_of_range);
+}
+
+TEST(Partition, CyclicOwner) {
+  EXPECT_EQ(cyclic_owner(0, 3), 0u);
+  EXPECT_EQ(cyclic_owner(7, 3), 1u);
+}
+
+TEST(Partition, EdgeStorageOwnerIsSymmetricAndInRange) {
+  for (std::uint64_t u = 0; u < 20; ++u) {
+    for (std::uint64_t v = 0; v < 20; ++v) {
+      const std::uint64_t owner = edge_storage_owner(u, v, 7);
+      EXPECT_LT(owner, 7u);
+      EXPECT_EQ(owner, edge_storage_owner(v, u, 7));
+    }
+  }
+}
+
+TEST(Grid2D, DimensionsMatchRemarkOne) {
+  // parts_a = ceil(sqrt(R)), parts_b = ceil(R / parts_a).
+  const Grid2D g4(4);
+  EXPECT_EQ(g4.parts_a(), 2u);
+  EXPECT_EQ(g4.parts_b(), 2u);
+  const Grid2D g10(10);
+  EXPECT_EQ(g10.parts_a(), 4u);
+  EXPECT_EQ(g10.parts_b(), 3u);
+}
+
+TEST(Grid2D, CellsCoverExactlyOnce) {
+  for (const std::uint64_t ranks : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL, 7ULL, 8ULL, 16ULL}) {
+    const Grid2D grid(ranks);
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+    for (std::uint64_t r = 0; r < ranks; ++r) {
+      for (const auto& cell : grid.cells_of(r)) {
+        EXPECT_LT(cell.first, grid.parts_a());
+        EXPECT_LT(cell.second, grid.parts_b());
+        EXPECT_TRUE(seen.insert(cell).second) << "duplicate cell";
+        EXPECT_EQ(grid.owner(cell.first, cell.second), r);
+      }
+    }
+    EXPECT_EQ(seen.size(), grid.num_cells());
+  }
+}
+
+TEST(Grid2D, Validates) {
+  EXPECT_THROW(Grid2D(0), std::invalid_argument);
+  const Grid2D grid(4);
+  EXPECT_THROW((void)grid.owner(5, 0), std::out_of_range);
+  EXPECT_THROW((void)grid.cells_of(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace kron

@@ -1,0 +1,166 @@
+// Tests for the spectral analytics (power iteration on A²) and the
+// Kronecker spectral ground truth ρ(A ⊗ B) = ρ(A) ρ(B) /
+// top-k |eig| products — the Sec. IV-C "exploitable structure".
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/spectral.hpp"
+#include "core/kron.hpp"
+#include "core/spectral_gt.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "test_factors.hpp"
+
+namespace kron {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+// ------------------------------------------------------- spectral radius
+
+TEST(SpectralRadius, KnownValues) {
+  // K_n: n-1; C_n: 2; star S_n: sqrt(n-1); P_n: 2 cos(pi/(n+1)).
+  EXPECT_NEAR(spectral_radius(Csr(make_clique(6))).value, 5.0, kTol);
+  EXPECT_NEAR(spectral_radius(Csr(make_cycle(8))).value, 2.0, kTol);
+  EXPECT_NEAR(spectral_radius(Csr(make_star(10))).value, 3.0, kTol);
+  EXPECT_NEAR(spectral_radius(Csr(make_path(5))).value, 2.0 * std::cos(M_PI / 6.0), kTol);
+}
+
+TEST(SpectralRadius, BipartiteSpectrumIsHandled) {
+  // K_{3,4}: eigenvalues ±sqrt(12); power iteration on A² must not
+  // oscillate.
+  EXPECT_NEAR(spectral_radius(Csr(make_complete_bipartite(3, 4))).value, std::sqrt(12.0),
+              kTol);
+}
+
+TEST(SpectralRadius, SelfLoopsShiftSpectrum) {
+  // K_n + I has radius n (all-ones matrix block).
+  EdgeList g = make_clique(5);
+  g.add_full_loops();
+  EXPECT_NEAR(spectral_radius(Csr(g)).value, 5.0, kTol);
+}
+
+TEST(SpectralRadius, EmptyAndEdgelessGraphs) {
+  EXPECT_EQ(spectral_radius(Csr(EdgeList(0))).value, 0.0);
+  EXPECT_EQ(spectral_radius(Csr(EdgeList(7))).value, 0.0);
+}
+
+TEST(SpectralRadius, DeterministicForSeed) {
+  const Csr g(make_gnm(30, 80, 5));
+  EXPECT_EQ(spectral_radius(g, 1e-10, 5000, 3).value,
+            spectral_radius(g, 1e-10, 5000, 3).value);
+}
+
+TEST(SpectralRadius, BoundedByMaxDegree) {
+  for (const auto& [name, factor] : testing::compact_factors()) {
+    const Csr g(factor);
+    std::uint64_t max_degree = 0;
+    double mean_degree = 0;
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      max_degree = std::max(max_degree, g.degree(v));
+      mean_degree += static_cast<double>(g.degree(v));
+    }
+    mean_degree /= static_cast<double>(g.num_vertices());
+    const double rho = spectral_radius(g).value;
+    EXPECT_LE(rho, static_cast<double>(max_degree) + kTol) << name;
+    EXPECT_GE(rho, mean_degree - kTol) << name;  // rho >= average degree
+  }
+}
+
+// ----------------------------------------------------- top-k magnitudes
+
+TEST(TopEigen, CliqueSpectrum) {
+  // K_5: eigenvalues {4, -1, -1, -1, -1} — magnitudes {4, 1, 1, 1, 1}.
+  const auto mags = top_eigenvalue_magnitudes(Csr(make_clique(5)), 3);
+  ASSERT_EQ(mags.size(), 3u);
+  EXPECT_NEAR(mags[0], 4.0, kTol);
+  EXPECT_NEAR(mags[1], 1.0, kTol);
+  EXPECT_NEAR(mags[2], 1.0, kTol);
+}
+
+TEST(TopEigen, CycleSpectrum) {
+  // C_6: eigenvalues 2 cos(2 pi k / 6) = {2, 1, 1, -1, -1, -2}.
+  const auto mags = top_eigenvalue_magnitudes(Csr(make_cycle(6)), 4);
+  ASSERT_EQ(mags.size(), 4u);
+  EXPECT_NEAR(mags[0], 2.0, 1e-4);
+  EXPECT_NEAR(mags[1], 2.0, 1e-4);
+  EXPECT_NEAR(mags[2], 1.0, 1e-4);
+  EXPECT_NEAR(mags[3], 1.0, 1e-4);
+}
+
+TEST(TopEigen, DecreasingOrder) {
+  const auto mags = top_eigenvalue_magnitudes(Csr(make_gnm(25, 70, 9)), 6);
+  for (std::size_t i = 1; i < mags.size(); ++i) EXPECT_LE(mags[i], mags[i - 1] + kTol);
+}
+
+TEST(TopEigen, RejectsDirectedGraphs) {
+  EdgeList g(3);
+  g.add(0, 1);
+  EXPECT_THROW((void)top_eigenvalue_magnitudes(Csr(g), 2), std::invalid_argument);
+}
+
+// ------------------------------------------------------- top_k_products
+
+TEST(TopKProducts, MatchesBruteForce) {
+  const std::vector<double> x{5, 3, 2, 1};
+  const std::vector<double> y{4, 4, 1};
+  std::vector<double> all;
+  for (const double a : x)
+    for (const double b : y) all.push_back(a * b);
+  std::sort(all.rbegin(), all.rend());
+  for (const std::size_t k : {1u, 3u, 7u, 12u}) {
+    const auto top = top_k_products(x, y, k);
+    ASSERT_EQ(top.size(), std::min<std::size_t>(k, all.size()));
+    for (std::size_t i = 0; i < top.size(); ++i) EXPECT_DOUBLE_EQ(top[i], all[i]);
+  }
+}
+
+TEST(TopKProducts, EmptyInputs) {
+  EXPECT_TRUE(top_k_products({}, {1.0}, 3).empty());
+  EXPECT_TRUE(top_k_products({1.0}, {2.0}, 0).empty());
+}
+
+// -------------------------------------------------- Kronecker spectral law
+
+TEST(SpectralLaw, RadiusFactorizes) {
+  for (const auto& [name_a, a] : testing::compact_factors()) {
+    for (const auto& [name_b, b] : testing::compact_factors()) {
+      const Csr ca(a), cb(b);
+      EdgeList c = kronecker_product(a, b);
+      c.sort_dedupe();
+      const double direct = spectral_radius(Csr(c)).value;
+      const double predicted = kronecker_spectral_radius(ca, cb);
+      EXPECT_NEAR(predicted, direct, 1e-4 * std::max(1.0, direct))
+          << name_a << " x " << name_b;
+    }
+  }
+}
+
+TEST(SpectralLaw, TopKFactorizes) {
+  const EdgeList a = make_clique(4);   // mags {3, 1, 1, 1}
+  const EdgeList b = make_cycle(5);    // mags {2, 1.618.., 1.618.., .618, .618}
+  EdgeList c = kronecker_product(a, b);
+  c.sort_dedupe();
+  const auto predicted = kronecker_top_eigenvalue_magnitudes(Csr(a), Csr(b), 5);
+  const auto direct = top_eigenvalue_magnitudes(Csr(c), 5);
+  ASSERT_EQ(predicted.size(), direct.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    EXPECT_NEAR(predicted[i], direct[i], 1e-3) << "mode " << i;
+}
+
+TEST(SpectralLaw, WithLoopsRadiusFactorizes) {
+  EdgeList a = make_gnm(15, 40, 3);
+  a.add_full_loops();
+  EdgeList b = make_gnm(12, 30, 4);
+  b.add_full_loops();
+  EdgeList c = kronecker_product(a, b);
+  c.sort_dedupe();
+  EXPECT_NEAR(kronecker_spectral_radius(Csr(a), Csr(b)), spectral_radius(Csr(c)).value,
+              1e-4 * spectral_radius(Csr(c)).value);
+}
+
+}  // namespace
+}  // namespace kron

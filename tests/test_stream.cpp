@@ -1,0 +1,150 @@
+// Tests for the streaming product visitors (core/stream.hpp) and the
+// directed-graph ground truth (core/directed_gt.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/directed_gt.hpp"
+#include "core/kron.hpp"
+#include "core/stream.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "graph/csr.hpp"
+#include "test_factors.hpp"
+#include "util/histogram.hpp"
+
+namespace kron {
+namespace {
+
+std::vector<Edge> collect_stream(const EdgeList& a, const EdgeList& b) {
+  std::vector<Edge> arcs;
+  for_each_product_arc(a, b, [&arcs](const Edge& e) { arcs.push_back(e); });
+  return arcs;
+}
+
+// ------------------------------------------------------------- streaming
+
+TEST(Stream, MatchesMaterializedProduct) {
+  const EdgeList a = make_gnm(7, 12, 2);
+  const EdgeList b = make_cycle(5);
+  auto streamed = collect_stream(a, b);
+  const EdgeList c = kronecker_product(a, b);
+  std::vector<Edge> stored(c.edges().begin(), c.edges().end());
+  std::sort(streamed.begin(), streamed.end());
+  std::sort(stored.begin(), stored.end());
+  EXPECT_EQ(streamed, stored);
+}
+
+TEST(Stream, ArcCountIsProduct) {
+  const EdgeList a = make_clique(4);
+  const EdgeList b = make_star(6);
+  std::uint64_t count = 0;
+  for_each_product_arc(a, b, [&count](const Edge&) { ++count; });
+  EXPECT_EQ(count, a.num_arcs() * b.num_arcs());
+}
+
+TEST(Stream, DegreeHistogramWithoutMaterializing) {
+  // A realistic streaming statistic: out-degree histogram of C.
+  const EdgeList a = make_gnm(9, 16, 5);
+  const EdgeList b = make_gnm(8, 13, 6);
+  std::vector<std::uint64_t> degree(a.num_vertices() * b.num_vertices(), 0);
+  for_each_product_arc(a, b, [&degree](const Edge& e) { ++degree[e.u]; });
+  const Csr c(kronecker_product(a, b));
+  for (vertex_t v = 0; v < c.num_vertices(); ++v) EXPECT_EQ(degree[v], c.degree(v));
+}
+
+TEST(Stream, OneDSlicesPartitionTheStream) {
+  const EdgeList a = make_gnm(10, 20, 7);
+  const EdgeList b = make_cycle(4);
+  for (const std::uint64_t ranks : {1ULL, 3ULL, 5ULL}) {
+    std::vector<Edge> sliced;
+    for (std::uint64_t r = 0; r < ranks; ++r)
+      for_each_product_arc_1d(a, b, ranks, r, [&sliced](const Edge& e) { sliced.push_back(e); });
+    auto full = collect_stream(a, b);
+    std::sort(sliced.begin(), sliced.end());
+    std::sort(full.begin(), full.end());
+    EXPECT_EQ(sliced, full) << "ranks=" << ranks;
+  }
+}
+
+TEST(Stream, TwoDSlicesPartitionTheStream) {
+  const EdgeList a = make_gnm(10, 20, 7);
+  const EdgeList b = make_gnm(8, 12, 8);
+  for (const std::uint64_t ranks : {2ULL, 4ULL, 7ULL}) {
+    std::vector<Edge> sliced;
+    for (std::uint64_t r = 0; r < ranks; ++r)
+      for_each_product_arc_2d(a, b, ranks, r, [&sliced](const Edge& e) { sliced.push_back(e); });
+    auto full = collect_stream(a, b);
+    std::sort(sliced.begin(), sliced.end());
+    std::sort(full.begin(), full.end());
+    EXPECT_EQ(sliced, full) << "ranks=" << ranks;
+  }
+}
+
+// -------------------------------------------------------------- directed
+
+EdgeList directed_fixture() {
+  EdgeList g(5);
+  g.add(0, 1);
+  g.add(1, 0);  // reciprocated pair
+  g.add(1, 2);
+  g.add(2, 3);
+  g.add(3, 3);  // loop
+  g.add(4, 0);
+  return g;
+}
+
+TEST(Directed, DegreeVectors) {
+  const auto degrees = directed_degrees(directed_fixture());
+  EXPECT_EQ(degrees.out, (std::vector<std::uint64_t>{1, 2, 1, 1, 1}));
+  EXPECT_EQ(degrees.in, (std::vector<std::uint64_t>{2, 1, 1, 2, 0}));
+}
+
+TEST(Directed, KroneckerDegreeLawMatchesDirect) {
+  const EdgeList a = directed_fixture();
+  EdgeList b(3);
+  b.add(0, 1);
+  b.add(1, 2);
+  b.add(2, 0);
+  b.add(0, 2);
+  const auto predicted = kronecker_directed_degrees(a, b);
+  const auto direct = directed_degrees(kronecker_product(a, b));
+  EXPECT_EQ(predicted.out, direct.out);
+  EXPECT_EQ(predicted.in, direct.in);
+}
+
+TEST(Directed, ReciprocalPairCount) {
+  // (0,1)+(1,0) give 2 ordered pairs; loop (3,3) gives 1.
+  EXPECT_EQ(reciprocal_pair_count(directed_fixture()), 3u);
+}
+
+TEST(Directed, ReciprocalPairsMultiply) {
+  const EdgeList a = directed_fixture();
+  EdgeList b(4);
+  b.add(0, 1);
+  b.add(1, 0);
+  b.add(2, 3);
+  b.add(1, 1);
+  EdgeList c = kronecker_product(a, b);
+  EXPECT_EQ(kronecker_reciprocal_pairs(a, b), reciprocal_pair_count(c));
+  EXPECT_EQ(kronecker_reciprocal_pairs(a, b), 3u * 3u);
+}
+
+TEST(Directed, UndirectedGraphIsFullyReciprocal) {
+  const EdgeList g = make_clique(4);
+  EXPECT_EQ(reciprocal_pair_count(g), g.num_arcs());
+}
+
+TEST(Directed, SweepDegreesOverFactorPairs) {
+  for (const auto& [name_a, a] : testing::compact_factors()) {
+    for (const auto& [name_b, b] : testing::compact_factors()) {
+      const auto predicted = kronecker_directed_degrees(a, b);
+      const auto direct = directed_degrees(kronecker_product(a, b));
+      EXPECT_EQ(predicted.out, direct.out) << name_a << " x " << name_b;
+      EXPECT_EQ(predicted.in, direct.in) << name_a << " x " << name_b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kron

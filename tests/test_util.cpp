@@ -1,0 +1,382 @@
+// Unit tests for the util module: hashing, PRNG, histograms, statistics,
+// bitsets, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include <iostream>
+
+#include "util/bitset.hpp"
+#include "util/hash.hpp"
+#include "util/histogram.hpp"
+#include "util/log.hpp"
+#include "util/overflow.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace kron {
+namespace {
+
+// ---------------------------------------------------------------- hashing
+
+TEST(Hash, Mix64IsDeterministic) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Hash, Mix64AvalanchesAdjacentInputs) {
+  // Adjacent inputs must differ in many bits; 16 is a loose floor.
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    const int differing = __builtin_popcountll(mix64(x) ^ mix64(x + 1));
+    EXPECT_GE(differing, 16) << "x=" << x;
+  }
+}
+
+TEST(Hash, EdgeHashIsSymmetric) {
+  for (std::uint64_t u = 0; u < 20; ++u)
+    for (std::uint64_t v = 0; v < 20; ++v)
+      EXPECT_EQ(edge_hash(u, v), edge_hash(v, u));
+}
+
+TEST(Hash, EdgeHashDependsOnSeed) {
+  EXPECT_NE(edge_hash(3, 5, 0), edge_hash(3, 5, 1));
+}
+
+TEST(Hash, EdgeHashDistinguishesEdges) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t u = 0; u < 50; ++u)
+    for (std::uint64_t v = u; v < 50; ++v) seen.insert(edge_hash(u, v));
+  // All 1275 canonical pairs should hash distinctly (collision would be a
+  // ~1e-16 probability event for a good 64-bit hash).
+  EXPECT_EQ(seen.size(), 50u * 51u / 2u);
+}
+
+TEST(Hash, ToUnitIsInHalfOpenInterval) {
+  for (std::uint64_t x : {0ULL, 1ULL, ~0ULL, 0x8000000000000000ULL, 12345ULL}) {
+    const double u = to_unit(mix64(x));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_EQ(to_unit(0), 0.0);
+}
+
+TEST(Hash, EdgeUnitHashIsRoughlyUniform) {
+  // Mean of many unit hashes should be near 0.5.
+  double sum = 0.0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i)
+    sum += edge_unit_hash(static_cast<std::uint64_t>(i), static_cast<std::uint64_t>(i) + 7);
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+// ------------------------------------------------------------------- PRNG
+
+TEST(Random, DeterministicForSeed) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Random, BelowRespectsBound) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Random, BelowOneAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Random, BetweenIsInclusive) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.between(4, 6);
+    EXPECT_GE(x, 4u);
+    EXPECT_LE(x, 6u);
+    saw_lo |= (x == 4);
+    saw_hi |= (x == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, BelowIsApproximatelyUniform) {
+  Xoshiro256 rng(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(10)];
+  for (const int c : counts) EXPECT_NEAR(c, trials / 10, trials / 100);
+}
+
+TEST(Random, ChanceExtremes) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(Histogram, EmptyState) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.distinct(), 0u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_THROW((void)h.min(), std::logic_error);
+  EXPECT_THROW((void)h.max(), std::logic_error);
+  EXPECT_THROW((void)h.mean(), std::logic_error);
+}
+
+TEST(Histogram, AddAndCount) {
+  Histogram h;
+  h.add(3);
+  h.add(3);
+  h.add(7, 5);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.distinct(), 2u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 5u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 7u);
+}
+
+TEST(Histogram, ZeroMultiplicityIsNoop) {
+  Histogram h;
+  h.add(4, 0);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.distinct(), 0u);
+}
+
+TEST(Histogram, Mean) {
+  Histogram h;
+  h.add(1, 3);
+  h.add(5, 1);
+  EXPECT_DOUBLE_EQ(h.mean(), (3.0 * 1 + 5.0) / 4.0);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.5), 50u);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+  EXPECT_EQ(h.quantile(0.9), 90u);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  a.add(1, 2);
+  b.add(1, 3);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 5u);
+  EXPECT_EQ(a.count(9), 1u);
+  EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(Histogram, FromSamples) {
+  const Histogram h = Histogram::from({4, 4, 2, 9});
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+}
+
+TEST(Histogram, ItemsSorted) {
+  Histogram h;
+  h.add(9);
+  h.add(1);
+  h.add(5);
+  const auto items = h.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 1u);
+  EXPECT_EQ(items[1].first, 5u);
+  EXPECT_EQ(items[2].first, 9u);
+}
+
+TEST(Histogram, AsciiRendersEachValue) {
+  Histogram h;
+  h.add(1, 10);
+  h.add(2, 5);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find("1\t10"), std::string::npos);
+  EXPECT_NE(art.find("2\t5"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, Empty) {
+  Stats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, MeanAndVariance) {
+  Stats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: Σ(x-5)² = 32, /7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, SingleSample) {
+  Stats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+// ----------------------------------------------------------------- bitset
+
+TEST(Bitset, SetAndTest) {
+  Bitset bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_FALSE(bits.test(0));
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.popcount(), 3u);
+}
+
+TEST(Bitset, SetOnceReportsFirstTime) {
+  Bitset bits(10);
+  EXPECT_TRUE(bits.set_once(3));
+  EXPECT_FALSE(bits.set_once(3));
+  EXPECT_TRUE(bits.test(3));
+}
+
+TEST(Bitset, Reset) {
+  Bitset bits(100);
+  bits.set(5);
+  bits.set(99);
+  bits.reset();
+  EXPECT_EQ(bits.popcount(), 0u);
+  EXPECT_FALSE(bits.test(5));
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22222"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) { EXPECT_THROW(Table({}), std::invalid_argument); }
+
+TEST(Table, NumericFormatters) {
+  EXPECT_EQ(Table::num(1.5, 3), "1.5");
+  EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
+}
+
+// ------------------------------------------------------------------ timer
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.millis(), 0.0);
+}
+
+// -------------------------------------------------------------------- log
+
+class CerrCapture {
+ public:
+  CerrCapture() : old_(std::cerr.rdbuf(stream_.rdbuf())) {}
+  ~CerrCapture() { std::cerr.rdbuf(old_); }
+  std::string text() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+  std::streambuf* old_;
+};
+
+TEST(Log, EmitsAtOrAboveThreshold) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kInfo);
+  CerrCapture capture;
+  log_debug("hidden ", 1);
+  log_info("shown ", 2);
+  log_warn("also shown");
+  set_log_level(previous);
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("hidden"), std::string::npos);
+  EXPECT_NE(text.find("shown 2"), std::string::npos);
+  EXPECT_NE(text.find("also shown"), std::string::npos);
+  EXPECT_NE(text.find("[INFO ]"), std::string::npos);
+}
+
+TEST(Log, LevelCanBeRaised) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kError);
+  CerrCapture capture;
+  log_warn("suppressed");
+  log_error("critical");
+  set_log_level(previous);
+  EXPECT_EQ(capture.text().find("suppressed"), std::string::npos);
+  EXPECT_NE(capture.text().find("critical"), std::string::npos);
+}
+
+TEST(Log, ConcatenatesMixedTypes) {
+  const LogLevel previous = log_level();
+  set_log_level(LogLevel::kDebug);
+  CerrCapture capture;
+  log_debug("x=", 42, " y=", 1.5, " z=", "str");
+  set_log_level(previous);
+  EXPECT_NE(capture.text().find("x=42 y=1.5 z=str"), std::string::npos);
+}
+
+// --------------------------------------------------------------- overflow
+
+TEST(Overflow, CheckedOperationsAtBoundaries) {
+  EXPECT_EQ(checked_mul(0, ~0ULL), 0u);
+  EXPECT_EQ(checked_mul(1, ~0ULL), ~0ULL);
+  EXPECT_THROW((void)checked_mul(2, (~0ULL / 2) + 1), std::overflow_error);
+  EXPECT_EQ(checked_add(~0ULL, 0), ~0ULL);
+  EXPECT_THROW((void)checked_add(~0ULL - 1, 2), std::overflow_error);
+}
+
+}  // namespace
+}  // namespace kron
