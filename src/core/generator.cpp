@@ -31,7 +31,10 @@ std::uint64_t owner_of(const Edge& e, const GeneratorConfig& config, std::uint64
 /// Streaming shuffle (ExchangeMode::kAsync): arcs are produced by `produce`
 /// (which invokes its callback once per arc), buffered per destination, and
 /// sent as chunks the moment a buffer fills; incoming chunks are drained
-/// opportunistically between sends.  Termination: every rank sends kTagDone
+/// opportunistically on a production cadence *independent of flushes* — a
+/// rank whose own buffers rarely fill (small production share, skewed
+/// owner map) must still keep consuming, or its inbox grows without bound
+/// and bounded channels deadlock.  Termination: every rank sends kTagDone
 /// to all ranks after its last flush; since each mailbox preserves a
 /// sender's ordering, receiving R kTagDone messages guarantees all data has
 /// arrived.
@@ -68,12 +71,14 @@ void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ran
     buffer.clear();
   };
 
+  std::uint64_t produced_since_drain = 0;
   produce([&](const Edge& e) {
     ++generated_count;
     const std::uint64_t dest = owner_of(e, config, ranks);
     buffers[dest].push_back(e);
-    if (buffers[dest].size() >= config.async_chunk) {
-      flush(dest);
+    if (buffers[dest].size() >= config.async_chunk) flush(dest);
+    if (++produced_since_drain >= config.async_chunk) {
+      produced_since_drain = 0;
       drain(/*block=*/false);
     }
   });
@@ -126,10 +131,12 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
   result.stored_per_rank.resize(ranks);
   result.generated_per_rank.assign(ranks, 0);
   result.rank_seconds.assign(ranks, 0.0);
+  result.comm_per_rank.assign(ranks, CommStats{});
 
   const Grid2D grid(ranks);
 
-  Runtime::run(config.ranks, [&](Comm& comm) {
+  const RuntimeOptions runtime_options{config.ranks, config.channel_capacity};
+  Runtime::run(runtime_options, [&](Comm& comm) {
     const auto r = static_cast<std::uint64_t>(comm.rank());
     const Timer timer;
 
@@ -189,6 +196,7 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
       result.stored_per_rank[r] = std::move(generated);
     }
     result.rank_seconds[r] = timer.seconds();
+    result.comm_per_rank[r] = comm.stats();
   });
 
   return result;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "graph/edge_list.hpp"
+#include "runtime/comm_stats.hpp"
 
 namespace kron {
 
@@ -55,6 +56,11 @@ struct GeneratorConfig {
   ExchangeMode exchange = ExchangeMode::kBulkSynchronous;
   /// Arcs per asynchronous message (kAsync only).
   std::uint64_t async_chunk = 4096;
+  /// Maximum queued messages per rank mailbox (0 = unbounded).  A nonzero
+  /// bound makes the kAsync exchange backpressured: senders block when a
+  /// receiver's inbox is full, so per-rank in-flight memory is capped at
+  /// capacity * async_chunk arcs regardless of production skew.
+  std::size_t channel_capacity = 0;
   std::uint64_t owner_seed = 0;
   /// Add full self loops to both factors before the product, producing
   /// (A + I_A) ⊗ (B + I_B).
@@ -66,6 +72,7 @@ struct GeneratorResult {
   std::vector<std::vector<Edge>> stored_per_rank;  ///< arcs held by each rank at the end
   std::vector<std::uint64_t> generated_per_rank;   ///< arcs produced by each rank
   std::vector<double> rank_seconds;                ///< per-rank generation wall time
+  std::vector<CommStats> comm_per_rank;            ///< per-rank communication telemetry
 
   [[nodiscard]] std::uint64_t total_arcs() const;
 

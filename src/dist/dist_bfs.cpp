@@ -13,13 +13,15 @@ constexpr std::uint64_t kUnset = std::numeric_limits<std::uint64_t>::max();
 
 }  // namespace
 
-std::vector<std::uint64_t> distributed_bfs_levels(const Csr& g, vertex_t source, int ranks) {
+std::vector<std::uint64_t> distributed_bfs_levels(const Csr& g, vertex_t source, int ranks,
+                                                  std::vector<CommStats>* comm_stats) {
   if (source >= g.num_vertices())
     throw std::out_of_range("distributed_bfs_levels: bad source");
   if (ranks < 1) throw std::invalid_argument("distributed_bfs_levels: ranks < 1");
 
   const auto num_ranks = static_cast<std::uint64_t>(ranks);
   std::vector<std::uint64_t> levels(g.num_vertices(), kUnset);
+  if (comm_stats) comm_stats->assign(num_ranks, CommStats{});
 
   Runtime::run(ranks, [&](Comm& comm) {
     const auto me = static_cast<std::uint64_t>(comm.rank());
@@ -54,6 +56,7 @@ std::vector<std::uint64_t> distributed_bfs_levels(const Csr& g, vertex_t source,
           static_cast<std::uint64_t>(frontier.size()));
       if (discovered == 0) break;
     }
+    if (comm_stats) (*comm_stats)[me] = comm.stats();
   });
   return levels;
 }

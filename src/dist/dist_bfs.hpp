@@ -14,13 +14,16 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "runtime/comm_stats.hpp"
 
 namespace kron {
 
 /// BFS level per vertex (source = 0, unreachable = kUnreachable from
 /// analytics/bfs.hpp).  Runs on `ranks` runtime ranks; the result is
-/// gathered and identical to sequential bfs_levels().
-[[nodiscard]] std::vector<std::uint64_t> distributed_bfs_levels(const Csr& g, vertex_t source,
-                                                                int ranks);
+/// gathered and identical to sequential bfs_levels().  When `comm_stats`
+/// is non-null it receives one CommStats per rank (frontier-exchange
+/// volume, barrier waits).
+[[nodiscard]] std::vector<std::uint64_t> distributed_bfs_levels(
+    const Csr& g, vertex_t source, int ranks, std::vector<CommStats>* comm_stats = nullptr);
 
 }  // namespace kron

@@ -9,10 +9,12 @@
 namespace kron {
 
 std::vector<std::uint64_t> distributed_degrees(const std::vector<std::vector<Edge>>& shards,
-                                               vertex_t num_vertices) {
+                                               vertex_t num_vertices,
+                                               std::vector<CommStats>* comm_stats) {
   if (shards.empty()) throw std::invalid_argument("distributed_degrees: no shards");
   const auto num_ranks = static_cast<std::uint64_t>(shards.size());
   std::vector<std::uint64_t> degrees(num_vertices, 0);
+  if (comm_stats) comm_stats->assign(num_ranks, CommStats{});
 
   Runtime::run(static_cast<int>(num_ranks), [&](Comm& comm) {
     const auto me = static_cast<std::uint64_t>(comm.rank());
@@ -32,13 +34,15 @@ std::vector<std::uint64_t> distributed_degrees(const std::vector<std::vector<Edg
     auto inbox = comm.alltoallv(std::move(outbox));
     for (const auto& from_rank : inbox)
       for (const Count& c : from_rank) degrees[c.v] += c.count;  // owner-exclusive writes
+    if (comm_stats) (*comm_stats)[me] = comm.stats();
   });
   return degrees;
 }
 
 Histogram distributed_degree_histogram(const std::vector<std::vector<Edge>>& shards,
-                                       vertex_t num_vertices) {
-  const auto degrees = distributed_degrees(shards, num_vertices);
+                                       vertex_t num_vertices,
+                                       std::vector<CommStats>* comm_stats) {
+  const auto degrees = distributed_degrees(shards, num_vertices, comm_stats);
   Histogram histogram;
   for (const auto d : degrees) histogram.add(d);
   return histogram;

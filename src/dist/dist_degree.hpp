@@ -12,18 +12,22 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "runtime/comm_stats.hpp"
 #include "util/histogram.hpp"
 
 namespace kron {
 
 /// Out-degree per vertex from per-rank arc shards; runs shards.size()
 /// ranks.  For a symmetric graph this equals the undirected degree with
-/// loops counted once.
+/// loops counted once.  When `comm_stats` is non-null it receives one
+/// CommStats per rank (communication profile of the exchange).
 [[nodiscard]] std::vector<std::uint64_t> distributed_degrees(
-    const std::vector<std::vector<Edge>>& shards, vertex_t num_vertices);
+    const std::vector<std::vector<Edge>>& shards, vertex_t num_vertices,
+    std::vector<CommStats>* comm_stats = nullptr);
 
 /// Degree histogram computed the same way (counts merged at the owners).
 [[nodiscard]] Histogram distributed_degree_histogram(
-    const std::vector<std::vector<Edge>>& shards, vertex_t num_vertices);
+    const std::vector<std::vector<Edge>>& shards, vertex_t num_vertices,
+    std::vector<CommStats>* comm_stats = nullptr);
 
 }  // namespace kron

@@ -28,6 +28,7 @@ DistTriangleResult distributed_triangle_count(const Csr& g, int ranks) {
   }
 
   DistTriangleResult result;
+  result.comm_per_rank.assign(num_ranks, CommStats{});
 
   Runtime::run(ranks, [&](Comm& comm) {
     const auto me = static_cast<std::uint64_t>(comm.rank());
@@ -80,6 +81,7 @@ DistTriangleResult distributed_triangle_count(const Csr& g, int ranks) {
       result.total = total;
       result.wedge_queries = queries;
     }
+    result.comm_per_rank[me] = comm.stats();
   });
   return result;
 }

@@ -11,14 +11,17 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/csr.hpp"
+#include "runtime/comm_stats.hpp"
 
 namespace kron {
 
 struct DistTriangleResult {
-  std::uint64_t total = 0;          ///< τ: distinct triangles
-  std::uint64_t wedge_queries = 0;  ///< queries exchanged (comm volume)
+  std::uint64_t total = 0;              ///< τ: distinct triangles
+  std::uint64_t wedge_queries = 0;      ///< queries exchanged (comm volume)
+  std::vector<CommStats> comm_per_rank;  ///< per-rank communication telemetry
 };
 
 /// Global triangle count of an undirected graph on `ranks` runtime ranks;

@@ -1,11 +1,20 @@
 // Multi-producer single-consumer blocking channel.
 //
 // The unit of transport between ranks of the in-process runtime
-// (runtime/comm.hpp).  Unbounded FIFO; `pop` blocks until a message or
-// close, mirroring a blocking MPI receive.
+// (runtime/comm.hpp).  FIFO; `pop` blocks until a message or close,
+// mirroring a blocking MPI receive.  A channel may be *bounded*: with a
+// nonzero capacity, producers exert backpressure — `push` blocks (and
+// `try_push` fails) while the queue is at capacity, capping the memory a
+// slow consumer can accumulate, exactly the streaming discipline the
+// paper's asynchronous generator relies on.  Once the channel is closed,
+// pushes are silently dropped (the consumer is gone; this keeps abort
+// teardown deadlock-free).
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -16,42 +25,88 @@ namespace kron {
 template <typename T>
 class Channel {
  public:
-  /// Enqueue a message (any thread).
+  Channel() = default;
+
+  /// A bounded channel holding at most `capacity` messages (0 = unbounded).
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueue a message (any thread).  Blocks while the channel is at
+  /// capacity; returns immediately (dropping the value) once closed.
   void push(T value) {
     {
-      const std::scoped_lock lock(mutex_);
-      queue_.push_back(std::move(value));
+      std::unique_lock lock(mutex_);
+      space_.wait(lock, [this] { return has_space() || closed_; });
+      if (closed_) return;
+      enqueue(std::move(value));
     }
     ready_.notify_one();
+  }
+
+  /// Non-blocking enqueue.  Returns false — leaving `value` untouched —
+  /// when the channel is at capacity; true when enqueued (or dropped
+  /// because the channel is closed).
+  [[nodiscard]] bool try_push(T& value) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (closed_) return true;
+      if (!has_space()) return false;
+      enqueue(std::move(value));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// try_push that waits up to `timeout` for space.  Same contract.
+  template <typename Rep, typename Period>
+  [[nodiscard]] bool try_push_for(T& value, std::chrono::duration<Rep, Period> timeout) {
+    {
+      std::unique_lock lock(mutex_);
+      if (!space_.wait_for(lock, timeout, [this] { return has_space() || closed_; }))
+        return false;
+      if (closed_) return true;
+      enqueue(std::move(value));
+    }
+    ready_.notify_one();
+    return true;
   }
 
   /// Dequeue, blocking until a message arrives or the channel is closed.
   /// Returns nullopt only when closed *and* drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    ready_.wait(lock, [this] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) return std::nullopt;
-    T value = std::move(queue_.front());
-    queue_.pop_front();
+    std::optional<T> value;
+    {
+      std::unique_lock lock(mutex_);
+      ready_.wait(lock, [this] { return !queue_.empty() || closed_; });
+      if (queue_.empty()) return std::nullopt;
+      value = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_.notify_one();
     return value;
   }
 
   /// Dequeue without blocking; nullopt when currently empty.
   std::optional<T> try_pop() {
-    const std::scoped_lock lock(mutex_);
-    if (queue_.empty()) return std::nullopt;
-    T value = std::move(queue_.front());
-    queue_.pop_front();
+    std::optional<T> value;
+    {
+      const std::scoped_lock lock(mutex_);
+      if (queue_.empty()) return std::nullopt;
+      value = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_.notify_one();
     return value;
   }
 
-  /// Close: pending pops drain the queue, then observe end-of-stream.
+  /// Close: pending pops drain the queue, then observe end-of-stream;
+  /// blocked pushes wake and drop.
   void close() {
     {
       const std::scoped_lock lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
+    space_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
@@ -59,10 +114,38 @@ class Channel {
     return closed_;
   }
 
+  [[nodiscard]] std::size_t size() const {
+    const std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Configured capacity (0 = unbounded).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Deepest the queue has ever been (telemetry; never exceeds a nonzero
+  /// capacity).
+  [[nodiscard]] std::size_t high_water() const {
+    const std::scoped_lock lock(mutex_);
+    return high_water_;
+  }
+
  private:
+  [[nodiscard]] bool has_space() const {
+    return capacity_ == 0 || queue_.size() < capacity_;
+  }
+
+  // Callers hold mutex_.
+  void enqueue(T value) {
+    queue_.push_back(std::move(value));
+    high_water_ = std::max(high_water_, queue_.size());
+  }
+
+  const std::size_t capacity_ = 0;
   mutable std::mutex mutex_;
-  std::condition_variable ready_;
+  std::condition_variable ready_;  // queue became non-empty / closed
+  std::condition_variable space_;  // queue dropped below capacity / closed
   std::deque<T> queue_;
+  std::size_t high_water_ = 0;
   bool closed_ = false;
 };
 

@@ -1,20 +1,26 @@
 #include "runtime/comm.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <typeinfo>
+
+#include "util/timer.hpp"
 
 namespace kron {
 namespace detail {
 
 /// State shared by all ranks of one Runtime::run invocation.
 struct CommShared {
-  explicit CommShared(int num_ranks) : size(num_ranks), slots(static_cast<std::size_t>(num_ranks)) {
+  CommShared(int num_ranks, std::size_t mailbox_capacity)
+      : size(num_ranks), slots(static_cast<std::size_t>(num_ranks)) {
     mailboxes.reserve(static_cast<std::size_t>(size));
     for (int r = 0; r < size; ++r)
-      mailboxes.push_back(std::make_unique<Channel<RankMessage>>());
+      mailboxes.push_back(std::make_unique<Channel<RankMessage>>(mailbox_capacity));
     a2a.resize(static_cast<std::size_t>(size));
   }
 
@@ -46,7 +52,7 @@ struct CommShared {
 
   void barrier() {
     std::unique_lock lock(mutex);
-    if (aborted) throw std::runtime_error("Comm: runtime aborted by another rank");
+    if (aborted) throw CommAbortError("Comm: runtime aborted by another rank");
     const std::uint64_t my_generation = generation;
     if (++arrived == size) {
       arrived = 0;
@@ -56,7 +62,7 @@ struct CommShared {
     }
     cv.wait(lock, [&] { return generation != my_generation || aborted; });
     if (generation == my_generation && aborted)
-      throw std::runtime_error("Comm: runtime aborted by another rank");
+      throw CommAbortError("Comm: runtime aborted by another rank");
   }
 };
 
@@ -64,68 +70,188 @@ struct CommShared {
 
 void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
   if (dest < 0 || dest >= size_) throw std::out_of_range("Comm::send: bad destination rank");
-  shared_->mailboxes[static_cast<std::size_t>(dest)]->push(
-      RankMessage{rank_, tag, std::move(payload)});
+  auto& volume = stats_.sent[tag];
+  ++volume.messages;
+  volume.bytes += payload.size();
+
+  RankMessage message{rank_, tag, std::move(payload)};
+  Channel<RankMessage>& box = *shared_->mailboxes[static_cast<std::size_t>(dest)];
+  if (box.try_push(message)) return;
+
+  // Bounded destination mailbox at capacity: wait for space, but keep
+  // draining our own inbox meanwhile — if the destination is itself
+  // blocked sending to us, each of us frees the space the other needs.
+  ++stats_.send_backpressure_waits;
+  Channel<RankMessage>& inbox = *shared_->mailboxes[static_cast<std::size_t>(rank_)];
+  while (!box.try_push_for(message, std::chrono::microseconds(200))) {
+    while (auto incoming = inbox.try_pop()) pending_.push_back(std::move(*incoming));
+  }
 }
 
 RankMessage Comm::recv() {
-  auto message = shared_->mailboxes[static_cast<std::size_t>(rank_)]->pop();
-  if (!message) throw std::runtime_error("Comm::recv: mailbox closed (runtime aborted)");
+  std::optional<RankMessage> message;
+  if (!pending_.empty()) {
+    message = std::move(pending_.front());
+    pending_.pop_front();
+  } else {
+    message = shared_->mailboxes[static_cast<std::size_t>(rank_)]->pop();
+    if (!message) throw CommAbortError("Comm::recv: mailbox closed (runtime aborted)");
+  }
+  auto& volume = stats_.received[message->tag];
+  ++volume.messages;
+  volume.bytes += message->payload.size();
   return std::move(*message);
 }
 
 std::optional<RankMessage> Comm::try_recv() {
-  return shared_->mailboxes[static_cast<std::size_t>(rank_)]->try_pop();
+  std::optional<RankMessage> message;
+  if (!pending_.empty()) {
+    message = std::move(pending_.front());
+    pending_.pop_front();
+  } else {
+    message = shared_->mailboxes[static_cast<std::size_t>(rank_)]->try_pop();
+    if (!message) return std::nullopt;
+  }
+  auto& volume = stats_.received[message->tag];
+  ++volume.messages;
+  volume.bytes += message->payload.size();
+  return message;
 }
 
-void Comm::barrier() { shared_->barrier(); }
+void Comm::timed_barrier() {
+  ++stats_.barriers;
+  const Timer timer;
+  shared_->barrier();
+  stats_.barrier_wait_seconds += timer.seconds();
+}
+
+void Comm::barrier() { timed_barrier(); }
 
 std::vector<std::vector<std::byte>> Comm::allgather(std::vector<std::byte> mine) {
+  ++stats_.collectives;
+  stats_.collective_bytes_out += mine.size();
   shared_->slots[static_cast<std::size_t>(rank_)] = std::move(mine);
-  shared_->barrier();
-  std::vector<std::vector<std::byte>> all = shared_->slots;  // copy while stable
-  shared_->barrier();
+  timed_barrier();
+  std::vector<std::vector<std::byte>> all(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;  // own slot is moved, not copied, below
+    all[static_cast<std::size_t>(r)] = shared_->slots[static_cast<std::size_t>(r)];
+    stats_.collective_bytes_in += all[static_cast<std::size_t>(r)].size();
+  }
+  timed_barrier();
+  // After the closing barrier nobody reads our slot again: reclaim it by
+  // move instead of leaving a stale copy in the staging area.
+  all[static_cast<std::size_t>(rank_)] = std::move(shared_->slots[static_cast<std::size_t>(rank_)]);
+  stats_.collective_bytes_in += all[static_cast<std::size_t>(rank_)].size();
+  shared_->slots[static_cast<std::size_t>(rank_)] = {};
   return all;
 }
 
+template <typename T, typename Fold>
+T Comm::reduce_scalar(T value, Fold fold) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ++stats_.collectives;
+  stats_.collective_bytes_out += sizeof(T);
+  auto& slot = shared_->slots[static_cast<std::size_t>(rank_)];
+  slot.resize(sizeof(T));
+  std::memcpy(slot.data(), &value, sizeof(T));
+  timed_barrier();
+  // Read only the needed sizeof(T) bytes from each slot — no payload
+  // vector copies (the seed allgathered the whole staging area here).
+  T accumulated = value;
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    T contribution;
+    std::memcpy(&contribution, shared_->slots[static_cast<std::size_t>(r)].data(), sizeof(T));
+    accumulated = fold(accumulated, contribution);
+  }
+  stats_.collective_bytes_in += static_cast<std::uint64_t>(size_) * sizeof(T);
+  timed_barrier();
+  slot = {};  // clear staging after the closing barrier
+  return accumulated;
+}
+
 std::uint64_t Comm::allreduce_sum(std::uint64_t value) {
-  const auto all = allgather_values<std::uint64_t>(std::span(&value, 1));
-  std::uint64_t sum = 0;
-  for (const auto& contribution : all) sum += contribution.at(0);
-  return sum;
+  return reduce_scalar(value, [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
 std::uint64_t Comm::allreduce_max(std::uint64_t value) {
-  const auto all = allgather_values<std::uint64_t>(std::span(&value, 1));
-  std::uint64_t best = 0;
-  for (const auto& contribution : all) best = std::max(best, contribution.at(0));
-  return best;
+  return reduce_scalar(value, [](std::uint64_t a, std::uint64_t b) { return a < b ? b : a; });
 }
 
 double Comm::allreduce_sum(double value) {
-  const auto all = allgather_values<double>(std::span(&value, 1));
-  double sum = 0;
-  for (const auto& contribution : all) sum += contribution.at(0);
-  return sum;
+  return reduce_scalar(value, [](double a, double b) { return a + b; });
 }
 
 std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
     std::vector<std::vector<std::byte>> outbox) {
   if (outbox.size() != static_cast<std::size_t>(size_))
     throw std::invalid_argument("Comm::alltoallv: outbox must have one bucket per rank");
+  ++stats_.collectives;
+  for (const auto& bucket : outbox) stats_.collective_bytes_out += bucket.size();
   shared_->a2a[static_cast<std::size_t>(rank_)] = std::move(outbox);
-  shared_->barrier();
+  timed_barrier();
   std::vector<std::vector<std::byte>> inbox(static_cast<std::size_t>(size_));
-  for (int s = 0; s < size_; ++s)
-    inbox[static_cast<std::size_t>(s)] =
-        shared_->a2a[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)];
-  shared_->barrier();
+  for (int s = 0; s < size_; ++s) {
+    // Each [s][dest] cell has exactly one reader (rank dest == us), so the
+    // bucket can be moved out instead of deep-copied.
+    inbox[static_cast<std::size_t>(s)] = std::move(
+        shared_->a2a[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)]);
+    stats_.collective_bytes_in += inbox[static_cast<std::size_t>(s)].size();
+  }
+  timed_barrier();
+  // Our row's buckets were all moved out by their readers; drop the husks.
+  shared_->a2a[static_cast<std::size_t>(rank_)] = {};
   return inbox;
 }
 
+CommStats Comm::stats() const {
+  CommStats snapshot = stats_;
+  snapshot.mailbox_high_water = std::max<std::uint64_t>(
+      snapshot.mailbox_high_water,
+      shared_->mailboxes[static_cast<std::size_t>(rank_)]->high_water());
+  return snapshot;
+}
+
+namespace {
+
+/// Rethrow `error` with "rank R: " prepended when the concrete type allows
+/// message rewriting; unknown types propagate unmodified (never change a
+/// caller-visible exception type).
+[[noreturn]] void rethrow_annotated(int rank, const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (std::exception& e) {
+    const std::string annotated = "rank " + std::to_string(rank) + ": " + e.what();
+    if (typeid(e) == typeid(CommAbortError)) throw CommAbortError(annotated);
+    if (typeid(e) == typeid(std::runtime_error)) throw std::runtime_error(annotated);
+    if (typeid(e) == typeid(std::invalid_argument)) throw std::invalid_argument(annotated);
+    if (typeid(e) == typeid(std::out_of_range)) throw std::out_of_range(annotated);
+    if (typeid(e) == typeid(std::logic_error)) throw std::logic_error(annotated);
+    throw;
+  }
+}
+
+[[nodiscard]] bool is_abort_error(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const CommAbortError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
 void Runtime::run(int ranks, const std::function<void(Comm&)>& body) {
+  run(RuntimeOptions{ranks, 0}, body);
+}
+
+void Runtime::run(const RuntimeOptions& options, const std::function<void(Comm&)>& body) {
+  const int ranks = options.ranks;
   if (ranks < 1) throw std::invalid_argument("Runtime::run: need at least one rank");
-  auto shared = std::make_shared<detail::CommShared>(ranks);
+  auto shared = std::make_shared<detail::CommShared>(ranks, options.mailbox_capacity);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks));
@@ -141,8 +267,18 @@ void Runtime::run(int ranks, const std::function<void(Comm&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& error : errors)
-    if (error) std::rethrow_exception(error);
+  // Rethrow the root cause, not the first error by rank index: when rank k
+  // throws and abort_all() wakes a lower blocked rank into a secondary
+  // CommAbortError, the secondary must not mask the real failure.
+  int first_failed = -1;
+  for (int r = 0; r < ranks; ++r) {
+    const auto& error = errors[static_cast<std::size_t>(r)];
+    if (!error) continue;
+    if (first_failed < 0) first_failed = r;
+    if (!is_abort_error(error)) rethrow_annotated(r, error);
+  }
+  if (first_failed >= 0)
+    rethrow_annotated(first_failed, errors[static_cast<std::size_t>(first_failed)]);
 }
 
 }  // namespace kron

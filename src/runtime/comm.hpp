@@ -19,12 +19,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "runtime/channel.hpp"
+#include "runtime/comm_stats.hpp"
 
 namespace kron {
 
@@ -33,6 +36,14 @@ struct RankMessage {
   int source = 0;
   int tag = 0;
   std::vector<std::byte> payload;
+};
+
+/// Secondary failure: thrown by blocked ranks when the runtime is torn
+/// down because *another* rank threw.  Runtime::run uses the type to
+/// prefer the root-cause exception when several ranks failed.
+class CommAbortError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 namespace detail {
@@ -46,7 +57,12 @@ class Comm {
 
   // --- point-to-point ----------------------------------------------------
 
-  /// Asynchronous send: enqueues and returns immediately (never blocks).
+  /// Asynchronous send: enqueues and returns immediately on an unbounded
+  /// mailbox.  When mailboxes are bounded (RuntimeOptions::mailbox_capacity)
+  /// a full destination exerts backpressure: send blocks until space frees,
+  /// draining this rank's own inbox meanwhile so two mutually-full ranks
+  /// cannot deadlock (drained messages are returned by later recv calls in
+  /// arrival order).
   void send(int dest, int tag, std::vector<std::byte> payload);
 
   /// Typed convenience: send a vector of trivially copyable values.
@@ -105,6 +121,12 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> alltoallv(std::vector<std::vector<T>> outbox);
 
+  // --- telemetry ----------------------------------------------------------
+
+  /// Snapshot of this rank's communication ledger (messages/bytes per tag,
+  /// barrier waits, collective volumes, inbox high-water mark).
+  [[nodiscard]] CommStats stats() const;
+
  private:
   friend class Runtime;
   Comm(int rank, int size, std::shared_ptr<detail::CommShared> shared)
@@ -113,6 +135,21 @@ class Comm {
   // Untyped all-to-all used by the template above.
   [[nodiscard]] std::vector<std::vector<std::byte>> alltoallv_bytes(
       std::vector<std::vector<std::byte>> outbox);
+
+  // Barrier with stats accounting (count + wait time).
+  void timed_barrier();
+
+  // Scalar reduction over the slot staging area: writes sizeof(T) bytes,
+  // folds every rank's scalar in place (no per-slot vector copies), and
+  // clears the staging slot after the closing barrier.
+  template <typename T, typename Fold>
+  [[nodiscard]] T reduce_scalar(T value, Fold fold);
+
+  // Messages popped from our own inbox while a bounded send was waiting;
+  // recv/try_recv serve these before touching the mailbox.
+  std::deque<RankMessage> pending_;
+
+  CommStats stats_;
 
   int rank_ = 0;
   int size_ = 1;
@@ -136,12 +173,27 @@ std::vector<std::vector<T>> Comm::alltoallv(std::vector<std::vector<T>> outbox) 
   return inbox;
 }
 
+/// Launch configuration for Runtime::run.
+struct RuntimeOptions {
+  int ranks = 1;
+  /// Maximum queued messages per rank mailbox; 0 = unbounded.  A nonzero
+  /// bound turns point-to-point sends into backpressured (blocking)
+  /// operations, capping per-rank in-flight memory.
+  std::size_t mailbox_capacity = 0;
+};
+
 /// SPMD launcher.
 class Runtime {
  public:
-  /// Run `body` on `ranks` threads, each with its own Comm.  Rethrows the
-  /// first exception thrown by any rank (after joining all of them).
+  /// Run `body` on `ranks` threads, each with its own Comm.  After joining
+  /// all ranks, rethrows the *root-cause* exception: secondary
+  /// CommAbortError failures (ranks merely woken by another rank's abort)
+  /// are only rethrown when no rank failed for a real reason, and the
+  /// originating rank is attached to the message.
   static void run(int ranks, const std::function<void(Comm&)>& body);
+
+  /// Same, with explicit options (rank count, mailbox capacity).
+  static void run(const RuntimeOptions& options, const std::function<void(Comm&)>& body);
 };
 
 }  // namespace kron

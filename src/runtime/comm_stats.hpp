@@ -1,0 +1,75 @@
+// Per-rank communication telemetry for the in-process runtime.
+//
+// The paper's scaling story (and its antecedents, Sanders et al.
+// arXiv:1803.09021 and Kepner et al. arXiv:1803.01281) leans on per-rank
+// communication-volume accounting as the primary validation tool for a
+// distributed generator.  `CommStats` is that ledger: every `Comm` records
+// what its rank sent, received, waited on and staged, and exposes a
+// snapshot via `Comm::stats()`.  The generator forwards the snapshots
+// through `GeneratorResult::comm_per_rank`, turning every multi-rank run
+// into a communication profile.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace kron {
+
+/// Message/byte volume for one direction of one message tag.
+struct TagVolume {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One rank's communication ledger (all counters cumulative over the
+/// rank's lifetime inside a single Runtime::run).
+struct CommStats {
+  // Point-to-point traffic, keyed by message tag.
+  std::map<int, TagVolume> sent;
+  std::map<int, TagVolume> received;
+
+  // Barrier protocol: every barrier() call, including the ones issued
+  // internally by the collectives, plus the cumulative time this rank
+  // spent parked waiting for the others.
+  std::uint64_t barriers = 0;
+  double barrier_wait_seconds = 0.0;
+
+  // Collective payload volumes (allgather / allreduce / alltoallv):
+  // bytes this rank contributed and bytes it read back.
+  std::uint64_t collectives = 0;
+  std::uint64_t collective_bytes_out = 0;
+  std::uint64_t collective_bytes_in = 0;
+
+  // Deepest the rank's own inbox ever got (queued messages), and how many
+  // sends had to wait for space in a bounded destination mailbox.
+  std::uint64_t mailbox_high_water = 0;
+  std::uint64_t send_backpressure_waits = 0;
+
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    std::uint64_t total = 0;
+    for (const auto& [tag, volume] : sent) total += volume.messages;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    std::uint64_t total = 0;
+    for (const auto& [tag, volume] : sent) total += volume.bytes;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t messages_received() const {
+    std::uint64_t total = 0;
+    for (const auto& [tag, volume] : received) total += volume.messages;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    std::uint64_t total = 0;
+    for (const auto& [tag, volume] : received) total += volume.bytes;
+    return total;
+  }
+  /// All payload bytes this rank pushed into the runtime (point-to-point
+  /// plus collective contributions) — the "shuffle volume" of a run.
+  [[nodiscard]] std::uint64_t payload_bytes_out() const {
+    return bytes_sent() + collective_bytes_out;
+  }
+};
+
+}  // namespace kron

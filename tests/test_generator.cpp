@@ -99,6 +99,89 @@ INSTANTIATE_TEST_SUITE_P(RanksChunks, AsyncGenerator,
                                   std::to_string(std::get<1>(info.param));
                          });
 
+TEST(Generator, AsyncBoundedChannelMatchesBulkAndRespectsBound) {
+  // Backpressure regression: async_chunk=1 makes every arc its own message
+  // (hundreds of chunks), while the mailbox holds at most 2 — the exchange
+  // must still complete (senders drain while blocked, receivers drain on a
+  // production cadence), produce exactly the bulk-synchronous edge set,
+  // and never exceed the configured mailbox bound.
+  const EdgeList a = make_gnm(10, 18, 15);
+  const EdgeList b = make_gnm(8, 12, 16);
+  GeneratorConfig config;
+  config.ranks = 4;
+  config.scheme = PartitionScheme::k2D;
+  config.shuffle_to_owner = true;
+  config.exchange = ExchangeMode::kAsync;
+  config.async_chunk = 1;
+  config.channel_capacity = 2;  // far below the number of generated chunks
+  const GeneratorResult bounded = generate_distributed(a, b, config);
+
+  GeneratorConfig bulk = config;
+  bulk.exchange = ExchangeMode::kBulkSynchronous;
+  bulk.channel_capacity = 0;
+  const GeneratorResult reference = generate_distributed(a, b, bulk);
+
+  EXPECT_EQ(bounded.gather(), reference.gather());
+  ASSERT_EQ(bounded.comm_per_rank.size(), 4u);
+  std::uint64_t total_messages = 0;
+  for (const CommStats& stats : bounded.comm_per_rank) {
+    EXPECT_LE(stats.mailbox_high_water, 2u);
+    total_messages += stats.messages_sent();
+  }
+  // Chunk size 1 ⇒ the shuffle really did stream many messages through the
+  // tiny mailboxes.
+  EXPECT_GT(total_messages, 100u);
+}
+
+TEST(Generator, BulkSynchronousCommStatsMatchKnownVolumes) {
+  const EdgeList a = make_gnm(9, 14, 5);
+  const EdgeList b = make_gnm(7, 9, 6);
+  GeneratorConfig config;
+  config.ranks = 3;
+  config.shuffle_to_owner = true;
+  const GeneratorResult result = generate_distributed(a, b, config);
+  ASSERT_EQ(result.comm_per_rank.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    const CommStats& stats = result.comm_per_rank[r];
+    // One alltoallv: everything the rank generated went out as collective
+    // payload, and everything it stores came back in.
+    EXPECT_EQ(stats.collectives, 1u);
+    EXPECT_EQ(stats.collective_bytes_out, result.generated_per_rank[r] * sizeof(Edge));
+    EXPECT_EQ(stats.collective_bytes_in,
+              result.stored_per_rank[r].size() * sizeof(Edge));
+    EXPECT_EQ(stats.barriers, 2u);  // the alltoallv's open/close pair
+    EXPECT_EQ(stats.messages_sent(), 0u);  // no point-to-point traffic
+    EXPECT_EQ(stats.mailbox_high_water, 0u);
+  }
+}
+
+TEST(Generator, AsyncCommStatsConserveMessagesAndBytes) {
+  const EdgeList a = make_gnm(10, 18, 15);
+  const EdgeList b = make_gnm(8, 12, 16);
+  GeneratorConfig config;
+  config.ranks = 3;
+  config.shuffle_to_owner = true;
+  config.exchange = ExchangeMode::kAsync;
+  config.async_chunk = 7;
+  const GeneratorResult result = generate_distributed(a, b, config);
+  ASSERT_EQ(result.comm_per_rank.size(), 3u);
+  std::uint64_t sent_messages = 0, sent_bytes = 0, recv_messages = 0, recv_bytes = 0;
+  for (const CommStats& stats : result.comm_per_rank) {
+    sent_messages += stats.messages_sent();
+    sent_bytes += stats.bytes_sent();
+    recv_messages += stats.messages_received();
+    recv_bytes += stats.bytes_received();
+    // Every rank broadcasts one end-of-stream marker to every rank
+    // (including itself), so it sends and receives at least `ranks`
+    // messages.
+    EXPECT_GE(stats.messages_sent(), 3u);
+    EXPECT_GE(stats.messages_received(), 3u);
+  }
+  // The exchange drains completely: global conservation of messages/bytes.
+  EXPECT_EQ(sent_messages, recv_messages);
+  EXPECT_EQ(sent_bytes, recv_bytes);
+}
+
 TEST(Generator, AsyncRejectsZeroChunk) {
   GeneratorConfig config;
   config.async_chunk = 0;

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
+#include <span>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "runtime/channel.hpp"
 #include "runtime/comm.hpp"
@@ -49,6 +53,67 @@ TEST(Channel, PopBlocksUntilPush) {
   producer.join();
 }
 
+TEST(Channel, BoundedTryPushRespectsCapacity) {
+  Channel<int> ch(2);
+  EXPECT_EQ(ch.capacity(), 2u);
+  int value = 1;
+  EXPECT_TRUE(ch.try_push(value));
+  value = 2;
+  EXPECT_TRUE(ch.try_push(value));
+  value = 3;
+  EXPECT_FALSE(ch.try_push(value));
+  EXPECT_EQ(value, 3);  // failed try_push must not consume the value
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_TRUE(ch.try_push(value));
+  EXPECT_EQ(ch.high_water(), 2u);
+  EXPECT_EQ(ch.pop(), 2);
+  EXPECT_EQ(ch.pop(), 3);
+}
+
+TEST(Channel, BoundedPushBlocksUntilPop) {
+  Channel<int> ch(1);
+  ch.push(1);
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    ch.push(2);  // blocks until the consumer frees a slot
+    second_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), 2);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(ch.high_water(), 1u);
+}
+
+TEST(Channel, TryPushForTimesOutWhenFull) {
+  Channel<int> ch(1);
+  int value = 1;
+  EXPECT_TRUE(ch.try_push(value));
+  value = 2;
+  EXPECT_FALSE(ch.try_push_for(value, std::chrono::milliseconds(5)));
+}
+
+TEST(Channel, ClosedChannelDropsPushes) {
+  Channel<int> ch(1);
+  int value = 1;
+  EXPECT_TRUE(ch.try_push(value));
+  ch.close();
+  value = 2;
+  EXPECT_TRUE(ch.try_push(value));  // dropped, not queued
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_FALSE(ch.pop().has_value());
+}
+
+TEST(Channel, HighWaterTracksDeepestQueue) {
+  Channel<int> ch;
+  for (int i = 0; i < 5; ++i) ch.push(i);
+  (void)ch.pop();
+  ch.push(99);
+  EXPECT_EQ(ch.high_water(), 5u);
+}
+
 TEST(Channel, ConcurrentProducers) {
   Channel<int> ch;
   constexpr int kPerProducer = 200;
@@ -89,6 +154,50 @@ TEST(Runtime, PropagatesExceptions) {
                               comm.barrier();
                             }),
                std::runtime_error);
+}
+
+TEST(Runtime, RethrowsRootCauseWhenOthersBlockInBarrier) {
+  // Rank 2 throws the root cause; ranks 0 and 1 park in the barrier and
+  // are woken by the abort with a secondary CommAbortError at a LOWER rank
+  // index.  The runtime must surface the root cause, not the secondary.
+  try {
+    Runtime::run(3, [](Comm& comm) {
+      if (comm.rank() == 2) throw std::runtime_error("root cause failure");
+      comm.barrier();
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("root cause failure"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+  }
+}
+
+TEST(Runtime, RethrowsRootCauseWhenOthersBlockInRecv) {
+  // Same masking scenario with the blocked ranks parked in recv(); also
+  // pins that the original exception *type* survives the rethrow.
+  try {
+    Runtime::run(3, [](Comm& comm) {
+      if (comm.rank() == 2) throw std::invalid_argument("recv root cause");
+      (void)comm.recv();  // blocks until abort closes the mailbox
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("recv root cause"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+  }
+}
+
+TEST(Runtime, AbortErrorSurfacesWhenItIsTheOnlyFailure) {
+  // A body that throws CommAbortError itself (no real root cause) must
+  // still propagate something.
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& comm) {
+                              if (comm.rank() == 0) throw CommAbortError("synthetic abort");
+                              comm.barrier();
+                            }),
+               CommAbortError);
 }
 
 TEST(Runtime, BarrierSynchronizes) {
@@ -225,6 +334,98 @@ TEST(Comm, CollectivesComposeAcrossRounds) {
     std::uint64_t running = 1;
     for (int round = 0; round < 10; ++round) running = comm.allreduce_max(running + 1);
     EXPECT_EQ(running, 11u);
+  });
+}
+
+// ------------------------------------------------------------- telemetry
+
+TEST(CommStats, CountsHandBuiltExchange) {
+  // Rank 0 sends three 80-byte messages (tag 7) to rank 1, which receives
+  // them only after a barrier — so all three are queued at once and the
+  // inbox high-water mark is exactly 3.
+  std::vector<CommStats> stats(2);
+  Runtime::run(2, [&](Comm& comm) {
+    const std::vector<std::uint64_t> payload(10, 42);  // 80 bytes
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 3; ++i) comm.send_values<std::uint64_t>(1, 7, payload);
+      comm.barrier();
+    } else {
+      comm.barrier();  // all three messages are in the mailbox by now
+      for (int i = 0; i < 3; ++i) {
+        const RankMessage message = comm.recv();
+        EXPECT_EQ(message.tag, 7);
+      }
+    }
+    stats[static_cast<std::size_t>(comm.rank())] = comm.stats();
+  });
+
+  EXPECT_EQ(stats[0].sent.at(7).messages, 3u);
+  EXPECT_EQ(stats[0].sent.at(7).bytes, 240u);
+  EXPECT_EQ(stats[0].messages_received(), 0u);
+  EXPECT_EQ(stats[0].barriers, 1u);
+
+  EXPECT_EQ(stats[1].received.at(7).messages, 3u);
+  EXPECT_EQ(stats[1].received.at(7).bytes, 240u);
+  EXPECT_EQ(stats[1].messages_sent(), 0u);
+  EXPECT_EQ(stats[1].mailbox_high_water, 3u);
+  // Conservation: what rank 0 sent is exactly what rank 1 received.
+  EXPECT_EQ(stats[0].bytes_sent(), stats[1].bytes_received());
+}
+
+TEST(CommStats, CollectivesAccountPayloadAndBarriers) {
+  std::vector<CommStats> stats(3);
+  Runtime::run(3, [&](Comm& comm) {
+    (void)comm.allreduce_sum(std::uint64_t{1});
+    comm.barrier();
+    stats[static_cast<std::size_t>(comm.rank())] = comm.stats();
+  });
+  for (const CommStats& s : stats) {
+    EXPECT_EQ(s.collectives, 1u);
+    EXPECT_EQ(s.collective_bytes_out, sizeof(std::uint64_t));
+    EXPECT_EQ(s.collective_bytes_in, 3 * sizeof(std::uint64_t));
+    EXPECT_EQ(s.barriers, 3u);  // 2 inside the reduction + 1 explicit
+    EXPECT_GE(s.barrier_wait_seconds, 0.0);
+  }
+}
+
+TEST(Comm, BoundedMailboxMutualSendsDoNotDeadlock) {
+  // Both ranks fire 50 sends at each other through capacity-1 mailboxes
+  // before receiving anything.  Without the drain-while-blocked send path
+  // this deadlocks immediately; with it, both complete and the queue depth
+  // never exceeds the bound.
+  constexpr int kMessages = 50;
+  std::vector<CommStats> stats(2);
+  Runtime::run(RuntimeOptions{2, 1}, [&](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    const std::vector<std::uint64_t> payload{static_cast<std::uint64_t>(comm.rank())};
+    for (int i = 0; i < kMessages; ++i) comm.send_values<std::uint64_t>(peer, 1, payload);
+    std::uint64_t received = 0;
+    while (received < kMessages) {
+      const RankMessage message = comm.recv();
+      EXPECT_EQ(message.source, peer);
+      ++received;
+    }
+    stats[static_cast<std::size_t>(comm.rank())] = comm.stats();
+  });
+  for (const CommStats& s : stats) {
+    EXPECT_EQ(s.messages_sent(), static_cast<std::uint64_t>(kMessages));
+    EXPECT_EQ(s.messages_received(), static_cast<std::uint64_t>(kMessages));
+    EXPECT_LE(s.mailbox_high_water, 1u);
+  }
+}
+
+TEST(Comm, BoundedMailboxPreservesPerSenderOrder) {
+  // Messages drained to the pending stash during a blocked send must still
+  // be returned in arrival order.
+  constexpr std::uint64_t kMessages = 40;
+  Runtime::run(RuntimeOptions{2, 2}, [&](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    for (std::uint64_t i = 0; i < kMessages; ++i)
+      comm.send_values<std::uint64_t>(peer, 1, std::span(&i, 1));
+    for (std::uint64_t expected = 0; expected < kMessages; ++expected) {
+      const RankMessage message = comm.recv();
+      EXPECT_EQ(Comm::decode<std::uint64_t>(message).at(0), expected);
+    }
   });
 }
 

@@ -8,7 +8,8 @@
 //                    [--n N] [--m M|--p P|--scale S] [--blocks K] [--seed S]
 //                    [--lcc] [--loops] --out FILE [--binary]
 //   krongen generate --a A --b B [--loops none|both|a] [--ranks R]
-//                    [--scheme 1d|2d] [--shuffle] [--power K]
+//                    [--scheme 1d|2d] [--shuffle] [--async] [--chunk N]
+//                    [--capacity N] [--power K] [--stats]
 //                    --out FILE [--binary]
 //   krongen info     --a A --b B [--loops none|both|a]
 //   krongen truth    --a A --b B [--loops none|both|a]
@@ -18,9 +19,11 @@
 // `validate` is the paper's HPC-validation workflow: check a generated (or
 // third-party) graph's local triangle counts and degrees against the
 // Kronecker formulas, reporting the first divergence.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analytics/triangles.hpp"
 #include "core/distance_gt.hpp"
@@ -140,13 +143,47 @@ int cmd_synth(const CliArgs& args) {
 
 // -------------------------------------------------------------- generate
 
+void print_comm_stats(const std::vector<CommStats>& per_rank) {
+  Table table({"rank", "msgs sent", "bytes sent", "msgs recvd", "bytes recvd", "barriers",
+               "wait s", "coll bytes", "mbox hwm"});
+  std::uint64_t msgs_sent = 0, bytes_sent = 0, msgs_recvd = 0, bytes_recvd = 0;
+  std::uint64_t barriers = 0, coll = 0, hwm = 0;
+  double wait = 0.0;
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    const CommStats& s = per_rank[r];
+    const std::uint64_t coll_bytes = s.collective_bytes_out + s.collective_bytes_in;
+    table.row({std::to_string(r), std::to_string(s.messages_sent()),
+               std::to_string(s.bytes_sent()), std::to_string(s.messages_received()),
+               std::to_string(s.bytes_received()), std::to_string(s.barriers),
+               Table::num(s.barrier_wait_seconds, 4), std::to_string(coll_bytes),
+               std::to_string(s.mailbox_high_water)});
+    msgs_sent += s.messages_sent();
+    bytes_sent += s.bytes_sent();
+    msgs_recvd += s.messages_received();
+    bytes_recvd += s.bytes_received();
+    barriers += s.barriers;
+    wait += s.barrier_wait_seconds;
+    coll += coll_bytes;
+    hwm = std::max(hwm, s.mailbox_high_water);
+  }
+  table.row({"all", std::to_string(msgs_sent), std::to_string(bytes_sent),
+             std::to_string(msgs_recvd), std::to_string(bytes_recvd),
+             std::to_string(barriers), Table::num(wait, 4), std::to_string(coll),
+             std::to_string(hwm)});
+  std::cout << "per-rank communication (final generation round):\n" << table.str();
+}
+
 int cmd_generate(const CliArgs& args) {
-  args.reject_unknown(
-      {"a", "b", "loops", "ranks", "scheme", "shuffle", "power", "out", "binary", "help"});
+  args.reject_unknown({"a", "b", "loops", "ranks", "scheme", "shuffle", "async", "chunk",
+                       "capacity", "power", "out", "binary", "stats", "help"});
   if (args.has_flag("help")) {
     std::cout << "krongen generate --a A --b B [--loops none|both|a] [--ranks R]\n"
-                 "                 [--scheme 1d|2d] [--shuffle] [--power K] --out FILE\n"
-                 "  --power K iterates C <- C (x) B a further K-1 times (scale series)\n";
+                 "                 [--scheme 1d|2d] [--shuffle] [--async] [--chunk N]\n"
+                 "                 [--capacity N] [--power K] [--stats] --out FILE\n"
+                 "  --power K iterates C <- C (x) B a further K-1 times (scale series)\n"
+                 "  --async streams the shuffle (bounded buffering); --chunk sets arcs per\n"
+                 "  message, --capacity bounds each rank's mailbox (backpressure)\n"
+                 "  --stats prints the per-rank communication table after generation\n";
     return 0;
   }
   EdgeList a = load_factor(args.require("a"));
@@ -161,15 +198,24 @@ int cmd_generate(const CliArgs& args) {
   config.scheme =
       args.get_or("scheme", "1d") == "2d" ? PartitionScheme::k2D : PartitionScheme::k1D;
   config.shuffle_to_owner = args.has_flag("shuffle");
+  if (args.has_flag("async")) {
+    config.shuffle_to_owner = true;  // streaming only matters when routing to owners
+    config.exchange = ExchangeMode::kAsync;
+  }
+  config.async_chunk = args.get_u64("chunk", config.async_chunk);
+  config.channel_capacity = static_cast<std::size_t>(args.get_u64("capacity", 0));
 
   const Timer timer;
-  EdgeList c = generate_distributed(a, b, config).gather();
+  GeneratorResult result = generate_distributed(a, b, config);
+  EdgeList c = result.gather();
   const unsigned power = static_cast<unsigned>(args.get_u64("power", 1));
   for (unsigned extra = 1; extra < power; ++extra) {
-    c = generate_distributed(c, b, config).gather();
+    result = generate_distributed(c, b, config);
+    c = result.gather();
   }
   std::cout << "generated in " << Table::num(timer.seconds(), 3) << " s on " << config.ranks
             << " rank(s)\n";
+  if (args.has_flag("stats")) print_comm_stats(result.comm_per_rank);
   store_graph(c, args.require("out"), args.has_flag("binary"));
   return 0;
 }
@@ -340,12 +386,12 @@ int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const CliArgs args(argc, argv, 2,
-                     {"shuffle", "binary", "lcc", "loops", "help"});
+                     {"shuffle", "binary", "lcc", "loops", "async", "stats", "help"});
   if (command == "synth") return cmd_synth(args);
   if (command == "generate") {
     // "loops" is a valued option for generate/info/truth/validate, so
     // re-parse without it in the flag set.
-    const CliArgs valued(argc, argv, 2, {"shuffle", "binary", "help"});
+    const CliArgs valued(argc, argv, 2, {"shuffle", "binary", "async", "stats", "help"});
     return cmd_generate(valued);
   }
   if (command == "info" || command == "truth" || command == "validate" ||
