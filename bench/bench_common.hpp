@@ -4,12 +4,26 @@
 // first prints the corresponding table/figure data to stdout, then runs its
 // google-benchmark timing section.  All workloads are seeded and print
 // their seeds, so each run is exactly reproducible.
+//
+// Shared flags (consumed before google-benchmark sees the command line):
+//   --json PATH   write the metrics recorded via JsonReport to PATH as a
+//                 machine-readable JSON document (BENCH_*.json) — the
+//                 perf-trajectory record EXPERIMENTS.md describes.
+//   --smoke       skip the (expensive) artifact section and run only the
+//                 registered timing benchmarks — used by the `bench_smoke`
+//                 ctest label so every bench binary is executed in tier-1.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace kron::bench {
 
@@ -19,17 +33,118 @@ inline void banner(const std::string& experiment_id, const std::string& title) {
 
 inline void section(const std::string& title) { std::cout << "\n--- " << title << " ---\n"; }
 
+/// Machine-readable metric accumulator.  Artifact code records named
+/// scalars (`JsonReport::instance().add("sort.speedup", 3.1)`); after the
+/// timing section the main below writes them to the `--json` path (or the
+/// bench's default BENCH_*.json file) so successive runs form a
+/// comparable perf trajectory.
+class JsonReport {
+ public:
+  [[nodiscard]] static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  void add(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(12);
+    if (std::isfinite(value))
+      os << value;
+    else
+      os << "null";
+    entries_.emplace_back(key, os.str());
+  }
+
+  void add(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+
+  void add_text(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, quoted(value));
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  void write(const std::string& bench_name, const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n  \"bench\": " << quoted(bench_name) << ",\n  \"metrics\": {\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      out << "    " << quoted(entries_[i].first) << ": " << entries_[i].second
+          << (i + 1 < entries_.size() ? ",\n" : "\n");
+    out << "  }\n}\n";
+  }
+
+ private:
+  static std::string quoted(const std::string& raw) {
+    std::string out = "\"";
+    for (const char c : raw) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Shared main body: strip the kron-specific flags, emit the experiment
+/// artifact (unless --smoke), run the registered timing benchmarks, then
+/// write the JSON report if a path is configured and metrics were
+/// recorded.  `default_json` (may be null) is the path written when the
+/// user does not pass --json.
+inline int run_bench_main(int argc, char** argv, void (*print_artifact)(),
+                          const char* default_json) {
+  std::string json_path = default_json == nullptr ? "" : default_json;
+  bool smoke = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!smoke) print_artifact();
+  int pass_argc = static_cast<int>(passthrough.size());
+  ::benchmark::Initialize(&pass_argc, passthrough.data());
+  if (::benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  const JsonReport& report = JsonReport::instance();
+  if (!json_path.empty() && !report.empty()) {
+    const std::string name = [&] {
+      const std::string argv0 = argv[0];
+      const std::size_t slash = argv0.find_last_of('/');
+      return slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
+    }();
+    report.write(name, json_path);
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}
+
 /// Shared main: emit the experiment artifact, then run registered timing
 /// benchmarks.  Each bench binary defines `print_artifact()` and registers
-/// its BENCHMARK()s at namespace scope.
-#define KRON_BENCH_MAIN(print_artifact)                  \
-  int main(int argc, char** argv) {                      \
-    print_artifact();                                    \
-    ::benchmark::Initialize(&argc, argv);                \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::benchmark::RunSpecifiedBenchmarks();               \
-    ::benchmark::Shutdown();                             \
-    return 0;                                            \
+/// its BENCHMARK()s at namespace scope.  JSON metrics are written only
+/// when --json is passed.
+#define KRON_BENCH_MAIN(print_artifact)                                               \
+  int main(int argc, char** argv) {                                                   \
+    return ::kron::bench::run_bench_main(argc, argv, print_artifact, nullptr);        \
+  }
+
+/// Same, with a default JSON output path (written even without --json) —
+/// used by benches whose metrics form the repo's perf trajectory.
+#define KRON_BENCH_MAIN_JSON(print_artifact, default_json_path)                       \
+  int main(int argc, char** argv) {                                                   \
+    return ::kron::bench::run_bench_main(argc, argv, print_artifact,                  \
+                                         default_json_path);                          \
   }
 
 }  // namespace kron::bench

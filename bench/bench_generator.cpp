@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <iostream>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/generator.hpp"
@@ -15,7 +17,9 @@
 #include "gen/erdos.hpp"
 #include "gen/prefattach.hpp"
 #include "graph/ops.hpp"
+#include "graph/sort.hpp"
 #include "runtime/partition.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -26,6 +30,10 @@ constexpr std::uint64_t kSeed = 20190521;
 
 EdgeList factor_a() { return prepare_factor(make_pref_attachment(700, 3, kSeed), false); }
 EdgeList factor_b() { return prepare_factor(make_gnm(400, 1400, kSeed + 1), false); }
+
+std::string scheme_name(PartitionScheme scheme) {
+  return scheme == PartitionScheme::k1D ? "1d" : "2d";
+}
 
 void print_artifact() {
   bench::banner("E2", "distributed generation: balance, schemes, weak scaling");
@@ -56,9 +64,86 @@ void print_artifact() {
                  std::to_string(*gen_max), std::to_string(*gen_min),
                  std::to_string(*sto_max), std::to_string(*sto_min),
                  Table::num(seconds, 3)});
+      const std::uint64_t generated = std::accumulate(
+          result.generated_per_rank.begin(), result.generated_per_rank.end(), std::uint64_t{0});
+      const std::string key =
+          "generate." + scheme_name(scheme) + ".r" + std::to_string(ranks);
+      bench::JsonReport::instance().add(key + ".seconds", seconds);
+      bench::JsonReport::instance().add(key + ".arcs_per_sec",
+                                        static_cast<double>(generated) / seconds);
     }
   }
   std::cout << table.str();
+
+  // --- canonicalisation: parallel radix vs the seed comparison sort -------
+  // The post-generation pipeline (EdgeList::sort_dedupe, gather(), the CSR
+  // build) was a sequential std::sort over 16-byte structs in the seed;
+  // time both paths on the raw (unsorted, duplicate-bearing) arc stream of
+  // a >= 1M-arc product and record the trajectory metrics.
+  bench::section("canonicalisation: parallel radix sort vs std::sort (raw product arcs)");
+  {
+    GeneratorConfig config;
+    config.ranks = 1;
+    const GeneratorResult result = generate_distributed(a, b, config);
+    std::vector<Edge> raw;
+    raw.reserve(result.total_arcs());
+    for (const auto& arcs : result.stored_per_rank) raw.insert(raw.end(), arcs.begin(), arcs.end());
+    const auto arcs = static_cast<std::uint64_t>(raw.size());
+
+    constexpr int kRounds = 3;  // best-of-3 to shed scheduler noise
+    double std_seconds = 0.0, radix_seconds = 0.0;
+    std::size_t std_unique = 0, radix_unique = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<Edge> by_std = raw;
+      const Timer std_timer;
+      std::sort(by_std.begin(), by_std.end());
+      by_std.erase(std::unique(by_std.begin(), by_std.end()), by_std.end());
+      const double s = std_timer.seconds();
+      std_seconds = round == 0 ? s : std::min(std_seconds, s);
+      std_unique = by_std.size();
+
+      std::vector<Edge> by_radix = raw;
+      const Timer radix_timer;
+      sort_dedupe_edges(by_radix);
+      const double r = radix_timer.seconds();
+      radix_seconds = round == 0 ? r : std::min(radix_seconds, r);
+      radix_unique = by_radix.size();
+      if (by_radix != by_std)
+        throw std::logic_error("radix canonicalisation diverged from std::sort");
+    }
+
+    const Timer gather_timer;
+    const EdgeList c = result.gather();
+    const double gather_seconds = gather_timer.seconds();
+
+    const double speedup = std_seconds / radix_seconds;
+    Table sort_table({"path", "arcs in", "arcs out", "seconds", "arcs/s"});
+    sort_table.row({"std::sort + unique (seed)", std::to_string(arcs),
+                    std::to_string(std_unique), Table::num(std_seconds, 4),
+                    Table::sci(static_cast<double>(arcs) / std_seconds, 2)});
+    sort_table.row({"parallel radix sort_dedupe", std::to_string(arcs),
+                    std::to_string(radix_unique), Table::num(radix_seconds, 4),
+                    Table::sci(static_cast<double>(arcs) / radix_seconds, 2)});
+    sort_table.row({"gather() end-to-end", std::to_string(arcs),
+                    std::to_string(c.num_arcs()), Table::num(gather_seconds, 4),
+                    Table::sci(static_cast<double>(arcs) / gather_seconds, 2)});
+    std::cout << sort_table.str();
+    std::cout << "(radix speedup over the seed sort path: " << Table::num(speedup, 2)
+              << "x at " << ThreadPool::instance().num_threads() << " pool thread(s))\n";
+
+    bench::JsonReport::instance().add("sort.arcs", arcs);
+    bench::JsonReport::instance().add("sort.threads",
+                                      static_cast<std::uint64_t>(
+                                          ThreadPool::instance().num_threads()));
+    bench::JsonReport::instance().add("sort.std_seconds", std_seconds);
+    bench::JsonReport::instance().add("sort.radix_seconds", radix_seconds);
+    bench::JsonReport::instance().add("sort.speedup_vs_std", speedup);
+    bench::JsonReport::instance().add("sort.radix_arcs_per_sec",
+                                      static_cast<double>(arcs) / radix_seconds);
+    bench::JsonReport::instance().add("gather.seconds", gather_seconds);
+    bench::JsonReport::instance().add("gather.arcs_per_sec",
+                                      static_cast<double>(arcs) / gather_seconds);
+  }
 
   // --- Rem. 1: 1D cannot use more ranks than |E_A| ---
   bench::section("Rem. 1: idle ranks when R approaches |E_A| (tiny A, 12 arcs)");
@@ -186,6 +271,14 @@ void print_artifact() {
                     std::to_string(p2p_msgs),
                     Table::num(rank_time > 0 ? wait / rank_time : 0.0, 3),
                     std::to_string(hwm)});
+      const std::string key = std::string("exchange.") +
+                              (mode.exchange == ExchangeMode::kAsync ? "async" : "bulk") +
+                              (mode.capacity != 0 ? ".bounded" : "") + ".r" +
+                              std::to_string(ranks);
+      bench::JsonReport::instance().add(key + ".seconds", seconds);
+      bench::JsonReport::instance().add(
+          key + ".arcs_per_sec", static_cast<double>(result.total_arcs()) / seconds);
+      bench::JsonReport::instance().add(key + ".shuffle_bytes", shuffle_bytes);
     }
   }
   std::cout << exchange.str();
@@ -241,4 +334,4 @@ BENCHMARK(BM_SequentialProductReference)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace kron
 
-KRON_BENCH_MAIN(kron::print_artifact)
+KRON_BENCH_MAIN_JSON(kron::print_artifact, "BENCH_generator.json")

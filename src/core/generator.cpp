@@ -1,9 +1,9 @@
 #include "core/generator.hpp"
 
+#include <limits>
 #include <span>
 #include <stdexcept>
 
-#include "core/index.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/partition.hpp"
 #include "util/timer.hpp"
@@ -15,22 +15,88 @@ namespace {
 constexpr int kTagEdges = 1;
 constexpr int kTagDone = 2;
 
+/// Blocked cell kernel: the γ maps for one A-arc share their bases
+/// (γ(i,k) = i·n_B + k), so `ea.u * n_b` / `ea.v * n_b` are hoisted out of
+/// the inner loop and the output is reserved up front (overflow-guarded —
+/// a product too large for size_t skips the hint rather than wrapping).
 void generate_cell(std::span<const Edge> a_arcs, std::span<const Edge> b_arcs, vertex_t n_b,
                    std::vector<Edge>& out) {
-  for (const Edge& ea : a_arcs)
-    for (const Edge& eb : b_arcs)
-      out.push_back({gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
+  const std::size_t n_a_arcs = a_arcs.size();
+  const std::size_t n_b_arcs = b_arcs.size();
+  if (n_b_arcs != 0 &&
+      n_a_arcs <= (std::numeric_limits<std::size_t>::max() - out.size()) / n_b_arcs)
+    out.reserve(out.size() + n_a_arcs * n_b_arcs);
+  for (const Edge& ea : a_arcs) {
+    const vertex_t base_u = ea.u * n_b;
+    const vertex_t base_v = ea.v * n_b;
+    for (const Edge& eb : b_arcs) out.push_back({base_u + eb.u, base_v + eb.v});
+  }
 }
 
-std::uint64_t owner_of(const Edge& e, const GeneratorConfig& config, std::uint64_t ranks) {
-  return config.owner_map == OwnerMap::kHash
-             ? edge_storage_owner(e.u, e.v, ranks, config.owner_seed)
-             : e.u % ranks;
+/// Production for one rank under the active partition scheme, emitted as
+/// chunks of at most `chunk_size` arcs through a pre-reserved buffer (no
+/// per-edge callback: the shuffle paths amortise routing per chunk).
+template <typename EmitChunk>
+void produce_chunks(const EdgeList& a, const EdgeList& b, vertex_t n_b, const Grid2D& grid,
+                    const GeneratorConfig& config, std::uint64_t ranks, std::uint64_t r,
+                    std::size_t chunk_size, const EmitChunk& emit_chunk) {
+  std::vector<Edge> chunk;
+  chunk.reserve(chunk_size);
+  const auto flush = [&] {
+    if (!chunk.empty()) {
+      emit_chunk(std::span<const Edge>(chunk));
+      chunk.clear();
+    }
+  };
+  const auto cell = [&](std::span<const Edge> a_arcs, std::span<const Edge> b_arcs) {
+    for (const Edge& ea : a_arcs) {
+      const vertex_t base_u = ea.u * n_b;
+      const vertex_t base_v = ea.v * n_b;
+      for (const Edge& eb : b_arcs) {
+        chunk.push_back({base_u + eb.u, base_v + eb.v});
+        if (chunk.size() == chunk_size) flush();
+      }
+    }
+  };
+  if (config.scheme == PartitionScheme::k1D) {
+    const IndexRange range = block_range(a.num_arcs(), ranks, r);
+    cell(a.edges().subspan(range.begin, range.size()), b.edges());
+  } else {
+    for (const auto& [a_part, b_part] : grid.cells_of(r)) {
+      const IndexRange ra = block_range(a.num_arcs(), grid.parts_a(), a_part);
+      const IndexRange rb = block_range(b.num_arcs(), grid.parts_b(), b_part);
+      cell(a.edges().subspan(ra.begin, ra.size()), b.edges().subspan(rb.begin, rb.size()));
+    }
+  }
+  flush();
 }
 
-/// Streaming shuffle (ExchangeMode::kAsync): arcs are produced by `produce`
-/// (which invokes its callback once per arc), buffered per destination, and
-/// sent as chunks the moment a buffer fills; incoming chunks are drained
+/// Storage owners for a whole chunk at once: the owner-map branch is taken
+/// once per chunk, and the hash runs in a tight loop over the batch.
+void owners_of_chunk(std::span<const Edge> arcs, const GeneratorConfig& config,
+                     std::uint64_t ranks, std::vector<std::uint64_t>& owners) {
+  owners.resize(arcs.size());
+  if (config.owner_map == OwnerMap::kHash) {
+    for (std::size_t i = 0; i < arcs.size(); ++i)
+      owners[i] = edge_storage_owner(arcs[i].u, arcs[i].v, ranks, config.owner_seed);
+  } else {
+    for (std::size_t i = 0; i < arcs.size(); ++i) owners[i] = arcs[i].u % ranks;
+  }
+}
+
+/// This rank's expected stored-arc share (reserve hint for the receive
+/// side): the hash owner map spreads |E_A||E_B| arcs ~uniformly.  Returns
+/// 0 — no hint — when the product overflows.
+std::uint64_t expected_stored_arcs(const EdgeList& a, const EdgeList& b, std::uint64_t ranks) {
+  const std::uint64_t arcs_a = a.num_arcs();
+  const std::uint64_t arcs_b = b.num_arcs();
+  if (arcs_b != 0 && arcs_a > std::numeric_limits<std::uint64_t>::max() / arcs_b) return 0;
+  return arcs_a * arcs_b / ranks;
+}
+
+/// Streaming shuffle (ExchangeMode::kAsync): arcs are produced in chunks,
+/// routed per chunk (batched owner hashing), buffered per destination, and
+/// sent the moment a buffer fills; incoming chunks are drained
 /// opportunistically on a production cadence *independent of flushes* — a
 /// rank whose own buffers rarely fill (small production share, skewed
 /// owner map) must still keep consuming, or its inbox grows without bound
@@ -40,9 +106,12 @@ std::uint64_t owner_of(const Edge& e, const GeneratorConfig& config, std::uint64
 /// arrived.
 template <typename Produce>
 void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ranks,
-                    Produce&& produce, std::vector<Edge>& stored,
-                    std::uint64_t& generated_count) {
+                    std::uint64_t expected_stored, const Produce& produce,
+                    std::vector<Edge>& stored, std::uint64_t& generated_count) {
   std::vector<std::vector<Edge>> buffers(ranks);
+  for (auto& buffer : buffers) buffer.reserve(config.async_chunk);
+  stored.reserve(expected_stored);
+  std::vector<std::uint64_t> owners;
   int done_seen = 0;
 
   const auto drain = [&](bool block) {
@@ -71,16 +140,17 @@ void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ran
     buffer.clear();
   };
 
-  std::uint64_t produced_since_drain = 0;
-  produce([&](const Edge& e) {
-    ++generated_count;
-    const std::uint64_t dest = owner_of(e, config, ranks);
-    buffers[dest].push_back(e);
-    if (buffers[dest].size() >= config.async_chunk) flush(dest);
-    if (++produced_since_drain >= config.async_chunk) {
-      produced_since_drain = 0;
-      drain(/*block=*/false);
+  produce([&](std::span<const Edge> arcs) {
+    generated_count += arcs.size();
+    owners_of_chunk(arcs, config, ranks, owners);
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      auto& buffer = buffers[owners[i]];
+      buffer.push_back(arcs[i]);
+      if (buffer.size() >= config.async_chunk) flush(owners[i]);
     }
+    // Production chunks hold async_chunk arcs, so one opportunistic drain
+    // per chunk preserves the seed's every-async_chunk-arcs cadence.
+    drain(/*block=*/false);
   });
   for (std::uint64_t dest = 0; dest < ranks; ++dest) flush(dest);
   for (std::uint64_t dest = 0; dest < ranks; ++dest)
@@ -134,54 +204,48 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
   result.comm_per_rank.assign(ranks, CommStats{});
 
   const Grid2D grid(ranks);
+  const std::uint64_t expected_stored = expected_stored_arcs(a, b, ranks);
 
   const RuntimeOptions runtime_options{config.ranks, config.channel_capacity};
   Runtime::run(runtime_options, [&](Comm& comm) {
     const auto r = static_cast<std::uint64_t>(comm.rank());
     const Timer timer;
 
-    // Arc production for this rank under the active partition scheme.
-    const auto produce = [&](auto&& emit) {
-      if (config.scheme == PartitionScheme::k1D) {
-        const IndexRange range = block_range(a.num_arcs(), ranks, r);
-        for (const Edge& ea : a.edges().subspan(range.begin, range.size()))
-          for (const Edge& eb : b.edges())
-            emit(Edge{gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
-      } else {
-        for (const auto& [a_part, b_part] : grid.cells_of(r)) {
-          const IndexRange ra = block_range(a.num_arcs(), grid.parts_a(), a_part);
-          const IndexRange rb = block_range(b.num_arcs(), grid.parts_b(), b_part);
-          for (const Edge& ea : a.edges().subspan(ra.begin, ra.size()))
-            for (const Edge& eb : b.edges().subspan(rb.begin, rb.size()))
-              emit(Edge{gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
-        }
-      }
+    // Chunked arc production for this rank under the active scheme.
+    const auto produce = [&](auto&& emit_chunk) {
+      produce_chunks(a, b, n_b, grid, config, ranks, r,
+                     static_cast<std::size_t>(config.async_chunk), emit_chunk);
     };
 
     if (config.shuffle_to_owner && ranks > 1 && config.exchange == ExchangeMode::kAsync) {
-      async_exchange(comm, config, ranks, produce, result.stored_per_rank[r],
-                     result.generated_per_rank[r]);
+      async_exchange(comm, config, ranks, expected_stored, produce,
+                     result.stored_per_rank[r], result.generated_per_rank[r]);
     } else if (config.shuffle_to_owner && ranks > 1) {
       // Bulk-synchronous: buffer everything, one all-to-all.
       std::vector<std::vector<Edge>> outbox(ranks);
+      for (auto& to_rank : outbox) to_rank.reserve(expected_stored / ranks);
       std::uint64_t generated = 0;
-      produce([&](const Edge& e) {
-        ++generated;
-        outbox[owner_of(e, config, ranks)].push_back(e);
+      std::vector<std::uint64_t> owners;
+      produce([&](std::span<const Edge> arcs) {
+        generated += arcs.size();
+        owners_of_chunk(arcs, config, ranks, owners);
+        for (std::size_t i = 0; i < arcs.size(); ++i) outbox[owners[i]].push_back(arcs[i]);
       });
       result.generated_per_rank[r] = generated;
       auto inbox = comm.alltoallv(std::move(outbox));
       std::vector<Edge>& stored = result.stored_per_rank[r];
+      std::size_t incoming = 0;
+      for (const auto& from_rank : inbox) incoming += from_rank.size();
+      stored.reserve(incoming);
       for (auto& from_rank : inbox) {
         stored.insert(stored.end(), from_rank.begin(), from_rank.end());
         from_rank.clear();
       }
     } else {
-      // No shuffle: keep what we generate.
+      // No shuffle: keep what we generate, via the blocked cell kernel.
       std::vector<Edge> generated;
       if (config.scheme == PartitionScheme::k1D) {
         const IndexRange range = block_range(a.num_arcs(), ranks, r);
-        generated.reserve(range.size() * b.num_arcs());
         generate_cell(a.edges().subspan(range.begin, range.size()), b.edges(), n_b,
                       generated);
       } else {

@@ -29,9 +29,12 @@ EdgeList kronecker_product(const EdgeList& a, const EdgeList& b) {
   EdgeList c(a.num_vertices() * n_b);
   std::vector<Edge> arcs;
   arcs.reserve(a.num_arcs() * b.num_arcs());
-  for (const Edge& ea : a.edges())
-    for (const Edge& eb : b.edges())
-      arcs.push_back({gamma(ea.u, eb.u, n_b), gamma(ea.v, eb.v, n_b)});
+  // Blocked kernel: γ(i,k) = i·n_B + k shares its base per A-arc.
+  for (const Edge& ea : a.edges()) {
+    const vertex_t base_u = gamma(ea.u, 0, n_b);
+    const vertex_t base_v = gamma(ea.v, 0, n_b);
+    for (const Edge& eb : b.edges()) arcs.push_back({base_u + eb.u, base_v + eb.v});
+  }
   c = EdgeList(a.num_vertices() * n_b, std::move(arcs));
   return c;
 }

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace kron {
 
 Csr::Csr(const EdgeList& edges) : n_(edges.num_vertices()), offsets_(n_ + 1, 0) {
   // Counting sort by source vertex, then per-row sort + dedupe.  Two passes
-  // over the arcs; no global sort of the (possibly huge) arc vector.
+  // over the arcs; no global sort of the (possibly huge) arc vector.  The
+  // dominant phase — the per-row sorts — runs chunked over the global
+  // thread pool; rows are disjoint, so the result is identical for every
+  // thread count.
   for (const Edge& e : edges.edges()) ++offsets_[e.u + 1];
   for (vertex_t v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
 
@@ -15,17 +20,30 @@ Csr::Csr(const EdgeList& edges) : n_(edges.num_vertices()), offsets_(n_ + 1, 0) 
   std::vector<std::uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (const Edge& e : edges.edges()) targets_[cursor[e.u]++] = e.v;
 
-  // Per-row sort + in-place dedupe, rebuilding offsets as we compact.
+  // Phase 1 (parallel): sort each row and dedupe it *within its own
+  // segment*, recording the surviving length per row.
+  std::vector<std::uint64_t> row_len(n_, 0);
+  parallel_for(0, n_, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v) {
+      const std::uint64_t row_start = offsets_[v];
+      const std::uint64_t row_end = offsets_[v + 1];
+      std::sort(targets_.begin() + static_cast<std::ptrdiff_t>(row_start),
+                targets_.begin() + static_cast<std::ptrdiff_t>(row_end));
+      std::uint64_t keep = row_start;
+      for (std::uint64_t i = row_start; i < row_end; ++i)
+        if (i == row_start || targets_[i] != targets_[i - 1]) targets_[keep++] = targets_[i];
+      row_len[v] = keep - row_start;
+    }
+  });
+
+  // Phase 2 (sequential): prefix-sum the surviving lengths and compact the
+  // rows left — a single O(arcs) move.
   std::vector<std::uint64_t> new_offsets(n_ + 1, 0);
   std::uint64_t write = 0;
   for (vertex_t v = 0; v < n_; ++v) {
-    const std::uint64_t row_start = offsets_[v];
-    const std::uint64_t row_end = offsets_[v + 1];
-    std::sort(targets_.begin() + static_cast<std::ptrdiff_t>(row_start),
-              targets_.begin() + static_cast<std::ptrdiff_t>(row_end));
     new_offsets[v] = write;
-    for (std::uint64_t i = row_start; i < row_end; ++i)
-      if (i == row_start || targets_[i] != targets_[i - 1]) targets_[write++] = targets_[i];
+    const std::uint64_t row_start = offsets_[v];
+    for (std::uint64_t i = 0; i < row_len[v]; ++i) targets_[write++] = targets_[row_start + i];
   }
   new_offsets[n_] = write;
   offsets_ = std::move(new_offsets);

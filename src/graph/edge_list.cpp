@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "graph/sort.hpp"
+
 namespace kron {
 
 std::uint64_t EdgeList::num_undirected_edges() const {
@@ -26,10 +28,7 @@ void EdgeList::add_undirected(vertex_t u, vertex_t v) {
   if (u != v) add(v, u);
 }
 
-void EdgeList::sort_dedupe() {
-  std::sort(edges_.begin(), edges_.end());
-  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
-}
+void EdgeList::sort_dedupe() { sort_dedupe_edges(edges_); }
 
 void EdgeList::symmetrize() {
   const std::size_t original = edges_.size();
@@ -52,8 +51,17 @@ void EdgeList::add_full_loops() {
 }
 
 bool EdgeList::is_symmetric() const {
+  // Post-sort_dedupe lists (the common case: every generator output is
+  // canonical) are searchable in place — no copy, no sort.
+  if (std::is_sorted(edges_.begin(), edges_.end())) {
+    for (const Edge& e : edges_) {
+      if (is_loop(e)) continue;
+      if (!std::binary_search(edges_.begin(), edges_.end(), reversed(e))) return false;
+    }
+    return true;
+  }
   std::vector<Edge> sorted(edges_.begin(), edges_.end());
-  std::sort(sorted.begin(), sorted.end());
+  sort_edges(sorted);
   for (const Edge& e : edges_) {
     if (is_loop(e)) continue;
     if (!std::binary_search(sorted.begin(), sorted.end(), reversed(e))) return false;

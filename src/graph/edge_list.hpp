@@ -56,8 +56,9 @@ class EdgeList {
   /// sort_dedupe().
   void add_full_loops();
 
-  /// True if for every arc (u,v) the arc (v,u) is present.  O(arcs log arcs)
-  /// on an unsorted list (sorts a copy).
+  /// True if for every arc (u,v) the arc (v,u) is present.  On an
+  /// already-sorted list (e.g. post-sort_dedupe) this binary-searches the
+  /// member vector in place; only an unsorted list pays for a sorted copy.
   [[nodiscard]] bool is_symmetric() const;
 
   /// True if sorted and free of duplicate arcs.

@@ -1,0 +1,275 @@
+#include "graph/sort.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "util/parallel.hpp"
+
+namespace kron {
+namespace {
+
+/// Minimum elements per chunk — below this the chunk bookkeeping costs
+/// more than it saves.
+constexpr std::size_t kMinChunk = std::size_t{1} << 15;
+
+/// Widest digit the LSD passes will use.  Wide digits minimise the pass
+/// count — a 38-bit packed key sorts in 2 passes of 19 bits instead of 5
+/// byte passes — and the scatter tolerates the large (4 MiB) cursor array
+/// because destinations are prefetched.  plan_radix caps the width further
+/// for small inputs, where bucket setup would dominate.
+constexpr unsigned kMaxDigitBits = 19;
+
+/// Scatter prefetch distance, in elements.  The destination of element
+/// i + K is computed from the cursor state at i, which is close enough: a
+/// cursor advances at most K slots in between.
+constexpr std::size_t kPrefetchAhead = 16;
+
+inline void prefetch_for_write(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, 1, 0);
+#else
+  (void)addr;
+#endif
+}
+
+struct Chunking {
+  std::size_t chunks = 1;
+  std::size_t per_chunk = 0;
+};
+
+Chunking plan_chunks(std::size_t n) {
+  const auto threads = static_cast<std::size_t>(ThreadPool::instance().num_threads());
+  std::size_t chunks = (n + kMinChunk - 1) / kMinChunk;
+  if (chunks > threads) chunks = threads;
+  if (chunks == 0) chunks = 1;
+  return {chunks, (n + chunks - 1) / chunks};
+}
+
+struct RadixPlan {
+  unsigned digit_bits = 8;
+  unsigned passes = 0;
+};
+
+/// Spread `key_bits` evenly over the fewest passes with digits no wider
+/// than kMaxDigitBits (even spread keeps every pass's bucket count low).
+/// For small inputs the width is capped so the bucket count stays well
+/// below n — otherwise histogram/cursor setup dominates the sort.
+RadixPlan plan_radix(unsigned key_bits, std::size_t n) {
+  unsigned max_bits = kMaxDigitBits;
+  const auto n_bits = static_cast<unsigned>(std::bit_width(n >> 3));
+  if (max_bits > n_bits) max_bits = n_bits;
+  if (max_bits < 8) max_bits = 8;
+  RadixPlan plan;
+  plan.passes = (key_bits + max_bits - 1) / max_bits;
+  if (plan.passes == 0) plan.passes = 1;
+  plan.digit_bits = (key_bits + plan.passes - 1) / plan.passes;
+  return plan;
+}
+
+/// Stable LSD radix scatter passes over `data`, least-significant digit
+/// first, with `digit_of(x, p)` returning digit p of x and `totals` the
+/// precomputed global histogram of every pass (num_digits * buckets,
+/// pass-major).  Passes whose digit is constant across the whole array are
+/// skipped.  Chunked over the global pool; the scatter is stable per chunk
+/// and chunks are concatenated in index order, so the result is identical
+/// for every thread count.
+template <typename T, typename DigitOf>
+void lsd_radix_passes(std::vector<T>& data, unsigned num_digits, std::size_t buckets,
+                      const DigitOf& digit_of, const std::vector<std::uint64_t>& totals) {
+  const std::size_t n = data.size();
+  if (n < 2 || num_digits == 0) return;
+
+  std::vector<T> temp(n);
+  T* src = data.data();
+  T* dst = temp.data();
+  bool swapped = false;
+
+  std::vector<std::uint64_t> base(buckets);
+  std::vector<std::uint64_t> cursors;
+  for (unsigned p = 0; p < num_digits; ++p) {
+    const std::uint64_t* tot = totals.data() + p * buckets;
+    // A digit constant across the array permutes nothing: skip the pass.
+    bool trivial = false;
+    for (std::size_t b = 0; b < buckets; ++b)
+      if (tot[b] == n) {
+        trivial = true;
+        break;
+      }
+    if (trivial) continue;
+
+    std::uint64_t running = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      base[b] = running;
+      running += tot[b];
+    }
+
+    const Chunking ck = plan_chunks(n);
+    cursors.assign(ck.chunks * buckets, 0);
+    if (ck.chunks == 1) {
+      std::copy(base.begin(), base.end(), cursors.begin());
+    } else {
+      // The global histogram is layout-invariant, but the per-chunk split
+      // of the *current* array is not: re-histogram this digit per chunk,
+      // then turn the (bucket, chunk) prefix sums into write cursors.
+      ThreadPool::instance().run_tasks(ck.chunks, [&](std::size_t c) {
+        std::uint64_t* hist = cursors.data() + c * buckets;
+        const std::size_t lo = c * ck.per_chunk;
+        const std::size_t hi = std::min(n, lo + ck.per_chunk);
+        for (std::size_t i = lo; i < hi; ++i) ++hist[digit_of(src[i], p)];
+      });
+      std::vector<std::uint64_t> next = base;
+      for (std::size_t c = 0; c < ck.chunks; ++c)
+        for (std::size_t b = 0; b < buckets; ++b) {
+          const std::uint64_t start = next[b];
+          next[b] += cursors[c * buckets + b];
+          cursors[c * buckets + b] = start;
+        }
+    }
+
+    ThreadPool::instance().run_tasks(ck.chunks, [&](std::size_t c) {
+      std::uint64_t* cursor = cursors.data() + c * buckets;
+      const std::size_t lo = c * ck.per_chunk;
+      const std::size_t hi = std::min(n, lo + ck.per_chunk);
+      // The scatter is latency-bound on the random destination store;
+      // prefetching the (approximate) slot of element i + K hides it.
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (i + kPrefetchAhead < hi)
+          prefetch_for_write(&dst[cursor[digit_of(src[i + kPrefetchAhead], p)]]);
+        dst[cursor[digit_of(src[i], p)]++] = src[i];
+      }
+    });
+
+    std::swap(src, dst);
+    swapped = !swapped;
+  }
+  if (swapped) data.swap(temp);
+}
+
+/// One read of `data` yields every pass's global histogram (pass-major).
+template <typename T, typename DigitOf>
+std::vector<std::uint64_t> histogram_all(const std::vector<T>& data, unsigned num_digits,
+                                         std::size_t buckets, const DigitOf& digit_of) {
+  const std::size_t n = data.size();
+  std::vector<std::uint64_t> totals(num_digits * buckets, 0);
+  const Chunking ck = plan_chunks(n);
+  std::vector<std::uint64_t> part(ck.chunks * totals.size(), 0);
+  ThreadPool::instance().run_tasks(ck.chunks, [&](std::size_t c) {
+    std::uint64_t* hist = part.data() + c * num_digits * buckets;
+    const std::size_t lo = c * ck.per_chunk;
+    const std::size_t hi = std::min(n, lo + ck.per_chunk);
+    for (std::size_t i = lo; i < hi; ++i)
+      for (unsigned p = 0; p < num_digits; ++p)
+        ++hist[p * buckets + digit_of(data[i], p)];
+  });
+  for (std::size_t c = 0; c < ck.chunks; ++c)
+    for (std::size_t s = 0; s < totals.size(); ++s)
+      totals[s] += part[c * num_digits * buckets + s];
+  return totals;
+}
+
+/// Packed-key path: one 64-bit key per arc, sorted, then unpacked.  The
+/// pack loop gathers every pass's histogram in the same scan; with
+/// `dedupe`, duplicates are dropped on the packed keys (one 8-byte
+/// comparison each) before unpacking.
+void sort_packed(std::vector<Edge>& edges, unsigned bits_u, unsigned bits_v, bool dedupe) {
+  const std::size_t n = edges.size();
+  const unsigned shift = bits_v;
+  const RadixPlan plan = plan_radix(bits_u + bits_v, n);
+  const std::size_t buckets = std::size_t{1} << plan.digit_bits;
+  const std::uint64_t digit_mask = buckets - 1;
+  const unsigned digit_bits = plan.digit_bits;
+
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint64_t> totals(plan.passes * buckets, 0);
+  {
+    const Chunking ck = plan_chunks(n);
+    std::vector<std::uint64_t> part(ck.chunks * totals.size(), 0);
+    ThreadPool::instance().run_tasks(ck.chunks, [&](std::size_t c) {
+      std::uint64_t* hist = part.data() + c * totals.size();
+      const std::size_t lo = c * ck.per_chunk;
+      const std::size_t hi = std::min(n, lo + ck.per_chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint64_t key = (edges[i].u << shift) | edges[i].v;
+        keys[i] = key;
+        for (unsigned p = 0; p < plan.passes; ++p)
+          ++hist[p * buckets + ((key >> (p * digit_bits)) & digit_mask)];
+      }
+    });
+    for (std::size_t c = 0; c < ck.chunks; ++c)
+      for (std::size_t s = 0; s < totals.size(); ++s)
+        totals[s] += part[c * totals.size() + s];
+  }
+
+  lsd_radix_passes(keys, plan.passes, buckets,
+                   [digit_bits, digit_mask](std::uint64_t key, unsigned p) {
+                     return static_cast<std::size_t>((key >> (p * digit_bits)) & digit_mask);
+                   },
+                   totals);
+
+  if (dedupe) {
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    edges.resize(keys.size());
+  }
+
+  const std::uint64_t mask = shift == 0 ? 0 : (std::uint64_t{1} << shift) - 1;
+  parallel_for(0, keys.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      edges[i] = {keys[i] >> shift, keys[i] & mask};
+  }, kMinChunk);
+}
+
+/// Shared driver for sort_edges / sort_dedupe_edges.
+void canonicalise(std::vector<Edge>& edges, bool dedupe) {
+  if (edges.size() < kRadixSortThreshold) {
+    std::sort(edges.begin(), edges.end());
+    if (dedupe) edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    return;
+  }
+
+  struct MaxUV {
+    vertex_t u = 0;
+    vertex_t v = 0;
+  };
+  const MaxUV max_uv = parallel_reduce(
+      std::size_t{0}, edges.size(), MaxUV{},
+      [&](std::size_t lo, std::size_t hi) {
+        MaxUV m;
+        for (std::size_t i = lo; i < hi; ++i) {
+          m.u = std::max(m.u, edges[i].u);
+          m.v = std::max(m.v, edges[i].v);
+        }
+        return m;
+      },
+      [](MaxUV a, MaxUV b) { return MaxUV{std::max(a.u, b.u), std::max(a.v, b.v)}; },
+      kMinChunk);
+
+  const auto bits_u = static_cast<unsigned>(std::bit_width(max_uv.u));
+  const auto bits_v = static_cast<unsigned>(std::bit_width(max_uv.v));
+  // bits_v == 64 would make the pack shift undefined; that degenerate case
+  // (v >= 2^63) takes the struct path below.
+  if (bits_u + bits_v <= 64 && bits_v < 64) {
+    sort_packed(edges, bits_u, bits_v, dedupe);
+    return;
+  }
+
+  // Ids too wide to pack: byte-wise LSD over the struct, v first then u
+  // (lexicographic (u, v) order = u is the more significant word).
+  constexpr std::size_t kByteBuckets = 256;
+  const auto byte_of = [](const Edge& e, unsigned p) {
+    const vertex_t word = p < 8 ? e.v : e.u;
+    const unsigned byte = p < 8 ? p : p - 8;
+    return static_cast<std::size_t>((word >> (8 * byte)) & 0xff);
+  };
+  const std::vector<std::uint64_t> totals = histogram_all(edges, 16, kByteBuckets, byte_of);
+  lsd_radix_passes(edges, 16, kByteBuckets, byte_of, totals);
+  if (dedupe) edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+}  // namespace
+
+void sort_edges(std::vector<Edge>& edges) { canonicalise(edges, false); }
+
+void sort_dedupe_edges(std::vector<Edge>& edges) { canonicalise(edges, true); }
+
+}  // namespace kron

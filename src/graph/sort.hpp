@@ -1,0 +1,45 @@
+// Canonicalisation sort kernels for arc vectors.
+//
+// Every canonical form in the library (EdgeList::sort_dedupe, the
+// generator's gather(), CSR construction) needs arcs ordered
+// lexicographically by (u, v).  A comparison std::sort over the 16-byte
+// Edge struct pays ~log2(n) branchy comparisons per element; these kernels
+// replace it with a stable LSD radix sort over the packed sort key:
+//
+//  * When bit_width(max_u) + bit_width(max_v) <= 64 (every realistic
+//    product: n_C < 2^32 already satisfies it) each arc packs into one
+//    64-bit key (u << bit_width(max_v)) | v, and only the bytes that can
+//    differ are scattered — a 2^38-vertex product needs 5 counting passes
+//    instead of ~24 comparison rounds.
+//  * Wider graphs fall back to a byte-wise LSD radix over the struct
+//    (v low→high, then u low→high), skipping constant byte positions.
+//
+// Both paths histogram every digit position in ONE prefix scan, run the
+// scatter passes chunked over the global thread pool (util/parallel.hpp),
+// and are stable — so the output is bit-identical to std::sort for every
+// thread count (equal keys are identical arcs).  Below
+// kRadixSortThreshold the plain std::sort wins on constants and is used
+// directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace kron {
+
+/// Below this many arcs the comparison sort's constants win; the radix
+/// kernels delegate to std::sort.
+inline constexpr std::size_t kRadixSortThreshold = std::size_t{1} << 14;
+
+/// Sort arcs lexicographically by (u, v).  Equivalent to
+/// std::sort(edges.begin(), edges.end()) — bit-identical output for every
+/// thread count.
+void sort_edges(std::vector<Edge>& edges);
+
+/// sort_edges followed by in-place removal of duplicate arcs (the
+/// canonicalisation primitive behind EdgeList::sort_dedupe).
+void sort_dedupe_edges(std::vector<Edge>& edges);
+
+}  // namespace kron

@@ -1,0 +1,190 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace kron {
+namespace {
+
+// Set while a thread is executing pool tasks; submissions from such a
+// thread (nested parallelism) run inline instead of re-entering the queue.
+thread_local bool tls_in_pool_task = false;
+
+int default_num_threads() {
+  if (const char* env = std::getenv("KRON_THREADS")) {
+    try {
+      const int parsed = std::stoi(env);
+      if (parsed > 0) return parsed;
+    } catch (const std::exception&) {
+      // Malformed KRON_THREADS falls through to hardware_concurrency.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+// One submitted run_tasks call: indices are claimed lock-free; completion,
+// the number of workers still holding a pointer to the batch, and the
+// first task exception are tracked under the batch mutex.
+struct Batch {
+  const std::function<void(std::size_t)>& task;
+  const std::size_t total;
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> active{0};  ///< workers currently inside work()
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+  std::exception_ptr error;
+
+  Batch(const std::function<void(std::size_t)>& t, std::size_t n) : task(t), total(n) {}
+
+  // Claim and run indices until none remain; returns tasks executed.
+  std::size_t work() {
+    std::size_t executed = 0;
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      std::exception_ptr caught;
+      try {
+        task(i);
+      } catch (...) {
+        caught = std::current_exception();
+      }
+      std::lock_guard lock(mutex);
+      if (caught && !error) error = caught;
+      if (++done == total) done_cv.notify_all();
+      ++executed;
+    }
+    return executed;
+  }
+};
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<Batch*> queue;
+  std::vector<std::thread> workers;
+  int configured_threads = 1;
+  bool stop = false;
+
+  void worker_loop() {
+    tls_in_pool_task = true;
+    while (true) {
+      Batch* batch = nullptr;
+      {
+        std::unique_lock lock(mutex);
+        work_cv.wait(lock, [&] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        batch = queue.front();
+        if (batch->next.load(std::memory_order_relaxed) >= batch->total) {
+          queue.pop_front();
+          continue;
+        }
+        // Registering under the queue lock pins the batch: the submitter
+        // only destroys it after removing it from the queue (blocking new
+        // registrations) and waiting for active to drain to zero.
+        batch->active.fetch_add(1, std::memory_order_acq_rel);
+      }
+      batch->work();
+      {
+        std::lock_guard batch_lock(batch->mutex);
+        batch->active.fetch_sub(1, std::memory_order_acq_rel);
+        batch->done_cv.notify_all();
+      }
+    }
+  }
+
+  void spawn(int threads) {
+    configured_threads = threads > 0 ? threads : 1;
+    const int worker_count = configured_threads - 1;  // the caller participates
+    workers.reserve(static_cast<std::size_t>(worker_count));
+    for (int w = 0; w < worker_count; ++w) workers.emplace_back([this] { worker_loop(); });
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard lock(mutex);
+      stop = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& w : workers) w.join();
+    workers.clear();
+    stop = false;
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) { impl_->spawn(default_num_threads()); }
+
+ThreadPool::~ThreadPool() {
+  impl_->shutdown();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::set_num_threads(int n) {
+  ThreadPool& pool = instance();
+  pool.impl_->shutdown();
+  pool.impl_->spawn(n > 0 ? n : default_num_threads());
+}
+
+int ThreadPool::num_threads() const { return impl_->configured_threads; }
+
+void ThreadPool::run_tasks(std::size_t num_tasks,
+                           const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  // Inline paths: single task, no workers, or nested submission from a
+  // pool task (running inline keeps the worker set bounded and cannot
+  // deadlock on queue capacity).
+  if (num_tasks == 1 || impl_->workers.empty() || tls_in_pool_task) {
+    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  Batch batch(task, num_tasks);
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->queue.push_back(&batch);
+  }
+  impl_->work_cv.notify_all();
+
+  // Participate, then wait for workers to finish the remainder.
+  const bool was_in_task = tls_in_pool_task;
+  tls_in_pool_task = true;
+  batch.work();
+  tls_in_pool_task = was_in_task;
+
+  std::unique_lock lock(batch.mutex);
+  batch.done_cv.wait(lock, [&] { return batch.done == batch.total; });
+  lock.unlock();
+  // All tasks ran, but the batch may still sit in the queue; remove it so
+  // no further worker can pick it up, then wait out workers that already
+  // hold a pointer — after that the stack-allocated batch is safe to die.
+  {
+    std::lock_guard queue_lock(impl_->mutex);
+    auto& q = impl_->queue;
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (*it == &batch) {
+        q.erase(it);
+        break;
+      }
+    }
+  }
+  lock.lock();
+  batch.done_cv.wait(lock, [&] { return batch.active.load(std::memory_order_acquire) == 0; });
+  lock.unlock();
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace kron

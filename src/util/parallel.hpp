@@ -1,0 +1,108 @@
+// Intra-rank work-sharing layer: a process-global thread pool plus
+// deterministic parallel_for / parallel_reduce helpers.
+//
+// The runtime already uses one thread per *rank* (runtime/comm.hpp), so a
+// naive per-call thread spawn would oversubscribe the machine R-fold.  All
+// data parallelism therefore funnels through ONE process-global pool:
+// every rank (and the single-threaded tools/benches) submits chunked tasks
+// to the same worker set, and a task submitted from inside a pool worker
+// runs inline, so nested parallel sections can never deadlock or stack
+// extra threads.  Worker count comes from, in priority order:
+// ThreadPool::set_num_threads (the tools' --threads flag), the
+// KRON_THREADS environment variable, std::thread::hardware_concurrency().
+//
+// Determinism contract: parallel_for chunks write disjoint outputs and
+// parallel_reduce combines per-chunk partials in chunk-index order, so any
+// algorithm built from them with associative combines (all users: integer
+// histograms, max, sums) produces bit-identical results for every thread
+// count — the invariant the canonicalisation pipeline relies on (see
+// DESIGN.md §8).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace kron {
+
+/// Process-global work-sharing pool.  `run_tasks` may be called
+/// concurrently from many threads (ranks); calls from inside a pool worker
+/// degrade to inline sequential execution.
+class ThreadPool {
+ public:
+  /// The global pool (created on first use; workers are lazy).
+  [[nodiscard]] static ThreadPool& instance();
+
+  /// Set the parallelism degree for the global pool: `n` <= 0 restores the
+  /// default (KRON_THREADS env var, else hardware_concurrency).  Joins and
+  /// respawns workers; do not call concurrently with running parallel work.
+  static void set_num_threads(int n);
+
+  /// Parallelism degree (participating caller + workers), >= 1.
+  [[nodiscard]] int num_threads() const;
+
+  /// Run task(i) for every i in [0, num_tasks).  The calling thread
+  /// participates; returns after all tasks finished.  The first exception
+  /// thrown by a task is rethrown here (remaining tasks still run).
+  void run_tasks(std::size_t num_tasks, const std::function<void(std::size_t)>& task);
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Chunked parallel loop: invokes `body(begin, end)` on disjoint subranges
+/// covering [begin, end), at most `ceil(range / grain)` chunks, across the
+/// global pool.  Runs inline when the range is small or no workers exist.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                  std::size_t grain = 1024) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+  ThreadPool& pool = ThreadPool::instance();
+  const auto threads = static_cast<std::size_t>(pool.num_threads());
+  std::size_t chunks = (range + grain - 1) / grain;
+  if (chunks > threads) chunks = threads;
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t per_chunk = (range + chunks - 1) / chunks;
+  pool.run_tasks(chunks, [&](std::size_t c) {
+    const std::size_t b = begin + c * per_chunk;
+    const std::size_t e = b + per_chunk < end ? b + per_chunk : end;
+    if (b < e) body(b, e);
+  });
+}
+
+/// Chunked parallel reduction: `map(begin, end)` produces one T per chunk;
+/// partials are folded left-to-right in chunk-index order with `combine`,
+/// starting from `init` — deterministic for associative combines.
+template <typename T, typename Map, typename Combine>
+[[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end, T init, const Map& map,
+                                const Combine& combine, std::size_t grain = 1024) {
+  if (begin >= end) return init;
+  const std::size_t range = end - begin;
+  ThreadPool& pool = ThreadPool::instance();
+  const auto threads = static_cast<std::size_t>(pool.num_threads());
+  std::size_t chunks = (range + grain - 1) / grain;
+  if (chunks > threads) chunks = threads;
+  if (chunks <= 1) return combine(std::move(init), map(begin, end));
+  const std::size_t per_chunk = (range + chunks - 1) / chunks;
+  std::vector<T> partials(chunks, init);
+  pool.run_tasks(chunks, [&](std::size_t c) {
+    const std::size_t b = begin + c * per_chunk;
+    const std::size_t e = b + per_chunk < end ? b + per_chunk : end;
+    if (b < e) partials[c] = map(b, e);
+  });
+  T result = std::move(init);
+  for (std::size_t c = 0; c < chunks; ++c) result = combine(std::move(result), partials[c]);
+  return result;
+}
+
+}  // namespace kron

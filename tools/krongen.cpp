@@ -9,7 +9,7 @@
 //                    [--lcc] [--loops] --out FILE [--binary]
 //   krongen generate --a A --b B [--loops none|both|a] [--ranks R]
 //                    [--scheme 1d|2d] [--shuffle] [--async] [--chunk N]
-//                    [--capacity N] [--power K] [--stats]
+//                    [--capacity N] [--power K] [--threads T] [--stats]
 //                    --out FILE [--binary]
 //   krongen info     --a A --b B [--loops none|both|a]
 //   krongen truth    --a A --b B [--loops none|both|a]
@@ -39,6 +39,7 @@
 #include "graph/io.hpp"
 #include "graph/ops.hpp"
 #include "util/cli.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -175,17 +176,22 @@ void print_comm_stats(const std::vector<CommStats>& per_rank) {
 
 int cmd_generate(const CliArgs& args) {
   args.reject_unknown({"a", "b", "loops", "ranks", "scheme", "shuffle", "async", "chunk",
-                       "capacity", "power", "out", "binary", "stats", "help"});
+                       "capacity", "power", "threads", "out", "binary", "stats", "help"});
   if (args.has_flag("help")) {
     std::cout << "krongen generate --a A --b B [--loops none|both|a] [--ranks R]\n"
                  "                 [--scheme 1d|2d] [--shuffle] [--async] [--chunk N]\n"
-                 "                 [--capacity N] [--power K] [--stats] --out FILE\n"
+                 "                 [--capacity N] [--power K] [--threads T] [--stats]\n"
+                 "                 --out FILE\n"
                  "  --power K iterates C <- C (x) B a further K-1 times (scale series)\n"
                  "  --async streams the shuffle (bounded buffering); --chunk sets arcs per\n"
                  "  message, --capacity bounds each rank's mailbox (backpressure)\n"
+                 "  --threads T sizes the intra-rank work-sharing pool (canonicalisation\n"
+                 "  sorts; default: KRON_THREADS env var, else hardware concurrency)\n"
                  "  --stats prints the per-rank communication table after generation\n";
     return 0;
   }
+  if (args.get("threads").has_value())
+    ThreadPool::set_num_threads(static_cast<int>(args.get_u64("threads", 0)));
   EdgeList a = load_factor(args.require("a"));
   EdgeList b = load_factor(args.require("b"));
   const LoopRegime regime = parse_regime(args.get_or("loops", "none"));
