@@ -1,0 +1,214 @@
+// E8 — parallel validation-analytics engine (DESIGN.md §10).
+//
+// The paper validates generated graphs by recomputing properties directly
+// on the materialised product; this bench records what the parallel
+// analytics engine buys over the seed's sequential kernels on a ≥1M-arc
+// product at 8 threads:
+//
+//  * exact eccentricities: bit-parallel multi-source BFS (64 sources per
+//    word) versus one sequential BFS per vertex — the sequential side is
+//    measured on an evenly-strided sample of sources and extrapolated;
+//  * triangle census: chunked oriented wedge enumeration with per-thread
+//    accumulators and positional per-arc counts versus the seed's
+//    sequential enumeration with six binary arc lookups per triangle.
+//
+// Both parallel results are cross-checked against their references before
+// any number is reported.  `--tiny` shrinks the product so the bench_smoke
+// ctest exercises the full artifact + JSON path in milliseconds; without it
+// the bench writes BENCH_analytics.json (ecc.speedup, triangles.speedup).
+#include <algorithm>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "analytics/bfs.hpp"
+#include "analytics/closeness.hpp"
+#include "analytics/eccentricity.hpp"
+#include "analytics/triangles.hpp"
+#include "bench_common.hpp"
+#include "core/kron.hpp"
+#include "gen/erdos.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace kron {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260806;
+constexpr int kThreads = 8;
+
+bool g_tiny = false;
+
+// The seed's per-source kernel: a plain queue BFS (no frontier machinery
+// shared with the engine under test) plus the Def. 9 diagonal patch.
+std::vector<std::uint64_t> sequential_hops(const Csr& g, vertex_t source) {
+  std::vector<std::uint64_t> level(g.num_vertices(), kUnreachable);
+  std::queue<vertex_t> queue;
+  level[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const vertex_t u = queue.front();
+    queue.pop();
+    for (const vertex_t v : g.neighbors(u)) {
+      if (level[v] != kUnreachable) continue;
+      level[v] = level[u] + 1;
+      queue.push(v);
+    }
+  }
+  patch_diagonal_hop(g, source, level[source]);
+  return level;
+}
+
+// The seed's triangle census: sequential enumeration, six arc_index binary
+// searches per triangle — the cost the positional kernel eliminates.
+TriangleCounts seed_count_triangles(const Csr& g) {
+  TriangleCounts counts;
+  counts.per_vertex.assign(g.num_vertices(), 0);
+  counts.per_arc.assign(g.num_arcs(), 0);
+  for_each_triangle(g, [&](vertex_t a, vertex_t b, vertex_t c) {
+    ++counts.total;
+    ++counts.per_vertex[a];
+    ++counts.per_vertex[b];
+    ++counts.per_vertex[c];
+    for (const auto& [u, v] : {std::pair{a, b}, std::pair{a, c}, std::pair{b, c}}) {
+      ++counts.per_arc[g.arc_index(u, v)];
+      ++counts.per_arc[g.arc_index(v, u)];
+    }
+  });
+  return counts;
+}
+
+void print_artifact() {
+  bench::banner("E8", "parallel validation analytics vs sequential seed kernels");
+  std::cout << "seed " << kSeed << (g_tiny ? " (tiny smoke sizes)" : "") << "\n";
+  ThreadPool::set_num_threads(kThreads);
+
+  // A materialised validation product.  Full size: ~6K vertices / ~1.8M
+  // arcs (3000 x 600 factor arcs); tiny keeps the identical pipeline in
+  // milliseconds for the bench_smoke ctest.
+  const EdgeList a = prepare_factor(
+      g_tiny ? make_gnm(16, 40, kSeed) : make_gnm(100, 1500, kSeed), false);
+  const EdgeList b = prepare_factor(
+      g_tiny ? make_gnm(10, 20, kSeed + 1) : make_gnm(60, 300, kSeed + 1), false);
+  const Csr c(kronecker_product(a, b));
+  const auto n = c.num_vertices();
+  std::cout << "product: " << n << " vertices, " << c.num_arcs() << " arcs, "
+            << kThreads << " threads\n";
+  bench::JsonReport::instance().add("analytics.vertices", static_cast<std::uint64_t>(n));
+  bench::JsonReport::instance().add("analytics.arcs",
+                                    static_cast<std::uint64_t>(c.num_arcs()));
+
+  // --- exact eccentricities: MSBFS vs one BFS per vertex -----------------
+  bench::section("exact eccentricities (Def. 11): multi-source BFS vs per-vertex BFS");
+  const Timer msbfs_timer;
+  const auto ecc = exact_eccentricities(c);
+  const double msbfs_seconds = msbfs_timer.seconds();
+
+  const vertex_t samples = std::min<vertex_t>(n, g_tiny ? 8 : 192);
+  const vertex_t stride = std::max<vertex_t>(1, n / samples);
+  std::uint64_t mismatches = 0;
+  const Timer seq_timer;
+  vertex_t sampled = 0;
+  for (vertex_t s = 0; s < n && sampled < samples; s += stride, ++sampled) {
+    const auto hops = sequential_hops(c, s);
+    std::uint64_t expected = 0;
+    for (const std::uint64_t h : hops) expected = std::max(expected, h);
+    if (ecc[s] != expected) ++mismatches;
+  }
+  const double sampled_seconds = seq_timer.seconds();
+  const double sequential_estimate =
+      sampled_seconds * static_cast<double>(n) / static_cast<double>(sampled);
+  const double ecc_speedup = sequential_estimate / msbfs_seconds;
+
+  Table ecc_table({"kernel", "BFS sweeps", "seconds", "speedup"});
+  ecc_table.row({"sequential (extrapolated from " + std::to_string(sampled) + " sources)",
+                 std::to_string(n), Table::num(sequential_estimate, 3), "1.0"});
+  ecc_table.row({"multi-source bit-parallel", std::to_string((n + 63) / 64) + " batches",
+                 Table::num(msbfs_seconds, 3), Table::num(ecc_speedup, 2)});
+  std::cout << ecc_table.str();
+  std::cout << (mismatches == 0 ? "all sampled eccentricities match the reference BFS\n"
+                                : "ECCENTRICITY MISMATCHES FOUND\n");
+  bench::JsonReport::instance().add("ecc.msbfs_seconds", msbfs_seconds);
+  bench::JsonReport::instance().add("ecc.sequential_seconds_est", sequential_estimate);
+  bench::JsonReport::instance().add("ecc.speedup", ecc_speedup);
+  bench::JsonReport::instance().add("ecc.mismatches", mismatches);
+
+  // --- closeness for the trajectory (same MSBFS engine) -------------------
+  const Timer closeness_timer;
+  const auto zeta = all_closeness(c);
+  bench::JsonReport::instance().add("closeness.msbfs_seconds", closeness_timer.seconds());
+  std::cout << "all-vertex closeness over the same batches: "
+            << Table::num(closeness_timer.seconds(), 3) << " s (zeta[0] = "
+            << Table::num(zeta[0], 4) << ")\n";
+
+  // --- triangle census: positional parallel kernel vs seed ----------------
+  bench::section("triangle census (Def. 5/6): chunked positional kernel vs seed");
+  const Timer parallel_timer;
+  const TriangleCounts counts = count_triangles(c);
+  const double parallel_seconds = parallel_timer.seconds();
+  const Timer seed_timer;
+  const TriangleCounts reference = seed_count_triangles(c);
+  const double seed_seconds = seed_timer.seconds();
+  const double triangle_speedup = seed_seconds / parallel_seconds;
+  const bool census_matches = counts.total == reference.total &&
+                              counts.per_vertex == reference.per_vertex &&
+                              counts.per_arc == reference.per_arc;
+
+  Table tri_table({"kernel", "triangles", "seconds", "speedup"});
+  tri_table.row({"seed (sequential, arc_index per edge)", std::to_string(reference.total),
+                 Table::num(seed_seconds, 3), "1.0"});
+  tri_table.row({"parallel positional census", std::to_string(counts.total),
+                 Table::num(parallel_seconds, 3), Table::num(triangle_speedup, 2)});
+  std::cout << tri_table.str();
+  std::cout << (census_matches ? "census identical to the seed kernel\n"
+                               : "TRIANGLE CENSUS MISMATCH\n");
+  bench::JsonReport::instance().add("triangles.total", counts.total);
+  bench::JsonReport::instance().add("triangles.parallel_seconds", parallel_seconds);
+  bench::JsonReport::instance().add("triangles.seed_seconds", seed_seconds);
+  bench::JsonReport::instance().add("triangles.speedup", triangle_speedup);
+  bench::JsonReport::instance().add("triangles.census_matches",
+                                    static_cast<std::uint64_t>(census_matches ? 1 : 0));
+
+  ThreadPool::set_num_threads(0);
+}
+
+// ---------------------------------------------------------------- timings
+
+void BM_HybridBfsTiny(benchmark::State& state) {
+  const Csr g(prepare_factor(make_gnm(400, 1600, kSeed + 2), false));
+  for (auto _ : state) benchmark::DoNotOptimize(bfs_levels(g, 0));
+}
+BENCHMARK(BM_HybridBfsTiny)->Unit(benchmark::kMicrosecond);
+
+void BM_MsBfsEccFactor(benchmark::State& state) {
+  const Csr g(prepare_factor(make_gnm(400, 1600, kSeed + 2), false));
+  for (auto _ : state) benchmark::DoNotOptimize(exact_eccentricities(g));
+}
+BENCHMARK(BM_MsBfsEccFactor)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelTriangleCensus(benchmark::State& state) {
+  const Csr g(prepare_factor(make_gnm(400, 3200, kSeed + 3), false));
+  for (auto _ : state) benchmark::DoNotOptimize(count_triangles(g));
+}
+BENCHMARK(BM_ParallelTriangleCensus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kron
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--tiny") {
+      kron::g_tiny = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  auto pass_argc = static_cast<int>(args.size());
+  return kron::bench::run_bench_main(pass_argc, args.data(), kron::print_artifact,
+                                     "BENCH_analytics.json");
+}

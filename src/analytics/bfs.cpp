@@ -1,51 +1,61 @@
 #include "analytics/bfs.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "analytics/frontier.hpp"
+#include "analytics/msbfs.hpp"
+#include "util/overflow.hpp"
 
 namespace kron {
 
 std::vector<std::uint64_t> bfs_levels(const Csr& g, vertex_t source) {
-  if (source >= g.num_vertices()) throw std::out_of_range("bfs_levels: bad source");
-  std::vector<std::uint64_t> level(g.num_vertices(), kUnreachable);
-  std::vector<vertex_t> frontier{source};
-  std::vector<vertex_t> next;
-  level[source] = 0;
-  std::uint64_t depth = 0;
-  while (!frontier.empty()) {
-    ++depth;
-    next.clear();
-    for (const vertex_t u : frontier) {
-      for (const vertex_t v : g.neighbors(u)) {
-        if (level[v] == kUnreachable) {
-          level[v] = depth;
-          next.push_back(v);
-        }
-      }
-    }
-    frontier.swap(next);
-  }
+  std::vector<std::uint64_t> level;
+  HybridBfs(g).levels(source, level);
   return level;
 }
 
 std::vector<std::uint64_t> hops_from(const Csr& g, vertex_t source) {
   std::vector<std::uint64_t> hops = bfs_levels(g, source);
-  if (g.has_loop(source)) {
-    hops[source] = 1;
-  } else if (g.degree(source) > 0) {
-    hops[source] = 2;  // out and back over any incident edge
-  } else {
-    hops[source] = kUnreachable;
-  }
+  patch_diagonal_hop(g, source, hops[source]);
   return hops;
+}
+
+void patch_diagonal_hop(const Csr& g, vertex_t source, std::uint64_t& hop) {
+  if (g.has_loop(source)) {
+    hop = 1;
+  } else if (g.degree(source) > 0) {
+    hop = 2;  // out and back over any incident edge
+  } else {
+    hop = kUnreachable;
+  }
 }
 
 std::vector<std::uint64_t> all_pairs_hops(const Csr& g) {
   const vertex_t n = g.num_vertices();
-  std::vector<std::uint64_t> matrix(n * n);
-  for (vertex_t i = 0; i < n; ++i) {
-    const auto row = hops_from(g, i);
-    std::copy(row.begin(), row.end(), matrix.begin() + static_cast<std::ptrdiff_t>(i * n));
+  std::uint64_t cells = 0;
+  try {
+    cells = checked_mul(n, n);
+  } catch (const std::overflow_error&) {
+    throw std::overflow_error("all_pairs_hops: n*n hop matrix overflows 64 bits (n = " +
+                              std::to_string(n) + "); use hops_from on selected rows instead");
   }
+  std::vector<std::uint64_t> matrix(cells, kUnreachable);
+  const MsBfs engine(g);
+  msbfs_all_sources(g, [&](vertex_t base, std::span<const vertex_t> sources) {
+    engine.run_batch(sources, [&](std::uint64_t depth, std::span<const vertex_t> active,
+                                  const std::uint64_t* words) {
+      for (const vertex_t v : active) {
+        std::uint64_t word = words[v];
+        while (word != 0) {
+          const auto s = static_cast<std::uint64_t>(__builtin_ctzll(word));
+          word &= word - 1;
+          matrix[(base + s) * n + v] = depth;
+        }
+      }
+    });
+  });
+  for (vertex_t i = 0; i < n; ++i) patch_diagonal_hop(g, i, matrix[i * n + i]);
   return matrix;
 }
 

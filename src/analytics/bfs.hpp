@@ -27,8 +27,14 @@ inline constexpr std::uint64_t kUnreachable = std::numeric_limits<std::uint64_t>
 /// any neighbor (round trip), kUnreachable if isolated.
 [[nodiscard]] std::vector<std::uint64_t> hops_from(const Csr& g, vertex_t source);
 
+/// Apply the Def. 9 diagonal rule in place: hops(i, i) = 1 with a self
+/// loop, 2 with any neighbor, kUnreachable when isolated.
+void patch_diagonal_hop(const Csr& g, vertex_t source, std::uint64_t& hop);
+
 /// All-pairs hop-count matrix, row-major n*n (for small graphs / factors).
-/// Entry [i*n + j] = hops(i, j).
+/// Entry [i*n + j] = hops(i, j).  Computed by bit-parallel multi-source
+/// BFS, 64 rows per batch (analytics/msbfs.hpp).  Throws
+/// std::overflow_error when the n*n cell count cannot be represented.
 [[nodiscard]] std::vector<std::uint64_t> all_pairs_hops(const Csr& g);
 
 }  // namespace kron

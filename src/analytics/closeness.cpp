@@ -1,22 +1,67 @@
 #include "analytics/closeness.hpp"
 
+#include <array>
+
 #include "analytics/bfs.hpp"
+#include "analytics/msbfs.hpp"
 
 namespace kron {
+namespace {
 
-double closeness(const Csr& g, vertex_t i) {
-  const auto hops = hops_from(g, i);
+// Canonical evaluation order for ζ: fold the hop-count histogram smallest
+// depth first, one fused multiply per depth.  Both the single-source and
+// the multi-source evaluator build the same histogram, so their doubles
+// are bit-identical — the determinism contract the parallel analytics
+// suite pins (DESIGN.md §10).
+double fold_reciprocal_hops(const std::vector<std::uint64_t>& count_at_depth) {
   double sum = 0.0;
-  for (const std::uint64_t h : hops) {
-    if (h == kUnreachable) continue;
-    sum += 1.0 / static_cast<double>(h);
-  }
+  for (std::size_t d = 1; d < count_at_depth.size(); ++d)
+    if (count_at_depth[d] != 0)
+      sum += static_cast<double>(count_at_depth[d]) / static_cast<double>(d);
   return sum;
 }
 
+void record_hop(std::vector<std::uint64_t>& histogram, std::uint64_t hop) {
+  if (histogram.size() <= hop) histogram.resize(hop + 1, 0);
+  ++histogram[hop];
+}
+
+}  // namespace
+
+double closeness(const Csr& g, vertex_t i) {
+  const auto hops = hops_from(g, i);
+  std::vector<std::uint64_t> histogram;
+  for (const std::uint64_t h : hops)
+    if (h != kUnreachable) record_hop(histogram, h);
+  return fold_reciprocal_hops(histogram);
+}
+
 std::vector<double> all_closeness(const Csr& g) {
-  std::vector<double> scores(g.num_vertices());
-  for (vertex_t v = 0; v < g.num_vertices(); ++v) scores[v] = closeness(g, v);
+  const vertex_t n = g.num_vertices();
+  std::vector<double> scores(n, 0.0);
+  if (n == 0) return scores;
+  const MsBfs engine(g);
+  msbfs_all_sources(g, [&](vertex_t base, std::span<const vertex_t> sources) {
+    std::array<std::vector<std::uint64_t>, MsBfs::kBatchSize> histograms;
+    engine.run_batch(sources, [&](std::uint64_t depth, std::span<const vertex_t> active,
+                                  const std::uint64_t* words) {
+      if (depth == 0) return;  // the diagonal term follows Def. 9, below
+      for (const vertex_t v : active) {
+        std::uint64_t word = words[v];
+        while (word != 0) {
+          const auto s = static_cast<std::size_t>(__builtin_ctzll(word));
+          word &= word - 1;
+          record_hop(histograms[s], depth);
+        }
+      }
+    });
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      std::uint64_t diagonal = 0;
+      patch_diagonal_hop(g, sources[s], diagonal);
+      if (diagonal != kUnreachable) record_hop(histograms[s], diagonal);
+      scores[base + s] = fold_reciprocal_hops(histograms[s]);
+    }
+  });
   return scores;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel.hpp"
+
 namespace kron {
 
 double vertex_clustering(std::uint64_t triangles, std::uint64_t degree) {
@@ -22,18 +24,28 @@ std::vector<double> all_vertex_clustering(const Csr& g) {
 
 std::vector<double> all_vertex_clustering(const Csr& g, const TriangleCounts& counts) {
   std::vector<double> eta(g.num_vertices());
-  for (vertex_t v = 0; v < g.num_vertices(); ++v)
-    eta[v] = vertex_clustering(counts.per_vertex[v], g.degree_no_loop(v));
+  // Each η(v) is computed independently from its own slot — disjoint
+  // writes, identical doubles for every thread count.
+  parallel_for(0, g.num_vertices(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v)
+      eta[v] = vertex_clustering(counts.per_vertex[v],
+                                 g.degree_no_loop(static_cast<vertex_t>(v)));
+  });
   return eta;
 }
 
 std::uint64_t wedge_count(const Csr& g) {
-  std::uint64_t wedges = 0;
-  for (vertex_t v = 0; v < g.num_vertices(); ++v) {
-    const std::uint64_t d = g.degree_no_loop(v);
-    wedges += d * (d - (d > 0 ? 1 : 0)) / 2;
-  }
-  return wedges;
+  return parallel_reduce(
+      std::size_t{0}, g.num_vertices(), std::uint64_t{0},
+      [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t wedges = 0;
+        for (std::size_t v = lo; v < hi; ++v) {
+          const std::uint64_t d = g.degree_no_loop(static_cast<vertex_t>(v));
+          wedges += d * (d - (d > 0 ? 1 : 0)) / 2;
+        }
+        return wedges;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, /*grain=*/4096);
 }
 
 double transitivity(const Csr& g) {
@@ -44,15 +56,21 @@ double transitivity(const Csr& g) {
 
 std::vector<double> all_edge_clustering(const Csr& g, const TriangleCounts& counts) {
   std::vector<double> xi(g.num_arcs(), 0.0);
-  for (vertex_t u = 0; u < g.num_vertices(); ++u) {
-    const auto row = g.neighbors(u);
-    for (std::size_t k = 0; k < row.size(); ++k) {
-      const vertex_t v = row[k];
-      if (u == v) continue;
-      const std::uint64_t idx = g.arc_index(u, v);
-      xi[idx] = edge_clustering(counts.per_arc[idx], g.degree_no_loop(u), g.degree_no_loop(v));
+  // Walk rows and derive arc indices from the row offset — no per-arc
+  // binary search; arcs of distinct rows never alias.
+  parallel_for(0, g.num_vertices(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      const auto row = g.neighbors(static_cast<vertex_t>(u));
+      const std::uint64_t row_base = g.row_offset(static_cast<vertex_t>(u));
+      const std::uint64_t deg_u = g.degree_no_loop(static_cast<vertex_t>(u));
+      for (std::size_t k = 0; k < row.size(); ++k) {
+        const vertex_t v = row[k];
+        if (u == v) continue;
+        xi[row_base + k] =
+            edge_clustering(counts.per_arc[row_base + k], deg_u, g.degree_no_loop(v));
+      }
     }
-  }
+  });
   return xi;
 }
 

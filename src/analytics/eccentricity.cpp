@@ -1,29 +1,85 @@
 #include "analytics/eccentricity.hpp"
-#include <tuple>
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
+#include <tuple>
 
 #include "analytics/bfs.hpp"
+#include "analytics/msbfs.hpp"
+#include "util/parallel.hpp"
 
 namespace kron {
 namespace {
 
 std::uint64_t max_hop(const std::vector<std::uint64_t>& hops) {
-  std::uint64_t ecc = 0;
-  for (const std::uint64_t h : hops) {
-    if (h == kUnreachable) return kUnreachable;
-    ecc = std::max(ecc, h);
-  }
-  return ecc;
+  // kUnreachable is the max uint64, so a plain max-reduce reports
+  // disconnection automatically; chunk partials fold in chunk order.
+  return parallel_reduce(
+      std::size_t{0}, hops.size(), std::uint64_t{0},
+      [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t ecc = 0;
+        for (std::size_t i = lo; i < hi; ++i) ecc = std::max(ecc, hops[i]);
+        return ecc;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return std::max(a, b); }, /*grain=*/4096);
+}
+
+// First vertex (lowest id) maximising `key` among vertices where
+// `eligible` holds; n when none.  Sequential scan semantics — a later
+// chunk wins only on a strictly greater key — for every thread count.
+template <typename Key, typename Eligible>
+vertex_t first_argmax(vertex_t n, const Eligible& eligible, const Key& key) {
+  return parallel_reduce(
+      std::size_t{0}, n, static_cast<vertex_t>(n),
+      [&](std::size_t lo, std::size_t hi) {
+        vertex_t best = n;
+        for (std::size_t v = lo; v < hi; ++v) {
+          if (!eligible(v)) continue;
+          if (best == n || key(v) > key(best)) best = static_cast<vertex_t>(v);
+        }
+        return best;
+      },
+      [&](vertex_t a, vertex_t b) {
+        if (a == n) return b;
+        if (b == n) return a;
+        return key(b) > key(a) ? b : a;
+      },
+      /*grain=*/4096);
 }
 
 }  // namespace
 
 std::vector<std::uint64_t> exact_eccentricities(const Csr& g) {
   const vertex_t n = g.num_vertices();
-  std::vector<std::uint64_t> ecc(n);
-  for (vertex_t v = 0; v < n; ++v) ecc[v] = max_hop(hops_from(g, v));
+  std::vector<std::uint64_t> ecc(n, 0);
+  if (n == 0) return ecc;
+  const MsBfs engine(g);
+  // 64 sources per word, batches scheduled across the pool; each batch
+  // folds max depth + reached count per source and writes its own slice.
+  msbfs_all_sources(g, [&](vertex_t base, std::span<const vertex_t> sources) {
+    std::array<std::uint64_t, MsBfs::kBatchSize> deepest{};
+    std::array<std::uint64_t, MsBfs::kBatchSize> reached{};
+    engine.run_batch(sources, [&](std::uint64_t depth, std::span<const vertex_t> active,
+                                  const std::uint64_t* words) {
+      for (const vertex_t v : active) {
+        std::uint64_t word = words[v];
+        while (word != 0) {
+          const auto s = static_cast<std::size_t>(__builtin_ctzll(word));
+          word &= word - 1;
+          deepest[s] = depth;
+          ++reached[s];
+        }
+      }
+    });
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      std::uint64_t diagonal = 0;
+      patch_diagonal_hop(g, sources[s], diagonal);
+      ecc[base + s] = (reached[s] == n && diagonal != kUnreachable)
+                          ? std::max(deepest[s], diagonal)
+                          : kUnreachable;
+    }
+  });
   return ecc;
 }
 
@@ -33,18 +89,27 @@ BoundedEccResult bounded_eccentricities(const Csr& g) {
   result.ecc.assign(n, 0);
   if (n == 0) return result;
 
+  // The pivot bounds |ecc(p) - d| <= ecc(v) <= ecc(p) + d are triangle
+  // inequalities over a *symmetric* distance; on a directed graph they are
+  // simply false (d(p,v) says nothing about d(v,p)) and the algorithm
+  // would return silently wrong values.
+  if (!g.is_symmetric())
+    throw std::invalid_argument(
+        "bounded_eccentricities: pivot bounds require an undirected (symmetric) graph; "
+        "use exact_eccentricities");
+
   std::vector<std::uint64_t> lower(n, 0);
   std::vector<std::uint64_t> upper(n, kUnreachable);
-  std::vector<bool> resolved(n, false);
+  std::vector<std::uint64_t> upper_next(n, kUnreachable);
+  std::vector<std::uint8_t> resolved(n, 0);
   std::uint64_t unresolved = n;
 
   // Alternate between the vertex with the largest upper bound (tightens the
   // diameter side) and the smallest lower bound (tightens the radius side);
   // start from a max-degree vertex, a good center candidate.
   bool pick_max_upper = false;
-  vertex_t pivot = 0;
-  for (vertex_t v = 1; v < n; ++v)
-    if (g.degree(v) > g.degree(pivot)) pivot = v;
+  vertex_t pivot = first_argmax(
+      n, [](std::size_t) { return true; }, [&g](std::size_t v) { return g.degree(v); });
 
   while (unresolved > 0) {
     const auto hops = hops_from(g, pivot);
@@ -54,69 +119,93 @@ BoundedEccResult bounded_eccentricities(const Csr& g) {
     ++result.bfs_count;
     if (!resolved[pivot]) {
       result.ecc[pivot] = ecc_pivot;
-      resolved[pivot] = true;
+      resolved[pivot] = 1;
       --unresolved;
     }
 
-    for (vertex_t v = 0; v < n; ++v) {
-      if (resolved[v]) continue;
-      const std::uint64_t d = hops[v];
-      // Triangle-inequality bounds: |ecc(p) - d| <= ecc(v) <= ecc(p) + d,
-      // and ecc(v) >= d always.
-      const std::uint64_t lo_candidate =
-          std::max(d, ecc_pivot > d ? ecc_pivot - d : d - ecc_pivot);
-      lower[v] = std::max(lower[v], lo_candidate);
-      upper[v] = std::min(upper[v], ecc_pivot + d);
-      if (lower[v] == upper[v]) {
-        result.ecc[v] = lower[v];
-        resolved[v] = true;
-        --unresolved;
-      }
-    }
+    // Triangle-inequality bounds: |ecc(p) - d| <= ecc(v) <= ecc(p) + d,
+    // and ecc(v) >= d always.  One parallel pass; chunk partials count
+    // newly resolved vertices.
+    unresolved -= parallel_reduce(
+        std::size_t{0}, n, std::uint64_t{0},
+        [&](std::size_t lo, std::size_t hi) {
+          std::uint64_t newly = 0;
+          for (std::size_t v = lo; v < hi; ++v) {
+            if (resolved[v]) continue;
+            const std::uint64_t d = hops[v];
+            const std::uint64_t lo_candidate =
+                std::max(d, ecc_pivot > d ? ecc_pivot - d : d - ecc_pivot);
+            lower[v] = std::max(lower[v], lo_candidate);
+            upper[v] = std::min(upper[v], ecc_pivot + d);
+            if (lower[v] == upper[v]) {
+              result.ecc[v] = lower[v];
+              resolved[v] = 1;
+              ++newly;
+            }
+          }
+          return newly;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; }, /*grain=*/4096);
 
     // Propagate the edge constraint |ecc(u) - ecc(v)| <= 1 to a fixpoint:
     // upper(v) <= upper(u) + 1 across every edge.  This closes the large
     // plateaus of tied eccentricities that pivot distances alone cannot,
     // cutting the number of BFS sweeps dramatically on small-world graphs.
+    // Jacobi sweeps (read `upper`, write `upper_next`, disjoint per
+    // vertex) converge to the same unique fixpoint as the sequential
+    // edge-order relaxation, so results stay bit-identical.
     bool changed = unresolved > 0;
     while (changed) {
-      changed = false;
-      for (vertex_t u = 0; u < n; ++u) {
-        const std::uint64_t cap = upper[u] == kUnreachable ? kUnreachable : upper[u] + 1;
-        if (cap == kUnreachable) continue;
-        for (const vertex_t v : g.neighbors(u)) {
-          if (upper[v] > cap) {
-            upper[v] = cap;
-            changed = true;
-            if (!resolved[v] && lower[v] == upper[v]) {
-              result.ecc[v] = lower[v];
-              resolved[v] = true;
-              --unresolved;
-            }
-          }
-        }
-      }
+      // std::uint8_t flag (not bool: vector<bool> partials would share
+      // words across chunks).
+      changed = 0 != parallel_reduce(
+                         std::size_t{0}, n, std::uint8_t{0},
+                         [&](std::size_t lo, std::size_t hi) {
+                           std::uint8_t any = 0;
+                           for (std::size_t v = lo; v < hi; ++v) {
+                             std::uint64_t best = upper[v];
+                             for (const vertex_t u : g.neighbors(v)) {
+                               const std::uint64_t cap =
+                                   upper[u] == kUnreachable ? kUnreachable : upper[u] + 1;
+                               best = std::min(best, cap);
+                             }
+                             upper_next[v] = best;
+                             if (best != upper[v]) any = 1;
+                           }
+                           return any;
+                         },
+                         [](std::uint8_t a, std::uint8_t b) {
+                           return static_cast<std::uint8_t>(a | b);
+                         },
+                         /*grain=*/1024);
+      upper.swap(upper_next);
     }
+    // Resolve everything the fixpoint closed (lower never moves during it).
+    unresolved -= parallel_reduce(
+        std::size_t{0}, n, std::uint64_t{0},
+        [&](std::size_t lo, std::size_t hi) {
+          std::uint64_t newly = 0;
+          for (std::size_t v = lo; v < hi; ++v) {
+            if (resolved[v] || lower[v] != upper[v]) continue;
+            result.ecc[v] = lower[v];
+            resolved[v] = 1;
+            ++newly;
+          }
+          return newly;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; }, /*grain=*/4096);
 
     if (unresolved == 0) break;
     // Choose the next pivot among unresolved vertices, alternating between
     // the largest upper bound (attacks the periphery, raises lower bounds
     // of everything far away) and the smallest lower bound (attacks the
     // center); ties break toward the larger bound gap, then higher degree.
-    vertex_t best = n;  // sentinel
-    for (vertex_t v = 0; v < n; ++v) {
-      if (resolved[v]) continue;
-      if (best == n) {
-        best = v;
-        continue;
-      }
-      const auto key = [&](vertex_t w) {
-        const std::uint64_t primary = pick_max_upper ? upper[w] : ~lower[w];
-        return std::tuple(primary, upper[w] - lower[w], g.degree(w));
-      };
-      if (key(v) > key(best)) best = v;
-    }
-    pivot = best;
+    pivot = first_argmax(
+        n, [&](std::size_t v) { return !resolved[v]; },
+        [&](std::size_t w) {
+          const std::uint64_t primary = pick_max_upper ? upper[w] : ~lower[w];
+          return std::tuple(primary, upper[w] - lower[w], g.degree(w));
+        });
     pick_max_upper = !pick_max_upper;
   }
   return result;
@@ -128,35 +217,49 @@ ApproxEccResult approx_eccentricities(const Csr& g, std::uint64_t num_pivots) {
   result.lower.assign(n, 0);
   result.upper.assign(n, kUnreachable);
   if (n == 0) return result;
+  // Same symmetric-distance requirement as bounded_eccentricities.
+  if (!g.is_symmetric())
+    throw std::invalid_argument(
+        "approx_eccentricities: pivot bounds require an undirected (symmetric) graph; "
+        "use exact_eccentricities");
   num_pivots = std::max<std::uint64_t>(1, std::min<std::uint64_t>(num_pivots, n));
 
   // min distance to any previous pivot, for farthest-point spreading.
   std::vector<std::uint64_t> closest(n, kUnreachable);
-  vertex_t pivot = 0;
-  for (vertex_t v = 1; v < n; ++v)
-    if (g.degree(v) > g.degree(pivot)) pivot = v;
+  vertex_t pivot = first_argmax(
+      n, [](std::size_t) { return true; }, [&g](std::size_t v) { return g.degree(v); });
 
   for (std::uint64_t round = 0; round < num_pivots; ++round) {
     const auto hops = hops_from(g, pivot);
-    std::uint64_t ecc_pivot = 0;
-    for (const std::uint64_t h : hops) {
-      if (h == kUnreachable)
-        throw std::invalid_argument("approx_eccentricities: graph is disconnected");
-      ecc_pivot = std::max(ecc_pivot, h);
-    }
+    const std::uint64_t ecc_pivot = max_hop(hops);
+    if (ecc_pivot == kUnreachable)
+      throw std::invalid_argument("approx_eccentricities: graph is disconnected");
     ++result.bfs_count;
-    for (vertex_t v = 0; v < n; ++v) {
-      const std::uint64_t d = hops[v];
-      result.lower[v] = std::max(
-          result.lower[v], std::max(d, ecc_pivot > d ? ecc_pivot - d : d - ecc_pivot));
-      result.upper[v] = std::min(result.upper[v], ecc_pivot + d);
-      closest[v] = std::min(closest[v], d);
-    }
+    // One fused pass: update the bounds and the pivot-distance array AND
+    // select the next farthest-point pivot, instead of rescanning all n
+    // vertices afterwards.  Chunk partials keep the sequential first-max
+    // tie-break.
+    const vertex_t farthest = parallel_reduce(
+        std::size_t{0}, n, static_cast<vertex_t>(n),
+        [&](std::size_t lo, std::size_t hi) {
+          vertex_t best = n;
+          for (std::size_t v = lo; v < hi; ++v) {
+            const std::uint64_t d = hops[v];
+            result.lower[v] = std::max(
+                result.lower[v], std::max(d, ecc_pivot > d ? ecc_pivot - d : d - ecc_pivot));
+            result.upper[v] = std::min(result.upper[v], ecc_pivot + d);
+            closest[v] = std::min(closest[v], d);
+            if (best == n || closest[v] > closest[best]) best = static_cast<vertex_t>(v);
+          }
+          return best;
+        },
+        [&](vertex_t a, vertex_t b) {
+          if (a == n) return b;
+          if (b == n) return a;
+          return closest[b] > closest[a] ? b : a;
+        },
+        /*grain=*/4096);
     result.lower[pivot] = result.upper[pivot] = ecc_pivot;
-    // Next pivot: the vertex farthest from every pivot so far.
-    vertex_t farthest = 0;
-    for (vertex_t v = 1; v < n; ++v)
-      if (closest[v] > closest[farthest]) farthest = v;
     pivot = farthest;
   }
   result.estimate = result.upper;

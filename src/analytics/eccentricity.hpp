@@ -32,9 +32,10 @@ struct BoundedEccResult {
   std::uint64_t bfs_count = 0;  ///< BFS runs actually performed.
 };
 
-/// Exact eccentricities with the bounding strategy; requires a connected
-/// graph (throws otherwise).  `bfs_count` reports how many BFS sweeps were
-/// needed — the quantity the paper's reference [3] optimises.
+/// Exact eccentricities with the bounding strategy; requires a connected,
+/// undirected graph (throws otherwise — the pivot triangle inequalities
+/// assume symmetric distances).  `bfs_count` reports how many BFS sweeps
+/// were needed — the quantity the paper's reference [3] optimises.
 [[nodiscard]] BoundedEccResult bounded_eccentricities(const Csr& g);
 
 /// Approximate eccentricities from a handful of pivot BFS sweeps — the
@@ -52,9 +53,9 @@ struct ApproxEccResult {
   std::uint64_t bfs_count = 0;
 };
 
-/// Requires a connected graph (throws otherwise).  Pivots: the max-degree
-/// vertex, then repeatedly the vertex farthest from all previous pivots
-/// (2-sweep style spreading); `num_pivots` BFS total.
+/// Requires a connected, undirected graph (throws otherwise).  Pivots: the
+/// max-degree vertex, then repeatedly the vertex farthest from all previous
+/// pivots (2-sweep style spreading); `num_pivots` BFS total.
 [[nodiscard]] ApproxEccResult approx_eccentricities(const Csr& g, std::uint64_t num_pivots);
 
 /// Graph diameter (Def. 10): max eccentricity.

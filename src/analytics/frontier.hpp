@@ -1,0 +1,231 @@
+// Frontier machinery for the hybrid (direction-optimising) BFS.
+//
+// A BFS frontier lives in one of two representations:
+//  * a *queue* — the vertex list of the current level, cheap to expand when
+//    the frontier is a small fraction of the graph (top-down), and
+//  * a *bitmap* — one bit per vertex, cheap to probe when most of the graph
+//    is active and unvisited vertices can scan their own neighborhoods for
+//    any parent in the frontier (bottom-up, Beamer et al.).
+//
+// The engine switches between the two with the classic degree-weighted
+// heuristic: go bottom-up when the frontier's out-degree sum exceeds
+// 1/kAlpha of the edges still incident to unvisited vertices, and return
+// top-down when the frontier shrinks below n/kBeta vertices.  Bottom-up
+// probes neighbor lists as *in*-edges, which is only sound on symmetric
+// graphs; symmetry is established lazily (at the first switch attempt, once
+// per engine) so directed traversals and small/deep graphs never pay for
+// the check and simply stay top-down.
+//
+// Determinism: the level array is the only output, and BFS level numbers
+// are a pure function of the graph — the top-down expansion claims each
+// vertex exactly once (CAS on its level slot) with the same depth no matter
+// which thread wins, and the bottom-up sweep writes bitmap words chunked on
+// 64-vertex boundaries, so no two chunks touch the same word.  Levels are
+// therefore bit-identical for every thread count, matching the sequential
+// reference (DESIGN.md §10).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "analytics/bfs.hpp"
+#include "graph/csr.hpp"
+#include "util/bitset.hpp"
+#include "util/parallel.hpp"
+
+namespace kron {
+
+/// Reusable hybrid BFS over one graph.  Construction is free; the first
+/// traversal that wants to go bottom-up performs (and caches) the symmetry
+/// check, so repeated runs from many sources amortise it.
+class HybridBfs {
+ public:
+  explicit HybridBfs(const Csr& g) : g_(&g) {}
+
+  /// Direction-switch parameters (Beamer's α and β).
+  static constexpr std::uint64_t kAlpha = 14;
+  static constexpr std::uint64_t kBeta = 24;
+
+  /// Below this frontier degree-sum the top-down step skips the parallel
+  /// machinery entirely — small levels are cheaper claimed sequentially.
+  static constexpr std::uint64_t kSequentialDegree = 2048;
+
+  /// Fill `level` with BFS level numbers from `source` (kUnreachable where
+  /// disconnected).  Bit-identical to the sequential frontier walk for
+  /// every thread count.
+  void levels(vertex_t source, std::vector<std::uint64_t>& level) {
+    const Csr& g = *g_;
+    const vertex_t n = g.num_vertices();
+    if (source >= n) throw std::out_of_range("bfs_levels: bad source");
+    level.assign(n, kUnreachable);
+    level[source] = 0;
+
+    std::vector<vertex_t> frontier{source};
+    std::vector<vertex_t> next;
+    std::uint64_t frontier_degree = g.degree(source);
+    // Degree mass still incident to unvisited vertices (the m_u of the
+    // switch heuristic); decremented as vertices are claimed.
+    std::uint64_t unexplored_degree = g.num_arcs() - frontier_degree;
+    Bitset current_bitmap;
+    Bitset next_bitmap;
+    bool bottom_up = false;
+    std::uint64_t depth = 0;
+
+    while (true) {
+      ++depth;
+      if (!bottom_up && frontier_degree * kAlpha > unexplored_degree && symmetric()) {
+        bottom_up = true;
+        current_bitmap = Bitset(n);
+        next_bitmap = Bitset(n);
+        for (const vertex_t u : frontier) current_bitmap.set(u);
+      }
+
+      if (bottom_up) {
+        const auto [newly, newly_degree] = bottom_up_step(level, current_bitmap, next_bitmap, depth);
+        if (newly == 0) break;
+        unexplored_degree -= newly_degree;
+        std::swap(current_bitmap, next_bitmap);
+        next_bitmap.reset();
+        if (newly < n / kBeta) {
+          // Shrink back to a queue for the next level.
+          bottom_up = false;
+          frontier_degree = collect_frontier(level, depth, frontier);
+        }
+      } else {
+        frontier_degree = top_down_step(level, frontier, frontier_degree, next, depth);
+        frontier.swap(next);
+        if (frontier.empty()) break;
+        unexplored_degree -= frontier_degree;
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] bool symmetric() {
+    if (symmetric_ < 0) symmetric_ = g_->is_symmetric() ? 1 : 0;
+    return symmetric_ == 1;
+  }
+
+  /// Expand `frontier` into `next`; returns the degree sum of `next`.
+  /// Claims go through a CAS on the level slot, so every vertex is pushed
+  /// by exactly one chunk; chunk buffers are concatenated in chunk order.
+  std::uint64_t top_down_step(std::vector<std::uint64_t>& level,
+                              const std::vector<vertex_t>& frontier, std::uint64_t frontier_degree,
+                              std::vector<vertex_t>& next, std::uint64_t depth) {
+    const Csr& g = *g_;
+    next.clear();
+    ThreadPool& pool = ThreadPool::instance();
+    const auto threads = static_cast<std::size_t>(pool.num_threads());
+    std::uint64_t degree_sum = 0;
+    if (threads <= 1 || frontier_degree < kSequentialDegree) {
+      for (const vertex_t u : frontier) {
+        for (const vertex_t v : g.neighbors(u)) {
+          if (level[v] == kUnreachable) {
+            level[v] = depth;
+            next.push_back(v);
+            degree_sum += g.degree(v);
+          }
+        }
+      }
+      return degree_sum;
+    }
+
+    std::size_t chunks = threads;
+    if (chunks > frontier.size()) chunks = frontier.size();
+    const std::size_t per_chunk = (frontier.size() + chunks - 1) / chunks;
+    std::vector<std::vector<vertex_t>> buffers(chunks);
+    std::vector<std::uint64_t> degrees(chunks, 0);
+    pool.run_tasks(chunks, [&](std::size_t c) {
+      const std::size_t b = c * per_chunk;
+      const std::size_t e = std::min(b + per_chunk, frontier.size());
+      auto& buffer = buffers[c];
+      std::uint64_t local_degree = 0;
+      for (std::size_t i = b; i < e; ++i) {
+        for (const vertex_t v : g.neighbors(frontier[i])) {
+          std::atomic_ref<std::uint64_t> slot(level[v]);
+          if (slot.load(std::memory_order_relaxed) != kUnreachable) continue;
+          std::uint64_t expected = kUnreachable;
+          if (slot.compare_exchange_strong(expected, depth, std::memory_order_relaxed)) {
+            buffer.push_back(v);
+            local_degree += g.degree(v);
+          }
+        }
+      }
+      degrees[c] = local_degree;
+    });
+    for (std::size_t c = 0; c < chunks; ++c) {
+      next.insert(next.end(), buffers[c].begin(), buffers[c].end());
+      degree_sum += degrees[c];
+    }
+    return degree_sum;
+  }
+
+  /// One bottom-up sweep: every unvisited vertex scans its neighbors for a
+  /// parent in `current`.  Chunked on whole bitmap words, so writes to
+  /// `next` and `level` are chunk-disjoint.  Returns {newly visited, their
+  /// degree sum}.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> bottom_up_step(
+      std::vector<std::uint64_t>& level, const Bitset& current, Bitset& next,
+      std::uint64_t depth) {
+    const Csr& g = *g_;
+    const vertex_t n = g.num_vertices();
+    const std::size_t words = current.num_words();
+    using Partial = std::pair<std::uint64_t, std::uint64_t>;
+    return parallel_reduce(
+        std::size_t{0}, words, Partial{0, 0},
+        [&](std::size_t lo, std::size_t hi) {
+          Partial partial{0, 0};
+          for (std::size_t w = lo; w < hi; ++w) {
+            const vertex_t base = static_cast<vertex_t>(w) * 64;
+            const vertex_t end = std::min<vertex_t>(base + 64, n);
+            std::uint64_t word = next.word(w);
+            for (vertex_t v = base; v < end; ++v) {
+              if (level[v] != kUnreachable) continue;
+              for (const vertex_t u : g.neighbors(v)) {
+                if (current.test(u)) {
+                  level[v] = depth;
+                  word |= 1ULL << (v & 63);
+                  ++partial.first;
+                  partial.second += g.degree(v);
+                  break;
+                }
+              }
+            }
+            next.set_word(w, word);
+          }
+          return partial;
+        },
+        [](Partial a, const Partial& b) {
+          a.first += b.first;
+          a.second += b.second;
+          return a;
+        },
+        /*grain=*/256);
+  }
+
+  /// Rebuild the queue representation from the level array (vertices at
+  /// exactly `depth`), ascending by vertex id; returns its degree sum.
+  std::uint64_t collect_frontier(const std::vector<std::uint64_t>& level, std::uint64_t depth,
+                                 std::vector<vertex_t>& frontier) {
+    const Csr& g = *g_;
+    const vertex_t n = g.num_vertices();
+    frontier.clear();
+    std::uint64_t degree_sum = 0;
+    for (vertex_t v = 0; v < n; ++v) {
+      if (level[v] == depth) {
+        frontier.push_back(v);
+        degree_sum += g.degree(v);
+      }
+    }
+    return degree_sum;
+  }
+
+  const Csr* g_;
+  int symmetric_ = -1;  // lazy tri-state: -1 unknown, 0 directed, 1 symmetric
+};
+
+}  // namespace kron

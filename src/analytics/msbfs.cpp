@@ -1,0 +1,20 @@
+#include "analytics/msbfs.hpp"
+
+namespace kron {
+
+MsBfs::MsBfs(const Csr& g) : g_(&g) {
+  if (g.is_symmetric()) return;  // out-lists double as in-lists
+  // Counting-sort transpose: in-neighbor lists for the pull sweep, sorted
+  // by source id (inherited from CSR row order).
+  const vertex_t n = g.num_vertices();
+  rev_offsets_.assign(n + 1, 0);
+  for (vertex_t u = 0; u < n; ++u)
+    for (const vertex_t v : g.neighbors(u)) ++rev_offsets_[v + 1];
+  for (vertex_t v = 0; v < n; ++v) rev_offsets_[v + 1] += rev_offsets_[v];
+  rev_targets_.resize(g.num_arcs());
+  std::vector<std::uint64_t> cursor(rev_offsets_.begin(), rev_offsets_.end() - 1);
+  for (vertex_t u = 0; u < n; ++u)
+    for (const vertex_t v : g.neighbors(u)) rev_targets_[cursor[v]++] = u;
+}
+
+}  // namespace kron

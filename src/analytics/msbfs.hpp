@@ -1,0 +1,167 @@
+// Bit-parallel multi-source BFS (MS-BFS, Then et al., VLDB'15 flavor).
+//
+// The validation analytics that check Thm. 3-5 / Cor. 3-5 (exact
+// eccentricities, closeness, diameter/radius, all-pairs hops) all run one
+// BFS per vertex.  MS-BFS packs 64 sources into one machine word per
+// vertex: `word[v]` has bit s set when source s of the batch has reached
+// v, so one sweep advances 64 traversals at once and the n-BFS loop
+// becomes n/64 word-parallel sweeps.
+//
+// Word layout: bit s of every per-vertex word belongs to `sources[s]` of
+// the batch (at most 64 sources, all distinct).  Three n-word arrays hold
+// the state — `seen` (all bits ever reached), `cur` (bits that arrived at
+// the previous level, the per-source frontiers), and an accumulator for
+// the next level.  Each level either *pushes* (iterate the frontier list,
+// OR its words into out-neighbors — cheap while frontiers are sparse) or
+// *pulls* (sweep all vertices, OR in-neighbor words — cheap once the
+// frontier's degree mass is a large fraction of the graph).  Pull needs
+// in-edges: on non-symmetric graphs the engine builds the transpose once
+// at construction.
+//
+// Consumers observe levels through a callback: after each level the engine
+// reports the newly-reached vertices and their new-bit words; per-source
+// statistics (max depth, per-depth counts, row writes) are folded from
+// that.  Outputs are bit-identical for every thread count: the engine runs
+// one batch on one thread (callers schedule the n/64 batches across the
+// pool; see DESIGN.md §10), and within a batch the push/pull decision
+// depends only on graph quantities.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/parallel.hpp"
+
+namespace kron {
+
+class MsBfs {
+ public:
+  /// Sources per batch — one bit of a machine word each.
+  static constexpr std::size_t kBatchSize = 64;
+
+  /// Builds the engine; on non-symmetric graphs this materialises the
+  /// transpose (O(n + m)) so pull sweeps can follow in-edges.
+  explicit MsBfs(const Csr& g);
+
+  /// Run one batch of at most 64 distinct sources to exhaustion.
+  /// `on_level(depth, active, words)` is invoked once per level (depth 0 is
+  /// the sources themselves): `active` lists the vertices first reached at
+  /// `depth` and `words[v]` holds the batch bits that arrived at v — valid
+  /// only for v in `active`, and only during the callback.
+  /// Thread-safe: scratch state is per-call, so distinct batches may run
+  /// concurrently on the pool.
+  template <typename OnLevel>
+  void run_batch(std::span<const vertex_t> sources, OnLevel&& on_level) const {
+    if (sources.size() > kBatchSize) throw std::invalid_argument("MsBfs: batch exceeds 64");
+    const Csr& g = *g_;
+    const vertex_t n = g.num_vertices();
+    std::vector<std::uint64_t> seen(n, 0);
+    std::vector<std::uint64_t> cur(n, 0);   // new bits of the current level
+    std::vector<std::uint64_t> next(n, 0);  // accumulator, all-zero between levels
+    std::vector<vertex_t> frontier;
+    std::vector<vertex_t> next_frontier;
+    std::vector<vertex_t> touched;
+
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const vertex_t v = sources[s];
+      if (v >= n) throw std::out_of_range("MsBfs: bad source");
+      if (cur[v] == 0) frontier.push_back(v);
+      const std::uint64_t bit = 1ULL << s;
+      if ((seen[v] & bit) != 0) throw std::invalid_argument("MsBfs: duplicate source");
+      cur[v] |= bit;
+      seen[v] |= bit;
+    }
+    std::uint64_t depth = 0;
+    on_level(depth, std::span<const vertex_t>(frontier), cur.data());
+
+    const std::uint64_t total_arcs = g.num_arcs();
+    while (!frontier.empty()) {
+      ++depth;
+      next_frontier.clear();
+      std::uint64_t frontier_degree = 0;
+      for (const vertex_t u : frontier) frontier_degree += g.degree(u);
+
+      if (frontier_degree * kPullFactor < total_arcs + n) {
+        // Push: expand the (sparse) frontier along out-edges.
+        touched.clear();
+        for (const vertex_t u : frontier) {
+          const std::uint64_t word = cur[u];
+          for (const vertex_t v : g.neighbors(u)) {
+            if (next[v] == 0) touched.push_back(v);
+            next[v] |= word;
+          }
+        }
+        for (const vertex_t v : touched) {
+          const std::uint64_t fresh = next[v] & ~seen[v];
+          if (fresh != 0) {
+            seen[v] |= fresh;
+            next[v] = fresh;
+            next_frontier.push_back(v);
+          } else {
+            next[v] = 0;
+          }
+        }
+      } else {
+        // Pull: sweep every vertex, gathering frontier words over in-edges.
+        for (vertex_t v = 0; v < n; ++v) {
+          std::uint64_t word = 0;
+          for (const vertex_t u : in_neighbors(v)) word |= cur[u];
+          const std::uint64_t fresh = word & ~seen[v];
+          if (fresh != 0) {
+            seen[v] |= fresh;
+            next[v] = fresh;
+            next_frontier.push_back(v);
+          }
+        }
+      }
+
+      for (const vertex_t u : frontier) cur[u] = 0;
+      std::swap(cur, next);  // cur := new bits; next := all-zero again
+      frontier.swap(next_frontier);
+      if (!frontier.empty()) on_level(depth, std::span<const vertex_t>(frontier), cur.data());
+    }
+  }
+
+  [[nodiscard]] bool symmetric() const noexcept { return rev_offsets_.empty(); }
+
+ private:
+  /// Pull switches on when the frontier's degree mass reaches 1/kPullFactor
+  /// of the arc count — past that, one O(n + m) word sweep beats per-edge
+  /// push bookkeeping.
+  static constexpr std::uint64_t kPullFactor = 4;
+
+  [[nodiscard]] std::span<const vertex_t> in_neighbors(vertex_t v) const {
+    if (rev_offsets_.empty()) return g_->neighbors(v);
+    return {rev_targets_.data() + rev_offsets_[v], rev_targets_.data() + rev_offsets_[v + 1]};
+  }
+
+  const Csr* g_;
+  std::vector<std::uint64_t> rev_offsets_;  // empty when the graph is symmetric
+  std::vector<vertex_t> rev_targets_;
+};
+
+/// Schedule the standard full sweep — sources 0..n-1 in ⌈n/64⌉ batches —
+/// across the thread pool.  `consume_batch(base, sources)` runs once per
+/// batch (concurrently; outputs must be written to disjoint, per-source
+/// locations): `base` is the id of the batch's first source and `sources`
+/// the batch's source list (base, base+1, ...).
+template <typename ConsumeBatch>
+void msbfs_all_sources(const Csr& g, ConsumeBatch&& consume_batch) {
+  const vertex_t n = g.num_vertices();
+  const std::size_t batches = (n + MsBfs::kBatchSize - 1) / MsBfs::kBatchSize;
+  if (batches == 0) return;
+  ThreadPool::instance().run_tasks(batches, [&](std::size_t b) {
+    const vertex_t base = static_cast<vertex_t>(b) * MsBfs::kBatchSize;
+    const vertex_t end = std::min<vertex_t>(base + MsBfs::kBatchSize, n);
+    std::vector<vertex_t> sources;
+    sources.reserve(end - base);
+    for (vertex_t v = base; v < end; ++v) sources.push_back(v);
+    consume_batch(base, std::span<const vertex_t>(sources));
+  });
+}
+
+}  // namespace kron

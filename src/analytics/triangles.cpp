@@ -3,20 +3,174 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace kron {
+namespace {
+
+// Vertex chunk boundaries giving roughly equal shares of forward arcs (the
+// enumeration scans forward positions, so arc share tracks work share far
+// better than vertex share on skewed degree sequences).
+std::vector<vertex_t> arc_balanced_boundaries(const ForwardAdjacency& fwd, std::size_t chunks) {
+  const auto n = static_cast<vertex_t>(fwd.offsets.size() - 1);
+  const std::uint64_t total = fwd.offsets[n];
+  std::vector<vertex_t> bounds(chunks + 1, n);
+  bounds[0] = 0;
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::uint64_t share = total / chunks * c;
+    const auto it = std::lower_bound(fwd.offsets.begin(), fwd.offsets.end(), share);
+    auto v = static_cast<vertex_t>(it - fwd.offsets.begin());
+    bounds[c] = std::clamp(v, bounds[c - 1], n);
+  }
+  return bounds;
+}
+
+// Enumerate the triangles whose lowest-ranked corner lies in [lo, hi),
+// reporting corner ids AND the three global forward positions (p_uv, p_uw,
+// p_vw) — direct indices into per-forward-arc accumulators, no lookups.
+template <typename Emit>
+void enumerate_chunk(const ForwardAdjacency& fwd, vertex_t lo, vertex_t hi, const Emit& emit) {
+  for (vertex_t u = lo; u < hi; ++u) {
+    const std::uint64_t u_begin = fwd.offsets[u];
+    const std::uint64_t u_end = fwd.offsets[u + 1];
+    for (std::uint64_t p_uv = u_begin; p_uv < u_end; ++p_uv) {
+      const vertex_t v = fwd.targets[p_uv];
+      std::uint64_t a = u_begin;
+      std::uint64_t b = fwd.offsets[v];
+      const std::uint64_t b_end = fwd.offsets[v + 1];
+      while (a != u_end && b != b_end) {
+        if (fwd.targets[a] < fwd.targets[b]) {
+          ++a;
+        } else if (fwd.targets[b] < fwd.targets[a]) {
+          ++b;
+        } else {
+          emit(u, v, fwd.targets[a], p_uv, a, b);
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+}
+
+// Below this many forward arcs the per-thread n-sized accumulators cost
+// more than they save; run one chunk.
+constexpr std::uint64_t kSequentialArcs = 2048;
+
+std::size_t pick_chunks(const ForwardAdjacency& fwd) {
+  const auto threads = static_cast<std::size_t>(ThreadPool::instance().num_threads());
+  if (threads <= 1 || fwd.targets.size() < kSequentialArcs) return 1;
+  return threads;
+}
+
+}  // namespace
+
+ForwardAdjacency build_forward_adjacency(const Csr& g) {
+  const vertex_t n = g.num_vertices();
+  // Rank vertices by (loop-free degree, id); orient each edge from lower to
+  // higher rank.  Forward lists then have length O(sqrt(m)) max on simple
+  // graphs.
+  std::vector<std::uint64_t> rank(n);
+  {
+    std::vector<vertex_t> order(n);
+    for (vertex_t v = 0; v < n; ++v) order[v] = v;
+    std::sort(order.begin(), order.end(), [&g](vertex_t a, vertex_t b) {
+      const auto da = g.degree_no_loop(a);
+      const auto db = g.degree_no_loop(b);
+      return da != db ? da < db : a < b;
+    });
+    for (std::uint64_t i = 0; i < n; ++i) rank[order[i]] = i;
+  }
+
+  ForwardAdjacency fwd;
+  fwd.offsets.assign(n + 1, 0);
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      std::uint64_t count = 0;
+      for (const vertex_t v : g.neighbors(static_cast<vertex_t>(u)))
+        if (u != v && rank[u] < rank[v]) ++count;
+      fwd.offsets[u + 1] = count;
+    }
+  });
+  for (vertex_t v = 0; v < n; ++v) fwd.offsets[v + 1] += fwd.offsets[v];
+
+  fwd.targets.resize(fwd.offsets[n]);
+  fwd.source_arc.resize(fwd.offsets[n]);
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      std::uint64_t cursor = fwd.offsets[u];
+      const auto row = g.neighbors(static_cast<vertex_t>(u));
+      const std::uint64_t row_base = g.row_offset(static_cast<vertex_t>(u));
+      for (std::size_t k = 0; k < row.size(); ++k) {
+        const vertex_t v = row[k];
+        if (u == v || rank[u] >= rank[v]) continue;
+        fwd.targets[cursor] = v;
+        fwd.source_arc[cursor] = row_base + k;
+        ++cursor;
+      }
+    }
+  });
+  return fwd;
+}
 
 TriangleCounts count_triangles(const Csr& g) {
+  const vertex_t n = g.num_vertices();
   TriangleCounts counts;
-  counts.per_vertex.assign(g.num_vertices(), 0);
+  counts.per_vertex.assign(n, 0);
   counts.per_arc.assign(g.num_arcs(), 0);
-  for_each_triangle(g, [&](vertex_t a, vertex_t b, vertex_t c) {
-    ++counts.total;
-    ++counts.per_vertex[a];
-    ++counts.per_vertex[b];
-    ++counts.per_vertex[c];
-    for (const auto& [u, v] : {std::pair{a, b}, std::pair{a, c}, std::pair{b, c}}) {
-      ++counts.per_arc[g.arc_index(u, v)];
-      ++counts.per_arc[g.arc_index(v, u)];
+
+  const ForwardAdjacency fwd = build_forward_adjacency(g);
+  const std::uint64_t num_forward = fwd.targets.size();
+  const std::size_t chunks = pick_chunks(fwd);
+  const auto bounds = arc_balanced_boundaries(fwd, chunks);
+
+  // Per-thread accumulators — the hot loop touches no shared state, so no
+  // atomics; integer partials summed in chunk-index order afterwards are
+  // order-free anyway.
+  struct Partial {
+    std::vector<std::uint64_t> per_vertex;
+    std::vector<std::uint64_t> per_forward;
+    std::uint64_t total = 0;
+  };
+  std::vector<Partial> partials(chunks);
+  ThreadPool::instance().run_tasks(chunks, [&](std::size_t c) {
+    Partial& p = partials[c];
+    p.per_vertex.assign(n, 0);
+    p.per_forward.assign(num_forward, 0);
+    enumerate_chunk(fwd, bounds[c], bounds[c + 1],
+                    [&](vertex_t u, vertex_t v, vertex_t w, std::uint64_t p_uv,
+                        std::uint64_t p_uw, std::uint64_t p_vw) {
+                      ++p.total;
+                      ++p.per_vertex[u];
+                      ++p.per_vertex[v];
+                      ++p.per_vertex[w];
+                      ++p.per_forward[p_uv];
+                      ++p.per_forward[p_uw];
+                      ++p.per_forward[p_vw];
+                    });
+  });
+
+  for (const Partial& p : partials) counts.total += p.total;
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t v = lo; v < hi; ++v)
+      for (const Partial& p : partials) counts.per_vertex[v] += p.per_vertex[v];
+  });
+  std::vector<std::uint64_t> per_forward(num_forward, 0);
+  parallel_for(0, num_forward, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k)
+      for (const Partial& p : partials) per_forward[k] += p.per_forward[k];
+  });
+
+  // Scatter forward-arc counts onto both Csr arcs of each edge.  Each
+  // undirected edge has exactly one forward position, so every write below
+  // targets a distinct arc slot — safe to run chunked.
+  parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      for (std::uint64_t k = fwd.offsets[u]; k < fwd.offsets[u + 1]; ++k) {
+        const std::uint64_t delta = per_forward[k];
+        counts.per_arc[fwd.source_arc[k]] = delta;
+        counts.per_arc[g.arc_index(fwd.targets[k], static_cast<vertex_t>(u))] = delta;
+      }
     }
   });
   return counts;
@@ -28,8 +182,19 @@ std::uint64_t edge_triangle_count(const Csr& g, const TriangleCounts& counts, ve
 }
 
 std::uint64_t global_triangle_count(const Csr& g) {
+  const ForwardAdjacency fwd = build_forward_adjacency(g);
+  const std::size_t chunks = pick_chunks(fwd);
+  const auto bounds = arc_balanced_boundaries(fwd, chunks);
+  std::vector<std::uint64_t> totals(chunks, 0);
+  ThreadPool::instance().run_tasks(chunks, [&](std::size_t c) {
+    std::uint64_t t = 0;
+    enumerate_chunk(fwd, bounds[c], bounds[c + 1],
+                    [&](vertex_t, vertex_t, vertex_t, std::uint64_t, std::uint64_t,
+                        std::uint64_t) { ++t; });
+    totals[c] = t;
+  });
   std::uint64_t total = 0;
-  for_each_triangle(g, [&total](vertex_t, vertex_t, vertex_t) { ++total; });
+  for (const std::uint64_t t : totals) total += t;
   return total;
 }
 

@@ -9,9 +9,14 @@
 // The enumeration uses the forward/compact algorithm (degree-ordered
 // neighbor intersection, cf. Chiba–Nishizeki and the paper's refs [22],
 // [23]): O(Σ min(d_u, d_v)) over edges, which is O(m^{3/2}) worst case and
-// near-linear on scale-free graphs.  The callback form is what the
-// probabilistic-rejection machinery (core/rejection.hpp) uses to count
-// triangles of all hashed subgraphs in one sweep (Def. 8).
+// near-linear on scale-free graphs.  The shared ForwardAdjacency carries,
+// per oriented edge, its global arc index, so the census kernels assign
+// per-arc counts by position instead of a binary search per triangle edge.
+// The callback form is what the probabilistic-rejection machinery
+// (core/rejection.hpp) uses to count triangles of all hashed subgraphs in
+// one sweep (Def. 8); count_triangles / global_triangle_count partition
+// the same enumeration across the thread pool with per-thread accumulators
+// (DESIGN.md §10).
 #pragma once
 
 #include <algorithm>
@@ -22,56 +27,43 @@
 
 namespace kron {
 
+/// Degree-oriented adjacency: each undirected non-loop edge appears exactly
+/// once, directed from its lower-(degree, id)-ranked endpoint to the higher.
+/// Rows inherit the CSR's sorted-by-id order, so ordered intersection
+/// applies, and `source_arc[k]` maps forward position k back to the global
+/// index of the underlying (u, v) arc in the Csr.
+struct ForwardAdjacency {
+  std::vector<std::uint64_t> offsets;     ///< size n+1
+  std::vector<vertex_t> targets;          ///< higher-ranked neighbors per row
+  std::vector<std::uint64_t> source_arc;  ///< Csr arc index of each forward arc
+};
+
+/// Build the forward orientation of `g` (parallel over rows).
+[[nodiscard]] ForwardAdjacency build_forward_adjacency(const Csr& g);
+
 /// Enumerate each triangle of the undirected graph exactly once, ignoring
 /// self loops.  The callback receives the three corners in increasing
-/// vertex-id order.
+/// vertex-id order.  Sequential — callers that need the census arrays use
+/// count_triangles, which runs the same enumeration chunked over threads.
 template <typename Callback>
 void for_each_triangle(const Csr& g, Callback&& callback) {
+  const ForwardAdjacency fwd = build_forward_adjacency(g);
   const vertex_t n = g.num_vertices();
-  // Rank vertices by (degree, id); orient each edge from lower to higher
-  // rank.  Forward lists then have length O(sqrt(m)) max on simple graphs.
-  std::vector<std::uint64_t> rank(n);
-  {
-    std::vector<vertex_t> order(n);
-    for (vertex_t v = 0; v < n; ++v) order[v] = v;
-    std::sort(order.begin(), order.end(), [&g](vertex_t a, vertex_t b) {
-      const auto da = g.degree_no_loop(a);
-      const auto db = g.degree_no_loop(b);
-      return da != db ? da < db : a < b;
-    });
-    for (std::uint64_t i = 0; i < n; ++i) rank[order[i]] = i;
-  }
-
-  std::vector<std::uint64_t> offsets(n + 1, 0);
-  for (vertex_t u = 0; u < n; ++u)
-    for (const vertex_t v : g.neighbors(u))
-      if (u != v && rank[u] < rank[v]) ++offsets[u + 1];
-  for (vertex_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
-  std::vector<vertex_t> forward(offsets[n]);
-  {
-    std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (vertex_t u = 0; u < n; ++u)
-      for (const vertex_t v : g.neighbors(u))
-        if (u != v && rank[u] < rank[v]) forward[cursor[u]++] = v;
-  }
-  // Forward lists are sorted by vertex id (inherited from CSR row order),
-  // so ordered intersection applies.
   for (vertex_t u = 0; u < n; ++u) {
-    const auto u_begin = forward.begin() + static_cast<std::ptrdiff_t>(offsets[u]);
-    const auto u_end = forward.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]);
-    for (auto it = u_begin; it != u_end; ++it) {
-      const vertex_t v = *it;
-      const auto v_begin = forward.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
-      const auto v_end = forward.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
-      auto a = u_begin;
-      auto b = v_begin;
-      while (a != u_end && b != v_end) {
-        if (*a < *b) {
+    const std::uint64_t u_begin = fwd.offsets[u];
+    const std::uint64_t u_end = fwd.offsets[u + 1];
+    for (std::uint64_t p = u_begin; p < u_end; ++p) {
+      const vertex_t v = fwd.targets[p];
+      std::uint64_t a = u_begin;
+      std::uint64_t b = fwd.offsets[v];
+      const std::uint64_t b_end = fwd.offsets[v + 1];
+      while (a != u_end && b != b_end) {
+        if (fwd.targets[a] < fwd.targets[b]) {
           ++a;
-        } else if (*b < *a) {
+        } else if (fwd.targets[b] < fwd.targets[a]) {
           ++b;
         } else {
-          const vertex_t w = *a;
+          const vertex_t w = fwd.targets[a];
           vertex_t x = u, y = v, z = w;
           if (x > y) std::swap(x, y);
           if (y > z) std::swap(y, z);
@@ -95,6 +87,8 @@ struct TriangleCounts {
 /// Count triangles at every vertex and every arc.  `per_arc[k]` is the
 /// triangle count of the k-th arc in the Csr's storage order; both arcs of
 /// an undirected edge receive the same value, loop arcs receive 0.
+/// Parallel with per-thread accumulators reduced in chunk order —
+/// bit-identical for every thread count.
 [[nodiscard]] TriangleCounts count_triangles(const Csr& g);
 
 /// Δ at one edge given a precomputed census.

@@ -1,13 +1,43 @@
 #include "dist/dist_triangles.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "runtime/comm.hpp"
 #include "runtime/partition.hpp"
+#include "util/parallel.hpp"
 
 namespace kron {
+namespace {
+
+struct Query {
+  vertex_t v;
+  vertex_t w;
+};
+
+// Count the queries whose wedge is closed by an owned forward list —
+// chunked binary searches, integer sum folded in chunk order.
+std::uint64_t answer_queries(std::span<const Query> queries, std::uint64_t me,
+                             std::uint64_t num_ranks,
+                             const std::vector<std::vector<vertex_t>>& forward_of_owned) {
+  return parallel_reduce(
+      std::size_t{0}, queries.size(), std::uint64_t{0},
+      [&](std::size_t lo, std::size_t hi) {
+        std::uint64_t closed = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Query& q = queries[i];
+          const auto& forward = forward_of_owned[(q.v - me) / num_ranks];
+          if (std::binary_search(forward.begin(), forward.end(), q.w)) ++closed;
+        }
+        return closed;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; }, /*grain=*/512);
+}
+
+}  // namespace
 
 DistTriangleResult distributed_triangle_count(const Csr& g, int ranks) {
   if (ranks < 1) throw std::invalid_argument("distributed_triangle_count: ranks < 1");
@@ -34,49 +64,72 @@ DistTriangleResult distributed_triangle_count(const Csr& g, int ranks) {
     const auto me = static_cast<std::uint64_t>(comm.rank());
 
     // Forward adjacency of OWNED vertices only: F(u) = higher-ordered
-    // neighbors, sorted by vertex id for binary-search answering.
-    std::vector<std::vector<vertex_t>> forward_of_owned;
-    std::vector<vertex_t> owned;
-    for (vertex_t u = me; u < n; u += num_ranks) {
-      std::vector<vertex_t> forward;
-      for (const vertex_t v : g.neighbors(u))
-        if (u != v && rank_of[u] < rank_of[v]) forward.push_back(v);
-      owned.push_back(u);
-      forward_of_owned.push_back(std::move(forward));
-    }
+    // neighbors, sorted by vertex id for binary-search answering.  Owned
+    // rows are independent, so the build is chunked over the pool.
+    const std::uint64_t num_owned = me < n ? (n - me + num_ranks - 1) / num_ranks : 0;
+    std::vector<std::vector<vertex_t>> forward_of_owned(num_owned);
+    parallel_for(0, num_owned, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto u = static_cast<vertex_t>(me + i * num_ranks);
+        std::vector<vertex_t>& forward = forward_of_owned[i];
+        for (const vertex_t v : g.neighbors(u))
+          if (u != v && rank_of[u] < rank_of[v]) forward.push_back(v);
+      }
+    }, /*grain=*/64);
 
     // Generate wedge queries: for each owned u and v, w ∈ F(u) with
-    // rank(v) < rank(w), ask owner(v): is w ∈ F(v)?
-    struct Query {
-      vertex_t v;
-      vertex_t w;
+    // rank(v) < rank(w), ask owner(v): is w ∈ F(v)?  Chunks fill private
+    // outboxes concatenated in chunk order — deterministic message bodies.
+    struct Outbox {
+      std::vector<std::vector<Query>> to_rank;
+      std::uint64_t queries = 0;
     };
-    std::vector<std::vector<Query>> outbox(num_ranks);
-    std::uint64_t local_queries = 0;
-    for (const auto& forward : forward_of_owned) {
-      for (std::size_t x = 0; x < forward.size(); ++x) {
-        for (std::size_t y = 0; y < forward.size(); ++y) {
-          const vertex_t v = forward[x];
-          const vertex_t w = forward[y];
-          if (rank_of[v] >= rank_of[w]) continue;
-          outbox[cyclic_owner(v, num_ranks)].push_back({v, w});
-          ++local_queries;
-        }
-      }
-    }
-    auto inbox = comm.alltoallv(std::move(outbox));
+    Outbox all = parallel_reduce(
+        std::size_t{0}, num_owned, Outbox{std::vector<std::vector<Query>>(num_ranks), 0},
+        [&](std::size_t lo, std::size_t hi) {
+          Outbox out{std::vector<std::vector<Query>>(num_ranks), 0};
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto& forward = forward_of_owned[i];
+            for (std::size_t x = 0; x < forward.size(); ++x) {
+              for (std::size_t y = 0; y < forward.size(); ++y) {
+                const vertex_t v = forward[x];
+                const vertex_t w = forward[y];
+                if (rank_of[v] >= rank_of[w]) continue;
+                out.to_rank[cyclic_owner(v, num_ranks)].push_back({v, w});
+                ++out.queries;
+              }
+            }
+          }
+          return out;
+        },
+        [](Outbox acc, Outbox part) {
+          for (std::size_t d = 0; d < acc.to_rank.size(); ++d)
+            acc.to_rank[d].insert(acc.to_rank[d].end(), part.to_rank[d].begin(),
+                                  part.to_rank[d].end());
+          acc.queries += part.queries;
+          return acc;
+        },
+        /*grain=*/64);
 
-    // Answer queries against owned forward lists.
-    std::uint64_t local_triangles = 0;
-    for (const auto& from_rank : inbox) {
-      for (const Query& q : from_rank) {
-        const auto& forward = forward_of_owned[(q.v - me) / num_ranks];
-        if (std::binary_search(forward.begin(), forward.end(), q.w)) ++local_triangles;
-      }
+    // Overlap the exchange with local work: post every remote bucket
+    // asynchronously (one message per peer, empty included, so each rank
+    // expects exactly ranks-1 receives), answer the own-rank bucket while
+    // those are in flight, then drain and answer the incoming queries.
+    for (std::uint64_t d = 0; d < num_ranks; ++d) {
+      if (d == me) continue;
+      comm.send_values<Query>(static_cast<int>(d), /*tag=*/0,
+                              std::span<const Query>(all.to_rank[d]));
+    }
+    std::uint64_t local_triangles =
+        answer_queries(all.to_rank[me], me, num_ranks, forward_of_owned);
+    for (std::uint64_t r = 0; r + 1 < num_ranks; ++r) {
+      const RankMessage message = comm.recv();
+      const std::vector<Query> queries = Comm::decode<Query>(message);
+      local_triangles += answer_queries(queries, me, num_ranks, forward_of_owned);
     }
 
     const std::uint64_t total = comm.allreduce_sum(local_triangles);
-    const std::uint64_t queries = comm.allreduce_sum(local_queries);
+    const std::uint64_t queries = comm.allreduce_sum(all.queries);
     if (comm.rank() == 0) {
       result.total = total;
       result.wedge_queries = queries;

@@ -5,9 +5,12 @@
 // degree-ordered and partitioned across ranks; every rank generates the
 // wedges (u; v, w) closed by its own forward adjacency lists and sends
 // each wedge as an existence query to the owner of v; owners answer from
-// their forward lists; counts are combined with an all-reduce.  One
-// all-to-all round of queries, one of answers (folded into local counting
-// here since answers only feed a global sum).
+// their forward lists; counts are combined with an all-reduce.  Remote
+// query buckets are posted asynchronously and each rank answers its own
+// bucket while they are in flight, overlapping the exchange with local
+// counting; answers fold into the final all-reduce.  Within a rank, the
+// forward-list build, query generation and query answering are chunked
+// over the shared thread pool (DESIGN.md §10).
 #pragma once
 
 #include <cstdint>

@@ -52,6 +52,11 @@ class Csr {
   /// std::invalid_argument if the arc is absent.
   [[nodiscard]] std::uint64_t arc_index(vertex_t u, vertex_t v) const;
 
+  /// First arc index of v's row: `arc_index(v, neighbors(v)[k]) ==
+  /// row_offset(v) + k`.  Lets kernels that walk a row derive arc indices
+  /// without the per-arc binary search.
+  [[nodiscard]] std::uint64_t row_offset(vertex_t v) const { return offsets_[v]; }
+
   [[nodiscard]] bool has_loop(vertex_t v) const { return has_edge(v, v); }
 
   [[nodiscard]] std::uint64_t num_loops() const;

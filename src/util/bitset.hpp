@@ -32,6 +32,13 @@ class Bitset {
 
   void reset() noexcept { std::fill(words_.begin(), words_.end(), 0ULL); }
 
+  /// Word-granular access for kernels that partition work on 64-bit
+  /// boundaries (the bottom-up BFS sweep writes whole words per chunk, so
+  /// concurrent chunks never share a word).
+  [[nodiscard]] std::size_t num_words() const noexcept { return words_.size(); }
+  [[nodiscard]] std::uint64_t word(std::size_t w) const noexcept { return words_[w]; }
+  void set_word(std::size_t w, std::uint64_t value) noexcept { words_[w] = value; }
+
   /// Number of set bits.
   [[nodiscard]] std::size_t popcount() const noexcept {
     std::size_t c = 0;

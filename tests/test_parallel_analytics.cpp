@@ -1,0 +1,226 @@
+// Determinism suite for the parallel validation analytics (DESIGN.md §10):
+// every kernel must produce bit-identical results for every thread count —
+// BFS levels against a plain queue reference, eccentricities, closeness,
+// and the triangle census against their single-thread baselines — on
+// directed, undirected, loopy, disconnected, star and path graphs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analytics/bfs.hpp"
+#include "analytics/closeness.hpp"
+#include "analytics/clustering.hpp"
+#include "analytics/eccentricity.hpp"
+#include "analytics/triangles.hpp"
+#include "gen/classic.hpp"
+#include "gen/erdos.hpp"
+#include "graph/csr.hpp"
+#include "graph/ops.hpp"
+#include "test_factors.hpp"
+#include "util/parallel.hpp"
+
+namespace kron {
+namespace {
+
+struct PoolGuard {
+  ~PoolGuard() { ThreadPool::set_num_threads(0); }
+};
+
+std::vector<int> thread_sweep() {
+  return {1, 2, 7, static_cast<int>(std::thread::hardware_concurrency())};
+}
+
+// Textbook queue BFS — deliberately naive, shares no code with the hybrid
+// engine under test.
+std::vector<std::uint64_t> reference_bfs(const Csr& g, vertex_t source) {
+  std::vector<std::uint64_t> level(g.num_vertices(), kUnreachable);
+  std::queue<vertex_t> queue;
+  level[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const vertex_t u = queue.front();
+    queue.pop();
+    for (const vertex_t v : g.neighbors(u)) {
+      if (level[v] != kUnreachable) continue;
+      level[v] = level[u] + 1;
+      queue.push(v);
+    }
+  }
+  return level;
+}
+
+struct TestGraph {
+  std::string name;
+  Csr g;
+  bool connected;  // bounded/approx eccentricities require connectivity
+};
+
+std::vector<TestGraph> test_graphs() {
+  std::vector<TestGraph> graphs;
+  graphs.push_back({"star7", Csr(make_star(7)), true});
+  graphs.push_back({"path8", Csr(make_path(8)), true});
+  {
+    EdgeList loopy = make_clique(8);
+    loopy.add_full_loops();
+    graphs.push_back({"loopy_clique8", Csr(loopy), true});
+  }
+  graphs.push_back({"disjoint_cliques", Csr(make_disjoint_cliques(3, 4)), false});
+  {
+    // Directed: a one-way ring with a shortcut — exercises the asymmetric
+    // paths (no bottom-up BFS, MSBFS transpose pull, sequential fixpoint).
+    EdgeList ring(9);
+    for (vertex_t v = 0; v < 9; ++v) ring.add(v, (v + 1) % 9);
+    ring.add(2, 7);
+    graphs.push_back({"directed_ring9", Csr(ring), true});
+  }
+  // > 64 vertices, so the multi-source BFS needs several batches.
+  graphs.push_back({"gnm70", Csr(prepare_factor(make_gnm(70, 210, 21), false)), true});
+  return graphs;
+}
+
+template <typename Compute>
+void expect_identical_across_threads(const TestGraph& tg, const Compute& compute) {
+  ThreadPool::set_num_threads(1);
+  const auto baseline = compute();
+  for (const int threads : thread_sweep()) {
+    ThreadPool::set_num_threads(threads);
+    EXPECT_EQ(compute(), baseline) << tg.name << " threads=" << threads;
+  }
+}
+
+TEST(ParallelAnalytics, BfsLevelsMatchQueueReferenceAtEveryThreadCount) {
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs()) {
+    const auto expected = reference_bfs(tg.g, 0);
+    for (const int threads : thread_sweep()) {
+      ThreadPool::set_num_threads(threads);
+      EXPECT_EQ(bfs_levels(tg.g, 0), expected) << tg.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelAnalytics, ExactEccentricitiesBitIdentical) {
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs())
+    expect_identical_across_threads(tg, [&] { return exact_eccentricities(tg.g); });
+}
+
+TEST(ParallelAnalytics, ExactEccentricitiesMatchPerSourceSweeps) {
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs()) {
+    const auto ecc = exact_eccentricities(tg.g);
+    for (vertex_t v = 0; v < tg.g.num_vertices(); ++v) {
+      const auto hops = hops_from(tg.g, v);
+      std::uint64_t expected = 0;
+      for (const std::uint64_t h : hops) expected = std::max(expected, h);
+      EXPECT_EQ(ecc[v], expected) << tg.name << " v=" << v;
+    }
+  }
+}
+
+TEST(ParallelAnalytics, BoundingAlgorithmsRejectDirectedGraphs) {
+  // The pivot triangle inequalities assume symmetric distances; on a
+  // directed graph the bounding algorithms would be silently wrong.
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs()) {
+    if (tg.g.is_symmetric()) continue;
+    EXPECT_THROW((void)bounded_eccentricities(tg.g), std::invalid_argument) << tg.name;
+    EXPECT_THROW((void)approx_eccentricities(tg.g, 4), std::invalid_argument) << tg.name;
+  }
+}
+
+TEST(ParallelAnalytics, BoundedEccentricitiesBitIdentical) {
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs()) {
+    if (!tg.connected || !tg.g.is_symmetric()) continue;
+    expect_identical_across_threads(tg, [&] {
+      const auto result = bounded_eccentricities(tg.g);
+      return std::pair(result.ecc, result.bfs_count);
+    });
+    // And the bounds machinery must agree with the exhaustive sweep.
+    ThreadPool::set_num_threads(1);
+    EXPECT_EQ(bounded_eccentricities(tg.g).ecc, exact_eccentricities(tg.g)) << tg.name;
+  }
+}
+
+TEST(ParallelAnalytics, ApproxEccentricityBoundsBitIdentical) {
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs()) {
+    if (!tg.connected || !tg.g.is_symmetric()) continue;
+    expect_identical_across_threads(tg, [&] {
+      const auto result = approx_eccentricities(tg.g, 4);
+      return std::tuple(result.lower, result.upper, result.estimate, result.bfs_count);
+    });
+  }
+}
+
+TEST(ParallelAnalytics, ClosenessBitIdenticalToPerVertexEvaluator) {
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs()) {
+    for (const int threads : thread_sweep()) {
+      ThreadPool::set_num_threads(threads);
+      const auto scores = all_closeness(tg.g);
+      ASSERT_EQ(scores.size(), tg.g.num_vertices());
+      for (vertex_t v = 0; v < tg.g.num_vertices(); ++v)
+        EXPECT_EQ(scores[v], closeness(tg.g, v)) << tg.name << " v=" << v
+                                                 << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelAnalytics, DiameterAndRadiusStableAcrossThreadCounts) {
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs())
+    expect_identical_across_threads(
+        tg, [&] { return std::pair(diameter(tg.g), radius(tg.g)); });
+}
+
+TEST(ParallelAnalytics, TriangleCensusBitIdentical) {
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs()) {
+    if (!tg.g.is_symmetric()) continue;  // triangle kernels assume undirected
+    expect_identical_across_threads(tg, [&] {
+      const TriangleCounts counts = count_triangles(tg.g);
+      return std::tuple(counts.per_vertex, counts.per_arc, counts.total,
+                        global_triangle_count(tg.g));
+    });
+  }
+}
+
+TEST(ParallelAnalytics, ClusteringBitIdentical) {
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs()) {
+    if (!tg.g.is_symmetric()) continue;
+    expect_identical_across_threads(tg, [&] {
+      const TriangleCounts counts = count_triangles(tg.g);
+      return std::tuple(all_vertex_clustering(tg.g, counts),
+                        all_edge_clustering(tg.g, counts), wedge_count(tg.g),
+                        transitivity(tg.g));
+    });
+  }
+}
+
+TEST(ParallelAnalytics, AllPairsHopsMatchesRowSweeps) {
+  const PoolGuard guard;
+  for (const auto& tg : test_graphs()) {
+    const vertex_t n = tg.g.num_vertices();
+    for (const int threads : thread_sweep()) {
+      ThreadPool::set_num_threads(threads);
+      const auto matrix = all_pairs_hops(tg.g);
+      ASSERT_EQ(matrix.size(), static_cast<std::size_t>(n) * n);
+      for (vertex_t i = 0; i < n; ++i) {
+        const auto row = hops_from(tg.g, i);
+        for (vertex_t j = 0; j < n; ++j)
+          ASSERT_EQ(matrix[static_cast<std::size_t>(i) * n + j], row[j])
+              << tg.name << " i=" << i << " j=" << j << " threads=" << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kron
