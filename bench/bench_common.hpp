@@ -20,10 +20,13 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/trace.hpp"
 
 namespace kron::bench {
 
@@ -111,7 +114,32 @@ inline int run_bench_main(int argc, char** argv, void (*print_artifact)(),
       passthrough.push_back(argv[i]);
     }
   }
-  if (!smoke) print_artifact();
+  if (!smoke) {
+    // Record phase spans and counters across the artifact section only
+    // (the timing section below must run untraced so google-benchmark
+    // numbers stay comparable across builds), then fold the totals into
+    // the JSON report: `phase.<name>.seconds` / `.count` summed over
+    // ranks, plus `counter.<name>` / `gauge.<name>`.
+    trace::clear();
+    trace::enable();
+    print_artifact();
+    trace::enable(false);
+    JsonReport& report = JsonReport::instance();
+    std::map<std::string, std::pair<std::uint64_t, double>> by_phase;
+    for (const trace::PhaseTotal& total : trace::phase_totals()) {
+      auto& [count, seconds] = by_phase[total.name];
+      count += total.count;
+      seconds += total.seconds;
+    }
+    for (const auto& [name, total] : by_phase) {
+      report.add("phase." + name + ".count", total.first);
+      report.add("phase." + name + ".seconds", total.second);
+    }
+    const trace::Snapshot snap = trace::snapshot();
+    for (const trace::CounterValue& c : snap.counters)
+      report.add("counter." + c.name, c.value);
+    for (const trace::CounterValue& g : snap.gauges) report.add("gauge." + g.name, g.value);
+  }
   int pass_argc = static_cast<int>(passthrough.size());
   ::benchmark::Initialize(&pass_argc, passthrough.data());
   if (::benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;

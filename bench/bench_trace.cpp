@@ -1,0 +1,156 @@
+// E-trace — overhead contract of the phase tracing subsystem (DESIGN.md
+// §11).
+//
+// The same loop body is timed under three span regimes:
+//  * runtime-disabled (the default process state): one relaxed atomic load
+//    and a branch — the cost every instrumented hot path pays always;
+//  * enabled: the full record append into the thread buffer;
+//  * compiled off: bench_trace_off.cpp builds with KRON_TRACE_OFF, so its
+//    TRACE_SPAN expands to nothing — the measured loop proves the flag
+//    removes the instrumentation entirely.
+//
+// The artifact then runs a traced distributed generation and prints the
+// per-rank phase table and the Chrome-trace export size, exercising both
+// exporters end-to-end; run_bench_main folds the phase totals and
+// counters into BENCH_trace.json.
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "core/generator.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/ops.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+namespace kron::bench {
+// Defined in bench_trace_off.cpp (the KRON_TRACE_OFF TU).
+double compiled_off_span_ns(std::uint64_t iters);
+}  // namespace kron::bench
+
+namespace kron {
+namespace {
+
+constexpr std::uint64_t kSeed = 20190527;
+// Enabled spans append a ~32-byte record each, so the enabled loop runs
+// fewer iterations than the load-and-branch ones.
+constexpr std::uint64_t kCheapIters = 8'000'000;
+constexpr std::uint64_t kEnabledIters = 1'000'000;
+
+double measure_span_ns(bool on, std::uint64_t iters) {
+  trace::enable(on);
+  trace::clear();
+  std::uint64_t x = 0;
+  const Timer timer;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    TRACE_SPAN("bench.span_cost");
+    benchmark::DoNotOptimize(x += 1);
+  }
+  const double ns = timer.seconds() * 1e9 / static_cast<double>(iters);
+  trace::enable(false);
+  trace::clear();
+  return ns;
+}
+
+double baseline_ns(std::uint64_t iters) {
+  std::uint64_t x = 0;
+  const Timer timer;
+  for (std::uint64_t i = 0; i < iters; ++i) benchmark::DoNotOptimize(x += 1);
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+void print_artifact() {
+  bench::banner("E-trace", "span overhead budget and traced generation");
+
+  // --- span cost per regime (loop body: one DoNotOptimize increment) ---
+  const double base = baseline_ns(kCheapIters);
+  const double off = bench::compiled_off_span_ns(kCheapIters);
+  const double disabled = measure_span_ns(false, kCheapIters);
+  const double enabled = measure_span_ns(true, kEnabledIters);
+  bench::section("span cost per regime (loop baseline subtracted where sane)");
+  Table costs({"regime", "ns/iter", "ns over baseline"});
+  costs.row({"bare loop", Table::num(base, 3), "-"});
+  costs.row({"KRON_TRACE_OFF", Table::num(off, 3), Table::num(off - base, 3)});
+  costs.row({"runtime disabled", Table::num(disabled, 3), Table::num(disabled - base, 3)});
+  costs.row({"enabled", Table::num(enabled, 3), Table::num(enabled - base, 3)});
+  std::cout << costs.str();
+  std::cout << "contract: compiled-off adds nothing; disabled stays around a "
+               "nanosecond (one relaxed load + branch)\n";
+
+  bench::JsonReport& report = bench::JsonReport::instance();
+  report.add("trace.baseline_ns", base);
+  report.add("trace.span_compiled_off_ns", off);
+  report.add("trace.span_disabled_ns", disabled);
+  report.add("trace.span_enabled_ns", enabled);
+
+  // --- traced generation: phase table + Chrome export, end to end ---
+  trace::enable();
+  const EdgeList a = prepare_factor(make_pref_attachment(200, 3, kSeed), false);
+  const EdgeList b = prepare_factor(make_gnm(150, 450, kSeed + 1), false);
+  GeneratorConfig config;
+  config.ranks = 4;
+  config.shuffle_to_owner = true;
+  config.exchange = ExchangeMode::kAsync;
+  const GeneratorResult result = generate_distributed(a, b, config);
+  const EdgeList c = result.gather();
+
+  bench::section("per-rank phase attribution of one traced async generation");
+  std::cout << "C: " << c.num_vertices() << " vertices, " << c.num_arcs() << " arcs on "
+            << config.ranks << " ranks\n";
+  std::cout << trace::phase_table();
+  std::ostringstream chrome;
+  trace::write_chrome_trace(chrome);
+  std::cout << "Chrome trace_event export: " << chrome.str().size()
+            << " bytes (load in chrome://tracing or ui.perfetto.dev)\n";
+  report.add("trace.chrome_export_bytes", static_cast<std::uint64_t>(chrome.str().size()));
+  // Leave recording on: run_bench_main harvests the phase totals and
+  // counters of this generation into the JSON report right after this
+  // function returns.
+}
+
+void BM_SpanDisabled(benchmark::State& state) {
+  trace::enable(false);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    TRACE_SPAN("bench.disabled");
+    benchmark::DoNotOptimize(x += 1);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  trace::enable();
+  trace::clear();
+  std::uint64_t x = 0;
+  std::uint32_t since_clear = 0;
+  for (auto _ : state) {
+    TRACE_SPAN("bench.enabled");
+    benchmark::DoNotOptimize(x += 1);
+    // Cap the record buffer; the pause cost amortises over 64k spans.
+    if (++since_clear == (1U << 16)) {
+      state.PauseTiming();
+      trace::clear();
+      since_clear = 0;
+      state.ResumeTiming();
+    }
+  }
+  trace::enable(false);
+  trace::clear();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CounterAddEnabled(benchmark::State& state) {
+  trace::enable();
+  for (auto _ : state) TRACE_COUNTER_ADD("bench.counter", 1);
+  trace::enable(false);
+  trace::clear();
+}
+BENCHMARK(BM_CounterAddEnabled);
+
+}  // namespace
+}  // namespace kron
+
+KRON_BENCH_MAIN_JSON(kron::print_artifact, "BENCH_trace.json")

@@ -1,0 +1,40 @@
+// Compiled-out half of bench_trace: this TU defines KRON_TRACE_OFF before
+// including trace.hpp, so every TRACE_SPAN below expands to nothing.  The
+// loop here is byte-for-byte the loop bench_trace.cpp times with spans
+// live — the difference IS the instrumentation.
+#ifndef KRON_TRACE_OFF
+#define KRON_TRACE_OFF 1
+#endif
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+namespace kron::bench {
+
+double compiled_off_span_ns(std::uint64_t iters) {
+  std::uint64_t x = 0;
+  const Timer timer;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    TRACE_SPAN("bench.compiled_off");
+    benchmark::DoNotOptimize(x += 1);
+  }
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+namespace {
+
+void BM_SpanCompiledOff(benchmark::State& state) {
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    TRACE_SPAN("bench.compiled_off");
+    benchmark::DoNotOptimize(x += 1);
+  }
+}
+BENCHMARK(BM_SpanCompiledOff);
+
+}  // namespace
+}  // namespace kron::bench

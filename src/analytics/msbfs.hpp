@@ -35,6 +35,7 @@
 
 #include "graph/csr.hpp"
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace kron {
 
@@ -155,6 +156,8 @@ void msbfs_all_sources(const Csr& g, ConsumeBatch&& consume_batch) {
   const std::size_t batches = (n + MsBfs::kBatchSize - 1) / MsBfs::kBatchSize;
   if (batches == 0) return;
   ThreadPool::instance().run_tasks(batches, [&](std::size_t b) {
+    TRACE_SPAN("msbfs.batch");
+    TRACE_COUNTER_ADD("msbfs.batches_run", 1);
     const vertex_t base = static_cast<vertex_t>(b) * MsBfs::kBatchSize;
     const vertex_t end = std::min<vertex_t>(base + MsBfs::kBatchSize, n);
     std::vector<vertex_t> sources;

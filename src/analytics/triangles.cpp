@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace kron {
 namespace {
@@ -25,34 +26,6 @@ std::vector<vertex_t> arc_balanced_boundaries(const ForwardAdjacency& fwd, std::
   return bounds;
 }
 
-// Enumerate the triangles whose lowest-ranked corner lies in [lo, hi),
-// reporting corner ids AND the three global forward positions (p_uv, p_uw,
-// p_vw) — direct indices into per-forward-arc accumulators, no lookups.
-template <typename Emit>
-void enumerate_chunk(const ForwardAdjacency& fwd, vertex_t lo, vertex_t hi, const Emit& emit) {
-  for (vertex_t u = lo; u < hi; ++u) {
-    const std::uint64_t u_begin = fwd.offsets[u];
-    const std::uint64_t u_end = fwd.offsets[u + 1];
-    for (std::uint64_t p_uv = u_begin; p_uv < u_end; ++p_uv) {
-      const vertex_t v = fwd.targets[p_uv];
-      std::uint64_t a = u_begin;
-      std::uint64_t b = fwd.offsets[v];
-      const std::uint64_t b_end = fwd.offsets[v + 1];
-      while (a != u_end && b != b_end) {
-        if (fwd.targets[a] < fwd.targets[b]) {
-          ++a;
-        } else if (fwd.targets[b] < fwd.targets[a]) {
-          ++b;
-        } else {
-          emit(u, v, fwd.targets[a], p_uv, a, b);
-          ++a;
-          ++b;
-        }
-      }
-    }
-  }
-}
-
 // Below this many forward arcs the per-thread n-sized accumulators cost
 // more than they save; run one chunk.
 constexpr std::uint64_t kSequentialArcs = 2048;
@@ -66,6 +39,7 @@ std::size_t pick_chunks(const ForwardAdjacency& fwd) {
 }  // namespace
 
 ForwardAdjacency build_forward_adjacency(const Csr& g) {
+  TRACE_SPAN("triangles.build");
   const vertex_t n = g.num_vertices();
   // Rank vertices by (loop-free degree, id); orient each edge from lower to
   // higher rank.  Forward lists then have length O(sqrt(m)) max on simple
@@ -134,10 +108,11 @@ TriangleCounts count_triangles(const Csr& g) {
   };
   std::vector<Partial> partials(chunks);
   ThreadPool::instance().run_tasks(chunks, [&](std::size_t c) {
+    TRACE_SPAN("triangles.enumerate");
     Partial& p = partials[c];
     p.per_vertex.assign(n, 0);
     p.per_forward.assign(num_forward, 0);
-    enumerate_chunk(fwd, bounds[c], bounds[c + 1],
+    enumerate_forward_triangles(fwd, bounds[c], bounds[c + 1],
                     [&](vertex_t u, vertex_t v, vertex_t w, std::uint64_t p_uv,
                         std::uint64_t p_uw, std::uint64_t p_vw) {
                       ++p.total;
@@ -150,6 +125,7 @@ TriangleCounts count_triangles(const Csr& g) {
                     });
   });
 
+  TRACE_SPAN("triangles.reduce");
   for (const Partial& p : partials) counts.total += p.total;
   parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t v = lo; v < hi; ++v)
@@ -187,8 +163,9 @@ std::uint64_t global_triangle_count(const Csr& g) {
   const auto bounds = arc_balanced_boundaries(fwd, chunks);
   std::vector<std::uint64_t> totals(chunks, 0);
   ThreadPool::instance().run_tasks(chunks, [&](std::size_t c) {
+    TRACE_SPAN("triangles.enumerate");
     std::uint64_t t = 0;
-    enumerate_chunk(fwd, bounds[c], bounds[c + 1],
+    enumerate_forward_triangles(fwd, bounds[c], bounds[c + 1],
                     [&](vertex_t, vertex_t, vertex_t, std::uint64_t, std::uint64_t,
                         std::uint64_t) { ++t; });
     totals[c] = t;

@@ -41,19 +41,19 @@ struct ForwardAdjacency {
 /// Build the forward orientation of `g` (parallel over rows).
 [[nodiscard]] ForwardAdjacency build_forward_adjacency(const Csr& g);
 
-/// Enumerate each triangle of the undirected graph exactly once, ignoring
-/// self loops.  The callback receives the three corners in increasing
-/// vertex-id order.  Sequential — callers that need the census arrays use
-/// count_triangles, which runs the same enumeration chunked over threads.
-template <typename Callback>
-void for_each_triangle(const Csr& g, Callback&& callback) {
-  const ForwardAdjacency fwd = build_forward_adjacency(g);
-  const vertex_t n = g.num_vertices();
-  for (vertex_t u = 0; u < n; ++u) {
+/// Enumerate the triangles whose lowest-ranked corner lies in [lo, hi),
+/// reporting the corner ids AND the three global forward positions
+/// (p_uv, p_uw, p_vw) — direct indices into per-forward-arc accumulators
+/// and `fwd.source_arc`, no lookups.  The chunked census kernels and the
+/// joint rejection census (core/rejection.cpp) share this loop.
+template <typename Emit>
+void enumerate_forward_triangles(const ForwardAdjacency& fwd, vertex_t lo, vertex_t hi,
+                                 const Emit& emit) {
+  for (vertex_t u = lo; u < hi; ++u) {
     const std::uint64_t u_begin = fwd.offsets[u];
     const std::uint64_t u_end = fwd.offsets[u + 1];
-    for (std::uint64_t p = u_begin; p < u_end; ++p) {
-      const vertex_t v = fwd.targets[p];
+    for (std::uint64_t p_uv = u_begin; p_uv < u_end; ++p_uv) {
+      const vertex_t v = fwd.targets[p_uv];
       std::uint64_t a = u_begin;
       std::uint64_t b = fwd.offsets[v];
       const std::uint64_t b_end = fwd.offsets[v + 1];
@@ -63,18 +63,33 @@ void for_each_triangle(const Csr& g, Callback&& callback) {
         } else if (fwd.targets[b] < fwd.targets[a]) {
           ++b;
         } else {
-          const vertex_t w = fwd.targets[a];
-          vertex_t x = u, y = v, z = w;
-          if (x > y) std::swap(x, y);
-          if (y > z) std::swap(y, z);
-          if (x > y) std::swap(x, y);
-          callback(x, y, z);
+          emit(u, v, fwd.targets[a], p_uv, a, b);
           ++a;
           ++b;
         }
       }
     }
   }
+}
+
+/// Enumerate each triangle of the undirected graph exactly once, ignoring
+/// self loops.  The callback receives the three corners in increasing
+/// vertex-id order.  Sequential — callers that need the census arrays use
+/// count_triangles, which runs the same enumeration chunked over threads.
+template <typename Callback>
+void for_each_triangle(const Csr& g, Callback&& callback) {
+  const ForwardAdjacency fwd = build_forward_adjacency(g);
+  const auto n = static_cast<vertex_t>(fwd.offsets.size() - 1);
+  enumerate_forward_triangles(
+      fwd, 0, n,
+      [&callback](vertex_t u, vertex_t v, vertex_t w, std::uint64_t, std::uint64_t,
+                  std::uint64_t) {
+        vertex_t x = u, y = v, z = w;
+        if (x > y) std::swap(x, y);
+        if (y > z) std::swap(y, z);
+        if (x > y) std::swap(x, y);
+        callback(x, y, z);
+      });
 }
 
 /// Full triangle census of a graph.

@@ -6,7 +6,9 @@
 
 #include "runtime/comm.hpp"
 #include "runtime/partition.hpp"
+#include "util/overflow.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace kron {
 namespace {
@@ -40,6 +42,7 @@ template <typename EmitChunk>
 void produce_chunks(const EdgeList& a, const EdgeList& b, vertex_t n_b, const Grid2D& grid,
                     const GeneratorConfig& config, std::uint64_t ranks, std::uint64_t r,
                     std::size_t chunk_size, const EmitChunk& emit_chunk) {
+  TRACE_SPAN("generate.produce");
   std::vector<Edge> chunk;
   chunk.reserve(chunk_size);
   const auto flush = [&] {
@@ -108,6 +111,7 @@ template <typename Produce>
 void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ranks,
                     std::uint64_t expected_stored, const Produce& produce,
                     std::vector<Edge>& stored, std::uint64_t& generated_count) {
+  TRACE_SPAN("exchange.async");
   std::vector<std::vector<Edge>> buffers(ranks);
   for (auto& buffer : buffers) buffer.reserve(config.async_chunk);
   stored.reserve(expected_stored);
@@ -115,10 +119,12 @@ void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ran
   int done_seen = 0;
 
   const auto drain = [&](bool block) {
+    TRACE_SPAN("exchange.drain");
     while (true) {
       std::optional<RankMessage> message =
           block ? std::optional<RankMessage>(comm.recv()) : comm.try_recv();
       if (!message) return;
+      TRACE_COUNTER_ADD("exchange.messages_drained", 1);
       if (message->tag == kTagDone) {
         ++done_seen;
       } else {
@@ -132,6 +138,8 @@ void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ran
   const auto flush = [&](std::uint64_t dest) {
     auto& buffer = buffers[dest];
     if (buffer.empty()) return;
+    TRACE_SPAN("exchange.flush");
+    TRACE_COUNTER_ADD("exchange.chunks_flushed", 1);
     if (dest == static_cast<std::uint64_t>(comm.rank())) {
       stored.insert(stored.end(), buffer.begin(), buffer.end());
     } else {
@@ -142,6 +150,7 @@ void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ran
 
   produce([&](std::span<const Edge> arcs) {
     generated_count += arcs.size();
+    TRACE_COUNTER_ADD("generate.arcs", arcs.size());
     owners_of_chunk(arcs, config, ranks, owners);
     for (std::size_t i = 0; i < arcs.size(); ++i) {
       auto& buffer = buffers[owners[i]];
@@ -170,6 +179,7 @@ std::uint64_t GeneratorResult::total_arcs() const {
 }
 
 EdgeList GeneratorResult::gather() const {
+  TRACE_SPAN("generate.gather");
   std::vector<Edge> all;
   all.reserve(total_arcs());
   for (const auto& arcs : stored_per_rank) all.insert(all.end(), arcs.begin(), arcs.end());
@@ -197,7 +207,17 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
   const auto ranks = static_cast<std::uint64_t>(config.ranks);
 
   GeneratorResult result;
-  result.num_vertices = a.num_vertices() * n_b;
+  // Guard the product-vertex count up front: num_vertices = n_A·n_B must
+  // not wrap, and once it fits every hoisted γ base (ea.u·n_B with
+  // ea.u < n_A) fits too, so the kernels below need no per-arc checks.
+  try {
+    result.num_vertices = checked_mul(a.num_vertices(), n_b);
+  } catch (const std::overflow_error&) {
+    throw std::overflow_error(
+        "generate_distributed: product vertex count " + std::to_string(a.num_vertices()) +
+        " * " + std::to_string(n_b) +
+        " overflows vertex_t (64-bit vertex ids); use smaller factors or a lower power");
+  }
   result.stored_per_rank.resize(ranks);
   result.generated_per_rank.assign(ranks, 0);
   result.rank_seconds.assign(ranks, 0.0);
@@ -209,6 +229,9 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
   const RuntimeOptions runtime_options{config.ranks, config.channel_capacity};
   Runtime::run(runtime_options, [&](Comm& comm) {
     const auto r = static_cast<std::uint64_t>(comm.rank());
+    // Span and timer open together so the exported per-rank span total
+    // tracks rank_seconds (pinned within 5% by the Trace tests).
+    TRACE_SPAN("generate.rank");
     const Timer timer;
 
     // Chunked arc production for this rank under the active scheme.
@@ -222,12 +245,14 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
                      result.stored_per_rank[r], result.generated_per_rank[r]);
     } else if (config.shuffle_to_owner && ranks > 1) {
       // Bulk-synchronous: buffer everything, one all-to-all.
+      TRACE_SPAN("exchange.bulk");
       std::vector<std::vector<Edge>> outbox(ranks);
       for (auto& to_rank : outbox) to_rank.reserve(expected_stored / ranks);
       std::uint64_t generated = 0;
       std::vector<std::uint64_t> owners;
       produce([&](std::span<const Edge> arcs) {
         generated += arcs.size();
+        TRACE_COUNTER_ADD("generate.arcs", arcs.size());
         owners_of_chunk(arcs, config, ranks, owners);
         for (std::size_t i = 0; i < arcs.size(); ++i) outbox[owners[i]].push_back(arcs[i]);
       });
@@ -243,6 +268,7 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
       }
     } else {
       // No shuffle: keep what we generate, via the blocked cell kernel.
+      TRACE_SPAN("generate.local");
       std::vector<Edge> generated;
       if (config.scheme == PartitionScheme::k1D) {
         const IndexRange range = block_range(a.num_arcs(), ranks, r);
@@ -257,6 +283,7 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
         }
       }
       result.generated_per_rank[r] = generated.size();
+      TRACE_COUNTER_ADD("generate.arcs", generated.size());
       result.stored_per_rank[r] = std::move(generated);
     }
     result.rank_seconds[r] = timer.seconds();

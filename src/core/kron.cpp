@@ -4,19 +4,30 @@
 #include <stdexcept>
 
 #include "core/index.hpp"
+#include "util/overflow.hpp"
 
 namespace kron {
 namespace {
 
+// Same trust boundary as generate_distributed: n_A·n_B must fit vertex_t
+// before any γ base (i·n_B, i < n_A) is computed.
 void check_product_bounds(const EdgeList& a, const EdgeList& b) {
   const vertex_t n_a = a.num_vertices();
   const vertex_t n_b = b.num_vertices();
-  if (n_b != 0 && n_a > std::numeric_limits<vertex_t>::max() / n_b)
-    throw std::overflow_error("kronecker_product: vertex count overflow");
+  try {
+    (void)checked_mul(n_a, n_b);
+  } catch (const std::overflow_error&) {
+    throw std::overflow_error("kronecker_product: vertex count " + std::to_string(n_a) +
+                              " * " + std::to_string(n_b) + " overflows vertex_t");
+  }
   const std::uint64_t arcs_a = a.num_arcs();
   const std::uint64_t arcs_b = b.num_arcs();
-  if (arcs_b != 0 && arcs_a > std::numeric_limits<std::uint64_t>::max() / arcs_b)
-    throw std::overflow_error("kronecker_product: arc count overflow");
+  try {
+    (void)checked_mul(arcs_a, arcs_b);
+  } catch (const std::overflow_error&) {
+    throw std::overflow_error("kronecker_product: arc count " + std::to_string(arcs_a) +
+                              " * " + std::to_string(arcs_b) + " overflows 64 bits");
+  }
 }
 
 std::uint64_t count_loops(const EdgeList& g) { return g.num_loops(); }

@@ -26,19 +26,46 @@ JointTriangleCensus joint_triangle_census(const Csr& c, std::vector<double> nus,
   census.totals.assign(nus.size(), 0);
   census.per_vertex.assign(nus.size(),
                            std::vector<std::uint64_t>(c.num_vertices(), 0));
-  for_each_triangle(c, [&](vertex_t a, vertex_t b, vertex_t w) {
-    const double h = std::max({edge_unit_hash(a, b, seed), edge_unit_hash(a, w, seed),
-                               edge_unit_hash(b, w, seed)});
-    // Triangle survives for every ν >= h.
-    const auto first = std::lower_bound(nus.begin(), nus.end(), h);
-    for (auto it = first; it != nus.end(); ++it) {
-      const auto idx = static_cast<std::size_t>(it - nus.begin());
-      ++census.totals[idx];
-      ++census.per_vertex[idx][a];
-      ++census.per_vertex[idx][b];
-      ++census.per_vertex[idx][w];
+  census.per_arc.assign(nus.size(), std::vector<std::uint64_t>(c.num_arcs(), 0));
+
+  // One forward enumeration of G_C counts triangles of every ν-subgraph.
+  // The emitted forward positions index per-forward accumulators directly;
+  // they scatter onto both Csr arc directions afterwards, exactly like
+  // count_triangles (analytics/triangles.cpp).
+  const ForwardAdjacency fwd = build_forward_adjacency(c);
+  const std::uint64_t num_forward = fwd.targets.size();
+  std::vector<std::vector<std::uint64_t>> per_forward(
+      nus.size(), std::vector<std::uint64_t>(num_forward, 0));
+  const auto n = static_cast<vertex_t>(fwd.offsets.size() - 1);
+  enumerate_forward_triangles(
+      fwd, 0, n,
+      [&](vertex_t u, vertex_t v, vertex_t w, std::uint64_t p_uv, std::uint64_t p_uw,
+          std::uint64_t p_vw) {
+        const double h = std::max({edge_unit_hash(u, v, seed), edge_unit_hash(u, w, seed),
+                                   edge_unit_hash(v, w, seed)});
+        // Triangle survives for every ν >= h.
+        const auto first = std::lower_bound(census.nus.begin(), census.nus.end(), h);
+        for (auto it = first; it != census.nus.end(); ++it) {
+          const auto idx = static_cast<std::size_t>(it - census.nus.begin());
+          ++census.totals[idx];
+          ++census.per_vertex[idx][u];
+          ++census.per_vertex[idx][v];
+          ++census.per_vertex[idx][w];
+          ++per_forward[idx][p_uv];
+          ++per_forward[idx][p_uw];
+          ++per_forward[idx][p_vw];
+        }
+      });
+
+  for (std::size_t idx = 0; idx < census.nus.size(); ++idx) {
+    for (vertex_t u = 0; u < n; ++u) {
+      for (std::uint64_t k = fwd.offsets[u]; k < fwd.offsets[u + 1]; ++k) {
+        const std::uint64_t delta = per_forward[idx][k];
+        census.per_arc[idx][fwd.source_arc[k]] = delta;
+        census.per_arc[idx][c.arc_index(fwd.targets[k], u)] = delta;
+      }
     }
-  });
+  }
   return census;
 }
 

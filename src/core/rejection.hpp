@@ -35,6 +35,13 @@ struct JointTriangleCensus {
   std::vector<double> nus;
   std::vector<std::uint64_t> totals;                   ///< τ per ν
   std::vector<std::vector<std::uint64_t>> per_vertex;  ///< [ν index][vertex]
+  /// [ν index][Csr arc index]: triangles of G_{C,ν} at each arc of G_C.
+  /// Both arcs of an undirected edge carry the same count, loops carry 0.
+  /// This is the Δ_pq census the E[Δ_pq] = ν²Δ_pq expectation (Def. 8) is
+  /// conditioned on — a triangle contributes at (p,q) only if the edge
+  /// (p,q) itself survives, which holds automatically since the triangle's
+  /// max edge hash is <= ν.
+  std::vector<std::vector<std::uint64_t>> per_arc;
 };
 
 [[nodiscard]] JointTriangleCensus joint_triangle_census(const Csr& c,

@@ -10,17 +10,34 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "core/index.hpp"
 #include "graph/edge_list.hpp"
 #include "runtime/partition.hpp"
+#include "util/overflow.hpp"
 
 namespace kron {
+
+/// γ(i,k) = i·n_B + k silently wraps when n_A·n_B exceeds vertex_t; every
+/// streaming visitor guards the product up front (once it fits, every base
+/// i·n_B with i < n_A fits too).
+inline void check_stream_bounds(const EdgeList& a, const EdgeList& b) {
+  try {
+    (void)checked_mul(a.num_vertices(), b.num_vertices());
+  } catch (const std::overflow_error&) {
+    throw std::overflow_error("for_each_product_arc: product vertex count " +
+                              std::to_string(a.num_vertices()) + " * " +
+                              std::to_string(b.num_vertices()) + " overflows vertex_t");
+  }
+}
 
 /// Invoke fn(Edge) for every arc of A ⊗ B, in A-major order.
 /// O(|E_A||E_B|) time, O(1) extra space.
 template <typename Fn>
 void for_each_product_arc(const EdgeList& a, const EdgeList& b, Fn&& fn) {
+  check_stream_bounds(a, b);
   const vertex_t n_b = b.num_vertices();
   for (const Edge& ea : a.edges())
     for (const Edge& eb : b.edges())
@@ -33,6 +50,7 @@ void for_each_product_arc(const EdgeList& a, const EdgeList& b, Fn&& fn) {
 template <typename Fn>
 void for_each_product_arc_1d(const EdgeList& a, const EdgeList& b, std::uint64_t ranks,
                              std::uint64_t rank, Fn&& fn) {
+  check_stream_bounds(a, b);
   const IndexRange range = block_range(a.num_arcs(), ranks, rank);
   const vertex_t n_b = b.num_vertices();
   const auto arcs = a.edges().subspan(range.begin, range.size());
@@ -45,6 +63,7 @@ void for_each_product_arc_1d(const EdgeList& a, const EdgeList& b, std::uint64_t
 template <typename Fn>
 void for_each_product_arc_2d(const EdgeList& a, const EdgeList& b, std::uint64_t ranks,
                              std::uint64_t rank, Fn&& fn) {
+  check_stream_bounds(a, b);
   const Grid2D grid(ranks);
   const vertex_t n_b = b.num_vertices();
   for (const auto& [a_part, b_part] : grid.cells_of(rank)) {

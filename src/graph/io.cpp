@@ -1,14 +1,53 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <filesystem>
 #include <fstream>
 #include <cstring>
-#include <sstream>
+#include <limits>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 #include <vector>
 
+#include "util/overflow.hpp"
+#include "util/trace.hpp"
+
 namespace kron {
+
+namespace {
+
+[[noreturn]] void malformed_line(std::size_t line_no, const std::string& line,
+                                 const std::string& why) {
+  throw std::runtime_error("read_edge_list: malformed line " + std::to_string(line_no) +
+                           " (" + why + "): '" + line + "'");
+}
+
+const char* skip_blank(const char* p, const char* end) {
+  while (p != end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+/// Parse one vertex id.  `istream >> uint64_t` would accept "-1" by
+/// modular wrap (yielding vertex 2^64-1); std::from_chars on an unsigned
+/// type rejects any sign, and the leading '-' check turns that into a
+/// specific diagnostic.
+std::uint64_t parse_vertex(const char*& p, const char* end, std::size_t line_no,
+                           const std::string& line) {
+  if (p != end && *p == '-')
+    malformed_line(line_no, line, "negative vertex id");
+  std::uint64_t value = 0;
+  const auto [next, ec] = std::from_chars(p, end, value);
+  if (ec == std::errc::result_out_of_range)
+    malformed_line(line_no, line, "vertex id exceeds 64 bits");
+  if (ec != std::errc() || next == p)
+    malformed_line(line_no, line, "expected a vertex id");
+  p = next;
+  return value;
+}
+
+}  // namespace
 
 EdgeList read_edge_list(std::istream& in, vertex_t min_vertices) {
   std::vector<Edge> edges;
@@ -18,13 +57,20 @@ EdgeList read_edge_list(std::istream& in, vertex_t min_vertices) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream fields(line);
-    std::uint64_t u = 0;
-    std::uint64_t v = 0;
-    if (!(fields >> u >> v)) {
-      throw std::runtime_error("read_edge_list: malformed line " + std::to_string(line_no) +
-                               ": '" + line + "'");
-    }
+    const char* p = line.data();
+    const char* const end = line.data() + line.size();
+    p = skip_blank(p, end);
+    if (p == end) continue;  // whitespace-only line
+    const std::uint64_t u = parse_vertex(p, end, line_no, line);
+    const char* after_u = skip_blank(p, end);
+    if (after_u == p) malformed_line(line_no, line, "expected whitespace after first id");
+    p = after_u;
+    const std::uint64_t v = parse_vertex(p, end, line_no, line);
+    p = skip_blank(p, end);
+    if (p != end) malformed_line(line_no, line, "trailing garbage after second id");
+    // Id 2^64-1 would need num_vertices = 2^64, which vertex_t cannot hold.
+    if (u == std::numeric_limits<vertex_t>::max() || v == std::numeric_limits<vertex_t>::max())
+      malformed_line(line_no, line, "vertex id too large for vertex_t");
     edges.push_back({u, v});
     n = std::max({n, u + 1, v + 1});
   }
@@ -69,6 +115,12 @@ void write_edge_list_binary(const std::filesystem::path& path, const EdgeList& e
 }
 
 EdgeList read_edge_list_binary(const std::filesystem::path& path) {
+  TRACE_SPAN("io.read_binary");
+  std::error_code size_error;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, size_error);
+  if (size_error)
+    throw std::runtime_error("read_edge_list_binary: cannot stat " + path.string() + ": " +
+                             size_error.message());
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("read_edge_list_binary: cannot open " + path.string());
   char magic[sizeof(kBinaryMagic)] = {};
@@ -80,10 +132,29 @@ EdgeList read_edge_list_binary(const std::filesystem::path& path) {
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&arcs), sizeof(arcs));
   if (!in) throw std::runtime_error("read_edge_list_binary: truncated header");
+  // The arc count is untrusted: `arcs * sizeof(Edge)` must not wrap (a
+  // wrapped length would make the read below "succeed" short), and the
+  // payload it implies must fit in the bytes actually present — checked
+  // BEFORE the vector below sizes an allocation from it.
+  constexpr std::uint64_t kHeaderBytes =
+      sizeof(kBinaryMagic) + sizeof(std::uint64_t) + sizeof(std::uint64_t);
+  std::uint64_t payload_bytes = 0;
+  try {
+    payload_bytes = checked_mul(arcs, sizeof(Edge));
+  } catch (const std::overflow_error&) {
+    throw std::runtime_error("read_edge_list_binary: corrupt header in " + path.string() +
+                             ": arc count " + std::to_string(arcs) +
+                             " overflows the payload size");
+  }
+  if (file_size < kHeaderBytes || payload_bytes > file_size - kHeaderBytes)
+    throw std::runtime_error("read_edge_list_binary: corrupt header in " + path.string() +
+                             ": " + std::to_string(arcs) + " arcs (" +
+                             std::to_string(payload_bytes) + " bytes) exceed the " +
+                             std::to_string(file_size) + "-byte file");
   std::vector<Edge> list(arcs);
   in.read(reinterpret_cast<char*>(list.data()),
-          static_cast<std::streamsize>(arcs * sizeof(Edge)));
-  if (!in || in.gcount() != static_cast<std::streamsize>(arcs * sizeof(Edge)))
+          static_cast<std::streamsize>(payload_bytes));
+  if (!in || in.gcount() != static_cast<std::streamsize>(payload_bytes))
     throw std::runtime_error("read_edge_list_binary: truncated payload");
   if (in.peek() != std::ifstream::traits_type::eof())
     throw std::runtime_error("read_edge_list_binary: trailing bytes");

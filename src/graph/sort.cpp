@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "util/parallel.hpp"
+#include "util/trace.hpp"
 
 namespace kron {
 namespace {
@@ -97,6 +98,7 @@ void lsd_radix_passes(std::vector<T>& data, unsigned num_digits, std::size_t buc
         break;
       }
     if (trivial) continue;
+    TRACE_SPAN("sort.radix_pass");
 
     std::uint64_t running = 0;
     for (std::size_t b = 0; b < buckets; ++b) {
@@ -150,6 +152,7 @@ void lsd_radix_passes(std::vector<T>& data, unsigned num_digits, std::size_t buc
 template <typename T, typename DigitOf>
 std::vector<std::uint64_t> histogram_all(const std::vector<T>& data, unsigned num_digits,
                                          std::size_t buckets, const DigitOf& digit_of) {
+  TRACE_SPAN("sort.histogram");
   const std::size_t n = data.size();
   std::vector<std::uint64_t> totals(num_digits * buckets, 0);
   const Chunking ck = plan_chunks(n);
@@ -183,6 +186,7 @@ void sort_packed(std::vector<Edge>& edges, unsigned bits_u, unsigned bits_v, boo
   std::vector<std::uint64_t> keys(n);
   std::vector<std::uint64_t> totals(plan.passes * buckets, 0);
   {
+    TRACE_SPAN("sort.pack");
     const Chunking ck = plan_chunks(n);
     std::vector<std::uint64_t> part(ck.chunks * totals.size(), 0);
     ThreadPool::instance().run_tasks(ck.chunks, [&](std::size_t c) {
@@ -212,6 +216,7 @@ void sort_packed(std::vector<Edge>& edges, unsigned bits_u, unsigned bits_v, boo
     edges.resize(keys.size());
   }
 
+  TRACE_SPAN("sort.unpack");
   const std::uint64_t mask = shift == 0 ? 0 : (std::uint64_t{1} << shift) - 1;
   parallel_for(0, keys.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i)
@@ -221,6 +226,7 @@ void sort_packed(std::vector<Edge>& edges, unsigned bits_u, unsigned bits_v, boo
 
 /// Shared driver for sort_edges / sort_dedupe_edges.
 void canonicalise(std::vector<Edge>& edges, bool dedupe) {
+  TRACE_SPAN("sort.canonicalise");
   if (edges.size() < kRadixSortThreshold) {
     std::sort(edges.begin(), edges.end());
     if (dedupe) edges.erase(std::unique(edges.begin(), edges.end()), edges.end());

@@ -10,6 +10,7 @@
 #include <typeinfo>
 
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace kron {
 namespace detail {
@@ -73,6 +74,7 @@ void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
   auto& volume = stats_.sent[tag];
   ++volume.messages;
   volume.bytes += payload.size();
+  TRACE_COUNTER_ADD("comm.p2p_bytes", payload.size());
 
   RankMessage message{rank_, tag, std::move(payload)};
   Channel<RankMessage>& box = *shared_->mailboxes[static_cast<std::size_t>(dest)];
@@ -187,8 +189,12 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
     std::vector<std::vector<std::byte>> outbox) {
   if (outbox.size() != static_cast<std::size_t>(size_))
     throw std::invalid_argument("Comm::alltoallv: outbox must have one bucket per rank");
+  TRACE_SPAN("comm.alltoallv");
   ++stats_.collectives;
-  for (const auto& bucket : outbox) stats_.collective_bytes_out += bucket.size();
+  std::uint64_t outgoing = 0;
+  for (const auto& bucket : outbox) outgoing += bucket.size();
+  stats_.collective_bytes_out += outgoing;
+  TRACE_COUNTER_ADD("comm.collective_bytes", outgoing);
   shared_->a2a[static_cast<std::size_t>(rank_)] = std::move(outbox);
   timed_barrier();
   std::vector<std::vector<std::byte>> inbox(static_cast<std::size_t>(size_));
@@ -258,12 +264,17 @@ void Runtime::run(const RuntimeOptions& options, const std::function<void(Comm&)
   for (int r = 0; r < ranks; ++r) {
     threads.emplace_back([r, ranks, &body, shared, &errors] {
       Comm comm(r, ranks, shared);
+      // Label this thread's trace spans with its rank for the body's
+      // lifetime, so phase attribution is per rank, not per OS thread.
+      trace::set_rank(r);
       try {
+        TRACE_SPAN("runtime.rank");
         body(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         shared->abort_all();
       }
+      trace::set_rank(-1);
     });
   }
   for (auto& t : threads) t.join();

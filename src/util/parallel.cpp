@@ -9,6 +9,8 @@
 #include <string>
 #include <thread>
 
+#include "util/trace.hpp"
+
 namespace kron {
 namespace {
 
@@ -54,6 +56,8 @@ struct Batch {
       if (i >= total) break;
       std::exception_ptr caught;
       try {
+        TRACE_SPAN("pool.task");
+        TRACE_COUNTER_ADD("pool.tasks_run", 1);
         task(i);
       } catch (...) {
         caught = std::current_exception();
@@ -148,7 +152,11 @@ void ThreadPool::run_tasks(std::size_t num_tasks,
   // pool task (running inline keeps the worker set bounded and cannot
   // deadlock on queue capacity).
   if (num_tasks == 1 || impl_->workers.empty() || tls_in_pool_task) {
-    for (std::size_t i = 0; i < num_tasks; ++i) task(i);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      TRACE_SPAN("pool.task");
+      TRACE_COUNTER_ADD("pool.tasks_run", 1);
+      task(i);
+    }
     return;
   }
 

@@ -1,0 +1,260 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace kron::trace {
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  // One fixed epoch per process so timestamps from every thread share an
+  // origin (Chrome trace lanes line up).
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - epoch)
+                                        .count());
+}
+
+// Per-thread recording state.  Owned by the registry (so buffers survive
+// thread exit — rank threads die with each Runtime::run); the thread_local
+// below is only a cached pointer.
+struct ThreadState {
+  std::uint64_t tid = 0;
+  // Guards spans/rank against snapshot()/clear() walking the registry;
+  // uncontended on the recording fast path.
+  std::mutex mutex;
+  std::vector<SpanRecord> spans;
+  int rank = -1;
+  std::uint32_t depth = 0;  ///< open spans; only the owning thread touches it
+};
+
+struct Registry {
+  std::mutex mutex;  // guards threads/counters/gauges structure
+  std::deque<std::unique_ptr<ThreadState>> threads;
+  // std::map: stable iteration order for exports, pointers stable forever.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry;  // leaked: threads may record at exit
+  return *instance;
+}
+
+ThreadState& thread_state() {
+  thread_local ThreadState* state = [] {
+    Registry& reg = registry();
+    const std::scoped_lock lock(reg.mutex);
+    reg.threads.push_back(std::make_unique<ThreadState>());
+    reg.threads.back()->tid = reg.threads.size() - 1;
+    return reg.threads.back().get();
+  }();
+  return *state;
+}
+
+}  // namespace
+
+std::uint64_t span_begin() noexcept {
+  ++thread_state().depth;
+  return now_ns();
+}
+
+void span_end(const char* name, std::uint64_t start_ns) noexcept {
+  const std::uint64_t end_ns = now_ns();
+  ThreadState& state = thread_state();
+  const std::scoped_lock lock(state.mutex);
+  const std::uint32_t depth = state.depth > 0 ? --state.depth : 0;
+  state.spans.push_back({name, start_ns, end_ns - start_ns, depth, state.rank});
+}
+
+}  // namespace detail
+
+void enable(bool on) noexcept { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+void clear() {
+  auto& reg = detail::registry();
+  const std::scoped_lock lock(reg.mutex);
+  for (auto& thread : reg.threads) {
+    const std::scoped_lock state_lock(thread->mutex);
+    thread->spans.clear();
+  }
+  for (auto& [name, counter] : reg.counters) counter->reset();
+  for (auto& [name, gauge] : reg.gauges) gauge->reset();
+}
+
+void set_rank(int rank) {
+  detail::ThreadState& state = detail::thread_state();
+  const std::scoped_lock lock(state.mutex);
+  state.rank = rank;
+}
+
+Counter& counter(const char* name) {
+  auto& reg = detail::registry();
+  const std::scoped_lock lock(reg.mutex);
+  auto& slot = reg.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& gauge(const char* name) {
+  auto& reg = detail::registry();
+  const std::scoped_lock lock(reg.mutex);
+  auto& slot = reg.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Snapshot snapshot() {
+  auto& reg = detail::registry();
+  const std::scoped_lock lock(reg.mutex);
+  Snapshot snap;
+  snap.threads.reserve(reg.threads.size());
+  for (auto& thread : reg.threads) {
+    const std::scoped_lock state_lock(thread->mutex);
+    if (thread->spans.empty()) continue;
+    snap.threads.push_back({thread->tid, thread->spans});
+  }
+  for (const auto& [name, counter] : reg.counters)
+    snap.counters.push_back({name, counter->value()});
+  for (const auto& [name, gauge] : reg.gauges) snap.gauges.push_back({name, gauge->value()});
+  return snap;
+}
+
+std::vector<PhaseTotal> phase_totals(const Snapshot& snap) {
+  std::map<std::pair<std::string, int>, PhaseTotal> totals;
+  for (const ThreadSpans& thread : snap.threads) {
+    for (const SpanRecord& span : thread.spans) {
+      PhaseTotal& total = totals[{span.name, span.rank}];
+      if (total.count == 0) {
+        total.name = span.name;
+        total.rank = span.rank;
+      }
+      ++total.count;
+      total.seconds += static_cast<double>(span.dur_ns) * 1e-9;
+    }
+  }
+  std::vector<PhaseTotal> out;
+  out.reserve(totals.size());
+  for (auto& [key, total] : totals) out.push_back(std::move(total));
+  return out;
+}
+
+std::vector<PhaseTotal> phase_totals() { return phase_totals(snapshot()); }
+
+std::string phase_table() {
+  const Snapshot snap = snapshot();
+  const std::vector<PhaseTotal> totals = phase_totals(snap);
+  std::string out;
+  Table spans({"phase", "rank", "count", "total s"});
+  for (const PhaseTotal& total : totals)
+    spans.row({total.name, total.rank < 0 ? std::string("-") : std::to_string(total.rank),
+               std::to_string(total.count), Table::num(total.seconds, 6)});
+  out += "per-rank phase totals:\n";
+  out += spans.str();
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    Table metrics({"metric", "kind", "value"});
+    for (const CounterValue& entry : snap.counters)
+      metrics.row({entry.name, "counter", std::to_string(entry.value)});
+    for (const CounterValue& entry : snap.gauges)
+      metrics.row({entry.name, "gauge", std::to_string(entry.value)});
+    out += "metrics:\n";
+    out += metrics.str();
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const char* raw) {
+  for (const char* p = raw; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');  // control characters never appear in span names
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+std::string microseconds(std::uint64_t ns) {
+  // ts/dur are microseconds; print as fixed-point us.nnn to stay exact.
+  std::string out = std::to_string(ns / 1000);
+  const std::uint64_t frac = ns % 1000;
+  out.push_back('.');
+  out.push_back(static_cast<char>('0' + frac / 100));
+  out.push_back(static_cast<char>('0' + frac / 10 % 10));
+  out.push_back(static_cast<char>('0' + frac % 10));
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out) {
+  const Snapshot snap = snapshot();
+  std::string json = "{\"traceEvents\":[";
+  bool first = true;
+  // Lane id: ranked threads share the rank lane (successive Runtime::run
+  // invocations aggregate); unlabelled threads get a synthetic high lane.
+  constexpr std::uint64_t kUnrankedBase = 1000;
+  for (const ThreadSpans& thread : snap.threads) {
+    for (const SpanRecord& span : thread.spans) {
+      const std::uint64_t lane = span.rank >= 0 ? static_cast<std::uint64_t>(span.rank)
+                                                : kUnrankedBase + thread.tid;
+      if (!first) json += ',';
+      first = false;
+      json += "\n{\"name\":\"";
+      append_json_escaped(json, span.name);
+      json += "\",\"cat\":\"kron\",\"ph\":\"X\",\"ts\":";
+      json += microseconds(span.start_ns);
+      json += ",\"dur\":";
+      json += microseconds(span.dur_ns);
+      json += ",\"pid\":0,\"tid\":";
+      json += std::to_string(lane);
+      json += '}';
+    }
+  }
+  json += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  bool first_metric = true;
+  for (const CounterValue& entry : snap.counters) {
+    if (!first_metric) json += ',';
+    first_metric = false;
+    json += "\"";
+    append_json_escaped(json, entry.name.c_str());
+    json += "\":" + std::to_string(entry.value);
+  }
+  for (const CounterValue& entry : snap.gauges) {
+    if (!first_metric) json += ',';
+    first_metric = false;
+    json += "\"";
+    append_json_escaped(json, entry.name.c_str());
+    json += "\":" + std::to_string(entry.value);
+  }
+  json += "}}\n";
+  out << json;
+}
+
+void write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_chrome_trace_file: cannot open " + path);
+  write_chrome_trace(out);
+  if (!out) throw std::runtime_error("write_chrome_trace_file: write failed for " + path);
+}
+
+}  // namespace kron::trace

@@ -1,0 +1,228 @@
+// Phase-scoped tracing and metrics.
+//
+// The paper's Sec. V scaling narrative attributes cost *per phase per
+// rank* (generate → shuffle → sort → analytics); this subsystem makes the
+// same attribution observable in every run.  Three pieces:
+//
+//  * RAII spans — `TRACE_SPAN("generate.rank")` records wall time, the
+//    recording thread (and its rank, when Runtime::run labelled it), and
+//    the nesting depth, into a per-thread buffer.  Span names must be
+//    string literals (the record stores the pointer, never a copy).
+//  * A process-global counter/gauge registry — `TRACE_COUNTER_ADD` /
+//    `TRACE_GAUGE_MAX` accumulate named totals (arcs generated, chunks
+//    flushed, messages drained, bytes exchanged, pool tasks run) with one
+//    relaxed atomic op per call site.
+//  * Two exporters — a human-readable per-rank phase table
+//    (`phase_table()`) and Chrome `trace_event` JSON
+//    (`write_chrome_trace()`, loads in chrome://tracing / Perfetto).
+//
+// Overhead contract (measured by bench/bench_trace.cpp):
+//  * runtime-disabled (the default): a span is one relaxed atomic load and
+//    a branch — about a nanosecond — so instrumented hot paths stay hot;
+//  * compile-time off (`-DKRON_TRACE_OFF`): the macros expand to nothing
+//    at all, for builds that must not even carry the load.
+//
+// Thread safety: recording threads append to their own buffer under a
+// per-thread mutex that is uncontended except while `snapshot()` /
+// `clear()` walk the registry, so concurrent spans, counters, and
+// snapshots are race-free (covered by the TSan recipe, Trace tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kron::trace {
+
+namespace detail {
+/// Runtime master switch, read on every span/counter fast path.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Turn recording on or off at runtime (off by default).  Spans that are
+/// open when recording stops still complete and are kept.
+void enable(bool on = true) noexcept;
+
+/// True when recording is on (relaxed load — the fast-path check).
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Drop every recorded span and zero every counter/gauge (thread buffers
+/// and registered names persist).
+void clear();
+
+/// Label the calling thread with a rank id; spans recorded afterwards
+/// carry it.  Runtime::run labels each rank thread for its body's
+/// lifetime; pass -1 to clear.  Threads never labelled export under a
+/// synthetic per-thread lane instead.
+void set_rank(int rank);
+
+// --- recorded data -------------------------------------------------------
+
+/// One completed span.
+struct SpanRecord {
+  const char* name = nullptr;  ///< static string passed to TRACE_SPAN
+  std::uint64_t start_ns = 0;  ///< since the trace epoch (process start)
+  std::uint64_t dur_ns = 0;
+  std::uint32_t depth = 0;  ///< nesting level within the recording thread
+  int rank = -1;            ///< rank label at record time, -1 if unlabelled
+};
+
+/// All spans recorded by one thread, in completion order.
+struct ThreadSpans {
+  std::uint64_t tid = 0;  ///< registration-order thread id
+  std::vector<SpanRecord> spans;
+};
+
+struct CounterValue {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Consistent copy of everything recorded so far.
+struct Snapshot {
+  std::vector<ThreadSpans> threads;    ///< ordered by tid
+  std::vector<CounterValue> counters;  ///< ordered by registration
+  std::vector<CounterValue> gauges;    ///< running maxima
+};
+
+[[nodiscard]] Snapshot snapshot();
+
+/// Aggregated inclusive time per (span name, rank) — the per-rank phase
+/// attribution.  Spans from unlabelled threads aggregate under rank -1.
+struct PhaseTotal {
+  std::string name;
+  int rank = -1;
+  std::uint64_t count = 0;
+  double seconds = 0.0;
+};
+
+/// Totals from a snapshot, ordered by name then rank.
+[[nodiscard]] std::vector<PhaseTotal> phase_totals(const Snapshot& snap);
+[[nodiscard]] std::vector<PhaseTotal> phase_totals();
+
+// --- exporters -----------------------------------------------------------
+
+/// Human-readable per-rank phase table plus the counter/gauge registry.
+[[nodiscard]] std::string phase_table();
+
+/// Chrome trace_event JSON ("X" duration events, one lane per rank /
+/// thread; counters in otherData).  Loads in chrome://tracing or
+/// https://ui.perfetto.dev.
+void write_chrome_trace(std::ostream& out);
+void write_chrome_trace_file(const std::string& path);
+
+// --- counters / gauges ---------------------------------------------------
+
+/// Monotonic counter.  Handles returned by counter() stay valid for the
+/// process lifetime, so call sites cache them in a static.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Running-maximum gauge (high-water marks).
+class Gauge {
+ public:
+  void record_max(std::uint64_t value) noexcept {
+    std::uint64_t seen = value_.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !value_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Look up (registering on first use) a named counter/gauge.
+[[nodiscard]] Counter& counter(const char* name);
+[[nodiscard]] Gauge& gauge(const char* name);
+
+// --- the RAII span -------------------------------------------------------
+
+namespace detail {
+/// Cold path: stamp the start, bump the thread's nesting depth.
+[[nodiscard]] std::uint64_t span_begin() noexcept;
+/// Cold path: complete the record in the thread's buffer.
+void span_end(const char* name, std::uint64_t start_ns) noexcept;
+}  // namespace detail
+
+/// RAII span.  When recording is off at construction the whole object is
+/// a relaxed load and a branch; when on, destruction appends one record
+/// to the calling thread's buffer.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (detail::g_enabled.load(std::memory_order_relaxed)) {
+      name_ = name;
+      start_ns_ = detail::span_begin();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) detail::span_end(name_, start_ns_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr = disarmed (recording was off)
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace kron::trace
+
+// --- macros --------------------------------------------------------------
+//
+// TRACE_SPAN("name");             scope-lifetime span (name: string literal)
+// TRACE_COUNTER_ADD("name", n);   counter += n when recording is on
+// TRACE_GAUGE_MAX("name", v);     gauge = max(gauge, v) when recording is on
+//
+// With -DKRON_TRACE_OFF all three expand to nothing.
+
+#define KRON_TRACE_CONCAT_INNER(a, b) a##b
+#define KRON_TRACE_CONCAT(a, b) KRON_TRACE_CONCAT_INNER(a, b)
+
+#ifndef KRON_TRACE_OFF
+
+#define TRACE_SPAN(name) \
+  const ::kron::trace::Span KRON_TRACE_CONCAT(kron_trace_span_, __LINE__)(name)
+
+#define TRACE_COUNTER_ADD(name, delta)                                          \
+  do {                                                                          \
+    if (::kron::trace::detail::g_enabled.load(std::memory_order_relaxed)) {     \
+      static ::kron::trace::Counter& kron_trace_counter_ =                      \
+          ::kron::trace::counter(name);                                         \
+      kron_trace_counter_.add(static_cast<std::uint64_t>(delta));               \
+    }                                                                           \
+  } while (0)
+
+#define TRACE_GAUGE_MAX(name, value)                                            \
+  do {                                                                          \
+    if (::kron::trace::detail::g_enabled.load(std::memory_order_relaxed)) {     \
+      static ::kron::trace::Gauge& kron_trace_gauge_ = ::kron::trace::gauge(name); \
+      kron_trace_gauge_.record_max(static_cast<std::uint64_t>(value));          \
+    }                                                                           \
+  } while (0)
+
+#else  // KRON_TRACE_OFF: every macro collapses to a no-op statement.
+
+#define TRACE_SPAN(name) static_cast<void>(0)
+#define TRACE_COUNTER_ADD(name, delta) static_cast<void>(0)
+#define TRACE_GAUGE_MAX(name, value) static_cast<void>(0)
+
+#endif  // KRON_TRACE_OFF

@@ -312,5 +312,17 @@ TEST(Generator, GatherIsCanonical) {
   EXPECT_TRUE(c.is_canonical());
 }
 
+TEST(Generator, ProductVertexCountOverflowDetected) {
+  // n_A = n_B = 2^33, so n_C = 2^66 wraps vertex_t.  Before the
+  // checked_mul guard the wrapped count silently corrupted every γ index;
+  // now the generator must refuse up front (the arc counts are tiny, so
+  // nothing else stops it first).
+  const EdgeList huge_a(vertex_t{1} << 33, {{0, 1}, {1, 0}});
+  const EdgeList huge_b(vertex_t{1} << 33, {{0, 1}, {1, 0}});
+  GeneratorConfig config;
+  config.ranks = 1;
+  EXPECT_THROW((void)generate_distributed(huge_a, huge_b, config), std::overflow_error);
+}
+
 }  // namespace
 }  // namespace kron

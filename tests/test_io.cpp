@@ -1,0 +1,209 @@
+// Corrupt-input regression suite for graph I/O.
+//
+// The binary reader takes the arc count from an untrusted header: these
+// tests pin that `arcs * sizeof(Edge)` cannot wrap (arcs = 2^60 makes the
+// product ≡ 0 mod 2^64, which would sail past a naive size check and then
+// try a 16-EiB allocation) and that the implied payload is checked against
+// the real file size BEFORE any allocation happens.  The text reader pins
+// the from_chars migration: `istream >> uint64_t` used to accept "-1" by
+// modular wrap (vertex 2^64-1); now a leading '-', an overflowing id, and
+// trailing garbage are all rejected with the offending line number.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "graph/edge_list.hpp"
+#include "graph/io.hpp"
+
+namespace kron {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'K', 'R', 'O', 'N', 'E', 'L', '1', '\0'};
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+// Hand-craft a binary edge-list file: header plus `payload_words` u64s.
+fs::path write_raw(const std::string& name, std::uint64_t n, std::uint64_t arcs,
+                   const std::vector<std::uint64_t>& payload_words) {
+  const fs::path path = fs::temp_directory_path() / name;
+  std::ofstream out(path, std::ios::binary);
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&arcs), sizeof(arcs));
+  for (const std::uint64_t w : payload_words)
+    out.write(reinterpret_cast<const char*>(&w), sizeof(w));
+  return path;
+}
+
+std::string thrown_message(const fs::path& path) {
+  try {
+    (void)read_edge_list_binary(path);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  return "";
+}
+
+// ------------------------------------------------- corrupt binary headers
+
+TEST(IoBinaryCorrupt, WrappingArcCountRejectedBeforeAllocation) {
+  // arcs = 2^60: arcs * sizeof(Edge) = 2^64 ≡ 0, so an unchecked
+  // multiply passes every size comparison and the reader then tries to
+  // allocate 2^60 edges.  Must throw a diagnostic instead.
+  const auto path = write_raw("kron_io_wrap.bin", 4, std::uint64_t{1} << 60, {0, 1});
+  const std::string msg = thrown_message(path);
+  EXPECT_NE(msg.find("overflows"), std::string::npos) << msg;
+  fs::remove(path);
+}
+
+TEST(IoBinaryCorrupt, HugeArcCountRejectedBeforeAllocation) {
+  // Non-wrapping but absurd: 2^40 arcs claimed by a 40-byte file.  The
+  // payload-vs-file-size check must fire before the 16-TiB allocation.
+  const auto path = write_raw("kron_io_huge.bin", 4, std::uint64_t{1} << 40, {0, 1});
+  const std::string msg = thrown_message(path);
+  EXPECT_NE(msg.find("exceed"), std::string::npos) << msg;
+  fs::remove(path);
+}
+
+TEST(IoBinaryCorrupt, ArcCountBeyondPayloadRejected) {
+  // Ten arcs claimed, one present.
+  const auto path = write_raw("kron_io_short.bin", 4, 10, {0, 1});
+  EXPECT_THROW((void)read_edge_list_binary(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(IoBinaryCorrupt, TruncatedHeaderRejected) {
+  const fs::path path = fs::temp_directory_path() / "kron_io_header.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(kMagic, sizeof(kMagic));
+    const std::uint64_t n = 4;
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    // Arc count missing entirely.
+  }
+  EXPECT_THROW((void)read_edge_list_binary(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(IoBinaryCorrupt, TrailingBytesRejected) {
+  const auto path = write_raw("kron_io_trail.bin", 4, 1, {0, 1, 99});
+  EXPECT_THROW((void)read_edge_list_binary(path), std::runtime_error);
+  fs::remove(path);
+}
+
+TEST(IoBinaryCorrupt, OutOfRangeEndpointRejected) {
+  const auto path = write_raw("kron_io_range.bin", 2, 1, {0, 5});
+  EXPECT_THROW((void)read_edge_list_binary(path), std::runtime_error);
+  fs::remove(path);
+}
+
+// ------------------------------------------------------ binary round trips
+
+TEST(IoBinaryRoundTrip, EmptyZeroVertexGraph) {
+  const fs::path path = fs::temp_directory_path() / "kron_io_rt_empty.bin";
+  write_edge_list_binary(path, EdgeList(0));
+  const EdgeList back = read_edge_list_binary(path);
+  EXPECT_EQ(back.num_vertices(), 0u);
+  EXPECT_EQ(back.num_arcs(), 0u);
+  fs::remove(path);
+}
+
+TEST(IoBinaryRoundTrip, LoopOnlyGraph) {
+  const fs::path path = fs::temp_directory_path() / "kron_io_rt_loops.bin";
+  EdgeList g(3);
+  g.add_full_loops();
+  write_edge_list_binary(path, g);
+  EXPECT_EQ(read_edge_list_binary(path), g);
+  fs::remove(path);
+}
+
+TEST(IoBinaryRoundTrip, MaximumVertexId) {
+  // The largest representable graph shape: n = 2^64 - 1, so the largest
+  // legal id is 2^64 - 2.  Binary preserves n exactly (text cannot).
+  const fs::path path = fs::temp_directory_path() / "kron_io_rt_max.bin";
+  const EdgeList g(kMax, {{kMax - 1, 0}, {0, kMax - 1}});
+  write_edge_list_binary(path, g);
+  EXPECT_EQ(read_edge_list_binary(path), g);
+  fs::remove(path);
+}
+
+// ------------------------------------------------------------ text parsing
+
+std::string text_thrown_message(const std::string& content) {
+  std::istringstream in(content);
+  try {
+    (void)read_edge_list(in);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(IoText, NegativeIdRejectedNotWrapped) {
+  // `istream >> uint64_t` would turn -1 into 2^64 - 1 and silently build
+  // an enormous vertex set; the parser must reject the sign instead.
+  const std::string msg = text_thrown_message("-1 2\n");
+  EXPECT_NE(msg.find("negative"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+}
+
+TEST(IoText, NegativeSecondIdRejected) {
+  EXPECT_NE(text_thrown_message("1 -2\n").find("negative"), std::string::npos);
+}
+
+TEST(IoText, MalformedLineReportsLineNumber) {
+  // Comments and blanks still count toward the reported line number.
+  const std::string msg = text_thrown_message("# header\n0 1\n\nbogus line\n");
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+}
+
+TEST(IoText, TrailingGarbageRejected) {
+  EXPECT_NE(text_thrown_message("1 2 x\n").find("trailing"), std::string::npos);
+  EXPECT_NE(text_thrown_message("1 2 3\n").find("trailing"), std::string::npos);
+}
+
+TEST(IoText, MissingSecondIdRejected) {
+  EXPECT_NE(text_thrown_message("7\n").find("line 1"), std::string::npos);
+}
+
+TEST(IoText, OverflowingIdRejected) {
+  // 2^64 exactly: out of range for uint64_t.
+  const std::string msg = text_thrown_message("18446744073709551616 0\n");
+  EXPECT_NE(msg.find("64 bits"), std::string::npos) << msg;
+}
+
+TEST(IoText, MaxU64IdRejected) {
+  // Id 2^64 - 1 parses but would need num_vertices = 2^64, which
+  // vertex_t cannot hold.
+  const std::string msg = text_thrown_message("18446744073709551615 0\n");
+  EXPECT_NE(msg.find("too large"), std::string::npos) << msg;
+}
+
+TEST(IoText, LargestUsableIdAccepted) {
+  std::istringstream in("18446744073709551614 0\n");
+  const EdgeList g = read_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), kMax);
+  EXPECT_EQ(g.num_arcs(), 1u);
+}
+
+TEST(IoText, CrlfAndTabsAccepted) {
+  std::istringstream in("0\t1\r\n1 2\r\n");
+  const EdgeList g = read_edge_list(in);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_EQ(g.num_vertices(), 3u);
+}
+
+TEST(IoText, LeadingWhitespaceAccepted) {
+  std::istringstream in("  0 1\n\t2 3\n");
+  const EdgeList g = read_edge_list(in);
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+}  // namespace
+}  // namespace kron

@@ -325,5 +325,13 @@ TEST(KronShape, OverflowDetected) {
   EXPECT_THROW((void)kronecker_shape(huge, huge), std::overflow_error);
 }
 
+TEST(KronProduct, VertexCountOverflowDetected) {
+  // Tiny arc sets but n_A·n_B = 2^66: the product must refuse before any
+  // wrapped γ base is formed, not build a 4-arc graph with garbage ids.
+  const EdgeList huge_a(vertex_t{1} << 33, {{0, 1}, {1, 0}});
+  const EdgeList huge_b(vertex_t{1} << 33, {{0, 1}, {1, 0}});
+  EXPECT_THROW((void)kronecker_product(huge_a, huge_b), std::overflow_error);
+}
+
 }  // namespace
 }  // namespace kron

@@ -110,6 +110,41 @@ TEST(JointCensus, MatchesPerNuDirectCounts) {
   }
 }
 
+TEST(JointCensus, NuOnePerArcMatchesPlainCensus) {
+  const Csr c(test_product());
+  const TriangleCounts plain = count_triangles(c);
+  const JointTriangleCensus joint = joint_triangle_census(c, {1.0});
+  EXPECT_EQ(joint.per_arc[0], plain.per_arc);
+}
+
+TEST(JointCensus, PerArcMatchesExactCensusOfEachSubgraph) {
+  // The per-edge half of Def. 8: the one-sweep joint census must assign
+  // every arc of G_C the exact triangle count that edge has in G_{C,ν} —
+  // and zero to arcs whose own hash rejects them (a triangle containing a
+  // rejected edge can never survive, its max hash exceeds ν).
+  const EdgeList c_list = test_product();
+  const Csr c(c_list);
+  const std::uint64_t seed = 7;
+  const std::vector<double> nus{0.9, 0.95, 1.0};
+  const JointTriangleCensus joint = joint_triangle_census(c, nus, seed);
+  for (std::size_t idx = 0; idx < joint.nus.size(); ++idx) {
+    const double nu = joint.nus[idx];
+    const Csr sub(hashed_subgraph(c_list, nu, seed));
+    const TriangleCounts direct = count_triangles(sub);
+    for (vertex_t u = 0; u < c.num_vertices(); ++u) {
+      for (const vertex_t v : c.neighbors(u)) {
+        const std::uint64_t counted = joint.per_arc[idx][c.arc_index(u, v)];
+        if (edge_unit_hash(u, v, seed) <= nu) {
+          EXPECT_EQ(counted, direct.per_arc[sub.arc_index(u, v)])
+              << "nu=" << nu << " edge (" << u << "," << v << ")";
+        } else {
+          EXPECT_EQ(counted, 0u) << "nu=" << nu << " rejected edge (" << u << "," << v << ")";
+        }
+      }
+    }
+  }
+}
+
 TEST(JointCensus, TotalsAreMonotoneInNu) {
   const Csr c(test_product());
   const JointTriangleCensus joint = joint_triangle_census(c, {0.5, 0.7, 0.9, 1.0});
@@ -160,6 +195,41 @@ TEST(Expectations, EdgeTriangleMeanNearNuSquared) {
   }
   ASSERT_GT(ratio.count(), 50u);
   EXPECT_NEAR(ratio.mean(), nu * nu, 0.05);
+}
+
+TEST(Expectations, JointCensusPinsBothDefEightExpectations) {
+  // Both Def. 8 expectations from ONE joint census, checked against the
+  // exact census of G_C: Σ_p t_p^(ν) concentrates around ν³ Σ_p t_p, and
+  // over surviving edges the mean of Δ_pq^(ν) / (ν² Δ_pq) is near 1.
+  const EdgeList c_list = test_product();
+  const Csr c(c_list);
+  const TriangleCounts plain = count_triangles(c);
+  const double nu = 0.9;
+  const JointTriangleCensus joint = joint_triangle_census(c, {nu}, 0);
+
+  double vertex_observed = 0.0;
+  double vertex_expected = 0.0;
+  for (vertex_t p = 0; p < c.num_vertices(); ++p) {
+    vertex_observed += static_cast<double>(joint.per_vertex[0][p]);
+    vertex_expected += expected_vertex_triangles(nu, plain.per_vertex[p]);
+  }
+  // Σ t_p = 3τ, so the Poisson-ish scale is sqrt(3 · expected τ) · 3.
+  const double sd = 3.0 * std::sqrt(vertex_expected / 3.0);
+  EXPECT_NEAR(vertex_observed, vertex_expected, 6 * sd);
+
+  Stats edge_ratio;
+  for (vertex_t u = 0; u < c.num_vertices(); ++u) {
+    for (const vertex_t v : c.neighbors(u)) {
+      if (u >= v) continue;
+      if (edge_unit_hash(u, v, 0) > nu) continue;  // expectation conditions on survival
+      const std::uint64_t before = plain.per_arc[c.arc_index(u, v)];
+      if (before < 3) continue;  // skip tiny denominators
+      const double expected = expected_edge_triangles(nu, before);
+      edge_ratio.add(static_cast<double>(joint.per_arc[0][c.arc_index(u, v)]) / expected);
+    }
+  }
+  ASSERT_GT(edge_ratio.count(), 50u);
+  EXPECT_NEAR(edge_ratio.mean(), 1.0, 0.07);
 }
 
 TEST(Expectations, HelperFormulas) {

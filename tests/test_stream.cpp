@@ -146,5 +146,17 @@ TEST(Directed, SweepDegreesOverFactorPairs) {
   }
 }
 
+TEST(Stream, ProductVertexCountOverflowDetected) {
+  // Every streaming visitor computes γ(i,k) = i·n_B + k; with
+  // n_A·n_B > 2^64 those indices wrap silently, so the visitors must
+  // refuse before emitting a single arc.
+  const EdgeList huge_a(vertex_t{1} << 33, {{0, 1}, {1, 0}});
+  const EdgeList huge_b(vertex_t{1} << 33, {{0, 1}, {1, 0}});
+  const auto sink = [](const Edge&) { FAIL() << "no arc may be emitted"; };
+  EXPECT_THROW(for_each_product_arc(huge_a, huge_b, sink), std::overflow_error);
+  EXPECT_THROW(for_each_product_arc_1d(huge_a, huge_b, 2, 0, sink), std::overflow_error);
+  EXPECT_THROW(for_each_product_arc_2d(huge_a, huge_b, 4, 0, sink), std::overflow_error);
+}
+
 }  // namespace
 }  // namespace kron

@@ -1,0 +1,382 @@
+// Tests for the phase tracing/metrics subsystem (util/trace).
+//
+// Covers the recording contract (disabled spans record nothing, nesting
+// depths, counters/gauges, clear), concurrent recording against snapshot()
+// (the TSan recipe runs these), the Chrome trace_event exporter (validated
+// with a small hand-rolled JSON parser — no JSON library in the tree), and
+// the accuracy pin required of the generator wiring: the per-rank
+// "generate.rank" span totals track GeneratorResult::rank_seconds within
+// 5%.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/generator.hpp"
+#include "gen/erdos.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/ops.hpp"
+#include "util/trace.hpp"
+
+namespace kron {
+namespace {
+
+// Fresh slate per test: recording off, all buffers and metrics zeroed.
+class Trace : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::enable(false);
+    trace::clear();
+  }
+  void TearDown() override {
+    trace::enable(false);
+    trace::clear();
+  }
+};
+
+std::uint64_t total_spans(const trace::Snapshot& snap) {
+  std::uint64_t total = 0;
+  for (const trace::ThreadSpans& thread : snap.threads) total += thread.spans.size();
+  return total;
+}
+
+std::uint64_t counter_value(const trace::Snapshot& snap, const std::string& name) {
+  for (const trace::CounterValue& c : snap.counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+TEST_F(Trace, DisabledSpansRecordNothing) {
+  {
+    TRACE_SPAN("test.disabled");
+    TRACE_COUNTER_ADD("test.disabled_counter", 7);
+    TRACE_GAUGE_MAX("test.disabled_gauge", 7);
+  }
+  const trace::Snapshot snap = trace::snapshot();
+  EXPECT_EQ(total_spans(snap), 0u);
+  EXPECT_EQ(counter_value(snap, "test.disabled_counter"), 0u);
+}
+
+TEST_F(Trace, SpansRecordNamesDurationsAndNesting) {
+  trace::enable();
+  {
+    TRACE_SPAN("test.outer");
+    {
+      TRACE_SPAN("test.inner");
+    }
+  }
+  trace::enable(false);
+  const trace::Snapshot snap = trace::snapshot();
+  ASSERT_EQ(total_spans(snap), 2u);
+  // Spans complete inner-first within a thread.
+  const trace::ThreadSpans* owner = nullptr;
+  for (const trace::ThreadSpans& thread : snap.threads)
+    if (!thread.spans.empty()) owner = &thread;
+  ASSERT_NE(owner, nullptr);
+  const trace::SpanRecord& inner = owner->spans[0];
+  const trace::SpanRecord& outer = owner->spans[1];
+  EXPECT_STREQ(inner.name, "test.inner");
+  EXPECT_STREQ(outer.name, "test.outer");
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_GE(outer.dur_ns, inner.dur_ns);
+}
+
+TEST_F(Trace, SpanOpenAcrossDisableStillCompletes) {
+  trace::enable();
+  {
+    TRACE_SPAN("test.straddle");
+    trace::enable(false);
+  }
+  EXPECT_EQ(total_spans(trace::snapshot()), 1u);
+}
+
+TEST_F(Trace, CountersAccumulateAndGaugesKeepMaxima) {
+  trace::enable();
+  TRACE_COUNTER_ADD("test.counter", 3);
+  TRACE_COUNTER_ADD("test.counter", 4);
+  TRACE_GAUGE_MAX("test.gauge", 9);
+  TRACE_GAUGE_MAX("test.gauge", 5);
+  trace::enable(false);
+  const trace::Snapshot snap = trace::snapshot();
+  EXPECT_EQ(counter_value(snap, "test.counter"), 7u);
+  bool found_gauge = false;
+  for (const trace::CounterValue& g : snap.gauges) {
+    if (g.name == "test.gauge") {
+      found_gauge = true;
+      EXPECT_EQ(g.value, 9u);
+    }
+  }
+  EXPECT_TRUE(found_gauge);
+}
+
+TEST_F(Trace, ClearDropsSpansAndZeroesMetrics) {
+  trace::enable();
+  {
+    TRACE_SPAN("test.cleared");
+  }
+  TRACE_COUNTER_ADD("test.cleared_counter", 11);
+  trace::clear();
+  trace::enable(false);
+  const trace::Snapshot snap = trace::snapshot();
+  EXPECT_EQ(total_spans(snap), 0u);
+  EXPECT_EQ(counter_value(snap, "test.cleared_counter"), 0u);
+}
+
+TEST_F(Trace, PhaseTotalsAggregateByNameAndRank) {
+  trace::enable();
+  trace::set_rank(3);
+  for (int i = 0; i < 4; ++i) {
+    TRACE_SPAN("test.phase");
+  }
+  trace::set_rank(-1);
+  trace::enable(false);
+  bool found = false;
+  for (const trace::PhaseTotal& total : trace::phase_totals()) {
+    if (total.name == "test.phase") {
+      found = true;
+      EXPECT_EQ(total.rank, 3);
+      EXPECT_EQ(total.count, 4u);
+      EXPECT_GE(total.seconds, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  const std::string table = trace::phase_table();
+  EXPECT_NE(table.find("test.phase"), std::string::npos);
+}
+
+// Hammer recording from many threads while the main thread snapshots —
+// the race coverage the TSan recipe (CMakeLists.txt) exercises.
+TEST_F(Trace, ConcurrentRecordingAndSnapshotting) {
+  trace::enable();
+  constexpr int kThreads = 8;
+  constexpr int kSpansEach = 500;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load()) {
+      (void)trace::snapshot();
+      (void)trace::phase_totals();
+    }
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      trace::set_rank(t % 3);
+      for (int i = 0; i < kSpansEach; ++i) {
+        TRACE_SPAN("test.concurrent");
+        TRACE_COUNTER_ADD("test.concurrent_counter", 1);
+        TRACE_GAUGE_MAX("test.concurrent_gauge", static_cast<std::uint64_t>(i));
+      }
+      trace::set_rank(-1);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop.store(true);
+  snapshotter.join();
+  trace::enable(false);
+  const trace::Snapshot snap = trace::snapshot();
+  EXPECT_EQ(total_spans(snap), static_cast<std::uint64_t>(kThreads) * kSpansEach);
+  EXPECT_EQ(counter_value(snap, "test.concurrent_counter"),
+            static_cast<std::uint64_t>(kThreads) * kSpansEach);
+}
+
+// ------------------------------------------------- Chrome trace exporter
+
+// Minimal JSON syntax checker (objects, arrays, strings, numbers, bools,
+// null) — enough to prove the exporter emits well-formed documents.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST_F(Trace, ChromeTraceIsWellFormedJson) {
+  trace::enable();
+  trace::set_rank(1);
+  {
+    TRACE_SPAN("test.chrome \"quoted\\name\"");
+    TRACE_SPAN("test.chrome.inner");
+  }
+  trace::set_rank(-1);
+  TRACE_COUNTER_ADD("test.chrome_counter", 42);
+  trace::enable(false);
+
+  std::ostringstream out;
+  trace::write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("test.chrome.inner"), std::string::npos);
+  EXPECT_NE(json.find("\"test.chrome_counter\":42"), std::string::npos);
+  // The ranked spans land in the rank-1 lane.
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST_F(Trace, ChromeTraceOfEmptySnapshotIsValid) {
+  std::ostringstream out;
+  trace::write_chrome_trace(out);
+  EXPECT_TRUE(JsonChecker(out.str()).valid()) << out.str();
+}
+
+// ------------------------------------------------- generator span wiring
+
+TEST_F(Trace, GenerateRankSpanTracksRankSeconds) {
+  // A workload of a few milliseconds per rank: span total and the
+  // generator's own Timer bracket the same rank body, so they must agree
+  // closely (the acceptance pin is 5%, plus a small absolute floor for
+  // scheduler noise on tiny runs).
+  const EdgeList a = prepare_factor(make_pref_attachment(200, 3, 7), false);
+  const EdgeList b = prepare_factor(make_gnm(150, 450, 8), false);
+  GeneratorConfig config;
+  config.ranks = 2;
+  config.shuffle_to_owner = true;
+
+  trace::enable();
+  const GeneratorResult result = generate_distributed(a, b, config);
+  trace::enable(false);
+
+  std::vector<double> span_seconds(static_cast<std::size_t>(config.ranks), 0.0);
+  for (const trace::PhaseTotal& total : trace::phase_totals()) {
+    if (total.name == "generate.rank" && total.rank >= 0) {
+      ASSERT_LT(total.rank, config.ranks);
+      EXPECT_EQ(total.count, 1u);
+      span_seconds[static_cast<std::size_t>(total.rank)] = total.seconds;
+    }
+  }
+  ASSERT_EQ(result.rank_seconds.size(), span_seconds.size());
+  for (std::size_t r = 0; r < span_seconds.size(); ++r) {
+    ASSERT_GT(span_seconds[r], 0.0) << "rank " << r << " recorded no generate.rank span";
+    const double diff = std::abs(span_seconds[r] - result.rank_seconds[r]);
+    EXPECT_LE(diff, std::max(0.05 * result.rank_seconds[r], 0.002))
+        << "rank " << r << ": span " << span_seconds[r] << " s vs timer "
+        << result.rank_seconds[r] << " s";
+  }
+}
+
+}  // namespace
+}  // namespace kron

@@ -42,6 +42,7 @@
 #include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace kron {
 namespace {
@@ -176,18 +177,22 @@ void print_comm_stats(const std::vector<CommStats>& per_rank) {
 
 int cmd_generate(const CliArgs& args) {
   args.reject_unknown({"a", "b", "loops", "ranks", "scheme", "shuffle", "async", "chunk",
-                       "capacity", "power", "threads", "out", "binary", "stats", "help"});
+                       "capacity", "power", "threads", "out", "binary", "stats", "trace",
+                       "metrics", "help"});
   if (args.has_flag("help")) {
     std::cout << "krongen generate --a A --b B [--loops none|both|a] [--ranks R]\n"
                  "                 [--scheme 1d|2d] [--shuffle] [--async] [--chunk N]\n"
                  "                 [--capacity N] [--power K] [--threads T] [--stats]\n"
-                 "                 --out FILE\n"
+                 "                 [--trace FILE] [--metrics] --out FILE\n"
                  "  --power K iterates C <- C (x) B a further K-1 times (scale series)\n"
                  "  --async streams the shuffle (bounded buffering); --chunk sets arcs per\n"
                  "  message, --capacity bounds each rank's mailbox (backpressure)\n"
                  "  --threads T sizes the intra-rank work-sharing pool (canonicalisation\n"
                  "  sorts; default: KRON_THREADS env var, else hardware concurrency)\n"
-                 "  --stats prints the per-rank communication table after generation\n";
+                 "  --stats prints the per-rank communication table after generation\n"
+                 "  --trace FILE records phase spans and writes Chrome trace_event JSON\n"
+                 "  (open in chrome://tracing or ui.perfetto.dev; see README)\n"
+                 "  --metrics prints the per-rank phase table and counters afterwards\n";
     return 0;
   }
   if (args.get("threads").has_value())
@@ -211,6 +216,10 @@ int cmd_generate(const CliArgs& args) {
   config.async_chunk = args.get_u64("chunk", config.async_chunk);
   config.channel_capacity = static_cast<std::size_t>(args.get_u64("capacity", 0));
 
+  const auto trace_path = args.get("trace");
+  const bool metrics = args.has_flag("metrics");
+  if (trace_path || metrics) trace::enable();
+
   const Timer timer;
   GeneratorResult result = generate_distributed(a, b, config);
   EdgeList c = result.gather();
@@ -222,6 +231,15 @@ int cmd_generate(const CliArgs& args) {
   std::cout << "generated in " << Table::num(timer.seconds(), 3) << " s on " << config.ranks
             << " rank(s)\n";
   if (args.has_flag("stats")) print_comm_stats(result.comm_per_rank);
+  if (trace_path || metrics) {
+    trace::enable(false);
+    if (metrics) std::cout << trace::phase_table();
+    if (trace_path) {
+      trace::write_chrome_trace_file(*trace_path);
+      std::cout << "wrote trace to " << *trace_path
+                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+    }
+  }
   store_graph(c, args.require("out"), args.has_flag("binary"));
   return 0;
 }
@@ -397,7 +415,8 @@ int run(int argc, char** argv) {
   if (command == "generate") {
     // "loops" is a valued option for generate/info/truth/validate, so
     // re-parse without it in the flag set.
-    const CliArgs valued(argc, argv, 2, {"shuffle", "binary", "async", "stats", "help"});
+    const CliArgs valued(argc, argv, 2,
+                         {"shuffle", "binary", "async", "stats", "metrics", "help"});
     return cmd_generate(valued);
   }
   if (command == "info" || command == "truth" || command == "validate" ||
