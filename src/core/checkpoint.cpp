@@ -1,0 +1,213 @@
+#include "core/checkpoint.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+#include "core/generator.hpp"
+#include "graph/io.hpp"
+#include "util/hash.hpp"
+#include "util/trace.hpp"
+
+namespace kron {
+
+namespace {
+
+constexpr std::uint64_t kConfigSalt = 0x6b726f6e636b6667ULL;  // "kronckfg"
+
+std::uint64_t hash_factor(std::uint64_t h, const EdgeList& g) {
+  h = hash_combine(h, g.num_vertices());
+  h = hash_combine(h, g.num_arcs());
+  for (const Edge& e : g.edges()) h = hash_combine(hash_combine(h, e.u), e.v);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t generator_config_hash(const EdgeList& a, const EdgeList& b,
+                                    const GeneratorConfig& config) {
+  TRACE_SPAN("checkpoint.config_hash");
+  std::uint64_t h = mix64(kConfigSalt);
+  h = hash_factor(h, a);
+  h = hash_factor(h, b);
+  h = hash_combine(h, static_cast<std::uint64_t>(config.ranks));
+  h = hash_combine(h, static_cast<std::uint64_t>(config.scheme));
+  h = hash_combine(h, config.shuffle_to_owner ? 1 : 0);
+  h = hash_combine(h, static_cast<std::uint64_t>(config.owner_map));
+  h = hash_combine(h, static_cast<std::uint64_t>(config.exchange));
+  h = hash_combine(h, config.async_chunk);
+  h = hash_combine(h, config.owner_seed);
+  h = hash_combine(h, config.add_full_loops ? 1 : 0);
+  h = hash_combine(h, config.checkpoint_every);
+  return h;
+}
+
+std::filesystem::path manifest_path(const std::filesystem::path& dir) {
+  return dir / "manifest.txt";
+}
+
+std::filesystem::path shard_path(const std::filesystem::path& dir, int rank) {
+  return dir / ("shard-" + std::to_string(rank) + ".bin");
+}
+
+void write_manifest(const std::filesystem::path& dir, const CheckpointManifest& manifest) {
+  TRACE_SPAN("checkpoint.write_manifest");
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path target = manifest_path(dir);
+  const std::filesystem::path temp = target.string() + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) throw std::runtime_error("write_manifest: cannot open " + temp.string());
+    out << "KRONCK-MANIFEST 1\n";
+    out << "config_hash " << manifest.config_hash << "\n";
+    out << "ranks " << manifest.ranks << "\n";
+    out << "completed_epochs " << manifest.completed_epochs << "\n";
+    out << "checkpoint_every " << manifest.checkpoint_every << "\n";
+    for (std::size_t r = 0; r < manifest.shard_checksums.size(); ++r)
+      out << "shard " << r << " " << manifest.shard_checksums[r] << "\n";
+    if (!out) throw std::runtime_error("write_manifest: write failed for " + temp.string());
+  }
+  std::error_code rename_error;
+  std::filesystem::rename(temp, target, rename_error);
+  if (rename_error)
+    throw std::runtime_error("write_manifest: cannot publish " + target.string() + ": " +
+                             rename_error.message());
+}
+
+namespace {
+
+[[noreturn]] void bad_manifest(const std::filesystem::path& path, std::size_t line_no,
+                               const std::string& why) {
+  throw std::runtime_error("read_manifest: " + path.string() + " line " +
+                           std::to_string(line_no) + ": " + why);
+}
+
+/// Strict full-token u64 parse ("-1" must not wrap, "8x" must not pass).
+std::uint64_t manifest_u64(const std::filesystem::path& path, std::size_t line_no,
+                           const std::string& token) {
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = token.data() + token.size();
+  const auto [next, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || next != end || token.empty())
+    bad_manifest(path, line_no, "expected a nonnegative integer, got '" + token + "'");
+  return value;
+}
+
+}  // namespace
+
+CheckpointManifest read_manifest(const std::filesystem::path& dir) {
+  const std::filesystem::path path = manifest_path(dir);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_manifest: cannot open " + path.string());
+  std::string header;
+  std::getline(in, header);
+  if (header != "KRONCK-MANIFEST 1")
+    bad_manifest(path, 1, "bad header '" + header + "'");
+
+  CheckpointManifest manifest;
+  std::string line;
+  std::size_t line_no = 1;
+  bool saw_hash = false, saw_ranks = false, saw_epochs = false, saw_every = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) bad_manifest(path, line_no, "expected 'key value'");
+    const std::string key = line.substr(0, space);
+    const std::string rest = line.substr(space + 1);
+    if (key == "config_hash") {
+      manifest.config_hash = manifest_u64(path, line_no, rest);
+      saw_hash = true;
+    } else if (key == "ranks") {
+      manifest.ranks = manifest_u64(path, line_no, rest);
+      saw_ranks = true;
+    } else if (key == "completed_epochs") {
+      manifest.completed_epochs = manifest_u64(path, line_no, rest);
+      saw_epochs = true;
+    } else if (key == "checkpoint_every") {
+      manifest.checkpoint_every = manifest_u64(path, line_no, rest);
+      saw_every = true;
+    } else if (key == "shard") {
+      const std::size_t mid = rest.find(' ');
+      if (mid == std::string::npos)
+        bad_manifest(path, line_no, "expected 'shard R CHECKSUM'");
+      const std::uint64_t rank = manifest_u64(path, line_no, rest.substr(0, mid));
+      if (rank != manifest.shard_checksums.size())
+        bad_manifest(path, line_no, "shard ranks out of order");
+      manifest.shard_checksums.push_back(manifest_u64(path, line_no, rest.substr(mid + 1)));
+    } else {
+      bad_manifest(path, line_no, "unknown key '" + key + "'");
+    }
+  }
+  if (!saw_hash || !saw_ranks || !saw_epochs || !saw_every)
+    bad_manifest(path, line_no, "truncated manifest (missing required keys)");
+  if (manifest.shard_checksums.size() != manifest.ranks)
+    bad_manifest(path, line_no,
+                 "manifest lists " + std::to_string(manifest.shard_checksums.size()) +
+                     " shards for " + std::to_string(manifest.ranks) + " ranks");
+  return manifest;
+}
+
+ResumeState load_resume_state(const std::filesystem::path& dir, std::uint64_t expected_hash,
+                              std::uint64_t expected_ranks, std::uint64_t expected_every) {
+  TRACE_SPAN("checkpoint.load_resume");
+  ResumeState state;
+  state.shard_arcs.resize(expected_ranks);
+  state.shard_epochs.assign(expected_ranks, 0);
+  if (!std::filesystem::exists(manifest_path(dir))) return state;  // fresh start
+
+  const CheckpointManifest manifest = read_manifest(dir);
+  if (manifest.config_hash != expected_hash)
+    throw std::runtime_error(
+        "resume: checkpoint in " + dir.string() +
+        " belongs to a different generation (config hash " +
+        std::to_string(manifest.config_hash) + " != " + std::to_string(expected_hash) +
+        "); same factors, ranks, scheme, chunking and cadence are required");
+  if (manifest.ranks != expected_ranks)
+    throw std::runtime_error("resume: checkpoint in " + dir.string() + " was taken with " +
+                             std::to_string(manifest.ranks) + " ranks, this run has " +
+                             std::to_string(expected_ranks));
+  if (manifest.checkpoint_every != expected_every)
+    throw std::runtime_error("resume: checkpoint cadence mismatch in " + dir.string() +
+                             " (" + std::to_string(manifest.checkpoint_every) +
+                             " chunks/epoch recorded, " + std::to_string(expected_every) +
+                             " requested)");
+  state.start_epoch = manifest.completed_epochs;
+  if (state.start_epoch == 0) return state;
+
+  for (std::uint64_t r = 0; r < expected_ranks; ++r) {
+    ShardSnapshot shard;
+    try {
+      shard = read_shard_snapshot(shard_path(dir, static_cast<int>(r)));
+    } catch (const std::exception& e) {
+      throw std::runtime_error(
+          "resume: shard for rank " + std::to_string(r) + " is missing or corrupt (" +
+          e.what() + "); stored arcs cannot be regenerated piecemeal — restart without --resume");
+    }
+    if (shard.config_hash != expected_hash || shard.rank != r)
+      throw std::runtime_error("resume: shard " + shard_path(dir, static_cast<int>(r)).string() +
+                               " belongs to a different run or rank");
+    if (shard.completed_epochs < manifest.completed_epochs)
+      throw std::runtime_error("resume: shard for rank " + std::to_string(r) +
+                               " is older than the manifest (epoch " +
+                               std::to_string(shard.completed_epochs) + " < " +
+                               std::to_string(manifest.completed_epochs) +
+                               "); restart without --resume");
+    // The manifest's checksum covers the shard as of the manifest's epoch;
+    // a shard one epoch newer (crash landed between the shard writes and
+    // the manifest write) is internally consistent and simply replays less.
+    if (shard.completed_epochs == manifest.completed_epochs &&
+        arc_set_checksum(shard.arcs) != manifest.shard_checksums[r])
+      throw std::runtime_error("resume: shard for rank " + std::to_string(r) +
+                               " does not match the manifest checksum (corrupted " +
+                               "checkpoint); restart without --resume");
+    state.shard_epochs[r] = shard.completed_epochs;
+    state.shard_arcs[r] = std::move(shard.arcs);
+  }
+  return state;
+}
+
+}  // namespace kron

@@ -1,0 +1,85 @@
+// Generator checkpoint/resume bookkeeping (DESIGN.md §12).
+//
+// A checkpointed generation writes, at every epoch boundary, one shard
+// snapshot per rank (graph/io.hpp ShardSnapshot) plus a single manifest
+// describing the whole checkpoint: the configuration hash that pins which
+// run the shards belong to, and the per-shard checksums that pin their
+// contents.  Resume reads the manifest, verifies every shard against it,
+// and restarts production at the first epoch some shard has not stored.
+//
+// The manifest is a small self-describing text file (one token pair per
+// line) so an operator can inspect a checkpoint directory with `cat`:
+//
+//   KRONCK-MANIFEST 1
+//   config_hash 1234567890
+//   ranks 4
+//   completed_epochs 7
+//   checkpoint_every 8
+//   shard 0 9876543210
+//   ...
+//
+// Both the manifest and the shards are published atomically (temp file +
+// rename), so a crash at any instant leaves either the previous complete
+// checkpoint or the new one — never a torn state.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace kron {
+
+struct GeneratorConfig;
+
+/// Hash pinning everything that determines the produced arc stream and its
+/// epoch structure: both factors (vertex counts and full arc lists), the
+/// rank count, partition scheme, shuffle/owner-map/exchange settings, the
+/// chunk size, and the checkpoint cadence.  Two runs with equal hashes
+/// produce identical chunk sequences, so resuming one from the other's
+/// shards is sound; anything else must be rejected.  (Pure perf knobs —
+/// mailbox capacity, retry tuning — are deliberately excluded.)
+[[nodiscard]] std::uint64_t generator_config_hash(const EdgeList& a, const EdgeList& b,
+                                                  const GeneratorConfig& config);
+
+/// One checkpoint directory's manifest.
+struct CheckpointManifest {
+  std::uint64_t config_hash = 0;
+  std::uint64_t ranks = 0;
+  std::uint64_t completed_epochs = 0;  ///< epochs every shard has stored
+  std::uint64_t checkpoint_every = 0;  ///< production chunks per epoch
+  std::vector<std::uint64_t> shard_checksums;  ///< arc_set_checksum per rank
+};
+
+/// Canonical file layout inside a checkpoint directory.
+[[nodiscard]] std::filesystem::path manifest_path(const std::filesystem::path& dir);
+[[nodiscard]] std::filesystem::path shard_path(const std::filesystem::path& dir, int rank);
+
+/// Write the manifest atomically (temp + rename); creates `dir` if absent.
+void write_manifest(const std::filesystem::path& dir, const CheckpointManifest& manifest);
+
+/// Parse and validate a manifest; throws std::runtime_error naming the
+/// offending line on malformed or truncated input.
+[[nodiscard]] CheckpointManifest read_manifest(const std::filesystem::path& dir);
+
+/// Everything resume needs before ranks start: the epoch to restart from
+/// and each rank's restored shard state.
+struct ResumeState {
+  std::uint64_t start_epoch = 0;
+  std::vector<std::vector<Edge>> shard_arcs;       ///< per rank, may be empty
+  std::vector<std::uint64_t> shard_epochs;         ///< completed epochs per rank
+};
+
+/// Load and verify a checkpoint for resumption.  Returns a fresh-start
+/// state (start_epoch 0, empty shards) when `dir` holds no manifest — a
+/// resume requested before the first checkpoint landed simply regenerates.
+/// Throws std::runtime_error when the manifest or any shard is corrupt, or
+/// when the checkpoint belongs to a different configuration (hash, rank
+/// count, or cadence mismatch).
+[[nodiscard]] ResumeState load_resume_state(const std::filesystem::path& dir,
+                                            std::uint64_t expected_hash,
+                                            std::uint64_t expected_ranks,
+                                            std::uint64_t expected_every);
+
+}  // namespace kron

@@ -1,10 +1,15 @@
 #include "core/generator.hpp"
 
+#include <algorithm>
+#include <filesystem>
 #include <limits>
 #include <span>
 #include <stdexcept>
 
+#include "core/checkpoint.hpp"
+#include "graph/io.hpp"
 #include "runtime/comm.hpp"
+#include "runtime/faults.hpp"
 #include "runtime/partition.hpp"
 #include "util/overflow.hpp"
 #include "util/timer.hpp"
@@ -35,44 +40,102 @@ void generate_cell(std::span<const Edge> a_arcs, std::span<const Edge> b_arcs, v
   }
 }
 
-/// Production for one rank under the active partition scheme, emitted as
-/// chunks of at most `chunk_size` arcs through a pre-reserved buffer (no
-/// per-edge callback: the shuffle paths amortise routing per chunk).
-template <typename EmitChunk>
-void produce_chunks(const EdgeList& a, const EdgeList& b, vertex_t n_b, const Grid2D& grid,
-                    const GeneratorConfig& config, std::uint64_t ranks, std::uint64_t r,
-                    std::size_t chunk_size, const EmitChunk& emit_chunk) {
-  TRACE_SPAN("generate.produce");
-  std::vector<Edge> chunk;
-  chunk.reserve(chunk_size);
-  const auto flush = [&] {
-    if (!chunk.empty()) {
-      emit_chunk(std::span<const Edge>(chunk));
-      chunk.clear();
-    }
-  };
-  const auto cell = [&](std::span<const Edge> a_arcs, std::span<const Edge> b_arcs) {
-    for (const Edge& ea : a_arcs) {
-      const vertex_t base_u = ea.u * n_b;
-      const vertex_t base_v = ea.v * n_b;
-      for (const Edge& eb : b_arcs) {
-        chunk.push_back({base_u + eb.u, base_v + eb.v});
-        if (chunk.size() == chunk_size) flush();
+/// One (A-part × B-part) cell of a rank's production, with the flat arc
+/// index where it starts in the rank's production sequence.
+struct ProductionCell {
+  std::span<const Edge> a;
+  std::span<const Edge> b;
+  std::uint64_t arcs_before = 0;
+};
+
+/// A rank's production as a *randomly addressable* sequence of fixed-size
+/// chunks: chunk c covers flat arc indices [c·S, (c+1)·S) of the
+/// concatenated cell products, in exactly the order the streaming producer
+/// has always emitted them (cells in grid deal order, A-arc major within a
+/// cell).  Random access is what makes checkpoint/resume cheap — a resumed
+/// run seeks past every completed chunk in O(1) instead of regenerating
+/// and discarding its arcs — and gives crash injection an exact, scheme-
+/// independent notion of "production chunk boundary c".
+class RankProduction {
+ public:
+  RankProduction(const EdgeList& a, const EdgeList& b, vertex_t n_b, const Grid2D& grid,
+                 const GeneratorConfig& config, std::uint64_t ranks, std::uint64_t r,
+                 std::uint64_t chunk_size)
+      : n_b_(n_b), chunk_size_(chunk_size) {
+    const auto add_cell = [&](std::span<const Edge> sa, std::span<const Edge> sb) {
+      std::uint64_t arcs = 0;
+      try {
+        arcs = checked_mul(sa.size(), sb.size());
+        if (arcs == 0) return;  // empty cells produce nothing
+        cells_.push_back({sa, sb, total_arcs_});
+        total_arcs_ = checked_add(total_arcs_, arcs);
+      } catch (const std::overflow_error&) {
+        throw std::overflow_error(
+            "generate_distributed: rank " + std::to_string(r) + " arc count " +
+            std::to_string(sa.size()) + " * " + std::to_string(sb.size()) +
+            " overflows 64 bits; use more ranks or smaller factors");
+      }
+    };
+    if (config.scheme == PartitionScheme::k1D) {
+      const IndexRange range = block_range(a.num_arcs(), ranks, r);
+      add_cell(a.edges().subspan(range.begin, range.size()), b.edges());
+    } else {
+      for (const auto& [a_part, b_part] : grid.cells_of(r)) {
+        const IndexRange ra = block_range(a.num_arcs(), grid.parts_a(), a_part);
+        const IndexRange rb = block_range(b.num_arcs(), grid.parts_b(), b_part);
+        add_cell(a.edges().subspan(ra.begin, ra.size()),
+                 b.edges().subspan(rb.begin, rb.size()));
       }
     }
-  };
-  if (config.scheme == PartitionScheme::k1D) {
-    const IndexRange range = block_range(a.num_arcs(), ranks, r);
-    cell(a.edges().subspan(range.begin, range.size()), b.edges());
-  } else {
-    for (const auto& [a_part, b_part] : grid.cells_of(r)) {
-      const IndexRange ra = block_range(a.num_arcs(), grid.parts_a(), a_part);
-      const IndexRange rb = block_range(b.num_arcs(), grid.parts_b(), b_part);
-      cell(a.edges().subspan(ra.begin, ra.size()), b.edges().subspan(rb.begin, rb.size()));
+  }
+
+  [[nodiscard]] std::uint64_t total_arcs() const noexcept { return total_arcs_; }
+
+  [[nodiscard]] std::uint64_t num_chunks() const noexcept {
+    return total_arcs_ == 0 ? 0 : (total_arcs_ - 1) / chunk_size_ + 1;
+  }
+
+  /// Fill `out` with chunk `c`'s arcs.  Chunk content depends only on
+  /// (factors, scheme, rank, chunk_size, c) — never on which run or epoch
+  /// produces it — which is what makes resumed runs bit-compatible.
+  void chunk_arcs(std::uint64_t c, std::vector<Edge>& out) const {
+    out.clear();
+    std::uint64_t t = c * chunk_size_;
+    std::uint64_t remaining = std::min(chunk_size_, total_arcs_ - t);
+    out.reserve(remaining);
+    // Seek: last cell starting at or before t, then divide into its rows.
+    auto it = std::upper_bound(cells_.begin(), cells_.end(), t,
+                               [](std::uint64_t value, const ProductionCell& cell) {
+                                 return value < cell.arcs_before;
+                               });
+    std::size_t cell = static_cast<std::size_t>(it - cells_.begin()) - 1;
+    while (remaining != 0) {
+      const ProductionCell& pc = cells_[cell];
+      const std::uint64_t nb = pc.b.size();
+      const std::uint64_t local = t - pc.arcs_before;
+      std::uint64_t ai = local / nb;
+      std::uint64_t bi = local % nb;
+      while (ai < pc.a.size() && remaining != 0) {
+        const Edge& ea = pc.a[ai];
+        const vertex_t base_u = ea.u * n_b_;
+        const vertex_t base_v = ea.v * n_b_;
+        for (; bi < nb && remaining != 0; ++bi, --remaining, ++t)
+          out.push_back({base_u + pc.b[bi].u, base_v + pc.b[bi].v});
+        if (bi == nb) {
+          bi = 0;
+          ++ai;
+        }
+      }
+      ++cell;
     }
   }
-  flush();
-}
+
+ private:
+  std::vector<ProductionCell> cells_;
+  vertex_t n_b_;
+  std::uint64_t chunk_size_;
+  std::uint64_t total_arcs_ = 0;
+};
 
 /// Storage owners for a whole chunk at once: the owner-map branch is taken
 /// once per chunk, and the hash runs in a tight loop over the batch.
@@ -97,24 +160,23 @@ std::uint64_t expected_stored_arcs(const EdgeList& a, const EdgeList& b, std::ui
   return arcs_a * arcs_b / ranks;
 }
 
-/// Streaming shuffle (ExchangeMode::kAsync): arcs are produced in chunks,
-/// routed per chunk (batched owner hashing), buffered per destination, and
-/// sent the moment a buffer fills; incoming chunks are drained
-/// opportunistically on a production cadence *independent of flushes* — a
-/// rank whose own buffers rarely fill (small production share, skewed
-/// owner map) must still keep consuming, or its inbox grows without bound
-/// and bounded channels deadlock.  Termination: every rank sends kTagDone
-/// to all ranks after its last flush; since each mailbox preserves a
-/// sender's ordering, receiving R kTagDone messages guarantees all data has
-/// arrived.
+/// One epoch of the streaming shuffle (ExchangeMode::kAsync): arcs are
+/// produced in chunks, routed per chunk (batched owner hashing), buffered
+/// per destination, and sent the moment a buffer fills; incoming chunks are
+/// drained opportunistically on a production cadence *independent of
+/// flushes* — a rank whose own buffers rarely fill (small production share,
+/// skewed owner map) must still keep consuming, or its inbox grows without
+/// bound and bounded channels deadlock.  Termination: every rank sends
+/// kTagDone to all ranks after its last flush of the epoch; since each
+/// mailbox preserves a sender's ordering (the reliable layer additionally
+/// re-sequences faulted deliveries), receiving R kTagDone messages
+/// guarantees all of the epoch's data has arrived.
 template <typename Produce>
-void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ranks,
-                    std::uint64_t expected_stored, const Produce& produce,
-                    std::vector<Edge>& stored, std::uint64_t& generated_count) {
+void async_exchange_epoch(Comm& comm, const GeneratorConfig& config, std::uint64_t ranks,
+                          const Produce& produce, std::vector<Edge>& stored) {
   TRACE_SPAN("exchange.async");
   std::vector<std::vector<Edge>> buffers(ranks);
   for (auto& buffer : buffers) buffer.reserve(config.async_chunk);
-  stored.reserve(expected_stored);
   std::vector<std::uint64_t> owners;
   int done_seen = 0;
 
@@ -149,8 +211,6 @@ void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ran
   };
 
   produce([&](std::span<const Edge> arcs) {
-    generated_count += arcs.size();
-    TRACE_COUNTER_ADD("generate.arcs", arcs.size());
     owners_of_chunk(arcs, config, ranks, owners);
     for (std::size_t i = 0; i < arcs.size(); ++i) {
       auto& buffer = buffers[owners[i]];
@@ -165,7 +225,7 @@ void async_exchange(Comm& comm, const GeneratorConfig& config, std::uint64_t ran
   for (std::uint64_t dest = 0; dest < ranks; ++dest)
     comm.send(static_cast<int>(dest), kTagDone, {});
 
-  // Drain until every rank's end-of-stream marker (including our own) has
+  // Drain until every rank's end-of-epoch marker (including our own) has
   // been observed.
   while (done_seen < static_cast<int>(ranks)) drain(/*block=*/true);
 }
@@ -193,6 +253,11 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
   if (config.ranks < 1) throw std::invalid_argument("generate_distributed: ranks < 1");
   if (config.async_chunk == 0)
     throw std::invalid_argument("generate_distributed: async_chunk must be positive");
+  const bool checkpointing = !config.checkpoint_dir.empty();
+  if (checkpointing && config.checkpoint_every == 0)
+    throw std::invalid_argument(
+        "generate_distributed: checkpoint_every must be positive when a checkpoint "
+        "directory is set");
 
   EdgeList a = a_in;
   EdgeList b = b_in;
@@ -226,7 +291,29 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
   const Grid2D grid(ranks);
   const std::uint64_t expected_stored = expected_stored_arcs(a, b, ranks);
 
-  const RuntimeOptions runtime_options{config.ranks, config.channel_capacity};
+  // Checkpoint/resume bookkeeping happens before ranks launch: the config
+  // hash pins which run the shards belong to, and a resume restores every
+  // rank's stored arcs and the first epoch left to produce.
+  std::uint64_t config_hash = 0;
+  ResumeState resume_state;
+  if (checkpointing) {
+    config_hash = generator_config_hash(a, b, config);
+    std::filesystem::create_directories(config.checkpoint_dir);
+    if (config.resume)
+      resume_state = load_resume_state(config.checkpoint_dir, config_hash, ranks,
+                                       config.checkpoint_every);
+  }
+  const std::uint64_t start_epoch = resume_state.start_epoch;
+  if (resume_state.shard_arcs.size() < ranks) resume_state.shard_arcs.resize(ranks);
+
+  RuntimeOptions runtime_options;
+  runtime_options.ranks = config.ranks;
+  runtime_options.mailbox_capacity = config.channel_capacity;
+  runtime_options.fault_plan = config.fault_plan;
+  runtime_options.retry_timeout = config.retry_timeout;
+  runtime_options.max_retries = config.max_retries;
+  const FaultPlan* fault_plan = config.fault_plan.get();
+
   Runtime::run(runtime_options, [&](Comm& comm) {
     const auto r = static_cast<std::uint64_t>(comm.rank());
     // Span and timer open together so the exported per-rank span total
@@ -234,40 +321,122 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
     TRACE_SPAN("generate.rank");
     const Timer timer;
 
-    // Chunked arc production for this rank under the active scheme.
-    const auto produce = [&](auto&& emit_chunk) {
-      produce_chunks(a, b, n_b, grid, config, ranks, r,
-                     static_cast<std::size_t>(config.async_chunk), emit_chunk);
+    std::vector<Edge>& stored = result.stored_per_rank[r];
+    stored = std::move(resume_state.shard_arcs[r]);
+
+    const RankProduction production(a, b, n_b, grid, config, ranks, r, config.async_chunk);
+    const std::uint64_t my_chunks = production.num_chunks();
+
+    // Epoch structure.  Checkpointing slices the *global* chunk grid into
+    // epochs of checkpoint_every chunks (every rank walks the same epoch
+    // sequence — exchanges and snapshots are collective); otherwise the
+    // whole run is one epoch and nothing below this differs from a
+    // checkpoint-free generation.
+    std::uint64_t epoch_len = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t num_epochs = 1;
+    if (checkpointing) {
+      epoch_len = config.checkpoint_every;
+      const std::uint64_t max_chunks = comm.allreduce_max(my_chunks);
+      num_epochs = max_chunks == 0 ? 0 : (max_chunks - 1) / epoch_len + 1;
+    }
+
+    // Produce this rank's chunks with global indices in [first, last),
+    // clamped to what the rank actually has; each chunk boundary first
+    // consumes any armed crash event for (rank, chunk).
+    std::vector<Edge> chunk;
+    const auto produce_range = [&](std::uint64_t first, std::uint64_t last,
+                                   const auto& emit_chunk) {
+      TRACE_SPAN("generate.produce");
+      const std::uint64_t end = std::min(last, my_chunks);
+      for (std::uint64_t c = std::min(first, end); c < end; ++c) {
+        if (fault_plan && fault_plan->consume_crash(comm.rank(), c))
+          throw RankCrashError("injected crash: rank " + std::to_string(r) +
+                                   " at production chunk " + std::to_string(c),
+                               comm.rank(), c);
+        production.chunk_arcs(c, chunk);
+        result.generated_per_rank[r] += chunk.size();
+        TRACE_COUNTER_ADD("generate.arcs", chunk.size());
+        emit_chunk(std::span<const Edge>(chunk));
+      }
+    };
+
+    // Snapshot the epoch just completed: quiesce the reliable layer (a
+    // rank must not checkpoint with unacked sends in flight), make sure
+    // every rank has stored the epoch's arcs, publish the shards, then let
+    // rank 0 publish the manifest from the allgathered checksums.
+    const auto checkpoint_epoch = [&](std::uint64_t epoch) {
+      if (!checkpointing) return;
+      TRACE_SPAN("checkpoint.epoch");
+      comm.reliable_flush();
+      comm.barrier();
+      const std::uint64_t produced = std::min(my_chunks, (epoch + 1) * epoch_len);
+      write_shard_snapshot(shard_path(config.checkpoint_dir, comm.rank()), config_hash, r,
+                           epoch + 1, produced, stored);
+      const std::uint64_t checksum = arc_set_checksum(stored);
+      const auto checksums =
+          comm.allgather_values<std::uint64_t>(std::span<const std::uint64_t>(&checksum, 1));
+      if (r == 0) {
+        CheckpointManifest manifest;
+        manifest.config_hash = config_hash;
+        manifest.ranks = ranks;
+        manifest.completed_epochs = epoch + 1;
+        manifest.checkpoint_every = config.checkpoint_every;
+        manifest.shard_checksums.reserve(ranks);
+        for (const auto& one : checksums) manifest.shard_checksums.push_back(one.at(0));
+        write_manifest(config.checkpoint_dir, manifest);
+      }
+      // No rank runs ahead into the next epoch before the manifest is
+      // durable — shards may lead the manifest by at most one epoch, which
+      // resume tolerates (the replayed epoch deduplicates in gather()).
+      comm.barrier();
+    };
+
+    // Chunk range of one epoch (saturating: the single checkpoint-free
+    // epoch covers everything).
+    const auto epoch_chunks = [&](std::uint64_t epoch) {
+      const std::uint64_t first = epoch * epoch_len;  // epoch 0 when len is 2^64-1
+      const std::uint64_t last =
+          epoch_len > std::numeric_limits<std::uint64_t>::max() - first
+              ? std::numeric_limits<std::uint64_t>::max()
+              : first + epoch_len;
+      return std::pair<std::uint64_t, std::uint64_t>(first, last);
     };
 
     if (config.shuffle_to_owner && ranks > 1 && config.exchange == ExchangeMode::kAsync) {
-      async_exchange(comm, config, ranks, expected_stored, produce,
-                     result.stored_per_rank[r], result.generated_per_rank[r]);
-    } else if (config.shuffle_to_owner && ranks > 1) {
-      // Bulk-synchronous: buffer everything, one all-to-all.
-      TRACE_SPAN("exchange.bulk");
-      std::vector<std::vector<Edge>> outbox(ranks);
-      for (auto& to_rank : outbox) to_rank.reserve(expected_stored / ranks);
-      std::uint64_t generated = 0;
-      std::vector<std::uint64_t> owners;
-      produce([&](std::span<const Edge> arcs) {
-        generated += arcs.size();
-        TRACE_COUNTER_ADD("generate.arcs", arcs.size());
-        owners_of_chunk(arcs, config, ranks, owners);
-        for (std::size_t i = 0; i < arcs.size(); ++i) outbox[owners[i]].push_back(arcs[i]);
-      });
-      result.generated_per_rank[r] = generated;
-      auto inbox = comm.alltoallv(std::move(outbox));
-      std::vector<Edge>& stored = result.stored_per_rank[r];
-      std::size_t incoming = 0;
-      for (const auto& from_rank : inbox) incoming += from_rank.size();
-      stored.reserve(incoming);
-      for (auto& from_rank : inbox) {
-        stored.insert(stored.end(), from_rank.begin(), from_rank.end());
-        from_rank.clear();
+      stored.reserve(std::max<std::uint64_t>(expected_stored, stored.size()));
+      for (std::uint64_t epoch = start_epoch; epoch < num_epochs; ++epoch) {
+        const auto [first, last] = epoch_chunks(epoch);
+        async_exchange_epoch(
+            comm, config, ranks,
+            [&](const auto& emit) { produce_range(first, last, emit); }, stored);
+        checkpoint_epoch(epoch);
       }
-    } else {
-      // No shuffle: keep what we generate, via the blocked cell kernel.
+    } else if (config.shuffle_to_owner && ranks > 1) {
+      // Bulk-synchronous: buffer the epoch, one all-to-all per epoch (a
+      // single alltoallv for the whole run when not checkpointing).
+      for (std::uint64_t epoch = start_epoch; epoch < num_epochs; ++epoch) {
+        const auto [first, last] = epoch_chunks(epoch);
+        TRACE_SPAN("exchange.bulk");
+        std::vector<std::vector<Edge>> outbox(ranks);
+        for (auto& to_rank : outbox) to_rank.reserve(expected_stored / ranks);
+        std::vector<std::uint64_t> owners;
+        produce_range(first, last, [&](std::span<const Edge> arcs) {
+          owners_of_chunk(arcs, config, ranks, owners);
+          for (std::size_t i = 0; i < arcs.size(); ++i) outbox[owners[i]].push_back(arcs[i]);
+        });
+        auto inbox = comm.alltoallv(std::move(outbox));
+        std::size_t incoming = 0;
+        for (const auto& from_rank : inbox) incoming += from_rank.size();
+        stored.reserve(stored.size() + incoming);
+        for (auto& from_rank : inbox) {
+          stored.insert(stored.end(), from_rank.begin(), from_rank.end());
+          from_rank.clear();
+        }
+        checkpoint_epoch(epoch);
+      }
+    } else if (!checkpointing && fault_plan == nullptr) {
+      // No shuffle, no faults, no checkpoints: keep what we generate, via
+      // the fastest blocked cell kernel (no chunk staging).
       TRACE_SPAN("generate.local");
       std::vector<Edge> generated;
       if (config.scheme == PartitionScheme::k1D) {
@@ -284,7 +453,20 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
       }
       result.generated_per_rank[r] = generated.size();
       TRACE_COUNTER_ADD("generate.arcs", generated.size());
-      result.stored_per_rank[r] = std::move(generated);
+      stored = std::move(generated);
+    } else {
+      // No shuffle but faults or checkpoints are active: chunked local
+      // production so crash events and epoch snapshots see the same chunk
+      // boundaries as the shuffled modes.
+      TRACE_SPAN("generate.local");
+      stored.reserve(std::max<std::uint64_t>(production.total_arcs(), stored.size()));
+      for (std::uint64_t epoch = start_epoch; epoch < num_epochs; ++epoch) {
+        const auto [first, last] = epoch_chunks(epoch);
+        produce_range(first, last, [&](std::span<const Edge> arcs) {
+          stored.insert(stored.end(), arcs.begin(), arcs.end());
+        });
+        checkpoint_epoch(epoch);
+      }
     }
     result.rank_seconds[r] = timer.seconds();
     result.comm_per_rank[r] = comm.stats();

@@ -19,13 +19,18 @@
 //    from storage exactly as the paper prescribes.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <memory>
 #include <vector>
 
 #include "graph/edge_list.hpp"
 #include "runtime/comm_stats.hpp"
 
 namespace kron {
+
+class FaultPlan;
 
 enum class PartitionScheme {
   k1D,  ///< distribute A, replicate B (paper's implementation)
@@ -65,6 +70,36 @@ struct GeneratorConfig {
   /// Add full self loops to both factors before the product, producing
   /// (A + I_A) ⊗ (B + I_B).
   bool add_full_loops = false;
+
+  // --- fault injection & recovery (DESIGN.md §12) -------------------------
+
+  /// Deterministic fault schedule (runtime/faults.hpp).  Message-fault
+  /// rules switch the runtime's point-to-point traffic to the reliable
+  /// seq/ack/retransmit protocol; crash events make the named rank throw
+  /// RankCrashError at the named production-chunk boundary (catch it and
+  /// re-run with `resume = true` on the *same plan instance* to model a
+  /// restarted rank — each crash fires at most once per instance).
+  std::shared_ptr<const FaultPlan> fault_plan;
+  /// Initial retransmission timeout for unacked sends under a fault plan;
+  /// doubles per retry (bounded exponential backoff).
+  std::chrono::microseconds retry_timeout{2000};
+  /// Retransmissions per message before the send fails with CommFaultError.
+  int max_retries = 16;
+
+  /// Checkpoint directory (empty = checkpointing off).  With a directory
+  /// set, production is split into epochs of `checkpoint_every` chunks;
+  /// at every epoch boundary each rank snapshots its stored arcs
+  /// (graph/io.hpp ShardSnapshot) and rank 0 publishes the manifest
+  /// (core/checkpoint.hpp), both atomically.
+  std::filesystem::path checkpoint_dir;
+  /// Production chunks per checkpoint epoch (must be positive when
+  /// checkpointing).
+  std::uint64_t checkpoint_every = 8;
+  /// Resume from `checkpoint_dir`: completed epochs are skipped and each
+  /// rank's stored arcs are restored from its shard.  A directory without
+  /// a manifest starts fresh; a checkpoint from a different configuration
+  /// is rejected (config-hash mismatch).
+  bool resume = false;
 };
 
 struct GeneratorResult {

@@ -11,6 +11,7 @@
 #include <system_error>
 #include <vector>
 
+#include "util/hash.hpp"
 #include "util/overflow.hpp"
 #include "util/trace.hpp"
 
@@ -162,6 +163,113 @@ EdgeList read_edge_list_binary(const std::filesystem::path& path) {
     if (e.u >= n || e.v >= n)
       throw std::runtime_error("read_edge_list_binary: arc endpoint out of range");
   return EdgeList(n, std::move(list));
+}
+
+// --- generator shard snapshots (checkpoint/resume) -----------------------
+
+namespace {
+
+constexpr char kShardMagic[8] = {'K', 'R', 'O', 'N', 'C', 'K', '1', '\0'};
+
+/// Fixed-size shard header, written verbatim (all fields little-endian u64
+/// on every platform this library targets).
+struct ShardHeader {
+  char magic[8];
+  std::uint64_t config_hash;
+  std::uint64_t rank;
+  std::uint64_t completed_epochs;
+  std::uint64_t produced_chunks;
+  std::uint64_t num_arcs;
+  std::uint64_t checksum;
+};
+static_assert(sizeof(ShardHeader) == 56);
+
+}  // namespace
+
+std::uint64_t arc_set_checksum(std::span<const Edge> arcs) noexcept {
+  // Wrapping sum of per-arc hashes: insensitive to storage order (which
+  // varies run to run under the asynchronous exchange) but sensitive to
+  // the multiset of arcs, including direction.
+  std::uint64_t sum = 0;
+  for (const Edge& e : arcs) sum += hash_combine(mix64(e.u ^ 0x636b70746b726fULL), e.v);
+  return sum;
+}
+
+void write_shard_snapshot(const std::filesystem::path& path, std::uint64_t config_hash,
+                          std::uint64_t rank, std::uint64_t completed_epochs,
+                          std::uint64_t produced_chunks, std::span<const Edge> arcs) {
+  TRACE_SPAN("checkpoint.write_shard");
+  // Write-then-rename so a crash mid-write can never leave a torn file at
+  // the published path: readers see the old complete shard or the new one.
+  const std::filesystem::path temp = path.string() + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("write_shard_snapshot: cannot open " + temp.string());
+    ShardHeader header{};
+    std::memcpy(header.magic, kShardMagic, sizeof(kShardMagic));
+    header.config_hash = config_hash;
+    header.rank = rank;
+    header.completed_epochs = completed_epochs;
+    header.produced_chunks = produced_chunks;
+    header.num_arcs = arcs.size();
+    header.checksum = arc_set_checksum(arcs);
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(arcs.data()),
+              static_cast<std::streamsize>(arcs.size() * sizeof(Edge)));
+    if (!out)
+      throw std::runtime_error("write_shard_snapshot: write failed for " + temp.string());
+  }
+  std::error_code rename_error;
+  std::filesystem::rename(temp, path, rename_error);
+  if (rename_error)
+    throw std::runtime_error("write_shard_snapshot: cannot publish " + path.string() + ": " +
+                             rename_error.message());
+}
+
+ShardSnapshot read_shard_snapshot(const std::filesystem::path& path) {
+  TRACE_SPAN("checkpoint.read_shard");
+  std::error_code size_error;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, size_error);
+  if (size_error)
+    throw std::runtime_error("read_shard_snapshot: cannot stat " + path.string() + ": " +
+                             size_error.message());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_shard_snapshot: cannot open " + path.string());
+  ShardHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || std::memcmp(header.magic, kShardMagic, sizeof(kShardMagic)) != 0)
+    throw std::runtime_error("read_shard_snapshot: bad magic in " + path.string() +
+                             " (not a shard snapshot)");
+  // Untrusted count: the implied payload must not wrap and must match the
+  // bytes actually present — a torn shard fails here, not deep in a resume.
+  std::uint64_t payload_bytes = 0;
+  try {
+    payload_bytes = checked_mul(header.num_arcs, sizeof(Edge));
+  } catch (const std::overflow_error&) {
+    throw std::runtime_error("read_shard_snapshot: corrupt header in " + path.string() +
+                             ": arc count " + std::to_string(header.num_arcs) +
+                             " overflows the payload size");
+  }
+  if (file_size != sizeof(ShardHeader) + payload_bytes)
+    throw std::runtime_error("read_shard_snapshot: corrupt shard " + path.string() + ": " +
+                             std::to_string(header.num_arcs) + " arcs imply " +
+                             std::to_string(sizeof(ShardHeader) + payload_bytes) +
+                             " bytes but the file holds " + std::to_string(file_size));
+  ShardSnapshot shard;
+  shard.config_hash = header.config_hash;
+  shard.rank = header.rank;
+  shard.completed_epochs = header.completed_epochs;
+  shard.produced_chunks = header.produced_chunks;
+  shard.arcs.resize(header.num_arcs);
+  in.read(reinterpret_cast<char*>(shard.arcs.data()),
+          static_cast<std::streamsize>(payload_bytes));
+  if (!in || in.gcount() != static_cast<std::streamsize>(payload_bytes))
+    throw std::runtime_error("read_shard_snapshot: truncated payload in " + path.string());
+  if (arc_set_checksum(shard.arcs) != header.checksum)
+    throw std::runtime_error("read_shard_snapshot: checksum mismatch in " + path.string() +
+                             " (corrupted shard); restart the run without --resume");
+  return shard;
 }
 
 }  // namespace kron

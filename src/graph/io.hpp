@@ -39,4 +39,37 @@ void write_edge_list_binary(const std::filesystem::path& path, const EdgeList& e
 /// truncated payload, or trailing bytes.
 [[nodiscard]] EdgeList read_edge_list_binary(const std::filesystem::path& path);
 
+// --- generator shard snapshots (checkpoint/resume) -----------------------
+//
+// One rank's checkpoint state: the arcs it owns so far plus where its
+// production stands, stamped with the generation-configuration hash so a
+// resume against different factors or schemes is rejected, and an
+// order-independent checksum so torn or corrupted shard files are caught
+// before they poison a resumed run.  Binary format: a 24-byte header
+// ("KRONCK1\0" + config hash + rank) followed by epoch/chunk/arc counts,
+// the checksum, and the arc pairs; written atomically (temp file + rename).
+
+struct ShardSnapshot {
+  std::uint64_t config_hash = 0;      ///< core/checkpoint.hpp generator_config_hash
+  std::uint64_t rank = 0;             ///< owning rank
+  std::uint64_t completed_epochs = 0; ///< epochs fully exchanged and stored
+  std::uint64_t produced_chunks = 0;  ///< production chunks this rank finished
+  std::vector<Edge> arcs;             ///< arcs stored (owned) by the rank
+};
+
+/// Order-independent checksum of an arc set (stored-arc order varies run to
+/// run under the asynchronous exchange, the checksum must not).
+[[nodiscard]] std::uint64_t arc_set_checksum(std::span<const Edge> arcs) noexcept;
+
+/// Write a shard snapshot atomically (temp + rename); throws
+/// std::runtime_error on I/O failure.  Takes the arcs as a span so the
+/// per-epoch checkpoint never copies a rank's whole arc store.
+void write_shard_snapshot(const std::filesystem::path& path, std::uint64_t config_hash,
+                          std::uint64_t rank, std::uint64_t completed_epochs,
+                          std::uint64_t produced_chunks, std::span<const Edge> arcs);
+
+/// Read and verify a shard snapshot; throws std::runtime_error on a bad
+/// magic, size mismatch, or checksum divergence (corruption).
+[[nodiscard]] ShardSnapshot read_shard_snapshot(const std::filesystem::path& path);
+
 }  // namespace kron

@@ -85,6 +85,25 @@ class Channel {
     return value;
   }
 
+  /// Dequeue, waiting up to `timeout` for a message.  Returns nullopt on
+  /// timeout *or* when closed-and-drained — callers that must distinguish
+  /// check closed() afterwards.  The reliable-delivery layer's receive
+  /// slice: it needs to regain control periodically to retransmit.
+  template <typename Rep, typename Period>
+  std::optional<T> try_pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::optional<T> value;
+    {
+      std::unique_lock lock(mutex_);
+      if (!ready_.wait_for(lock, timeout, [this] { return !queue_.empty() || closed_; }))
+        return std::nullopt;
+      if (queue_.empty()) return std::nullopt;  // closed and drained
+      value = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_.notify_one();
+    return value;
+  }
+
   /// Dequeue without blocking; nullopt when currently empty.
   std::optional<T> try_pop() {
     std::optional<T> value;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -17,15 +18,28 @@ namespace detail {
 
 /// State shared by all ranks of one Runtime::run invocation.
 struct CommShared {
-  CommShared(int num_ranks, std::size_t mailbox_capacity)
-      : size(num_ranks), slots(static_cast<std::size_t>(num_ranks)) {
+  CommShared(int num_ranks, const RuntimeOptions& options)
+      : size(num_ranks),
+        fault_plan(options.fault_plan),
+        reliable(options.fault_plan != nullptr && options.fault_plan->has_message_faults()),
+        retry_timeout(options.retry_timeout),
+        max_retries(options.max_retries),
+        slots(static_cast<std::size_t>(num_ranks)) {
     mailboxes.reserve(static_cast<std::size_t>(size));
     for (int r = 0; r < size; ++r)
-      mailboxes.push_back(std::make_unique<Channel<RankMessage>>(mailbox_capacity));
+      mailboxes.push_back(std::make_unique<Channel<RankMessage>>(options.mailbox_capacity));
     a2a.resize(static_cast<std::size_t>(size));
   }
 
   const int size;
+
+  // Fault injection / reliable delivery (runtime/faults.hpp).  `reliable`
+  // is true only when the plan can actually fault a message, so plans that
+  // carry nothing but crash events leave the fast p2p path untouched.
+  const std::shared_ptr<const FaultPlan> fault_plan;
+  const bool reliable;
+  const std::chrono::microseconds retry_timeout;
+  const int max_retries;
 
   // Point-to-point mailboxes, one per destination rank.
   std::vector<std::unique_ptr<Channel<RankMessage>>> mailboxes;
@@ -69,14 +83,31 @@ struct CommShared {
 
 }  // namespace detail
 
-void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
-  if (dest < 0 || dest >= size_) throw std::out_of_range("Comm::send: bad destination rank");
-  auto& volume = stats_.sent[tag];
-  ++volume.messages;
-  volume.bytes += payload.size();
-  TRACE_COUNTER_ADD("comm.p2p_bytes", payload.size());
+namespace {
 
-  RankMessage message{rank_, tag, std::move(payload)};
+/// Internal tag carried by reliable-delivery acknowledgements; never
+/// surfaced to user code (and rejected as a user tag in reliable mode).
+constexpr int kAckTag = std::numeric_limits<int>::min();
+
+/// Receive time slice in reliable mode: how long a blocking pop waits
+/// before handing control back so overdue messages can be retransmitted.
+constexpr std::chrono::microseconds kRecvSlice{200};
+
+std::uint64_t read_seq(const std::vector<std::byte>& payload) {
+  std::uint64_t seq = 0;
+  std::memcpy(&seq, payload.data(), sizeof(seq));
+  return seq;
+}
+
+std::vector<std::byte> seq_only_payload(std::uint64_t seq) {
+  std::vector<std::byte> bytes(sizeof(seq));
+  std::memcpy(bytes.data(), &seq, sizeof(seq));
+  return bytes;
+}
+
+}  // namespace
+
+void Comm::push_raw(int dest, RankMessage message) {
   Channel<RankMessage>& box = *shared_->mailboxes[static_cast<std::size_t>(dest)];
   if (box.try_push(message)) return;
 
@@ -90,7 +121,166 @@ void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
   }
 }
 
+void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
+  if (dest < 0 || dest >= size_) throw std::out_of_range("Comm::send: bad destination rank");
+  auto& volume = stats_.sent[tag];
+  ++volume.messages;
+  volume.bytes += payload.size();
+  TRACE_COUNTER_ADD("comm.p2p_bytes", payload.size());
+
+  if (!shared_->reliable) {
+    push_raw(dest, RankMessage{rank_, tag, std::move(payload)});
+    return;
+  }
+
+  // Reliable path: assign a per-destination sequence number, keep the wire
+  // copy for retransmission, then let the fault plan decide the first
+  // transmission's fate.
+  if (tag == kAckTag)
+    throw std::invalid_argument("Comm::send: tag INT_MIN is reserved for reliable acks");
+  if (next_seq_.empty()) next_seq_.resize(static_cast<std::size_t>(size_), 0);
+  const std::uint64_t seq = next_seq_[static_cast<std::size_t>(dest)]++;
+
+  std::vector<std::byte> wire(sizeof(seq) + payload.size());
+  std::memcpy(wire.data(), &seq, sizeof(seq));
+  std::memcpy(wire.data() + sizeof(seq), payload.data(), payload.size());
+  unacked_.push_back(UnackedSend{dest, tag, seq, wire,
+                                 std::chrono::steady_clock::now() + shared_->retry_timeout,
+                                 std::chrono::nanoseconds(shared_->retry_timeout), 1});
+
+  const FaultDecision fate = shared_->fault_plan->decide(rank_, dest, tag, seq);
+  if (!fate.drop && fate.duplicate) {
+    ++stats_.faults.injected_dups;
+    TRACE_COUNTER_ADD("faults.dups", 1);
+    push_raw(dest, RankMessage{rank_, tag, wire});
+  }
+  if (fate.drop) {
+    // Not transmitted: the copy in unacked_ is delivered by retransmission.
+    ++stats_.faults.injected_drops;
+    TRACE_COUNTER_ADD("faults.drops", 1);
+  } else if (fate.delay_ops != 0) {
+    ++stats_.faults.injected_delays;
+    TRACE_COUNTER_ADD("faults.delays", 1);
+    delayed_.push_back(
+        DelayedDelivery{op_count_ + fate.delay_ops, dest, RankMessage{rank_, tag, std::move(wire)}});
+  } else {
+    push_raw(dest, RankMessage{rank_, tag, std::move(wire)});
+  }
+  service_reliable();
+}
+
+void Comm::service_reliable() {
+  ++op_count_;
+
+  // Release injected delays that have come due.
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->release_op <= op_count_) {
+      push_raw(it->dest, std::move(it->message));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (unacked_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& entry : unacked_) {
+    if (entry.deadline > now) continue;
+    if (entry.attempts > shared_->max_retries) {
+      throw CommFaultError("Comm: rank " + std::to_string(rank_) + " -> rank " +
+                               std::to_string(entry.dest) + " tag " +
+                               std::to_string(entry.tag) + " seq " +
+                               std::to_string(entry.seq) + ": unacked after " +
+                               std::to_string(entry.attempts - 1) +
+                               " retransmits (retries exhausted)",
+                           rank_, entry.dest, entry.tag);
+    }
+    TRACE_SPAN("comm.retransmit");
+    ++stats_.faults.retransmits;
+    TRACE_COUNTER_ADD("faults.retransmits", 1);
+    ++entry.attempts;
+    entry.backoff = std::min<std::chrono::nanoseconds>(entry.backoff * 2,
+                                                       shared_->retry_timeout * 64);
+    entry.deadline = now + entry.backoff;
+    push_raw(entry.dest, RankMessage{rank_, entry.tag, entry.payload});
+  }
+}
+
+void Comm::filter_reliable(RankMessage raw) {
+  if (raw.tag == kAckTag) {
+    ++stats_.faults.acks_received;
+    const std::uint64_t seq = read_seq(raw.payload);
+    for (auto it = unacked_.begin(); it != unacked_.end(); ++it) {
+      if (it->dest == raw.source && it->seq == seq) {
+        unacked_.erase(it);
+        break;
+      }
+    }
+    return;
+  }
+
+  // Data: acknowledge every arrival (including duplicates — the original
+  // ack may still be in flight when a retransmit lands), then sequence.
+  const std::uint64_t seq = read_seq(raw.payload);
+  ++stats_.faults.acks_sent;
+  push_raw(raw.source, RankMessage{rank_, kAckTag, seq_only_payload(seq)});
+
+  if (streams_.empty()) streams_.resize(static_cast<std::size_t>(size_));
+  SourceStream& stream = streams_[static_cast<std::size_t>(raw.source)];
+  if (seq < stream.next_seq || stream.out_of_order.count(seq) != 0) {
+    ++stats_.faults.duplicates_discarded;
+    return;
+  }
+  raw.payload.erase(raw.payload.begin(),
+                    raw.payload.begin() + static_cast<std::ptrdiff_t>(sizeof(seq)));
+  if (seq == stream.next_seq) {
+    ++stream.next_seq;
+    deliverable_.push_back(std::move(raw));
+    // A gap may have just closed: flush the consecutive run behind it.
+    for (auto it = stream.out_of_order.find(stream.next_seq);
+         it != stream.out_of_order.end();
+         it = stream.out_of_order.find(stream.next_seq)) {
+      deliverable_.push_back(std::move(it->second));
+      stream.out_of_order.erase(it);
+      ++stream.next_seq;
+    }
+  } else {
+    ++stats_.faults.out_of_order_buffered;
+    stream.out_of_order.emplace(seq, std::move(raw));
+  }
+}
+
+std::optional<RankMessage> Comm::pop_raw(bool block) {
+  if (!pending_.empty()) {
+    std::optional<RankMessage> message(std::move(pending_.front()));
+    pending_.pop_front();
+    return message;
+  }
+  Channel<RankMessage>& inbox = *shared_->mailboxes[static_cast<std::size_t>(rank_)];
+  if (!block) return inbox.try_pop();
+  std::optional<RankMessage> message = inbox.try_pop_for(kRecvSlice);
+  if (!message && inbox.closed())
+    throw CommAbortError("Comm::recv: mailbox closed (runtime aborted)");
+  return message;
+}
+
 RankMessage Comm::recv() {
+  if (shared_->reliable) {
+    while (deliverable_.empty()) {
+      service_reliable();
+      // Bounded wait so overdue retransmissions keep flowing even while
+      // this rank is parked waiting for data.
+      if (std::optional<RankMessage> raw = pop_raw(/*block=*/true))
+        filter_reliable(std::move(*raw));
+    }
+    RankMessage message = std::move(deliverable_.front());
+    deliverable_.pop_front();
+    auto& volume = stats_.received[message.tag];
+    ++volume.messages;
+    volume.bytes += message.payload.size();
+    return message;
+  }
+
   std::optional<RankMessage> message;
   if (!pending_.empty()) {
     message = std::move(pending_.front());
@@ -106,6 +296,22 @@ RankMessage Comm::recv() {
 }
 
 std::optional<RankMessage> Comm::try_recv() {
+  if (shared_->reliable) {
+    service_reliable();
+    while (deliverable_.empty()) {
+      std::optional<RankMessage> raw = pop_raw(/*block=*/false);
+      if (!raw) break;
+      filter_reliable(std::move(*raw));
+    }
+    if (deliverable_.empty()) return std::nullopt;
+    std::optional<RankMessage> message(std::move(deliverable_.front()));
+    deliverable_.pop_front();
+    auto& volume = stats_.received[message->tag];
+    ++volume.messages;
+    volume.bytes += message->payload.size();
+    return message;
+  }
+
   std::optional<RankMessage> message;
   if (!pending_.empty()) {
     message = std::move(pending_.front());
@@ -118,6 +324,22 @@ std::optional<RankMessage> Comm::try_recv() {
   ++volume.messages;
   volume.bytes += message->payload.size();
   return message;
+}
+
+bool Comm::reliable() const noexcept { return shared_->reliable; }
+
+void Comm::reliable_flush() {
+  if (!shared_->reliable) return;
+  TRACE_SPAN("comm.reliable_flush");
+  // Injected delays are released immediately: a flush point means the
+  // protocol needs everything on the wire now.
+  for (auto& held : delayed_) push_raw(held.dest, std::move(held.message));
+  delayed_.clear();
+  while (!unacked_.empty()) {
+    service_reliable();
+    if (std::optional<RankMessage> raw = pop_raw(/*block=*/true))
+      filter_reliable(std::move(*raw));
+  }
 }
 
 void Comm::timed_barrier() {
@@ -230,6 +452,12 @@ namespace {
   } catch (std::exception& e) {
     const std::string annotated = "rank " + std::to_string(rank) + ": " + e.what();
     if (typeid(e) == typeid(CommAbortError)) throw CommAbortError(annotated);
+    if (const auto* fault = dynamic_cast<const CommFaultError*>(&e);
+        fault != nullptr && typeid(e) == typeid(CommFaultError))
+      throw CommFaultError(annotated, fault->source(), fault->dest(), fault->tag());
+    if (const auto* crash = dynamic_cast<const RankCrashError*>(&e);
+        crash != nullptr && typeid(e) == typeid(RankCrashError))
+      throw RankCrashError(annotated, crash->rank(), crash->chunk());
     if (typeid(e) == typeid(std::runtime_error)) throw std::runtime_error(annotated);
     if (typeid(e) == typeid(std::invalid_argument)) throw std::invalid_argument(annotated);
     if (typeid(e) == typeid(std::out_of_range)) throw std::out_of_range(annotated);
@@ -251,13 +479,15 @@ namespace {
 }  // namespace
 
 void Runtime::run(int ranks, const std::function<void(Comm&)>& body) {
-  run(RuntimeOptions{ranks, 0}, body);
+  RuntimeOptions options;
+  options.ranks = ranks;
+  run(options, body);
 }
 
 void Runtime::run(const RuntimeOptions& options, const std::function<void(Comm&)>& body) {
   const int ranks = options.ranks;
   if (ranks < 1) throw std::invalid_argument("Runtime::run: need at least one rank");
-  auto shared = std::make_shared<detail::CommShared>(ranks, options.mailbox_capacity);
+  auto shared = std::make_shared<detail::CommShared>(ranks, options);
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks));
@@ -270,6 +500,9 @@ void Runtime::run(const RuntimeOptions& options, const std::function<void(Comm&)
       try {
         TRACE_SPAN("runtime.rank");
         body(comm);
+        // A rank must not exit while messages it sent are unacked — its
+        // retransmission timers die with it.  No-op without a fault plan.
+        comm.reliable_flush();
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         shared->abort_all();

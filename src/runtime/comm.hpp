@@ -16,11 +16,14 @@
 //   });
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <list>
+#include <map>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -28,6 +31,7 @@
 
 #include "runtime/channel.hpp"
 #include "runtime/comm_stats.hpp"
+#include "runtime/faults.hpp"
 
 namespace kron {
 
@@ -121,10 +125,24 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> alltoallv(std::vector<std::vector<T>> outbox);
 
+  // --- reliable delivery --------------------------------------------------
+
+  /// True when this runtime injects faults and wraps point-to-point
+  /// traffic in the reliable (seq/ack/retry) protocol.
+  [[nodiscard]] bool reliable() const noexcept;
+
+  /// Block until every message this rank sent has been acknowledged,
+  /// releasing any injected delays and retransmitting as needed.  Called
+  /// automatically when the rank body returns; protocols that must not
+  /// leave the exchange with in-flight data (e.g. before a checkpoint)
+  /// call it explicitly.  No-op when the runtime is not reliable.
+  void reliable_flush();
+
   // --- telemetry ----------------------------------------------------------
 
   /// Snapshot of this rank's communication ledger (messages/bytes per tag,
-  /// barrier waits, collective volumes, inbox high-water mark).
+  /// barrier waits, collective volumes, inbox high-water mark, injected
+  /// faults and recovery work).
   [[nodiscard]] CommStats stats() const;
 
  private:
@@ -148,6 +166,51 @@ class Comm {
   // Messages popped from our own inbox while a bounded send was waiting;
   // recv/try_recv serve these before touching the mailbox.
   std::deque<RankMessage> pending_;
+
+  // --- reliable-delivery state (touched only by this rank's thread; used
+  // only when a FaultPlan with message faults is installed) --------------
+
+  /// One unacknowledged transmission, kept verbatim for retransmission.
+  struct UnackedSend {
+    int dest = 0;
+    int tag = 0;
+    std::uint64_t seq = 0;
+    std::vector<std::byte> payload;  ///< user payload (no wire header)
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::nanoseconds backoff{0};
+    int attempts = 1;
+  };
+  /// An injected-delay hold: deliver `message` once this rank has
+  /// performed `release_op` further runtime operations.
+  struct DelayedDelivery {
+    std::uint64_t release_op = 0;
+    int dest = 0;
+    RankMessage message;
+  };
+  /// Receive-side sequencing for one sender.
+  struct SourceStream {
+    std::uint64_t next_seq = 0;
+    std::map<std::uint64_t, RankMessage> out_of_order;
+  };
+
+  // Enqueue into `dest`'s mailbox with the bounded-channel backpressure
+  // discipline (drains own inbox into pending_ while waiting).
+  void push_raw(int dest, RankMessage message);
+  // Release due delayed deliveries and retransmit overdue unacked sends;
+  // throws CommFaultError when a send exhausts its retries.
+  void service_reliable();
+  // Classify one raw arrival: acks and dups are consumed, in-order data
+  // lands in deliverable_, out-of-order data is buffered.
+  void filter_reliable(RankMessage raw);
+  // Next raw message from pending_ / the mailbox (reliable mode helper).
+  [[nodiscard]] std::optional<RankMessage> pop_raw(bool block);
+
+  std::deque<RankMessage> deliverable_;   ///< sequenced data ready for recv
+  std::vector<std::uint64_t> next_seq_;   ///< per-destination send sequence
+  std::vector<SourceStream> streams_;     ///< per-source receive sequencing
+  std::deque<DelayedDelivery> delayed_;   ///< injected delays awaiting release
+  std::list<UnackedSend> unacked_;        ///< retransmit buffer
+  std::uint64_t op_count_ = 0;            ///< operations, for delay release
 
   CommStats stats_;
 
@@ -180,6 +243,18 @@ struct RuntimeOptions {
   /// bound turns point-to-point sends into backpressured (blocking)
   /// operations, capping per-rank in-flight memory.
   std::size_t mailbox_capacity = 0;
+  /// Deterministic fault schedule (runtime/faults.hpp).  Installing a plan
+  /// with message faults switches point-to-point traffic to the reliable
+  /// seq/ack/retransmit protocol; acknowledgements themselves travel
+  /// un-faulted (the in-process transport is lossless — faults model the
+  /// network on payload transmissions).
+  std::shared_ptr<const FaultPlan> fault_plan;
+  /// Initial retransmission timeout for unacked sends (reliable mode);
+  /// doubles per retry up to 64x.
+  std::chrono::microseconds retry_timeout{2000};
+  /// Retransmissions per message before the send fails with a
+  /// CommFaultError naming the destination rank and tag.
+  int max_retries = 16;
 };
 
 /// SPMD launcher.

@@ -21,6 +21,26 @@ struct TagVolume {
   std::uint64_t bytes = 0;
 };
 
+/// Fault-injection and reliable-delivery counters for one rank (all zero
+/// unless a FaultPlan was installed; see runtime/faults.hpp).
+struct FaultStats {
+  // Faults the plan injected into this rank's outgoing transmissions.
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_dups = 0;
+  std::uint64_t injected_delays = 0;
+  // Recovery work the reliable layer performed.
+  std::uint64_t retransmits = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t duplicates_discarded = 0;   ///< received dups filtered out
+  std::uint64_t out_of_order_buffered = 0;  ///< arrivals held for sequencing
+
+  [[nodiscard]] bool any() const {
+    return injected_drops | injected_dups | injected_delays | retransmits | acks_sent |
+           acks_received | duplicates_discarded | out_of_order_buffered;
+  }
+};
+
 /// One rank's communication ledger (all counters cumulative over the
 /// rank's lifetime inside a single Runtime::run).
 struct CommStats {
@@ -44,6 +64,9 @@ struct CommStats {
   // sends had to wait for space in a bounded destination mailbox.
   std::uint64_t mailbox_high_water = 0;
   std::uint64_t send_backpressure_waits = 0;
+
+  // Injected-fault and recovery ledger (zero without a FaultPlan).
+  FaultStats faults;
 
   [[nodiscard]] std::uint64_t messages_sent() const {
     std::uint64_t total = 0;

@@ -1,0 +1,185 @@
+#include "runtime/faults.hpp"
+
+#include <charconv>
+#include <cstddef>
+
+#include "util/hash.hpp"
+
+namespace kron {
+
+FaultPlan::FaultPlan(const FaultPlan& other)
+    : seed_(other.seed_), rules_(other.rules_), crashes_(other.crashes_) {
+  fired_.reserve(other.fired_.size());
+  for (const auto& latch : other.fired_)
+    fired_.push_back(std::make_unique<std::atomic<bool>>(latch->load()));
+}
+
+FaultPlan& FaultPlan::operator=(const FaultPlan& other) {
+  if (this == &other) return *this;
+  FaultPlan copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+FaultPlan& FaultPlan::with_crash(int rank, std::uint64_t chunk) {
+  crashes_.push_back(CrashEvent{rank, chunk});
+  fired_.push_back(std::make_unique<std::atomic<bool>>(false));
+  return *this;
+}
+
+bool FaultPlan::has_message_faults() const noexcept {
+  for (const FaultRule& rule : rules_)
+    if (rule.drop > 0.0 || rule.dup > 0.0 || rule.delay > 0.0) return true;
+  return false;
+}
+
+namespace {
+
+/// Deterministic unit draw for one (seed, message, fate) coordinate.
+double fault_draw(std::uint64_t seed, int source, int dest, int tag, std::uint64_t seq,
+                  std::uint64_t fate_salt) noexcept {
+  std::uint64_t h = mix64(seed ^ fate_salt);
+  h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(source)));
+  h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(dest)));
+  h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+  h = hash_combine(h, seq);
+  return to_unit(h);
+}
+
+constexpr std::uint64_t kDropSalt = 0x64726f70ULL;    // "drop"
+constexpr std::uint64_t kDupSalt = 0x647570ULL;       // "dup"
+constexpr std::uint64_t kDelaySalt = 0x64656c6179ULL; // "delay"
+
+}  // namespace
+
+FaultDecision FaultPlan::decide(int source, int dest, int tag,
+                                std::uint64_t seq) const noexcept {
+  FaultDecision decision;
+  for (const FaultRule& rule : rules_) {
+    if (rule.source != -1 && rule.source != source) continue;
+    if (rule.tag != -1 && rule.tag != tag) continue;
+    if (rule.drop > 0.0 && fault_draw(seed_, source, dest, tag, seq, kDropSalt) < rule.drop)
+      decision.drop = true;
+    if (rule.dup > 0.0 && fault_draw(seed_, source, dest, tag, seq, kDupSalt) < rule.dup)
+      decision.duplicate = true;
+    if (rule.delay > 0.0) {
+      const double draw = fault_draw(seed_, source, dest, tag, seq, kDelaySalt);
+      if (draw < rule.delay) {
+        // Defer by 1..8 sender operations, deterministically from the draw.
+        decision.delay_ops = 1 + static_cast<std::uint32_t>(draw / rule.delay * 8.0) % 8;
+      }
+    }
+  }
+  if (decision.drop) decision.delay_ops = 0;  // a dropped transmit cannot also be delayed
+  return decision;
+}
+
+bool FaultPlan::consume_crash(int rank, std::uint64_t chunk) const {
+  for (std::size_t i = 0; i < crashes_.size(); ++i) {
+    if (crashes_[i].rank != rank || crashes_[i].chunk != chunk) continue;
+    bool expected = false;
+    if (fired_[i]->compare_exchange_strong(expected, true)) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> FaultPlan::next_crash_chunk(int rank) const {
+  std::optional<std::uint64_t> next;
+  for (std::size_t i = 0; i < crashes_.size(); ++i) {
+    if (crashes_[i].rank != rank || fired_[i]->load()) continue;
+    if (!next || crashes_[i].chunk < *next) next = crashes_[i].chunk;
+  }
+  return next;
+}
+
+namespace {
+
+[[noreturn]] void bad_term(const std::string& term, const std::string& why) {
+  throw std::invalid_argument("FaultPlan::parse: bad term '" + term + "' (" + why + ")");
+}
+
+/// Strict full-token numeric parse of spec fragments (no stoull: "-1" must
+/// not wrap and "3x" must not pass).
+std::uint64_t parse_u64_term(const std::string& term, std::string_view text,
+                             const char* what) {
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [next, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || next != end || text.empty())
+    bad_term(term, std::string(what) + " expects a nonnegative integer, got '" +
+                       std::string(text) + "'");
+  return value;
+}
+
+double parse_prob_term(const std::string& term, std::string_view text) {
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [next, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || next != end || text.empty())
+    bad_term(term, "expects a probability, got '" + std::string(text) + "'");
+  if (value < 0.0 || value > 1.0)
+    bad_term(term, "probability must be in [0,1]");
+  return value;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string term = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (term.empty()) continue;
+    const std::size_t colon = term.find(':');
+    if (colon == std::string::npos) bad_term(term, "expected kind:value");
+    const std::string kind = term.substr(0, colon);
+    std::string value = term.substr(colon + 1);
+
+    if (kind == "seed") {
+      plan.with_seed(parse_u64_term(term, value, "seed"));
+      continue;
+    }
+    if (kind == "crash") {
+      const std::size_t at = value.find('@');
+      if (at == std::string::npos) bad_term(term, "expected crash:R@C");
+      const auto rank = parse_u64_term(term, std::string_view(value).substr(0, at), "rank");
+      const auto chunk =
+          parse_u64_term(term, std::string_view(value).substr(at + 1), "chunk");
+      plan.with_crash(static_cast<int>(rank), chunk);
+      continue;
+    }
+    if (kind != "drop" && kind != "dup" && kind != "delay")
+      bad_term(term, "unknown fault kind '" + kind + "'");
+
+    // Optional scope suffix: "@rR" (source rank) or "@tT" (tag).
+    FaultRule rule;
+    const std::size_t at = value.find('@');
+    if (at != std::string::npos) {
+      const std::string scope = value.substr(at + 1);
+      value = value.substr(0, at);
+      if (scope.size() < 2 || (scope[0] != 'r' && scope[0] != 't'))
+        bad_term(term, "scope must be @rR (source rank) or @tT (tag)");
+      const auto scoped = parse_u64_term(term, std::string_view(scope).substr(1), "scope");
+      if (scope[0] == 'r')
+        rule.source = static_cast<int>(scoped);
+      else
+        rule.tag = static_cast<int>(scoped);
+    }
+    const double probability = parse_prob_term(term, value);
+    if (kind == "drop")
+      rule.drop = probability;
+    else if (kind == "dup")
+      rule.dup = probability;
+    else
+      rule.delay = probability;
+    plan.with_rule(rule);
+  }
+  return plan;
+}
+
+}  // namespace kron

@@ -1,0 +1,165 @@
+// Deterministic fault injection for the in-process runtime.
+//
+// The paper's generator ran on up to 1.57M cores — a regime where dropped
+// messages, duplicated deliveries, and rank failures are routine operating
+// conditions, not exceptional ones.  This header provides the *fault model*
+// the runtime is validated under:
+//
+//  * A `FaultPlan` is a seedable, immutable schedule of message faults
+//    (drop / duplicate / delay, scoped per source rank and per tag) and
+//    rank-crash events (rank r aborts at production-chunk boundary c).
+//    Every per-message decision is a pure hash of
+//    (seed, source, dest, tag, sequence), so a plan injects *exactly the
+//    same* faults on every run regardless of thread scheduling — chaos
+//    tests are reproducible bit for bit.
+//  * Installing a plan via `RuntimeOptions::fault_plan` switches `Comm`
+//    point-to-point traffic to a reliable-delivery wrapper (sequence
+//    numbers, acks, bounded retransmission with exponential backoff) that
+//    recovers from the injected drops and duplicates transparently; see
+//    runtime/comm.hpp.  When retries exhaust, the send fails with a
+//    structured `CommFaultError` naming the offending rank and tag.
+//  * Crash events are consumed by the generator at chunk boundaries
+//    (core/generator.cpp) and fire **at most once per plan instance**, so
+//    a driver that catches the resulting `RankCrashError` and re-runs with
+//    `--resume` models a restarted rank recovering from checkpoints.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kron {
+
+/// Structured failure raised when the reliable-delivery layer gives up on
+/// a message: retries exhausted against a destination that never acked.
+class CommFaultError : public std::runtime_error {
+ public:
+  CommFaultError(std::string what, int source, int dest, int tag)
+      : std::runtime_error(std::move(what)), source_(source), dest_(dest), tag_(tag) {}
+
+  [[nodiscard]] int source() const noexcept { return source_; }
+  [[nodiscard]] int dest() const noexcept { return dest_; }
+  [[nodiscard]] int tag() const noexcept { return tag_; }
+
+ private:
+  int source_ = -1;
+  int dest_ = -1;
+  int tag_ = -1;
+};
+
+/// Injected rank failure: thrown by the generator when a FaultPlan crash
+/// event fires at a production-chunk boundary.  Catch it, then re-run with
+/// GeneratorConfig::resume to recover from the last checkpoint.
+class RankCrashError : public std::runtime_error {
+ public:
+  RankCrashError(std::string what, int rank, std::uint64_t chunk)
+      : std::runtime_error(std::move(what)), rank_(rank), chunk_(chunk) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] std::uint64_t chunk() const noexcept { return chunk_; }
+
+ private:
+  int rank_ = -1;
+  std::uint64_t chunk_ = 0;
+};
+
+/// One message-fault rule.  A rule matches a message when both scopes
+/// accept it (`source == -1` matches every source rank, `tag == -1` every
+/// tag); every matching rule in FaultPlan::rules contributes its fates
+/// independently (so "drop:P,dup:Q" can both fire on one message).
+struct FaultRule {
+  double drop = 0.0;   ///< P(message is not delivered on first transmit)
+  double dup = 0.0;    ///< P(message is delivered twice)
+  double delay = 0.0;  ///< P(first delivery is deferred by a few operations)
+  int source = -1;     ///< restrict to one sending rank (-1 = any)
+  int tag = -1;        ///< restrict to one message tag (-1 = any)
+};
+
+/// One injected rank failure: `rank` throws RankCrashError when it reaches
+/// production chunk `chunk`.  Fires at most once per plan instance.
+struct CrashEvent {
+  int rank = 0;
+  std::uint64_t chunk = 0;
+};
+
+/// What the plan decided for one (source, dest, tag, seq) message.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  /// Nonzero: hold the first delivery until the sender has performed this
+  /// many further runtime operations (a deterministic reordering delay).
+  std::uint32_t delay_ops = 0;
+};
+
+/// A deterministic, seedable fault schedule.  Immutable after construction
+/// apart from the one-shot crash arming; safe to share across ranks.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  // Copies carry the crash latch *states* (an already-fired crash stays
+  // fired in the copy), so passing a plan by value cannot re-arm it.
+  FaultPlan(const FaultPlan& other);
+  FaultPlan& operator=(const FaultPlan& other);
+  FaultPlan(FaultPlan&&) noexcept = default;
+  FaultPlan& operator=(FaultPlan&&) noexcept = default;
+  ~FaultPlan() = default;
+
+  /// Parse a comma-separated spec, e.g.
+  ///   "drop:0.01,dup:0.005,delay:0.02,crash:1@3,seed:42"
+  /// Terms:
+  ///   drop:P | dup:P | delay:P   message-fault probabilities in [0,1],
+  ///                              optionally scoped "drop:P@rR" (source
+  ///                              rank R) or "drop:P@tT" (tag T)
+  ///   crash:R@C                  rank R crashes at production chunk C
+  ///   seed:S                     decision seed (default 0)
+  /// Each probability term opens a new rule; scopes attach to the term
+  /// they follow.  Throws std::invalid_argument with the offending term.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// Fluent construction for tests / programmatic plans.
+  FaultPlan& with_rule(const FaultRule& rule) {
+    rules_.push_back(rule);
+    return *this;
+  }
+  FaultPlan& with_crash(int rank, std::uint64_t chunk);
+  FaultPlan& with_seed(std::uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const std::vector<FaultRule>& rules() const noexcept { return rules_; }
+  [[nodiscard]] const std::vector<CrashEvent>& crashes() const noexcept { return crashes_; }
+
+  /// True when any rule can fault a message (drives the reliable layer).
+  [[nodiscard]] bool has_message_faults() const noexcept;
+
+  /// Deterministic fate of message (source → dest, tag, seq): a pure
+  /// function of the plan seed and the coordinates.
+  [[nodiscard]] FaultDecision decide(int source, int dest, int tag,
+                                     std::uint64_t seq) const noexcept;
+
+  /// One-shot crash trigger: true exactly once for the first call that
+  /// matches an armed (rank, chunk) event; later calls (e.g. after a
+  /// resume re-runs the same plan) see the event as already fired.
+  [[nodiscard]] bool consume_crash(int rank, std::uint64_t chunk) const;
+
+  /// Next armed (not yet fired) crash chunk for `rank`, if any.
+  [[nodiscard]] std::optional<std::uint64_t> next_crash_chunk(int rank) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<FaultRule> rules_;
+  std::vector<CrashEvent> crashes_;
+  // fired_[i] belongs to crashes_[i]; mutable one-shot latches so a shared
+  // const plan can fire each crash exactly once across generation attempts.
+  mutable std::vector<std::unique_ptr<std::atomic<bool>>> fired_;
+};
+
+}  // namespace kron

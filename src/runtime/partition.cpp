@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/overflow.hpp"
+
 namespace kron {
 
 IndexRange block_range(std::uint64_t total, std::uint64_t parts, std::uint64_t part) {
@@ -10,9 +12,20 @@ IndexRange block_range(std::uint64_t total, std::uint64_t parts, std::uint64_t p
   if (part >= parts) throw std::out_of_range("block_range: part index out of range");
   const std::uint64_t base = total / parts;
   const std::uint64_t extra = total % parts;
-  const std::uint64_t begin = part * base + std::min(part, extra);
-  const std::uint64_t size = base + (part < extra ? 1 : 0);
-  return {begin, begin + size};
+  // `total` is an untrusted 64-bit count (arc totals near 2^64 arrive here
+  // from file headers and CLI options): route the offset arithmetic through
+  // checked ops so a wrap surfaces as a diagnostic, not a bogus range —
+  // the same treatment PR 4 gave the vertex-count products.
+  try {
+    const std::uint64_t begin = checked_add(checked_mul(part, base), std::min(part, extra));
+    const std::uint64_t size = base + (part < extra ? 1 : 0);
+    return {begin, checked_add(begin, size)};
+  } catch (const std::overflow_error&) {
+    throw std::overflow_error(
+        "block_range: partition offset overflows 64 bits (total " + std::to_string(total) +
+        ", parts " + std::to_string(parts) + ", part " + std::to_string(part) +
+        "); use fewer elements or more parts");
+  }
 }
 
 Grid2D::Grid2D(std::uint64_t ranks) : ranks_(ranks) {

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <stdexcept>
 
 namespace kron {
@@ -42,26 +43,51 @@ std::string CliArgs::require(const std::string& name) const {
   return *value;
 }
 
+std::uint64_t CliArgs::parse_u64(const std::string& option, const std::string& text) {
+  // std::stoull silently accepts "-1" (wrapping to 2^64-1), "10x" (parses
+  // the prefix) and leading whitespace — all of which here are user typos
+  // that must be diagnosed, not absorbed.  std::from_chars with a
+  // full-token check rejects every one of them.
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  std::uint64_t parsed = 0;
+  const auto [next, ec] = std::from_chars(begin, end, parsed);
+  if (ec == std::errc::result_out_of_range)
+    throw std::invalid_argument("option " + option + " value '" + text +
+                                "' does not fit in 64 bits");
+  if (ec != std::errc() || next != end || text.empty())
+    throw std::invalid_argument("option " + option + " expects an unsigned integer, got '" +
+                                text + "'");
+  return parsed;
+}
+
 std::uint64_t CliArgs::get_u64(const std::string& name, std::uint64_t fallback) const {
   const auto value = get(name);
   if (!value) return fallback;
-  try {
-    return std::stoull(*value);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("option --" + name + " expects an integer, got '" + *value +
-                                "'");
-  }
+  return parse_u64("--" + name, *value);
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name, std::uint64_t fallback,
+                               std::uint64_t min, std::uint64_t max) const {
+  const std::uint64_t parsed = get_u64(name, fallback);
+  if (parsed < min || parsed > max)
+    throw std::invalid_argument("option --" + name + " value " + std::to_string(parsed) +
+                                " is outside [" + std::to_string(min) + ", " +
+                                std::to_string(max) + "]");
+  return parsed;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto value = get(name);
   if (!value) return fallback;
-  try {
-    return std::stod(*value);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("option --" + name + " expects a number, got '" + *value +
-                                "'");
-  }
+  const std::string& text = *value;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  double parsed = 0.0;
+  const auto [next, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc() || next != end || text.empty())
+    throw std::invalid_argument("option --" + name + " expects a number, got '" + text + "'");
+  return parsed;
 }
 
 void CliArgs::reject_unknown(const std::set<std::string>& known) const {

@@ -30,7 +30,17 @@ class CliArgs {
   [[nodiscard]] std::string require(const std::string& name) const;
 
   [[nodiscard]] std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+  /// As get_u64, additionally rejecting values outside [min, max] with a
+  /// diagnostic naming the option, the value, and the accepted range.
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name, std::uint64_t fallback,
+                                      std::uint64_t min, std::uint64_t max) const;
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// Strict unsigned parse of `text`: the whole token must be consumed and
+  /// must fit in 64 bits (no sign, no trailing garbage, no overflow
+  /// wrapping).  Diagnostics name `option` and the offending value.
+  [[nodiscard]] static std::uint64_t parse_u64(const std::string& option,
+                                               const std::string& text);
 
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;

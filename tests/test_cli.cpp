@@ -54,6 +54,69 @@ TEST(Cli, NonNumericValuesRejectedByTypedGetters) {
   EXPECT_THROW((void)args.get_double("p", 0), std::invalid_argument);
 }
 
+// The stoull bug family: "-1" silently wrapped to 2^64-1, "10x" parsed its
+// prefix, and 21-digit values wrapped.  All must now be diagnosed.
+TEST(Cli, NegativeIntegersRejected) {
+  const CliArgs args = parse({"--n", "-1"});
+  EXPECT_THROW((void)args.get_u64("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, TrailingGarbageRejected) {
+  const CliArgs args = parse({"--n", "10x", "--m", "1 2", "--p", "0.5abc"});
+  EXPECT_THROW((void)args.get_u64("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_u64("m", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("p", 0), std::invalid_argument);
+}
+
+TEST(Cli, OverflowRejectedNotWrapped) {
+  const CliArgs args = parse({"--n", "99999999999999999999"});  // > 2^64-1
+  try {
+    (void)args.get_u64("n", 0);
+    FAIL() << "expected overflow diagnostic";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("does not fit in 64 bits"), std::string::npos);
+  }
+}
+
+TEST(Cli, MaxU64StillAccepted) {
+  const CliArgs args = parse({"--n", "18446744073709551615"});
+  EXPECT_EQ(args.get_u64("n", 0), 18446744073709551615ull);
+}
+
+TEST(Cli, EmptyAndWhitespaceValuesRejected) {
+  const CliArgs args = parse({"--n", "", "--m", " 7"});
+  EXPECT_THROW((void)args.get_u64("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_u64("m", 0), std::invalid_argument);  // stoull skipped ws
+}
+
+TEST(Cli, RangeCheckedGetter) {
+  const CliArgs args = parse({"--ranks", "4"});
+  EXPECT_EQ(args.get_u64("ranks", 1, 1, 8), 4u);
+  EXPECT_THROW((void)args.get_u64("ranks", 1, 5, 8), std::invalid_argument);
+  EXPECT_THROW((void)args.get_u64("ranks", 1, 1, 3), std::invalid_argument);
+  // The fallback is range-checked too: a default outside the range is a bug.
+  EXPECT_EQ(args.get_u64("missing", 2, 1, 8), 2u);
+}
+
+TEST(Cli, ParseU64NamesTheOptionAndValue) {
+  try {
+    (void)CliArgs::parse_u64("--vertex", "-1");
+    FAIL() << "expected diagnostic";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--vertex"), std::string::npos);
+    EXPECT_NE(what.find("'-1'"), std::string::npos);
+  }
+  EXPECT_EQ(CliArgs::parse_u64("--vertex", "42"), 42u);
+}
+
+TEST(Cli, DoubleParsingStillAcceptsUsualForms) {
+  const CliArgs args = parse({"--p", "0.25", "--q", "1e-3", "--r", "-0.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0), 0.25);
+  EXPECT_DOUBLE_EQ(args.get_double("q", 0), 1e-3);
+  EXPECT_DOUBLE_EQ(args.get_double("r", 0), -0.5);
+}
+
 TEST(Cli, RejectUnknownCatchesTypos) {
   const CliArgs args = parse({"--rnaks", "4"});
   EXPECT_THROW(args.reject_unknown({"ranks", "out"}), std::invalid_argument);

@@ -1,0 +1,430 @@
+// Fault injection, reliable delivery, and checkpoint/resume (DESIGN.md §12).
+//
+// The chaos tests pin the PR's core guarantee: a generation run under a
+// nonzero fault plan — message drops, duplicates, delays, plus a rank
+// crash recovered via checkpoint resume — produces an edge list *bit
+// identical* to the fault-free run, across partition schemes and rank
+// counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/generator.hpp"
+#include "gen/erdos.hpp"
+#include "graph/io.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/faults.hpp"
+
+namespace kron {
+namespace {
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ------------------------------------------------------------ plan parsing
+
+TEST(FaultPlanParse, FullSpec) {
+  const FaultPlan plan = FaultPlan::parse("drop:0.01,dup:0.005,delay:0.02@r1,crash:1@3,seed:42");
+  EXPECT_EQ(plan.seed(), 42u);
+  ASSERT_EQ(plan.rules().size(), 3u);
+  EXPECT_DOUBLE_EQ(plan.rules()[0].drop, 0.01);
+  EXPECT_DOUBLE_EQ(plan.rules()[1].dup, 0.005);
+  EXPECT_DOUBLE_EQ(plan.rules()[2].delay, 0.02);
+  EXPECT_EQ(plan.rules()[2].source, 1);
+  ASSERT_EQ(plan.crashes().size(), 1u);
+  EXPECT_EQ(plan.crashes()[0].rank, 1);
+  EXPECT_EQ(plan.crashes()[0].chunk, 3u);
+  EXPECT_TRUE(plan.has_message_faults());
+}
+
+TEST(FaultPlanParse, CrashOnlyPlanHasNoMessageFaults) {
+  const FaultPlan plan = FaultPlan::parse("crash:0@2");
+  EXPECT_FALSE(plan.has_message_faults());
+  EXPECT_EQ(plan.crashes().size(), 1u);
+}
+
+TEST(FaultPlanParse, RejectsMalformedTerms) {
+  EXPECT_THROW((void)FaultPlan::parse("drop:1.5"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("drop:-0.1"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("drop:abc"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("crash:1"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("crash:1@x"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("bogus:1"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("drop:0.1@z5"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("seed:12junk"), std::invalid_argument);
+}
+
+// ------------------------------------------------------- decisions & crash
+
+TEST(FaultPlan, DecisionsAreDeterministic) {
+  FaultPlan plan;
+  plan.with_rule({.drop = 0.5, .dup = 0.5}).with_seed(7);
+  int drops = 0, dups = 0;
+  for (std::uint64_t seq = 0; seq < 1000; ++seq) {
+    const FaultDecision first = plan.decide(0, 1, 1, seq);
+    const FaultDecision again = plan.decide(0, 1, 1, seq);
+    EXPECT_EQ(first.drop, again.drop);
+    EXPECT_EQ(first.duplicate, again.duplicate);
+    EXPECT_EQ(first.delay_ops, again.delay_ops);
+    drops += first.drop ? 1 : 0;
+    dups += first.duplicate ? 1 : 0;
+  }
+  // Rough frequency sanity for a 0.5 probability over 1000 draws.
+  EXPECT_GT(drops, 350);
+  EXPECT_LT(drops, 650);
+  EXPECT_GT(dups, 350);
+  EXPECT_LT(dups, 650);
+}
+
+TEST(FaultPlan, SeedChangesDecisions) {
+  FaultPlan a, b;
+  a.with_rule({.drop = 0.5}).with_seed(1);
+  b.with_rule({.drop = 0.5}).with_seed(2);
+  int differing = 0;
+  for (std::uint64_t seq = 0; seq < 200; ++seq)
+    differing += a.decide(0, 1, 1, seq).drop != b.decide(0, 1, 1, seq).drop ? 1 : 0;
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, ScopedRulesRespectSourceAndTag) {
+  FaultPlan plan;
+  plan.with_rule({.drop = 1.0, .source = 2}).with_rule({.dup = 1.0, .tag = 5});
+  EXPECT_TRUE(plan.decide(2, 0, 1, 0).drop);
+  EXPECT_FALSE(plan.decide(1, 0, 1, 0).drop);
+  EXPECT_TRUE(plan.decide(1, 0, 5, 0).duplicate);
+  EXPECT_FALSE(plan.decide(1, 0, 4, 0).duplicate);
+}
+
+TEST(FaultPlan, CrashLatchFiresExactlyOnce) {
+  FaultPlan plan;
+  plan.with_crash(2, 5);
+  EXPECT_FALSE(plan.consume_crash(2, 4));  // wrong chunk
+  EXPECT_FALSE(plan.consume_crash(1, 5));  // wrong rank
+  ASSERT_EQ(plan.next_crash_chunk(2), std::uint64_t{5});
+  EXPECT_TRUE(plan.consume_crash(2, 5));
+  EXPECT_FALSE(plan.consume_crash(2, 5));  // already fired
+  EXPECT_FALSE(plan.next_crash_chunk(2).has_value());
+  // A copy taken after the crash fired must not re-arm it.
+  const FaultPlan copy = plan;
+  EXPECT_FALSE(copy.consume_crash(2, 5));
+}
+
+// --------------------------------------------------------- reliable layer
+
+// Every rank sends an ordered stream of payloads to every other rank under
+// aggressive drop/dup/delay injection; the reliable layer must deliver each
+// stream complete, deduplicated, and in order.
+TEST(ReliableDelivery, StreamsSurviveDropsDupsAndDelays) {
+  constexpr int kRanks = 4;
+  constexpr std::uint64_t kMessages = 60;
+  auto plan = std::make_shared<FaultPlan>();
+  plan->with_rule({.drop = 0.25, .dup = 0.25, .delay = 0.25}).with_seed(11);
+
+  RuntimeOptions options;
+  options.ranks = kRanks;
+  options.fault_plan = plan;
+  options.retry_timeout = std::chrono::microseconds(500);
+
+  std::vector<std::vector<std::vector<std::uint64_t>>> received(
+      kRanks, std::vector<std::vector<std::uint64_t>>(kRanks));
+  Runtime::run(options, [&](Comm& comm) {
+    ASSERT_TRUE(comm.reliable());
+    const int me = comm.rank();
+    for (std::uint64_t i = 0; i < kMessages; ++i) {
+      for (int dest = 0; dest < kRanks; ++dest) {
+        if (dest == me) continue;
+        const std::uint64_t payload = static_cast<std::uint64_t>(me) * 1000 + i;
+        comm.send_values<std::uint64_t>(dest, 1, std::span(&payload, 1));
+      }
+    }
+    for (std::uint64_t got = 0; got < kMessages * (kRanks - 1); ++got) {
+      const RankMessage message = comm.recv();
+      const auto values = Comm::decode<std::uint64_t>(message);
+      ASSERT_EQ(values.size(), 1u);
+      received[me][message.source].push_back(values[0]);
+    }
+  });
+
+  for (int dest = 0; dest < kRanks; ++dest) {
+    for (int src = 0; src < kRanks; ++src) {
+      if (src == dest) continue;
+      const auto& stream = received[dest][src];
+      ASSERT_EQ(stream.size(), kMessages) << "stream " << src << " -> " << dest;
+      for (std::uint64_t i = 0; i < kMessages; ++i)
+        EXPECT_EQ(stream[i], static_cast<std::uint64_t>(src) * 1000 + i)
+            << "stream " << src << " -> " << dest << " at " << i;
+    }
+  }
+}
+
+TEST(ReliableDelivery, CountersRecordInjectionAndRecovery) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->with_rule({.drop = 0.5, .dup = 0.5}).with_seed(3);
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.fault_plan = plan;
+  options.retry_timeout = std::chrono::microseconds(300);
+
+  FaultStats sender_faults;
+  Runtime::run(options, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (std::uint64_t i = 0; i < 50; ++i)
+        comm.send_values<std::uint64_t>(1, 1, std::span(&i, 1));
+      comm.reliable_flush();
+      sender_faults = comm.stats().faults;
+    } else {
+      for (int i = 0; i < 50; ++i) (void)comm.recv();
+    }
+  });
+  EXPECT_TRUE(sender_faults.any());
+  EXPECT_GT(sender_faults.injected_drops + sender_faults.injected_dups, 0u);
+  EXPECT_GT(sender_faults.acks_received, 0u);
+  // Every injected drop forces a retransmission; a slow ack may add more.
+  EXPECT_GE(sender_faults.retransmits, sender_faults.injected_drops);
+}
+
+// A destination that exits without ever receiving never acks, so the
+// sender's bounded retries must exhaust into a structured CommFaultError
+// naming the offending ranks and tag.
+TEST(ReliableDelivery, ExhaustedRetriesRaiseCommFaultError) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->with_rule({.drop = 0.01}).with_seed(1);
+  RuntimeOptions options;
+  options.ranks = 2;
+  options.fault_plan = plan;
+  options.retry_timeout = std::chrono::microseconds(100);
+  options.max_retries = 3;
+
+  try {
+    Runtime::run(options, [&](Comm& comm) {
+      if (comm.rank() == 0) {
+        const std::uint64_t payload = 7;
+        comm.send_values<std::uint64_t>(1, 9, std::span(&payload, 1));
+        comm.reliable_flush();
+      }
+      // Rank 1 returns immediately: it never receives, never acks.
+    });
+    FAIL() << "expected CommFaultError";
+  } catch (const CommFaultError& error) {
+    EXPECT_EQ(error.source(), 0);
+    EXPECT_EQ(error.dest(), 1);
+    EXPECT_EQ(error.tag(), 9);
+  }
+}
+
+// ------------------------------------------------------------- checkpoints
+
+TEST(Checkpoint, ShardSnapshotRoundTrip) {
+  const auto dir = fresh_dir("shard_roundtrip");
+  const std::vector<Edge> arcs{{0, 1}, {1, 0}, {2, 3}};
+  const auto path = shard_path(dir, 2);
+  write_shard_snapshot(path, 0xabcdu, 2, 4, 17, arcs);
+  const ShardSnapshot snapshot = read_shard_snapshot(path);
+  EXPECT_EQ(snapshot.config_hash, 0xabcdu);
+  EXPECT_EQ(snapshot.rank, 2u);
+  EXPECT_EQ(snapshot.completed_epochs, 4u);
+  EXPECT_EQ(snapshot.produced_chunks, 17u);
+  EXPECT_EQ(snapshot.arcs, arcs);
+}
+
+TEST(Checkpoint, CorruptShardIsRejected) {
+  const auto dir = fresh_dir("shard_corrupt");
+  const std::vector<Edge> arcs{{0, 1}, {2, 3}};
+  const auto path = shard_path(dir, 0);
+  write_shard_snapshot(path, 1, 0, 1, 1, arcs);
+  {
+    // Flip one payload byte: the checksum must catch it.
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(-1, std::ios::end);
+    file.put('\x5a');
+  }
+  EXPECT_THROW((void)read_shard_snapshot(path), std::runtime_error);
+}
+
+TEST(Checkpoint, ChecksumIsOrderIndependent) {
+  const std::vector<Edge> forward{{0, 1}, {1, 2}, {5, 9}};
+  std::vector<Edge> shuffled = {{5, 9}, {0, 1}, {1, 2}};
+  EXPECT_EQ(arc_set_checksum(forward), arc_set_checksum(shuffled));
+  shuffled[0] = {5, 8};
+  EXPECT_NE(arc_set_checksum(forward), arc_set_checksum(shuffled));
+}
+
+TEST(Checkpoint, ManifestRoundTripAndValidation) {
+  const auto dir = fresh_dir("manifest_roundtrip");
+  CheckpointManifest manifest;
+  manifest.config_hash = 99;
+  manifest.ranks = 2;
+  manifest.completed_epochs = 3;
+  manifest.checkpoint_every = 4;
+  manifest.shard_checksums = {11, 22};
+  write_manifest(dir, manifest);
+  const CheckpointManifest loaded = read_manifest(dir);
+  EXPECT_EQ(loaded.config_hash, 99u);
+  EXPECT_EQ(loaded.ranks, 2u);
+  EXPECT_EQ(loaded.completed_epochs, 3u);
+  EXPECT_EQ(loaded.checkpoint_every, 4u);
+  EXPECT_EQ(loaded.shard_checksums, (std::vector<std::uint64_t>{11, 22}));
+
+  // Wrong configuration: hash, rank count, and cadence must all be pinned.
+  EXPECT_THROW((void)load_resume_state(dir, 100, 2, 4), std::runtime_error);
+  EXPECT_THROW((void)load_resume_state(dir, 99, 3, 4), std::runtime_error);
+  EXPECT_THROW((void)load_resume_state(dir, 99, 2, 5), std::runtime_error);
+}
+
+TEST(Checkpoint, MissingManifestMeansFreshStart) {
+  const auto dir = fresh_dir("manifest_missing");
+  const ResumeState state = load_resume_state(dir, 1, 2, 3);
+  EXPECT_EQ(state.start_epoch, 0u);
+  for (const auto& shard : state.shard_arcs) EXPECT_TRUE(shard.empty());
+}
+
+TEST(Checkpoint, ConfigHashPinsFactorsAndSettings) {
+  const EdgeList a = make_gnm(30, 90, 5);
+  const EdgeList b = make_gnm(20, 50, 6);
+  GeneratorConfig config;
+  config.ranks = 2;
+  const std::uint64_t base = generator_config_hash(a, b, config);
+  EXPECT_EQ(generator_config_hash(a, b, config), base);
+
+  GeneratorConfig other = config;
+  other.ranks = 3;
+  EXPECT_NE(generator_config_hash(a, b, other), base);
+  other = config;
+  other.scheme = PartitionScheme::k2D;
+  EXPECT_NE(generator_config_hash(a, b, other), base);
+  other = config;
+  other.checkpoint_every = 99;
+  EXPECT_NE(generator_config_hash(a, b, other), base);
+  EXPECT_NE(generator_config_hash(b, a, config), base);  // factors matter
+
+  // Pure perf knobs must NOT invalidate a checkpoint.
+  other = config;
+  other.channel_capacity = 77;
+  other.max_retries = 3;
+  EXPECT_EQ(generator_config_hash(a, b, other), base);
+}
+
+// ----------------------------------------------------------- chaos soak
+
+EdgeList reference_product(const EdgeList& a, const EdgeList& b, GeneratorConfig config) {
+  config.fault_plan = nullptr;
+  config.checkpoint_dir.clear();
+  config.resume = false;
+  return generate_distributed(a, b, config).gather();
+}
+
+// Crash mid-generation, resume from the checkpoint, and require the final
+// edge list bit-identical to the fault-free run — across both partition
+// schemes and two rank (thread) counts, with message faults active
+// throughout.
+TEST(ChaosSoak, CrashResumeIsBitIdenticalAcrossSchemesAndRankCounts) {
+  const EdgeList a = make_gnm(48, 160, 21);
+  const EdgeList b = make_gnm(32, 100, 22);
+  int soak = 0;
+  for (const PartitionScheme scheme : {PartitionScheme::k1D, PartitionScheme::k2D}) {
+    for (const int ranks : {2, 4}) {
+      GeneratorConfig config;
+      config.ranks = ranks;
+      config.scheme = scheme;
+      config.shuffle_to_owner = true;
+      config.exchange = ExchangeMode::kAsync;
+      config.async_chunk = 256;
+      config.checkpoint_every = 2;
+      config.checkpoint_dir = fresh_dir("chaos_soak_" + std::to_string(soak++));
+      config.retry_timeout = std::chrono::microseconds(500);
+
+      const EdgeList expected = reference_product(a, b, config);
+
+      auto plan = std::make_shared<FaultPlan>();
+      plan->with_rule({.drop = 0.05, .dup = 0.03, .delay = 0.03})
+          .with_seed(static_cast<std::uint64_t>(soak))
+          .with_crash(ranks - 1, 3);
+      config.fault_plan = plan;
+
+      EXPECT_THROW((void)generate_distributed(a, b, config), RankCrashError);
+
+      config.resume = true;  // the crash latch is spent: this attempt completes
+      const EdgeList recovered = generate_distributed(a, b, config).gather();
+      EXPECT_EQ(recovered.num_vertices(), expected.num_vertices());
+      ASSERT_EQ(recovered.edges().size(), expected.edges().size())
+          << "scheme " << (scheme == PartitionScheme::k1D ? "1d" : "2d") << " ranks "
+          << ranks;
+      EXPECT_TRUE(std::equal(recovered.edges().begin(), recovered.edges().end(),
+                             expected.edges().begin()))
+          << "recovered edge list diverged from the fault-free run";
+    }
+  }
+}
+
+// Resume must also work under the bulk-synchronous exchange and without
+// any shuffle (chunked local production).
+TEST(ChaosSoak, CrashResumeCoversBulkAndLocalModes) {
+  const EdgeList a = make_gnm(40, 120, 31);
+  const EdgeList b = make_gnm(24, 70, 32);
+  int soak = 0;
+  for (const bool shuffle : {true, false}) {
+    GeneratorConfig config;
+    config.ranks = 3;
+    config.shuffle_to_owner = shuffle;
+    config.exchange = ExchangeMode::kBulkSynchronous;
+    config.async_chunk = 200;
+    config.checkpoint_every = 3;
+    config.checkpoint_dir = fresh_dir("chaos_bulk_" + std::to_string(soak++));
+
+    const EdgeList expected = reference_product(a, b, config);
+
+    auto plan = std::make_shared<FaultPlan>();
+    plan->with_crash(1, 4);
+    config.fault_plan = plan;
+    EXPECT_THROW((void)generate_distributed(a, b, config), RankCrashError);
+
+    config.resume = true;
+    const EdgeList recovered = generate_distributed(a, b, config).gather();
+    ASSERT_EQ(recovered.edges().size(), expected.edges().size());
+    EXPECT_TRUE(std::equal(recovered.edges().begin(), recovered.edges().end(),
+                           expected.edges().begin()));
+  }
+}
+
+// A checkpointed run with no faults at all must still equal the plain run
+// (the epoch machinery itself must not perturb the output).
+TEST(ChaosSoak, CheckpointingAloneDoesNotChangeTheGraph) {
+  const EdgeList a = make_gnm(36, 110, 41);
+  const EdgeList b = make_gnm(28, 80, 42);
+  GeneratorConfig config;
+  config.ranks = 4;
+  config.scheme = PartitionScheme::k2D;
+  config.shuffle_to_owner = true;
+  config.exchange = ExchangeMode::kAsync;
+  config.async_chunk = 300;
+
+  const EdgeList expected = reference_product(a, b, config);
+
+  config.checkpoint_dir = fresh_dir("chaos_nofault");
+  config.checkpoint_every = 2;
+  const EdgeList checkpointed = generate_distributed(a, b, config).gather();
+  ASSERT_EQ(checkpointed.edges().size(), expected.edges().size());
+  EXPECT_TRUE(std::equal(checkpointed.edges().begin(), checkpointed.edges().end(),
+                         expected.edges().begin()));
+
+  // And a redundant resume of a *completed* run replays the final epoch
+  // into the same graph.
+  config.resume = true;
+  const EdgeList resumed = generate_distributed(a, b, config).gather();
+  EXPECT_TRUE(std::equal(resumed.edges().begin(), resumed.edges().end(),
+                         expected.edges().begin()));
+}
+
+}  // namespace
+}  // namespace kron

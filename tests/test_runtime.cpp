@@ -106,6 +106,97 @@ TEST(Channel, ClosedChannelDropsPushes) {
   EXPECT_FALSE(ch.pop().has_value());
 }
 
+TEST(Channel, TryPopForTimesOutOnEmpty) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_pop_for(std::chrono::milliseconds(2)).has_value());
+  ch.push(9);
+  EXPECT_EQ(ch.try_pop_for(std::chrono::milliseconds(2)), 9);
+}
+
+TEST(Channel, TryPopForWakesOnPush) {
+  Channel<int> ch;
+  std::thread producer([&ch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ch.push(13);
+  });
+  // Generous timeout: the wait must end on the push, not the deadline.
+  EXPECT_EQ(ch.try_pop_for(std::chrono::seconds(10)), 13);
+  producer.join();
+}
+
+TEST(Channel, TryPopForDrainsThenSeesClose) {
+  Channel<int> ch;
+  ch.push(1);
+  ch.close();
+  EXPECT_EQ(ch.try_pop_for(std::chrono::milliseconds(2)), 1);
+  // Closed and drained: returns nullopt immediately, not after the timeout.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.try_pop_for(std::chrono::seconds(10)).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(5));
+  EXPECT_TRUE(ch.closed());
+}
+
+// Close must wake a waiting try_pop_for (and a waiting try_push_for)
+// promptly — the timeout-vs-close race the reliable layer's receive slice
+// depends on.  Run under TSan via KRON_SANITIZE=thread.
+TEST(Channel, CloseWakesWaitingTimedPop) {
+  Channel<int> ch;
+  std::thread closer([&ch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ch.close();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(ch.try_pop_for(std::chrono::seconds(30)).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(10));
+  closer.join();
+}
+
+TEST(Channel, CloseWakesWaitingTimedPush) {
+  Channel<int> ch(1);
+  int value = 1;
+  EXPECT_TRUE(ch.try_push(value));
+  std::thread closer([&ch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ch.close();
+  });
+  value = 2;
+  const auto start = std::chrono::steady_clock::now();
+  // Wakes on close and reports success (the value is dropped, as for push).
+  EXPECT_TRUE(ch.try_push_for(value, std::chrono::seconds(30)));
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::seconds(10));
+  closer.join();
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_FALSE(ch.pop().has_value());  // value 2 was dropped, not enqueued
+}
+
+// Hammer timed pops against concurrent pushes and a racing close: every
+// pushed value must be received exactly once, and the consumer must
+// terminate (no missed close wakeup).
+TEST(Channel, TimedPopRacesPushAndClose) {
+  for (int round = 0; round < 20; ++round) {
+    Channel<int> ch(4);
+    constexpr int kCount = 50;
+    std::vector<int> received;
+    std::thread consumer([&] {
+      while (true) {
+        auto value = ch.try_pop_for(std::chrono::microseconds(50));
+        if (value) {
+          received.push_back(*value);
+        } else if (ch.closed()) {
+          // Drain whatever landed between the timeout and the check.
+          while ((value = ch.try_pop())) received.push_back(*value);
+          return;
+        }
+      }
+    });
+    for (int i = 0; i < kCount; ++i) ch.push(i);
+    ch.close();
+    consumer.join();
+    ASSERT_EQ(received.size(), kCount) << "round " << round;
+    for (int i = 0; i < kCount; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+  }
+}
+
 TEST(Channel, HighWaterTracksDeepestQueue) {
   Channel<int> ch;
   for (int i = 0; i < 5; ++i) ch.push(i);

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,7 @@
 #include "graph/csr.hpp"
 #include "graph/io.hpp"
 #include "graph/ops.hpp"
+#include "runtime/faults.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -59,6 +61,23 @@ int usage() {
       "  validate  check a graph file against the Kronecker formulas\n"
       "run `krongen <command> --help` for the command's options\n";
   return 2;
+}
+
+/// Strict vertex-id parse for --vertex / --edge values (stoull would
+/// accept "-1" as 2^64-1 and "10x" as 10; both are diagnosed here with the
+/// offending option and value).
+vertex_t parse_vertex_id(const std::string& option, const std::string& text) {
+  return CliArgs::parse_u64(option, text);
+}
+
+/// Parse "P,Q" for --edge: both endpoints strict, comma mandatory,
+/// nothing left over.
+std::pair<vertex_t, vertex_t> parse_edge_pair(const std::string& text) {
+  const auto comma = text.find(',');
+  if (comma == std::string::npos || text.find(',', comma + 1) != std::string::npos)
+    throw std::invalid_argument("option --edge expects P,Q, got '" + text + "'");
+  return {parse_vertex_id("--edge", text.substr(0, comma)),
+          parse_vertex_id("--edge", text.substr(comma + 1))};
 }
 
 LoopRegime parse_regime(const std::string& word) {
@@ -175,14 +194,67 @@ void print_comm_stats(const std::vector<CommStats>& per_rank) {
   std::cout << "per-rank communication (final generation round):\n" << table.str();
 }
 
+void print_fault_stats(const std::vector<CommStats>& per_rank) {
+  bool any = false;
+  for (const CommStats& s : per_rank) any = any || s.faults.any();
+  if (!any) return;
+  Table table({"rank", "inj drops", "inj dups", "inj delays", "retransmits", "acks out",
+               "acks in", "dups disc", "ooo buf"});
+  FaultStats total;
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    const FaultStats& f = per_rank[r].faults;
+    table.row({std::to_string(r), std::to_string(f.injected_drops),
+               std::to_string(f.injected_dups), std::to_string(f.injected_delays),
+               std::to_string(f.retransmits), std::to_string(f.acks_sent),
+               std::to_string(f.acks_received), std::to_string(f.duplicates_discarded),
+               std::to_string(f.out_of_order_buffered)});
+    total.injected_drops += f.injected_drops;
+    total.injected_dups += f.injected_dups;
+    total.injected_delays += f.injected_delays;
+    total.retransmits += f.retransmits;
+    total.acks_sent += f.acks_sent;
+    total.acks_received += f.acks_received;
+    total.duplicates_discarded += f.duplicates_discarded;
+    total.out_of_order_buffered += f.out_of_order_buffered;
+  }
+  table.row({"all", std::to_string(total.injected_drops), std::to_string(total.injected_dups),
+             std::to_string(total.injected_delays), std::to_string(total.retransmits),
+             std::to_string(total.acks_sent), std::to_string(total.acks_received),
+             std::to_string(total.duplicates_discarded),
+             std::to_string(total.out_of_order_buffered)});
+  std::cout << "per-rank fault injection / reliable-delivery activity:\n" << table.str();
+}
+
+/// Run one generation, restarting from the checkpoint when an injected
+/// rank crash fires (each FaultPlan crash event fires at most once per
+/// plan instance, so the restart resumes past it; the attempt bound makes
+/// an unexpectedly persistent crash an error instead of a spin).
+GeneratorResult run_generation(const EdgeList& a, const EdgeList& b, GeneratorConfig config) {
+  const std::size_t max_attempts =
+      config.fault_plan ? config.fault_plan->crashes().size() + 1 : 1;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      return generate_distributed(a, b, config);
+    } catch (const RankCrashError& crash) {
+      if (config.checkpoint_dir.empty() || attempt >= max_attempts) throw;
+      std::cout << "krongen: " << crash.what() << "; restarting from checkpoint ("
+                << "attempt " << attempt + 1 << "/" << max_attempts << ")\n";
+      config.resume = true;
+    }
+  }
+}
+
 int cmd_generate(const CliArgs& args) {
   args.reject_unknown({"a", "b", "loops", "ranks", "scheme", "shuffle", "async", "chunk",
                        "capacity", "power", "threads", "out", "binary", "stats", "trace",
-                       "metrics", "help"});
+                       "metrics", "faults", "checkpoint-dir", "checkpoint-every", "resume",
+                       "retry-timeout-us", "max-retries", "help"});
   if (args.has_flag("help")) {
     std::cout << "krongen generate --a A --b B [--loops none|both|a] [--ranks R]\n"
                  "                 [--scheme 1d|2d] [--shuffle] [--async] [--chunk N]\n"
                  "                 [--capacity N] [--power K] [--threads T] [--stats]\n"
+                 "                 [--faults SPEC] [--checkpoint-dir DIR]\n"
+                 "                 [--checkpoint-every N] [--resume]\n"
                  "                 [--trace FILE] [--metrics] --out FILE\n"
                  "  --power K iterates C <- C (x) B a further K-1 times (scale series)\n"
                  "  --async streams the shuffle (bounded buffering); --chunk sets arcs per\n"
@@ -190,13 +262,19 @@ int cmd_generate(const CliArgs& args) {
                  "  --threads T sizes the intra-rank work-sharing pool (canonicalisation\n"
                  "  sorts; default: KRON_THREADS env var, else hardware concurrency)\n"
                  "  --stats prints the per-rank communication table after generation\n"
+                 "  --faults injects deterministic message/rank faults, e.g.\n"
+                 "  'drop:0.01,dup:0.005,crash:1@3,seed:42' (DESIGN.md sec. 12); message\n"
+                 "  faults engage the reliable seq/ack/retransmit layer, crash events\n"
+                 "  restart from --checkpoint-dir automatically\n"
+                 "  --checkpoint-dir DIR snapshots every --checkpoint-every production\n"
+                 "  chunks; --resume continues from the manifest in DIR\n"
                  "  --trace FILE records phase spans and writes Chrome trace_event JSON\n"
                  "  (open in chrome://tracing or ui.perfetto.dev; see README)\n"
                  "  --metrics prints the per-rank phase table and counters afterwards\n";
     return 0;
   }
   if (args.get("threads").has_value())
-    ThreadPool::set_num_threads(static_cast<int>(args.get_u64("threads", 0)));
+    ThreadPool::set_num_threads(static_cast<int>(args.get_u64("threads", 1, 1, 4096)));
   EdgeList a = load_factor(args.require("a"));
   EdgeList b = load_factor(args.require("b"));
   const LoopRegime regime = parse_regime(args.get_or("loops", "none"));
@@ -205,7 +283,7 @@ int cmd_generate(const CliArgs& args) {
   if (regime == LoopRegime::kFullLoops) b.add_full_loops();
 
   GeneratorConfig config;
-  config.ranks = static_cast<int>(args.get_u64("ranks", 1));
+  config.ranks = static_cast<int>(args.get_u64("ranks", 1, 1, 65536));
   config.scheme =
       args.get_or("scheme", "1d") == "2d" ? PartitionScheme::k2D : PartitionScheme::k1D;
   config.shuffle_to_owner = args.has_flag("shuffle");
@@ -213,24 +291,44 @@ int cmd_generate(const CliArgs& args) {
     config.shuffle_to_owner = true;  // streaming only matters when routing to owners
     config.exchange = ExchangeMode::kAsync;
   }
-  config.async_chunk = args.get_u64("chunk", config.async_chunk);
+  config.async_chunk = args.get_u64("chunk", config.async_chunk, 1,
+                                    std::uint64_t{1} << 32);
   config.channel_capacity = static_cast<std::size_t>(args.get_u64("capacity", 0));
+  if (const auto spec = args.get("faults"))
+    config.fault_plan = std::make_shared<const FaultPlan>(FaultPlan::parse(*spec));
+  config.checkpoint_dir = args.get_or("checkpoint-dir", "");
+  config.checkpoint_every =
+      args.get_u64("checkpoint-every", config.checkpoint_every, 1,
+                   std::numeric_limits<std::uint64_t>::max());
+  config.resume = args.has_flag("resume");
+  config.retry_timeout =
+      std::chrono::microseconds(args.get_u64("retry-timeout-us", 2000, 1, 60'000'000));
+  config.max_retries = static_cast<int>(args.get_u64("max-retries", 16, 1, 1000));
+  if (config.resume && config.checkpoint_dir.empty())
+    throw std::invalid_argument("--resume needs --checkpoint-dir");
 
   const auto trace_path = args.get("trace");
   const bool metrics = args.has_flag("metrics");
   if (trace_path || metrics) trace::enable();
 
   const Timer timer;
-  GeneratorResult result = generate_distributed(a, b, config);
+  GeneratorResult result = run_generation(a, b, config);
   EdgeList c = result.gather();
-  const unsigned power = static_cast<unsigned>(args.get_u64("power", 1));
+  const unsigned power = static_cast<unsigned>(args.get_u64("power", 1, 1, 64));
+  // Later power iterations have a different factor A (= the previous C),
+  // hence a different config hash: never resume them from the first
+  // iteration's manifest.
+  config.resume = false;
   for (unsigned extra = 1; extra < power; ++extra) {
-    result = generate_distributed(c, b, config);
+    result = run_generation(c, b, config);
     c = result.gather();
   }
   std::cout << "generated in " << Table::num(timer.seconds(), 3) << " s on " << config.ranks
             << " rank(s)\n";
-  if (args.has_flag("stats")) print_comm_stats(result.comm_per_rank);
+  if (args.has_flag("stats")) {
+    print_comm_stats(result.comm_per_rank);
+    print_fault_stats(result.comm_per_rank);
+  }
   if (trace_path || metrics) {
     trace::enable(false);
     if (metrics) std::cout << trace::phase_table();
@@ -284,17 +382,13 @@ int cmd_truth(const CliArgs& args) {
   const KroneckerGroundTruth gt(a, b, regime);
 
   if (const auto vertex = args.get("vertex")) {
-    const vertex_t p = std::stoull(*vertex);
+    const vertex_t p = parse_vertex_id("--vertex", *vertex);
     std::cout << "vertex " << p << ": degree " << gt.degree(p) << ", triangles "
               << gt.vertex_triangles(p) << ", clustering "
               << Table::num(gt.vertex_clustering_coeff(p), 6) << "\n";
   }
   if (const auto edge = args.get("edge")) {
-    const auto comma = edge->find(',');
-    if (comma == std::string::npos)
-      throw std::invalid_argument("--edge expects P,Q");
-    const vertex_t p = std::stoull(edge->substr(0, comma));
-    const vertex_t q = std::stoull(edge->substr(comma + 1));
+    const auto [p, q] = parse_edge_pair(*edge);
     std::cout << "edge (" << p << "," << q << "): triangles " << gt.edge_triangles(p, q)
               << ", clustering " << Table::num(gt.edge_clustering_coeff(p, q), 6) << "\n";
   }
@@ -320,7 +414,7 @@ int cmd_ecc(const CliArgs& args) {
   std::cout << "eccentricity distribution of C (exact, Cor. 4):\n"
             << gt.eccentricity_histogram().ascii(40);
   if (const auto vertex = args.get("vertex")) {
-    const vertex_t p = std::stoull(*vertex);
+    const vertex_t p = parse_vertex_id("--vertex", *vertex);
     std::cout << "ecc(" << p << ") = " << gt.eccentricity(p) << "\n";
   }
   return 0;
@@ -338,7 +432,7 @@ int cmd_closeness(const CliArgs& args) {
   const EdgeList b = load_factor(args.require("b"));
   const DistanceGroundTruth gt(a, b);
   if (const auto vertex = args.get("vertex")) {
-    const vertex_t p = std::stoull(*vertex);
+    const vertex_t p = parse_vertex_id("--vertex", *vertex);
     std::cout << "zeta(" << p << ") = " << Table::num(gt.closeness_fast(p), 10) << "\n";
     return 0;
   }
@@ -416,7 +510,7 @@ int run(int argc, char** argv) {
     // "loops" is a valued option for generate/info/truth/validate, so
     // re-parse without it in the flag set.
     const CliArgs valued(argc, argv, 2,
-                         {"shuffle", "binary", "async", "stats", "metrics", "help"});
+                         {"shuffle", "binary", "async", "stats", "metrics", "resume", "help"});
     return cmd_generate(valued);
   }
   if (command == "info" || command == "truth" || command == "validate" ||
