@@ -286,6 +286,39 @@ void print_artifact() {
                " that let HavoqGT stream a trillion edges; the bounded-capacity row adds\n"
                " backpressure, capping the mailbox high-water mark at the configured\n"
                " bound while producing the identical graph)\n";
+
+  // --- ablation: thread transport vs fork/Unix-socket transport ---
+  // Same generation, both Comm backends: the threads rows time the
+  // shared-memory staging path, the procs rows add fork+socket overheads
+  // (frame marshalling, result-blob copies, child setup/teardown).  Output
+  // is bit-identical by construction (pinned by the `procs` test label).
+  bench::section("ablation: threads vs forked-process Comm backend (async shuffle)");
+  Table backends({"backend", "R", "seconds", "arcs/s", "shuffle MB"});
+  for (const CommBackend backend : {CommBackend::kThreads, CommBackend::kProcs}) {
+    for (const int ranks : {2, 4, 8}) {
+      GeneratorConfig config;
+      config.ranks = ranks;
+      config.backend = backend;
+      config.shuffle_to_owner = true;
+      config.exchange = ExchangeMode::kAsync;
+      const Timer timer;
+      const GeneratorResult result = generate_distributed(a, b, config);
+      const double seconds = timer.seconds();
+      std::uint64_t shuffle_bytes = 0;
+      for (const CommStats& s : result.comm_per_rank) shuffle_bytes += s.payload_bytes_out();
+      const char* name = backend == CommBackend::kThreads ? "threads" : "procs";
+      backends.row({name, std::to_string(ranks), Table::num(seconds, 3),
+                    Table::sci(static_cast<double>(result.total_arcs()) / seconds, 2),
+                    Table::num(static_cast<double>(shuffle_bytes) / (1024.0 * 1024.0), 4)});
+      const std::string key = std::string("backend.") + name + ".r" + std::to_string(ranks);
+      bench::JsonReport::instance().add(key + ".seconds", seconds);
+      bench::JsonReport::instance().add(
+          key + ".arcs_per_sec", static_cast<double>(result.total_arcs()) / seconds);
+    }
+  }
+  std::cout << backends.str();
+  std::cout << "(procs pays one fork + socket mesh per run plus per-frame copies; the\n"
+               " gap bounds what the in-process runtime saves over real IPC)\n";
 }
 
 // ---------------------------------------------------------------- timings

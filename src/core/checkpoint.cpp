@@ -9,6 +9,7 @@
 #include "core/generator.hpp"
 #include "graph/io.hpp"
 #include "util/hash.hpp"
+#include "util/posix_io.hpp"
 #include "util/trace.hpp"
 
 namespace kron {
@@ -57,23 +58,35 @@ void write_manifest(const std::filesystem::path& dir, const CheckpointManifest& 
   std::filesystem::create_directories(dir);
   const std::filesystem::path target = manifest_path(dir);
   const std::filesystem::path temp = target.string() + ".tmp";
+  std::string text;
+  text += "KRONCK-MANIFEST 1\n";
+  text += "config_hash " + std::to_string(manifest.config_hash) + "\n";
+  text += "ranks " + std::to_string(manifest.ranks) + "\n";
+  text += "completed_epochs " + std::to_string(manifest.completed_epochs) + "\n";
+  text += "checkpoint_every " + std::to_string(manifest.checkpoint_every) + "\n";
+  for (std::size_t r = 0; r < manifest.shard_checksums.size(); ++r)
+    text += "shard " + std::to_string(r) + " " + std::to_string(manifest.shard_checksums[r]) +
+            "\n";
+  // The manifest is the commit record of a checkpoint epoch: its bytes must
+  // be durable before the rename publishes it, and the rename itself before
+  // the generation continues (resume trusts a present manifest completely).
   {
-    std::ofstream out(temp, std::ios::trunc);
-    if (!out) throw std::runtime_error("write_manifest: cannot open " + temp.string());
-    out << "KRONCK-MANIFEST 1\n";
-    out << "config_hash " << manifest.config_hash << "\n";
-    out << "ranks " << manifest.ranks << "\n";
-    out << "completed_epochs " << manifest.completed_epochs << "\n";
-    out << "checkpoint_every " << manifest.checkpoint_every << "\n";
-    for (std::size_t r = 0; r < manifest.shard_checksums.size(); ++r)
-      out << "shard " << r << " " << manifest.shard_checksums[r] << "\n";
-    if (!out) throw std::runtime_error("write_manifest: write failed for " + temp.string());
+    const int fd = posix_io::open_write(temp, "write_manifest");
+    try {
+      posix_io::write_full(fd, text.data(), text.size(), "write_manifest");
+      posix_io::fsync_fd(fd, "write_manifest");
+    } catch (...) {
+      posix_io::close_fd(fd);
+      throw;
+    }
+    posix_io::close_fd(fd);
   }
   std::error_code rename_error;
   std::filesystem::rename(temp, target, rename_error);
   if (rename_error)
     throw std::runtime_error("write_manifest: cannot publish " + target.string() + ": " +
                              rename_error.message());
+  posix_io::fsync_path(dir, "write_manifest");
 }
 
 namespace {

@@ -1,6 +1,7 @@
 #include "core/generator.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <limits>
 #include <span>
@@ -308,21 +309,27 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
 
   RuntimeOptions runtime_options;
   runtime_options.ranks = config.ranks;
+  runtime_options.backend = config.backend;
   runtime_options.mailbox_capacity = config.channel_capacity;
   runtime_options.fault_plan = config.fault_plan;
   runtime_options.retry_timeout = config.retry_timeout;
   runtime_options.max_retries = config.max_retries;
   const FaultPlan* fault_plan = config.fault_plan.get();
 
-  Runtime::run(runtime_options, [&](Comm& comm) {
+  // The rank body returns everything the parent needs as a flat blob —
+  // under CommBackend::kProcs the body runs in a forked child, so writing
+  // results through captured references would only touch copy-on-write
+  // pages the parent never sees.  Layout:
+  //   u64 generated | f64-bits seconds | CommStats | u64 n_arcs | Edge[n_arcs]
+  const auto blobs = Runtime::run_gather(runtime_options, [&](Comm& comm) {
     const auto r = static_cast<std::uint64_t>(comm.rank());
     // Span and timer open together so the exported per-rank span total
     // tracks rank_seconds (pinned within 5% by the Trace tests).
     TRACE_SPAN("generate.rank");
     const Timer timer;
 
-    std::vector<Edge>& stored = result.stored_per_rank[r];
-    stored = std::move(resume_state.shard_arcs[r]);
+    std::uint64_t generated = 0;
+    std::vector<Edge> stored = std::move(resume_state.shard_arcs[r]);
 
     const RankProduction production(a, b, n_b, grid, config, ranks, r, config.async_chunk);
     const std::uint64_t my_chunks = production.num_chunks();
@@ -354,7 +361,7 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
                                    " at production chunk " + std::to_string(c),
                                comm.rank(), c);
         production.chunk_arcs(c, chunk);
-        result.generated_per_rank[r] += chunk.size();
+        generated += chunk.size();
         TRACE_COUNTER_ADD("generate.arcs", chunk.size());
         emit_chunk(std::span<const Edge>(chunk));
       }
@@ -438,22 +445,22 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
       // No shuffle, no faults, no checkpoints: keep what we generate, via
       // the fastest blocked cell kernel (no chunk staging).
       TRACE_SPAN("generate.local");
-      std::vector<Edge> generated;
+      std::vector<Edge> produced;
       if (config.scheme == PartitionScheme::k1D) {
         const IndexRange range = block_range(a.num_arcs(), ranks, r);
         generate_cell(a.edges().subspan(range.begin, range.size()), b.edges(), n_b,
-                      generated);
+                      produced);
       } else {
         for (const auto& [a_part, b_part] : grid.cells_of(r)) {
           const IndexRange ra = block_range(a.num_arcs(), grid.parts_a(), a_part);
           const IndexRange rb = block_range(b.num_arcs(), grid.parts_b(), b_part);
           generate_cell(a.edges().subspan(ra.begin, ra.size()),
-                        b.edges().subspan(rb.begin, rb.size()), n_b, generated);
+                        b.edges().subspan(rb.begin, rb.size()), n_b, produced);
         }
       }
-      result.generated_per_rank[r] = generated.size();
-      TRACE_COUNTER_ADD("generate.arcs", generated.size());
-      stored = std::move(generated);
+      generated = produced.size();
+      TRACE_COUNTER_ADD("generate.arcs", produced.size());
+      stored = std::move(produced);
     } else {
       // No shuffle but faults or checkpoints are active: chunked local
       // production so crash events and epoch snapshots see the same chunk
@@ -468,9 +475,42 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
         checkpoint_epoch(epoch);
       }
     }
-    result.rank_seconds[r] = timer.seconds();
-    result.comm_per_rank[r] = comm.stats();
+    const CommStats stats = comm.stats();
+    std::vector<std::byte> blob;
+    blob.reserve(4 * sizeof(std::uint64_t) + stored.size() * sizeof(Edge) + 512);
+    detail::append_stats_u64(blob, generated);
+    const std::size_t seconds_offset = blob.size();
+    detail::append_stats_u64(blob, 0);  // rank_seconds, patched below
+    append_comm_stats(blob, stats);
+    detail::append_stats_u64(blob, stored.size());
+    const auto* raw = reinterpret_cast<const std::byte*>(stored.data());
+    blob.insert(blob.end(), raw, raw + stored.size() * sizeof(Edge));
+    // Stamp the timer last so rank_seconds covers the result marshalling
+    // too — the generate.rank trace span does, and the Trace suite pins
+    // the two within 5% of each other.
+    const double seconds = timer.seconds();
+    std::uint64_t seconds_bits = 0;
+    std::memcpy(&seconds_bits, &seconds, sizeof(seconds_bits));
+    std::memcpy(blob.data() + seconds_offset, &seconds_bits, sizeof(seconds_bits));
+    return blob;
   });
+
+  for (std::uint64_t r = 0; r < ranks; ++r) {
+    const std::vector<std::byte>& blob = blobs[r];
+    const std::byte* cursor = blob.data();
+    const std::byte* end = cursor + blob.size();
+    result.generated_per_rank[r] = detail::read_stats_u64(cursor, end);
+    const std::uint64_t seconds_bits = detail::read_stats_u64(cursor, end);
+    std::memcpy(&result.rank_seconds[r], &seconds_bits, sizeof(seconds_bits));
+    result.comm_per_rank[r] = read_comm_stats(cursor, end);
+    const std::uint64_t n_arcs = detail::read_stats_u64(cursor, end);
+    const auto available = static_cast<std::uint64_t>(end - cursor);
+    if (available % sizeof(Edge) != 0 || available / sizeof(Edge) != n_arcs)
+      throw std::runtime_error("generate_distributed: malformed rank result blob");
+    std::vector<Edge>& stored = result.stored_per_rank[r];
+    stored.resize(n_arcs);
+    if (available != 0) std::memcpy(stored.data(), cursor, available);
+  }
 
   return result;
 }

@@ -27,6 +27,7 @@
 
 #include "graph/edge_list.hpp"
 #include "runtime/comm_stats.hpp"
+#include "runtime/transport.hpp"
 
 namespace kron {
 
@@ -53,6 +54,12 @@ enum class ExchangeMode {
 
 struct GeneratorConfig {
   int ranks = 1;
+  /// Runtime substrate the ranks execute on: threads of this process
+  /// (default) or forked child processes over Unix-domain sockets
+  /// (RuntimeOptions::backend).  The generated graph is bit-identical
+  /// across backends; deliberately excluded from the checkpoint config
+  /// hash so a crashed run may resume under either backend.
+  CommBackend backend = CommBackend::kThreads;
   PartitionScheme scheme = PartitionScheme::k1D;
   /// Route generated edges to storage owners; when false each rank keeps
   /// what it generates.

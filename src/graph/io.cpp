@@ -13,6 +13,7 @@
 
 #include "util/hash.hpp"
 #include "util/overflow.hpp"
+#include "util/posix_io.hpp"
 #include "util/trace.hpp"
 
 namespace kron {
@@ -199,32 +200,40 @@ void write_shard_snapshot(const std::filesystem::path& path, std::uint64_t confi
                           std::uint64_t rank, std::uint64_t completed_epochs,
                           std::uint64_t produced_chunks, std::span<const Edge> arcs) {
   TRACE_SPAN("checkpoint.write_shard");
-  // Write-then-rename so a crash mid-write can never leave a torn file at
-  // the published path: readers see the old complete shard or the new one.
+  // Write-fsync-rename-fsync so a crash at any point — including a power
+  // loss after the rename — can never leave a torn or empty file at the
+  // published path: the temp file's bytes are durable before the rename
+  // makes them visible, and the directory entry is durable before the
+  // caller treats the checkpoint as taken.
   const std::filesystem::path temp = path.string() + ".tmp";
   {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out)
-      throw std::runtime_error("write_shard_snapshot: cannot open " + temp.string());
-    ShardHeader header{};
-    std::memcpy(header.magic, kShardMagic, sizeof(kShardMagic));
-    header.config_hash = config_hash;
-    header.rank = rank;
-    header.completed_epochs = completed_epochs;
-    header.produced_chunks = produced_chunks;
-    header.num_arcs = arcs.size();
-    header.checksum = arc_set_checksum(arcs);
-    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-    out.write(reinterpret_cast<const char*>(arcs.data()),
-              static_cast<std::streamsize>(arcs.size() * sizeof(Edge)));
-    if (!out)
-      throw std::runtime_error("write_shard_snapshot: write failed for " + temp.string());
+    const int fd = posix_io::open_write(temp, "write_shard_snapshot");
+    try {
+      ShardHeader header{};
+      std::memcpy(header.magic, kShardMagic, sizeof(kShardMagic));
+      header.config_hash = config_hash;
+      header.rank = rank;
+      header.completed_epochs = completed_epochs;
+      header.produced_chunks = produced_chunks;
+      header.num_arcs = arcs.size();
+      header.checksum = arc_set_checksum(arcs);
+      posix_io::write_full(fd, &header, sizeof(header), "write_shard_snapshot");
+      posix_io::write_full(fd, arcs.data(), arcs.size() * sizeof(Edge),
+                           "write_shard_snapshot");
+      posix_io::fsync_fd(fd, "write_shard_snapshot");
+    } catch (...) {
+      posix_io::close_fd(fd);
+      throw;
+    }
+    posix_io::close_fd(fd);
   }
   std::error_code rename_error;
   std::filesystem::rename(temp, path, rename_error);
   if (rename_error)
     throw std::runtime_error("write_shard_snapshot: cannot publish " + path.string() + ": " +
                              rename_error.message());
+  posix_io::fsync_path(path.has_parent_path() ? path.parent_path() : ".",
+                       "write_shard_snapshot");
 }
 
 ShardSnapshot read_shard_snapshot(const std::filesystem::path& path) {

@@ -1,87 +1,17 @@
 #include "runtime/comm.hpp"
 
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
-#include <typeinfo>
 
+#include "runtime/comm_process.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
 namespace kron {
-namespace detail {
-
-/// State shared by all ranks of one Runtime::run invocation.
-struct CommShared {
-  CommShared(int num_ranks, const RuntimeOptions& options)
-      : size(num_ranks),
-        fault_plan(options.fault_plan),
-        reliable(options.fault_plan != nullptr && options.fault_plan->has_message_faults()),
-        retry_timeout(options.retry_timeout),
-        max_retries(options.max_retries),
-        slots(static_cast<std::size_t>(num_ranks)) {
-    mailboxes.reserve(static_cast<std::size_t>(size));
-    for (int r = 0; r < size; ++r)
-      mailboxes.push_back(std::make_unique<Channel<RankMessage>>(options.mailbox_capacity));
-    a2a.resize(static_cast<std::size_t>(size));
-  }
-
-  const int size;
-
-  // Fault injection / reliable delivery (runtime/faults.hpp).  `reliable`
-  // is true only when the plan can actually fault a message, so plans that
-  // carry nothing but crash events leave the fast p2p path untouched.
-  const std::shared_ptr<const FaultPlan> fault_plan;
-  const bool reliable;
-  const std::chrono::microseconds retry_timeout;
-  const int max_retries;
-
-  // Point-to-point mailboxes, one per destination rank.
-  std::vector<std::unique_ptr<Channel<RankMessage>>> mailboxes;
-
-  // Central sense-reversing barrier.
-  std::mutex mutex;
-  std::condition_variable cv;
-  int arrived = 0;
-  std::uint64_t generation = 0;
-  bool aborted = false;
-
-  // Staging areas for collectives (guarded by the barrier protocol: write
-  // own slot, barrier, read, barrier).
-  std::vector<std::vector<std::byte>> slots;
-  std::vector<std::vector<std::vector<std::byte>>> a2a;  // [source][dest]
-
-  void abort_all() {
-    {
-      const std::scoped_lock lock(mutex);
-      aborted = true;
-    }
-    cv.notify_all();
-    for (auto& box : mailboxes) box->close();
-  }
-
-  void barrier() {
-    std::unique_lock lock(mutex);
-    if (aborted) throw CommAbortError("Comm: runtime aborted by another rank");
-    const std::uint64_t my_generation = generation;
-    if (++arrived == size) {
-      arrived = 0;
-      ++generation;
-      cv.notify_all();
-      return;
-    }
-    cv.wait(lock, [&] { return generation != my_generation || aborted; });
-    if (generation == my_generation && aborted)
-      throw CommAbortError("Comm: runtime aborted by another rank");
-  }
-};
-
-}  // namespace detail
 
 namespace {
 
@@ -107,18 +37,23 @@ std::vector<std::byte> seq_only_payload(std::uint64_t seq) {
 
 }  // namespace
 
-void Comm::push_raw(int dest, RankMessage message) {
-  Channel<RankMessage>& box = *shared_->mailboxes[static_cast<std::size_t>(dest)];
-  if (box.try_push(message)) return;
+Comm detail::make_comm(int rank, int size, std::shared_ptr<detail::Transport> transport,
+                       const RuntimeOptions& options) {
+  return Comm(rank, size, std::move(transport), options);
+}
 
-  // Bounded destination mailbox at capacity: wait for space, but keep
-  // draining our own inbox meanwhile — if the destination is itself
-  // blocked sending to us, each of us frees the space the other needs.
-  ++stats_.send_backpressure_waits;
-  Channel<RankMessage>& inbox = *shared_->mailboxes[static_cast<std::size_t>(rank_)];
-  while (!box.try_push_for(message, std::chrono::microseconds(200))) {
-    while (auto incoming = inbox.try_pop()) pending_.push_back(std::move(*incoming));
-  }
+Comm::Comm(int rank, int size, std::shared_ptr<detail::Transport> transport,
+           const RuntimeOptions& options)
+    : rank_(rank),
+      size_(size),
+      transport_(std::move(transport)),
+      fault_plan_(options.fault_plan),
+      reliable_(options.fault_plan != nullptr && options.fault_plan->has_message_faults()),
+      retry_timeout_(options.retry_timeout),
+      max_retries_(options.max_retries) {}
+
+void Comm::push_raw(int dest, RankMessage message) {
+  transport_->push(dest, std::move(message));
 }
 
 void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
@@ -128,7 +63,7 @@ void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
   volume.bytes += payload.size();
   TRACE_COUNTER_ADD("comm.p2p_bytes", payload.size());
 
-  if (!shared_->reliable) {
+  if (!reliable_) {
     push_raw(dest, RankMessage{rank_, tag, std::move(payload)});
     return;
   }
@@ -145,10 +80,10 @@ void Comm::send(int dest, int tag, std::vector<std::byte> payload) {
   std::memcpy(wire.data(), &seq, sizeof(seq));
   std::memcpy(wire.data() + sizeof(seq), payload.data(), payload.size());
   unacked_.push_back(UnackedSend{dest, tag, seq, wire,
-                                 std::chrono::steady_clock::now() + shared_->retry_timeout,
-                                 std::chrono::nanoseconds(shared_->retry_timeout), 1});
+                                 std::chrono::steady_clock::now() + retry_timeout_,
+                                 std::chrono::nanoseconds(retry_timeout_), 1});
 
-  const FaultDecision fate = shared_->fault_plan->decide(rank_, dest, tag, seq);
+  const FaultDecision fate = fault_plan_->decide(rank_, dest, tag, seq);
   if (!fate.drop && fate.duplicate) {
     ++stats_.faults.injected_dups;
     TRACE_COUNTER_ADD("faults.dups", 1);
@@ -186,7 +121,7 @@ void Comm::service_reliable() {
   const auto now = std::chrono::steady_clock::now();
   for (auto& entry : unacked_) {
     if (entry.deadline > now) continue;
-    if (entry.attempts > shared_->max_retries) {
+    if (entry.attempts > max_retries_) {
       throw CommFaultError("Comm: rank " + std::to_string(rank_) + " -> rank " +
                                std::to_string(entry.dest) + " tag " +
                                std::to_string(entry.tag) + " seq " +
@@ -199,8 +134,7 @@ void Comm::service_reliable() {
     ++stats_.faults.retransmits;
     TRACE_COUNTER_ADD("faults.retransmits", 1);
     ++entry.attempts;
-    entry.backoff = std::min<std::chrono::nanoseconds>(entry.backoff * 2,
-                                                       shared_->retry_timeout * 64);
+    entry.backoff = std::min<std::chrono::nanoseconds>(entry.backoff * 2, retry_timeout_ * 64);
     entry.deadline = now + entry.backoff;
     push_raw(entry.dest, RankMessage{rank_, entry.tag, entry.payload});
   }
@@ -251,25 +185,15 @@ void Comm::filter_reliable(RankMessage raw) {
 }
 
 std::optional<RankMessage> Comm::pop_raw(bool block) {
-  if (!pending_.empty()) {
-    std::optional<RankMessage> message(std::move(pending_.front()));
-    pending_.pop_front();
-    return message;
-  }
-  Channel<RankMessage>& inbox = *shared_->mailboxes[static_cast<std::size_t>(rank_)];
-  if (!block) return inbox.try_pop();
-  std::optional<RankMessage> message = inbox.try_pop_for(kRecvSlice);
-  if (!message && inbox.closed())
-    throw CommAbortError("Comm::recv: mailbox closed (runtime aborted)");
-  return message;
+  // Bounded wait in blocking mode so overdue retransmissions keep flowing
+  // even while this rank is parked waiting for data.
+  return transport_->pop(block ? kRecvSlice : std::chrono::microseconds{0});
 }
 
 RankMessage Comm::recv() {
-  if (shared_->reliable) {
+  if (reliable_) {
     while (deliverable_.empty()) {
       service_reliable();
-      // Bounded wait so overdue retransmissions keep flowing even while
-      // this rank is parked waiting for data.
       if (std::optional<RankMessage> raw = pop_raw(/*block=*/true))
         filter_reliable(std::move(*raw));
     }
@@ -281,14 +205,8 @@ RankMessage Comm::recv() {
     return message;
   }
 
-  std::optional<RankMessage> message;
-  if (!pending_.empty()) {
-    message = std::move(pending_.front());
-    pending_.pop_front();
-  } else {
-    message = shared_->mailboxes[static_cast<std::size_t>(rank_)]->pop();
-    if (!message) throw CommAbortError("Comm::recv: mailbox closed (runtime aborted)");
-  }
+  std::optional<RankMessage> message = transport_->pop(std::nullopt);
+  if (!message) throw CommAbortError("Comm::recv: mailbox closed (runtime aborted)");
   auto& volume = stats_.received[message->tag];
   ++volume.messages;
   volume.bytes += message->payload.size();
@@ -296,7 +214,7 @@ RankMessage Comm::recv() {
 }
 
 std::optional<RankMessage> Comm::try_recv() {
-  if (shared_->reliable) {
+  if (reliable_) {
     service_reliable();
     while (deliverable_.empty()) {
       std::optional<RankMessage> raw = pop_raw(/*block=*/false);
@@ -312,24 +230,18 @@ std::optional<RankMessage> Comm::try_recv() {
     return message;
   }
 
-  std::optional<RankMessage> message;
-  if (!pending_.empty()) {
-    message = std::move(pending_.front());
-    pending_.pop_front();
-  } else {
-    message = shared_->mailboxes[static_cast<std::size_t>(rank_)]->try_pop();
-    if (!message) return std::nullopt;
-  }
+  std::optional<RankMessage> message = transport_->pop(std::chrono::microseconds{0});
+  if (!message) return std::nullopt;
   auto& volume = stats_.received[message->tag];
   ++volume.messages;
   volume.bytes += message->payload.size();
   return message;
 }
 
-bool Comm::reliable() const noexcept { return shared_->reliable; }
+bool Comm::reliable() const noexcept { return reliable_; }
 
 void Comm::reliable_flush() {
-  if (!shared_->reliable) return;
+  if (!reliable_) return;
   TRACE_SPAN("comm.reliable_flush");
   // Injected delays are released immediately: a flush point means the
   // protocol needs everything on the wire now.
@@ -345,7 +257,7 @@ void Comm::reliable_flush() {
 void Comm::timed_barrier() {
   ++stats_.barriers;
   const Timer timer;
-  shared_->barrier();
+  transport_->barrier();
   stats_.barrier_wait_seconds += timer.seconds();
 }
 
@@ -354,20 +266,8 @@ void Comm::barrier() { timed_barrier(); }
 std::vector<std::vector<std::byte>> Comm::allgather(std::vector<std::byte> mine) {
   ++stats_.collectives;
   stats_.collective_bytes_out += mine.size();
-  shared_->slots[static_cast<std::size_t>(rank_)] = std::move(mine);
-  timed_barrier();
-  std::vector<std::vector<std::byte>> all(static_cast<std::size_t>(size_));
-  for (int r = 0; r < size_; ++r) {
-    if (r == rank_) continue;  // own slot is moved, not copied, below
-    all[static_cast<std::size_t>(r)] = shared_->slots[static_cast<std::size_t>(r)];
-    stats_.collective_bytes_in += all[static_cast<std::size_t>(r)].size();
-  }
-  timed_barrier();
-  // After the closing barrier nobody reads our slot again: reclaim it by
-  // move instead of leaving a stale copy in the staging area.
-  all[static_cast<std::size_t>(rank_)] = std::move(shared_->slots[static_cast<std::size_t>(rank_)]);
-  stats_.collective_bytes_in += all[static_cast<std::size_t>(rank_)].size();
-  shared_->slots[static_cast<std::size_t>(rank_)] = {};
+  auto all = transport_->allgather(std::move(mine), [this] { timed_barrier(); });
+  for (const auto& blob : all) stats_.collective_bytes_in += blob.size();
   return all;
 }
 
@@ -376,22 +276,17 @@ T Comm::reduce_scalar(T value, Fold fold) {
   static_assert(std::is_trivially_copyable_v<T>);
   ++stats_.collectives;
   stats_.collective_bytes_out += sizeof(T);
-  auto& slot = shared_->slots[static_cast<std::size_t>(rank_)];
-  slot.resize(sizeof(T));
-  std::memcpy(slot.data(), &value, sizeof(T));
-  timed_barrier();
-  // Read only the needed sizeof(T) bytes from each slot — no payload
-  // vector copies (the seed allgathered the whole staging area here).
+  std::vector<std::byte> mine(sizeof(T));
+  std::memcpy(mine.data(), &value, sizeof(T));
+  const auto all = transport_->allgather(std::move(mine), [this] { timed_barrier(); });
   T accumulated = value;
   for (int r = 0; r < size_; ++r) {
     if (r == rank_) continue;
     T contribution;
-    std::memcpy(&contribution, shared_->slots[static_cast<std::size_t>(r)].data(), sizeof(T));
+    std::memcpy(&contribution, all[static_cast<std::size_t>(r)].data(), sizeof(T));
     accumulated = fold(accumulated, contribution);
   }
   stats_.collective_bytes_in += static_cast<std::uint64_t>(size_) * sizeof(T);
-  timed_barrier();
-  slot = {};  // clear staging after the closing barrier
   return accumulated;
 }
 
@@ -417,66 +312,18 @@ std::vector<std::vector<std::byte>> Comm::alltoallv_bytes(
   for (const auto& bucket : outbox) outgoing += bucket.size();
   stats_.collective_bytes_out += outgoing;
   TRACE_COUNTER_ADD("comm.collective_bytes", outgoing);
-  shared_->a2a[static_cast<std::size_t>(rank_)] = std::move(outbox);
-  timed_barrier();
-  std::vector<std::vector<std::byte>> inbox(static_cast<std::size_t>(size_));
-  for (int s = 0; s < size_; ++s) {
-    // Each [s][dest] cell has exactly one reader (rank dest == us), so the
-    // bucket can be moved out instead of deep-copied.
-    inbox[static_cast<std::size_t>(s)] = std::move(
-        shared_->a2a[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)]);
-    stats_.collective_bytes_in += inbox[static_cast<std::size_t>(s)].size();
-  }
-  timed_barrier();
-  // Our row's buckets were all moved out by their readers; drop the husks.
-  shared_->a2a[static_cast<std::size_t>(rank_)] = {};
+  auto inbox = transport_->alltoallv(std::move(outbox), [this] { timed_barrier(); });
+  for (const auto& bucket : inbox) stats_.collective_bytes_in += bucket.size();
   return inbox;
 }
 
 CommStats Comm::stats() const {
   CommStats snapshot = stats_;
-  snapshot.mailbox_high_water = std::max<std::uint64_t>(
-      snapshot.mailbox_high_water,
-      shared_->mailboxes[static_cast<std::size_t>(rank_)]->high_water());
+  snapshot.mailbox_high_water =
+      std::max<std::uint64_t>(snapshot.mailbox_high_water, transport_->inbox_high_water());
+  snapshot.send_backpressure_waits += transport_->send_backpressure_waits();
   return snapshot;
 }
-
-namespace {
-
-/// Rethrow `error` with "rank R: " prepended when the concrete type allows
-/// message rewriting; unknown types propagate unmodified (never change a
-/// caller-visible exception type).
-[[noreturn]] void rethrow_annotated(int rank, const std::exception_ptr& error) {
-  try {
-    std::rethrow_exception(error);
-  } catch (std::exception& e) {
-    const std::string annotated = "rank " + std::to_string(rank) + ": " + e.what();
-    if (typeid(e) == typeid(CommAbortError)) throw CommAbortError(annotated);
-    if (const auto* fault = dynamic_cast<const CommFaultError*>(&e);
-        fault != nullptr && typeid(e) == typeid(CommFaultError))
-      throw CommFaultError(annotated, fault->source(), fault->dest(), fault->tag());
-    if (const auto* crash = dynamic_cast<const RankCrashError*>(&e);
-        crash != nullptr && typeid(e) == typeid(RankCrashError))
-      throw RankCrashError(annotated, crash->rank(), crash->chunk());
-    if (typeid(e) == typeid(std::runtime_error)) throw std::runtime_error(annotated);
-    if (typeid(e) == typeid(std::invalid_argument)) throw std::invalid_argument(annotated);
-    if (typeid(e) == typeid(std::out_of_range)) throw std::out_of_range(annotated);
-    if (typeid(e) == typeid(std::logic_error)) throw std::logic_error(annotated);
-    throw;
-  }
-}
-
-[[nodiscard]] bool is_abort_error(const std::exception_ptr& error) {
-  try {
-    std::rethrow_exception(error);
-  } catch (const CommAbortError&) {
-    return true;
-  } catch (...) {
-    return false;
-  }
-}
-
-}  // namespace
 
 void Runtime::run(int ranks, const std::function<void(Comm&)>& body) {
   RuntimeOptions options;
@@ -485,27 +332,38 @@ void Runtime::run(int ranks, const std::function<void(Comm&)>& body) {
 }
 
 void Runtime::run(const RuntimeOptions& options, const std::function<void(Comm&)>& body) {
+  (void)run_gather(options, [&body](Comm& comm) {
+    body(comm);
+    return std::vector<std::byte>{};
+  });
+}
+
+std::vector<std::vector<std::byte>> Runtime::run_gather(
+    const RuntimeOptions& options, const std::function<std::vector<std::byte>(Comm&)>& body) {
   const int ranks = options.ranks;
   if (ranks < 1) throw std::invalid_argument("Runtime::run: need at least one rank");
-  auto shared = std::make_shared<detail::CommShared>(ranks, options);
+  if (options.backend == CommBackend::kProcs) return detail::run_process_ranks(options, body);
+
+  detail::ThreadBackend backend(ranks, options.mailbox_capacity);
+  std::vector<std::vector<std::byte>> results(static_cast<std::size_t>(ranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(ranks));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
-    threads.emplace_back([r, ranks, &body, shared, &errors] {
-      Comm comm(r, ranks, shared);
+    threads.emplace_back([r, ranks, &body, &backend, &options, &results, &errors] {
+      Comm comm = detail::make_comm(r, ranks, backend.transport_for(r), options);
       // Label this thread's trace spans with its rank for the body's
       // lifetime, so phase attribution is per rank, not per OS thread.
       trace::set_rank(r);
       try {
         TRACE_SPAN("runtime.rank");
-        body(comm);
+        results[static_cast<std::size_t>(r)] = body(comm);
         // A rank must not exit while messages it sent are unacked — its
         // retransmission timers die with it.  No-op without a fault plan.
         comm.reliable_flush();
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
-        shared->abort_all();
+        backend.abort_all();
       }
       trace::set_rank(-1);
     });
@@ -519,10 +377,11 @@ void Runtime::run(const RuntimeOptions& options, const std::function<void(Comm&)
     const auto& error = errors[static_cast<std::size_t>(r)];
     if (!error) continue;
     if (first_failed < 0) first_failed = r;
-    if (!is_abort_error(error)) rethrow_annotated(r, error);
+    if (!detail::is_abort_error(error)) detail::rethrow_annotated(r, error);
   }
   if (first_failed >= 0)
-    rethrow_annotated(first_failed, errors[static_cast<std::size_t>(first_failed)]);
+    detail::rethrow_annotated(first_failed, errors[static_cast<std::size_t>(first_failed)]);
+  return results;
 }
 
 }  // namespace kron

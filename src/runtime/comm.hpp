@@ -1,14 +1,16 @@
-// In-process message-passing runtime: the distributed substrate.
+// Message-passing runtime: the distributed substrate.
 //
 // The paper's generator runs on MPI/HavoqGT across up to 1.57M cores.  This
 // library targets environments without an MPI installation, so it provides
-// an MPI-shaped runtime in a single process: each *rank* is a thread, ranks
-// exchange byte payloads through per-rank channels, and the usual
-// collectives (barrier, allreduce, gather, all-to-all) are built on a
-// shared staging area.  Algorithms written against `Comm` exercise the same
-// partitioning and communication structure they would under MPI — rank
-// counts, per-rank memory bounds, and message volumes are all real; only
-// physical parallel speedup is limited by the host's core count.
+// an MPI-shaped runtime with two interchangeable transports (DESIGN.md §13):
+// each *rank* is a thread of this process (CommBackend::kThreads, the
+// default) or a forked child process talking over Unix-domain sockets
+// (CommBackend::kProcs).  Ranks exchange byte payloads point-to-point, and
+// the usual collectives (barrier, allreduce, gather, all-to-all) are built
+// on the transport primitives.  Algorithms written against `Comm` exercise
+// the same partitioning and communication structure they would under MPI —
+// rank counts, per-rank memory bounds, and message volumes are all real;
+// only physical parallel speedup is limited by the host's core count.
 //
 // Usage:
 //   Runtime::run(8, [&](Comm& comm) {
@@ -29,30 +31,21 @@
 #include <stdexcept>
 #include <vector>
 
-#include "runtime/channel.hpp"
 #include "runtime/comm_stats.hpp"
 #include "runtime/faults.hpp"
+#include "runtime/transport.hpp"
 
 namespace kron {
 
-/// One point-to-point message.
-struct RankMessage {
-  int source = 0;
-  int tag = 0;
-  std::vector<std::byte> payload;
-};
-
-/// Secondary failure: thrown by blocked ranks when the runtime is torn
-/// down because *another* rank threw.  Runtime::run uses the type to
-/// prefer the root-cause exception when several ranks failed.
-class CommAbortError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+class Comm;
+struct RuntimeOptions;
 
 namespace detail {
-struct CommShared;  // shared collective state, defined in comm.cpp
-}
+/// Backend-internal factory: builds the Comm a launcher hands to a rank
+/// body (the constructor stays private to keep the API surface Runtime's).
+Comm make_comm(int rank, int size, std::shared_ptr<Transport> transport,
+               const RuntimeOptions& options);
+}  // namespace detail
 
 class Comm {
  public:
@@ -147,8 +140,10 @@ class Comm {
 
  private:
   friend class Runtime;
-  Comm(int rank, int size, std::shared_ptr<detail::CommShared> shared)
-      : rank_(rank), size_(size), shared_(std::move(shared)) {}
+  friend Comm detail::make_comm(int rank, int size, std::shared_ptr<detail::Transport> transport,
+                                const RuntimeOptions& options);
+  Comm(int rank, int size, std::shared_ptr<detail::Transport> transport,
+       const RuntimeOptions& options);
 
   // Untyped all-to-all used by the template above.
   [[nodiscard]] std::vector<std::vector<std::byte>> alltoallv_bytes(
@@ -157,15 +152,10 @@ class Comm {
   // Barrier with stats accounting (count + wait time).
   void timed_barrier();
 
-  // Scalar reduction over the slot staging area: writes sizeof(T) bytes,
-  // folds every rank's scalar in place (no per-slot vector copies), and
-  // clears the staging slot after the closing barrier.
+  // Scalar reduction built on the transport allgather: sizeof(T) bytes per
+  // rank, folded in place.
   template <typename T, typename Fold>
   [[nodiscard]] T reduce_scalar(T value, Fold fold);
-
-  // Messages popped from our own inbox while a bounded send was waiting;
-  // recv/try_recv serve these before touching the mailbox.
-  std::deque<RankMessage> pending_;
 
   // --- reliable-delivery state (touched only by this rank's thread; used
   // only when a FaultPlan with message faults is installed) --------------
@@ -193,8 +183,7 @@ class Comm {
     std::map<std::uint64_t, RankMessage> out_of_order;
   };
 
-  // Enqueue into `dest`'s mailbox with the bounded-channel backpressure
-  // discipline (drains own inbox into pending_ while waiting).
+  // Enqueue into `dest`'s inbound queue through the transport.
   void push_raw(int dest, RankMessage message);
   // Release due delayed deliveries and retransmit overdue unacked sends;
   // throws CommFaultError when a send exhausts its retries.
@@ -202,7 +191,7 @@ class Comm {
   // Classify one raw arrival: acks and dups are consumed, in-order data
   // lands in deliverable_, out-of-order data is buffered.
   void filter_reliable(RankMessage raw);
-  // Next raw message from pending_ / the mailbox (reliable mode helper).
+  // Next raw message from the transport (reliable mode helper).
   [[nodiscard]] std::optional<RankMessage> pop_raw(bool block);
 
   std::deque<RankMessage> deliverable_;   ///< sequenced data ready for recv
@@ -216,7 +205,15 @@ class Comm {
 
   int rank_ = 0;
   int size_ = 1;
-  std::shared_ptr<detail::CommShared> shared_;
+  std::shared_ptr<detail::Transport> transport_;
+
+  // Fault injection / reliable delivery (runtime/faults.hpp).  `reliable_`
+  // is true only when the plan can actually fault a message, so plans that
+  // carry nothing but crash events leave the fast p2p path untouched.
+  std::shared_ptr<const FaultPlan> fault_plan_;
+  bool reliable_ = false;
+  std::chrono::microseconds retry_timeout_{2000};
+  int max_retries_ = 16;
 };
 
 template <typename T>
@@ -239,15 +236,20 @@ std::vector<std::vector<T>> Comm::alltoallv(std::vector<std::vector<T>> outbox) 
 /// Launch configuration for Runtime::run.
 struct RuntimeOptions {
   int ranks = 1;
+  /// Transport substrate: threads of this process (default) or forked
+  /// child processes over Unix-domain sockets.
+  CommBackend backend = CommBackend::kThreads;
   /// Maximum queued messages per rank mailbox; 0 = unbounded.  A nonzero
   /// bound turns point-to-point sends into backpressured (blocking)
-  /// operations, capping per-rank in-flight memory.
+  /// operations, capping per-rank in-flight memory.  The process backend
+  /// never blocks a sender (outbound frames queue in user space), so the
+  /// bound is advisory there.
   std::size_t mailbox_capacity = 0;
   /// Deterministic fault schedule (runtime/faults.hpp).  Installing a plan
   /// with message faults switches point-to-point traffic to the reliable
   /// seq/ack/retransmit protocol; acknowledgements themselves travel
-  /// un-faulted (the in-process transport is lossless — faults model the
-  /// network on payload transmissions).
+  /// un-faulted (both transports are lossless — faults model the network
+  /// on payload transmissions).
   std::shared_ptr<const FaultPlan> fault_plan;
   /// Initial retransmission timeout for unacked sends (reliable mode);
   /// doubles per retry up to 64x.
@@ -267,8 +269,16 @@ class Runtime {
   /// originating rank is attached to the message.
   static void run(int ranks, const std::function<void(Comm&)>& body);
 
-  /// Same, with explicit options (rank count, mailbox capacity).
+  /// Same, with explicit options (rank count, backend, mailbox capacity).
   static void run(const RuntimeOptions& options, const std::function<void(Comm&)>& body);
+
+  /// Run a body that returns a per-rank byte blob; the launcher returns
+  /// the blobs indexed by rank.  This is the only result channel that
+  /// works on every backend — under CommBackend::kProcs the rank bodies
+  /// execute in forked children, so writing results through captured
+  /// references only mutates copy-on-write pages the parent never sees.
+  [[nodiscard]] static std::vector<std::vector<std::byte>> run_gather(
+      const RuntimeOptions& options, const std::function<std::vector<std::byte>(Comm&)>& body);
 };
 
 }  // namespace kron

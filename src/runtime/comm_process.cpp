@@ -1,0 +1,774 @@
+#include "runtime/comm_process.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "runtime/faults.hpp"
+#include "runtime/transport.hpp"
+#include "util/posix_io.hpp"
+#include "util/trace.hpp"
+
+namespace kron::detail {
+namespace {
+
+// --- wire format (DESIGN.md §13) -----------------------------------------
+//
+// Every socket carries a stream of length-prefixed frames.  The sender of
+// a frame is implicit — each peer pair has a dedicated socket — so the
+// header carries only the kind, the user tag (kData only), and the payload
+// length.
+
+enum class FrameKind : std::uint32_t {
+  kData = 1,        ///< point-to-point RankMessage payload
+  kBarrier = 2,     ///< barrier arrival (rank -> coordinator)
+  kRelease = 3,     ///< barrier release (coordinator -> rank)
+  kSlot = 4,        ///< allgather contribution (rank -> coordinator)
+  kSlotResult = 5,  ///< allgather broadcast (coordinator -> rank)
+  kA2a = 6,         ///< one alltoallv bucket (source -> destination)
+  kGoodbye = 7,     ///< clean shutdown marker; EOF without it is an abort
+};
+constexpr std::uint32_t kMinCtrlKind = static_cast<std::uint32_t>(FrameKind::kBarrier);
+constexpr std::uint32_t kMaxCtrlKind = static_cast<std::uint32_t>(FrameKind::kA2a);
+constexpr std::size_t kNumCtrlKinds = kMaxCtrlKind - kMinCtrlKind + 1;
+
+struct FrameHeader {
+  std::uint32_t kind = 0;
+  std::int32_t tag = 0;
+  std::uint64_t length = 0;  ///< payload bytes following the header
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+/// Upper bound on a single frame payload — far above any real message,
+/// low enough to catch a corrupted length before it drives an allocation.
+constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 42;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// One rank's end of the socket mesh: nonblocking fds, per-peer inbound
+/// parse buffers and outbound frame queues, demultiplexed control queues.
+/// Sends never block (frames queue in user space and drain on every pump),
+/// so two mutually-streaming ranks cannot deadlock — the exact property
+/// the threaded backend gets from backpressure-with-inbox-draining.
+class ProcessTransport final : public Transport {
+ public:
+  ProcessTransport(int rank, int size, const std::vector<int>& peer_fds)
+      : rank_(rank), size_(size), peers_(static_cast<std::size_t>(size)) {
+    for (int p = 0; p < size; ++p) {
+      peers_[static_cast<std::size_t>(p)].fd = peer_fds[static_cast<std::size_t>(p)];
+      if (p != rank && peers_[static_cast<std::size_t>(p)].fd >= 0)
+        set_nonblocking(peers_[static_cast<std::size_t>(p)].fd);
+    }
+  }
+
+  ~ProcessTransport() override {
+    for (Peer& peer : peers_) {
+      posix_io::close_fd(peer.fd);
+      peer.fd = -1;
+    }
+  }
+
+  ProcessTransport(const ProcessTransport&) = delete;
+  ProcessTransport& operator=(const ProcessTransport&) = delete;
+
+  void push(int dest, RankMessage message) override {
+    if (dest == rank_) {
+      enqueue_data(std::move(message));
+      return;
+    }
+    send_frame(dest, FrameKind::kData, message.tag, message.payload.data(),
+               message.payload.size());
+    // Opportunistic nonblocking pump: drain inbound frames and retry
+    // stalled outbound queues so a send-heavy phase cannot fill the kernel
+    // buffers on either side.
+    pump(0);
+  }
+
+  std::optional<RankMessage> pop(std::optional<std::chrono::microseconds> timeout) override {
+    if (!data_.empty()) return take_data();
+    if (timeout && timeout->count() == 0) {
+      pump(0);
+      if (!data_.empty()) return take_data();
+      return std::nullopt;
+    }
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    if (timeout) deadline = std::chrono::steady_clock::now() + *timeout;
+    while (data_.empty()) {
+      if (dirty_abort_)
+        throw CommAbortError("Comm::recv: mailbox closed (runtime aborted)");
+      if (!deadline && all_peers_gone())
+        throw CommAbortError("Comm::recv: every peer rank exited with no message queued");
+      int wait_ms = 50;
+      if (deadline) {
+        const auto remaining = *deadline - std::chrono::steady_clock::now();
+        if (remaining <= std::chrono::steady_clock::duration::zero()) return std::nullopt;
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count();
+        wait_ms = static_cast<int>(std::clamp<long long>(ms, 1, 50));
+      }
+      pump(wait_ms);
+    }
+    return take_data();
+  }
+
+  void barrier() override {
+    if (size_ == 1) return;
+    // Coordinator barrier: everyone reports to rank 0, rank 0 releases.
+    // Per-socket FIFO plus per-(kind, source) queues make back-to-back
+    // barriers safe without a generation counter.
+    if (rank_ == 0) {
+      for (int r = 1; r < size_; ++r) (void)wait_ctrl(FrameKind::kBarrier, r);
+      for (int r = 1; r < size_; ++r) send_frame(r, FrameKind::kRelease, 0, nullptr, 0);
+    } else {
+      send_frame(0, FrameKind::kBarrier, 0, nullptr, 0);
+      (void)wait_ctrl(FrameKind::kRelease, 0);
+    }
+  }
+
+  std::vector<std::vector<std::byte>> allgather(std::vector<std::byte> mine,
+                                                const std::function<void()>&) override {
+    // Gather to rank 0, then broadcast the packed result: [u64 len][bytes]
+    // per rank, in rank order.  The exchange self-synchronises; the sync
+    // callback (threaded staging barriers) is never needed.
+    std::vector<std::vector<std::byte>> all(static_cast<std::size_t>(size_));
+    if (size_ == 1) {
+      all[0] = std::move(mine);
+      return all;
+    }
+    if (rank_ == 0) {
+      all[0] = std::move(mine);
+      for (int r = 1; r < size_; ++r)
+        all[static_cast<std::size_t>(r)] = wait_ctrl(FrameKind::kSlot, r);
+      std::size_t total = 0;
+      for (const auto& blob : all) total += sizeof(std::uint64_t) + blob.size();
+      std::vector<std::byte> packed;
+      packed.reserve(total);
+      for (const auto& blob : all) {
+        const std::uint64_t length = blob.size();
+        const auto* raw = reinterpret_cast<const std::byte*>(&length);
+        packed.insert(packed.end(), raw, raw + sizeof(length));
+        packed.insert(packed.end(), blob.begin(), blob.end());
+      }
+      for (int r = 1; r < size_; ++r)
+        send_frame(r, FrameKind::kSlotResult, 0, packed.data(), packed.size());
+      return all;
+    }
+    send_frame(0, FrameKind::kSlot, 0, mine.data(), mine.size());
+    const std::vector<std::byte> packed = wait_ctrl(FrameKind::kSlotResult, 0);
+    std::size_t offset = 0;
+    for (int r = 0; r < size_; ++r) {
+      std::uint64_t length = 0;
+      if (packed.size() - offset < sizeof(length))
+        throw std::runtime_error("Comm::allgather: truncated broadcast frame");
+      std::memcpy(&length, packed.data() + offset, sizeof(length));
+      offset += sizeof(length);
+      if (packed.size() - offset < length)
+        throw std::runtime_error("Comm::allgather: truncated broadcast frame");
+      all[static_cast<std::size_t>(r)].assign(
+          packed.begin() + static_cast<std::ptrdiff_t>(offset),
+          packed.begin() + static_cast<std::ptrdiff_t>(offset + length));
+      offset += length;
+    }
+    return all;
+  }
+
+  std::vector<std::vector<std::byte>> alltoallv(std::vector<std::vector<std::byte>> outbox,
+                                                const std::function<void()>&) override {
+    // Direct exchange: one kA2a frame per destination, one awaited per
+    // source.  FIFO per (kind, source) keeps consecutive alltoallvs from
+    // interleaving.
+    std::vector<std::vector<std::byte>> inbox(static_cast<std::size_t>(size_));
+    for (int d = 0; d < size_; ++d) {
+      if (d == rank_) continue;
+      auto& bucket = outbox[static_cast<std::size_t>(d)];
+      send_frame(d, FrameKind::kA2a, 0, bucket.data(), bucket.size());
+      bucket = {};
+    }
+    inbox[static_cast<std::size_t>(rank_)] = std::move(outbox[static_cast<std::size_t>(rank_)]);
+    for (int s = 0; s < size_; ++s) {
+      if (s == rank_) continue;
+      inbox[static_cast<std::size_t>(s)] = wait_ctrl(FrameKind::kA2a, s);
+    }
+    return inbox;
+  }
+
+  std::uint64_t inbox_high_water() const override { return data_high_water_; }
+
+  std::uint64_t send_backpressure_waits() const override { return 0; }
+
+  /// Clean shutdown after the rank body returned: tell every peer goodbye
+  /// (so our EOF is not mistaken for a crash) and drain the outbound
+  /// queues, bounded so a wedged peer cannot block a clean exit forever.
+  void finish() {
+    for (int p = 0; p < size_; ++p) {
+      if (p == rank_) continue;
+      send_frame(p, FrameKind::kGoodbye, 0, nullptr, 0);
+    }
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      bool pending = false;
+      for (const Peer& peer : peers_)
+        if (peer.fd >= 0 && !peer.write_dead && !peer.out.empty()) pending = true;
+      if (!pending) return;
+      pump(20);
+    }
+  }
+
+ private:
+  struct Peer {
+    int fd = -1;            ///< -1 for self
+    bool read_eof = false;  ///< read side closed (EOF or hard error)
+    bool goodbye = false;   ///< clean Goodbye frame observed before EOF
+    bool write_dead = false;  ///< write side failed (peer gone); sends drop
+
+    std::vector<std::byte> in;  ///< unparsed inbound bytes
+    std::size_t in_off = 0;
+
+    std::deque<std::vector<std::byte>> out;  ///< framed outbound buffers
+    std::size_t out_off = 0;                 ///< progress into out.front()
+
+    /// Control frames by kind, FIFO per source.
+    std::array<std::deque<std::vector<std::byte>>, kNumCtrlKinds> ctrl;
+
+    [[nodiscard]] bool gone() const { return fd < 0 || read_eof; }
+  };
+
+  void enqueue_data(RankMessage message) {
+    data_.push_back(std::move(message));
+    data_high_water_ = std::max<std::uint64_t>(data_high_water_, data_.size());
+  }
+
+  RankMessage take_data() {
+    RankMessage message = std::move(data_.front());
+    data_.pop_front();
+    return message;
+  }
+
+  [[nodiscard]] bool all_peers_gone() const {
+    for (int p = 0; p < size_; ++p)
+      if (p != rank_ && !peers_[static_cast<std::size_t>(p)].gone()) return false;
+    return true;
+  }
+
+  std::deque<std::vector<std::byte>>& ctrl_queue(FrameKind kind, int source) {
+    return peers_[static_cast<std::size_t>(source)]
+        .ctrl[static_cast<std::uint32_t>(kind) - kMinCtrlKind];
+  }
+
+  void send_frame(int dest, FrameKind kind, int tag, const void* data, std::size_t length) {
+    Peer& peer = peers_[static_cast<std::size_t>(dest)];
+    // A gone peer behaves like a closed mailbox: the frame is dropped
+    // silently (reliable-mode senders recover via retransmit timeouts).
+    if (peer.fd < 0 || peer.write_dead) return;
+    FrameHeader header;
+    header.kind = static_cast<std::uint32_t>(kind);
+    header.tag = tag;
+    header.length = length;
+    std::vector<std::byte> buffer(sizeof(header) + length);
+    std::memcpy(buffer.data(), &header, sizeof(header));
+    if (length != 0) std::memcpy(buffer.data() + sizeof(header), data, length);
+    peer.out.push_back(std::move(buffer));
+    flush_peer(peer);
+  }
+
+  void flush_peer(Peer& peer) {
+    while (!peer.out.empty()) {
+      const auto& front = peer.out.front();
+      const long n = posix_io::write_some(peer.fd, front.data() + peer.out_off,
+                                          front.size() - peer.out_off);
+      if (n < 0) {  // EPIPE/ECONNRESET: peer is gone, drop queued output
+        peer.write_dead = true;
+        peer.out.clear();
+        peer.out_off = 0;
+        return;
+      }
+      if (n == 0) return;  // would block; the next pump retries
+      peer.out_off += static_cast<std::size_t>(n);
+      if (peer.out_off == front.size()) {
+        peer.out.pop_front();
+        peer.out_off = 0;
+      }
+    }
+  }
+
+  void read_peer(Peer& peer, int source) {
+    std::byte buffer[65536];
+    while (!peer.read_eof) {
+      bool eof = false;
+      const long n = posix_io::read_some(peer.fd, buffer, sizeof(buffer), eof);
+      if (n > 0) {
+        peer.in.insert(peer.in.end(), buffer, buffer + n);
+        continue;
+      }
+      if (eof || n < 0) peer.read_eof = true;
+      break;  // would-block, EOF, or hard error
+    }
+    parse_frames(peer, source);
+    // EOF without a Goodbye frame means the peer died mid-run: abort,
+    // exactly as the threaded backend's closed mailboxes do.  Checked only
+    // after parsing — a Goodbye often arrives in the same read batch as
+    // the EOF itself.
+    if (peer.read_eof && !peer.goodbye) dirty_abort_ = true;
+  }
+
+  void parse_frames(Peer& peer, int source) {
+    while (peer.in.size() - peer.in_off >= sizeof(FrameHeader)) {
+      FrameHeader header;
+      std::memcpy(&header, peer.in.data() + peer.in_off, sizeof(header));
+      if (header.length > kMaxFrameBytes)
+        throw std::runtime_error("Comm: corrupt frame length from rank " +
+                                 std::to_string(source));
+      if (peer.in.size() - peer.in_off - sizeof(header) < header.length) break;
+      const std::byte* payload = peer.in.data() + peer.in_off + sizeof(header);
+      dispatch(source, header, payload);
+      peer.in_off += sizeof(header) + header.length;
+    }
+    if (peer.in_off == peer.in.size()) {
+      peer.in.clear();
+      peer.in_off = 0;
+    } else if (peer.in_off > (std::size_t{1} << 20)) {
+      peer.in.erase(peer.in.begin(), peer.in.begin() + static_cast<std::ptrdiff_t>(peer.in_off));
+      peer.in_off = 0;
+    }
+  }
+
+  void dispatch(int source, const FrameHeader& header, const std::byte* payload) {
+    const auto kind = static_cast<FrameKind>(header.kind);
+    if (kind == FrameKind::kData) {
+      enqueue_data(RankMessage{source, header.tag,
+                               std::vector<std::byte>(payload, payload + header.length)});
+    } else if (kind == FrameKind::kGoodbye) {
+      peers_[static_cast<std::size_t>(source)].goodbye = true;
+    } else if (header.kind >= kMinCtrlKind && header.kind <= kMaxCtrlKind) {
+      ctrl_queue(kind, source)
+          .emplace_back(payload, payload + header.length);
+    } else {
+      throw std::runtime_error("Comm: corrupt frame kind " + std::to_string(header.kind) +
+                               " from rank " + std::to_string(source));
+    }
+  }
+
+  /// Wait for the next `kind` control frame from `source`.
+  std::vector<std::byte> wait_ctrl(FrameKind kind, int source) {
+    auto& queue = ctrl_queue(kind, source);
+    while (queue.empty()) {
+      if (dirty_abort_) throw CommAbortError("Comm: runtime aborted by another rank");
+      if (peers_[static_cast<std::size_t>(source)].gone())
+        throw CommAbortError("Comm: rank " + std::to_string(source) +
+                             " exited during a collective");
+      pump(50);
+    }
+    std::vector<std::byte> payload = std::move(queue.front());
+    queue.pop_front();
+    return payload;
+  }
+
+  /// One poll() round: flush writable outbound queues, read+parse readable
+  /// peers.  `timeout_ms` 0 = nonblocking probe.
+  void pump(int timeout_ms) {
+    std::array<::pollfd, 64> small_fds;
+    std::vector<::pollfd> big_fds;
+    ::pollfd* fds = small_fds.data();
+    if (static_cast<std::size_t>(size_) > small_fds.size()) {
+      big_fds.resize(static_cast<std::size_t>(size_));
+      fds = big_fds.data();
+    }
+    std::array<int, 64> small_owners;
+    std::vector<int> big_owners;
+    int* owners = small_owners.data();
+    if (static_cast<std::size_t>(size_) > small_owners.size()) {
+      big_owners.resize(static_cast<std::size_t>(size_));
+      owners = big_owners.data();
+    }
+    ::nfds_t count = 0;
+    for (int p = 0; p < size_; ++p) {
+      Peer& peer = peers_[static_cast<std::size_t>(p)];
+      if (peer.fd < 0) continue;
+      short events = 0;
+      if (!peer.read_eof) events |= POLLIN;
+      if (!peer.out.empty() && !peer.write_dead) events |= POLLOUT;
+      if (events == 0) continue;
+      fds[count] = {peer.fd, events, 0};
+      owners[count] = p;
+      ++count;
+    }
+    if (count == 0) {
+      // Nothing pollable (every peer gone): sleep the slice so bounded
+      // retry loops (reliable-mode recv) don't spin hot.
+      if (timeout_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(std::min(timeout_ms, 10)));
+      return;
+    }
+    int ready = 0;
+    do {
+      ready = ::poll(fds, count, timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready <= 0) return;
+    for (::nfds_t i = 0; i < count; ++i) {
+      if (fds[i].revents == 0) continue;
+      Peer& peer = peers_[static_cast<std::size_t>(owners[i])];
+      if ((fds[i].revents & POLLOUT) != 0) flush_peer(peer);
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) read_peer(peer, owners[i]);
+    }
+  }
+
+  const int rank_;
+  const int size_;
+  std::vector<Peer> peers_;
+
+  std::deque<RankMessage> data_;  ///< demultiplexed point-to-point arrivals
+  std::uint64_t data_high_water_ = 0;
+  bool dirty_abort_ = false;  ///< a peer died without saying goodbye
+};
+
+// --- child lifecycle ------------------------------------------------------
+
+/// What a child tells the parent on its status socket, after the body has
+/// returned (or thrown): a fixed header, the exception message, then the
+/// result blob.  A missing/truncated report means the child died hard.
+enum class ChildStatus : std::uint32_t {
+  kOk = 1,
+  kAbort,       // CommAbortError (secondary failure)
+  kCommFault,   // CommFaultError(fields: source, dest, tag)
+  kRankCrash,   // RankCrashError(fields: rank, chunk)
+  kOverflow,    // std::overflow_error (propagates un-annotated, like threads)
+  kInvalidArg,  // std::invalid_argument
+  kOutOfRange,  // std::out_of_range
+  kLogic,       // std::logic_error
+  kRuntime,     // std::runtime_error
+  kOther,       // anything else; reconstructed as std::runtime_error
+};
+
+struct ReportHeader {
+  std::uint32_t magic = 0x4b52534fu;  // "KRSO": kron status object
+  std::uint32_t status = 0;
+  std::int64_t field0 = 0;
+  std::int64_t field1 = 0;
+  std::int64_t field2 = 0;
+  std::uint64_t what_bytes = 0;
+  std::uint64_t blob_bytes = 0;
+};
+static_assert(sizeof(ReportHeader) == 48);
+
+struct ChildReport {
+  bool present = false;
+  ChildStatus status = ChildStatus::kOk;
+  std::string what;
+  std::int64_t field0 = 0;
+  std::int64_t field1 = 0;
+  std::int64_t field2 = 0;
+  std::vector<std::byte> blob;
+};
+
+[[noreturn]] void run_child_rank(int rank, const RuntimeOptions& options,
+                                 const std::function<std::vector<std::byte>(Comm&)>& body,
+                                 const std::vector<int>& peer_fds, int status_fd) {
+  ChildStatus status = ChildStatus::kOk;
+  std::string what;
+  std::int64_t field0 = 0, field1 = 0, field2 = 0;
+  std::vector<std::byte> blob;
+  try {
+    auto transport = std::make_shared<ProcessTransport>(rank, options.ranks, peer_fds);
+    Comm comm = make_comm(rank, options.ranks, transport, options);
+    trace::set_rank(rank);
+    {
+      TRACE_SPAN("runtime.rank");
+      blob = body(comm);
+      // A rank must not exit while messages it sent are unacked — its
+      // retransmission timers die with it.  No-op without a fault plan.
+      comm.reliable_flush();
+    }
+    transport->finish();
+  } catch (const CommAbortError& e) {
+    status = ChildStatus::kAbort;
+    what = e.what();
+  } catch (const CommFaultError& e) {
+    status = ChildStatus::kCommFault;
+    what = e.what();
+    field0 = e.source();
+    field1 = e.dest();
+    field2 = e.tag();
+  } catch (const RankCrashError& e) {
+    status = ChildStatus::kRankCrash;
+    what = e.what();
+    field0 = e.rank();
+    field1 = static_cast<std::int64_t>(e.chunk());
+  } catch (const std::out_of_range& e) {
+    status = ChildStatus::kOutOfRange;
+    what = e.what();
+  } catch (const std::invalid_argument& e) {
+    status = ChildStatus::kInvalidArg;
+    what = e.what();
+  } catch (const std::overflow_error& e) {
+    status = ChildStatus::kOverflow;
+    what = e.what();
+  } catch (const std::runtime_error& e) {
+    status = ChildStatus::kRuntime;
+    what = e.what();
+  } catch (const std::logic_error& e) {
+    status = ChildStatus::kLogic;
+    what = e.what();
+  } catch (const std::exception& e) {
+    status = ChildStatus::kOther;
+    what = e.what();
+  } catch (...) {
+    status = ChildStatus::kOther;
+    what = "unknown exception";
+  }
+  if (status != ChildStatus::kOk) blob.clear();
+  try {
+    ReportHeader header;
+    header.status = static_cast<std::uint32_t>(status);
+    header.field0 = field0;
+    header.field1 = field1;
+    header.field2 = field2;
+    header.what_bytes = what.size();
+    header.blob_bytes = blob.size();
+    posix_io::write_full(status_fd, &header, sizeof(header), "Comm: child status report");
+    posix_io::write_full(status_fd, what.data(), what.size(), "Comm: child status report");
+    posix_io::write_full(status_fd, blob.data(), blob.size(), "Comm: child status report");
+  } catch (...) {
+    // Parent synthesizes an error from the missing report.
+  }
+  // _exit, not exit: the child must not run the parent's atexit handlers
+  // or flush inherited stdio buffers a second time.
+  ::_exit(status == ChildStatus::kOk ? 0 : 1);
+}
+
+ChildReport read_report(int fd) {
+  ChildReport report;
+  ReportHeader header;
+  if (posix_io::read_full(fd, &header, sizeof(header), "Comm: child status report") !=
+      sizeof(header))
+    return report;  // child died before reporting
+  if (header.magic != ReportHeader{}.magic) return report;
+  if (header.what_bytes > (std::uint64_t{1} << 20) || header.blob_bytes > kMaxFrameBytes)
+    return report;
+  report.what.resize(header.what_bytes);
+  if (posix_io::read_full(fd, report.what.data(), report.what.size(),
+                          "Comm: child status report") != report.what.size())
+    return report;
+  report.blob.resize(header.blob_bytes);
+  if (posix_io::read_full(fd, report.blob.data(), report.blob.size(),
+                          "Comm: child status report") != report.blob.size())
+    return report;
+  if (header.status < static_cast<std::uint32_t>(ChildStatus::kOk) ||
+      header.status > static_cast<std::uint32_t>(ChildStatus::kOther))
+    return report;
+  report.status = static_cast<ChildStatus>(header.status);
+  report.field0 = header.field0;
+  report.field1 = header.field1;
+  report.field2 = header.field2;
+  report.present = true;
+  return report;
+}
+
+std::exception_ptr reconstruct_error(const ChildReport& report) {
+  switch (report.status) {
+    case ChildStatus::kAbort:
+      return std::make_exception_ptr(CommAbortError(report.what));
+    case ChildStatus::kCommFault:
+      return std::make_exception_ptr(CommFaultError(report.what,
+                                                    static_cast<int>(report.field0),
+                                                    static_cast<int>(report.field1),
+                                                    static_cast<int>(report.field2)));
+    case ChildStatus::kRankCrash:
+      return std::make_exception_ptr(
+          RankCrashError(report.what, static_cast<int>(report.field0),
+                         static_cast<std::uint64_t>(report.field1)));
+    case ChildStatus::kOverflow:
+      return std::make_exception_ptr(std::overflow_error(report.what));
+    case ChildStatus::kInvalidArg:
+      return std::make_exception_ptr(std::invalid_argument(report.what));
+    case ChildStatus::kOutOfRange:
+      return std::make_exception_ptr(std::out_of_range(report.what));
+    case ChildStatus::kLogic:
+      return std::make_exception_ptr(std::logic_error(report.what));
+    default:
+      return std::make_exception_ptr(std::runtime_error(report.what));
+  }
+}
+
+std::string describe_death(int wstatus) {
+  if (WIFSIGNALED(wstatus)) {
+    const int sig = WTERMSIG(wstatus);
+    const char* name = ::strsignal(sig);
+    return "rank process killed by signal " + std::to_string(sig) +
+           (name != nullptr ? std::string(" (") + name + ")" : std::string());
+  }
+  if (WIFEXITED(wstatus))
+    return "rank process exited with status " + std::to_string(WEXITSTATUS(wstatus)) +
+           " without reporting a result";
+  return "rank process terminated abnormally without reporting a result";
+}
+
+}  // namespace
+
+std::vector<std::vector<std::byte>> run_process_ranks(
+    const RuntimeOptions& options, const std::function<std::vector<std::byte>(Comm&)>& body) {
+  const int ranks = options.ranks;
+  const auto nranks = static_cast<std::size_t>(ranks);
+  // A dead peer must surface as EPIPE from write(), not kill the process.
+  posix_io::ignore_sigpipe();
+
+  // Full mesh of socket pairs (mesh[i][j] is the end rank i uses to talk
+  // to rank j) plus one parent<->child status pair per rank, all created
+  // before the first fork so every child inherits exactly its row.
+  std::vector<std::vector<int>> mesh(nranks, std::vector<int>(nranks, -1));
+  std::vector<int> status_parent(nranks, -1);
+  std::vector<int> status_child(nranks, -1);
+  std::vector<::pid_t> pids(nranks, -1);
+
+  const auto close_everything = [&] {
+    for (auto& row : mesh)
+      for (int& fd : row) {
+        posix_io::close_fd(fd);
+        fd = -1;
+      }
+    for (int& fd : status_parent) {
+      posix_io::close_fd(fd);
+      fd = -1;
+    }
+    for (int& fd : status_child) {
+      posix_io::close_fd(fd);
+      fd = -1;
+    }
+  };
+
+  try {
+    for (int i = 0; i < ranks; ++i) {
+      for (int j = i + 1; j < ranks; ++j) {
+        int sv[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+          throw std::runtime_error(
+              std::string("Runtime: socketpair failed (") + std::strerror(errno) +
+              "); the process backend needs ~ranks^2 descriptors — raise `ulimit -n` "
+              "or use fewer ranks");
+        mesh[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = sv[0];
+        mesh[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = sv[1];
+      }
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+        throw std::runtime_error(std::string("Runtime: socketpair failed (") +
+                                 std::strerror(errno) + ")");
+      status_parent[static_cast<std::size_t>(i)] = sv[0];
+      status_child[static_cast<std::size_t>(i)] = sv[1];
+    }
+  } catch (...) {
+    close_everything();
+    throw;
+  }
+
+  for (int r = 0; r < ranks; ++r) {
+    const ::pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: keep only our mesh row and our status end.
+      for (int i = 0; i < ranks; ++i) {
+        if (i != r)
+          for (const int fd : mesh[static_cast<std::size_t>(i)]) posix_io::close_fd(fd);
+        posix_io::close_fd(status_parent[static_cast<std::size_t>(i)]);
+        if (i != r) posix_io::close_fd(status_child[static_cast<std::size_t>(i)]);
+      }
+      run_child_rank(r, options, body, mesh[static_cast<std::size_t>(r)],
+                     status_child[static_cast<std::size_t>(r)]);  // _exits
+    }
+    if (pid < 0) {
+      const std::string why = std::strerror(errno);
+      for (int k = 0; k < r; ++k) (void)::kill(pids[static_cast<std::size_t>(k)], SIGKILL);
+      for (int k = 0; k < r; ++k) {
+        int ws = 0;
+        while (::waitpid(pids[static_cast<std::size_t>(k)], &ws, 0) < 0 && errno == EINTR) {
+        }
+      }
+      close_everything();
+      throw std::runtime_error("Runtime: fork failed: " + why);
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+
+  // Parent: the children own the mesh and the child status ends now.
+  // Closing our copies is what lets a child observe a sibling's EOF.
+  for (auto& row : mesh)
+    for (int& fd : row) {
+      posix_io::close_fd(fd);
+      fd = -1;
+    }
+  for (int& fd : status_child) {
+    posix_io::close_fd(fd);
+    fd = -1;
+  }
+
+  std::vector<ChildReport> reports(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    try {
+      reports[r] = read_report(status_parent[r]);
+    } catch (...) {
+      // Treat a parent-side read failure like a missing report.
+    }
+    posix_io::close_fd(status_parent[r]);
+    status_parent[r] = -1;
+  }
+
+  std::vector<int> wstatus(nranks, 0);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    int ws = 0;
+    while (::waitpid(pids[r], &ws, 0) < 0 && errno == EINTR) {
+    }
+    wstatus[r] = ws;
+  }
+
+  std::vector<std::vector<std::byte>> results(nranks);
+  std::vector<std::exception_ptr> errors(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    ChildReport& report = reports[r];
+    if (report.present && report.status == ChildStatus::kOk) {
+      results[r] = std::move(report.blob);
+      continue;
+    }
+    if (report.present) {
+      // The child consumed its copy-on-write crash latch; mirror the
+      // one-shot semantics in the parent's plan instance so a restart of
+      // the generation does not re-fire the same crash event.
+      if (report.status == ChildStatus::kRankCrash && options.fault_plan != nullptr)
+        (void)options.fault_plan->consume_crash(static_cast<int>(report.field0),
+                                                static_cast<std::uint64_t>(report.field1));
+      errors[r] = reconstruct_error(report);
+    } else {
+      errors[r] = std::make_exception_ptr(std::runtime_error(describe_death(wstatus[r])));
+    }
+  }
+
+  // Root-cause preference, identical to the threaded launcher: secondary
+  // CommAbortErrors only surface when no rank failed for a real reason.
+  int first_failed = -1;
+  for (int r = 0; r < ranks; ++r) {
+    const auto& error = errors[static_cast<std::size_t>(r)];
+    if (!error) continue;
+    if (first_failed < 0) first_failed = r;
+    if (!is_abort_error(error)) rethrow_annotated(r, error);
+  }
+  if (first_failed >= 0)
+    rethrow_annotated(first_failed, errors[static_cast<std::size_t>(first_failed)]);
+  return results;
+}
+
+}  // namespace kron::detail

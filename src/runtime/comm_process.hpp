@@ -1,0 +1,32 @@
+// Fork-per-rank launcher for the multi-process Comm backend.
+//
+// `run_process_ranks` is the CommBackend::kProcs counterpart of the
+// threaded loop inside Runtime::run_gather: it forks one child per rank,
+// wires a full mesh of Unix-domain socket pairs between them (plus one
+// parent<->child status channel each), runs the body in every child, and
+// reassembles per-rank result blobs and exceptions in the parent with the
+// same root-cause preference and "rank R:" annotation the threaded
+// backend guarantees.  See DESIGN.md §13 for the frame format and child
+// lifecycle.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/comm.hpp"
+
+namespace kron::detail {
+
+/// Fork `options.ranks` children, run `body` in each over the socket
+/// transport, and return the per-rank result blobs.  Rethrows the
+/// root-cause child exception (reconstructed from the status channel,
+/// rank-annotated) when any rank failed; a child that dies without
+/// reporting (signal, _exit) surfaces as an annotated std::runtime_error.
+/// A reported RankCrashError also consumes the matching crash latch on
+/// `options.fault_plan`, so parent-side crash/restart loops observe the
+/// one-shot semantics the threaded backend has.
+[[nodiscard]] std::vector<std::vector<std::byte>> run_process_ranks(
+    const RuntimeOptions& options, const std::function<std::vector<std::byte>(Comm&)>& body);
+
+}  // namespace kron::detail

@@ -10,8 +10,12 @@
 // into a communication profile.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <map>
+#include <stdexcept>
+#include <vector>
 
 namespace kron {
 
@@ -94,5 +98,101 @@ struct CommStats {
     return bytes_sent() + collective_bytes_out;
   }
 };
+
+// --- flat serialization ----------------------------------------------------
+//
+// The process backend runs rank bodies in forked children, so their stats
+// snapshots must cross a byte stream to reach the parent (the generator
+// appends them to each rank's result blob).  Fixed-width little-host
+// encoding; reader and writer are always the same build of this library.
+
+namespace detail {
+
+inline void append_stats_u64(std::vector<std::byte>& out, std::uint64_t value) {
+  const auto* raw = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), raw, raw + sizeof(value));
+}
+
+inline std::uint64_t read_stats_u64(const std::byte*& cursor, const std::byte* end) {
+  std::uint64_t value = 0;
+  if (end - cursor < static_cast<std::ptrdiff_t>(sizeof(value)))
+    throw std::runtime_error("CommStats: truncated serialized snapshot");
+  std::memcpy(&value, cursor, sizeof(value));
+  cursor += sizeof(value);
+  return value;
+}
+
+inline void append_stats_tag_map(std::vector<std::byte>& out,
+                                 const std::map<int, TagVolume>& volumes) {
+  append_stats_u64(out, volumes.size());
+  for (const auto& [tag, volume] : volumes) {
+    append_stats_u64(out, static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+    append_stats_u64(out, volume.messages);
+    append_stats_u64(out, volume.bytes);
+  }
+}
+
+inline std::map<int, TagVolume> read_stats_tag_map(const std::byte*& cursor,
+                                                   const std::byte* end) {
+  std::map<int, TagVolume> volumes;
+  const std::uint64_t entries = read_stats_u64(cursor, end);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    const auto tag = static_cast<int>(static_cast<std::int64_t>(read_stats_u64(cursor, end)));
+    TagVolume& volume = volumes[tag];
+    volume.messages = read_stats_u64(cursor, end);
+    volume.bytes = read_stats_u64(cursor, end);
+  }
+  return volumes;
+}
+
+}  // namespace detail
+
+/// Append a flat encoding of `stats` to `out` (see read_comm_stats).
+inline void append_comm_stats(std::vector<std::byte>& out, const CommStats& stats) {
+  detail::append_stats_tag_map(out, stats.sent);
+  detail::append_stats_tag_map(out, stats.received);
+  detail::append_stats_u64(out, stats.barriers);
+  std::uint64_t wait_bits = 0;
+  static_assert(sizeof(wait_bits) == sizeof(stats.barrier_wait_seconds));
+  std::memcpy(&wait_bits, &stats.barrier_wait_seconds, sizeof(wait_bits));
+  detail::append_stats_u64(out, wait_bits);
+  detail::append_stats_u64(out, stats.collectives);
+  detail::append_stats_u64(out, stats.collective_bytes_out);
+  detail::append_stats_u64(out, stats.collective_bytes_in);
+  detail::append_stats_u64(out, stats.mailbox_high_water);
+  detail::append_stats_u64(out, stats.send_backpressure_waits);
+  detail::append_stats_u64(out, stats.faults.injected_drops);
+  detail::append_stats_u64(out, stats.faults.injected_dups);
+  detail::append_stats_u64(out, stats.faults.injected_delays);
+  detail::append_stats_u64(out, stats.faults.retransmits);
+  detail::append_stats_u64(out, stats.faults.acks_sent);
+  detail::append_stats_u64(out, stats.faults.acks_received);
+  detail::append_stats_u64(out, stats.faults.duplicates_discarded);
+  detail::append_stats_u64(out, stats.faults.out_of_order_buffered);
+}
+
+/// Decode one CommStats at `cursor` (advancing it); throws on truncation.
+inline CommStats read_comm_stats(const std::byte*& cursor, const std::byte* end) {
+  CommStats stats;
+  stats.sent = detail::read_stats_tag_map(cursor, end);
+  stats.received = detail::read_stats_tag_map(cursor, end);
+  stats.barriers = detail::read_stats_u64(cursor, end);
+  const std::uint64_t wait_bits = detail::read_stats_u64(cursor, end);
+  std::memcpy(&stats.barrier_wait_seconds, &wait_bits, sizeof(wait_bits));
+  stats.collectives = detail::read_stats_u64(cursor, end);
+  stats.collective_bytes_out = detail::read_stats_u64(cursor, end);
+  stats.collective_bytes_in = detail::read_stats_u64(cursor, end);
+  stats.mailbox_high_water = detail::read_stats_u64(cursor, end);
+  stats.send_backpressure_waits = detail::read_stats_u64(cursor, end);
+  stats.faults.injected_drops = detail::read_stats_u64(cursor, end);
+  stats.faults.injected_dups = detail::read_stats_u64(cursor, end);
+  stats.faults.injected_delays = detail::read_stats_u64(cursor, end);
+  stats.faults.retransmits = detail::read_stats_u64(cursor, end);
+  stats.faults.acks_sent = detail::read_stats_u64(cursor, end);
+  stats.faults.acks_received = detail::read_stats_u64(cursor, end);
+  stats.faults.duplicates_discarded = detail::read_stats_u64(cursor, end);
+  stats.faults.out_of_order_buffered = detail::read_stats_u64(cursor, end);
+  return stats;
+}
 
 }  // namespace kron

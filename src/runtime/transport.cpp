@@ -1,0 +1,203 @@
+#include "runtime/transport.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <typeinfo>
+
+#include "runtime/channel.hpp"
+#include "runtime/faults.hpp"
+
+namespace kron::detail {
+
+/// State shared by all ranks of one threaded Runtime::run invocation.
+struct ThreadBackend::Shared {
+  Shared(int num_ranks, std::size_t mailbox_capacity) : size(num_ranks) {
+    mailboxes.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r)
+      mailboxes.push_back(std::make_unique<Channel<RankMessage>>(mailbox_capacity));
+    slots.resize(static_cast<std::size_t>(size));
+    a2a.resize(static_cast<std::size_t>(size));
+  }
+
+  const int size;
+
+  // Point-to-point mailboxes, one per destination rank.
+  std::vector<std::unique_ptr<Channel<RankMessage>>> mailboxes;
+
+  // Central sense-reversing barrier.
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::uint64_t generation = 0;
+  bool aborted = false;
+
+  // Staging areas for collectives (guarded by the barrier protocol: write
+  // own slot, barrier, read, barrier).
+  std::vector<std::vector<std::byte>> slots;
+  std::vector<std::vector<std::vector<std::byte>>> a2a;  // [source][dest]
+
+  void abort_all() {
+    {
+      const std::scoped_lock lock(mutex);
+      aborted = true;
+    }
+    cv.notify_all();
+    for (auto& box : mailboxes) box->close();
+  }
+
+  void barrier() {
+    std::unique_lock lock(mutex);
+    if (aborted) throw CommAbortError("Comm: runtime aborted by another rank");
+    const std::uint64_t my_generation = generation;
+    if (++arrived == size) {
+      arrived = 0;
+      ++generation;
+      cv.notify_all();
+      return;
+    }
+    cv.wait(lock, [&] { return generation != my_generation || aborted; });
+    if (generation == my_generation && aborted)
+      throw CommAbortError("Comm: runtime aborted by another rank");
+  }
+};
+
+namespace {
+
+/// One rank's view of the shared-memory substrate.
+class ThreadTransport final : public Transport {
+ public:
+  ThreadTransport(int rank, std::shared_ptr<ThreadBackend::Shared> shared)
+      : rank_(rank), shared_(std::move(shared)) {}
+
+  void push(int dest, RankMessage message) override {
+    Channel<RankMessage>& box = *shared_->mailboxes[static_cast<std::size_t>(dest)];
+    if (box.try_push(message)) return;
+
+    // Bounded destination mailbox at capacity: wait for space, but keep
+    // draining our own inbox meanwhile — if the destination is itself
+    // blocked sending to us, each of us frees the space the other needs.
+    ++backpressure_waits_;
+    Channel<RankMessage>& inbox = *shared_->mailboxes[static_cast<std::size_t>(rank_)];
+    while (!box.try_push_for(message, std::chrono::microseconds(200))) {
+      while (auto incoming = inbox.try_pop()) pending_.push_back(std::move(*incoming));
+    }
+  }
+
+  std::optional<RankMessage> pop(std::optional<std::chrono::microseconds> timeout) override {
+    // Messages drained into pending_ by a backpressured push are served
+    // first, preserving arrival order.
+    if (!pending_.empty()) {
+      std::optional<RankMessage> message(std::move(pending_.front()));
+      pending_.pop_front();
+      return message;
+    }
+    Channel<RankMessage>& inbox = *shared_->mailboxes[static_cast<std::size_t>(rank_)];
+    if (!timeout) {
+      std::optional<RankMessage> message = inbox.pop();
+      if (!message) throw CommAbortError("Comm::recv: mailbox closed (runtime aborted)");
+      return message;
+    }
+    if (timeout->count() == 0) return inbox.try_pop();
+    std::optional<RankMessage> message = inbox.try_pop_for(*timeout);
+    if (!message && inbox.closed())
+      throw CommAbortError("Comm::recv: mailbox closed (runtime aborted)");
+    return message;
+  }
+
+  void barrier() override { shared_->barrier(); }
+
+  std::vector<std::vector<std::byte>> allgather(std::vector<std::byte> mine,
+                                                const std::function<void()>& sync) override {
+    shared_->slots[static_cast<std::size_t>(rank_)] = std::move(mine);
+    sync();
+    const int size = shared_->size;
+    std::vector<std::vector<std::byte>> all(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      if (r == rank_) continue;  // own slot is moved, not copied, below
+      all[static_cast<std::size_t>(r)] = shared_->slots[static_cast<std::size_t>(r)];
+    }
+    sync();
+    // After the closing barrier nobody reads our slot again: reclaim it by
+    // move instead of leaving a stale copy in the staging area.
+    all[static_cast<std::size_t>(rank_)] =
+        std::move(shared_->slots[static_cast<std::size_t>(rank_)]);
+    shared_->slots[static_cast<std::size_t>(rank_)] = {};
+    return all;
+  }
+
+  std::vector<std::vector<std::byte>> alltoallv(std::vector<std::vector<std::byte>> outbox,
+                                                const std::function<void()>& sync) override {
+    shared_->a2a[static_cast<std::size_t>(rank_)] = std::move(outbox);
+    sync();
+    const int size = shared_->size;
+    std::vector<std::vector<std::byte>> inbox(static_cast<std::size_t>(size));
+    for (int s = 0; s < size; ++s) {
+      // Each [s][dest] cell has exactly one reader (rank dest == us), so the
+      // bucket can be moved out instead of deep-copied.
+      inbox[static_cast<std::size_t>(s)] = std::move(
+          shared_->a2a[static_cast<std::size_t>(s)][static_cast<std::size_t>(rank_)]);
+    }
+    sync();
+    // Our row's buckets were all moved out by their readers; drop the husks.
+    shared_->a2a[static_cast<std::size_t>(rank_)] = {};
+    return inbox;
+  }
+
+  std::uint64_t inbox_high_water() const override {
+    return shared_->mailboxes[static_cast<std::size_t>(rank_)]->high_water();
+  }
+
+  std::uint64_t send_backpressure_waits() const override { return backpressure_waits_; }
+
+ private:
+  const int rank_;
+  std::shared_ptr<ThreadBackend::Shared> shared_;
+  // Messages popped from our own inbox while a bounded send was waiting.
+  std::deque<RankMessage> pending_;
+  std::uint64_t backpressure_waits_ = 0;
+};
+
+}  // namespace
+
+ThreadBackend::ThreadBackend(int ranks, std::size_t mailbox_capacity)
+    : shared_(std::make_shared<Shared>(ranks, mailbox_capacity)) {}
+
+std::shared_ptr<Transport> ThreadBackend::transport_for(int rank) {
+  return std::make_shared<ThreadTransport>(rank, shared_);
+}
+
+void ThreadBackend::abort_all() { shared_->abort_all(); }
+
+void rethrow_annotated(int rank, const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (std::exception& e) {
+    const std::string annotated = "rank " + std::to_string(rank) + ": " + e.what();
+    if (typeid(e) == typeid(CommAbortError)) throw CommAbortError(annotated);
+    if (const auto* fault = dynamic_cast<const CommFaultError*>(&e);
+        fault != nullptr && typeid(e) == typeid(CommFaultError))
+      throw CommFaultError(annotated, fault->source(), fault->dest(), fault->tag());
+    if (const auto* crash = dynamic_cast<const RankCrashError*>(&e);
+        crash != nullptr && typeid(e) == typeid(RankCrashError))
+      throw RankCrashError(annotated, crash->rank(), crash->chunk());
+    if (typeid(e) == typeid(std::runtime_error)) throw std::runtime_error(annotated);
+    if (typeid(e) == typeid(std::invalid_argument)) throw std::invalid_argument(annotated);
+    if (typeid(e) == typeid(std::out_of_range)) throw std::out_of_range(annotated);
+    if (typeid(e) == typeid(std::logic_error)) throw std::logic_error(annotated);
+    throw;
+  }
+}
+
+bool is_abort_error(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const CommAbortError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace kron::detail

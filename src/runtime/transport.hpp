@@ -1,0 +1,128 @@
+// Transport abstraction under the Comm API.
+//
+// `Comm` (runtime/comm.hpp) implements everything protocol-shaped — the
+// reliable seq/ack/retransmit layer, fault injection, stats accounting —
+// against the small primitive surface below.  Two transports provide it:
+//
+//  * ThreadBackend / thread transport (transport.cpp): ranks are threads
+//    in one process; point-to-point messages travel through per-rank
+//    bounded channels and collectives stage through shared memory guarded
+//    by a sense-reversing barrier.  This is the original in-process
+//    runtime, unchanged in behaviour.
+//
+//  * Process transport (comm_process.cpp): ranks are forked child
+//    processes; messages travel as length-prefixed frames over Unix-domain
+//    socket pairs (DESIGN.md §13).
+//
+// The collective entry points take a `sync` callback: the threaded staging
+// protocol needs two barrier rounds (write slots / read slots) and the
+// callback lets Comm time and count those exactly as it always has; the
+// socket protocol's message exchanges self-synchronise and never invoke it.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace kron {
+
+/// One point-to-point message.
+struct RankMessage {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Secondary failure: thrown by blocked ranks when the runtime is torn
+/// down because *another* rank threw.  Runtime::run uses the type to
+/// prefer the root-cause exception when several ranks failed.
+class CommAbortError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Which substrate carries rank traffic (RuntimeOptions::backend).
+enum class CommBackend {
+  kThreads,  ///< ranks are threads of this process (shared-memory staging)
+  kProcs,    ///< ranks are forked processes (Unix-socket frames)
+};
+
+namespace detail {
+
+/// Primitive operations one rank performs against its runtime substrate.
+/// All methods are called only by the owning rank's thread/process.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Enqueue a message for `dest` (never blocks indefinitely against a
+  /// peer that is also sending: bounded-mailbox backpressure drains our
+  /// own inbox meanwhile, and the socket transport queues in user space).
+  virtual void push(int dest, RankMessage message) = 0;
+
+  /// Next inbound message.  `timeout` semantics: nullopt blocks until a
+  /// message arrives (throwing CommAbortError when the runtime aborted or
+  /// every peer is gone with nothing queued); zero is a nonblocking probe
+  /// that never throws; a positive value waits at most that long,
+  /// returning nullopt on expiry and throwing CommAbortError on abort.
+  [[nodiscard]] virtual std::optional<RankMessage> pop(
+      std::optional<std::chrono::microseconds> timeout) = 0;
+
+  /// Collective rendezvous of all ranks; throws CommAbortError when the
+  /// runtime aborted.
+  virtual void barrier() = 0;
+
+  /// Allgather of one blob per rank, indexed by source.  Invokes `sync`
+  /// for every internal barrier round the backend takes.
+  [[nodiscard]] virtual std::vector<std::vector<std::byte>> allgather(
+      std::vector<std::byte> mine, const std::function<void()>& sync) = 0;
+
+  /// All-to-all personalized exchange (`outbox[d]` travels to rank d);
+  /// returns the inbox indexed by source.  `sync` as in allgather.
+  [[nodiscard]] virtual std::vector<std::vector<std::byte>> alltoallv(
+      std::vector<std::vector<std::byte>> outbox, const std::function<void()>& sync) = 0;
+
+  /// Deepest the rank's inbound queue ever got (messages), for CommStats.
+  [[nodiscard]] virtual std::uint64_t inbox_high_water() const = 0;
+
+  /// Sends that had to wait for space in a bounded destination mailbox
+  /// (always zero for transports whose sends never block).
+  [[nodiscard]] virtual std::uint64_t send_backpressure_waits() const = 0;
+};
+
+/// Shared state of one threaded Runtime::run: owns the mailboxes, the
+/// central barrier, and the collective staging areas; hands out one
+/// Transport per rank.
+class ThreadBackend {
+ public:
+  ThreadBackend(int ranks, std::size_t mailbox_capacity);
+
+  /// The transport rank `rank` communicates through (call once per rank).
+  [[nodiscard]] std::shared_ptr<Transport> transport_for(int rank);
+
+  /// Tear down: wake every blocked rank into CommAbortError and close the
+  /// mailboxes (late pushes are dropped).
+  void abort_all();
+
+  struct Shared;  // defined in transport.cpp (the per-rank transport reads it)
+
+ private:
+  std::shared_ptr<Shared> shared_;
+};
+
+/// Rethrow `error` with "rank R: " prepended when the concrete type allows
+/// message rewriting; unknown types propagate unmodified (never change a
+/// caller-visible exception type).  Shared by both backend launchers.
+[[noreturn]] void rethrow_annotated(int rank, const std::exception_ptr& error);
+
+/// True when `error` is a (secondary) CommAbortError.
+[[nodiscard]] bool is_abort_error(const std::exception_ptr& error);
+
+}  // namespace detail
+}  // namespace kron

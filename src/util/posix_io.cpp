@@ -1,0 +1,116 @@
+#include "util/posix_io.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace kron::posix_io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+int open_write(const std::filesystem::path& path, const std::string& what) {
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) fail(what + ": cannot open " + path.string());
+  return fd;
+}
+
+void write_full(int fd, const void* data, std::size_t size, const std::string& what) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size != 0) {
+    const ::ssize_t n = ::write(fd, cursor, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(what + ": write failed");
+    }
+    cursor += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t read_full(int fd, void* data, std::size_t size, const std::string& what) {
+  char* cursor = static_cast<char*>(data);
+  std::size_t total = 0;
+  while (total != size) {
+    const ::ssize_t n = ::read(fd, cursor + total, size - total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(what + ": read failed");
+    }
+    if (n == 0) break;  // end of stream
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+void fsync_fd(int fd, const std::string& what) {
+  int rc = 0;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  // Some filesystems reject fsync on directories (EINVAL); treat a refusal
+  // to sync as best-effort there, but surface real I/O errors.
+  if (rc < 0 && errno != EINVAL && errno != EROFS) fail(what + ": fsync failed");
+}
+
+void fsync_path(const std::filesystem::path& path, const std::string& what) {
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) fail(what + ": cannot open " + path.string() + " for fsync");
+  try {
+    fsync_fd(fd, what);
+  } catch (...) {
+    close_fd(fd);
+    throw;
+  }
+  close_fd(fd);
+}
+
+void close_fd(int fd) noexcept {
+  if (fd < 0) return;
+  // POSIX leaves the fd state unspecified after EINTR from close; Linux
+  // releases it, so retrying would race a concurrent open.  Close once.
+  ::close(fd);
+}
+
+long write_some(int fd, const void* data, std::size_t size) noexcept {
+  while (true) {
+    const ::ssize_t n = ::write(fd, data, size);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+long read_some(int fd, void* data, std::size_t size, bool& eof) noexcept {
+  while (true) {
+    const ::ssize_t n = ::read(fd, data, size);
+    if (n > 0) return static_cast<long>(n);
+    if (n == 0) {
+      eof = true;
+      return 0;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+void ignore_sigpipe() noexcept { ::signal(SIGPIPE, SIG_IGN); }
+
+}  // namespace kron::posix_io

@@ -1,0 +1,62 @@
+// EINTR-safe POSIX I/O helpers.
+//
+// Everything in src/ that touches raw file descriptors goes through this
+// header: the checkpoint publish path (fsync-then-rename durability), the
+// multi-process runtime's socket transport, and the parent<->child status
+// channels.  Two families:
+//
+//  * Throwing full-buffer helpers (`write_full`, `read_full`, ...): retry
+//    on EINTR until the whole buffer moved, raise std::runtime_error
+//    naming the caller-supplied context and the errno string otherwise.
+//    `read_full` may return a short count only at end-of-stream.
+//
+//  * Single-shot helpers (`write_some`, `read_some`): retry EINTR only,
+//    report would-block as zero progress, and never throw — the shape a
+//    nonblocking poll() pump needs.
+//
+// `ignore_sigpipe` is here too: a process whose peer died must see EPIPE
+// from write(), not be killed by SIGPIPE.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+namespace kron::posix_io {
+
+/// Open `path` for writing (create/truncate, 0644).  Throws on failure.
+[[nodiscard]] int open_write(const std::filesystem::path& path, const std::string& what);
+
+/// Write the entire buffer, retrying on EINTR and short writes.
+void write_full(int fd, const void* data, std::size_t size, const std::string& what);
+
+/// Read up to `size` bytes, retrying on EINTR and short reads; a return
+/// value below `size` means end-of-stream was reached first.
+[[nodiscard]] std::size_t read_full(int fd, void* data, std::size_t size,
+                                    const std::string& what);
+
+/// fsync the descriptor (durability barrier before a rename publishes it).
+void fsync_fd(int fd, const std::string& what);
+
+/// Open `path` (a file or a directory) read-only and fsync it.  Syncing
+/// the containing directory after a rename makes the new directory entry
+/// itself durable.
+void fsync_path(const std::filesystem::path& path, const std::string& what);
+
+/// close(2) swallowing EINTR; never throws (used in cleanup paths).
+void close_fd(int fd) noexcept;
+
+/// One write attempt, EINTR retried.  Returns bytes written (0 when a
+/// nonblocking fd would block), or -1 on a hard error with errno set.
+[[nodiscard]] long write_some(int fd, const void* data, std::size_t size) noexcept;
+
+/// One read attempt, EINTR retried.  Returns bytes read (0 when a
+/// nonblocking fd would block), or -1 on a hard error with errno set;
+/// sets `eof` instead of returning 0 ambiguously at end-of-stream.
+[[nodiscard]] long read_some(int fd, void* data, std::size_t size, bool& eof) noexcept;
+
+/// Set SIGPIPE to SIG_IGN process-wide (idempotent).  Installed by the
+/// runtime before any socket traffic so a dead peer surfaces as EPIPE.
+void ignore_sigpipe() noexcept;
+
+}  // namespace kron::posix_io

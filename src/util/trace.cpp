@@ -1,5 +1,7 @@
 #include "util/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <deque>
@@ -208,8 +210,14 @@ std::string microseconds(std::uint64_t ns) {
 
 void write_chrome_trace(std::ostream& out) {
   const Snapshot snap = snapshot();
+  // The exporter runs in whichever process collected the spans; emitting
+  // the real pid (instead of a hardcoded 0) keeps traces from the
+  // multi-process runtime's children distinguishable when merged, and the
+  // process_name metadata event labels the lane group in the viewer.
+  const std::string pid = std::to_string(::getpid());
   std::string json = "{\"traceEvents\":[";
-  bool first = true;
+  json += "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + pid +
+          ",\"tid\":0,\"args\":{\"name\":\"kron\"}}";
   // Lane id: ranked threads share the rank lane (successive Runtime::run
   // invocations aggregate); unlabelled threads get a synthetic high lane.
   constexpr std::uint64_t kUnrankedBase = 1000;
@@ -217,15 +225,13 @@ void write_chrome_trace(std::ostream& out) {
     for (const SpanRecord& span : thread.spans) {
       const std::uint64_t lane = span.rank >= 0 ? static_cast<std::uint64_t>(span.rank)
                                                 : kUnrankedBase + thread.tid;
-      if (!first) json += ',';
-      first = false;
-      json += "\n{\"name\":\"";
+      json += ",\n{\"name\":\"";
       append_json_escaped(json, span.name);
       json += "\",\"cat\":\"kron\",\"ph\":\"X\",\"ts\":";
       json += microseconds(span.start_ns);
       json += ",\"dur\":";
       json += microseconds(span.dur_ns);
-      json += ",\"pid\":0,\"tid\":";
+      json += ",\"pid\":" + pid + ",\"tid\":";
       json += std::to_string(lane);
       json += '}';
     }

@@ -1,0 +1,314 @@
+// Multi-process Comm backend (CommBackend::kProcs, DESIGN.md §13).
+//
+// The rank bodies here execute in forked child processes, so gtest
+// EXPECT/ASSERT macros inside a body would only fail in the child where
+// nobody collects the result.  Every test therefore validates in one of
+// two parent-visible ways: the body *throws* on a protocol violation (the
+// child's exception is reconstructed and rethrown rank-annotated in the
+// parent), or the body returns its observations as a Runtime::run_gather
+// blob the parent asserts on.
+//
+// The cross-backend matrix pins the PR's core guarantee: the generator's
+// output is bit-identical between CommBackend::kThreads and kProcs for
+// every partition scheme and rank count, with and without injected faults.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/generator.hpp"
+#include "gen/erdos.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/faults.hpp"
+
+namespace kron {
+namespace {
+
+RuntimeOptions procs_options(int ranks) {
+  RuntimeOptions options;
+  options.ranks = ranks;
+  options.backend = CommBackend::kProcs;
+  return options;
+}
+
+std::vector<std::byte> to_blob(std::uint64_t value) {
+  std::vector<std::byte> blob(sizeof(value));
+  std::memcpy(blob.data(), &value, sizeof(value));
+  return blob;
+}
+
+std::uint64_t from_blob(const std::vector<std::byte>& blob) {
+  std::uint64_t value = 0;
+  EXPECT_EQ(blob.size(), sizeof(value));
+  if (blob.size() == sizeof(value)) std::memcpy(&value, blob.data(), sizeof(value));
+  return value;
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// --------------------------------------------------------- point-to-point
+
+TEST(ProcsRuntime, PointToPointRingRoundTrip) {
+  constexpr int kRanks = 4;
+  const auto blobs = Runtime::run_gather(procs_options(kRanks), [](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    comm.send(next, 7, to_blob(static_cast<std::uint64_t>(comm.rank() * 100)));
+    const RankMessage message = comm.recv();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    if (message.source != prev || message.tag != 7)
+      throw std::runtime_error("wrong source or tag in ring exchange");
+    return message.payload;
+  });
+  ASSERT_EQ(blobs.size(), static_cast<std::size_t>(kRanks));
+  for (int r = 0; r < kRanks; ++r) {
+    const int prev = (r + kRanks - 1) % kRanks;
+    EXPECT_EQ(from_blob(blobs[static_cast<std::size_t>(r)]),
+              static_cast<std::uint64_t>(prev * 100));
+  }
+}
+
+TEST(ProcsRuntime, ManyMessagesPreservePerSenderOrder) {
+  constexpr std::uint64_t kMessages = 200;
+  Runtime::run(procs_options(2), [](Comm& comm) {
+    const int peer = 1 - comm.rank();
+    for (std::uint64_t i = 0; i < kMessages; ++i)
+      comm.send_values<std::uint64_t>(peer, 1, std::span(&i, 1));
+    for (std::uint64_t expected = 0; expected < kMessages; ++expected) {
+      const RankMessage message = comm.recv();
+      if (Comm::decode<std::uint64_t>(message).at(0) != expected)
+        throw std::runtime_error("out-of-order delivery from rank " +
+                                 std::to_string(message.source));
+    }
+  });
+}
+
+// ------------------------------------------------------------ collectives
+
+TEST(ProcsRuntime, CollectivesComputeTheSameValuesAsThreads) {
+  for (const int ranks : {1, 3}) {
+    const auto blobs = Runtime::run_gather(procs_options(ranks), [](Comm& comm) {
+      const auto r = static_cast<std::uint64_t>(comm.rank());
+      const auto n = static_cast<std::uint64_t>(comm.size());
+      if (comm.allreduce_sum(r + 1) != n * (n + 1) / 2)
+        throw std::runtime_error("allreduce_sum mismatch");
+      if (comm.allreduce_max(r * 10) != (n - 1) * 10)
+        throw std::runtime_error("allreduce_max mismatch");
+      comm.barrier();
+      const auto gathered = comm.allgather_values<std::uint64_t>(std::span(&r, 1));
+      for (std::uint64_t s = 0; s < n; ++s)
+        if (gathered.at(s).at(0) != s) throw std::runtime_error("allgather mismatch");
+      // alltoallv: rank r sends value r*n+d to destination d.
+      std::vector<std::vector<std::uint64_t>> outbox(n);
+      for (std::uint64_t d = 0; d < n; ++d) outbox[d] = {r * n + d};
+      const auto inbox = comm.alltoallv(std::move(outbox));
+      for (std::uint64_t s = 0; s < n; ++s)
+        if (inbox.at(s).at(0) != s * n + r) throw std::runtime_error("alltoallv mismatch");
+      // Telemetry crosses the process boundary through Comm::stats().
+      return to_blob(comm.stats().barriers);
+    });
+    for (const auto& blob : blobs) EXPECT_GE(from_blob(blob), 1u) << "ranks=" << ranks;
+  }
+}
+
+TEST(ProcsRuntime, BackToBackCollectivesDoNotInterleave) {
+  Runtime::run(procs_options(3), [](Comm& comm) {
+    for (std::uint64_t round = 0; round < 20; ++round) {
+      const std::uint64_t sum =
+          comm.allreduce_sum(round + static_cast<std::uint64_t>(comm.rank()));
+      const auto n = static_cast<std::uint64_t>(comm.size());
+      if (sum != n * round + n * (n - 1) / 2)
+        throw std::runtime_error("collective round " + std::to_string(round) + " diverged");
+    }
+  });
+}
+
+// --------------------------------------------------- failure propagation
+
+TEST(ProcsRuntime, ChildThrowArrivesAnnotatedWithTheRank) {
+  try {
+    Runtime::run(procs_options(3), [](Comm& comm) {
+      if (comm.rank() == 1) throw std::runtime_error("boom");
+      // The other ranks block; the aborting runtime must wake them.
+      (void)comm.recv();
+    });
+    FAIL() << "expected the child exception to propagate";
+  } catch (const std::runtime_error& error) {
+    EXPECT_EQ(std::string(error.what()), "rank 1: boom");
+  }
+}
+
+TEST(ProcsRuntime, InvalidArgumentKeepsItsTypeAcrossTheProcessBoundary) {
+  try {
+    Runtime::run(procs_options(2), [](Comm& comm) {
+      if (comm.rank() == 0) throw std::invalid_argument("bad knob");
+      (void)comm.recv();
+    });
+    FAIL() << "expected the child exception to propagate";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()), "rank 0: bad knob");
+  }
+}
+
+TEST(ProcsRuntime, ExhaustedRetriesRaiseCommFaultErrorAcrossProcesses) {
+  auto plan = std::make_shared<FaultPlan>();
+  plan->with_rule({.drop = 0.01}).with_seed(1);
+  RuntimeOptions options = procs_options(2);
+  options.fault_plan = plan;
+  options.retry_timeout = std::chrono::microseconds(100);
+  options.max_retries = 3;
+  try {
+    Runtime::run(options, [](Comm& comm) {
+      if (comm.rank() == 0) {
+        const std::uint64_t payload = 7;
+        comm.send_values<std::uint64_t>(1, 9, std::span(&payload, 1));
+        comm.reliable_flush();
+      }
+      // Rank 1 exits immediately: it never receives, never acks.
+    });
+    FAIL() << "expected CommFaultError";
+  } catch (const CommFaultError& error) {
+    EXPECT_EQ(error.source(), 0);
+    EXPECT_EQ(error.dest(), 1);
+    EXPECT_EQ(error.tag(), 9);
+  }
+}
+
+// ------------------------------------------------- cross-backend pinning
+
+EdgeList run_backend(const EdgeList& a, const EdgeList& b, GeneratorConfig config,
+                     CommBackend backend) {
+  config.backend = backend;
+  return generate_distributed(a, b, config).gather();
+}
+
+// The acceptance matrix: gather() bit-identical between backends for both
+// partition schemes, both exchange modes, and two rank counts.
+TEST(ProcsGenerator, GatherIsBitIdenticalToThreadsAcrossTheMatrix) {
+  const EdgeList a = make_gnm(40, 130, 11);
+  const EdgeList b = make_gnm(24, 70, 12);
+  for (const PartitionScheme scheme : {PartitionScheme::k1D, PartitionScheme::k2D}) {
+    for (const int ranks : {2, 4}) {
+      for (const ExchangeMode exchange :
+           {ExchangeMode::kBulkSynchronous, ExchangeMode::kAsync}) {
+        GeneratorConfig config;
+        config.ranks = ranks;
+        config.scheme = scheme;
+        config.shuffle_to_owner = true;
+        config.exchange = exchange;
+        config.async_chunk = 256;
+        const EdgeList expected = run_backend(a, b, config, CommBackend::kThreads);
+        const EdgeList actual = run_backend(a, b, config, CommBackend::kProcs);
+        EXPECT_EQ(actual.num_vertices(), expected.num_vertices());
+        ASSERT_EQ(actual.edges().size(), expected.edges().size())
+            << "scheme " << (scheme == PartitionScheme::k1D ? "1d" : "2d") << " ranks "
+            << ranks << " exchange "
+            << (exchange == ExchangeMode::kAsync ? "async" : "bulk");
+        EXPECT_TRUE(std::equal(actual.edges().begin(), actual.edges().end(),
+                               expected.edges().begin()))
+            << "procs backend diverged from threads";
+      }
+    }
+  }
+}
+
+TEST(ProcsGenerator, PerRankTelemetrySurvivesTheMarshalling) {
+  const EdgeList a = make_gnm(36, 110, 13);
+  const EdgeList b = make_gnm(20, 60, 14);
+  GeneratorConfig config;
+  config.ranks = 3;
+  config.backend = CommBackend::kProcs;
+  config.shuffle_to_owner = true;
+  config.exchange = ExchangeMode::kAsync;
+  config.async_chunk = 128;
+  const GeneratorResult result = generate_distributed(a, b, config);
+  ASSERT_EQ(result.comm_per_rank.size(), 3u);
+  ASSERT_EQ(result.generated_per_rank.size(), 3u);
+  std::uint64_t generated = 0;
+  for (const std::uint64_t g : result.generated_per_rank) generated += g;
+  EXPECT_EQ(generated, a.num_arcs() * b.num_arcs());
+  EXPECT_EQ(result.total_arcs(), a.num_arcs() * b.num_arcs());
+  for (const CommStats& stats : result.comm_per_rank) {
+    EXPECT_GT(stats.messages_sent(), 0u);   // kTagDone markers at minimum
+    EXPECT_GT(stats.bytes_received(), 0u);  // shuffled arcs arrived
+  }
+  for (const double seconds : result.rank_seconds) EXPECT_GT(seconds, 0.0);
+}
+
+// Chaos parity: drops, duplicates, and delays recovered by the reliable
+// layer must leave the procs output identical to the fault-free threads
+// run.
+TEST(ProcsGenerator, ChaosRunMatchesFaultFreeThreads) {
+  const EdgeList a = make_gnm(40, 120, 15);
+  const EdgeList b = make_gnm(24, 64, 16);
+  GeneratorConfig config;
+  config.ranks = 4;
+  config.scheme = PartitionScheme::k2D;
+  config.shuffle_to_owner = true;
+  config.exchange = ExchangeMode::kAsync;
+  config.async_chunk = 256;
+  config.retry_timeout = std::chrono::microseconds(500);
+  const EdgeList expected = run_backend(a, b, config, CommBackend::kThreads);
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->with_rule({.drop = 0.05, .dup = 0.03, .delay = 0.03}).with_seed(99);
+  config.fault_plan = plan;
+  const EdgeList chaotic = run_backend(a, b, config, CommBackend::kProcs);
+  ASSERT_EQ(chaotic.edges().size(), expected.edges().size());
+  EXPECT_TRUE(
+      std::equal(chaotic.edges().begin(), chaotic.edges().end(), expected.edges().begin()));
+}
+
+// Crash/resume with separate processes: the child's RankCrashError must
+// reach the parent as the root cause (not a secondary abort), consume the
+// parent's crash latch, and leave checkpoints a resumed run completes from.
+TEST(ProcsGenerator, CrashResumeRecoversUnderProcs) {
+  const EdgeList a = make_gnm(48, 150, 17);
+  const EdgeList b = make_gnm(32, 90, 18);
+  GeneratorConfig config;
+  config.ranks = 3;
+  config.backend = CommBackend::kProcs;
+  config.shuffle_to_owner = true;
+  config.exchange = ExchangeMode::kAsync;
+  config.async_chunk = 256;
+  config.checkpoint_every = 2;
+  config.checkpoint_dir = fresh_dir("procs_crash_resume");
+
+  GeneratorConfig reference = config;
+  reference.backend = CommBackend::kThreads;
+  reference.checkpoint_dir.clear();
+  const EdgeList expected = generate_distributed(a, b, reference).gather();
+
+  auto plan = std::make_shared<FaultPlan>();
+  plan->with_crash(1, 3);
+  config.fault_plan = plan;
+  try {
+    (void)generate_distributed(a, b, config);
+    FAIL() << "expected RankCrashError";
+  } catch (const RankCrashError& crash) {
+    EXPECT_EQ(crash.rank(), 1);
+    EXPECT_EQ(crash.chunk(), 3u);
+  }
+
+  // The latch fired in the child *and* was consumed in the parent's plan:
+  // the resumed attempt must run to completion on the same plan instance.
+  config.resume = true;
+  const EdgeList recovered = generate_distributed(a, b, config).gather();
+  ASSERT_EQ(recovered.edges().size(), expected.edges().size());
+  EXPECT_TRUE(std::equal(recovered.edges().begin(), recovered.edges().end(),
+                         expected.edges().begin()));
+}
+
+}  // namespace
+}  // namespace kron

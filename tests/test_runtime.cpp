@@ -486,7 +486,7 @@ TEST(Comm, BoundedMailboxMutualSendsDoNotDeadlock) {
   // never exceeds the bound.
   constexpr int kMessages = 50;
   std::vector<CommStats> stats(2);
-  Runtime::run(RuntimeOptions{2, 1}, [&](Comm& comm) {
+  Runtime::run(RuntimeOptions{.ranks = 2, .mailbox_capacity = 1}, [&](Comm& comm) {
     const int peer = 1 - comm.rank();
     const std::vector<std::uint64_t> payload{static_cast<std::uint64_t>(comm.rank())};
     for (int i = 0; i < kMessages; ++i) comm.send_values<std::uint64_t>(peer, 1, payload);
@@ -509,7 +509,7 @@ TEST(Comm, BoundedMailboxPreservesPerSenderOrder) {
   // Messages drained to the pending stash during a blocked send must still
   // be returned in arrival order.
   constexpr std::uint64_t kMessages = 40;
-  Runtime::run(RuntimeOptions{2, 2}, [&](Comm& comm) {
+  Runtime::run(RuntimeOptions{.ranks = 2, .mailbox_capacity = 2}, [&](Comm& comm) {
     const int peer = 1 - comm.rank();
     for (std::uint64_t i = 0; i < kMessages; ++i)
       comm.send_values<std::uint64_t>(peer, 1, std::span(&i, 1));

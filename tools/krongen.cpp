@@ -245,18 +245,21 @@ GeneratorResult run_generation(const EdgeList& a, const EdgeList& b, GeneratorCo
 }
 
 int cmd_generate(const CliArgs& args) {
-  args.reject_unknown({"a", "b", "loops", "ranks", "scheme", "shuffle", "async", "chunk",
-                       "capacity", "power", "threads", "out", "binary", "stats", "trace",
-                       "metrics", "faults", "checkpoint-dir", "checkpoint-every", "resume",
-                       "retry-timeout-us", "max-retries", "help"});
+  args.reject_unknown({"a", "b", "loops", "ranks", "scheme", "backend", "shuffle", "async",
+                       "chunk", "capacity", "power", "threads", "out", "binary", "stats",
+                       "trace", "metrics", "faults", "checkpoint-dir", "checkpoint-every",
+                       "resume", "retry-timeout-us", "max-retries", "help"});
   if (args.has_flag("help")) {
     std::cout << "krongen generate --a A --b B [--loops none|both|a] [--ranks R]\n"
-                 "                 [--scheme 1d|2d] [--shuffle] [--async] [--chunk N]\n"
+                 "                 [--scheme 1d|2d] [--backend threads|procs]\n"
+                 "                 [--shuffle] [--async] [--chunk N]\n"
                  "                 [--capacity N] [--power K] [--threads T] [--stats]\n"
                  "                 [--faults SPEC] [--checkpoint-dir DIR]\n"
                  "                 [--checkpoint-every N] [--resume]\n"
                  "                 [--trace FILE] [--metrics] --out FILE\n"
                  "  --power K iterates C <- C (x) B a further K-1 times (scale series)\n"
+                 "  --backend procs runs each rank as a forked process over Unix-domain\n"
+                 "  sockets (bit-identical output; threads is the default)\n"
                  "  --async streams the shuffle (bounded buffering); --chunk sets arcs per\n"
                  "  message, --capacity bounds each rank's mailbox (backpressure)\n"
                  "  --threads T sizes the intra-rank work-sharing pool (canonicalisation\n"
@@ -286,6 +289,12 @@ int cmd_generate(const CliArgs& args) {
   config.ranks = static_cast<int>(args.get_u64("ranks", 1, 1, 65536));
   config.scheme =
       args.get_or("scheme", "1d") == "2d" ? PartitionScheme::k2D : PartitionScheme::k1D;
+  const std::string backend = args.get_or("backend", "threads");
+  if (backend == "procs")
+    config.backend = CommBackend::kProcs;
+  else if (backend != "threads")
+    throw std::invalid_argument("--backend must be 'threads' or 'procs', got '" + backend +
+                                "'");
   config.shuffle_to_owner = args.has_flag("shuffle");
   if (args.has_flag("async")) {
     config.shuffle_to_owner = true;  // streaming only matters when routing to owners
