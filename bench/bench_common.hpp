@@ -12,12 +12,24 @@
 //   --smoke       skip the (expensive) artifact section and run only the
 //                 registered timing benchmarks — used by the `bench_smoke`
 //                 ctest label so every bench binary is executed in tier-1.
+//   --repeat N    run each time_repeated() section N times and report the
+//                 min (plus the median when N > 1) — what the perf gate
+//                 relies on for stable numbers on noisy containers.
+//   --warmup N    untimed runs of each section before sampling (default 0).
+//
+// Every report carries an `env` block (threads, backend, SIMD level,
+// KRON_NATIVE, git describe) so trajectory snapshots are comparable: a
+// regression against a baseline recorded under different conditions is
+// visible as an env difference, not a mystery.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -26,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/parallel.hpp"
+#include "util/simd.hpp"
 #include "util/trace.hpp"
 
 namespace kron::bench {
@@ -66,11 +80,23 @@ class JsonReport {
     entries_.emplace_back(key, quoted(value));
   }
 
+  /// Record an `env` block entry (run conditions, not measurements).
+  void add_env(const std::string& key, const std::string& value) {
+    env_.emplace_back(key, quoted(value));
+  }
+  void add_env(const std::string& key, std::uint64_t value) {
+    env_.emplace_back(key, std::to_string(value));
+  }
+
   [[nodiscard]] bool empty() const { return entries_.empty(); }
 
   void write(const std::string& bench_name, const std::string& path) const {
     std::ofstream out(path);
-    out << "{\n  \"bench\": " << quoted(bench_name) << ",\n  \"metrics\": {\n";
+    out << "{\n  \"bench\": " << quoted(bench_name) << ",\n  \"env\": {\n";
+    for (std::size_t i = 0; i < env_.size(); ++i)
+      out << "    " << quoted(env_[i].first) << ": " << env_[i].second
+          << (i + 1 < env_.size() ? ",\n" : "\n");
+    out << "  },\n  \"metrics\": {\n";
     for (std::size_t i = 0; i < entries_.size(); ++i)
       out << "    " << quoted(entries_[i].first) << ": " << entries_[i].second
           << (i + 1 < entries_.size() ? ",\n" : "\n");
@@ -89,7 +115,55 @@ class JsonReport {
   }
 
   std::vector<std::pair<std::string, std::string>> entries_;
+  std::vector<std::pair<std::string, std::string>> env_;
 };
+
+/// Sampling parameters set by --repeat / --warmup (run_bench_main).
+struct RepeatConfig {
+  int repeat = 1;
+  int warmup = 0;
+};
+
+inline RepeatConfig& repeat_config() {
+  static RepeatConfig config;
+  return config;
+}
+
+struct TimingSample {
+  double min_seconds = 0;
+  double median_seconds = 0;
+  int samples = 1;
+};
+
+/// Time `fn` under the configured warmup/repeat policy.  The *min* is the
+/// headline number: on a noisy shared container it is the best estimate of
+/// the true cost, and it is what the perf gate compares.
+template <typename Fn>
+TimingSample time_repeated(Fn&& fn) {
+  const RepeatConfig& config = repeat_config();
+  for (int w = 0; w < config.warmup; ++w) fn();
+  const int samples = config.repeat > 1 ? config.repeat : 1;
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<std::size_t>(samples));
+  for (int r = 0; r < samples; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    seconds.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  std::sort(seconds.begin(), seconds.end());
+  return {seconds.front(), seconds[seconds.size() / 2], samples};
+}
+
+/// Record a timed section: `<prefix>.seconds` is the min; with more than
+/// one sample `<prefix>.median_seconds` is added for noise diagnosis.
+/// Returns the min so callers can derive rates/speedups from it.
+inline double report_time(const std::string& prefix, const TimingSample& sample) {
+  JsonReport& report = JsonReport::instance();
+  report.add(prefix + ".seconds", sample.min_seconds);
+  if (sample.samples > 1) report.add(prefix + ".median_seconds", sample.median_seconds);
+  return sample.min_seconds;
+}
 
 /// Shared main body: strip the kron-specific flags, emit the experiment
 /// artifact (unless --smoke), run the registered timing benchmarks, then
@@ -110,6 +184,14 @@ inline int run_bench_main(int argc, char** argv, void (*print_artifact)(),
       json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat_config().repeat = std::atoi(argv[++i]);
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat_config().repeat = std::atoi(arg.c_str() + 9);
+    } else if (arg == "--warmup" && i + 1 < argc) {
+      repeat_config().warmup = std::atoi(argv[++i]);
+    } else if (arg.rfind("--warmup=", 0) == 0) {
+      repeat_config().warmup = std::atoi(arg.c_str() + 9);
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -145,8 +227,31 @@ inline int run_bench_main(int argc, char** argv, void (*print_artifact)(),
   if (::benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  const JsonReport& report = JsonReport::instance();
+  JsonReport& report = JsonReport::instance();
   if (!json_path.empty() && !report.empty()) {
+    // Run conditions, captured after the artifact ran (so thread-count
+    // overrides made by the artifact itself are what gets recorded).
+    report.add_env("threads",
+                   static_cast<std::uint64_t>(ThreadPool::instance().num_threads()));
+    report.add_env("affinity", ThreadPool::instance().affinity_enabled() ? "on" : "off");
+    const char* backend = std::getenv("KRON_BACKEND");
+    report.add_env("backend", backend != nullptr ? backend : "threads");
+    report.add_env("simd", simd::level_name(simd::active_level()));
+    report.add_env("simd_host", simd::level_name(simd::host_level()));
+#if defined(KRON_NATIVE_BUILD)
+    report.add_env("native", "on");
+#else
+    report.add_env("native", "off");
+#endif
+#if defined(KRON_GIT_DESCRIBE)
+    report.add_env("git", KRON_GIT_DESCRIBE);
+#else
+    report.add_env("git", "unknown");
+#endif
+    report.add_env("repeat", static_cast<std::uint64_t>(
+                                 repeat_config().repeat > 1 ? repeat_config().repeat : 1));
+    report.add_env("warmup", static_cast<std::uint64_t>(
+                                 repeat_config().warmup > 0 ? repeat_config().warmup : 0));
     const std::string name = [&] {
       const std::string argv0 = argv[0];
       const std::size_t slash = argv0.find_last_of('/');

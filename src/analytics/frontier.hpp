@@ -36,6 +36,7 @@
 #include "graph/csr.hpp"
 #include "util/bitset.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace kron {
 
@@ -185,14 +186,15 @@ class HybridBfs {
             std::uint64_t word = next.word(w);
             for (vertex_t v = base; v < end; ++v) {
               if (level[v] != kUnreachable) continue;
-              for (const vertex_t u : g.neighbors(v)) {
-                if (current.test(u)) {
-                  level[v] = depth;
-                  word |= 1ULL << (v & 63);
-                  ++partial.first;
-                  partial.second += g.degree(v);
-                  break;
-                }
+              // "Does v have any parent in the frontier?" — neighbor ids are
+              // bit indices into the frontier bitmap, probed 8 lanes at a
+              // time by the vectorised gather-test (util/simd.hpp).
+              const auto row = g.neighbors(v);
+              if (simd::any_bit_set(current.words(), row.data(), row.size())) {
+                level[v] = depth;
+                word |= 1ULL << (v & 63);
+                ++partial.first;
+                partial.second += g.degree(v);
               }
             }
             next.set_word(w, word);
@@ -213,14 +215,12 @@ class HybridBfs {
                                  std::vector<vertex_t>& frontier) {
     const Csr& g = *g_;
     const vertex_t n = g.num_vertices();
-    frontier.clear();
+    // Vectorised equality scan + index compaction (vertex_t is the kernel's
+    // index type, so the frontier buffer is written in place).
+    frontier.resize(n);
+    frontier.resize(simd::collect_equal(level.data(), n, depth, frontier.data()));
     std::uint64_t degree_sum = 0;
-    for (vertex_t v = 0; v < n; ++v) {
-      if (level[v] == depth) {
-        frontier.push_back(v);
-        degree_sum += g.degree(v);
-      }
-    }
+    for (const vertex_t v : frontier) degree_sum += g.degree(v);
     return degree_sum;
   }
 

@@ -35,6 +35,7 @@
 
 #include "graph/csr.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 #include "util/trace.hpp"
 
 namespace kron {
@@ -108,9 +109,11 @@ class MsBfs {
         }
       } else {
         // Pull: sweep every vertex, gathering frontier words over in-edges.
+        // The inner OR-reduction is the hot loop of every dense level; it
+        // runs through the vectorised gather kernel (util/simd.hpp).
         for (vertex_t v = 0; v < n; ++v) {
-          std::uint64_t word = 0;
-          for (const vertex_t u : in_neighbors(v)) word |= cur[u];
+          const auto row = in_neighbors(v);
+          const std::uint64_t word = simd::or_gather(cur.data(), row.data(), row.size());
           const std::uint64_t fresh = word & ~seen[v];
           if (fresh != 0) {
             seen[v] |= fresh;

@@ -5,14 +5,22 @@
 
 #include "analytics/triangles.hpp"
 #include "util/hash.hpp"
+#include "util/simd.hpp"
 
 namespace kron {
 
 EdgeList hashed_subgraph(const EdgeList& c, double nu, std::uint64_t seed) {
   if (nu < 0.0 || nu > 1.0) throw std::invalid_argument("hashed_subgraph: nu outside [0,1]");
-  std::vector<Edge> kept;
-  for (const Edge& e : c.edges())
-    if (edge_unit_hash(e.u, e.v, seed) <= nu) kept.push_back(e);
+  // Batched rejection: the ν comparison moves to the integer domain once
+  // (simd::hash_threshold) and the whole buffer runs through the vectorised
+  // filter — hash, compare, and compaction without a per-edge branch.
+  // Bit-identical to `if (edge_unit_hash(u, v, seed) <= nu) keep` by the
+  // threshold argument in util/simd.hpp.
+  std::vector<Edge> kept(c.edges().size());
+  const std::size_t n = simd::hash_filter(c.edges().data(), c.edges().size(), seed,
+                                          simd::hash_threshold(nu), kept.data());
+  kept.resize(n);
+  kept.shrink_to_fit();
   return EdgeList(c.num_vertices(), std::move(kept));
 }
 
@@ -72,15 +80,15 @@ JointTriangleCensus joint_triangle_census(const Csr& c, std::vector<double> nus,
 std::uint64_t surviving_edge_count(const Csr& c, double nu, std::uint64_t seed) {
   if (nu < 0.0 || nu > 1.0)
     throw std::invalid_argument("surviving_edge_count: nu outside [0,1]");
+  const std::uint64_t threshold = simd::hash_threshold(nu);
   std::uint64_t arcs = 0;
   std::uint64_t loops = 0;
   for (vertex_t u = 0; u < c.num_vertices(); ++u) {
-    for (const vertex_t v : c.neighbors(u)) {
-      if (edge_unit_hash(u, v, seed) <= nu) {
-        ++arcs;
-        if (u == v) ++loops;
-      }
-    }
+    // Whole-row batched count with u broadcast across lanes; the (rare)
+    // self loop is patched separately so the vector body stays branch-free.
+    const auto row = c.neighbors(u);
+    arcs += simd::hash_count(u, row.data(), row.size(), seed, threshold);
+    if (c.has_loop(u) && (edge_hash(u, u, seed) >> 11) <= threshold) ++loops;
   }
   return (arcs - loops) / 2 + loops;
 }

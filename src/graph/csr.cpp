@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 
 namespace kron {
 
@@ -88,9 +89,20 @@ std::vector<std::uint64_t> Csr::degrees_no_loops() const {
 }
 
 bool Csr::is_symmetric() const {
-  for (vertex_t u = 0; u < n_; ++u)
-    for (const vertex_t v : neighbors(u))
-      if (!has_edge(v, u)) return false;
+  for (vertex_t u = 0; u < n_; ++u) {
+    const auto row = neighbors(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      // Each probe binary-searches a different row; fetch the next probe's
+      // row bounds and its first midpoint while this search runs.
+      if (i + 1 < row.size()) {
+        const vertex_t w = row[i + 1];
+        const std::uint64_t lo = offsets_[w];
+        const std::uint64_t hi = offsets_[w + 1];
+        if (lo != hi) simd::prefetch_read(&targets_[lo + (hi - lo) / 2]);
+      }
+      if (!has_edge(row[i], u)) return false;
+    }
+  }
   return true;
 }
 

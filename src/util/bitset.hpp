@@ -39,6 +39,9 @@ class Bitset {
   [[nodiscard]] std::uint64_t word(std::size_t w) const noexcept { return words_[w]; }
   void set_word(std::size_t w, std::uint64_t value) noexcept { words_[w] = value; }
 
+  /// Raw word array for batch probes (util/simd.hpp any_bit_set).
+  [[nodiscard]] const std::uint64_t* words() const noexcept { return words_.data(); }
+
   /// Number of set bits.
   [[nodiscard]] std::size_t popcount() const noexcept {
     std::size_t c = 0;

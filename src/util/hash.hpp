@@ -27,15 +27,29 @@ namespace kron {
   return mix64(a ^ (mix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+/// Seed pre-mix shared by every edge hash: hoisting it lets batch kernels
+/// (util/simd.hpp) compute it once per buffer instead of once per edge
+/// while staying bit-identical to edge_hash.
+[[nodiscard]] constexpr std::uint64_t edge_hash_state(std::uint64_t seed) noexcept {
+  return mix64(seed ^ 0x6b79726f6e6b6579ULL);
+}
+
+/// edge_hash with the seed pre-mix already applied.
+[[nodiscard]] constexpr std::uint64_t edge_hash_from_state(std::uint64_t state,
+                                                           std::uint64_t u,
+                                                           std::uint64_t v) noexcept {
+  const std::uint64_t lo = u < v ? u : v;
+  const std::uint64_t hi = u < v ? v : u;
+  return hash_combine(hash_combine(state, lo), hi);
+}
+
 /// Hash of an *undirected* edge: symmetric in (u, v) so that both arc
 /// directions of an undirected edge receive the same hash, as required for
 /// consistent edge rejection (Def. 8).
 [[nodiscard]] constexpr std::uint64_t edge_hash(std::uint64_t u,
                                                 std::uint64_t v,
                                                 std::uint64_t seed = 0) noexcept {
-  const std::uint64_t lo = u < v ? u : v;
-  const std::uint64_t hi = u < v ? v : u;
-  return hash_combine(hash_combine(mix64(seed ^ 0x6b79726f6e6b6579ULL), lo), hi);
+  return edge_hash_from_state(edge_hash_state(seed), u, v);
 }
 
 /// Map a 64-bit hash to the unit interval [0, 1).

@@ -1,15 +1,22 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "util/trace.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace kron {
 namespace {
@@ -31,41 +38,93 @@ int default_num_threads() {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+bool affinity_requested() {
+  const char* env = std::getenv("KRON_AFFINITY");
+  if (env == nullptr) return false;
+  const std::string value(env);
+  return !value.empty() && value != "0" && value != "off";
+}
+
+// Pin `handle` to one CPU (best effort; silently a no-op off Linux or when
+// the mask call fails, e.g. inside a restricted container).
+void pin_thread(std::thread& handle, unsigned cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % std::max(1u, std::thread::hardware_concurrency()), &set);
+  (void)pthread_setaffinity_np(handle.native_handle(), sizeof(set), &set);
+#else
+  (void)handle;
+  (void)cpu;
+#endif
+}
+
 }  // namespace
 
-// One submitted run_tasks call: indices are claimed lock-free; completion,
+// One submitted run_tasks call.  Task indices are claimed lock-free from
+// per-participant *stripes* of contiguous indices: participant p owns
+// indices [p·total/stripes, (p+1)·total/stripes) and only steals from other
+// stripes once its own is drained.  Consecutive chunk indices map to
+// adjacent data regions in parallel_for, so the striped assignment keeps
+// each thread walking one contiguous region (no boundary cache lines
+// ping-ponging between claimants) and, across repeated loops over the same
+// arrays, tends to hand the same region to the same thread.  Completion,
 // the number of workers still holding a pointer to the batch, and the
 // first task exception are tracked under the batch mutex.
 struct Batch {
   const std::function<void(std::size_t)>& task;
   const std::size_t total;
-  std::atomic<std::size_t> next{0};
+  const std::size_t stripes;
+  std::unique_ptr<std::atomic<std::size_t>[]> cursors;  ///< next index per stripe
   std::atomic<int> active{0};  ///< workers currently inside work()
   std::mutex mutex;
   std::condition_variable done_cv;
   std::size_t done = 0;
   std::exception_ptr error;
 
-  Batch(const std::function<void(std::size_t)>& t, std::size_t n) : task(t), total(n) {}
+  Batch(const std::function<void(std::size_t)>& t, std::size_t n, std::size_t participants)
+      : task(t), total(n), stripes(std::clamp<std::size_t>(participants, 1, n)) {
+    cursors = std::make_unique<std::atomic<std::size_t>[]>(stripes);
+    for (std::size_t s = 0; s < stripes; ++s)
+      cursors[s].store(stripe_begin(s), std::memory_order_relaxed);
+  }
 
-  // Claim and run indices until none remain; returns tasks executed.
-  std::size_t work() {
+  [[nodiscard]] std::size_t stripe_begin(std::size_t s) const { return s * total / stripes; }
+  [[nodiscard]] std::size_t stripe_end(std::size_t s) const {
+    return (s + 1) * total / stripes;
+  }
+
+  // True once every stripe's cursor has passed its end (no index left to
+  // claim; claimed indices may still be executing).
+  [[nodiscard]] bool drained() const {
+    for (std::size_t s = 0; s < stripes; ++s)
+      if (cursors[s].load(std::memory_order_relaxed) < stripe_end(s)) return false;
+    return true;
+  }
+
+  // Claim and run indices — own stripe first, then steal — until none
+  // remain; returns tasks executed.
+  std::size_t work(std::size_t home) {
     std::size_t executed = 0;
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) break;
-      std::exception_ptr caught;
-      try {
-        TRACE_SPAN("pool.task");
-        TRACE_COUNTER_ADD("pool.tasks_run", 1);
-        task(i);
-      } catch (...) {
-        caught = std::current_exception();
+    for (std::size_t offset = 0; offset < stripes; ++offset) {
+      const std::size_t s = (home + offset) % stripes;
+      const std::size_t end = stripe_end(s);
+      while (true) {
+        const std::size_t i = cursors[s].fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) break;
+        std::exception_ptr caught;
+        try {
+          TRACE_SPAN("pool.task");
+          TRACE_COUNTER_ADD("pool.tasks_run", 1);
+          task(i);
+        } catch (...) {
+          caught = std::current_exception();
+        }
+        std::lock_guard lock(mutex);
+        if (caught && !error) error = caught;
+        if (++done == total) done_cv.notify_all();
+        ++executed;
       }
-      std::lock_guard lock(mutex);
-      if (caught && !error) error = caught;
-      if (++done == total) done_cv.notify_all();
-      ++executed;
     }
     return executed;
   }
@@ -77,9 +136,10 @@ struct ThreadPool::Impl {
   std::deque<Batch*> queue;
   std::vector<std::thread> workers;
   int configured_threads = 1;
+  bool affinity = false;
   bool stop = false;
 
-  void worker_loop() {
+  void worker_loop(std::size_t home) {
     tls_in_pool_task = true;
     while (true) {
       Batch* batch = nullptr;
@@ -88,7 +148,7 @@ struct ThreadPool::Impl {
         work_cv.wait(lock, [&] { return stop || !queue.empty(); });
         if (stop && queue.empty()) return;
         batch = queue.front();
-        if (batch->next.load(std::memory_order_relaxed) >= batch->total) {
+        if (batch->drained()) {
           queue.pop_front();
           continue;
         }
@@ -97,7 +157,7 @@ struct ThreadPool::Impl {
         // registrations) and waiting for active to drain to zero.
         batch->active.fetch_add(1, std::memory_order_acq_rel);
       }
-      batch->work();
+      batch->work(home);
       {
         std::lock_guard batch_lock(batch->mutex);
         batch->active.fetch_sub(1, std::memory_order_acq_rel);
@@ -108,9 +168,18 @@ struct ThreadPool::Impl {
 
   void spawn(int threads) {
     configured_threads = threads > 0 ? threads : 1;
+    affinity = affinity_requested();
     const int worker_count = configured_threads - 1;  // the caller participates
     workers.reserve(static_cast<std::size_t>(worker_count));
-    for (int w = 0; w < worker_count; ++w) workers.emplace_back([this] { worker_loop(); });
+    for (int w = 0; w < worker_count; ++w) {
+      // Stripe 0 belongs to the submitting caller; workers take 1..N-1.
+      const auto home = static_cast<std::size_t>(w) + 1;
+      workers.emplace_back([this, home] { worker_loop(home); });
+      // KRON_AFFINITY: pin worker w to core home (caller keeps core 0), so
+      // the stripe→thread map is also a stripe→core map and per-core caches
+      // see the same data region across loops.
+      if (affinity) pin_thread(workers.back(), static_cast<unsigned>(home));
+    }
   }
 
   void shutdown() {
@@ -145,6 +214,10 @@ void ThreadPool::set_num_threads(int n) {
 
 int ThreadPool::num_threads() const { return impl_->configured_threads; }
 
+bool ThreadPool::affinity_enabled() const {
+  return impl_->affinity && !impl_->workers.empty();
+}
+
 void ThreadPool::run_tasks(std::size_t num_tasks,
                            const std::function<void(std::size_t)>& task) {
   if (num_tasks == 0) return;
@@ -160,17 +233,17 @@ void ThreadPool::run_tasks(std::size_t num_tasks,
     return;
   }
 
-  Batch batch(task, num_tasks);
+  Batch batch(task, num_tasks, static_cast<std::size_t>(impl_->configured_threads));
   {
     std::lock_guard lock(impl_->mutex);
     impl_->queue.push_back(&batch);
   }
   impl_->work_cv.notify_all();
 
-  // Participate, then wait for workers to finish the remainder.
+  // Participate (stripe 0), then wait for workers to finish the remainder.
   const bool was_in_task = tls_in_pool_task;
   tls_in_pool_task = true;
-  batch.work();
+  batch.work(0);
   tls_in_pool_task = was_in_task;
 
   std::unique_lock lock(batch.mutex);

@@ -10,6 +10,8 @@
 // extra threads.  Worker count comes from, in priority order:
 // ThreadPool::set_num_threads (the tools' --threads flag), the
 // KRON_THREADS environment variable, std::thread::hardware_concurrency().
+// KRON_AFFINITY=1 additionally pins workers to cores, matching the pool's
+// striped chunk→thread assignment (DESIGN.md §14).
 //
 // Determinism contract: parallel_for chunks write disjoint outputs and
 // parallel_reduce combines per-chunk partials in chunk-index order, so any
@@ -40,6 +42,10 @@ class ThreadPool {
 
   /// Parallelism degree (participating caller + workers), >= 1.
   [[nodiscard]] int num_threads() const;
+
+  /// True when KRON_AFFINITY pinned the current worker set to cores
+  /// (workers pin to cores 1..N-1; the submitting caller keeps core 0).
+  [[nodiscard]] bool affinity_enabled() const;
 
   /// Run task(i) for every i in [0, num_tasks).  The calling thread
   /// participates; returns after all tasks finished.  The first exception

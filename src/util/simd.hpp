@@ -1,0 +1,691 @@
+// Portable SIMD layer for the known hot paths (DESIGN.md §14).
+//
+// Every kernel here has three implementations — scalar reference, AVX2,
+// AVX-512 — behind one runtime-dispatched entry point.  The scalar path is
+// the canonical semantics; the vector paths are required to be BIT-IDENTICAL
+// to it (tests/test_simd.cpp pins this on adversarial inputs), so callers
+// never see a behavioural difference, only a throughput one.  Dispatch is
+// decided once per process from CPUID, overridable two ways:
+//
+//   * KRON_SIMD=scalar|avx2|avx512 — environment, clamped to what the host
+//     supports.  `KRON_SIMD=scalar` is the perf-gate's synthetic-slowdown
+//     injection (tools/perf_gate).
+//   * simd::force_level(level) — programmatic, used by the bit-identity
+//     tests and the benches' scalar-vs-vector ablations.
+//
+// The kernels are the four hot loops named by the trace/bench baselines:
+//   1. hash_filter / hash_count — batched rejection test hash(p,q) <= ν
+//      (core/rejection.cpp).  The [0,1) threshold is converted to the
+//      integer domain once (hash_threshold), so the whole kernel runs in
+//      64-bit integer lanes yet accepts exactly the edges the scalar
+//      double comparison accepts.
+//   2. or_gather — the MS-BFS pull sweep's word gathers
+//      (analytics/msbfs.hpp).
+//   3. any_bit_set / collect_equal — the hybrid-BFS bottom-up bitmap
+//      probes and frontier collection (analytics/frontier.hpp).
+//   4. pack_shift_or / unpack_shift_mask — the radix sort's key pack and
+//      unpack sweeps (graph/sort.cpp).
+// plus prefetch_read / prefetch_write hints used by the CSR and triangle
+// traversals.
+//
+// Builds need no special flags: the vector bodies carry GCC/Clang `target`
+// attributes, so a generic -O2 binary still contains them and picks at
+// runtime.  KRON_NATIVE remains orthogonal (it vectorises everything else).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "graph/types.hpp"
+#include "util/hash.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define KRON_SIMD_X86 1
+// GCC 12's AVX-512 headers trip -Wmaybe-uninitialized on their own
+// _mm512_undefined_epi32 idiom once intrinsics get inlined; the diagnostic
+// points into the header, so the suppression must cover the include.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#include <immintrin.h>
+#pragma GCC diagnostic pop
+#else
+#define KRON_SIMD_X86 0
+#endif
+
+namespace kron::simd {
+
+// ------------------------------------------------------------------ levels
+
+enum class Level : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+[[nodiscard]] constexpr const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kAvx512: return "avx512";
+    case Level::kAvx2: return "avx2";
+    default: return "scalar";
+  }
+}
+
+/// What the CPU can run, independent of any override (pure CPUID).
+[[nodiscard]] inline Level host_level() noexcept {
+#if KRON_SIMD_X86
+  static const Level detected = [] {
+    if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq"))
+      return Level::kAvx512;
+    if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+    return Level::kScalar;
+  }();
+  return detected;
+#else
+  return Level::kScalar;
+#endif
+}
+
+namespace detail {
+inline std::atomic<int>& forced_level() {
+  static std::atomic<int> forced{-1};
+  return forced;
+}
+
+inline Level env_level() {
+  Level level = host_level();
+  if (const char* env = std::getenv("KRON_SIMD")) {
+    const std::string want(env);
+    Level requested = level;
+    if (want == "scalar" || want == "off")
+      requested = Level::kScalar;
+    else if (want == "avx2")
+      requested = Level::kAvx2;
+    else if (want == "avx512")
+      requested = Level::kAvx512;
+    if (static_cast<int>(requested) < static_cast<int>(level)) level = requested;
+  }
+  return level;
+}
+}  // namespace detail
+
+/// Override the dispatch level (clamped to host capability); `reset_level`
+/// restores the KRON_SIMD/CPUID default.  For tests and ablation benches.
+inline void force_level(Level level) noexcept {
+  const int clamped = std::min(static_cast<int>(level), static_cast<int>(host_level()));
+  detail::forced_level().store(clamped, std::memory_order_relaxed);
+}
+inline void reset_level() noexcept {
+  detail::forced_level().store(-1, std::memory_order_relaxed);
+}
+
+/// The level kernels dispatch on: force_level override, else KRON_SIMD env
+/// (clamped to the host), else the host's best.
+[[nodiscard]] inline Level active_level() noexcept {
+  const int forced = detail::forced_level().load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  static const Level from_env = detail::env_level();
+  return from_env;
+}
+
+// ---------------------------------------------------------------- prefetch
+
+inline void prefetch_read(const void* addr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, 0, 1);
+#else
+  (void)addr;
+#endif
+}
+
+inline void prefetch_write(const void* addr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, 1, 0);
+#else
+  (void)addr;
+#endif
+}
+
+// ------------------------------------------------- rejection-hash kernels
+
+/// Convert a [0,1] rejection threshold ν to the integer domain of the top
+/// 53 hash bits: to_unit(h) <= ν  ⟺  (h >> 11) <= hash_threshold(ν).
+/// Exact, not approximate: to_unit(h) = (h>>11)·2⁻⁵³ with no rounding, and
+/// ν·2⁵³ only shifts ν's exponent, so comparing the integer (h>>11) with
+/// ⌊ν·2⁵³⌋ decides every edge exactly as the double comparison does.
+[[nodiscard]] constexpr std::uint64_t hash_threshold(double nu) noexcept {
+  return static_cast<std::uint64_t>(nu * 0x1p53);
+}
+
+/// Scalar reference: copy the edges with edge_hash(u,v) in-threshold into
+/// `out` (which may equal `in`), preserving order; returns the kept count.
+inline std::size_t hash_filter_scalar(const Edge* in, std::size_t n, std::uint64_t seed,
+                                      std::uint64_t threshold, Edge* out) {
+  const std::uint64_t state = edge_hash_state(seed);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((edge_hash_from_state(state, in[i].u, in[i].v) >> 11) <= threshold)
+      out[kept++] = in[i];
+  }
+  return kept;
+}
+
+/// Scalar reference: count the targets whose edge {u, targets[i]} hashes
+/// in-threshold (the per-row form surviving_edge_count uses).
+inline std::size_t hash_count_scalar(std::uint64_t u, const std::uint64_t* targets,
+                                     std::size_t n, std::uint64_t seed,
+                                     std::uint64_t threshold) {
+  const std::uint64_t state = edge_hash_state(seed);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if ((edge_hash_from_state(state, u, targets[i]) >> 11) <= threshold) ++count;
+  return count;
+}
+
+// ------------------------------------------------- bitmap / word kernels
+
+/// Scalar reference: OR of words[idx[i]] — the MS-BFS pull gather.
+inline std::uint64_t or_gather_scalar(const std::uint64_t* words, const std::uint64_t* idx,
+                                      std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= words[idx[i]];
+  return acc;
+}
+
+/// Scalar reference: true iff any bitmap bit `bits[i]` is set in `words`
+/// (bit b lives at words[b>>6] bit b&63) — the bottom-up parent probe.
+inline bool any_bit_set_scalar(const std::uint64_t* words, const std::uint64_t* bits,
+                               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if ((words[bits[i] >> 6] >> (bits[i] & 63)) & 1ULL) return true;
+  return false;
+}
+
+/// Scalar reference: append the indices i in [0,n) with values[i] == target
+/// to `out` (ascending); returns how many were written.
+inline std::size_t collect_equal_scalar(const std::uint64_t* values, std::size_t n,
+                                        std::uint64_t target, std::uint64_t* out) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (values[i] == target) out[count++] = i;
+  return count;
+}
+
+// ----------------------------------------------------- radix-key kernels
+
+/// Scalar reference: keys[i] = (edges[i].u << shift) | edges[i].v — the
+/// radix sort's key pack.  Requires shift < 64 and v < 2^shift (or shift=0
+/// and v=0), as guaranteed by plan_radix's width check.
+inline void pack_shift_or_scalar(const Edge* edges, std::size_t n, unsigned shift,
+                                 std::uint64_t* keys) {
+  for (std::size_t i = 0; i < n; ++i) keys[i] = (edges[i].u << shift) | edges[i].v;
+}
+
+/// Scalar reference: edges[i] = {keys[i] >> shift, keys[i] & mask} — the
+/// radix sort's key unpack.
+inline void unpack_shift_mask_scalar(const std::uint64_t* keys, std::size_t n, unsigned shift,
+                                     std::uint64_t mask, Edge* edges) {
+  for (std::size_t i = 0; i < n; ++i) edges[i] = {keys[i] >> shift, keys[i] & mask};
+}
+
+// ------------------------------------------------------- x86 vector paths
+#if KRON_SIMD_X86
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+namespace detail {
+
+#define KRON_TARGET_AVX2 __attribute__((target("avx2")))
+#define KRON_TARGET_AVX512 __attribute__((target("avx512f,avx512dq")))
+
+// ---- AVX2 helpers (4 × 64-bit lanes; no native 64-bit multiply) ----
+
+KRON_TARGET_AVX2 inline __m256i mullo64_avx2(__m256i a, __m256i b) {
+  // 64-bit product from 32x32 partial products: lo*lo + ((hi*lo + lo*hi) << 32).
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                                         _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+KRON_TARGET_AVX2 inline __m256i mix64_avx2(__m256i x) {
+  const __m256i c = _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  const __m256i m1 = _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m256i m2 = _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL));
+  x = _mm256_add_epi64(x, c);
+  x = mullo64_avx2(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)), m1);
+  x = mullo64_avx2(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)), m2);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+// hash_combine(a, b) = mix64(a ^ (mix64(b) + C + (a<<6) + (a>>2)))
+KRON_TARGET_AVX2 inline __m256i hash_combine_avx2(__m256i a, __m256i b) {
+  const __m256i c = _mm256_set1_epi64x(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  __m256i t = _mm256_add_epi64(mix64_avx2(b), c);
+  t = _mm256_add_epi64(t, _mm256_slli_epi64(a, 6));
+  t = _mm256_add_epi64(t, _mm256_srli_epi64(a, 2));
+  return mix64_avx2(_mm256_xor_si256(a, t));
+}
+
+// Unsigned 64-bit min/max via sign-flipped signed compare.
+KRON_TARGET_AVX2 inline __m256i cmpgt_epu64_avx2(__m256i a, __m256i b) {
+  const __m256i sign = _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign), _mm256_xor_si256(b, sign));
+}
+
+// Per-lane symmetric edge hash of (u, v) with the seed state broadcast.
+KRON_TARGET_AVX2 inline __m256i edge_hash_avx2(__m256i state, __m256i u, __m256i v) {
+  const __m256i u_gt = cmpgt_epu64_avx2(u, v);
+  const __m256i lo = _mm256_blendv_epi8(u, v, u_gt);
+  const __m256i hi = _mm256_blendv_epi8(v, u, u_gt);
+  return hash_combine_avx2(hash_combine_avx2(state, lo), hi);
+}
+
+// Deinterleave 4 consecutive Edge structs into a u-lane and a v-lane vector.
+KRON_TARGET_AVX2 inline void load_edges_avx2(const Edge* e, __m256i& u, __m256i& v) {
+  const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e));      // u0 v0 u1 v1
+  const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(e + 2));  // u2 v2 u3 v3
+  const __m256i even = _mm256_unpacklo_epi64(a, b);  // u0 u2 u1 u3
+  const __m256i odd = _mm256_unpackhi_epi64(a, b);   // v0 v2 v1 v3
+  u = _mm256_permute4x64_epi64(even, _MM_SHUFFLE(3, 1, 2, 0));
+  v = _mm256_permute4x64_epi64(odd, _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+KRON_TARGET_AVX2 inline std::size_t hash_filter_avx2(const Edge* in, std::size_t n,
+                                                     std::uint64_t seed,
+                                                     std::uint64_t threshold, Edge* out) {
+  const __m256i state = _mm256_set1_epi64x(static_cast<long long>(edge_hash_state(seed)));
+  const __m256i thresh = _mm256_set1_epi64x(static_cast<long long>(threshold));
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i u, v;
+    load_edges_avx2(in + i, u, v);
+    const __m256i h53 = _mm256_srli_epi64(edge_hash_avx2(state, u, v), 11);
+    // h53 and threshold both < 2^63, so the signed compare is exact.
+    const __m256i reject = _mm256_cmpgt_epi64(h53, thresh);
+    unsigned keep =
+        ~static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(reject))) & 0xFu;
+    while (keep != 0) {
+      const unsigned j = static_cast<unsigned>(std::countr_zero(keep));
+      out[kept++] = in[i + j];
+      keep &= keep - 1;
+    }
+  }
+  kept += hash_filter_scalar(in + i, n - i, seed, threshold, out + kept);
+  return kept;
+}
+
+KRON_TARGET_AVX2 inline std::size_t hash_count_avx2(std::uint64_t u_scalar,
+                                                    const std::uint64_t* targets,
+                                                    std::size_t n, std::uint64_t seed,
+                                                    std::uint64_t threshold) {
+  const __m256i state = _mm256_set1_epi64x(static_cast<long long>(edge_hash_state(seed)));
+  const __m256i thresh = _mm256_set1_epi64x(static_cast<long long>(threshold));
+  const __m256i u = _mm256_set1_epi64x(static_cast<long long>(u_scalar));
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(targets + i));
+    const __m256i h53 = _mm256_srli_epi64(edge_hash_avx2(state, u, v), 11);
+    const __m256i reject = _mm256_cmpgt_epi64(h53, thresh);
+    const unsigned keep =
+        ~static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(reject))) & 0xFu;
+    count += static_cast<std::size_t>(std::popcount(keep));
+  }
+  count += hash_count_scalar(u_scalar, targets + i, n - i, seed, threshold);
+  return count;
+}
+
+KRON_TARGET_AVX2 inline std::uint64_t or_gather_avx2(const std::uint64_t* words,
+                                                     const std::uint64_t* idx,
+                                                     std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    acc = _mm256_or_si256(
+        acc, _mm256_i64gather_epi64(reinterpret_cast<const long long*>(words), vi, 8));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t result = lanes[0] | lanes[1] | lanes[2] | lanes[3];
+  for (; i < n; ++i) result |= words[idx[i]];
+  return result;
+}
+
+KRON_TARGET_AVX2 inline bool any_bit_set_avx2(const std::uint64_t* words,
+                                              const std::uint64_t* bits, std::size_t n) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i low6 = _mm256_set1_epi64x(63);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits + i));
+    const __m256i word = _mm256_i64gather_epi64(reinterpret_cast<const long long*>(words),
+                                                _mm256_srli_epi64(b, 6), 8);
+    const __m256i mask = _mm256_sllv_epi64(one, _mm256_and_si256(b, low6));
+    const __m256i hit = _mm256_and_si256(word, mask);
+    if (_mm256_testz_si256(hit, hit) == 0) return true;
+  }
+  return any_bit_set_scalar(words, bits + i, n - i);
+}
+
+KRON_TARGET_AVX2 inline std::size_t collect_equal_avx2(const std::uint64_t* values,
+                                                       std::size_t n, std::uint64_t target,
+                                                       std::uint64_t* out) {
+  const __m256i want = _mm256_set1_epi64x(static_cast<long long>(target));
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    unsigned hits = static_cast<unsigned>(
+                        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(v, want)))) &
+                    0xFu;
+    while (hits != 0) {
+      const unsigned j = static_cast<unsigned>(std::countr_zero(hits));
+      out[count++] = i + j;
+      hits &= hits - 1;
+    }
+  }
+  for (; i < n; ++i)
+    if (values[i] == target) out[count++] = i;
+  return count;
+}
+
+KRON_TARGET_AVX2 inline void pack_shift_or_avx2(const Edge* edges, std::size_t n,
+                                                unsigned shift, std::uint64_t* keys) {
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i u, v;
+    load_edges_avx2(edges + i, u, v);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i),
+                        _mm256_or_si256(_mm256_sll_epi64(u, sh), v));
+  }
+  pack_shift_or_scalar(edges + i, n - i, shift, keys + i);
+}
+
+KRON_TARGET_AVX2 inline void unpack_shift_mask_avx2(const std::uint64_t* keys, std::size_t n,
+                                                    unsigned shift, std::uint64_t mask,
+                                                    Edge* edges) {
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i u = _mm256_srl_epi64(k, sh);
+    const __m256i v = _mm256_and_si256(k, m);
+    const __m256i up = _mm256_permute4x64_epi64(u, _MM_SHUFFLE(3, 1, 2, 0));  // u0 u2 u1 u3
+    const __m256i vp = _mm256_permute4x64_epi64(v, _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(edges + i),
+                        _mm256_unpacklo_epi64(up, vp));  // u0 v0 u1 v1
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(edges + i + 2),
+                        _mm256_unpackhi_epi64(up, vp));  // u2 v2 u3 v3
+  }
+  unpack_shift_mask_scalar(keys + i, n - i, shift, mask, edges + i);
+}
+
+// ---- AVX-512 helpers (8 × 64-bit lanes; native vpmullq via DQ) ----
+
+KRON_TARGET_AVX512 inline __m512i mix64_avx512(__m512i x) {
+  const __m512i c = _mm512_set1_epi64(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  const __m512i m1 = _mm512_set1_epi64(static_cast<long long>(0xbf58476d1ce4e5b9ULL));
+  const __m512i m2 = _mm512_set1_epi64(static_cast<long long>(0x94d049bb133111ebULL));
+  x = _mm512_add_epi64(x, c);
+  x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 30)), m1);
+  x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 27)), m2);
+  return _mm512_xor_si512(x, _mm512_srli_epi64(x, 31));
+}
+
+KRON_TARGET_AVX512 inline __m512i hash_combine_avx512(__m512i a, __m512i b) {
+  const __m512i c = _mm512_set1_epi64(static_cast<long long>(0x9e3779b97f4a7c15ULL));
+  __m512i t = _mm512_add_epi64(mix64_avx512(b), c);
+  t = _mm512_add_epi64(t, _mm512_slli_epi64(a, 6));
+  t = _mm512_add_epi64(t, _mm512_srli_epi64(a, 2));
+  return mix64_avx512(_mm512_xor_si512(a, t));
+}
+
+KRON_TARGET_AVX512 inline __m512i edge_hash_avx512(__m512i state, __m512i u, __m512i v) {
+  const __m512i lo = _mm512_min_epu64(u, v);
+  const __m512i hi = _mm512_max_epu64(u, v);
+  return hash_combine_avx512(hash_combine_avx512(state, lo), hi);
+}
+
+// Deinterleave 8 consecutive Edge structs into a u-lane and a v-lane vector.
+KRON_TARGET_AVX512 inline void load_edges_avx512(const Edge* e, __m512i& u, __m512i& v) {
+  const __m512i a = _mm512_loadu_si512(e);      // u0 v0 u1 v1 u2 v2 u3 v3
+  const __m512i b = _mm512_loadu_si512(e + 4);  // u4 v4 ...
+  const __m512i idx_u = _mm512_set_epi64(14, 12, 10, 8, 6, 4, 2, 0);
+  const __m512i idx_v = _mm512_set_epi64(15, 13, 11, 9, 7, 5, 3, 1);
+  u = _mm512_permutex2var_epi64(a, idx_u, b);
+  v = _mm512_permutex2var_epi64(a, idx_v, b);
+}
+
+KRON_TARGET_AVX512 inline std::size_t hash_filter_avx512(const Edge* in, std::size_t n,
+                                                         std::uint64_t seed,
+                                                         std::uint64_t threshold, Edge* out) {
+  const __m512i state = _mm512_set1_epi64(static_cast<long long>(edge_hash_state(seed)));
+  const __m512i thresh = _mm512_set1_epi64(static_cast<long long>(threshold));
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i u, v;
+    load_edges_avx512(in + i, u, v);
+    const __m512i h53 = _mm512_srli_epi64(edge_hash_avx512(state, u, v), 11);
+    unsigned keep = _mm512_cmple_epu64_mask(h53, thresh);
+    while (keep != 0) {
+      const unsigned j = static_cast<unsigned>(std::countr_zero(keep));
+      out[kept++] = in[i + j];
+      keep &= keep - 1;
+    }
+  }
+  kept += hash_filter_scalar(in + i, n - i, seed, threshold, out + kept);
+  return kept;
+}
+
+KRON_TARGET_AVX512 inline std::size_t hash_count_avx512(std::uint64_t u_scalar,
+                                                        const std::uint64_t* targets,
+                                                        std::size_t n, std::uint64_t seed,
+                                                        std::uint64_t threshold) {
+  const __m512i state = _mm512_set1_epi64(static_cast<long long>(edge_hash_state(seed)));
+  const __m512i thresh = _mm512_set1_epi64(static_cast<long long>(threshold));
+  const __m512i u = _mm512_set1_epi64(static_cast<long long>(u_scalar));
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(targets + i);
+    const __m512i h53 = _mm512_srli_epi64(edge_hash_avx512(state, u, v), 11);
+    count += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(_mm512_cmple_epu64_mask(h53, thresh))));
+  }
+  count += hash_count_scalar(u_scalar, targets + i, n - i, seed, threshold);
+  return count;
+}
+
+KRON_TARGET_AVX512 inline std::uint64_t or_gather_avx512(const std::uint64_t* words,
+                                                         const std::uint64_t* idx,
+                                                         std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i vi = _mm512_loadu_si512(idx + i);
+    acc = _mm512_or_si512(acc, _mm512_i64gather_epi64(vi, words, 8));
+  }
+  // _mm512_reduce_or_epi64 trips -Wuninitialized in GCC 12's header even
+  // under the include-time suppression; reduce through memory instead.
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(lanes, acc);
+  std::uint64_t result = 0;
+  for (const std::uint64_t lane : lanes) result |= lane;
+  for (; i < n; ++i) result |= words[idx[i]];
+  return result;
+}
+
+KRON_TARGET_AVX512 inline bool any_bit_set_avx512(const std::uint64_t* words,
+                                                  const std::uint64_t* bits, std::size_t n) {
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i low6 = _mm512_set1_epi64(63);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i b = _mm512_loadu_si512(bits + i);
+    const __m512i word = _mm512_i64gather_epi64(_mm512_srli_epi64(b, 6), words, 8);
+    const __m512i mask = _mm512_sllv_epi64(one, _mm512_and_si512(b, low6));
+    if (_mm512_test_epi64_mask(word, mask) != 0) return true;
+  }
+  return any_bit_set_scalar(words, bits + i, n - i);
+}
+
+KRON_TARGET_AVX512 inline std::size_t collect_equal_avx512(const std::uint64_t* values,
+                                                           std::size_t n,
+                                                           std::uint64_t target,
+                                                           std::uint64_t* out) {
+  const __m512i want = _mm512_set1_epi64(static_cast<long long>(target));
+  const __m512i step = _mm512_set1_epi64(8);
+  __m512i iota = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(values + i);
+    const __mmask8 hits = _mm512_cmpeq_epu64_mask(v, want);
+    _mm512_mask_compressstoreu_epi64(out + count, hits, iota);
+    count += static_cast<std::size_t>(std::popcount(static_cast<unsigned>(hits)));
+    iota = _mm512_add_epi64(iota, step);
+  }
+  for (; i < n; ++i)
+    if (values[i] == target) out[count++] = i;
+  return count;
+}
+
+KRON_TARGET_AVX512 inline void pack_shift_or_avx512(const Edge* edges, std::size_t n,
+                                                    unsigned shift, std::uint64_t* keys) {
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i u, v;
+    load_edges_avx512(edges + i, u, v);
+    _mm512_storeu_si512(keys + i, _mm512_or_si512(_mm512_sll_epi64(u, sh), v));
+  }
+  pack_shift_or_scalar(edges + i, n - i, shift, keys + i);
+}
+
+KRON_TARGET_AVX512 inline void unpack_shift_mask_avx512(const std::uint64_t* keys,
+                                                        std::size_t n, unsigned shift,
+                                                        std::uint64_t mask, Edge* edges) {
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  const __m512i m = _mm512_set1_epi64(static_cast<long long>(mask));
+  const __m512i idx_lo = _mm512_set_epi64(11, 3, 10, 2, 9, 1, 8, 0);   // u0 v0 u1 v1 ...
+  const __m512i idx_hi = _mm512_set_epi64(15, 7, 14, 6, 13, 5, 12, 4);  // u4 v4 u5 v5 ...
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i k = _mm512_loadu_si512(keys + i);
+    const __m512i u = _mm512_srl_epi64(k, sh);
+    const __m512i v = _mm512_and_si512(k, m);
+    _mm512_storeu_si512(edges + i, _mm512_permutex2var_epi64(u, idx_lo, v));
+    _mm512_storeu_si512(edges + i + 4, _mm512_permutex2var_epi64(u, idx_hi, v));
+  }
+  unpack_shift_mask_scalar(keys + i, n - i, shift, mask, edges + i);
+}
+
+#undef KRON_TARGET_AVX2
+#undef KRON_TARGET_AVX512
+
+}  // namespace detail
+#pragma GCC diagnostic pop
+#endif  // KRON_SIMD_X86
+
+// ---------------------------------------------------- dispatched wrappers
+
+/// Batched rejection filter: keep edges with edge_hash(u,v,seed) in
+/// threshold (see hash_threshold), order-preserving; returns kept count.
+/// `out` must hold n entries and may alias `in`.
+inline std::size_t hash_filter(const Edge* in, std::size_t n, std::uint64_t seed,
+                               std::uint64_t threshold, Edge* out) {
+#if KRON_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512: return detail::hash_filter_avx512(in, n, seed, threshold, out);
+    case Level::kAvx2: return detail::hash_filter_avx2(in, n, seed, threshold, out);
+    case Level::kScalar: break;
+  }
+#endif
+  return hash_filter_scalar(in, n, seed, threshold, out);
+}
+
+/// Batched rejection count over one CSR row: |{i : hash(u, targets[i]) in threshold}|.
+inline std::size_t hash_count(std::uint64_t u, const std::uint64_t* targets, std::size_t n,
+                              std::uint64_t seed, std::uint64_t threshold) {
+#if KRON_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512: return detail::hash_count_avx512(u, targets, n, seed, threshold);
+    case Level::kAvx2: return detail::hash_count_avx2(u, targets, n, seed, threshold);
+    case Level::kScalar: break;
+  }
+#endif
+  return hash_count_scalar(u, targets, n, seed, threshold);
+}
+
+/// OR-reduction of words[idx[i]] (MS-BFS pull gather).
+inline std::uint64_t or_gather(const std::uint64_t* words, const std::uint64_t* idx,
+                               std::size_t n) {
+#if KRON_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512: return detail::or_gather_avx512(words, idx, n);
+    case Level::kAvx2: return detail::or_gather_avx2(words, idx, n);
+    case Level::kScalar: break;
+  }
+#endif
+  return or_gather_scalar(words, idx, n);
+}
+
+/// True iff any bitmap bit bits[i] is set (hybrid-BFS bottom-up probe).
+inline bool any_bit_set(const std::uint64_t* words, const std::uint64_t* bits,
+                        std::size_t n) {
+#if KRON_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512: return detail::any_bit_set_avx512(words, bits, n);
+    case Level::kAvx2: return detail::any_bit_set_avx2(words, bits, n);
+    case Level::kScalar: break;
+  }
+#endif
+  return any_bit_set_scalar(words, bits, n);
+}
+
+/// Compact the indices where values[i] == target (frontier collection).
+inline std::size_t collect_equal(const std::uint64_t* values, std::size_t n,
+                                 std::uint64_t target, std::uint64_t* out) {
+#if KRON_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512: return detail::collect_equal_avx512(values, n, target, out);
+    case Level::kAvx2: return detail::collect_equal_avx2(values, n, target, out);
+    case Level::kScalar: break;
+  }
+#endif
+  return collect_equal_scalar(values, n, target, out);
+}
+
+/// Radix key pack: keys[i] = (u << shift) | v.
+inline void pack_shift_or(const Edge* edges, std::size_t n, unsigned shift,
+                          std::uint64_t* keys) {
+#if KRON_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512: return detail::pack_shift_or_avx512(edges, n, shift, keys);
+    case Level::kAvx2: return detail::pack_shift_or_avx2(edges, n, shift, keys);
+    case Level::kScalar: break;
+  }
+#endif
+  pack_shift_or_scalar(edges, n, shift, keys);
+}
+
+/// Radix key unpack: edges[i] = {key >> shift, key & mask}.  The unpack is
+/// store-bound, and 512-bit stores measured *slower* than 256-bit ones here
+/// (see DESIGN.md §14), so AVX-512 hosts dispatch to the 256-bit body.
+inline void unpack_shift_mask(const std::uint64_t* keys, std::size_t n, unsigned shift,
+                              std::uint64_t mask, Edge* edges) {
+#if KRON_SIMD_X86
+  switch (active_level()) {
+    case Level::kAvx512:
+    case Level::kAvx2: return detail::unpack_shift_mask_avx2(keys, n, shift, mask, edges);
+    case Level::kScalar: break;
+  }
+#endif
+  unpack_shift_mask_scalar(keys, n, shift, mask, edges);
+}
+
+}  // namespace kron::simd

@@ -1,0 +1,340 @@
+// Bit-identity contract of the SIMD layer (util/simd.hpp, DESIGN.md §14).
+//
+// Every vector kernel must produce output bit-identical to its scalar
+// reference at every dispatch level the host supports, on adversarial
+// inputs: all-accept / all-reject thresholds, duplicate-heavy streams,
+// and lengths straddling every vector-width tail boundary.  The radix
+// sort (whose pack/unpack sweeps the kernels feed) is additionally pinned
+// across thread counts and across its >64-bit-key struct fallback.
+//
+// Build with `-DKRON_SANITIZE=address` to also prove the vector tails
+// never read or write past their buffers (see CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/sort.hpp"
+#include "graph/types.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+#include "util/simd.hpp"
+
+namespace kron {
+namespace {
+
+// Every level the host can actually run; on a non-AVX box this collapses
+// to {kScalar} and the suite still passes (it then only pins the scalar
+// reference against itself, which is the correct vacuous contract).
+std::vector<simd::Level> testable_levels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::host_level() >= simd::Level::kAvx2) levels.push_back(simd::Level::kAvx2);
+  if (simd::host_level() >= simd::Level::kAvx512) levels.push_back(simd::Level::kAvx512);
+  return levels;
+}
+
+struct LevelGuard {
+  ~LevelGuard() { simd::reset_level(); }
+};
+
+// Lengths straddling the 4-lane (AVX2) and 8-lane (AVX-512) boundaries,
+// plus a few long blocks so the unrolled bodies run more than once.
+const std::size_t kLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,  9,  15, 16,
+                                17, 31, 32, 33, 63, 64, 65, 70, 127, 1000};
+
+std::uint64_t next_u64(std::uint64_t& state) {
+  state = mix64(state + 0x9e3779b97f4a7c15ULL);
+  return state;
+}
+
+std::vector<Edge> random_edges(std::size_t n, std::uint64_t& state,
+                               std::uint64_t vertex_mask) {
+  std::vector<Edge> edges(n);
+  for (Edge& e : edges) {
+    e.u = next_u64(state) & vertex_mask;
+    e.v = next_u64(state) & vertex_mask;
+  }
+  return edges;
+}
+
+// ------------------------------------------------------------ hash_filter
+
+void check_filter_identity(const std::vector<Edge>& input, std::uint64_t seed,
+                           std::uint64_t threshold) {
+  LevelGuard guard;
+  std::vector<Edge> expected(input.size());
+  const std::size_t expected_kept = simd::hash_filter_scalar(
+      input.data(), input.size(), seed, threshold, expected.data());
+  expected.resize(expected_kept);
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    std::vector<Edge> kept(input.size());
+    const std::size_t n =
+        simd::hash_filter(input.data(), input.size(), seed, threshold, kept.data());
+    kept.resize(n);
+    ASSERT_EQ(kept.size(), expected.size()) << simd::level_name(level);
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      ASSERT_EQ(kept[i].u, expected[i].u) << simd::level_name(level) << " at " << i;
+      ASSERT_EQ(kept[i].v, expected[i].v) << simd::level_name(level) << " at " << i;
+    }
+  }
+}
+
+TEST(SimdHashFilter, BitIdenticalAcrossLevelsAndTails) {
+  std::uint64_t state = 1;
+  for (const std::size_t n : kLengths) {
+    const std::vector<Edge> edges = random_edges(n, state, (1ULL << 40) - 1);
+    check_filter_identity(edges, 20190527, simd::hash_threshold(0.35));
+  }
+}
+
+TEST(SimdHashFilter, AllAcceptThreshold) {
+  // ν = 1.0: threshold 2^53 while every hash>>11 < 2^53 — nothing rejected,
+  // output must be the input verbatim (order preserved).
+  std::uint64_t state = 2;
+  const std::vector<Edge> edges = random_edges(257, state, ~0ULL);
+  check_filter_identity(edges, 7, simd::hash_threshold(1.0));
+  LevelGuard guard;
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    std::vector<Edge> kept(edges.size());
+    ASSERT_EQ(simd::hash_filter(edges.data(), edges.size(), 7,
+                                simd::hash_threshold(1.0), kept.data()),
+              edges.size());
+  }
+}
+
+TEST(SimdHashFilter, AllRejectThreshold) {
+  // ν = 0.0: threshold 0 — only a hash of exactly zero would pass.
+  std::uint64_t state = 3;
+  const std::vector<Edge> edges = random_edges(257, state, ~0ULL);
+  check_filter_identity(edges, 11, simd::hash_threshold(0.0));
+}
+
+TEST(SimdHashFilter, DuplicateHeavyStream) {
+  // One of two arcs repeated 500× — compaction runs in long all-accept /
+  // all-reject bursts, the worst case for the mask-compress path.
+  std::vector<Edge> edges;
+  for (int i = 0; i < 500; ++i) edges.push_back(i % 2 == 0 ? Edge{3, 5} : Edge{9, 2});
+  check_filter_identity(edges, 13, simd::hash_threshold(0.5));
+}
+
+TEST(SimdHashFilter, ThresholdMatchesDoubleComparison) {
+  // The integer rewrite must accept EXACTLY the arcs the seed's double
+  // comparison accepts: to_unit(h) <= ν  ⟺  (h >> 11) <= hash_threshold(ν).
+  std::uint64_t state = 4;
+  const double nus[] = {0.0, 1e-9, 0.25, 0.35, 0.5, 0.999999, 1.0};
+  for (const double nu : nus) {
+    const std::uint64_t threshold = simd::hash_threshold(nu);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t u = next_u64(state);
+      const std::uint64_t v = next_u64(state);
+      const bool by_double = edge_unit_hash(u, v, 42) <= nu;
+      const bool by_integer = (edge_hash(u, v, 42) >> 11) <= threshold;
+      ASSERT_EQ(by_double, by_integer) << "nu=" << nu << " u=" << u << " v=" << v;
+    }
+  }
+}
+
+// ------------------------------------------------------------- hash_count
+
+TEST(SimdHashCount, BitIdenticalAcrossLevelsAndTails) {
+  LevelGuard guard;
+  std::uint64_t state = 5;
+  for (const std::size_t n : kLengths) {
+    std::vector<std::uint64_t> targets(n);
+    for (auto& t : targets) t = next_u64(state) & ((1ULL << 30) - 1);
+    const std::uint64_t u = next_u64(state) & ((1ULL << 30) - 1);
+    const std::uint64_t threshold = simd::hash_threshold(0.4);
+    const std::size_t expected =
+        simd::hash_count_scalar(u, targets.data(), n, 99, threshold);
+    for (const simd::Level level : testable_levels()) {
+      simd::force_level(level);
+      ASSERT_EQ(simd::hash_count(u, targets.data(), n, 99, threshold), expected)
+          << simd::level_name(level) << " n=" << n;
+    }
+  }
+}
+
+// -------------------------------------------------- or_gather / any_bit_set
+
+TEST(SimdOrGather, BitIdenticalAcrossLevelsAndTails) {
+  LevelGuard guard;
+  std::uint64_t state = 6;
+  std::vector<std::uint64_t> words(512);
+  for (auto& w : words) w = next_u64(state);
+  for (const std::size_t n : kLengths) {
+    std::vector<std::uint64_t> idx(n);
+    for (auto& i : idx) i = next_u64(state) % words.size();
+    const std::uint64_t expected = simd::or_gather_scalar(words.data(), idx.data(), n);
+    for (const simd::Level level : testable_levels()) {
+      simd::force_level(level);
+      ASSERT_EQ(simd::or_gather(words.data(), idx.data(), n), expected)
+          << simd::level_name(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdOrGather, DuplicateIndices) {
+  LevelGuard guard;
+  const std::vector<std::uint64_t> words = {0x1, 0x2, 0x4};
+  const std::vector<std::uint64_t> idx(100, 1);  // same word gathered 100×
+  for (const simd::Level level : testable_levels()) {
+    simd::force_level(level);
+    ASSERT_EQ(simd::or_gather(words.data(), idx.data(), idx.size()), 0x2ULL);
+  }
+}
+
+TEST(SimdAnyBitSet, MatchesScalarOnSingleBitPlacements) {
+  LevelGuard guard;
+  std::uint64_t state = 7;
+  std::vector<std::uint64_t> words(8, 0);
+  words[5] = 1ULL << 17;  // exactly one bit set in the whole bitmap
+  for (const std::size_t n : kLengths) {
+    std::vector<std::uint64_t> bits(n);
+    for (auto& b : bits) b = next_u64(state) % (words.size() * 64);
+    const bool expected = simd::any_bit_set_scalar(words.data(), bits.data(), n);
+    for (const simd::Level level : testable_levels()) {
+      simd::force_level(level);
+      ASSERT_EQ(simd::any_bit_set(words.data(), bits.data(), n), expected)
+          << simd::level_name(level) << " n=" << n;
+    }
+    // Force a hit at every position in the probe list in turn: the early
+    // exit must never change the answer.
+    if (n > 0) {
+      for (const std::size_t hit : {std::size_t{0}, n / 2, n - 1}) {
+        std::vector<std::uint64_t> with_hit = bits;
+        with_hit[hit] = 5 * 64 + 17;
+        for (const simd::Level level : testable_levels()) {
+          simd::force_level(level);
+          ASSERT_TRUE(simd::any_bit_set(words.data(), with_hit.data(), n))
+              << simd::level_name(level) << " n=" << n << " hit=" << hit;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ collect_equal
+
+TEST(SimdCollectEqual, BitIdenticalAcrossLevelsAndPatterns) {
+  LevelGuard guard;
+  std::uint64_t state = 8;
+  for (const std::size_t n : kLengths) {
+    // Three densities: none match, all match, ~1/4 match.
+    for (const std::uint64_t modulo : {1ULL, 4ULL, 0ULL}) {
+      std::vector<std::uint64_t> values(n);
+      for (std::size_t i = 0; i < n; ++i)
+        values[i] = modulo == 0 ? 3 : (modulo == 1 ? 7 : next_u64(state) % 4);
+      const std::uint64_t target = 3;
+      std::vector<std::uint64_t> expected(n);
+      expected.resize(simd::collect_equal_scalar(values.data(), n, target,
+                                                 expected.data()));
+      for (const simd::Level level : testable_levels()) {
+        simd::force_level(level);
+        std::vector<std::uint64_t> got(n);
+        got.resize(simd::collect_equal(values.data(), n, target, got.data()));
+        ASSERT_EQ(got, expected) << simd::level_name(level) << " n=" << n
+                                 << " modulo=" << modulo;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- pack / unpack
+
+TEST(SimdPackUnpack, RoundTripsAcrossLevelsAndShifts) {
+  LevelGuard guard;
+  std::uint64_t state = 9;
+  for (const unsigned shift : {1U, 13U, 20U, 32U, 40U, 63U}) {
+    const std::uint64_t mask = shift == 64 ? ~0ULL : (1ULL << shift) - 1;
+    for (const std::size_t n : kLengths) {
+      std::vector<Edge> edges = random_edges(n, state, ~0ULL);
+      for (Edge& e : edges) {
+        e.u &= (shift == 0 ? 0 : (~0ULL >> shift));
+        e.v &= mask;
+      }
+      std::vector<std::uint64_t> expected_keys(n);
+      simd::pack_shift_or_scalar(edges.data(), n, shift, expected_keys.data());
+      for (const simd::Level level : testable_levels()) {
+        simd::force_level(level);
+        std::vector<std::uint64_t> keys(n);
+        simd::pack_shift_or(edges.data(), n, shift, keys.data());
+        ASSERT_EQ(keys, expected_keys) << simd::level_name(level) << " n=" << n
+                                       << " shift=" << shift;
+        std::vector<Edge> unpacked(n);
+        simd::unpack_shift_mask(keys.data(), n, shift, mask, unpacked.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(unpacked[i].u, edges[i].u) << simd::level_name(level) << " " << i;
+          ASSERT_EQ(unpacked[i].v, edges[i].v) << simd::level_name(level) << " " << i;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------- radix sort across thread counts
+
+// The sort must be bit-identical to std::sort at every (thread count,
+// SIMD level) combination, through BOTH key paths: packed 64-bit keys
+// (small vertex ids) and the >64-bit struct fallback (ids wide enough
+// that bit_width(u) + bit_width(v) > 64).
+void check_sort_everywhere(std::vector<Edge> input) {
+  LevelGuard guard;
+  std::vector<Edge> expected = input;
+  std::sort(expected.begin(), expected.end());
+  for (const int threads : {1, 2, 7}) {
+    ThreadPool::set_num_threads(threads);
+    for (const simd::Level level : testable_levels()) {
+      simd::force_level(level);
+      std::vector<Edge> got = input;
+      sort_edges(got);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].u, expected[i].u)
+            << threads << " threads, " << simd::level_name(level) << ", at " << i;
+        ASSERT_EQ(got[i].v, expected[i].v)
+            << threads << " threads, " << simd::level_name(level) << ", at " << i;
+      }
+    }
+  }
+  ThreadPool::set_num_threads(0);
+}
+
+TEST(SimdRadixSort, PackedKeysAcrossThreadsAndLevels) {
+  // Above kRadixSortThreshold so the radix path actually runs; 20-bit ids
+  // keep it on the packed 64-bit-key path.
+  std::uint64_t state = 10;
+  check_sort_everywhere(random_edges(kRadixSortThreshold + 1000, state,
+                                     (1ULL << 20) - 1));
+}
+
+TEST(SimdRadixSort, WideKeysUseStructFallback) {
+  // 40-bit u and 40-bit v: 80 key bits > 64 forces the byte-wise struct
+  // fallback, which must still match std::sort everywhere.
+  std::uint64_t state = 11;
+  check_sort_everywhere(random_edges(kRadixSortThreshold + 1000, state,
+                                     (1ULL << 40) - 1));
+}
+
+TEST(SimdRadixSort, DuplicateHeavyAcrossThreadsAndLevels) {
+  std::uint64_t state = 12;
+  std::vector<Edge> edges = random_edges(kRadixSortThreshold + 500, state, 7);
+  check_sort_everywhere(std::move(edges));
+}
+
+// ------------------------------------------------------------ dispatch env
+
+TEST(SimdDispatch, ForceLevelClampsToHostAndResets) {
+  LevelGuard guard;
+  simd::force_level(simd::Level::kAvx512);
+  ASSERT_LE(simd::active_level(), simd::host_level());
+  simd::force_level(simd::Level::kScalar);
+  ASSERT_EQ(simd::active_level(), simd::Level::kScalar);
+  simd::reset_level();
+  ASSERT_LE(simd::active_level(), simd::host_level());
+}
+
+}  // namespace
+}  // namespace kron

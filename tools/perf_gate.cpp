@@ -1,0 +1,331 @@
+// perf_gate — compares a BENCH_*.json report against a committed baseline
+// from bench/trajectory/ and fails on regression (DESIGN.md §14).
+//
+//   perf_gate --baseline FILE [--current FILE] [--tolerance F] [--check-only]
+//             [--require-host-simd LEVEL] [--] command args...
+//
+// When a command follows `--`, it is run first (it is expected to write the
+// --current file, typically via the bench's --json flag).  Metrics are then
+// compared pairwise; which direction counts as a regression is inferred from
+// the key:
+//
+//   *.seconds / *_seconds   lower is better   (except *median* keys — those
+//                            are noise diagnostics, never gated)
+//   *_per_sec, *speedup     higher is better
+//   phase.* / counter.* / gauge.*  informational (single-run trace totals,
+//                            too noisy to gate)
+//
+// A metric regresses when it is worse than the baseline by more than the
+// tolerance (--tolerance, else KRON_PERF_TOLERANCE, else 0.15 = 15%).
+// --check-only prints the same comparison but always exits 0 — bench_smoke
+// uses it so every tier-1 run shows the delta without gating on a possibly
+// noisy container.  --require-host-simd LEVEL exits 77 (the ctest skip
+// code) when the host CPU cannot reach LEVEL, so baselines recorded on an
+// AVX-512 box do not fail spuriously elsewhere.
+//
+// Exit codes: 0 pass, 1 regression, 2 usage/IO error, 77 skipped.
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/simd.hpp"
+
+namespace {
+
+constexpr int kExitPass = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitError = 2;
+constexpr int kExitSkip = 77;
+
+struct Report {
+  std::map<std::string, std::string> env;     // raw values, quotes stripped
+  std::map<std::string, double> metrics;
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Minimal parser for the flat two-object documents JsonReport::write emits:
+// {"bench": "...", "env": {k: v, ...}, "metrics": {k: v, ...}}.  Values are
+// numbers, quoted strings, or null; no nesting below env/metrics.
+class Scanner {
+ public:
+  explicit Scanner(std::string text) : text_(std::move(text)) {}
+
+  [[nodiscard]] bool parse(Report& out) {
+    object("env", out.env);  // optional: pre-PR8 snapshots have no env block
+    return metrics_object(out.metrics);
+  }
+
+ private:
+  void skip_ws(std::size_t& i) const {
+    while (i < text_.size() && std::isspace(static_cast<unsigned char>(text_[i]))) ++i;
+  }
+
+  // Reads `"key": value` pairs between the braces that follow `section`.
+  bool section_span(const std::string& section, std::size_t& begin, std::size_t& end) const {
+    const std::size_t at = text_.find("\"" + section + "\"");
+    if (at == std::string::npos) return false;
+    begin = text_.find('{', at);
+    if (begin == std::string::npos) return false;
+    end = text_.find('}', begin);
+    return end != std::string::npos;
+  }
+
+  bool pairs(std::size_t i, std::size_t end,
+             const std::function<void(const std::string&, const std::string&)>& emit) const {
+    ++i;  // past '{'
+    while (true) {
+      skip_ws(i);
+      if (i >= end) return true;
+      if (text_[i] != '"') return false;
+      std::string key;
+      ++i;
+      while (i < end && text_[i] != '"') {
+        if (text_[i] == '\\' && i + 1 < end) ++i;
+        key.push_back(text_[i++]);
+      }
+      ++i;  // closing quote
+      skip_ws(i);
+      if (i >= end || text_[i] != ':') return false;
+      ++i;
+      skip_ws(i);
+      std::string value;
+      if (i < end && text_[i] == '"') {
+        ++i;
+        while (i < end && text_[i] != '"') {
+          if (text_[i] == '\\' && i + 1 < end) ++i;
+          value.push_back(text_[i++]);
+        }
+        ++i;
+      } else {
+        while (i < end && text_[i] != ',' && text_[i] != '\n' && text_[i] != '}')
+          value.push_back(text_[i++]);
+        while (!value.empty() && std::isspace(static_cast<unsigned char>(value.back())))
+          value.pop_back();
+      }
+      emit(key, value);
+      skip_ws(i);
+      if (i < end && text_[i] == ',') ++i;
+    }
+  }
+
+  bool object(const std::string& section, std::map<std::string, std::string>& out) const {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    if (!section_span(section, begin, end)) return false;
+    return pairs(begin, end,
+                 [&](const std::string& k, const std::string& v) { out[k] = v; });
+  }
+
+  bool metrics_object(std::map<std::string, double>& out) const {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    if (!section_span("metrics", begin, end)) return false;
+    return pairs(begin, end, [&](const std::string& k, const std::string& v) {
+      char* parse_end = nullptr;
+      const double value = std::strtod(v.c_str(), &parse_end);
+      if (parse_end != v.c_str()) out[k] = value;
+    });
+  }
+
+  std::string text_;
+};
+
+bool load_report(const std::string& path, Report& out, const char* role) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "perf_gate: cannot open " << role << " report '" << path << "'\n";
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Scanner scanner(buffer.str());
+  if (!scanner.parse(out)) {
+    std::cerr << "perf_gate: cannot parse " << role << " report '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
+enum class Direction { kLowerBetter, kHigherBetter, kInformational };
+
+Direction direction_of(const std::string& key) {
+  if (starts_with(key, "phase.") || starts_with(key, "counter.") ||
+      starts_with(key, "gauge."))
+    return Direction::kInformational;
+  if (key.find("median") != std::string::npos) return Direction::kInformational;
+  if (ends_with(key, ".seconds") || ends_with(key, "_seconds"))
+    return Direction::kLowerBetter;
+  if (ends_with(key, "_per_sec") || ends_with(key, "speedup"))
+    return Direction::kHigherBetter;
+  return Direction::kInformational;
+}
+
+struct Options {
+  std::string baseline;
+  std::string current;
+  double tolerance = 0.15;
+  bool check_only = false;
+  kron::simd::Level required_host = kron::simd::Level::kScalar;
+  std::vector<std::string> command;
+};
+
+bool parse_level(const std::string& name, kron::simd::Level& out) {
+  if (name == "scalar") out = kron::simd::Level::kScalar;
+  else if (name == "avx2") out = kron::simd::Level::kAvx2;
+  else if (name == "avx512") out = kron::simd::Level::kAvx512;
+  else return false;
+  return true;
+}
+
+int usage() {
+  std::cerr << "usage: perf_gate --baseline FILE [--current FILE] [--tolerance F]\n"
+               "                 [--check-only] [--require-host-simd LEVEL]\n"
+               "                 [--] command args...\n";
+  return kExitError;
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  if (const char* env = std::getenv("KRON_PERF_TOLERANCE"); env != nullptr)
+    opts.tolerance = std::strtod(env, nullptr);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      opts.baseline = argv[++i];
+    } else if (arg == "--current" && i + 1 < argc) {
+      opts.current = argv[++i];
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      opts.tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--check-only") {
+      opts.check_only = true;
+    } else if (arg == "--require-host-simd" && i + 1 < argc) {
+      if (!parse_level(argv[++i], opts.required_host)) return false;
+    } else if (arg == "--") {
+      for (++i; i < argc; ++i) opts.command.emplace_back(argv[i]);
+    } else {
+      std::cerr << "perf_gate: unknown option '" << arg << "'\n";
+      return false;
+    }
+  }
+  return !opts.baseline.empty() && (!opts.current.empty() || !opts.command.empty());
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(4);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return usage();
+
+  if (kron::simd::host_level() < opts.required_host) {
+    std::cout << "perf_gate: host SIMD level "
+              << kron::simd::level_name(kron::simd::host_level())
+              << " below required "
+              << kron::simd::level_name(opts.required_host)
+              << " — skipping (baseline not comparable)\n";
+    return kExitSkip;
+  }
+
+  if (!opts.command.empty()) {
+    std::string cmdline;
+    for (const std::string& part : opts.command) {
+      if (!cmdline.empty()) cmdline.push_back(' ');
+      cmdline += part;
+    }
+    std::cout << "perf_gate: running: " << cmdline << "\n";
+    const int rc = std::system(cmdline.c_str());
+    if (rc != 0) {
+      std::cerr << "perf_gate: bench command failed (status " << rc << ")\n";
+      return kExitError;
+    }
+  }
+  if (opts.current.empty()) {
+    std::cerr << "perf_gate: no --current report path given\n";
+    return kExitError;
+  }
+
+  Report baseline;
+  Report current;
+  if (!load_report(opts.baseline, baseline, "baseline")) return kExitError;
+  if (!load_report(opts.current, current, "current")) return kExitError;
+
+  // Env differences are the first thing to check when a gate trips: a
+  // different SIMD level, thread count, or build flavour is a changed
+  // experiment, not (necessarily) a code regression.
+  for (const auto& [key, base_value] : baseline.env) {
+    const auto it = current.env.find(key);
+    if (key == "git" || key == "repeat" || key == "warmup") continue;
+    if (it != current.env.end() && it->second != base_value)
+      std::cout << "perf_gate: env mismatch: " << key << " baseline=" << base_value
+                << " current=" << it->second << "\n";
+  }
+
+  std::cout << "perf_gate: tolerance " << fmt(opts.tolerance * 100) << "%"
+            << (opts.check_only ? " (check-only: reporting, not gating)" : "") << "\n";
+  std::cout << "  metric                                   baseline     current      delta\n";
+
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [key, base_value] : baseline.metrics) {
+    const Direction dir = direction_of(key);
+    if (dir == Direction::kInformational) continue;
+    const auto it = current.metrics.find(key);
+    if (it == current.metrics.end()) {
+      std::cout << "  " << key << ": missing from current report\n";
+      ++regressions;
+      continue;
+    }
+    const double cur_value = it->second;
+    if (base_value <= 0) continue;  // cannot form a ratio
+    ++compared;
+    const double ratio = cur_value / base_value;
+    const double delta = ratio - 1.0;
+    const bool worse = dir == Direction::kLowerBetter ? delta > opts.tolerance
+                                                      : delta < -opts.tolerance;
+    std::ostringstream line;
+    line << "  " << key;
+    while (line.str().size() < 43) line << ' ';
+    line << fmt(base_value) << "  ";
+    while (line.str().size() < 56) line << ' ';
+    line << fmt(cur_value) << "  ";
+    while (line.str().size() < 69) line << ' ';
+    line << (delta >= 0 ? "+" : "") << fmt(delta * 100) << "%";
+    if (worse) {
+      line << "  REGRESSION";
+      ++regressions;
+    }
+    std::cout << line.str() << "\n";
+  }
+
+  if (compared == 0) {
+    std::cerr << "perf_gate: no comparable metrics between the two reports\n";
+    return kExitError;
+  }
+  if (regressions > 0) {
+    std::cout << "perf_gate: " << regressions << " regression(s) beyond "
+              << fmt(opts.tolerance * 100) << "% tolerance"
+              << (opts.check_only ? " (check-only, not failing)" : "") << "\n";
+    return opts.check_only ? kExitPass : kExitRegression;
+  }
+  std::cout << "perf_gate: all " << compared << " gated metrics within tolerance\n";
+  return kExitPass;
+}
