@@ -1,0 +1,183 @@
+// Out-of-core pipeline benchmark (DESIGN.md §15): shard write, external
+// k-way merge, and mmap-CSR build throughput over one product-scale arc
+// set, each stage recorded to BENCH_ooc.json as the perf gate's
+// out-of-core baseline.
+//
+// The three gated rates are arcs/sec through each stage:
+//   shard.write_arcs_per_sec   sorted arcs -> delta-varint .kshard files
+//   merge.arcs_per_sec         duplicate-heavy shards -> canonical parts
+//   csr.build_arcs_per_sec     merged parts -> .kcsr (two streaming passes)
+//
+// All three stages funnel through the shard I/O buffer, so the
+// KRON_OOC_BUFFER_BYTES negative control (tools/CMakeLists.txt shrinks it
+// to 512 bytes to force a syscall storm) must trip the gate on every one.
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/kron.hpp"
+#include "gen/erdos.hpp"
+#include "graph/csr_mmap.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/external_merge.hpp"
+#include "graph/io.hpp"
+#include "graph/shard_codec.hpp"
+#include "util/hash.hpp"
+
+namespace kron {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kSeed = 20190527;
+
+fs::path scratch_dir() {
+  const fs::path dir = fs::temp_directory_path() / "kron_bench_ooc";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Split canonical arcs into `runs` overlapping sorted runs: run r takes
+/// every arc with index % runs in {r, r+1 mod runs}, so each arc appears in
+/// exactly two runs and the merge's dedupe halves the input — the
+/// duplicate-heavy shape a multi-rank shuffle-free generation produces.
+std::vector<std::vector<Edge>> overlapping_runs(std::span<const Edge> arcs, std::size_t runs) {
+  std::vector<std::vector<Edge>> out(runs);
+  for (std::size_t r = 0; r < runs; ++r) out[r].reserve(2 * arcs.size() / runs + 2);
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    const std::size_t r = i % runs;
+    out[r].push_back(arcs[i]);
+    out[(r + 1) % runs].push_back(arcs[i]);
+  }
+  for (auto& run : out) std::sort(run.begin(), run.end());
+  return out;
+}
+
+void print_artifact() {
+  bench::banner("OOC", "out-of-core pipeline: shard write, k-way merge, mmap CSR build");
+  bench::JsonReport& report = bench::JsonReport::instance();
+
+  // One product-scale arc set, built in memory once (the pipeline under
+  // test is the I/O, not generation): ~10M arcs, ~160 MB as raw Edges.
+  const EdgeList a = make_gnm(250, 2500, kSeed);
+  const EdgeList b = make_gnm(150, 1000, kSeed + 1);
+  EdgeList product = kronecker_product(a, b);
+  product.sort_dedupe();
+  const std::uint64_t arcs = product.num_arcs();
+  const double raw_bytes = static_cast<double>(arcs * sizeof(Edge));
+  std::cout << "product: " << product.num_vertices() << " vertices, " << arcs
+            << " arcs (" << raw_bytes / (1 << 20) << " MiB uncompressed), seed " << kSeed
+            << "\n";
+  report.add("ooc.arcs", arcs);
+  report.add("ooc.buffer_bytes", static_cast<std::uint64_t>(default_shard_buffer_bytes()));
+
+  constexpr std::size_t kRuns = 6;
+  const std::vector<std::vector<Edge>> runs = overlapping_runs(product.edges(), kRuns);
+
+  const fs::path dir = scratch_dir();
+  const fs::path shard_dir = dir / "shards";
+
+  // Stage 1: shard write.  Each repeat rewrites the full shard set; the
+  // rate counts arcs entering the writer (duplicates included — that is
+  // what a generating rank pays).
+  std::uint64_t shard_arcs_in = 0;
+  ShardIoStats write_io;
+  const double write_seconds =
+      bench::report_time("shard.write", bench::time_repeated([&] {
+        fs::remove_all(shard_dir);
+        fs::create_directories(shard_dir);
+        shard_arcs_in = 0;
+        write_io = ShardIoStats{};
+        for (std::size_t r = 0; r < runs.size(); ++r) {
+          (void)write_arc_shard(shard_dir / ("run" + std::to_string(r) + ".kshard"),
+                                product.num_vertices(), runs[r], &write_io);
+          shard_arcs_in += runs[r].size();
+        }
+      }));
+  report.add("shard.write_arcs_per_sec", static_cast<double>(shard_arcs_in) / write_seconds);
+  report.add("shard.bytes_written", write_io.bytes_written);
+  report.add("shard.compression_ratio",
+             2.0 * raw_bytes / static_cast<double>(write_io.bytes_written));
+  std::cout << "shard write: " << shard_arcs_in << " arcs in " << write_seconds << " s ("
+            << static_cast<double>(shard_arcs_in) / write_seconds / 1e6 << " M arcs/s), "
+            << write_io.bytes_written << " compressed bytes\n";
+
+  // Stage 2: external merge.  Each repeat merges into a fresh directory (a
+  // completed merge is deliberately a no-op).
+  const std::vector<fs::path> inputs = list_arc_shards(shard_dir);
+  const fs::path merged_dir = dir / "merged";
+  MergeStats merge_stats;
+  const double merge_seconds =
+      bench::report_time("merge", bench::time_repeated([&] {
+        fs::remove_all(merged_dir);
+        merge_stats = MergeStats{};
+        (void)merge_shards(inputs, merged_dir, {}, &merge_stats);
+      }));
+  report.add("merge.arcs_per_sec", static_cast<double>(merge_stats.arcs_in) / merge_seconds);
+  report.add("merge.arcs_in", merge_stats.arcs_in);
+  report.add("merge.duplicates_dropped", merge_stats.duplicates_dropped);
+  report.add("merge.parts", static_cast<std::uint64_t>(merge_stats.parts_merged));
+  std::cout << "merge: " << merge_stats.arcs_in << " arcs -> " << merge_stats.arcs_out
+            << " in " << merge_seconds << " s ("
+            << static_cast<double>(merge_stats.arcs_in) / merge_seconds / 1e6
+            << " M arcs/s), " << merge_stats.duplicates_dropped << " duplicates dropped\n";
+
+  // Stage 3: mmap CSR build (two streaming passes over the merged parts).
+  const fs::path kcsr = dir / "graph.kcsr";
+  CsrBuildStats csr_stats;
+  const double csr_seconds = bench::report_time("csr.build", bench::time_repeated([&] {
+    fs::remove(kcsr);
+    csr_stats = build_csr_file(merged_dir, kcsr);
+  }));
+  report.add("csr.build_arcs_per_sec", static_cast<double>(csr_stats.num_arcs) / csr_seconds);
+  report.add("csr.bytes", csr_stats.bytes_written);
+  std::cout << "csr build: " << csr_stats.num_arcs << " arcs in " << csr_seconds << " s ("
+            << static_cast<double>(csr_stats.num_arcs) / csr_seconds / 1e6
+            << " M arcs/s), " << csr_stats.bytes_written << " bytes\n";
+
+  // Spot-check the pipeline actually produced the product before trusting
+  // any of the numbers above.
+  const CsrMmap mapped(kcsr);
+  if (mapped.num_arcs() != arcs)
+    throw std::runtime_error("bench_ooc: pipeline lost arcs (" +
+                             std::to_string(mapped.num_arcs()) + " != " +
+                             std::to_string(arcs) + ")");
+
+  fs::remove_all(dir);
+}
+
+// Timing-section smoke: one small shard written and drained through the
+// cursor, so the codec hot loops run under `ctest -L bench_smoke` too.
+void BM_ShardRoundTrip(benchmark::State& state) {
+  const fs::path dir = fs::temp_directory_path() / "kron_bench_ooc_smoke";
+  fs::create_directories(dir);
+  constexpr std::uint64_t kArcs = 100000;
+  std::vector<Edge> edges(kArcs);
+  std::uint64_t s = kSeed;
+  for (Edge& e : edges) {
+    s = mix64(s);
+    e.u = s % 5000;
+    s = mix64(s);
+    e.v = s % 5000;
+  }
+  std::sort(edges.begin(), edges.end());
+  const fs::path path = dir / "smoke.kshard";
+  for (auto _ : state) {
+    (void)write_arc_shard(path, 5000, edges);
+    ArcShardCursor cursor(path);
+    std::uint64_t key = 0;
+    std::uint64_t count = 0;
+    while (cursor.next(key)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["arcs"] = static_cast<double>(kArcs);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ShardRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kron
+
+KRON_BENCH_MAIN_JSON(kron::print_artifact, "BENCH_ooc.json")

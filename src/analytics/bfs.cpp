@@ -9,19 +9,19 @@
 
 namespace kron {
 
-std::vector<std::uint64_t> bfs_levels(const Csr& g, vertex_t source) {
+std::vector<std::uint64_t> bfs_levels(const CsrView& g, vertex_t source) {
   std::vector<std::uint64_t> level;
   HybridBfs(g).levels(source, level);
   return level;
 }
 
-std::vector<std::uint64_t> hops_from(const Csr& g, vertex_t source) {
+std::vector<std::uint64_t> hops_from(const CsrView& g, vertex_t source) {
   std::vector<std::uint64_t> hops = bfs_levels(g, source);
   patch_diagonal_hop(g, source, hops[source]);
   return hops;
 }
 
-void patch_diagonal_hop(const Csr& g, vertex_t source, std::uint64_t& hop) {
+void patch_diagonal_hop(const CsrView& g, vertex_t source, std::uint64_t& hop) {
   if (g.has_loop(source)) {
     hop = 1;
   } else if (g.degree(source) > 0) {
@@ -31,7 +31,7 @@ void patch_diagonal_hop(const Csr& g, vertex_t source, std::uint64_t& hop) {
   }
 }
 
-std::vector<std::uint64_t> all_pairs_hops(const Csr& g) {
+std::vector<std::uint64_t> all_pairs_hops(const CsrView& g) {
   const vertex_t n = g.num_vertices();
   std::uint64_t cells = 0;
   try {

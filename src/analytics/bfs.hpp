@@ -20,21 +20,21 @@ namespace kron {
 /// disconnected from `source`.
 inline constexpr std::uint64_t kUnreachable = std::numeric_limits<std::uint64_t>::max();
 
-[[nodiscard]] std::vector<std::uint64_t> bfs_levels(const Csr& g, vertex_t source);
+[[nodiscard]] std::vector<std::uint64_t> bfs_levels(const CsrView& g, vertex_t source);
 
 /// Hop counts per Def. 9: hops(source, j).  For j != source this is the BFS
 /// level; for j == source it is 1 if `source` has a self loop, 2 if it has
 /// any neighbor (round trip), kUnreachable if isolated.
-[[nodiscard]] std::vector<std::uint64_t> hops_from(const Csr& g, vertex_t source);
+[[nodiscard]] std::vector<std::uint64_t> hops_from(const CsrView& g, vertex_t source);
 
 /// Apply the Def. 9 diagonal rule in place: hops(i, i) = 1 with a self
 /// loop, 2 with any neighbor, kUnreachable when isolated.
-void patch_diagonal_hop(const Csr& g, vertex_t source, std::uint64_t& hop);
+void patch_diagonal_hop(const CsrView& g, vertex_t source, std::uint64_t& hop);
 
 /// All-pairs hop-count matrix, row-major n*n (for small graphs / factors).
 /// Entry [i*n + j] = hops(i, j).  Computed by bit-parallel multi-source
 /// BFS, 64 rows per batch (analytics/msbfs.hpp).  Throws
 /// std::overflow_error when the n*n cell count cannot be represented.
-[[nodiscard]] std::vector<std::uint64_t> all_pairs_hops(const Csr& g);
+[[nodiscard]] std::vector<std::uint64_t> all_pairs_hops(const CsrView& g);
 
 }  // namespace kron

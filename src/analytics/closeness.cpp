@@ -28,7 +28,7 @@ void record_hop(std::vector<std::uint64_t>& histogram, std::uint64_t hop) {
 
 }  // namespace
 
-double closeness(const Csr& g, vertex_t i) {
+double closeness(const CsrView& g, vertex_t i) {
   const auto hops = hops_from(g, i);
   std::vector<std::uint64_t> histogram;
   for (const std::uint64_t h : hops)
@@ -36,7 +36,7 @@ double closeness(const Csr& g, vertex_t i) {
   return fold_reciprocal_hops(histogram);
 }
 
-std::vector<double> all_closeness(const Csr& g) {
+std::vector<double> all_closeness(const CsrView& g) {
   const vertex_t n = g.num_vertices();
   std::vector<double> scores(n, 0.0);
   if (n == 0) return scores;

@@ -13,12 +13,12 @@
 namespace kron {
 
 /// ζ(i) for one vertex: a single BFS, O(|E|).
-[[nodiscard]] double closeness(const Csr& g, vertex_t i);
+[[nodiscard]] double closeness(const CsrView& g, vertex_t i);
 
 /// ζ for all vertices via bit-parallel multi-source BFS — ⌈|V|/64⌉
 /// word-parallel sweeps scheduled across the thread pool, bit-identical to
 /// calling `closeness` per vertex (both evaluators fold the hop histogram
 /// in the same canonical order).
-[[nodiscard]] std::vector<double> all_closeness(const Csr& g);
+[[nodiscard]] std::vector<double> all_closeness(const CsrView& g);
 
 }  // namespace kron

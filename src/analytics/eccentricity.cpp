@@ -50,7 +50,7 @@ vertex_t first_argmax(vertex_t n, const Eligible& eligible, const Key& key) {
 
 }  // namespace
 
-std::vector<std::uint64_t> exact_eccentricities(const Csr& g) {
+std::vector<std::uint64_t> exact_eccentricities(const CsrView& g) {
   const vertex_t n = g.num_vertices();
   std::vector<std::uint64_t> ecc(n, 0);
   if (n == 0) return ecc;
@@ -83,7 +83,7 @@ std::vector<std::uint64_t> exact_eccentricities(const Csr& g) {
   return ecc;
 }
 
-BoundedEccResult bounded_eccentricities(const Csr& g) {
+BoundedEccResult bounded_eccentricities(const CsrView& g) {
   const vertex_t n = g.num_vertices();
   BoundedEccResult result;
   result.ecc.assign(n, 0);
@@ -211,7 +211,7 @@ BoundedEccResult bounded_eccentricities(const Csr& g) {
   return result;
 }
 
-ApproxEccResult approx_eccentricities(const Csr& g, std::uint64_t num_pivots) {
+ApproxEccResult approx_eccentricities(const CsrView& g, std::uint64_t num_pivots) {
   const vertex_t n = g.num_vertices();
   ApproxEccResult result;
   result.lower.assign(n, 0);
@@ -266,7 +266,7 @@ ApproxEccResult approx_eccentricities(const Csr& g, std::uint64_t num_pivots) {
   return result;
 }
 
-std::uint64_t diameter(const Csr& g) {
+std::uint64_t diameter(const CsrView& g) {
   const auto ecc = exact_eccentricities(g);
   std::uint64_t d = 0;
   for (const std::uint64_t e : ecc) {
@@ -276,7 +276,7 @@ std::uint64_t diameter(const Csr& g) {
   return d;
 }
 
-std::uint64_t radius(const Csr& g) {
+std::uint64_t radius(const CsrView& g) {
   const auto ecc = exact_eccentricities(g);
   std::uint64_t r = kUnreachable;
   for (const std::uint64_t e : ecc) r = std::min(r, e);

@@ -25,7 +25,7 @@
 namespace kron {
 
 /// O(|V||E|) exact eccentricities via BFS from every vertex.
-[[nodiscard]] std::vector<std::uint64_t> exact_eccentricities(const Csr& g);
+[[nodiscard]] std::vector<std::uint64_t> exact_eccentricities(const CsrView& g);
 
 struct BoundedEccResult {
   std::vector<std::uint64_t> ecc;
@@ -36,7 +36,7 @@ struct BoundedEccResult {
 /// undirected graph (throws otherwise — the pivot triangle inequalities
 /// assume symmetric distances).  `bfs_count` reports how many BFS sweeps
 /// were needed — the quantity the paper's reference [3] optimises.
-[[nodiscard]] BoundedEccResult bounded_eccentricities(const Csr& g);
+[[nodiscard]] BoundedEccResult bounded_eccentricities(const CsrView& g);
 
 /// Approximate eccentricities from a handful of pivot BFS sweeps — the
 /// flavor of estimate the paper's Fig. 1 uses for the direct side
@@ -56,12 +56,12 @@ struct ApproxEccResult {
 /// Requires a connected, undirected graph (throws otherwise).  Pivots: the
 /// max-degree vertex, then repeatedly the vertex farthest from all previous
 /// pivots (2-sweep style spreading); `num_pivots` BFS total.
-[[nodiscard]] ApproxEccResult approx_eccentricities(const Csr& g, std::uint64_t num_pivots);
+[[nodiscard]] ApproxEccResult approx_eccentricities(const CsrView& g, std::uint64_t num_pivots);
 
 /// Graph diameter (Def. 10): max eccentricity.
-[[nodiscard]] std::uint64_t diameter(const Csr& g);
+[[nodiscard]] std::uint64_t diameter(const CsrView& g);
 
 /// Graph radius: min eccentricity.
-[[nodiscard]] std::uint64_t radius(const Csr& g);
+[[nodiscard]] std::uint64_t radius(const CsrView& g);
 
 }  // namespace kron

@@ -45,7 +45,7 @@ namespace kron {
 /// check, so repeated runs from many sources amortise it.
 class HybridBfs {
  public:
-  explicit HybridBfs(const Csr& g) : g_(&g) {}
+  explicit HybridBfs(const CsrView& g) : g_(g) {}
 
   /// Direction-switch parameters (Beamer's α and β).
   static constexpr std::uint64_t kAlpha = 14;
@@ -59,7 +59,7 @@ class HybridBfs {
   /// disconnected).  Bit-identical to the sequential frontier walk for
   /// every thread count.
   void levels(vertex_t source, std::vector<std::uint64_t>& level) {
-    const Csr& g = *g_;
+    const CsrView& g = g_;
     const vertex_t n = g.num_vertices();
     if (source >= n) throw std::out_of_range("bfs_levels: bad source");
     level.assign(n, kUnreachable);
@@ -107,7 +107,7 @@ class HybridBfs {
 
  private:
   [[nodiscard]] bool symmetric() {
-    if (symmetric_ < 0) symmetric_ = g_->is_symmetric() ? 1 : 0;
+    if (symmetric_ < 0) symmetric_ = g_.is_symmetric() ? 1 : 0;
     return symmetric_ == 1;
   }
 
@@ -117,7 +117,7 @@ class HybridBfs {
   std::uint64_t top_down_step(std::vector<std::uint64_t>& level,
                               const std::vector<vertex_t>& frontier, std::uint64_t frontier_degree,
                               std::vector<vertex_t>& next, std::uint64_t depth) {
-    const Csr& g = *g_;
+    const CsrView& g = g_;
     next.clear();
     ThreadPool& pool = ThreadPool::instance();
     const auto threads = static_cast<std::size_t>(pool.num_threads());
@@ -172,7 +172,7 @@ class HybridBfs {
   [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> bottom_up_step(
       std::vector<std::uint64_t>& level, const Bitset& current, Bitset& next,
       std::uint64_t depth) {
-    const Csr& g = *g_;
+    const CsrView& g = g_;
     const vertex_t n = g.num_vertices();
     const std::size_t words = current.num_words();
     using Partial = std::pair<std::uint64_t, std::uint64_t>;
@@ -213,7 +213,7 @@ class HybridBfs {
   /// exactly `depth`), ascending by vertex id; returns its degree sum.
   std::uint64_t collect_frontier(const std::vector<std::uint64_t>& level, std::uint64_t depth,
                                  std::vector<vertex_t>& frontier) {
-    const Csr& g = *g_;
+    const CsrView& g = g_;
     const vertex_t n = g.num_vertices();
     // Vectorised equality scan + index compaction (vertex_t is the kernel's
     // index type, so the frontier buffer is written in place).
@@ -224,7 +224,7 @@ class HybridBfs {
     return degree_sum;
   }
 
-  const Csr* g_;
+  CsrView g_;
   int symmetric_ = -1;  // lazy tri-state: -1 unknown, 0 directed, 1 symmetric
 };
 

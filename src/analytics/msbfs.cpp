@@ -2,7 +2,7 @@
 
 namespace kron {
 
-MsBfs::MsBfs(const Csr& g) : g_(&g) {
+MsBfs::MsBfs(const CsrView& g) : g_(g) {
   if (g.is_symmetric()) return;  // out-lists double as in-lists
   // Counting-sort transpose: in-neighbor lists for the pull sweep, sorted
   // by source id (inherited from CSR row order).

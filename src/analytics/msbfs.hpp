@@ -47,7 +47,7 @@ class MsBfs {
 
   /// Builds the engine; on non-symmetric graphs this materialises the
   /// transpose (O(n + m)) so pull sweeps can follow in-edges.
-  explicit MsBfs(const Csr& g);
+  explicit MsBfs(const CsrView& g);
 
   /// Run one batch of at most 64 distinct sources to exhaustion.
   /// `on_level(depth, active, words)` is invoked once per level (depth 0 is
@@ -59,7 +59,7 @@ class MsBfs {
   template <typename OnLevel>
   void run_batch(std::span<const vertex_t> sources, OnLevel&& on_level) const {
     if (sources.size() > kBatchSize) throw std::invalid_argument("MsBfs: batch exceeds 64");
-    const Csr& g = *g_;
+    const CsrView& g = g_;
     const vertex_t n = g.num_vertices();
     std::vector<std::uint64_t> seen(n, 0);
     std::vector<std::uint64_t> cur(n, 0);   // new bits of the current level
@@ -139,11 +139,11 @@ class MsBfs {
   static constexpr std::uint64_t kPullFactor = 4;
 
   [[nodiscard]] std::span<const vertex_t> in_neighbors(vertex_t v) const {
-    if (rev_offsets_.empty()) return g_->neighbors(v);
+    if (rev_offsets_.empty()) return g_.neighbors(v);
     return {rev_targets_.data() + rev_offsets_[v], rev_targets_.data() + rev_offsets_[v + 1]};
   }
 
-  const Csr* g_;
+  CsrView g_;
   std::vector<std::uint64_t> rev_offsets_;  // empty when the graph is symmetric
   std::vector<vertex_t> rev_targets_;
 };
@@ -154,7 +154,7 @@ class MsBfs {
 /// locations): `base` is the id of the batch's first source and `sources`
 /// the batch's source list (base, base+1, ...).
 template <typename ConsumeBatch>
-void msbfs_all_sources(const Csr& g, ConsumeBatch&& consume_batch) {
+void msbfs_all_sources(const CsrView& g, ConsumeBatch&& consume_batch) {
   const vertex_t n = g.num_vertices();
   const std::size_t batches = (n + MsBfs::kBatchSize - 1) / MsBfs::kBatchSize;
   if (batches == 0) return;

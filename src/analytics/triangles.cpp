@@ -38,7 +38,7 @@ std::size_t pick_chunks(const ForwardAdjacency& fwd) {
 
 }  // namespace
 
-ForwardAdjacency build_forward_adjacency(const Csr& g) {
+ForwardAdjacency build_forward_adjacency(const CsrView& g) {
   TRACE_SPAN("triangles.build");
   const vertex_t n = g.num_vertices();
   // Rank vertices by (loop-free degree, id); orient each edge from lower to
@@ -87,7 +87,7 @@ ForwardAdjacency build_forward_adjacency(const Csr& g) {
   return fwd;
 }
 
-TriangleCounts count_triangles(const Csr& g) {
+TriangleCounts count_triangles(const CsrView& g) {
   const vertex_t n = g.num_vertices();
   TriangleCounts counts;
   counts.per_vertex.assign(n, 0);
@@ -152,12 +152,12 @@ TriangleCounts count_triangles(const Csr& g) {
   return counts;
 }
 
-std::uint64_t edge_triangle_count(const Csr& g, const TriangleCounts& counts, vertex_t u,
+std::uint64_t edge_triangle_count(const CsrView& g, const TriangleCounts& counts, vertex_t u,
                                   vertex_t v) {
   return counts.per_arc[g.arc_index(u, v)];
 }
 
-std::uint64_t global_triangle_count(const Csr& g) {
+std::uint64_t global_triangle_count(const CsrView& g) {
   const ForwardAdjacency fwd = build_forward_adjacency(g);
   const std::size_t chunks = pick_chunks(fwd);
   const auto bounds = arc_balanced_boundaries(fwd, chunks);

@@ -40,7 +40,7 @@ struct ForwardAdjacency {
 };
 
 /// Build the forward orientation of `g` (parallel over rows).
-[[nodiscard]] ForwardAdjacency build_forward_adjacency(const Csr& g);
+[[nodiscard]] ForwardAdjacency build_forward_adjacency(const CsrView& g);
 
 /// Enumerate the triangles whose lowest-ranked corner lies in [lo, hi),
 /// reporting the corner ids AND the three global forward positions
@@ -83,7 +83,7 @@ void enumerate_forward_triangles(const ForwardAdjacency& fwd, vertex_t lo, verte
 /// vertex-id order.  Sequential — callers that need the census arrays use
 /// count_triangles, which runs the same enumeration chunked over threads.
 template <typename Callback>
-void for_each_triangle(const Csr& g, Callback&& callback) {
+void for_each_triangle(const CsrView& g, Callback&& callback) {
   const ForwardAdjacency fwd = build_forward_adjacency(g);
   const auto n = static_cast<vertex_t>(fwd.offsets.size() - 1);
   enumerate_forward_triangles(
@@ -110,13 +110,13 @@ struct TriangleCounts {
 /// an undirected edge receive the same value, loop arcs receive 0.
 /// Parallel with per-thread accumulators reduced in chunk order —
 /// bit-identical for every thread count.
-[[nodiscard]] TriangleCounts count_triangles(const Csr& g);
+[[nodiscard]] TriangleCounts count_triangles(const CsrView& g);
 
 /// Δ at one edge given a precomputed census.
-[[nodiscard]] std::uint64_t edge_triangle_count(const Csr& g, const TriangleCounts& counts,
+[[nodiscard]] std::uint64_t edge_triangle_count(const CsrView& g, const TriangleCounts& counts,
                                                 vertex_t u, vertex_t v);
 
 /// Global triangle count only (no per-entity arrays).
-[[nodiscard]] std::uint64_t global_triangle_count(const Csr& g);
+[[nodiscard]] std::uint64_t global_triangle_count(const CsrView& g);
 
 }  // namespace kron

@@ -1,5 +1,6 @@
 #include "core/checkpoint.hpp"
 
+#include <array>
 #include <charconv>
 #include <fstream>
 #include <stdexcept>
@@ -58,15 +59,22 @@ void write_manifest(const std::filesystem::path& dir, const CheckpointManifest& 
   std::filesystem::create_directories(dir);
   const std::filesystem::path target = manifest_path(dir);
   const std::filesystem::path temp = target.string() + ".tmp";
+  if (manifest.shard_arc_counts.size() != manifest.shard_checksums.size() ||
+      manifest.shard_bytes.size() != manifest.shard_checksums.size())
+    throw std::invalid_argument(
+        "write_manifest: shard_checksums, shard_arc_counts and shard_bytes must all list "
+        "every rank");
   std::string text;
-  text += "KRONCK-MANIFEST 1\n";
+  text += "KRONCK-MANIFEST 2\n";
   text += "config_hash " + std::to_string(manifest.config_hash) + "\n";
   text += "ranks " + std::to_string(manifest.ranks) + "\n";
+  text += "encoding " + std::to_string(manifest.encoding) + "\n";
   text += "completed_epochs " + std::to_string(manifest.completed_epochs) + "\n";
   text += "checkpoint_every " + std::to_string(manifest.checkpoint_every) + "\n";
   for (std::size_t r = 0; r < manifest.shard_checksums.size(); ++r)
-    text += "shard " + std::to_string(r) + " " + std::to_string(manifest.shard_checksums[r]) +
-            "\n";
+    text += "shard " + std::to_string(r) + " " + std::to_string(manifest.shard_arc_counts[r]) +
+            " " + std::to_string(manifest.shard_bytes[r]) + " " +
+            std::to_string(manifest.shard_checksums[r]) + "\n";
   // The manifest is the commit record of a checkpoint epoch: its bytes must
   // be durable before the rename publishes it, and the rename itself before
   // the generation continues (resume trusts a present manifest completely).
@@ -117,13 +125,19 @@ CheckpointManifest read_manifest(const std::filesystem::path& dir) {
   if (!in) throw std::runtime_error("read_manifest: cannot open " + path.string());
   std::string header;
   std::getline(in, header);
-  if (header != "KRONCK-MANIFEST 1")
+  if (header == "KRONCK-MANIFEST 1")
+    bad_manifest(path, 1,
+                 "manifest version 1 (written by an older build) records no shard sizes "
+                 "and cannot be verified by this binary; restart the generation without "
+                 "--resume to rebuild the checkpoint in the current format");
+  if (header != "KRONCK-MANIFEST 2")
     bad_manifest(path, 1, "bad header '" + header + "'");
 
   CheckpointManifest manifest;
   std::string line;
   std::size_t line_no = 1;
-  bool saw_hash = false, saw_ranks = false, saw_epochs = false, saw_every = false;
+  bool saw_hash = false, saw_ranks = false, saw_epochs = false, saw_every = false,
+       saw_encoding = false;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -143,19 +157,31 @@ CheckpointManifest read_manifest(const std::filesystem::path& dir) {
     } else if (key == "checkpoint_every") {
       manifest.checkpoint_every = manifest_u64(path, line_no, rest);
       saw_every = true;
+    } else if (key == "encoding") {
+      manifest.encoding = manifest_u64(path, line_no, rest);
+      saw_encoding = true;
     } else if (key == "shard") {
-      const std::size_t mid = rest.find(' ');
-      if (mid == std::string::npos)
-        bad_manifest(path, line_no, "expected 'shard R CHECKSUM'");
-      const std::uint64_t rank = manifest_u64(path, line_no, rest.substr(0, mid));
-      if (rank != manifest.shard_checksums.size())
+      // "shard R ARCS BYTES CHECKSUM"
+      std::array<std::uint64_t, 4> fields{};
+      std::size_t begin = 0;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        const bool last = f + 1 == fields.size();
+        const std::size_t sep = last ? rest.size() : rest.find(' ', begin);
+        if (sep == std::string::npos)
+          bad_manifest(path, line_no, "expected 'shard R ARCS BYTES CHECKSUM'");
+        fields[f] = manifest_u64(path, line_no, rest.substr(begin, sep - begin));
+        begin = sep + 1;
+      }
+      if (fields[0] != manifest.shard_checksums.size())
         bad_manifest(path, line_no, "shard ranks out of order");
-      manifest.shard_checksums.push_back(manifest_u64(path, line_no, rest.substr(mid + 1)));
+      manifest.shard_arc_counts.push_back(fields[1]);
+      manifest.shard_bytes.push_back(fields[2]);
+      manifest.shard_checksums.push_back(fields[3]);
     } else {
       bad_manifest(path, line_no, "unknown key '" + key + "'");
     }
   }
-  if (!saw_hash || !saw_ranks || !saw_epochs || !saw_every)
+  if (!saw_hash || !saw_ranks || !saw_epochs || !saw_every || !saw_encoding)
     bad_manifest(path, line_no, "truncated manifest (missing required keys)");
   if (manifest.shard_checksums.size() != manifest.ranks)
     bad_manifest(path, line_no,
@@ -188,6 +214,12 @@ ResumeState load_resume_state(const std::filesystem::path& dir, std::uint64_t ex
                              " (" + std::to_string(manifest.checkpoint_every) +
                              " chunks/epoch recorded, " + std::to_string(expected_every) +
                              " requested)");
+  if (manifest.encoding != kCheckpointEncoding)
+    throw std::runtime_error(
+        "resume: checkpoint in " + dir.string() + " uses shard encoding " +
+        std::to_string(manifest.encoding) + ", this binary reads encoding " +
+        std::to_string(kCheckpointEncoding) +
+        "; restart the generation without --resume to rebuild the checkpoint");
   state.start_epoch = manifest.completed_epochs;
   if (state.start_epoch == 0) return state;
 
@@ -209,14 +241,30 @@ ResumeState load_resume_state(const std::filesystem::path& dir, std::uint64_t ex
                                std::to_string(shard.completed_epochs) + " < " +
                                std::to_string(manifest.completed_epochs) +
                                "); restart without --resume");
-    // The manifest's checksum covers the shard as of the manifest's epoch;
-    // a shard one epoch newer (crash landed between the shard writes and
-    // the manifest write) is internally consistent and simply replays less.
-    if (shard.completed_epochs == manifest.completed_epochs &&
-        arc_set_checksum(shard.arcs) != manifest.shard_checksums[r])
-      throw std::runtime_error("resume: shard for rank " + std::to_string(r) +
-                               " does not match the manifest checksum (corrupted " +
-                               "checkpoint); restart without --resume");
+    // The manifest's records cover the shard as of the manifest's epoch; a
+    // shard one epoch newer (crash landed between the shard writes and the
+    // manifest write) is internally consistent and simply replays less.
+    if (shard.completed_epochs == manifest.completed_epochs) {
+      if (shard.arcs.size() != manifest.shard_arc_counts[r])
+        throw std::runtime_error(
+            "resume: shard for rank " + std::to_string(r) + " holds " +
+            std::to_string(shard.arcs.size()) + " arcs, the manifest recorded " +
+            std::to_string(manifest.shard_arc_counts[r]) +
+            " (mixed or tampered checkpoint directory); restart without --resume");
+      std::error_code size_error;
+      const std::uintmax_t on_disk =
+          std::filesystem::file_size(shard_path(dir, static_cast<int>(r)), size_error);
+      if (size_error || on_disk != manifest.shard_bytes[r])
+        throw std::runtime_error(
+            "resume: shard file for rank " + std::to_string(r) + " is " +
+            (size_error ? "unreadable" : std::to_string(on_disk) + " bytes") +
+            ", the manifest recorded " + std::to_string(manifest.shard_bytes[r]) +
+            " (mixed or truncated checkpoint directory); restart without --resume");
+      if (arc_set_checksum(shard.arcs) != manifest.shard_checksums[r])
+        throw std::runtime_error("resume: shard for rank " + std::to_string(r) +
+                                 " does not match the manifest checksum (corrupted " +
+                                 "checkpoint); restart without --resume");
+    }
     state.shard_epochs[r] = shard.completed_epochs;
     state.shard_arcs[r] = std::move(shard.arcs);
   }

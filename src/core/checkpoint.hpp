@@ -7,16 +7,24 @@
 // contents.  Resume reads the manifest, verifies every shard against it,
 // and restarts production at the first epoch some shard has not stored.
 //
-// The manifest is a small self-describing text file (one token pair per
-// line) so an operator can inspect a checkpoint directory with `cat`:
+// The manifest is a small self-describing text file (one record per line)
+// so an operator can inspect a checkpoint directory with `cat`:
 //
-//   KRONCK-MANIFEST 1
+//   KRONCK-MANIFEST 2
 //   config_hash 1234567890
 //   ranks 4
+//   encoding 1
 //   completed_epochs 7
 //   checkpoint_every 8
-//   shard 0 9876543210
+//   shard 0 ARCS BYTES CHECKSUM
 //   ...
+//
+// Version 2 added the `encoding` line (the shard files' on-disk encoding
+// version) and per-shard arc counts and byte sizes, so a directory mixing
+// shards from different builds — or shards truncated/grown behind the
+// manifest's back — is rejected before any arc is trusted.  Version-1
+// manifests are rejected outright with a pointer at the fix (they cannot
+// be size-verified).
 //
 // Both the manifest and the shards are published atomically (temp file +
 // rename), so a crash at any instant leaves either the previous complete
@@ -43,13 +51,20 @@ struct GeneratorConfig;
 [[nodiscard]] std::uint64_t generator_config_hash(const EdgeList& a, const EdgeList& b,
                                                   const GeneratorConfig& config);
 
+/// On-disk encoding version of the checkpoint shard snapshots this build
+/// reads and writes; recorded in every manifest and compared on resume.
+inline constexpr std::uint64_t kCheckpointEncoding = 1;
+
 /// One checkpoint directory's manifest.
 struct CheckpointManifest {
   std::uint64_t config_hash = 0;
   std::uint64_t ranks = 0;
+  std::uint64_t encoding = kCheckpointEncoding;  ///< shard snapshot encoding version
   std::uint64_t completed_epochs = 0;  ///< epochs every shard has stored
   std::uint64_t checkpoint_every = 0;  ///< production chunks per epoch
-  std::vector<std::uint64_t> shard_checksums;  ///< arc_set_checksum per rank
+  std::vector<std::uint64_t> shard_checksums;   ///< arc_set_checksum per rank
+  std::vector<std::uint64_t> shard_arc_counts;  ///< stored arcs per rank
+  std::vector<std::uint64_t> shard_bytes;       ///< shard file size per rank
 };
 
 /// Canonical file layout inside a checkpoint directory.

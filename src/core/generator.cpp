@@ -4,11 +4,14 @@
 #include <cstring>
 #include <filesystem>
 #include <limits>
+#include <optional>
 #include <span>
 #include <stdexcept>
 
 #include "core/checkpoint.hpp"
 #include "graph/io.hpp"
+#include "graph/shard_codec.hpp"
+#include "graph/sort.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/faults.hpp"
 #include "runtime/partition.hpp"
@@ -138,6 +141,95 @@ class RankProduction {
   std::uint64_t total_arcs_ = 0;
 };
 
+/// Out-of-core arc sink for one rank (SinkMode::kShards): arcs accumulate
+/// in a fixed window; a full window is sorted, deduplicated (within the
+/// window only — the external merge owns global dedupe) and published as
+/// one compressed `.kshard` file.  Peak memory is the window, never the
+/// rank's whole stored set.
+class ShardSink {
+ public:
+  ShardSink(std::filesystem::path dir, vertex_t num_vertices, std::uint64_t rank,
+            std::uint64_t arcs_per_shard, ShardIoStats* stats)
+      : dir_(std::move(dir)),
+        num_vertices_(num_vertices),
+        rank_(rank),
+        arcs_per_shard_(std::max<std::uint64_t>(arcs_per_shard, 1)),
+        stats_(stats) {}
+
+  void append(std::span<const Edge> arcs) {
+    while (!arcs.empty()) {
+      const std::uint64_t room = arcs_per_shard_ - window_.size();
+      const std::size_t take = std::min<std::size_t>(arcs.size(), room);
+      window_.insert(window_.end(), arcs.begin(),
+                     arcs.begin() + static_cast<std::ptrdiff_t>(take));
+      arcs = arcs.subspan(take);
+      if (window_.size() >= arcs_per_shard_) spill();
+    }
+  }
+
+  /// Publish the final partial window (idempotent).
+  void finish() {
+    if (!window_.empty()) spill();
+    window_.shrink_to_fit();
+  }
+
+ private:
+  void spill() {
+    TRACE_SPAN("generate.shard_spill");
+    sort_dedupe_edges(window_);
+    const std::filesystem::path path =
+        dir_ / ("rank" + std::to_string(rank_) + "-" + std::to_string(seq_++) + ".kshard");
+    ArcShardWriter writer(path, num_vertices_, 0, stats_);
+    writer.append(window_);
+    (void)writer.finish();
+    window_.clear();
+  }
+
+  std::filesystem::path dir_;
+  vertex_t num_vertices_;
+  std::uint64_t rank_;
+  std::uint64_t arcs_per_shard_;
+  ShardIoStats* stats_;
+  std::vector<Edge> window_;
+  std::uint64_t seq_ = 0;
+};
+
+/// ShardIoStats across the rank-result byte blob (same fixed-width framing
+/// as append_comm_stats; see runtime/comm_stats.hpp).
+void append_shard_io_stats(std::vector<std::byte>& out, const ShardIoStats& io) {
+  detail::append_stats_u64(out, io.shards_written);
+  detail::append_stats_u64(out, io.arcs_written);
+  detail::append_stats_u64(out, io.bytes_written);
+  detail::append_stats_u64(out, io.shards_opened);
+  detail::append_stats_u64(out, io.arcs_read);
+  detail::append_stats_u64(out, io.bytes_read);
+  const auto bits = [](double value) {
+    std::uint64_t b = 0;
+    std::memcpy(&b, &value, sizeof(b));
+    return b;
+  };
+  detail::append_stats_u64(out, bits(io.write_seconds));
+  detail::append_stats_u64(out, bits(io.read_seconds));
+}
+
+ShardIoStats read_shard_io_stats(const std::byte*& cursor, const std::byte* end) {
+  ShardIoStats io;
+  io.shards_written = detail::read_stats_u64(cursor, end);
+  io.arcs_written = detail::read_stats_u64(cursor, end);
+  io.bytes_written = detail::read_stats_u64(cursor, end);
+  io.shards_opened = detail::read_stats_u64(cursor, end);
+  io.arcs_read = detail::read_stats_u64(cursor, end);
+  io.bytes_read = detail::read_stats_u64(cursor, end);
+  const auto unbits = [](std::uint64_t b) {
+    double value = 0;
+    std::memcpy(&value, &b, sizeof(value));
+    return value;
+  };
+  io.write_seconds = unbits(detail::read_stats_u64(cursor, end));
+  io.read_seconds = unbits(detail::read_stats_u64(cursor, end));
+  return io;
+}
+
 /// Storage owners for a whole chunk at once: the owner-map branch is taken
 /// once per chunk, and the hash runs in a tight loop over the batch.
 void owners_of_chunk(std::span<const Edge> arcs, const GeneratorConfig& config,
@@ -172,9 +264,9 @@ std::uint64_t expected_stored_arcs(const EdgeList& a, const EdgeList& b, std::ui
 /// mailbox preserves a sender's ordering (the reliable layer additionally
 /// re-sequences faulted deliveries), receiving R kTagDone messages
 /// guarantees all of the epoch's data has arrived.
-template <typename Produce>
+template <typename Produce, typename Store>
 void async_exchange_epoch(Comm& comm, const GeneratorConfig& config, std::uint64_t ranks,
-                          const Produce& produce, std::vector<Edge>& stored) {
+                          const Produce& produce, const Store& store) {
   TRACE_SPAN("exchange.async");
   std::vector<std::vector<Edge>> buffers(ranks);
   for (auto& buffer : buffers) buffer.reserve(config.async_chunk);
@@ -192,7 +284,7 @@ void async_exchange_epoch(Comm& comm, const GeneratorConfig& config, std::uint64
         ++done_seen;
       } else {
         const auto arcs = Comm::decode<Edge>(*message);
-        stored.insert(stored.end(), arcs.begin(), arcs.end());
+        store(std::span<const Edge>(arcs));
       }
       if (block) return;  // blocking mode consumes exactly one message
     }
@@ -204,7 +296,7 @@ void async_exchange_epoch(Comm& comm, const GeneratorConfig& config, std::uint64
     TRACE_SPAN("exchange.flush");
     TRACE_COUNTER_ADD("exchange.chunks_flushed", 1);
     if (dest == static_cast<std::uint64_t>(comm.rank())) {
-      stored.insert(stored.end(), buffer.begin(), buffer.end());
+      store(std::span<const Edge>(buffer));
     } else {
       comm.send_values<Edge>(static_cast<int>(dest), kTagEdges, buffer);
     }
@@ -259,6 +351,18 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
     throw std::invalid_argument(
         "generate_distributed: checkpoint_every must be positive when a checkpoint "
         "directory is set");
+  const bool sharding = config.sink == SinkMode::kShards;
+  if (sharding && config.shard_dir.empty())
+    throw std::invalid_argument(
+        "generate_distributed: SinkMode::kShards requires shard_dir to be set");
+  if (sharding && config.shard_mb == 0)
+    throw std::invalid_argument("generate_distributed: shard_mb must be positive");
+  if (sharding && checkpointing)
+    throw std::invalid_argument(
+        "generate_distributed: the shard sink and checkpointing are mutually exclusive — "
+        "checkpoint/resume snapshots each rank's in-memory stored arcs, which the shard "
+        "sink exists to avoid; the sink's own crash story is re-running the generation "
+        "into a fresh shard directory");
 
   EdgeList a = a_in;
   EdgeList b = b_in;
@@ -288,6 +392,17 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
   result.generated_per_rank.assign(ranks, 0);
   result.rank_seconds.assign(ranks, 0.0);
   result.comm_per_rank.assign(ranks, CommStats{});
+  result.shard_io_per_rank.assign(ranks, ShardIoStats{});
+
+  std::uint64_t arcs_per_shard = 0;
+  if (sharding) {
+    // The sink packs arcs into 64-bit keys; products beyond 2^32 vertices
+    // don't fit and are rejected here, before any rank launches.
+    (void)shard::KeyPacker::for_vertices(result.num_vertices);
+    arcs_per_shard =
+        std::max<std::uint64_t>(1, (config.shard_mb << 20) / sizeof(Edge));
+    std::filesystem::create_directories(config.shard_dir);
+  }
 
   const Grid2D grid(ranks);
   const std::uint64_t expected_stored = expected_stored_arcs(a, b, ranks);
@@ -330,6 +445,20 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
 
     std::uint64_t generated = 0;
     std::vector<Edge> stored = std::move(resume_state.shard_arcs[r]);
+
+    // Arc sink: in-memory vector (default) or the out-of-core shard
+    // spiller.  Every storage path below lands arcs through `store`.
+    ShardIoStats shard_io;
+    std::optional<ShardSink> sink;
+    if (sharding)
+      sink.emplace(config.shard_dir, result.num_vertices, r, arcs_per_shard, &shard_io);
+    const auto store = [&](std::span<const Edge> arcs) {
+      if (sink) {
+        sink->append(arcs);
+      } else {
+        stored.insert(stored.end(), arcs.begin(), arcs.end());
+      }
+    };
 
     const RankProduction production(a, b, n_b, grid, config, ranks, r, config.async_chunk);
     const std::uint64_t my_chunks = production.num_chunks();
@@ -379,9 +508,14 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
       const std::uint64_t produced = std::min(my_chunks, (epoch + 1) * epoch_len);
       write_shard_snapshot(shard_path(config.checkpoint_dir, comm.rank()), config_hash, r,
                            epoch + 1, produced, stored);
-      const std::uint64_t checksum = arc_set_checksum(stored);
-      const auto checksums =
-          comm.allgather_values<std::uint64_t>(std::span<const std::uint64_t>(&checksum, 1));
+      // Manifest record per shard: checksum, arc count, and on-disk byte
+      // size — resume verifies all three against the files it finds.
+      const std::uint64_t record[3] = {
+          arc_set_checksum(stored), stored.size(),
+          static_cast<std::uint64_t>(
+              std::filesystem::file_size(shard_path(config.checkpoint_dir, comm.rank())))};
+      const auto records =
+          comm.allgather_values<std::uint64_t>(std::span<const std::uint64_t>(record, 3));
       if (r == 0) {
         CheckpointManifest manifest;
         manifest.config_hash = config_hash;
@@ -389,7 +523,11 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
         manifest.completed_epochs = epoch + 1;
         manifest.checkpoint_every = config.checkpoint_every;
         manifest.shard_checksums.reserve(ranks);
-        for (const auto& one : checksums) manifest.shard_checksums.push_back(one.at(0));
+        for (const auto& one : records) {
+          manifest.shard_checksums.push_back(one.at(0));
+          manifest.shard_arc_counts.push_back(one.at(1));
+          manifest.shard_bytes.push_back(one.at(2));
+        }
         write_manifest(config.checkpoint_dir, manifest);
       }
       // No rank runs ahead into the next epoch before the manifest is
@@ -410,12 +548,12 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
     };
 
     if (config.shuffle_to_owner && ranks > 1 && config.exchange == ExchangeMode::kAsync) {
-      stored.reserve(std::max<std::uint64_t>(expected_stored, stored.size()));
+      if (!sink) stored.reserve(std::max<std::uint64_t>(expected_stored, stored.size()));
       for (std::uint64_t epoch = start_epoch; epoch < num_epochs; ++epoch) {
         const auto [first, last] = epoch_chunks(epoch);
         async_exchange_epoch(
             comm, config, ranks,
-            [&](const auto& emit) { produce_range(first, last, emit); }, stored);
+            [&](const auto& emit) { produce_range(first, last, emit); }, store);
         checkpoint_epoch(epoch);
       }
     } else if (config.shuffle_to_owner && ranks > 1) {
@@ -432,18 +570,20 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
           for (std::size_t i = 0; i < arcs.size(); ++i) outbox[owners[i]].push_back(arcs[i]);
         });
         auto inbox = comm.alltoallv(std::move(outbox));
-        std::size_t incoming = 0;
-        for (const auto& from_rank : inbox) incoming += from_rank.size();
-        stored.reserve(stored.size() + incoming);
+        if (!sink) {
+          std::size_t incoming = 0;
+          for (const auto& from_rank : inbox) incoming += from_rank.size();
+          stored.reserve(stored.size() + incoming);
+        }
         for (auto& from_rank : inbox) {
-          stored.insert(stored.end(), from_rank.begin(), from_rank.end());
+          store(std::span<const Edge>(from_rank));
           from_rank.clear();
         }
         checkpoint_epoch(epoch);
       }
-    } else if (!checkpointing && fault_plan == nullptr) {
-      // No shuffle, no faults, no checkpoints: keep what we generate, via
-      // the fastest blocked cell kernel (no chunk staging).
+    } else if (!checkpointing && fault_plan == nullptr && !sharding) {
+      // No shuffle, no faults, no checkpoints, no spill: keep what we
+      // generate, via the fastest blocked cell kernel (no chunk staging).
       TRACE_SPAN("generate.local");
       std::vector<Edge> produced;
       if (config.scheme == PartitionScheme::k1D) {
@@ -462,19 +602,19 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
       TRACE_COUNTER_ADD("generate.arcs", produced.size());
       stored = std::move(produced);
     } else {
-      // No shuffle but faults or checkpoints are active: chunked local
-      // production so crash events and epoch snapshots see the same chunk
-      // boundaries as the shuffled modes.
+      // No shuffle, but faults, checkpoints or the shard sink are active:
+      // chunked local production so crash events and epoch snapshots see
+      // the same chunk boundaries as the shuffled modes (and so the sink
+      // sees bounded chunks instead of the whole product at once).
       TRACE_SPAN("generate.local");
-      stored.reserve(std::max<std::uint64_t>(production.total_arcs(), stored.size()));
+      if (!sink) stored.reserve(std::max<std::uint64_t>(production.total_arcs(), stored.size()));
       for (std::uint64_t epoch = start_epoch; epoch < num_epochs; ++epoch) {
         const auto [first, last] = epoch_chunks(epoch);
-        produce_range(first, last, [&](std::span<const Edge> arcs) {
-          stored.insert(stored.end(), arcs.begin(), arcs.end());
-        });
+        produce_range(first, last, store);
         checkpoint_epoch(epoch);
       }
     }
+    if (sink) sink->finish();
     const CommStats stats = comm.stats();
     std::vector<std::byte> blob;
     blob.reserve(4 * sizeof(std::uint64_t) + stored.size() * sizeof(Edge) + 512);
@@ -482,6 +622,7 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
     const std::size_t seconds_offset = blob.size();
     detail::append_stats_u64(blob, 0);  // rank_seconds, patched below
     append_comm_stats(blob, stats);
+    append_shard_io_stats(blob, shard_io);
     detail::append_stats_u64(blob, stored.size());
     const auto* raw = reinterpret_cast<const std::byte*>(stored.data());
     blob.insert(blob.end(), raw, raw + stored.size() * sizeof(Edge));
@@ -503,6 +644,7 @@ GeneratorResult generate_distributed(const EdgeList& a_in, const EdgeList& b_in,
     const std::uint64_t seconds_bits = detail::read_stats_u64(cursor, end);
     std::memcpy(&result.rank_seconds[r], &seconds_bits, sizeof(seconds_bits));
     result.comm_per_rank[r] = read_comm_stats(cursor, end);
+    result.shard_io_per_rank[r] = read_shard_io_stats(cursor, end);
     const std::uint64_t n_arcs = detail::read_stats_u64(cursor, end);
     const auto available = static_cast<std::uint64_t>(end - cursor);
     if (available % sizeof(Edge) != 0 || available / sizeof(Edge) != n_arcs)

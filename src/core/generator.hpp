@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "graph/edge_list.hpp"
+#include "graph/io.hpp"
 #include "runtime/comm_stats.hpp"
 #include "runtime/transport.hpp"
 
@@ -42,6 +43,15 @@ enum class PartitionScheme {
 enum class OwnerMap {
   kHash,    ///< hash(u,v) % R — uniform by construction (the paper's scheme)
   kModulo,  ///< u % R — simple but skewed by hub rows (ablation comparator)
+};
+
+/// Where each rank's stored arcs end up.
+enum class SinkMode {
+  kMemory,  ///< keep arcs in RAM, returned via GeneratorResult::stored_per_rank
+  kShards,  ///< spill sorted compressed shards to disk (graph/io.hpp) — the
+            ///< out-of-core path: per-rank memory stays at one shard window,
+            ///< and `merge_shards` (graph/external_merge.hpp) canonicalises
+            ///< the shard directory into the product edge list
 };
 
 /// How generated edges travel to their owners.
@@ -77,6 +87,23 @@ struct GeneratorConfig {
   /// Add full self loops to both factors before the product, producing
   /// (A + I_A) ⊗ (B + I_B).
   bool add_full_loops = false;
+
+  // --- out-of-core shard sink (DESIGN.md §15) -----------------------------
+
+  /// Arc sink.  With SinkMode::kShards each rank spills its stored arcs as
+  /// sorted delta-varint shards into `shard_dir` (files
+  /// `rank<r>-<seq>.kshard`), holding at most one `shard_mb` window in
+  /// memory; `stored_per_rank` comes back empty and the canonical edge
+  /// list is produced by `merge_shards` over the directory.  Requires the
+  /// product to fit 64-bit packed keys (n_C <= 2^32) and is mutually
+  /// exclusive with checkpointing, whose resume protocol snapshots the
+  /// in-memory stored arcs the sink exists to avoid.
+  SinkMode sink = SinkMode::kMemory;
+  /// Shard output directory (created if absent; required for kShards).
+  std::filesystem::path shard_dir;
+  /// In-memory spill window per rank, in MiB of raw arcs; each window
+  /// becomes one sorted shard.
+  std::uint64_t shard_mb = 64;
 
   // --- fault injection & recovery (DESIGN.md §12) -------------------------
 
@@ -115,10 +142,13 @@ struct GeneratorResult {
   std::vector<std::uint64_t> generated_per_rank;   ///< arcs produced by each rank
   std::vector<double> rank_seconds;                ///< per-rank generation wall time
   std::vector<CommStats> comm_per_rank;            ///< per-rank communication telemetry
+  std::vector<ShardIoStats> shard_io_per_rank;     ///< shard sink I/O (zero for kMemory)
 
   [[nodiscard]] std::uint64_t total_arcs() const;
 
-  /// Concatenate all per-rank arcs into one canonical edge list (the graph C).
+  /// Concatenate all per-rank arcs into one canonical edge list (the graph
+  /// C).  Under SinkMode::kShards the arcs live on disk and this returns an
+  /// empty list — run `merge_shards` on the shard directory instead.
   [[nodiscard]] EdgeList gather() const;
 };
 

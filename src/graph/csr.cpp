@@ -52,17 +52,17 @@ Csr::Csr(const EdgeList& edges) : n_(edges.num_vertices()), offsets_(n_ + 1, 0) 
   targets_.shrink_to_fit();
 }
 
-std::uint64_t Csr::num_undirected_edges() const {
+std::uint64_t CsrView::num_undirected_edges() const {
   const std::uint64_t loops = num_loops();
   return (num_arcs() - loops) / 2 + loops;
 }
 
-bool Csr::has_edge(vertex_t u, vertex_t v) const {
+bool CsrView::has_edge(vertex_t u, vertex_t v) const {
   const auto row = neighbors(u);
   return std::binary_search(row.begin(), row.end(), v);
 }
 
-std::uint64_t Csr::arc_index(vertex_t u, vertex_t v) const {
+std::uint64_t CsrView::arc_index(vertex_t u, vertex_t v) const {
   const auto row = neighbors(u);
   const auto it = std::lower_bound(row.begin(), row.end(), v);
   if (it == row.end() || *it != v)
@@ -70,25 +70,25 @@ std::uint64_t Csr::arc_index(vertex_t u, vertex_t v) const {
   return offsets_[u] + static_cast<std::uint64_t>(it - row.begin());
 }
 
-std::uint64_t Csr::num_loops() const {
+std::uint64_t CsrView::num_loops() const {
   std::uint64_t loops = 0;
   for (vertex_t v = 0; v < n_; ++v) loops += has_loop(v) ? 1u : 0u;
   return loops;
 }
 
-std::vector<std::uint64_t> Csr::degrees() const {
+std::vector<std::uint64_t> CsrView::degrees() const {
   std::vector<std::uint64_t> d(n_);
   for (vertex_t v = 0; v < n_; ++v) d[v] = degree(v);
   return d;
 }
 
-std::vector<std::uint64_t> Csr::degrees_no_loops() const {
+std::vector<std::uint64_t> CsrView::degrees_no_loops() const {
   std::vector<std::uint64_t> d(n_);
   for (vertex_t v = 0; v < n_; ++v) d[v] = degree_no_loop(v);
   return d;
 }
 
-bool Csr::is_symmetric() const {
+bool CsrView::is_symmetric() const {
   for (vertex_t u = 0; u < n_; ++u) {
     const auto row = neighbors(u);
     for (std::size_t i = 0; i < row.size(); ++i) {
@@ -106,7 +106,7 @@ bool Csr::is_symmetric() const {
   return true;
 }
 
-EdgeList Csr::to_edge_list() const {
+EdgeList CsrView::to_edge_list() const {
   std::vector<Edge> edges;
   edges.reserve(num_arcs());
   for (vertex_t u = 0; u < n_; ++u)

@@ -1,8 +1,16 @@
 // Compressed sparse row (CSR) graph for traversal and analytics.
 //
-// Immutable once built.  Neighbor lists are sorted, which gives
-// O(log d) membership queries (`has_edge`) and allows the triangle counter
-// to use ordered intersection.
+// Two types share one read API:
+//
+//  * `Csr` — owning, immutable once built from an EdgeList.  Neighbor
+//    lists are sorted, which gives O(log d) membership queries
+//    (`has_edge`) and allows the triangle counter to use ordered
+//    intersection.
+//  * `CsrView` — non-owning view over any (offsets, targets) pair with the
+//    same invariants: a `Csr`'s arrays, or a memory-mapped CSR file
+//    (graph/csr_mmap.hpp).  Analytics take `const CsrView&`; the implicit
+//    conversion from `const Csr&` keeps every existing call site working
+//    unchanged while the same kernels run over out-of-core graphs.
 #pragma once
 
 #include <cstdint>
@@ -14,23 +22,34 @@
 
 namespace kron {
 
-class Csr {
- public:
-  Csr() = default;
+class Csr;
 
-  /// Build from an edge list.  The list is copied, sorted and deduplicated;
-  /// the input need not be canonical.
-  explicit Csr(const EdgeList& edges);
+/// Non-owning CSR read surface.  The referenced arrays must outlive the
+/// view (they belong to a Csr or an open CsrMmap).
+class CsrView {
+ public:
+  CsrView() = default;
+
+  /// Implicit: every analytics entry point taking `const CsrView&` keeps
+  /// accepting a `Csr` directly.
+  CsrView(const Csr& graph);  // NOLINT(google-explicit-constructor)
+
+  /// Raw-array view: `offsets` has n+1 entries, `targets` holds the sorted
+  /// rows back to back (the mmap loader's layout).
+  CsrView(vertex_t num_vertices, std::span<const std::uint64_t> offsets,
+          std::span<const vertex_t> targets) noexcept
+      : n_(num_vertices), offsets_(offsets.data()), targets_(targets.data()),
+        arcs_(targets.size()) {}
 
   [[nodiscard]] vertex_t num_vertices() const noexcept { return n_; }
-  [[nodiscard]] std::size_t num_arcs() const noexcept { return targets_.size(); }
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return arcs_; }
 
   /// Number of undirected edges (requires a symmetric graph).
   [[nodiscard]] std::uint64_t num_undirected_edges() const;
 
   /// Sorted neighbor list of v (self loop included if present).
   [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const {
-    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+    return {targets_ + offsets_[v], targets_ + offsets_[v + 1]};
   }
 
   /// Out-degree counting a self loop once if present.
@@ -70,8 +89,74 @@ class Csr {
   /// True if the adjacency matrix is symmetric.
   [[nodiscard]] bool is_symmetric() const;
 
-  /// Convert back to a canonical edge list.
+  /// Convert to a canonical edge list (materialises all arcs).
   [[nodiscard]] EdgeList to_edge_list() const;
+
+  [[nodiscard]] std::span<const std::uint64_t> raw_offsets() const noexcept {
+    return {offsets_, offsets_ == nullptr ? 0 : static_cast<std::size_t>(n_) + 1};
+  }
+  [[nodiscard]] std::span<const vertex_t> raw_targets() const noexcept {
+    return {targets_, arcs_};
+  }
+
+ private:
+  vertex_t n_ = 0;
+  const std::uint64_t* offsets_ = nullptr;  // n_+1 entries
+  const vertex_t* targets_ = nullptr;       // arcs_ entries, sorted per row
+  std::size_t arcs_ = 0;
+};
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from an edge list.  The list is copied, sorted and deduplicated;
+  /// the input need not be canonical.
+  explicit Csr(const EdgeList& edges);
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return targets_.size(); }
+
+  [[nodiscard]] std::uint64_t num_undirected_edges() const { return view().num_undirected_edges(); }
+
+  [[nodiscard]] std::span<const vertex_t> neighbors(vertex_t v) const {
+    return {targets_.data() + offsets_[v], targets_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::uint64_t degree(vertex_t v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] std::uint64_t degree_no_loop(vertex_t v) const {
+    return degree(v) - (has_loop(v) ? 1 : 0);
+  }
+
+  [[nodiscard]] bool has_edge(vertex_t u, vertex_t v) const { return view().has_edge(u, v); }
+
+  [[nodiscard]] std::uint64_t arc_index(vertex_t u, vertex_t v) const {
+    return view().arc_index(u, v);
+  }
+
+  [[nodiscard]] std::uint64_t row_offset(vertex_t v) const { return offsets_[v]; }
+
+  [[nodiscard]] bool has_loop(vertex_t v) const { return has_edge(v, v); }
+
+  [[nodiscard]] std::uint64_t num_loops() const { return view().num_loops(); }
+
+  [[nodiscard]] std::vector<std::uint64_t> degrees() const { return view().degrees(); }
+
+  [[nodiscard]] std::vector<std::uint64_t> degrees_no_loops() const {
+    return view().degrees_no_loops();
+  }
+
+  [[nodiscard]] bool is_symmetric() const { return view().is_symmetric(); }
+
+  [[nodiscard]] EdgeList to_edge_list() const { return view().to_edge_list(); }
+
+  /// This graph as a non-owning view (valid while the Csr lives).
+  [[nodiscard]] CsrView view() const noexcept {
+    return CsrView(n_, offsets_, targets_);
+  }
 
   friend bool operator==(const Csr&, const Csr&) = default;
 
@@ -80,5 +165,7 @@ class Csr {
   std::vector<std::uint64_t> offsets_;  // size n_+1
   std::vector<vertex_t> targets_;       // size num_arcs, sorted per row
 };
+
+inline CsrView::CsrView(const Csr& graph) : CsrView(graph.view()) {}
 
 }  // namespace kron

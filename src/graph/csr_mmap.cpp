@@ -1,0 +1,246 @@
+#include "graph/csr_mmap.hpp"
+
+#include <sys/mman.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "graph/shard_codec.hpp"
+#include "util/overflow.hpp"
+#include "util/posix_io.hpp"
+#include "util/simd.hpp"
+#include "util/trace.hpp"
+
+namespace kron {
+
+namespace {
+
+constexpr char kCsrMagic[8] = {'K', 'R', 'O', 'N', 'C', 'S', '1', '\0'};
+constexpr std::uint64_t kCsrVersion = 1;
+
+struct CsrFileHeader {
+  char magic[8];
+  std::uint64_t version;
+  std::uint64_t num_vertices;
+  std::uint64_t num_arcs;
+  std::uint64_t key_shift;          ///< provenance: the packing the arcs used
+  std::uint64_t offsets_checksum;   ///< FNV over the offsets array bytes
+  std::uint64_t targets_checksum;   ///< FNV over the targets array bytes
+  std::uint64_t reserved;
+};
+static_assert(sizeof(CsrFileHeader) == 64);
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
+}
+
+constexpr std::size_t kKeyBatch = 8192;  ///< keys pulled per cursor call
+
+}  // namespace
+
+CsrBuildStats build_csr_file(const std::filesystem::path& merged_dir,
+                             const std::filesystem::path& out_path) {
+  TRACE_SPAN("ooc.csr_build");
+  CsrBuildStats stats;
+  const MergedManifest manifest = read_merged_manifest(merged_dir);
+  if (manifest.num_vertices == 0 && manifest.total_arcs != 0)
+    throw std::runtime_error("build_csr_file: merged shards record no vertex count");
+  const vertex_t n = manifest.num_vertices;
+  const shard::KeyPacker packer = shard::KeyPacker::for_shift(manifest.key_shift);
+  stats.num_vertices = n;
+  stats.num_arcs = manifest.total_arcs;
+
+  // Pass 1 — degree count.  The only non-streaming state of the whole
+  // build: 8(n+1) bytes of counts, which become the offsets array.
+  auto t0 = SteadyClock::now();
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::uint64_t> batch(kKeyBatch);
+  std::uint64_t seen = 0;
+  for (const MergedPart& part : manifest.parts) {
+    ArcShardCursor cursor(part.path, 0, &stats.io);
+    std::size_t got = 0;
+    while ((got = cursor.next_batch(batch.data(), batch.size())) != 0) {
+      for (std::size_t i = 0; i < got; ++i) {
+        // The count slot walk is monotone but strided by whole skipped
+        // rows; fetching a few keys ahead hides the page-boundary stalls
+        // of the 8(n+1)-byte count array (util/simd.hpp hooks).
+        if (i + 8 < got) simd::prefetch_write(&offsets[(batch[i + 8] >> packer.shift) + 1]);
+        const Edge e = packer.unpack(batch[i]);
+        if (e.u >= n || e.v >= n)
+          throw std::runtime_error("build_csr_file: arc (" + std::to_string(e.u) + ", " +
+                                   std::to_string(e.v) + ") outside the declared " +
+                                   std::to_string(n) + " vertices (corrupt merge)");
+        ++offsets[e.u + 1];
+      }
+      seen += got;
+    }
+  }
+  if (seen != manifest.total_arcs)
+    throw std::runtime_error("build_csr_file: merged parts yielded " + std::to_string(seen) +
+                             " arcs, manifest declares " +
+                             std::to_string(manifest.total_arcs));
+  for (vertex_t v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  stats.count_seconds = seconds_since(t0);
+
+  // Pass 2 — scatter.  The merged key stream is globally sorted, so the
+  // targets land append-only: buffered sequential writes, never a dirty
+  // mapped page (mmap-writing an 8m-byte array would hold it all in RSS).
+  t0 = SteadyClock::now();
+  const std::filesystem::path temp = out_path.string() + ".tmp";
+  const int fd = posix_io::open_write(temp, "build_csr_file");
+  std::uint64_t targets_checksum = shard::kFnvOffset;
+  try {
+    CsrFileHeader header{};
+    std::memcpy(header.magic, kCsrMagic, sizeof(kCsrMagic));
+    header.version = kCsrVersion;
+    header.num_vertices = n;
+    header.num_arcs = manifest.total_arcs;
+    header.key_shift = manifest.key_shift;
+    header.offsets_checksum =
+        shard::bytes_checksum(offsets.data(), offsets.size() * sizeof(std::uint64_t));
+    posix_io::write_full(fd, &header, sizeof(header), "build_csr_file");
+    posix_io::write_full(fd, offsets.data(), offsets.size() * sizeof(std::uint64_t),
+                         "build_csr_file");
+
+    std::vector<std::uint64_t> out_buffer;
+    out_buffer.reserve(std::size_t{1} << 17);  // 1 MiB of targets per flush
+    const auto flush = [&] {
+      if (out_buffer.empty()) return;
+      targets_checksum = shard::bytes_checksum(
+          out_buffer.data(), out_buffer.size() * sizeof(std::uint64_t), targets_checksum);
+      posix_io::write_full(fd, out_buffer.data(), out_buffer.size() * sizeof(std::uint64_t),
+                           "build_csr_file");
+      out_buffer.clear();
+    };
+    for (const MergedPart& part : manifest.parts) {
+      ArcShardCursor cursor(part.path, 0, &stats.io);
+      std::size_t got = 0;
+      while ((got = cursor.next_batch(batch.data(), batch.size())) != 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+          out_buffer.push_back(batch[i] & packer.mask);
+          if (out_buffer.size() == out_buffer.capacity()) flush();
+        }
+      }
+    }
+    flush();
+    header.targets_checksum = targets_checksum;
+    posix_io::pwrite_full(fd, &header, sizeof(header), 0, "build_csr_file");
+    posix_io::fsync_fd(fd, "build_csr_file");
+  } catch (...) {
+    posix_io::close_fd(fd);
+    std::error_code ignored;
+    std::filesystem::remove(temp, ignored);
+    throw;
+  }
+  posix_io::close_fd(fd);
+  std::error_code rename_error;
+  std::filesystem::rename(temp, out_path, rename_error);
+  if (rename_error)
+    throw std::runtime_error("build_csr_file: cannot publish " + out_path.string() + ": " +
+                             rename_error.message());
+  posix_io::fsync_path(out_path.has_parent_path() ? out_path.parent_path() : ".",
+                       "build_csr_file");
+  stats.scatter_seconds = seconds_since(t0);
+  stats.bytes_written = sizeof(CsrFileHeader) +
+                        (static_cast<std::uint64_t>(n) + 1 + manifest.total_arcs) *
+                            sizeof(std::uint64_t);
+  return stats;
+}
+
+CsrMmap::CsrMmap(const std::filesystem::path& path) {
+  TRACE_SPAN("ooc.csr_map");
+  std::error_code size_error;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, size_error);
+  if (size_error)
+    throw std::runtime_error("CsrMmap: cannot stat " + path.string() + ": " +
+                             size_error.message());
+  fd_ = posix_io::open_read(path, "CsrMmap");
+  try {
+    if (file_size < sizeof(CsrFileHeader))
+      throw std::runtime_error("CsrMmap: " + path.string() + " is smaller than the header");
+    CsrFileHeader header{};
+    posix_io::pread_full(fd_, &header, sizeof(header), 0, "CsrMmap");
+    if (std::memcmp(header.magic, kCsrMagic, sizeof(kCsrMagic)) != 0)
+      throw std::runtime_error("CsrMmap: bad magic in " + path.string() +
+                               " (not a .kcsr file)");
+    if (header.version != kCsrVersion)
+      throw std::runtime_error("CsrMmap: " + path.string() + " is version " +
+                               std::to_string(header.version) + ", this build reads " +
+                               std::to_string(kCsrVersion));
+    // Untrusted counts: the implied layout must match the real file size
+    // before either count sizes the mapping views.
+    std::uint64_t offsets_bytes = 0;
+    std::uint64_t targets_bytes = 0;
+    try {
+      offsets_bytes = checked_mul(header.num_vertices + 1, sizeof(std::uint64_t));
+      targets_bytes = checked_mul(header.num_arcs, sizeof(std::uint64_t));
+    } catch (const std::overflow_error&) {
+      throw std::runtime_error("CsrMmap: corrupt header in " + path.string() +
+                               " (counts overflow the layout)");
+    }
+    if (offsets_bytes > file_size || targets_bytes > file_size ||
+        sizeof(CsrFileHeader) + offsets_bytes + targets_bytes != file_size)
+      throw std::runtime_error("CsrMmap: corrupt header in " + path.string() + ": " +
+                               std::to_string(header.num_vertices) + " vertices and " +
+                               std::to_string(header.num_arcs) +
+                               " arcs do not match the " + std::to_string(file_size) +
+                               "-byte file");
+    map_bytes_ = static_cast<std::size_t>(file_size);
+    map_ = ::mmap(nullptr, map_bytes_, PROT_READ, MAP_SHARED, fd_, 0);
+    if (map_ == MAP_FAILED) {
+      map_ = nullptr;
+      throw std::runtime_error("CsrMmap: mmap failed for " + path.string());
+    }
+    const auto* offsets = reinterpret_cast<const std::uint64_t*>(
+        static_cast<const char*>(map_) + sizeof(CsrFileHeader));
+    const auto* targets = offsets + (header.num_vertices + 1);
+    // Verify the offsets array eagerly (it is the index every kernel
+    // trusts, and small); target pages stay lazy and are pinned by the
+    // recorded checksum for tools that want a full verify.
+    if (shard::bytes_checksum(offsets, offsets_bytes) != header.offsets_checksum)
+      throw std::runtime_error("CsrMmap: offsets checksum mismatch in " + path.string() +
+                               " (corrupted file)");
+    if (offsets[0] != 0 || offsets[header.num_vertices] != header.num_arcs)
+      throw std::runtime_error("CsrMmap: offsets endpoints corrupt in " + path.string());
+    view_ = CsrView(header.num_vertices,
+                    {offsets, static_cast<std::size_t>(header.num_vertices) + 1},
+                    {targets, static_cast<std::size_t>(header.num_arcs)});
+  } catch (...) {
+    if (map_ != nullptr) ::munmap(map_, map_bytes_);
+    posix_io::close_fd(fd_);
+    throw;
+  }
+}
+
+CsrMmap::~CsrMmap() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+  if (fd_ >= 0) posix_io::close_fd(fd_);
+}
+
+CsrMmap::CsrMmap(CsrMmap&& other) noexcept
+    : fd_(other.fd_), map_(other.map_), map_bytes_(other.map_bytes_), view_(other.view_) {
+  other.fd_ = -1;
+  other.map_ = nullptr;
+  other.map_bytes_ = 0;
+  other.view_ = CsrView();
+}
+
+void CsrMmap::advise_sequential() const noexcept {
+  if (map_ != nullptr) ::madvise(map_, map_bytes_, MADV_SEQUENTIAL);
+}
+
+void CsrMmap::advise_random() const noexcept {
+  if (map_ != nullptr) ::madvise(map_, map_bytes_, MADV_RANDOM);
+}
+
+void CsrMmap::release_pages() const noexcept {
+  if (map_ != nullptr) ::madvise(map_, map_bytes_, MADV_DONTNEED);
+}
+
+}  // namespace kron

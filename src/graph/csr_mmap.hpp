@@ -1,0 +1,78 @@
+// Memory-mapped CSR: build a `.kcsr` file from a merged shard directory,
+// map it read-only, and hand analytics a CsrView over the mapping — the
+// PR 3 kernels (BFS, ecc/closeness, triangle census) run directly over a
+// graph that never fits in RAM (DESIGN.md §15).
+//
+// File layout (little-endian u64 fields):
+//
+//   CsrFileHeader   64 bytes, magic "KRONCS1\0"
+//   offsets         (n+1) x u64, offsets[0] = 0, offsets[n] = m
+//   targets         m x u64, sorted within each row
+//
+// The build is two streaming passes over the merged parts (degree count,
+// then target scatter) using plain buffered writes — NOT writes through a
+// mapping, which would count every dirty page against RSS and defeat the
+// out-of-core budget.  Loading maps the file PROT_READ and verifies the
+// offsets array against its recorded checksum; target pages fault in
+// lazily as kernels touch them.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "graph/csr.hpp"
+#include "graph/external_merge.hpp"
+
+namespace kron {
+
+struct CsrBuildStats {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_arcs = 0;
+  std::uint64_t bytes_written = 0;     ///< size of the finished .kcsr file
+  double count_seconds = 0.0;          ///< pass 1: degree count
+  double scatter_seconds = 0.0;        ///< pass 2: target scatter + publish
+  ShardIoStats io;                     ///< shard-side read counters
+};
+
+/// Build `out_path` (a `.kcsr` file, published atomically) from the
+/// completed merge in `merged_dir`.  Streams the parts twice; peak memory
+/// is the degree/offsets array (8(n+1) bytes) plus I/O buffers, never the
+/// arc set.  Throws on corrupt inputs or arcs out of the declared vertex
+/// range.
+CsrBuildStats build_csr_file(const std::filesystem::path& merged_dir,
+                             const std::filesystem::path& out_path);
+
+/// A `.kcsr` file mapped read-only.  The view (and every span derived from
+/// it) is valid while this object lives.
+class CsrMmap {
+ public:
+  explicit CsrMmap(const std::filesystem::path& path);
+  ~CsrMmap();
+  CsrMmap(CsrMmap&& other) noexcept;
+  CsrMmap& operator=(CsrMmap&&) = delete;
+  CsrMmap(const CsrMmap&) = delete;
+  CsrMmap& operator=(const CsrMmap&) = delete;
+
+  [[nodiscard]] vertex_t num_vertices() const noexcept { return view_.num_vertices(); }
+  [[nodiscard]] std::uint64_t num_arcs() const noexcept { return view_.num_arcs(); }
+
+  /// The mapped graph as the analytics-facing view type.
+  [[nodiscard]] const CsrView& view() const noexcept { return view_; }
+
+  /// madvise hints for the target region: sweeps (degree scans, full BFS)
+  /// want sequential readahead, point queries want random.
+  void advise_sequential() const noexcept;
+  void advise_random() const noexcept;
+
+  /// Drop the mapping's resident pages (MADV_DONTNEED) — windowed sweeps
+  /// call this between windows to keep peak RSS at the window size.
+  void release_pages() const noexcept;
+
+ private:
+  int fd_ = -1;
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  CsrView view_;
+};
+
+}  // namespace kron

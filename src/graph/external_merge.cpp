@@ -1,0 +1,614 @@
+#include "graph/external_merge.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+#include "graph/shard_codec.hpp"
+#include "util/parallel.hpp"
+#include "util/posix_io.hpp"
+#include "util/trace.hpp"
+
+namespace kron {
+
+namespace {
+
+constexpr const char* kPlanName = "merge.plan";
+constexpr const char* kManifestName = "merged.manifest";
+constexpr const char* kPlanHeader = "KRONMERGE-PLAN 1";
+constexpr const char* kManifestHeader = "KRONMERGE 1";
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
+}
+
+// ------------------------------------------------------------- loser tree
+//
+// Classic tournament tree of losers: internal node t holds the loser of
+// the match between the winners of its two subtrees, node[0] the overall
+// winner, so replacing the winner's key costs one root-to-leaf replay
+// (O(log k)) instead of a full O(k) scan.  Exhausted streams lose to every
+// live one; ties break on stream index, which only matters for determinism
+// of the consumption order (equal keys dedupe to one output either way).
+class LoserTree {
+ public:
+  LoserTree(std::vector<std::uint64_t> keys, std::vector<char> alive)
+      : k_(keys.size()), key_(std::move(keys)), alive_(std::move(alive)), node_(k_, kEmpty) {
+    // Build by inserting each leaf along its path: the first winner to
+    // reach an empty node parks there; the second plays the match.  Every
+    // internal node has exactly two subtree winners, so all k-1 matches
+    // are played exactly once and node_[0] ends as the overall winner.
+    for (std::size_t s = 0; s < k_; ++s) {
+      std::size_t w = s;
+      bool parked = false;
+      for (std::size_t t = (s + k_) / 2; t > 0; t /= 2) {
+        if (node_[t] == kEmpty) {
+          node_[t] = w;
+          parked = true;
+          break;
+        }
+        if (beats(node_[t], w)) std::swap(node_[t], w);
+      }
+      if (!parked) node_[0] = w;
+    }
+  }
+
+  [[nodiscard]] std::size_t winner() const noexcept { return node_[0]; }
+  [[nodiscard]] bool winner_alive() const noexcept { return alive_[node_[0]] != 0; }
+  [[nodiscard]] std::uint64_t winner_key() const noexcept { return key_[node_[0]]; }
+
+  /// Replace the current winner's key and replay its path.
+  void advance(std::uint64_t new_key, bool still_alive) {
+    const std::size_t s = node_[0];
+    key_[s] = new_key;
+    alive_[s] = still_alive ? 1 : 0;
+    std::size_t w = s;
+    for (std::size_t t = (s + k_) / 2; t > 0; t /= 2)
+      if (beats(node_[t], w)) std::swap(node_[t], w);
+    node_[0] = w;
+  }
+
+ private:
+  static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] bool beats(std::size_t a, std::size_t b) const noexcept {
+    if (alive_[a] != alive_[b]) return alive_[a] != 0;
+    if (alive_[a] == 0) return a < b;
+    if (key_[a] != key_[b]) return key_[a] < key_[b];
+    return a < b;
+  }
+
+  std::size_t k_;
+  std::vector<std::uint64_t> key_;
+  std::vector<char> alive_;
+  std::vector<std::size_t> node_;
+};
+
+// ------------------------------------------------------- small text files
+
+void write_text_atomic(const std::filesystem::path& target, const std::string& text,
+                       const std::string& what) {
+  const std::filesystem::path temp = target.string() + ".tmp";
+  {
+    const int fd = posix_io::open_write(temp, what);
+    try {
+      posix_io::write_full(fd, text.data(), text.size(), what);
+      posix_io::fsync_fd(fd, what);
+    } catch (...) {
+      posix_io::close_fd(fd);
+      throw;
+    }
+    posix_io::close_fd(fd);
+  }
+  std::error_code rename_error;
+  std::filesystem::rename(temp, target, rename_error);
+  if (rename_error)
+    throw std::runtime_error(what + ": cannot publish " + target.string() + ": " +
+                             rename_error.message());
+  posix_io::fsync_path(target.parent_path(), what);
+}
+
+[[noreturn]] void bad_file(const std::filesystem::path& path, std::size_t line_no,
+                           const std::string& why) {
+  throw std::runtime_error(path.string() + " line " + std::to_string(line_no) + ": " + why);
+}
+
+std::uint64_t parse_u64(const std::filesystem::path& path, std::size_t line_no,
+                        const std::string& token) {
+  std::uint64_t value = 0;
+  const auto [next, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || next != token.data() + token.size() || token.empty())
+    bad_file(path, line_no, "expected a nonnegative integer, got '" + token + "'");
+  return value;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const std::size_t space = line.find(' ', i);
+    if (space == std::string::npos) {
+      fields.push_back(line.substr(i));
+      break;
+    }
+    fields.push_back(line.substr(i, space - i));
+    i = space + 1;
+  }
+  return fields;
+}
+
+// ------------------------------------------------------------------ plan
+
+/// Identity of a merge's input set: which shards, with which contents.
+/// Leftover part files in an output directory are only trusted when the
+/// recorded plan hashes to the same inputs (resume of the SAME merge).
+std::uint64_t inputs_identity(const std::vector<ArcShardInfo>& infos) {
+  std::uint64_t h = shard::kFnvOffset;
+  const auto mix = [&h](std::uint64_t v) { h = shard::bytes_checksum(&v, sizeof(v), h); };
+  mix(infos.size());
+  for (const ArcShardInfo& info : infos) {
+    const std::string name = info.path.filename().string();
+    h = shard::bytes_checksum(name.data(), name.size(), h);
+    mix(info.num_arcs);
+    mix(info.min_key);
+    mix(info.max_key);
+    mix(info.payload_bytes);
+  }
+  return h;
+}
+
+struct MergePlan {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t key_shift = 0;
+  std::uint64_t inputs_hash = 0;
+  std::vector<std::uint64_t> splitters;  ///< parts = splitters.size() + 1
+};
+
+void write_plan(const std::filesystem::path& dir, const MergePlan& plan) {
+  std::string text;
+  text += std::string(kPlanHeader) + "\n";
+  text += "encoding " + std::to_string(shard::kEncodingVersion) + "\n";
+  text += "vertices " + std::to_string(plan.num_vertices) + "\n";
+  text += "key_shift " + std::to_string(plan.key_shift) + "\n";
+  text += "inputs_hash " + std::to_string(plan.inputs_hash) + "\n";
+  text += "parts " + std::to_string(plan.splitters.size() + 1) + "\n";
+  for (const std::uint64_t s : plan.splitters)
+    text += "splitter " + std::to_string(s) + "\n";
+  write_text_atomic(dir / kPlanName, text, "merge_shards(plan)");
+}
+
+MergePlan read_plan(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("merge_shards: cannot open " + path.string());
+  std::string line;
+  std::getline(in, line);
+  if (line != kPlanHeader) bad_file(path, 1, "bad header '" + line + "'");
+  MergePlan plan;
+  std::uint64_t parts = 0;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_fields(line);
+    if (f.size() != 2) bad_file(path, line_no, "expected 'key value'");
+    if (f[0] == "encoding") {
+      if (parse_u64(path, line_no, f[1]) != shard::kEncodingVersion)
+        bad_file(path, line_no, "plan from an incompatible shard encoding");
+    } else if (f[0] == "vertices") {
+      plan.num_vertices = parse_u64(path, line_no, f[1]);
+    } else if (f[0] == "key_shift") {
+      plan.key_shift = parse_u64(path, line_no, f[1]);
+    } else if (f[0] == "inputs_hash") {
+      plan.inputs_hash = parse_u64(path, line_no, f[1]);
+    } else if (f[0] == "parts") {
+      parts = parse_u64(path, line_no, f[1]);
+    } else if (f[0] == "splitter") {
+      plan.splitters.push_back(parse_u64(path, line_no, f[1]));
+    } else {
+      bad_file(path, line_no, "unknown key '" + f[0] + "'");
+    }
+  }
+  if (parts == 0 || plan.splitters.size() + 1 != parts)
+    bad_file(path, line_no, "truncated plan (parts / splitters mismatch)");
+  return plan;
+}
+
+std::filesystem::path part_path(const std::filesystem::path& dir, std::size_t part) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "merged-%06zu.kshard", part);
+  return dir / name;
+}
+
+/// Splitters for `parts` disjoint key ranges, drawn from the inputs' block
+/// index first-keys — the natural quantile sketch the shard format already
+/// pays for.  Deterministic for a given input set; independent of thread
+/// count (the plan file then pins it across crash/resume runs).
+std::vector<std::uint64_t> choose_splitters(const std::vector<std::filesystem::path>& inputs,
+                                            std::size_t parts, std::size_t buffer_bytes) {
+  std::vector<std::uint64_t> firsts;
+  for (const std::filesystem::path& path : inputs) {
+    ArcShardCursor cursor(path, buffer_bytes);  // header + index reads only
+    for (const ArcShardBlock& b : cursor.blocks()) firsts.push_back(b.first_key);
+  }
+  std::sort(firsts.begin(), firsts.end());
+  std::vector<std::uint64_t> splitters;
+  if (parts <= 1 || firsts.empty()) return splitters;
+  for (std::size_t p = 1; p < parts; ++p) {
+    const std::uint64_t candidate = firsts[firsts.size() * p / parts];
+    if (candidate == 0) continue;  // range [0, 0) would be empty anyway
+    if (splitters.empty() || candidate > splitters.back()) splitters.push_back(candidate);
+  }
+  return splitters;
+}
+
+// ------------------------------------------------------------ part merge
+
+struct PartRange {
+  std::uint64_t lo = 0;       ///< first key of the range
+  std::uint64_t hi = 0;       ///< exclusive upper bound; unused when !bounded
+  bool bounded = false;       ///< last part runs to the end of the key space
+};
+
+struct PartOutcome {
+  ArcShardInfo info;
+  MergeStats stats;
+  bool reused = false;
+};
+
+PartOutcome merge_one_part(const std::vector<std::filesystem::path>& inputs,
+                           const std::filesystem::path& out_path, vertex_t num_vertices,
+                           const PartRange& range, std::size_t buffer_bytes) {
+  TRACE_SPAN("ooc.merge_part");
+  PartOutcome out;
+  MergeStats& st = out.stats;
+  std::vector<ArcShardCursor> cursors;
+  cursors.reserve(inputs.size());
+  std::vector<std::uint64_t> keys(inputs.size(), 0);
+  std::vector<char> alive(inputs.size(), 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    cursors.emplace_back(inputs[i], buffer_bytes, &st.io);
+    cursors.back().seek(range.lo);
+    std::uint64_t first = 0;
+    if (cursors.back().next(first)) {
+      keys[i] = first;
+      alive[i] = 1;
+    }
+  }
+  LoserTree tree(std::move(keys), std::move(alive));
+  ArcShardWriter writer(out_path, num_vertices, buffer_bytes, &st.io);
+  std::uint64_t last = 0;
+  bool have_last = false;
+  while (tree.winner_alive()) {
+    const std::uint64_t key = tree.winner_key();
+    if (range.bounded && key >= range.hi) break;  // winner is the global min
+    ++st.arcs_in;
+    if (!have_last || key != last) {
+      writer.append_key(key);
+      last = key;
+      have_last = true;
+      ++st.arcs_out;
+    } else {
+      ++st.duplicates_dropped;
+    }
+    std::uint64_t next_key = 0;
+    const bool more = cursors[tree.winner()].next(next_key);
+    tree.advance(next_key, more);
+  }
+  out.info = writer.finish();
+  st.parts_merged = 1;
+  return out;
+}
+
+// -------------------------------------------------------------- manifest
+
+void write_merged_manifest_file(const std::filesystem::path& dir, const MergedManifest& m,
+                                std::uint64_t inputs_hash) {
+  std::string text;
+  text += std::string(kManifestHeader) + "\n";
+  text += "encoding " + std::to_string(m.encoding) + "\n";
+  text += "vertices " + std::to_string(m.num_vertices) + "\n";
+  text += "key_shift " + std::to_string(m.key_shift) + "\n";
+  text += "inputs_hash " + std::to_string(inputs_hash) + "\n";
+  text += "arcs " + std::to_string(m.total_arcs) + "\n";
+  for (const MergedPart& p : m.parts)
+    text += "part " + p.path.filename().string() + " " + std::to_string(p.num_arcs) + " " +
+            std::to_string(p.min_key) + " " + std::to_string(p.max_key) + "\n";
+  write_text_atomic(dir / kManifestName, text, "merge_shards(manifest)");
+}
+
+MergedManifest read_merged_manifest_file(const std::filesystem::path& dir,
+                                         std::uint64_t* inputs_hash) {
+  const std::filesystem::path path = dir / kManifestName;
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("read_merged_manifest: cannot open " + path.string() +
+                             " — the merge never completed (or the wrong directory)");
+  std::string line;
+  std::getline(in, line);
+  if (line != kManifestHeader) bad_file(path, 1, "bad header '" + line + "'");
+  MergedManifest m;
+  std::uint64_t declared_arcs = 0;
+  bool saw_arcs = false;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_fields(line);
+    if (f[0] == "part") {
+      if (f.size() != 5) bad_file(path, line_no, "expected 'part NAME ARCS MIN MAX'");
+      MergedPart p;
+      p.path = dir / f[1];
+      p.num_arcs = parse_u64(path, line_no, f[2]);
+      p.min_key = parse_u64(path, line_no, f[3]);
+      p.max_key = parse_u64(path, line_no, f[4]);
+      m.parts.push_back(std::move(p));
+      continue;
+    }
+    if (f.size() != 2) bad_file(path, line_no, "expected 'key value'");
+    if (f[0] == "encoding") {
+      m.encoding = parse_u64(path, line_no, f[1]);
+    } else if (f[0] == "vertices") {
+      m.num_vertices = parse_u64(path, line_no, f[1]);
+    } else if (f[0] == "key_shift") {
+      m.key_shift = parse_u64(path, line_no, f[1]);
+    } else if (f[0] == "inputs_hash") {
+      if (inputs_hash != nullptr) *inputs_hash = parse_u64(path, line_no, f[1]);
+    } else if (f[0] == "arcs") {
+      declared_arcs = parse_u64(path, line_no, f[1]);
+      saw_arcs = true;
+    } else {
+      bad_file(path, line_no, "unknown key '" + f[0] + "'");
+    }
+  }
+  if (!saw_arcs || m.encoding != shard::kEncodingVersion)
+    bad_file(path, line_no, "truncated manifest or incompatible encoding");
+  std::uint64_t total = 0;
+  std::uint64_t prev_max = 0;
+  bool have_prev = false;
+  for (const MergedPart& p : m.parts) {
+    total += p.num_arcs;
+    if (p.num_arcs == 0) continue;
+    if (have_prev && p.min_key <= prev_max)
+      bad_file(path, line_no, "parts are not disjoint ascending key ranges");
+    prev_max = p.max_key;
+    have_prev = true;
+  }
+  if (total != declared_arcs)
+    bad_file(path, line_no, "part arc counts do not sum to the declared total");
+  m.total_arcs = total;
+  return m;
+}
+
+}  // namespace
+
+std::vector<std::filesystem::path> list_arc_shards(const std::filesystem::path& dir) {
+  if (!std::filesystem::is_directory(dir))
+    throw std::runtime_error("list_arc_shards: " + dir.string() + " is not a directory");
+  std::vector<std::filesystem::path> shards;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == ".kshard")
+      shards.push_back(entry.path());
+  std::sort(shards.begin(), shards.end());
+  return shards;
+}
+
+MergedManifest merge_shards(const std::vector<std::filesystem::path>& inputs,
+                            const std::filesystem::path& out_dir, const MergeOptions& options,
+                            MergeStats* stats) {
+  TRACE_SPAN("ooc.merge");
+  const auto t0 = SteadyClock::now();
+  if (inputs.empty())
+    throw std::invalid_argument("merge_shards: no input shards (nothing to merge)");
+
+  // Header pass: pin the key geometry and reject inconsistent inputs
+  // before any byte of payload moves.
+  std::vector<ArcShardInfo> infos;
+  infos.reserve(inputs.size());
+  for (const std::filesystem::path& path : inputs) infos.push_back(read_arc_shard_info(path));
+  for (const ArcShardInfo& info : infos)
+    if (info.key_shift != infos.front().key_shift ||
+        info.num_vertices != infos.front().num_vertices)
+      throw std::invalid_argument(
+          "merge_shards: " + info.path.string() + " was packed for " +
+          std::to_string(info.num_vertices) + " vertices (shift " +
+          std::to_string(info.key_shift) + ") but " + infos.front().path.string() +
+          " for " + std::to_string(infos.front().num_vertices) + " (shift " +
+          std::to_string(infos.front().key_shift) +
+          ") — shards from different products cannot be merged");
+  const std::uint64_t identity = inputs_identity(infos);
+  const vertex_t num_vertices = infos.front().num_vertices;
+
+  // A completed merge is idempotent: return the existing commit record if
+  // it matches these inputs, reject it loudly if it does not.
+  if (std::filesystem::exists(out_dir / kManifestName)) {
+    std::uint64_t recorded = 0;
+    MergedManifest existing = read_merged_manifest_file(out_dir, &recorded);
+    if (recorded != identity)
+      throw std::runtime_error("merge_shards: " + out_dir.string() +
+                               " already holds a merge of a DIFFERENT input set; "
+                               "use a fresh output directory");
+    if (stats != nullptr) {
+      stats->parts_reused = existing.parts.size();
+      stats->arcs_out = existing.total_arcs;
+      stats->seconds = seconds_since(t0);
+    }
+    return existing;
+  }
+
+  std::filesystem::create_directories(out_dir);
+
+  // The plan pins the partition (and the input identity) before any part
+  // is written, so a crashed merge resumes against the same ranges and a
+  // directory holding someone else's parts is rejected.
+  const std::size_t pool_width = static_cast<std::size_t>(ThreadPool::instance().num_threads());
+  const std::size_t want_parts = options.parts != 0 ? options.parts : pool_width;
+  const std::size_t probe_buffer =
+      options.buffer_bytes != 0 ? options.buffer_bytes : default_shard_buffer_bytes();
+  MergePlan plan;
+  if (std::filesystem::exists(out_dir / kPlanName)) {
+    plan = read_plan(out_dir / kPlanName);
+    if (plan.inputs_hash != identity || plan.num_vertices != num_vertices ||
+        plan.key_shift != infos.front().key_shift)
+      throw std::runtime_error("merge_shards: " + out_dir.string() +
+                               " holds a partial merge of a DIFFERENT input set; "
+                               "use a fresh output directory");
+  } else {
+    plan.num_vertices = num_vertices;
+    plan.key_shift = infos.front().key_shift;
+    plan.inputs_hash = identity;
+    plan.splitters = choose_splitters(inputs, want_parts, probe_buffer);
+    write_plan(out_dir, plan);
+  }
+  const std::size_t parts = plan.splitters.size() + 1;
+
+  // Derive the per-stream buffer from the memory budget: every concurrent
+  // part holds one cursor per input plus one writer.
+  std::size_t buffer = options.buffer_bytes;
+  if (buffer == 0) {
+    const std::size_t concurrent = std::min(parts, pool_width);
+    const std::uint64_t streams =
+        static_cast<std::uint64_t>(concurrent) * (inputs.size() + 1);
+    const std::uint64_t per_stream = options.budget_bytes / std::max<std::uint64_t>(streams, 1);
+    buffer = static_cast<std::size_t>(
+        std::clamp<std::uint64_t>(per_stream, 4096, default_shard_buffer_bytes()));
+  }
+
+  std::vector<PartOutcome> outcomes(parts);
+  ThreadPool::instance().run_tasks(parts, [&](std::size_t p) {
+    PartRange range;
+    range.lo = p == 0 ? 0 : plan.splitters[p - 1];
+    range.bounded = p + 1 < parts;
+    range.hi = range.bounded ? plan.splitters[p] : 0;
+    const std::filesystem::path path = part_path(out_dir, p);
+    if (std::filesystem::exists(path)) {
+      // Published parts are atomic, so an existing file is a complete part
+      // of THIS plan (the plan hash vetted the directory).  Verify its
+      // header against the range before trusting it.
+      ArcShardInfo info = read_arc_shard_info(path);
+      if (info.num_vertices != num_vertices || info.key_shift != plan.key_shift ||
+          (info.num_arcs != 0 &&
+           (info.min_key < range.lo || (range.bounded && info.max_key >= range.hi))))
+        throw std::runtime_error("merge_shards: leftover part " + path.string() +
+                                 " does not fit its key range; use a fresh output directory");
+      outcomes[p].info = std::move(info);
+      outcomes[p].reused = true;
+      outcomes[p].stats.parts_reused = 1;
+      outcomes[p].stats.arcs_out = outcomes[p].info.num_arcs;
+      return;
+    }
+    outcomes[p] = merge_one_part(inputs, path, num_vertices, range, buffer);
+  });
+
+  MergedManifest manifest;
+  manifest.encoding = shard::kEncodingVersion;
+  manifest.num_vertices = num_vertices;
+  manifest.key_shift = infos.front().key_shift;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const ArcShardInfo& info = outcomes[p].info;
+    manifest.total_arcs += info.num_arcs;
+    manifest.parts.push_back(
+        {info.path, info.num_arcs, info.min_key, info.max_key});
+  }
+  write_merged_manifest_file(out_dir, manifest, identity);
+
+  if (stats != nullptr) {
+    for (const PartOutcome& o : outcomes) {
+      stats->arcs_in += o.stats.arcs_in;
+      stats->arcs_out += o.stats.arcs_out;
+      stats->duplicates_dropped += o.stats.duplicates_dropped;
+      stats->parts_merged += o.stats.parts_merged;
+      stats->parts_reused += o.stats.parts_reused;
+      stats->io += o.stats.io;
+    }
+    stats->seconds = seconds_since(t0);
+  }
+  return manifest;
+}
+
+MergedManifest read_merged_manifest(const std::filesystem::path& dir) {
+  MergedManifest m = read_merged_manifest_file(dir, nullptr);
+  // Cross-check every part's on-disk header against the commit record —
+  // cheap (header reads only) and catches a part swapped or lost after the
+  // merge finished.
+  for (const MergedPart& p : m.parts) {
+    const ArcShardInfo info = read_arc_shard_info(p.path);
+    if (info.num_arcs != p.num_arcs ||
+        (info.num_arcs != 0 && (info.min_key != p.min_key || info.max_key != p.max_key)) ||
+        info.key_shift != m.key_shift || info.num_vertices != m.num_vertices)
+      throw std::runtime_error("read_merged_manifest: part " + p.path.string() +
+                               " does not match the manifest (directory modified "
+                               "after the merge?)");
+  }
+  return m;
+}
+
+EdgeList read_merged_edge_list(const std::filesystem::path& dir) {
+  const MergedManifest m = read_merged_manifest(dir);
+  const shard::KeyPacker packer = shard::KeyPacker::for_shift(m.key_shift);
+  std::vector<Edge> edges;
+  edges.reserve(m.total_arcs);
+  for (const MergedPart& p : m.parts) {
+    ArcShardCursor cursor(p.path);
+    std::uint64_t key = 0;
+    while (cursor.next(key)) edges.push_back(packer.unpack(key));
+  }
+  return EdgeList(m.num_vertices, std::move(edges));
+}
+
+void export_merged_binary(const std::filesystem::path& dir,
+                          const std::filesystem::path& out_path) {
+  TRACE_SPAN("ooc.export_binary");
+  const MergedManifest m = read_merged_manifest(dir);
+  const shard::KeyPacker packer = shard::KeyPacker::for_shift(m.key_shift);
+  // Same 24-byte "KRONEL1\0" framing write_edge_list_binary emits, but
+  // streamed arc by arc so the export never materialises the edge list.
+  constexpr char kMagic[8] = {'K', 'R', 'O', 'N', 'E', 'L', '1', '\0'};
+  const std::filesystem::path temp = out_path.string() + ".tmp";
+  const int fd = posix_io::open_write(temp, "export_merged_binary");
+  try {
+    posix_io::write_full(fd, kMagic, sizeof(kMagic), "export_merged_binary");
+    const std::uint64_t n = m.num_vertices;
+    const std::uint64_t arcs = m.total_arcs;
+    posix_io::write_full(fd, &n, sizeof(n), "export_merged_binary");
+    posix_io::write_full(fd, &arcs, sizeof(arcs), "export_merged_binary");
+    std::vector<Edge> buffer;
+    buffer.reserve(std::size_t{1} << 16);
+    for (const MergedPart& p : m.parts) {
+      ArcShardCursor cursor(p.path);
+      std::uint64_t key = 0;
+      while (cursor.next(key)) {
+        buffer.push_back(packer.unpack(key));
+        if (buffer.size() == buffer.capacity()) {
+          posix_io::write_full(fd, buffer.data(), buffer.size() * sizeof(Edge),
+                               "export_merged_binary");
+          buffer.clear();
+        }
+      }
+    }
+    if (!buffer.empty())
+      posix_io::write_full(fd, buffer.data(), buffer.size() * sizeof(Edge),
+                           "export_merged_binary");
+    posix_io::fsync_fd(fd, "export_merged_binary");
+  } catch (...) {
+    posix_io::close_fd(fd);
+    throw;
+  }
+  posix_io::close_fd(fd);
+  std::error_code rename_error;
+  std::filesystem::rename(temp, out_path, rename_error);
+  if (rename_error)
+    throw std::runtime_error("export_merged_binary: cannot publish " + out_path.string() +
+                             ": " + rename_error.message());
+  posix_io::fsync_path(out_path.has_parent_path() ? out_path.parent_path() : ".",
+                       "export_merged_binary");
+}
+
+}  // namespace kron

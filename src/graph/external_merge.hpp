@@ -1,0 +1,104 @@
+// External k-way merge of sorted compressed arc shards (DESIGN.md §15).
+//
+// Inputs are `.kshard` files (graph/io.hpp) — each a sorted run of packed
+// arc keys, possibly overlapping and duplicate-heavy (every rank of a
+// sharded generation spills its own runs).  The merge produces a globally
+// canonical on-disk edge list: a directory of disjoint, sorted, deduplicated
+// part shards plus a `merged.manifest` commit record, equal as a key
+// sequence to `sort_dedupe` over the concatenated inputs — without ever
+// holding |E_C| arcs in RAM.
+//
+// Parallelism: the key space is range-partitioned on splitter keys drawn
+// from the inputs' block indexes, and each part range is merged
+// independently on the shared ThreadPool (a loser tree over buffered shard
+// cursors per part).  Part contents depend only on (inputs, range), so the
+// decoded output is bit-identical for every thread count.
+//
+// Crash safety: each part publishes atomically (ArcShardWriter's
+// temp+fsync+rename), a `merge.plan` pins the partition before any part is
+// written, and `merged.manifest` is written last.  Re-running the merge on
+// a crashed output directory re-uses every published part and redoes only
+// the missing ones.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "graph/io.hpp"
+
+namespace kron {
+
+struct MergeOptions {
+  /// Part count (parallelism of the range partition); 0 = ThreadPool width.
+  std::size_t parts = 0;
+  /// Per-stream I/O buffer override; 0 = derive from `budget_bytes`.
+  std::size_t buffer_bytes = 0;
+  /// Advisory cap on merge working memory (cursor + writer buffers across
+  /// all concurrent parts); the derived per-stream buffer is clamped to it.
+  std::uint64_t budget_bytes = std::uint64_t{256} << 20;
+};
+
+/// One published part of a merged edge list, in key order.
+struct MergedPart {
+  std::filesystem::path path;
+  std::uint64_t num_arcs = 0;
+  std::uint64_t min_key = 0;  ///< valid iff num_arcs > 0
+  std::uint64_t max_key = 0;
+};
+
+/// The `merged.manifest` commit record: global counts plus the ordered,
+/// disjoint parts whose concatenation is the canonical arc sequence.
+struct MergedManifest {
+  std::uint64_t encoding = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t key_shift = 0;
+  std::uint64_t total_arcs = 0;
+  std::vector<MergedPart> parts;
+};
+
+struct MergeStats {
+  std::uint64_t arcs_in = 0;              ///< keys consumed from the inputs
+  std::uint64_t arcs_out = 0;             ///< keys surviving dedupe
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t parts_merged = 0;
+  std::uint64_t parts_reused = 0;         ///< published parts kept on resume
+  double seconds = 0.0;                   ///< wall time of the whole merge
+  ShardIoStats io;
+};
+
+/// All `.kshard` files directly inside `dir`, sorted by filename (the order
+/// generation ranks produced them is irrelevant — the merge re-sorts).
+/// Throws std::runtime_error if `dir` is not a directory.
+[[nodiscard]] std::vector<std::filesystem::path> list_arc_shards(
+    const std::filesystem::path& dir);
+
+/// Merge `inputs` into `out_dir`.  Creates `out_dir` if absent.  If
+/// `out_dir` already holds a complete `merged.manifest` for these inputs
+/// the call is a no-op that re-reads it; if it holds a partial merge of the
+/// SAME inputs (crash), published parts are re-used; a partial merge of
+/// different inputs is rejected with an actionable error.  Throws
+/// std::runtime_error on corrupt inputs (checksum mismatch anywhere) and
+/// std::invalid_argument on inconsistent inputs (mixed key shifts or
+/// vertex counts) or an empty input list.
+MergedManifest merge_shards(const std::vector<std::filesystem::path>& inputs,
+                            const std::filesystem::path& out_dir,
+                            const MergeOptions& options = {},
+                            MergeStats* stats = nullptr);
+
+/// Read and validate the commit record of a finished merge; throws if the
+/// merge never completed or any part file contradicts it.
+[[nodiscard]] MergedManifest read_merged_manifest(const std::filesystem::path& dir);
+
+/// Decode a merged directory back into an in-memory edge list (tests and
+/// tier-1-sized products; defeats the purpose at out-of-core scale).
+[[nodiscard]] EdgeList read_merged_edge_list(const std::filesystem::path& dir);
+
+/// Stream a merged directory out as an uncompressed binary edge list
+/// ("KRONEL1\0", graph/io.hpp) without materialising the arcs in RAM —
+/// interop with every existing tool that loads `.bin` graphs.
+void export_merged_binary(const std::filesystem::path& dir,
+                          const std::filesystem::path& out_path);
+
+}  // namespace kron

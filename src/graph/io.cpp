@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <cstring>
@@ -11,6 +13,7 @@
 #include <system_error>
 #include <vector>
 
+#include "graph/shard_codec.hpp"
 #include "util/hash.hpp"
 #include "util/overflow.hpp"
 #include "util/posix_io.hpp"
@@ -279,6 +282,437 @@ ShardSnapshot read_shard_snapshot(const std::filesystem::path& path) {
     throw std::runtime_error("read_shard_snapshot: checksum mismatch in " + path.string() +
                              " (corrupted shard); restart the run without --resume");
   return shard;
+}
+
+// --- compressed arc shards (out-of-core sink, DESIGN.md §15) --------------
+
+namespace {
+
+constexpr char kArcShardMagic[8] = {'K', 'R', 'O', 'N', 'S', 'H', '1', '\0'};
+
+/// Fixed-size compressed-shard header, written verbatim (little-endian u64
+/// fields, like every other binary header in this file).
+struct ArcShardHeader {
+  char magic[8];
+  std::uint64_t encoding;
+  std::uint64_t num_vertices;
+  std::uint64_t key_shift;
+  std::uint64_t num_arcs;
+  std::uint64_t min_key;
+  std::uint64_t max_key;
+  std::uint64_t payload_bytes;
+  std::uint64_t num_blocks;
+  std::uint64_t index_checksum;
+};
+static_assert(sizeof(ArcShardHeader) == 80);
+static_assert(sizeof(ArcShardBlock) == 40, "index entries are written raw");
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
+}
+
+[[noreturn]] void corrupt_shard(const std::filesystem::path& path, const std::string& why) {
+  throw std::runtime_error("arc shard " + path.string() + ": " + why +
+                           " (corrupted or truncated shard)");
+}
+
+/// Read + validate a shard header from an open fd.  Everything in the
+/// header is untrusted: sizes are cross-checked against the real file size
+/// before any of them is used to size a read or an allocation.  When
+/// `index_checksum` is non-null it receives the header's index digest (the
+/// cursor verifies the index it reads against it).
+ArcShardInfo read_arc_shard_header(int fd, const std::filesystem::path& path,
+                                   std::uint64_t* index_checksum = nullptr) {
+  std::error_code size_error;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, size_error);
+  if (size_error)
+    throw std::runtime_error("arc shard: cannot stat " + path.string() + ": " +
+                             size_error.message());
+  if (file_size < sizeof(ArcShardHeader))
+    corrupt_shard(path, "file smaller than the 80-byte header");
+  ArcShardHeader header{};
+  posix_io::pread_full(fd, &header, sizeof(header), 0, "read_arc_shard_header");
+  if (std::memcmp(header.magic, kArcShardMagic, sizeof(kArcShardMagic)) != 0)
+    throw std::runtime_error("arc shard " + path.string() +
+                             ": bad magic (not a compressed arc shard)");
+  if (header.encoding != shard::kEncodingVersion)
+    throw std::runtime_error(
+        "arc shard " + path.string() + ": encoding version " +
+        std::to_string(header.encoding) + " but this build reads version " +
+        std::to_string(shard::kEncodingVersion) +
+        " — the shard directory mixes shards from an incompatible build; "
+        "regenerate the shards with this binary");
+  if (header.key_shift < 1 || header.key_shift > 32)
+    corrupt_shard(path, "key shift " + std::to_string(header.key_shift) + " outside [1, 32]");
+  std::uint64_t index_bytes = 0;
+  try {
+    index_bytes = checked_mul(header.num_blocks, sizeof(ArcShardBlock));
+  } catch (const std::overflow_error&) {
+    corrupt_shard(path, "block count overflows the index size");
+  }
+  const bool sizes_fit = header.payload_bytes <= file_size && index_bytes <= file_size;
+  if (!sizes_fit ||
+      sizeof(ArcShardHeader) + header.payload_bytes + index_bytes != file_size)
+    corrupt_shard(path, std::to_string(header.num_blocks) + " blocks and " +
+                            std::to_string(header.payload_bytes) +
+                            " payload bytes do not match the " +
+                            std::to_string(file_size) + "-byte file");
+  const std::uint64_t expect_blocks =
+      (header.num_arcs + shard::kBlockArcs - 1) / shard::kBlockArcs;
+  if (header.num_blocks != expect_blocks)
+    corrupt_shard(path, std::to_string(header.num_arcs) + " arcs imply " +
+                            std::to_string(expect_blocks) + " blocks, header says " +
+                            std::to_string(header.num_blocks));
+  if (header.num_arcs != 0 && header.min_key > header.max_key)
+    corrupt_shard(path, "min key above max key");
+  if (index_checksum != nullptr) *index_checksum = header.index_checksum;
+  ArcShardInfo info;
+  info.path = path;
+  info.encoding = header.encoding;
+  info.num_vertices = header.num_vertices;
+  info.key_shift = header.key_shift;
+  info.num_arcs = header.num_arcs;
+  info.min_key = header.min_key;
+  info.max_key = header.max_key;
+  info.payload_bytes = header.payload_bytes;
+  info.num_blocks = header.num_blocks;
+  return info;
+}
+
+}  // namespace
+
+ShardIoStats& ShardIoStats::operator+=(const ShardIoStats& o) noexcept {
+  shards_written += o.shards_written;
+  arcs_written += o.arcs_written;
+  bytes_written += o.bytes_written;
+  shards_opened += o.shards_opened;
+  arcs_read += o.arcs_read;
+  bytes_read += o.bytes_read;
+  write_seconds += o.write_seconds;
+  read_seconds += o.read_seconds;
+  return *this;
+}
+
+std::size_t default_shard_buffer_bytes() {
+  if (const char* env = std::getenv("KRON_OOC_BUFFER_BYTES"); env != nullptr) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  return std::size_t{1} << 20;
+}
+
+ArcShardWriter::ArcShardWriter(std::filesystem::path path, vertex_t num_vertices,
+                               std::size_t buffer_bytes, ShardIoStats* stats)
+    : path_(std::move(path)),
+      temp_(path_.string() + ".tmp"),
+      num_vertices_(num_vertices),
+      buffer_cap_(buffer_bytes != 0 ? buffer_bytes : default_shard_buffer_bytes()),
+      stats_(stats) {
+  key_shift_ = shard::KeyPacker::for_vertices(num_vertices).shift;
+  fd_ = posix_io::open_write(temp_, "ArcShardWriter");
+  // Placeholder header so the payload streams at its final offset; the
+  // real header is patched in at finish() once the counts are known.
+  const ArcShardHeader zero{};
+  try {
+    posix_io::write_full(fd_, &zero, sizeof(zero), "ArcShardWriter");
+  } catch (...) {
+    posix_io::close_fd(fd_);
+    fd_ = -1;
+    throw;
+  }
+  pending_.reserve(shard::kBlockArcs);
+  buffer_.reserve(buffer_cap_ + 16);
+}
+
+ArcShardWriter::~ArcShardWriter() {
+  if (finished_) return;
+  // Abort: nothing was published (the rename never happened), so just drop
+  // the temp file.  Errors are ignored — this runs during unwinding.
+  if (fd_ >= 0) posix_io::close_fd(fd_);
+  std::error_code ignored;
+  std::filesystem::remove(temp_, ignored);
+}
+
+void ArcShardWriter::append_key(std::uint64_t key) {
+  if (finished_) throw std::logic_error("ArcShardWriter: append after finish");
+  if (num_arcs_ != 0 && key < max_key_)
+    throw std::logic_error("ArcShardWriter: keys must arrive in ascending order (shard " +
+                           path_.string() + ")");
+  if (num_arcs_ == 0) min_key_ = key;
+  max_key_ = key;
+  ++num_arcs_;
+  pending_.push_back(key);
+  if (pending_.size() == shard::kBlockArcs) flush_block();
+}
+
+void ArcShardWriter::append(std::span<const Edge> sorted_arcs) {
+  const shard::KeyPacker packer = shard::KeyPacker::for_shift(key_shift_);
+  for (const Edge& e : sorted_arcs) append_key(packer.pack(e));
+}
+
+void ArcShardWriter::flush_block() {
+  if (pending_.empty()) return;
+  const auto t0 = SteadyClock::now();
+  ArcShardBlock entry;
+  entry.first_key = pending_.front();
+  entry.byte_offset = payload_bytes_;
+  entry.arc_count = pending_.size();
+  const std::size_t before = buffer_.size();
+  entry.byte_size = shard::encode_key_block(pending_, buffer_);
+  entry.checksum = shard::bytes_checksum(buffer_.data() + before, entry.byte_size);
+  payload_bytes_ += entry.byte_size;
+  blocks_.push_back(entry);
+  pending_.clear();
+  seconds_ += seconds_since(t0);
+  if (buffer_.size() >= buffer_cap_) flush_buffer();
+}
+
+void ArcShardWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  const auto t0 = SteadyClock::now();
+  const std::uint8_t* p = buffer_.data();
+  std::size_t left = buffer_.size();
+  while (left != 0) {
+    const std::size_t chunk = std::min(left, buffer_cap_);
+    posix_io::write_full(fd_, p, chunk, "ArcShardWriter");
+    p += chunk;
+    left -= chunk;
+  }
+  buffer_.clear();
+  seconds_ += seconds_since(t0);
+}
+
+ArcShardInfo ArcShardWriter::finish() {
+  if (finished_) throw std::logic_error("ArcShardWriter: finish called twice");
+  TRACE_SPAN("ooc.shard_write");
+  flush_block();
+  flush_buffer();
+  const auto t0 = SteadyClock::now();
+  const std::size_t index_bytes = blocks_.size() * sizeof(ArcShardBlock);
+  ArcShardHeader header{};
+  std::memcpy(header.magic, kArcShardMagic, sizeof(kArcShardMagic));
+  header.encoding = shard::kEncodingVersion;
+  header.num_vertices = num_vertices_;
+  header.key_shift = key_shift_;
+  header.num_arcs = num_arcs_;
+  header.min_key = min_key_;
+  header.max_key = max_key_;
+  header.payload_bytes = payload_bytes_;
+  header.num_blocks = blocks_.size();
+  header.index_checksum = shard::bytes_checksum(blocks_.data(), index_bytes);
+  try {
+    if (index_bytes != 0)
+      posix_io::write_full(fd_, blocks_.data(), index_bytes, "ArcShardWriter");
+    posix_io::pwrite_full(fd_, &header, sizeof(header), 0, "ArcShardWriter");
+    posix_io::fsync_fd(fd_, "ArcShardWriter");
+  } catch (...) {
+    seconds_ += seconds_since(t0);
+    throw;  // destructor aborts the temp file
+  }
+  posix_io::close_fd(fd_);
+  fd_ = -1;
+  std::error_code rename_error;
+  std::filesystem::rename(temp_, path_, rename_error);
+  if (rename_error)
+    throw std::runtime_error("ArcShardWriter: cannot publish " + path_.string() + ": " +
+                             rename_error.message());
+  posix_io::fsync_path(path_.has_parent_path() ? path_.parent_path() : ".",
+                       "ArcShardWriter");
+  seconds_ += seconds_since(t0);
+  finished_ = true;
+  if (stats_ != nullptr) {
+    stats_->shards_written += 1;
+    stats_->arcs_written += num_arcs_;
+    stats_->bytes_written += sizeof(ArcShardHeader) + payload_bytes_ + index_bytes;
+    stats_->write_seconds += seconds_;
+  }
+  ArcShardInfo info;
+  info.path = path_;
+  info.encoding = header.encoding;
+  info.num_vertices = header.num_vertices;
+  info.key_shift = header.key_shift;
+  info.num_arcs = header.num_arcs;
+  info.min_key = header.min_key;
+  info.max_key = header.max_key;
+  info.payload_bytes = header.payload_bytes;
+  info.num_blocks = header.num_blocks;
+  return info;
+}
+
+ArcShardInfo write_arc_shard(const std::filesystem::path& path, vertex_t num_vertices,
+                             std::span<const Edge> sorted_arcs, ShardIoStats* stats) {
+  ArcShardWriter writer(path, num_vertices, 0, stats);
+  writer.append(sorted_arcs);
+  return writer.finish();
+}
+
+ArcShardInfo read_arc_shard_info(const std::filesystem::path& path) {
+  const int fd = posix_io::open_read(path, "read_arc_shard_info");
+  try {
+    ArcShardInfo info = read_arc_shard_header(fd, path);
+    posix_io::close_fd(fd);
+    return info;
+  } catch (...) {
+    posix_io::close_fd(fd);
+    throw;
+  }
+}
+
+ArcShardCursor::ArcShardCursor(const std::filesystem::path& path, std::size_t buffer_bytes,
+                               ShardIoStats* stats)
+    : path_(path),
+      stats_(stats),
+      buffer_cap_(buffer_bytes != 0 ? buffer_bytes : default_shard_buffer_bytes()) {
+  const auto t0 = SteadyClock::now();
+  fd_ = posix_io::open_read(path_, "ArcShardCursor");
+  try {
+    std::uint64_t index_checksum = 0;
+    info_ = read_arc_shard_header(fd_, path_, &index_checksum);
+    const std::size_t index_bytes =
+        static_cast<std::size_t>(info_.num_blocks) * sizeof(ArcShardBlock);
+    blocks_.resize(info_.num_blocks);
+    if (index_bytes != 0)
+      posix_io::pread_full(fd_, blocks_.data(), index_bytes,
+                           sizeof(ArcShardHeader) + info_.payload_bytes, "ArcShardCursor");
+    if (shard::bytes_checksum(blocks_.data(), index_bytes) != index_checksum)
+      corrupt_shard(path_, "block index checksum mismatch");
+    // Cross-check the index against the header before trusting any entry
+    // to size a read: blocks must tile the payload exactly and account for
+    // every arc.
+    std::uint64_t arcs = 0;
+    std::uint64_t offset = 0;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      const ArcShardBlock& e = blocks_[b];
+      if (e.byte_offset != offset)
+        corrupt_shard(path_, "block " + std::to_string(b) + " does not abut its predecessor");
+      if (e.arc_count == 0 || e.arc_count > shard::kBlockArcs)
+        corrupt_shard(path_, "block " + std::to_string(b) + " arc count out of range");
+      if (b != 0 && e.first_key < blocks_[b - 1].first_key)
+        corrupt_shard(path_, "block first keys not ascending");
+      offset += e.byte_size;
+      arcs += e.arc_count;
+      if (offset > info_.payload_bytes)
+        corrupt_shard(path_, "block extents overrun the payload");
+    }
+    if (offset != info_.payload_bytes || arcs != info_.num_arcs)
+      corrupt_shard(path_, "index does not tile the payload / account for every arc");
+    if (stats_ != nullptr) {
+      stats_->shards_opened += 1;
+      stats_->bytes_read += sizeof(ArcShardHeader) + index_bytes;
+      stats_->read_seconds += seconds_since(t0);
+    }
+  } catch (...) {
+    posix_io::close_fd(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+ArcShardCursor::~ArcShardCursor() {
+  if (fd_ >= 0) posix_io::close_fd(fd_);
+}
+
+ArcShardCursor::ArcShardCursor(ArcShardCursor&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      stats_(other.stats_),
+      buffer_cap_(other.buffer_cap_),
+      info_(std::move(other.info_)),
+      blocks_(std::move(other.blocks_)),
+      keys_(std::move(other.keys_)),
+      key_pos_(other.key_pos_),
+      next_block_(other.next_block_),
+      raw_(std::move(other.raw_)) {
+  other.fd_ = -1;
+  other.stats_ = nullptr;
+}
+
+void ArcShardCursor::load_block(std::size_t block_idx) {
+  const auto t0 = SteadyClock::now();
+  const ArcShardBlock& entry = blocks_[block_idx];
+  raw_.resize(entry.byte_size);
+  // Read in buffer-sized chunks: KRON_OOC_BUFFER_BYTES bounds the syscall
+  // granularity (the perf gate's negative control shrinks it).
+  std::uint64_t offset = sizeof(ArcShardHeader) + entry.byte_offset;
+  std::uint8_t* p = raw_.data();
+  std::size_t left = raw_.size();
+  while (left != 0) {
+    const std::size_t chunk = std::min(left, buffer_cap_);
+    posix_io::pread_full(fd_, p, chunk, offset, "ArcShardCursor");
+    p += chunk;
+    left -= chunk;
+    offset += chunk;
+  }
+  if (shard::bytes_checksum(raw_.data(), raw_.size()) != entry.checksum)
+    corrupt_shard(path_, "payload block " + std::to_string(block_idx) +
+                             " checksum mismatch");
+  keys_.clear();
+  shard::decode_key_block(raw_.data(), raw_.size(), entry.arc_count, keys_,
+                          "arc shard " + path_.string());
+  if (keys_.front() != entry.first_key)
+    corrupt_shard(path_, "payload block " + std::to_string(block_idx) +
+                             " disagrees with its index entry");
+  key_pos_ = 0;
+  next_block_ = block_idx + 1;
+  if (stats_ != nullptr) {
+    stats_->arcs_read += entry.arc_count;
+    stats_->bytes_read += entry.byte_size;
+    stats_->read_seconds += seconds_since(t0);
+  }
+}
+
+bool ArcShardCursor::next(std::uint64_t& key) {
+  if (key_pos_ >= keys_.size()) {
+    if (next_block_ >= blocks_.size()) return false;
+    load_block(next_block_);
+  }
+  key = keys_[key_pos_++];
+  return true;
+}
+
+std::size_t ArcShardCursor::next_batch(std::uint64_t* out, std::size_t max) {
+  std::size_t produced = 0;
+  while (produced < max) {
+    if (key_pos_ >= keys_.size()) {
+      if (next_block_ >= blocks_.size()) break;
+      load_block(next_block_);
+    }
+    const std::size_t take = std::min(max - produced, keys_.size() - key_pos_);
+    std::copy_n(keys_.begin() + static_cast<std::ptrdiff_t>(key_pos_), take, out + produced);
+    key_pos_ += take;
+    produced += take;
+  }
+  return produced;
+}
+
+void ArcShardCursor::seek(std::uint64_t key) {
+  if (blocks_.empty()) {
+    keys_.clear();
+    key_pos_ = 0;
+    next_block_ = 0;
+    return;
+  }
+  // Last block whose first key is <= `key` can contain the first key >= it.
+  std::size_t lo = 0;
+  std::size_t hi = blocks_.size();
+  while (lo < hi) {  // upper_bound on first_key
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (blocks_[mid].first_key <= key)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  std::size_t start = lo == 0 ? 0 : lo - 1;
+  load_block(start);
+  while (true) {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    key_pos_ = static_cast<std::size_t>(it - keys_.begin());
+    if (key_pos_ < keys_.size() || next_block_ >= blocks_.size()) return;
+    load_block(next_block_);
+  }
 }
 
 }  // namespace kron

@@ -72,4 +72,160 @@ void write_shard_snapshot(const std::filesystem::path& path, std::uint64_t confi
 /// magic, size mismatch, or checksum divergence (corruption).
 [[nodiscard]] ShardSnapshot read_shard_snapshot(const std::filesystem::path& path);
 
+// --- compressed arc shards (out-of-core sink, DESIGN.md §15) --------------
+//
+// A `.kshard` file holds one sorted run of packed arc keys:
+//
+//   ArcShardHeader (80 bytes, magic "KRONSH1\0")
+//   payload        delta-varint blocks of shard::kBlockArcs keys each
+//   index          num_blocks x ArcShardBlock, FNV-checksummed in the header
+//
+// Every block restarts with an absolute key and carries its own checksum
+// in the index, so readers can verify and decode any block independently —
+// the property the external merge's range partitioning needs.  Files are
+// published with the checkpoint discipline (write temp, fsync, rename,
+// fsync parent), so a crash never leaves a torn shard at a published path.
+
+/// CommStats-style counters for shard I/O, accumulated by the writer and
+/// cursor when a stats pointer is supplied.  Plain struct of u64/double so
+/// the generator can marshal it through the gather blob unchanged.
+struct ShardIoStats {
+  std::uint64_t shards_written = 0;
+  std::uint64_t arcs_written = 0;
+  std::uint64_t bytes_written = 0;   ///< compressed bytes (payload + framing)
+  std::uint64_t shards_opened = 0;
+  std::uint64_t arcs_read = 0;
+  std::uint64_t bytes_read = 0;
+  double write_seconds = 0.0;        ///< encode + write + publish time
+  double read_seconds = 0.0;         ///< read + verify + decode time
+
+  ShardIoStats& operator+=(const ShardIoStats& o) noexcept;
+};
+
+/// Decoded shard header (returned by the writer and by `read_arc_shard_info`).
+struct ArcShardInfo {
+  std::filesystem::path path;
+  std::uint64_t encoding = 0;        ///< shard::kEncodingVersion at write time
+  std::uint64_t num_vertices = 0;    ///< n_C the keys were packed against
+  std::uint64_t key_shift = 0;       ///< bits of v in each packed key
+  std::uint64_t num_arcs = 0;
+  std::uint64_t min_key = 0;         ///< valid iff num_arcs > 0
+  std::uint64_t max_key = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t num_blocks = 0;
+};
+
+/// One index entry: where a payload block lives and how to verify it.
+struct ArcShardBlock {
+  std::uint64_t first_key = 0;   ///< absolute key restarting the block
+  std::uint64_t byte_offset = 0; ///< offset of the block within the payload
+  std::uint64_t byte_size = 0;   ///< encoded size of the block
+  std::uint64_t arc_count = 0;   ///< keys in the block (<= shard::kBlockArcs)
+  std::uint64_t checksum = 0;    ///< FNV over the block's encoded bytes
+};
+
+/// Default I/O buffer for the shard writer and cursor; KRON_OOC_BUFFER_BYTES
+/// overrides it (the perf gate's negative control shrinks it to force a
+/// syscall storm).
+[[nodiscard]] std::size_t default_shard_buffer_bytes();
+
+/// Streaming writer: feed sorted arcs (or pre-packed keys) in ascending
+/// order, then `finish()` to publish atomically.  Destroying an unfinished
+/// writer aborts the file (the temp is unlinked, nothing is published).
+class ArcShardWriter {
+ public:
+  ArcShardWriter(std::filesystem::path path, vertex_t num_vertices,
+                 std::size_t buffer_bytes = 0,  // 0 = default_shard_buffer_bytes()
+                 ShardIoStats* stats = nullptr);
+  ~ArcShardWriter();
+  ArcShardWriter(const ArcShardWriter&) = delete;
+  ArcShardWriter& operator=(const ArcShardWriter&) = delete;
+
+  /// Append one packed key; must be >= every key appended before (throws
+  /// std::logic_error otherwise — the caller owns the sort).
+  void append_key(std::uint64_t key);
+
+  /// Append a sorted span of arcs (packed with this writer's KeyPacker).
+  void append(std::span<const Edge> sorted_arcs);
+
+  [[nodiscard]] std::uint64_t arcs_appended() const noexcept { return num_arcs_; }
+
+  /// Flush, write the index, patch the header, fsync and rename into place.
+  /// Returns the published shard's header.  Throws on I/O failure.
+  ArcShardInfo finish();
+
+ private:
+  void flush_block();
+  void flush_buffer();
+
+  std::filesystem::path path_;
+  std::filesystem::path temp_;
+  int fd_ = -1;
+  bool finished_ = false;
+  std::uint64_t num_vertices_ = 0;
+  unsigned key_shift_ = 1;
+  std::size_t buffer_cap_ = 0;
+  ShardIoStats* stats_ = nullptr;
+  std::vector<std::uint64_t> pending_;     // keys of the open block
+  std::vector<std::uint8_t> buffer_;       // encoded bytes not yet written
+  std::vector<ArcShardBlock> blocks_;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint64_t num_arcs_ = 0;
+  std::uint64_t min_key_ = 0;
+  std::uint64_t max_key_ = 0;
+  double seconds_ = 0.0;
+};
+
+/// Sort-order-checked convenience wrapper around ArcShardWriter.
+ArcShardInfo write_arc_shard(const std::filesystem::path& path, vertex_t num_vertices,
+                             std::span<const Edge> sorted_arcs,
+                             ShardIoStats* stats = nullptr);
+
+/// Read and validate a shard's header only (no payload I/O).  Throws on a
+/// bad magic, unknown encoding version, or a header inconsistent with the
+/// file's actual size.
+[[nodiscard]] ArcShardInfo read_arc_shard_info(const std::filesystem::path& path);
+
+/// Buffered streaming reader over one shard's sorted key stream.  Blocks
+/// are checksum-verified as they are entered; any corruption — flipped
+/// payload bytes, a tampered index, truncation — throws std::runtime_error
+/// rather than yielding wrong keys.
+class ArcShardCursor {
+ public:
+  explicit ArcShardCursor(const std::filesystem::path& path,
+                          std::size_t buffer_bytes = 0,  // 0 = default
+                          ShardIoStats* stats = nullptr);
+  ~ArcShardCursor();
+  ArcShardCursor(ArcShardCursor&& other) noexcept;
+  ArcShardCursor& operator=(ArcShardCursor&&) = delete;
+  ArcShardCursor(const ArcShardCursor&) = delete;
+  ArcShardCursor& operator=(const ArcShardCursor&) = delete;
+
+  [[nodiscard]] const ArcShardInfo& info() const noexcept { return info_; }
+  [[nodiscard]] const std::vector<ArcShardBlock>& blocks() const noexcept { return blocks_; }
+
+  /// Next key in ascending order; false once the shard is exhausted.
+  [[nodiscard]] bool next(std::uint64_t& key);
+
+  /// Bulk variant: fills up to `max` keys, returns how many (0 at end).
+  [[nodiscard]] std::size_t next_batch(std::uint64_t* out, std::size_t max);
+
+  /// Reposition at the first key >= `key` (any direction).
+  void seek(std::uint64_t key);
+
+ private:
+  void load_block(std::size_t block_idx);
+
+  std::filesystem::path path_;
+  int fd_ = -1;
+  ShardIoStats* stats_ = nullptr;
+  std::size_t buffer_cap_ = 0;
+  ArcShardInfo info_;
+  std::vector<ArcShardBlock> blocks_;
+  std::vector<std::uint64_t> keys_;        // decoded current block
+  std::size_t key_pos_ = 0;
+  std::size_t next_block_ = 0;             // next block to decode
+  std::vector<std::uint8_t> raw_;          // scratch for encoded block bytes
+};
+
 }  // namespace kron

@@ -1,0 +1,187 @@
+// Delta-varint codec for sorted compressed arc shards (DESIGN.md §15).
+//
+// Arcs are packed into 64-bit keys — `(u << shift) | v` with
+// `shift = bit_width(n_C - 1)` — so a lexicographically sorted arc stream
+// is exactly a numerically sorted key stream.  Sorted keys are stored as
+// LEB128 varints of consecutive deltas, grouped into fixed-size blocks of
+// `kBlockArcs` keys; every block restarts with a full (absolute) key, so a
+// block can be decoded — and checksummed — independently of its
+// predecessors.  That independence is what the external merge's
+// range-partitioned parallel pass and the cursor's `seek` rely on.
+//
+// Decode is written for untrusted bytes: truncated buffers, trailing
+// garbage, overlong/overflowing varints, and decreasing keys are all
+// rejected with a diagnostic rather than mis-decoded.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace kron::shard {
+
+/// Keys per payload block.  Each block restarts delta coding with a full
+/// key, bounding both the decode state a reader needs and the region a
+/// single corrupted byte can poison.
+constexpr std::size_t kBlockArcs = 4096;
+
+/// Bumped whenever the on-disk payload encoding changes shape; readers
+/// reject shards whose encoding they do not understand instead of
+/// mis-decoding them.
+constexpr std::uint64_t kEncodingVersion = 1;
+
+// ------------------------------------------------------------- checksums
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a over raw bytes.  Chainable: pass a previous result as `seed` to
+/// extend the digest across buffers.
+[[nodiscard]] inline std::uint64_t bytes_checksum(const void* data, std::size_t size,
+                                                  std::uint64_t seed = kFnvOffset) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// ------------------------------------------------------------ key packing
+
+/// Packs arcs of an `n`-vertex graph into totally ordered 64-bit keys.
+/// Both endpoints get `shift = bit_width(n-1)` bits, so the packing exists
+/// only while `2*shift <= 64`; `for_vertices` rejects larger graphs with an
+/// actionable error instead of silently folding distinct arcs together.
+struct KeyPacker {
+  unsigned shift = 1;                ///< low bits holding v
+  std::uint64_t mask = 1;            ///< (1 << shift) - 1
+
+  [[nodiscard]] static KeyPacker for_vertices(vertex_t num_vertices) {
+    const std::uint64_t top = num_vertices == 0 ? 0 : num_vertices - 1;
+    const unsigned bits = top == 0 ? 1u : static_cast<unsigned>(std::bit_width(top));
+    if (bits > 32)
+      throw std::invalid_argument(
+          "shard::KeyPacker: " + std::to_string(num_vertices) +
+          " vertices need " + std::to_string(2 * bits) +
+          " key bits; the shard format packs one arc per 64-bit key and "
+          "supports at most 2^32 vertices");
+    KeyPacker p;
+    p.shift = bits;
+    p.mask = (std::uint64_t{1} << bits) - 1;
+    return p;
+  }
+
+  [[nodiscard]] static KeyPacker for_shift(std::uint64_t shift_bits) {
+    if (shift_bits == 0 || shift_bits > 32)
+      throw std::invalid_argument("shard::KeyPacker: key shift " +
+                                  std::to_string(shift_bits) + " outside [1, 32]");
+    KeyPacker p;
+    p.shift = static_cast<unsigned>(shift_bits);
+    p.mask = (std::uint64_t{1} << shift_bits) - 1;
+    return p;
+  }
+
+  [[nodiscard]] std::uint64_t pack(const Edge& e) const noexcept {
+    return (e.u << shift) | e.v;
+  }
+  [[nodiscard]] Edge unpack(std::uint64_t key) const noexcept {
+    return Edge{key >> shift, key & mask};
+  }
+};
+
+// ----------------------------------------------------------------- varint
+
+/// Append `value` as an LEB128 varint (1..10 bytes).
+inline void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// Decode one varint from [p, end).  On success advances `p` past the
+/// encoding and returns true; on a truncated buffer (continuation bit set
+/// at `end`) or an encoding that overflows 64 bits, leaves `p` untouched
+/// and returns false.
+[[nodiscard]] inline bool get_varint(const std::uint8_t*& p, const std::uint8_t* end,
+                                     std::uint64_t& value) noexcept {
+  std::uint64_t result = 0;
+  unsigned shift = 0;
+  for (const std::uint8_t* q = p; q != end; ++q) {
+    const std::uint8_t byte = *q;
+    // The 10th byte holds bits 63..69 of the value; anything above bit 63
+    // means the encoding does not fit in 64 bits.
+    if (shift == 63 && (byte & 0x7e) != 0) return false;
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      value = result;
+      p = q + 1;
+      return true;
+    }
+    shift += 7;
+    if (shift > 63) return false;  // an 11th byte can encode nothing
+  }
+  return false;  // ran off the buffer mid-varint
+}
+
+// ----------------------------------------------------------- block codec
+
+/// Append one payload block for `keys` (ascending, duplicates allowed):
+/// varint(keys[0]) followed by varint(keys[i] - keys[i-1]).  Returns the
+/// number of bytes appended.  Throws std::invalid_argument if the keys are
+/// not sorted (a delta would wrap and mis-decode).
+inline std::size_t encode_key_block(std::span<const std::uint64_t> keys,
+                                    std::vector<std::uint8_t>& out) {
+  const std::size_t before = out.size();
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i == 0) {
+      put_varint(out, keys[0]);
+    } else {
+      if (keys[i] < prev)
+        throw std::invalid_argument("shard::encode_key_block: keys not sorted");
+      put_varint(out, keys[i] - prev);
+    }
+    prev = keys[i];
+  }
+  return out.size() - before;
+}
+
+/// Decode exactly `count` keys from the `size`-byte block at `data`,
+/// appending them to `out`.  Throws std::runtime_error naming `what` on a
+/// truncated block, trailing garbage after the last key, a varint that
+/// overflows 64 bits, or a delta that wraps the key space — every way a
+/// corrupted block can fail to round-trip.
+inline void decode_key_block(const std::uint8_t* data, std::size_t size, std::size_t count,
+                             std::vector<std::uint64_t>& out, const std::string& what) {
+  const std::uint8_t* p = data;
+  const std::uint8_t* const end = data + size;
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t value = 0;
+    if (!get_varint(p, end, value))
+      throw std::runtime_error(what + ": truncated or overlong varint in shard block");
+    if (i == 0) {
+      key = value;
+    } else {
+      if (key + value < key)
+        throw std::runtime_error(what + ": delta overflows the key space (corrupt block)");
+      key += value;
+    }
+    out.push_back(key);
+  }
+  if (p != end)
+    throw std::runtime_error(what + ": " + std::to_string(end - p) +
+                             " trailing garbage byte(s) after shard block");
+}
+
+}  // namespace kron::shard

@@ -27,6 +27,48 @@ int open_write(const std::filesystem::path& path, const std::string& what) {
   return fd;
 }
 
+int open_read(const std::filesystem::path& path, const std::string& what) {
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) fail(what + ": cannot open " + path.string());
+  return fd;
+}
+
+void pread_full(int fd, void* data, std::size_t size, std::uint64_t offset,
+                const std::string& what) {
+  char* cursor = static_cast<char*>(data);
+  while (size != 0) {
+    const ::ssize_t n = ::pread(fd, cursor, size, static_cast<::off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(what + ": pread failed");
+    }
+    if (n == 0)
+      throw std::runtime_error(what + ": file truncated (" + std::to_string(size) +
+                               " bytes short at offset " + std::to_string(offset) + ")");
+    cursor += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+void pwrite_full(int fd, const void* data, std::size_t size, std::uint64_t offset,
+                 const std::string& what) {
+  const char* cursor = static_cast<const char*>(data);
+  while (size != 0) {
+    const ::ssize_t n = ::pwrite(fd, cursor, size, static_cast<::off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(what + ": pwrite failed");
+    }
+    cursor += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
 void write_full(int fd, const void* data, std::size_t size, const std::string& what) {
   const char* cursor = static_cast<const char*>(data);
   while (size != 0) {

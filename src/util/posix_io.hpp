@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <string>
 
@@ -26,6 +27,21 @@ namespace kron::posix_io {
 
 /// Open `path` for writing (create/truncate, 0644).  Throws on failure.
 [[nodiscard]] int open_write(const std::filesystem::path& path, const std::string& what);
+
+/// Open `path` read-only.  Throws on failure.
+[[nodiscard]] int open_read(const std::filesystem::path& path, const std::string& what);
+
+/// Positional read of the entire buffer (pread, EINTR-safe); does not move
+/// the file offset.  Throws if the file ends before `size` bytes — callers
+/// read framed regions whose length they already know, so a short read is
+/// always corruption/truncation, never a normal end-of-stream.
+void pread_full(int fd, void* data, std::size_t size, std::uint64_t offset,
+                const std::string& what);
+
+/// Positional write of the entire buffer (pwrite, EINTR-safe); used to
+/// patch a fixed-size header at offset 0 after streaming the payload.
+void pwrite_full(int fd, const void* data, std::size_t size, std::uint64_t offset,
+                 const std::string& what);
 
 /// Write the entire buffer, retrying on EINTR and short writes.
 void write_full(int fd, const void* data, std::size_t size, const std::string& what);

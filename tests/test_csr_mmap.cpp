@@ -1,0 +1,160 @@
+// Tests for the memory-mapped CSR (graph/csr_mmap.hpp): a .kcsr built from
+// a merged shard directory must expose exactly the graph the in-memory Csr
+// builds from the same arcs, the PR 3 analytics must produce identical
+// results over the mapping, and corrupt files must be rejected at load.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytics/bfs.hpp"
+#include "analytics/closeness.hpp"
+#include "analytics/eccentricity.hpp"
+#include "analytics/triangles.hpp"
+#include "gen/erdos.hpp"
+#include "graph/csr.hpp"
+#include "graph/csr_mmap.hpp"
+#include "graph/external_merge.hpp"
+#include "core/kron.hpp"
+#include "graph/io.hpp"
+
+namespace kron {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Build a merged directory + .kcsr for `edges`, returning the .kcsr path.
+fs::path build_kcsr(const std::string& name, const EdgeList& edges,
+                    CsrBuildStats* stats_out = nullptr) {
+  const fs::path dir = fresh_dir(name);
+  EdgeList canonical = edges;
+  canonical.sort_dedupe();
+  (void)write_arc_shard(dir / "all.kshard", canonical.num_vertices(), canonical.edges());
+  const fs::path merged = dir / "merged";
+  (void)merge_shards(list_arc_shards(dir), merged);
+  const fs::path kcsr = dir / "graph.kcsr";
+  const CsrBuildStats stats = build_csr_file(merged, kcsr);
+  if (stats_out != nullptr) *stats_out = stats;
+  return kcsr;
+}
+
+EdgeList product_graph() {
+  const EdgeList a = make_gnm(11, 20, 31);
+  const EdgeList b = make_gnm(8, 13, 32);
+  return kronecker_product(a, b);
+}
+
+TEST(CsrMmap, BuildMatchesInMemoryCsr) {
+  const EdgeList edges = product_graph();
+  const Csr reference(edges);
+
+  CsrBuildStats stats;
+  const fs::path kcsr = build_kcsr("kron_kcsr_equal", edges, &stats);
+  EXPECT_EQ(stats.num_vertices, reference.num_vertices());
+  EXPECT_EQ(stats.num_arcs, reference.num_arcs());
+  EXPECT_EQ(stats.bytes_written, fs::file_size(kcsr));
+
+  const CsrMmap mapped(kcsr);
+  ASSERT_EQ(mapped.num_vertices(), reference.num_vertices());
+  ASSERT_EQ(mapped.num_arcs(), reference.num_arcs());
+  const CsrView& g = mapped.view();
+  for (vertex_t v = 0; v < reference.num_vertices(); ++v) {
+    const auto expect = reference.neighbors(v);
+    const auto got = g.neighbors(v);
+    ASSERT_EQ(got.size(), expect.size()) << "row " << v;
+    for (std::size_t i = 0; i < expect.size(); ++i)
+      ASSERT_EQ(got[i], expect[i]) << "row " << v << " slot " << i;
+  }
+}
+
+TEST(CsrMmap, AnalyticsMatchInMemoryResults) {
+  const EdgeList edges = product_graph();
+  const Csr reference(edges);
+  const CsrMmap mapped(build_kcsr("kron_kcsr_analytics", edges));
+  const CsrView& g = mapped.view();
+
+  mapped.advise_sequential();
+  EXPECT_EQ(bfs_levels(g, 0), bfs_levels(reference, 0));
+  EXPECT_EQ(hops_from(g, 3), hops_from(reference, 3));
+  EXPECT_EQ(exact_eccentricities(g), exact_eccentricities(reference));
+  EXPECT_EQ(global_triangle_count(g), global_triangle_count(reference));
+  EXPECT_EQ(all_closeness(g), all_closeness(reference));
+
+  // The page hints must not change observable results.
+  mapped.advise_random();
+  EXPECT_EQ(bfs_levels(g, 1), bfs_levels(reference, 1));
+  mapped.release_pages();
+  EXPECT_EQ(global_triangle_count(g), global_triangle_count(reference));
+}
+
+TEST(CsrMmap, GraphWithIsolatedTailVertexRoundTrips) {
+  // The merged arcs never mention the last vertices; the builder must still
+  // emit n+1 offsets for the declared vertex count.
+  EdgeList edges(10, {});
+  edges.add(0, 1);
+  edges.add(1, 0);
+  edges.add(4, 4);
+  const Csr reference(edges);
+  const CsrMmap mapped(build_kcsr("kron_kcsr_isolated", edges));
+  ASSERT_EQ(mapped.num_vertices(), 10u);
+  ASSERT_EQ(mapped.num_arcs(), 3u);
+  for (vertex_t v = 0; v < 10; ++v)
+    EXPECT_EQ(mapped.view().degree(v), reference.degree(v)) << "row " << v;
+}
+
+TEST(CsrMmap, RejectsMissingAndCorruptFiles) {
+  const fs::path dir = fresh_dir("kron_kcsr_corrupt");
+  EXPECT_THROW(CsrMmap missing(dir / "nope.kcsr"), std::runtime_error);
+
+  const fs::path kcsr = build_kcsr("kron_kcsr_corrupt_build", product_graph());
+
+  // Bad magic.
+  const fs::path bad_magic = dir / "magic.kcsr";
+  fs::copy_file(kcsr, bad_magic);
+  {
+    std::fstream file(bad_magic, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(0);
+    file.put('X');
+  }
+  EXPECT_THROW(CsrMmap m(bad_magic), std::runtime_error);
+
+  // Flipped byte inside the offsets array (checksummed at load).
+  const fs::path bad_offsets = dir / "offsets.kcsr";
+  fs::copy_file(kcsr, bad_offsets);
+  {
+    std::fstream file(bad_offsets, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(72);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x04);
+    file.seekp(72);
+    file.write(&byte, 1);
+  }
+  EXPECT_THROW(CsrMmap m(bad_offsets), std::runtime_error);
+
+  // Truncated file.
+  const fs::path truncated = dir / "short.kcsr";
+  fs::copy_file(kcsr, truncated);
+  fs::resize_file(truncated, fs::file_size(truncated) - 16);
+  EXPECT_THROW(CsrMmap m(truncated), std::runtime_error);
+}
+
+TEST(CsrMmap, BuildRejectsIncompleteMerge) {
+  const fs::path dir = fresh_dir("kron_kcsr_nomerge");
+  fs::create_directories(dir / "merged");
+  EXPECT_THROW((void)build_csr_file(dir / "merged", dir / "graph.kcsr"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kron

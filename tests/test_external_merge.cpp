@@ -1,0 +1,232 @@
+// Tests for the external k-way merge (graph/external_merge.hpp): the merged
+// output must equal sort_dedupe over the concatenated inputs bit-for-bit at
+// every thread count, corrupt inputs must be rejected, a crashed merge must
+// resume re-using its published parts, and the generator's shard sink must
+// feed the merge end-to-end to the same arcs the in-memory path gathers.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/generator.hpp"
+#include "gen/erdos.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/external_merge.hpp"
+#include "graph/io.hpp"
+#include "graph/shard_codec.hpp"
+#include "graph/sort.hpp"
+#include "util/parallel.hpp"
+
+namespace kron {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct PoolGuard {
+  ~PoolGuard() { ThreadPool::set_num_threads(0); }
+};
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Duplicate-heavy overlapping sorted runs over a shared arc population:
+// every shard draws ~2/3 of the population (with repeats inside a shard
+// impossible — runs are deduped per shard — but heavy overlap across
+// shards), so the merge's dedupe does real work.
+struct ShardSet {
+  fs::path dir;
+  std::vector<fs::path> paths;
+  std::vector<Edge> expected;  // sort_dedupe over the union
+  std::uint64_t total_in = 0;  // arcs across all shards (with duplicates)
+};
+
+ShardSet make_duplicate_heavy_shards(const std::string& name, std::size_t num_shards,
+                                     std::size_t population, vertex_t n, std::uint64_t seed) {
+  ShardSet set;
+  set.dir = fresh_dir(name);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<vertex_t> vtx(0, n - 1);
+  std::vector<Edge> pool(population);
+  for (auto& e : pool) e = Edge{vtx(rng), vtx(rng)};
+
+  std::bernoulli_distribution pick(2.0 / 3.0);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    std::vector<Edge> run;
+    for (const Edge& e : pool)
+      if (pick(rng)) run.push_back(e);
+    sort_dedupe_edges(run);
+    const fs::path path = set.dir / ("run" + std::to_string(s) + ".kshard");
+    (void)write_arc_shard(path, n, run);
+    set.paths.push_back(path);
+    set.total_in += run.size();
+    set.expected.insert(set.expected.end(), run.begin(), run.end());
+  }
+  sort_dedupe_edges(set.expected);
+  return set;
+}
+
+std::vector<Edge> merged_arcs(const fs::path& dir) {
+  const EdgeList list = read_merged_edge_list(dir);
+  return {list.edges().begin(), list.edges().end()};
+}
+
+TEST(ExternalMerge, EqualsSortDedupeAtEveryThreadCount) {
+  const PoolGuard guard;
+  const ShardSet set =
+      make_duplicate_heavy_shards("kron_merge_threads_in", 6, 40000, 512, 11);
+  ASSERT_GT(set.total_in, set.expected.size()) << "inputs must actually overlap";
+
+  for (const int threads : {1, 2, 7}) {
+    ThreadPool::set_num_threads(threads);
+    const fs::path out = fresh_dir("kron_merge_threads_out_" + std::to_string(threads));
+    MergeStats stats;
+    MergeOptions options;
+    options.parts = 4;  // pin the partition so only scheduling varies
+    const MergedManifest manifest = merge_shards(set.paths, out, options, &stats);
+
+    EXPECT_EQ(manifest.total_arcs, set.expected.size()) << threads << " threads";
+    EXPECT_EQ(stats.arcs_in, set.total_in);
+    EXPECT_EQ(stats.arcs_out, set.expected.size());
+    EXPECT_EQ(stats.duplicates_dropped, set.total_in - set.expected.size());
+    EXPECT_EQ(merged_arcs(out), set.expected) << threads << " threads";
+  }
+}
+
+TEST(ExternalMerge, PartCountDoesNotChangeTheResult) {
+  const ShardSet set = make_duplicate_heavy_shards("kron_merge_parts_in", 5, 20000, 256, 12);
+  std::vector<Edge> reference;
+  for (const std::size_t parts : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    const fs::path out = fresh_dir("kron_merge_parts_out_" + std::to_string(parts));
+    MergeOptions options;
+    options.parts = parts;
+    const MergedManifest manifest = merge_shards(set.paths, out, options);
+    EXPECT_LE(manifest.parts.size(), parts);
+    const std::vector<Edge> arcs = merged_arcs(out);
+    EXPECT_EQ(arcs, set.expected) << parts << " parts";
+    if (reference.empty()) reference = arcs;
+    EXPECT_EQ(arcs, reference);
+  }
+}
+
+TEST(ExternalMerge, TinyMemoryBudgetStillCorrect) {
+  const ShardSet set = make_duplicate_heavy_shards("kron_merge_budget_in", 4, 30000, 512, 13);
+  const fs::path out = fresh_dir("kron_merge_budget_out");
+  MergeOptions options;
+  options.parts = 3;
+  options.budget_bytes = 1 << 16;  // 64 KiB across all cursors and writers
+  const MergedManifest manifest = merge_shards(set.paths, out, options);
+  EXPECT_EQ(manifest.total_arcs, set.expected.size());
+  EXPECT_EQ(merged_arcs(out), set.expected);
+}
+
+TEST(ExternalMerge, RejectsEmptyAndInconsistentInputs) {
+  const fs::path out = fresh_dir("kron_merge_bad_out");
+  EXPECT_THROW((void)merge_shards({}, out), std::invalid_argument);
+
+  const fs::path dir = fresh_dir("kron_merge_bad_in");
+  (void)write_arc_shard(dir / "a.kshard", 100, std::vector<Edge>{{1, 2}, {3, 4}});
+  (void)write_arc_shard(dir / "b.kshard", 5000, std::vector<Edge>{{1, 2}});
+  EXPECT_THROW((void)merge_shards(list_arc_shards(dir), out), std::invalid_argument)
+      << "mixed vertex counts / key shifts must be rejected";
+}
+
+TEST(ExternalMerge, CorruptedInputShardRejected) {
+  const ShardSet set = make_duplicate_heavy_shards("kron_merge_corrupt_in", 3, 20000, 512, 14);
+  // Flip a byte in the middle of one shard's payload.
+  const fs::path victim = set.paths[1];
+  const ArcShardInfo info = read_arc_shard_info(victim);
+  {
+    std::fstream file(victim, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file);
+    const std::streamoff offset = static_cast<std::streamoff>(80 + info.payload_bytes / 2);
+    file.seekg(offset);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    file.seekp(offset);
+    file.write(&byte, 1);
+  }
+  const fs::path out = fresh_dir("kron_merge_corrupt_out");
+  EXPECT_THROW((void)merge_shards(set.paths, out), std::runtime_error);
+}
+
+TEST(ExternalMerge, ResumeAfterCrashReusesPublishedParts) {
+  const ShardSet set = make_duplicate_heavy_shards("kron_merge_resume_in", 5, 30000, 512, 15);
+  const fs::path out = fresh_dir("kron_merge_resume_out");
+  MergeOptions options;
+  options.parts = 4;
+  const MergedManifest first = merge_shards(set.paths, out, options);
+  ASSERT_GE(first.parts.size(), 2u) << "resume test needs more than one part";
+
+  // Simulate a crash after some parts published but before the commit
+  // record: drop the manifest and one part.
+  fs::remove(out / "merged.manifest");
+  fs::remove(first.parts.back().path);
+
+  MergeStats stats;
+  const MergedManifest second = merge_shards(set.paths, out, options, &stats);
+  EXPECT_EQ(stats.parts_reused, first.parts.size() - 1);
+  EXPECT_EQ(stats.parts_merged, 1u);
+  EXPECT_EQ(second.total_arcs, first.total_arcs);
+  EXPECT_EQ(merged_arcs(out), set.expected);
+}
+
+TEST(ExternalMerge, CompletedMergeIsIdempotent) {
+  const ShardSet set = make_duplicate_heavy_shards("kron_merge_idem_in", 3, 10000, 256, 16);
+  const fs::path out = fresh_dir("kron_merge_idem_out");
+  const MergedManifest first = merge_shards(set.paths, out);
+  MergeStats stats;
+  const MergedManifest again = merge_shards(set.paths, out, {}, &stats);
+  EXPECT_EQ(stats.parts_merged, 0u) << "a complete merge must be a no-op";
+  EXPECT_EQ(again.total_arcs, first.total_arcs);
+  EXPECT_EQ(read_merged_manifest(out).total_arcs, first.total_arcs);
+}
+
+TEST(ExternalMerge, GeneratorShardSinkEndToEndMatchesGather) {
+  const EdgeList a = make_gnm(12, 24, 21);
+  const EdgeList b = make_gnm(9, 15, 22);
+
+  GeneratorConfig in_memory;
+  in_memory.ranks = 3;
+  in_memory.shuffle_to_owner = true;
+  const EdgeList reference = generate_distributed(a, b, in_memory).gather();
+
+  GeneratorConfig sharded = in_memory;
+  sharded.sink = SinkMode::kShards;
+  sharded.shard_dir = fresh_dir("kron_merge_e2e_shards");
+  sharded.shard_mb = 1;
+  const GeneratorResult result = generate_distributed(a, b, sharded);
+  ASSERT_EQ(result.shard_io_per_rank.size(), 3u);
+  std::uint64_t spilled = 0;
+  for (const ShardIoStats& io : result.shard_io_per_rank) spilled += io.arcs_written;
+  EXPECT_GT(spilled, 0u);
+
+  const fs::path out = fresh_dir("kron_merge_e2e_out");
+  const MergedManifest manifest = merge_shards(list_arc_shards(sharded.shard_dir), out);
+  EXPECT_EQ(manifest.num_vertices, reference.num_vertices());
+  EXPECT_EQ(read_merged_edge_list(out), reference);
+}
+
+TEST(ExternalMerge, ListArcShardsSortsAndFilters) {
+  const fs::path dir = fresh_dir("kron_merge_list");
+  (void)write_arc_shard(dir / "rank1-0.kshard", 16, std::vector<Edge>{{1, 1}});
+  (void)write_arc_shard(dir / "rank0-0.kshard", 16, std::vector<Edge>{{2, 2}});
+  std::ofstream(dir / "notes.txt") << "not a shard\n";
+  const std::vector<fs::path> shards = list_arc_shards(dir);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].filename(), "rank0-0.kshard");
+  EXPECT_EQ(shards[1].filename(), "rank1-0.kshard");
+  EXPECT_THROW((void)list_arc_shards(dir / "missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kron

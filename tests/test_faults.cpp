@@ -268,18 +268,61 @@ TEST(Checkpoint, ManifestRoundTripAndValidation) {
   manifest.completed_epochs = 3;
   manifest.checkpoint_every = 4;
   manifest.shard_checksums = {11, 22};
+  manifest.shard_arc_counts = {5, 7};
+  manifest.shard_bytes = {120, 152};
   write_manifest(dir, manifest);
   const CheckpointManifest loaded = read_manifest(dir);
   EXPECT_EQ(loaded.config_hash, 99u);
   EXPECT_EQ(loaded.ranks, 2u);
+  EXPECT_EQ(loaded.encoding, kCheckpointEncoding);
   EXPECT_EQ(loaded.completed_epochs, 3u);
   EXPECT_EQ(loaded.checkpoint_every, 4u);
   EXPECT_EQ(loaded.shard_checksums, (std::vector<std::uint64_t>{11, 22}));
+  EXPECT_EQ(loaded.shard_arc_counts, (std::vector<std::uint64_t>{5, 7}));
+  EXPECT_EQ(loaded.shard_bytes, (std::vector<std::uint64_t>{120, 152}));
 
   // Wrong configuration: hash, rank count, and cadence must all be pinned.
   EXPECT_THROW((void)load_resume_state(dir, 100, 2, 4), std::runtime_error);
   EXPECT_THROW((void)load_resume_state(dir, 99, 3, 4), std::runtime_error);
   EXPECT_THROW((void)load_resume_state(dir, 99, 2, 5), std::runtime_error);
+}
+
+TEST(Checkpoint, ManifestRejectsVersionOneWithActionableError) {
+  const auto dir = fresh_dir("manifest_v1");
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(manifest_path(dir));
+    out << "KRONCK-MANIFEST 1\n"
+        << "config_hash 99\nranks 1\ncompleted_epochs 1\ncheckpoint_every 2\n"
+        << "shard 0 1234\n";
+  }
+  try {
+    (void)read_manifest(dir);
+    FAIL() << "v1 manifest must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("older build"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("--resume"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Checkpoint, ResumeRejectsForeignShardEncoding) {
+  const auto dir = fresh_dir("manifest_encoding");
+  CheckpointManifest manifest;
+  manifest.config_hash = 7;
+  manifest.ranks = 1;
+  manifest.encoding = kCheckpointEncoding + 1;  // a future build's shards
+  manifest.completed_epochs = 1;
+  manifest.checkpoint_every = 2;
+  manifest.shard_checksums = {1};
+  manifest.shard_arc_counts = {1};
+  manifest.shard_bytes = {64};
+  write_manifest(dir, manifest);
+  try {
+    (void)load_resume_state(dir, 7, 1, 2);
+    FAIL() << "foreign shard encoding must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("encoding"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Checkpoint, MissingManifestMeansFreshStart) {

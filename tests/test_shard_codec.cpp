@@ -1,0 +1,393 @@
+// Tests for the delta-varint shard codec (graph/shard_codec.hpp) and the
+// .kshard writer/cursor (graph/io.hpp): varint boundary round-trips,
+// rejection of truncated/overlong/trailing-garbage encodings, key packing
+// limits, shard round-trips through writer and cursor, seek, and every
+// corruption mode the reader must catch (flipped payload byte, tampered
+// index, truncated file).
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/io.hpp"
+#include "graph/shard_codec.hpp"
+#include "graph/types.hpp"
+
+namespace kron {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::uint8_t> encode_varint(std::uint64_t value) {
+  std::vector<std::uint8_t> out;
+  shard::put_varint(out, value);
+  return out;
+}
+
+// Every power-of-two boundary where the varint length changes, plus the
+// extremes: 0, 2^7k - 1 / 2^7k / 2^7k + 1 for each length step, UINT64_MAX.
+std::vector<std::uint64_t> boundary_values() {
+  std::vector<std::uint64_t> values = {0, 1, UINT64_MAX, UINT64_MAX - 1};
+  for (unsigned bits = 7; bits < 64; bits += 7) {
+    const std::uint64_t edge = std::uint64_t{1} << bits;
+    values.push_back(edge - 1);
+    values.push_back(edge);
+    values.push_back(edge + 1);
+  }
+  values.push_back(std::uint64_t{1} << 63);
+  values.push_back((std::uint64_t{1} << 63) - 1);
+  values.push_back((std::uint64_t{1} << 63) + 1);
+  return values;
+}
+
+// ------------------------------------------------------------------ varint
+
+TEST(Varint, BoundaryRoundTrip) {
+  for (const std::uint64_t value : boundary_values()) {
+    const std::vector<std::uint8_t> bytes = encode_varint(value);
+    ASSERT_GE(bytes.size(), 1u);
+    ASSERT_LE(bytes.size(), 10u);
+    const std::uint8_t* p = bytes.data();
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(shard::get_varint(p, bytes.data() + bytes.size(), decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(p, bytes.data() + bytes.size()) << "decoder must consume exactly the encoding";
+  }
+}
+
+TEST(Varint, EncodedLengthMatchesSevenBitGroups) {
+  EXPECT_EQ(encode_varint(0).size(), 1u);
+  EXPECT_EQ(encode_varint(0x7f).size(), 1u);
+  EXPECT_EQ(encode_varint(0x80).size(), 2u);
+  EXPECT_EQ(encode_varint((std::uint64_t{1} << 14) - 1).size(), 2u);
+  EXPECT_EQ(encode_varint(std::uint64_t{1} << 14).size(), 3u);
+  EXPECT_EQ(encode_varint((std::uint64_t{1} << 63)).size(), 10u);
+  EXPECT_EQ(encode_varint(UINT64_MAX).size(), 10u);
+}
+
+TEST(Varint, TruncatedBufferRejectedAndPointerUntouched) {
+  for (const std::uint64_t value : boundary_values()) {
+    const std::vector<std::uint8_t> bytes = encode_varint(value);
+    if (bytes.size() < 2) continue;
+    for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+      const std::uint8_t* p = bytes.data();
+      std::uint64_t decoded = 0;
+      EXPECT_FALSE(shard::get_varint(p, bytes.data() + keep, decoded))
+          << value << " truncated to " << keep << " byte(s)";
+      EXPECT_EQ(p, bytes.data()) << "failed decode must not advance";
+    }
+  }
+}
+
+TEST(Varint, OverflowingTenthByteRejected) {
+  // Nine continuation bytes put the tenth byte at bit 63; any payload bit
+  // above the lowest one overflows 64 bits.
+  std::vector<std::uint8_t> bytes(9, 0x80);
+  bytes.push_back(0x02);  // would set bit 64
+  const std::uint8_t* p = bytes.data();
+  std::uint64_t decoded = 0;
+  EXPECT_FALSE(shard::get_varint(p, bytes.data() + bytes.size(), decoded));
+
+  bytes.back() = 0x01;  // bit 63 itself is fine
+  p = bytes.data();
+  ASSERT_TRUE(shard::get_varint(p, bytes.data() + bytes.size(), decoded));
+  EXPECT_EQ(decoded, std::uint64_t{1} << 63);
+}
+
+TEST(Varint, EleventhByteRejected) {
+  const std::vector<std::uint8_t> bytes(11, 0x80);
+  const std::uint8_t* p = bytes.data();
+  std::uint64_t decoded = 0;
+  EXPECT_FALSE(shard::get_varint(p, bytes.data() + bytes.size(), decoded));
+  EXPECT_EQ(p, bytes.data());
+}
+
+// -------------------------------------------------------------- key packing
+
+TEST(KeyPacker, PackUnpackRoundTrip) {
+  const auto packer = shard::KeyPacker::for_vertices(1000);
+  EXPECT_EQ(packer.shift, 10u);
+  for (const Edge e : {Edge{0, 0}, Edge{0, 999}, Edge{999, 0}, Edge{999, 999}, Edge{123, 456}}) {
+    const std::uint64_t key = packer.pack(e);
+    EXPECT_EQ(packer.unpack(key), e);
+  }
+}
+
+TEST(KeyPacker, OrderMatchesLexicographicArcOrder) {
+  const auto packer = shard::KeyPacker::for_vertices(64);
+  EXPECT_LT(packer.pack({1, 63}), packer.pack({2, 0}));
+  EXPECT_LT(packer.pack({2, 0}), packer.pack({2, 1}));
+}
+
+TEST(KeyPacker, VertexCountLimits) {
+  EXPECT_EQ(shard::KeyPacker::for_vertices(0).shift, 1u);
+  EXPECT_EQ(shard::KeyPacker::for_vertices(1).shift, 1u);
+  EXPECT_EQ(shard::KeyPacker::for_vertices(2).shift, 1u);
+  EXPECT_EQ(shard::KeyPacker::for_vertices(std::uint64_t{1} << 32).shift, 32u);
+  EXPECT_THROW((void)shard::KeyPacker::for_vertices((std::uint64_t{1} << 32) + 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)shard::KeyPacker::for_shift(0), std::invalid_argument);
+  EXPECT_THROW((void)shard::KeyPacker::for_shift(33), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- block codec
+
+TEST(BlockCodec, RoundTripWithDuplicates) {
+  const std::vector<std::uint64_t> keys = {0, 0, 1, 1, 1, 127, 128, 16384, 16384, UINT64_MAX};
+  std::vector<std::uint8_t> encoded;
+  const std::size_t bytes = shard::encode_key_block(keys, encoded);
+  EXPECT_EQ(bytes, encoded.size());
+  std::vector<std::uint64_t> decoded;
+  shard::decode_key_block(encoded.data(), encoded.size(), keys.size(), decoded, "test");
+  EXPECT_EQ(decoded, keys);
+}
+
+TEST(BlockCodec, RejectsUnsortedKeys) {
+  const std::vector<std::uint64_t> keys = {5, 4};
+  std::vector<std::uint8_t> encoded;
+  EXPECT_THROW((void)shard::encode_key_block(keys, encoded), std::invalid_argument);
+}
+
+TEST(BlockCodec, DecodeRejectsTruncationAndTrailingGarbage) {
+  const std::vector<std::uint64_t> keys = {10, 200, 300000, 300000 + (std::uint64_t{1} << 40)};
+  std::vector<std::uint8_t> encoded;
+  (void)shard::encode_key_block(keys, encoded);
+  std::vector<std::uint64_t> decoded;
+  // Every proper prefix must be rejected as truncated.
+  for (std::size_t keep = 0; keep < encoded.size(); ++keep) {
+    decoded.clear();
+    EXPECT_THROW(shard::decode_key_block(encoded.data(), keep, keys.size(), decoded, "test"),
+                 std::runtime_error);
+  }
+  // Extra bytes after the last key must be rejected as trailing garbage.
+  std::vector<std::uint8_t> padded = encoded;
+  padded.push_back(0x00);
+  decoded.clear();
+  EXPECT_THROW(shard::decode_key_block(padded.data(), padded.size(), keys.size(), decoded, "test"),
+               std::runtime_error);
+}
+
+TEST(BlockCodec, DecodeRejectsDeltaWrap) {
+  // First key UINT64_MAX followed by delta 1 wraps the key space.
+  std::vector<std::uint8_t> encoded;
+  shard::put_varint(encoded, UINT64_MAX);
+  shard::put_varint(encoded, 1);
+  std::vector<std::uint64_t> decoded;
+  EXPECT_THROW(shard::decode_key_block(encoded.data(), encoded.size(), 2, decoded, "test"),
+               std::runtime_error);
+}
+
+TEST(BlockCodec, RandomizedRoundTripMatchesUncompressed) {
+  std::mt19937_64 rng(20260808);
+  for (int round = 0; round < 20; ++round) {
+    std::uniform_int_distribution<std::size_t> len_dist(1, 3 * shard::kBlockArcs);
+    std::vector<std::uint64_t> keys(len_dist(rng));
+    // Mix of tiny and huge deltas plus duplicates.
+    std::uniform_int_distribution<std::uint64_t> delta(0, round % 2 == 0 ? 3 : UINT64_MAX >> 20);
+    std::uint64_t key = 0;
+    for (auto& k : keys) {
+      key += delta(rng);
+      k = key;
+    }
+    std::vector<std::uint8_t> encoded;
+    std::vector<std::uint64_t> decoded;
+    for (std::size_t i = 0; i < keys.size(); i += shard::kBlockArcs) {
+      const std::size_t count = std::min(shard::kBlockArcs, keys.size() - i);
+      encoded.clear();
+      (void)shard::encode_key_block(std::span<const std::uint64_t>(keys).subspan(i, count),
+                                    encoded);
+      shard::decode_key_block(encoded.data(), encoded.size(), count, decoded, "test");
+    }
+    EXPECT_EQ(decoded, keys);
+  }
+}
+
+// ------------------------------------------------------------ shard files
+
+std::vector<Edge> sorted_random_arcs(std::size_t count, vertex_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<vertex_t> vtx(0, n - 1);
+  std::vector<Edge> arcs(count);
+  for (auto& e : arcs) e = Edge{vtx(rng), vtx(rng)};
+  std::sort(arcs.begin(), arcs.end());
+  return arcs;
+}
+
+TEST(ArcShard, WriterCursorRoundTripAcrossBlocks) {
+  const fs::path dir = fresh_dir("kron_shard_roundtrip");
+  constexpr vertex_t kVertices = 5000;
+  const std::vector<Edge> arcs = sorted_random_arcs(3 * shard::kBlockArcs + 17, kVertices, 1);
+
+  ShardIoStats stats;
+  const ArcShardInfo info = write_arc_shard(dir / "a.kshard", kVertices, arcs, &stats);
+  EXPECT_EQ(info.num_arcs, arcs.size());
+  EXPECT_EQ(info.encoding, shard::kEncodingVersion);
+  EXPECT_EQ(info.num_vertices, kVertices);
+  EXPECT_EQ(info.num_blocks, (arcs.size() + shard::kBlockArcs - 1) / shard::kBlockArcs);
+  EXPECT_EQ(stats.shards_written, 1u);
+  EXPECT_EQ(stats.arcs_written, arcs.size());
+  EXPECT_GT(stats.bytes_written, 0u);
+
+  const auto packer = shard::KeyPacker::for_shift(info.key_shift);
+  EXPECT_EQ(info.min_key, packer.pack(arcs.front()));
+  EXPECT_EQ(info.max_key, packer.pack(arcs.back()));
+
+  // Streaming read via next().
+  ArcShardCursor cursor(dir / "a.kshard", 0, &stats);
+  std::vector<Edge> read;
+  std::uint64_t key = 0;
+  while (cursor.next(key)) read.push_back(packer.unpack(key));
+  EXPECT_EQ(read, arcs);
+  EXPECT_FALSE(cursor.next(key)) << "exhausted cursor must stay exhausted";
+  EXPECT_EQ(stats.arcs_read, arcs.size());
+
+  // Bulk read via next_batch() with an awkward batch size.
+  ArcShardCursor bulk(dir / "a.kshard");
+  std::vector<std::uint64_t> keys;
+  std::uint64_t batch[257];
+  for (std::size_t got; (got = bulk.next_batch(batch, 257)) > 0;)
+    keys.insert(keys.end(), batch, batch + got);
+  ASSERT_EQ(keys.size(), arcs.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(packer.unpack(keys[i]), arcs[i]);
+}
+
+TEST(ArcShard, EmptyShardRoundTrips) {
+  const fs::path dir = fresh_dir("kron_shard_empty");
+  const ArcShardInfo info = write_arc_shard(dir / "empty.kshard", 16, {});
+  EXPECT_EQ(info.num_arcs, 0u);
+  EXPECT_EQ(info.num_blocks, 0u);
+  ArcShardCursor cursor(dir / "empty.kshard");
+  std::uint64_t key = 0;
+  EXPECT_FALSE(cursor.next(key));
+}
+
+TEST(ArcShard, WriterRejectsDecreasingKeys) {
+  const fs::path dir = fresh_dir("kron_shard_order");
+  ArcShardWriter writer(dir / "bad.kshard", 100);
+  writer.append_key(50);
+  writer.append_key(50);  // equal is fine (duplicates are merged later)
+  EXPECT_THROW(writer.append_key(49), std::logic_error);
+}
+
+TEST(ArcShard, AbortedWriterPublishesNothing) {
+  const fs::path dir = fresh_dir("kron_shard_abort");
+  {
+    ArcShardWriter writer(dir / "gone.kshard", 100);
+    writer.append_key(1);
+    // destroyed without finish()
+  }
+  EXPECT_FALSE(fs::exists(dir / "gone.kshard"));
+}
+
+TEST(ArcShard, SeekRepositionsInEitherDirection) {
+  const fs::path dir = fresh_dir("kron_shard_seek");
+  constexpr vertex_t kVertices = 4096;
+  std::vector<Edge> arcs = sorted_random_arcs(2 * shard::kBlockArcs + 100, kVertices, 2);
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  (void)write_arc_shard(dir / "s.kshard", kVertices, arcs);
+
+  const auto packer = shard::KeyPacker::for_vertices(kVertices);
+  std::vector<std::uint64_t> keys(arcs.size());
+  for (std::size_t i = 0; i < arcs.size(); ++i) keys[i] = packer.pack(arcs[i]);
+
+  ArcShardCursor cursor(dir / "s.kshard");
+  const auto expect_from = [&](std::uint64_t target) {
+    cursor.seek(target);
+    const auto it = std::lower_bound(keys.begin(), keys.end(), target);
+    std::uint64_t key = 0;
+    if (it == keys.end()) {
+      EXPECT_FALSE(cursor.next(key)) << "seek past max must exhaust";
+    } else {
+      ASSERT_TRUE(cursor.next(key));
+      EXPECT_EQ(key, *it) << "target " << target;
+    }
+  };
+
+  expect_from(0);                       // before the first key
+  expect_from(keys.front());            // exact first
+  expect_from(keys[keys.size() / 2]);   // exact middle (forward)
+  expect_from(keys[keys.size() / 4]);   // backwards
+  expect_from(keys[keys.size() / 2] + 1);
+  expect_from(keys.back());             // exact last
+  expect_from(keys.back() + 1);         // past the end
+  expect_from(keys[keys.size() / 3]);   // backwards again after exhaustion
+}
+
+// ------------------------------------------------------------- corruption
+
+struct ShardFile {
+  fs::path path;
+  ArcShardInfo info;
+};
+
+ShardFile make_shard(const fs::path& dir) {
+  constexpr vertex_t kVertices = 3000;
+  const std::vector<Edge> arcs = sorted_random_arcs(2 * shard::kBlockArcs, kVertices, 3);
+  ShardFile f;
+  f.path = dir / "victim.kshard";
+  f.info = write_arc_shard(f.path, kVertices, arcs);
+  return f;
+}
+
+void flip_byte(const fs::path& path, std::uint64_t offset) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+}
+
+std::uint64_t drain_count(const fs::path& path) {
+  ArcShardCursor cursor(path);
+  std::uint64_t key = 0;
+  std::uint64_t count = 0;
+  while (cursor.next(key)) ++count;
+  return count;
+}
+
+TEST(ArcShardCorruption, FlippedPayloadByteDetected) {
+  const fs::path dir = fresh_dir("kron_shard_corrupt_payload");
+  const ShardFile f = make_shard(dir);
+  // Middle of the second payload block (header is 80 bytes).
+  flip_byte(f.path, 80 + f.info.payload_bytes / 2 + 8);
+  EXPECT_THROW((void)drain_count(f.path), std::runtime_error);
+}
+
+TEST(ArcShardCorruption, TamperedIndexDetected) {
+  const fs::path dir = fresh_dir("kron_shard_corrupt_index");
+  const ShardFile f = make_shard(dir);
+  // The block index follows the payload.
+  flip_byte(f.path, 80 + f.info.payload_bytes + 4);
+  EXPECT_THROW((void)drain_count(f.path), std::runtime_error);
+}
+
+TEST(ArcShardCorruption, TruncatedFileDetected) {
+  const fs::path dir = fresh_dir("kron_shard_truncated");
+  const ShardFile f = make_shard(dir);
+  fs::resize_file(f.path, fs::file_size(f.path) - 13);
+  EXPECT_THROW((void)drain_count(f.path), std::runtime_error);
+}
+
+TEST(ArcShardCorruption, BadMagicDetected) {
+  const fs::path dir = fresh_dir("kron_shard_magic");
+  const ShardFile f = make_shard(dir);
+  flip_byte(f.path, 0);
+  EXPECT_THROW((void)read_arc_shard_info(f.path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kron

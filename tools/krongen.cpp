@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "analytics/bfs.hpp"
 #include "analytics/triangles.hpp"
 #include "core/distance_gt.hpp"
 #include "core/generator.hpp"
@@ -37,6 +38,8 @@
 #include "gen/rmat.hpp"
 #include "gen/sbm.hpp"
 #include "graph/csr.hpp"
+#include "graph/csr_mmap.hpp"
+#include "graph/external_merge.hpp"
 #include "graph/io.hpp"
 #include "graph/ops.hpp"
 #include "runtime/faults.hpp"
@@ -54,6 +57,8 @@ int usage() {
       "usage: krongen <command> [options]\n"
       "  synth     synthesise a factor graph to a file\n"
       "  generate  produce C = A (x) B with the distributed generator\n"
+      "  merge     k-way merge + dedupe a shard directory into canonical parts\n"
+      "  analyze   out-of-core analytics over a memory-mapped CSR (.kcsr)\n"
       "  info      predicted shape and key ground-truth scalars of C\n"
       "  truth     per-vertex / per-edge ground truth queries\n"
       "  ecc       eccentricity distribution and diameter of (A+I) (x) (B+I)\n"
@@ -225,6 +230,21 @@ void print_fault_stats(const std::vector<CommStats>& per_rank) {
   std::cout << "per-rank fault injection / reliable-delivery activity:\n" << table.str();
 }
 
+void print_shard_io_stats(const std::vector<ShardIoStats>& per_rank) {
+  Table table({"rank", "shards", "arcs written", "bytes written", "write s"});
+  ShardIoStats total;
+  for (std::size_t r = 0; r < per_rank.size(); ++r) {
+    const ShardIoStats& io = per_rank[r];
+    table.row({std::to_string(r), std::to_string(io.shards_written),
+               std::to_string(io.arcs_written), std::to_string(io.bytes_written),
+               Table::num(io.write_seconds, 4)});
+    total += io;
+  }
+  table.row({"all", std::to_string(total.shards_written), std::to_string(total.arcs_written),
+             std::to_string(total.bytes_written), Table::num(total.write_seconds, 4)});
+  std::cout << "per-rank shard sink I/O:\n" << table.str();
+}
+
 /// Run one generation, restarting from the checkpoint when an injected
 /// rank crash fires (each FaultPlan crash event fires at most once per
 /// plan instance, so the restart resumes past it; the attempt bound makes
@@ -248,7 +268,8 @@ int cmd_generate(const CliArgs& args) {
   args.reject_unknown({"a", "b", "loops", "ranks", "scheme", "backend", "shuffle", "async",
                        "chunk", "capacity", "power", "threads", "out", "binary", "stats",
                        "trace", "metrics", "faults", "checkpoint-dir", "checkpoint-every",
-                       "resume", "retry-timeout-us", "max-retries", "help"});
+                       "resume", "retry-timeout-us", "max-retries", "sink", "shard-dir",
+                       "shard-mb", "help"});
   if (args.has_flag("help")) {
     std::cout << "krongen generate --a A --b B [--loops none|both|a] [--ranks R]\n"
                  "                 [--scheme 1d|2d] [--backend threads|procs]\n"
@@ -256,6 +277,7 @@ int cmd_generate(const CliArgs& args) {
                  "                 [--capacity N] [--power K] [--threads T] [--stats]\n"
                  "                 [--faults SPEC] [--checkpoint-dir DIR]\n"
                  "                 [--checkpoint-every N] [--resume]\n"
+                 "                 [--sink memory|shards] [--shard-dir DIR] [--shard-mb N]\n"
                  "                 [--trace FILE] [--metrics] --out FILE\n"
                  "  --power K iterates C <- C (x) B a further K-1 times (scale series)\n"
                  "  --backend procs runs each rank as a forked process over Unix-domain\n"
@@ -271,6 +293,9 @@ int cmd_generate(const CliArgs& args) {
                  "  restart from --checkpoint-dir automatically\n"
                  "  --checkpoint-dir DIR snapshots every --checkpoint-every production\n"
                  "  chunks; --resume continues from the manifest in DIR\n"
+                 "  --sink shards spills each rank's arcs as sorted compressed shards\n"
+                 "  into --shard-dir (windows of --shard-mb MiB; out-of-core path —\n"
+                 "  no --out file is written; canonicalise with `krongen merge`)\n"
                  "  --trace FILE records phase spans and writes Chrome trace_event JSON\n"
                  "  (open in chrome://tracing or ui.perfetto.dev; see README)\n"
                  "  --metrics prints the per-rank phase table and counters afterwards\n";
@@ -316,14 +341,62 @@ int cmd_generate(const CliArgs& args) {
   if (config.resume && config.checkpoint_dir.empty())
     throw std::invalid_argument("--resume needs --checkpoint-dir");
 
+  const std::string sink_word = args.get_or("sink", "memory");
+  if (sink_word == "shards") {
+    config.sink = SinkMode::kShards;
+    config.shard_dir = args.require("shard-dir");
+    config.shard_mb = args.get_u64("shard-mb", 64, 1, std::uint64_t{1} << 20);
+  } else if (sink_word != "memory") {
+    throw std::invalid_argument("--sink must be 'memory' or 'shards', got '" + sink_word +
+                                "'");
+  }
+  const unsigned power = static_cast<unsigned>(args.get_u64("power", 1, 1, 64));
+  if (config.sink == SinkMode::kShards && power > 1)
+    throw std::invalid_argument(
+        "--power needs the product in memory to reuse it as the next factor; it cannot "
+        "be combined with --sink shards");
+
   const auto trace_path = args.get("trace");
   const bool metrics = args.has_flag("metrics");
   if (trace_path || metrics) trace::enable();
 
   const Timer timer;
   GeneratorResult result = run_generation(a, b, config);
+
+  const auto finish_trace = [&] {
+    if (trace_path || metrics) {
+      trace::enable(false);
+      if (metrics) std::cout << trace::phase_table();
+      if (trace_path) {
+        trace::write_chrome_trace_file(*trace_path);
+        std::cout << "wrote trace to " << *trace_path
+                  << " (open in chrome://tracing or ui.perfetto.dev)\n";
+      }
+    }
+  };
+
+  if (config.sink == SinkMode::kShards) {
+    std::uint64_t generated = 0;
+    for (const std::uint64_t g : result.generated_per_rank) generated += g;
+    ShardIoStats io;
+    for (const ShardIoStats& rank_io : result.shard_io_per_rank) io += rank_io;
+    std::cout << "generated in " << Table::num(timer.seconds(), 3) << " s on "
+              << config.ranks << " rank(s)\n";
+    std::cout << "spilled " << io.arcs_written << " of " << generated
+              << " produced arcs into " << io.shards_written << " shards ("
+              << io.bytes_written << " bytes) under " << config.shard_dir.string() << "\n";
+    std::cout << "next: krongen merge --shards " << config.shard_dir.string()
+              << " --out <dir>\n";
+    if (args.has_flag("stats")) {
+      print_comm_stats(result.comm_per_rank);
+      print_fault_stats(result.comm_per_rank);
+      print_shard_io_stats(result.shard_io_per_rank);
+    }
+    finish_trace();
+    return 0;
+  }
+
   EdgeList c = result.gather();
-  const unsigned power = static_cast<unsigned>(args.get_u64("power", 1, 1, 64));
   // Later power iterations have a different factor A (= the previous C),
   // hence a different config hash: never resume them from the first
   // iteration's manifest.
@@ -338,16 +411,177 @@ int cmd_generate(const CliArgs& args) {
     print_comm_stats(result.comm_per_rank);
     print_fault_stats(result.comm_per_rank);
   }
+  finish_trace();
+  store_graph(c, args.require("out"), args.has_flag("binary"));
+  return 0;
+}
+
+// ----------------------------------------------------------------- merge
+
+int cmd_merge(const CliArgs& args) {
+  args.reject_unknown(
+      {"shards", "out", "parts", "budget-mb", "threads", "export-binary", "stats", "trace",
+       "metrics", "help"});
+  if (args.has_flag("help")) {
+    std::cout << "krongen merge --shards DIR --out DIR [--parts N] [--budget-mb N]\n"
+                 "              [--threads T] [--export-binary FILE] [--stats]\n"
+                 "              [--trace FILE] [--metrics]\n"
+                 "  k-way merge + dedupe of a shard directory (from `generate --sink\n"
+                 "  shards`) into globally sorted merged parts under --out, within a\n"
+                 "  --budget-mb memory budget (default 256).  Interrupted merges resume:\n"
+                 "  re-run with the same arguments and completed parts are reused.\n"
+                 "  --export-binary additionally writes the canonical edge list as a\n"
+                 "  .bin file (materialises every arc — only for products that fit).\n";
+    return 0;
+  }
+  if (args.get("threads").has_value())
+    ThreadPool::set_num_threads(static_cast<int>(args.get_u64("threads", 1, 1, 4096)));
+  const auto trace_path = args.get("trace");
+  const bool metrics = args.has_flag("metrics");
+  if (trace_path || metrics) trace::enable();
+
+  const std::string shards_dir = args.require("shards");
+  const std::string out_dir = args.require("out");
+  const std::vector<std::filesystem::path> inputs = list_arc_shards(shards_dir);
+  if (inputs.empty())
+    throw std::invalid_argument("no .kshard files in " + shards_dir +
+                                "; run `krongen generate --sink shards` first");
+  MergeOptions options;
+  options.parts = args.get_u64("parts", 0, 0, 4096);
+  options.budget_bytes = args.get_u64("budget-mb", 256, 1, std::uint64_t{1} << 20) << 20;
+
+  MergeStats stats;
+  const MergedManifest manifest = merge_shards(inputs, out_dir, options, &stats);
+  std::cout << "merged " << stats.arcs_in << " arcs from " << inputs.size()
+            << " shards into " << manifest.total_arcs << " canonical arcs ("
+            << stats.duplicates_dropped << " duplicates dropped) across "
+            << manifest.parts.size() << " parts in " << Table::num(stats.seconds, 3)
+            << " s";
+  if (stats.parts_reused != 0)
+    std::cout << " (" << stats.parts_reused << " parts reused from an interrupted run)";
+  std::cout << "\n";
+  if (args.has_flag("stats")) {
+    Table table({"counter", "value"});
+    table.row({"arcs in", std::to_string(stats.arcs_in)});
+    table.row({"arcs out", std::to_string(stats.arcs_out)});
+    table.row({"duplicates dropped", std::to_string(stats.duplicates_dropped)});
+    table.row({"parts merged", std::to_string(stats.parts_merged)});
+    table.row({"parts reused", std::to_string(stats.parts_reused)});
+    table.row({"bytes read", std::to_string(stats.io.bytes_read)});
+    table.row({"bytes written", std::to_string(stats.io.bytes_written)});
+    table.row({"merge arcs/s",
+               Table::num(stats.seconds > 0 ? static_cast<double>(stats.arcs_in) / stats.seconds
+                                            : 0.0,
+                          0)});
+    std::cout << table.str();
+  }
+  if (const auto export_path = args.get("export-binary")) {
+    export_merged_binary(out_dir, *export_path);
+    std::cout << "exported canonical edge list to " << *export_path << "\n";
+  }
   if (trace_path || metrics) {
     trace::enable(false);
     if (metrics) std::cout << trace::phase_table();
     if (trace_path) {
       trace::write_chrome_trace_file(*trace_path);
-      std::cout << "wrote trace to " << *trace_path
-                << " (open in chrome://tracing or ui.perfetto.dev)\n";
+      std::cout << "wrote trace to " << *trace_path << "\n";
     }
   }
-  store_graph(c, args.require("out"), args.has_flag("binary"));
+  return 0;
+}
+
+// --------------------------------------------------------------- analyze
+
+int cmd_analyze(const CliArgs& args) {
+  args.reject_unknown(
+      {"mmap", "from-merged", "bfs", "degrees", "triangles", "spot", "threads", "help"});
+  if (args.has_flag("help")) {
+    std::cout << "krongen analyze --mmap FILE [--from-merged DIR] [--bfs SRC]\n"
+                 "                [--degrees] [--triangles] [--spot N] [--threads T]\n"
+                 "  out-of-core analytics over a memory-mapped CSR (.kcsr): the kernels\n"
+                 "  run directly over the mapping, never materialising the graph.\n"
+                 "  --from-merged builds FILE from a completed `krongen merge` directory\n"
+                 "  first (two streaming passes); --spot N structurally validates N\n"
+                 "  evenly spread rows (sorted, deduplicated, in-range targets).\n";
+    return 0;
+  }
+  if (args.get("threads").has_value())
+    ThreadPool::set_num_threads(static_cast<int>(args.get_u64("threads", 1, 1, 4096)));
+  const std::string path = args.require("mmap");
+  if (const auto merged = args.get("from-merged")) {
+    const Timer timer;
+    const CsrBuildStats build = build_csr_file(*merged, path);
+    std::cout << "built " << path << ": " << build.num_vertices << " vertices, "
+              << build.num_arcs << " arcs, " << build.bytes_written << " bytes in "
+              << Table::num(timer.seconds(), 3) << " s (count "
+              << Table::num(build.count_seconds, 3) << " s, scatter "
+              << Table::num(build.scatter_seconds, 3) << " s)\n";
+  }
+
+  const CsrMmap mapped(path);
+  const CsrView& g = mapped.view();
+  std::cout << "mapped " << path << ": " << g.num_vertices() << " vertices, "
+            << g.num_arcs() << " arcs\n";
+
+  if (args.has_flag("degrees")) {
+    mapped.advise_sequential();
+    std::uint64_t max_degree = 0, isolated = 0;
+    for (vertex_t v = 0; v < g.num_vertices(); ++v) {
+      const std::uint64_t d = g.degree(v);
+      max_degree = std::max(max_degree, d);
+      isolated += d == 0 ? 1 : 0;
+    }
+    const double mean = g.num_vertices() == 0
+                            ? 0.0
+                            : static_cast<double>(g.num_arcs()) /
+                                  static_cast<double>(g.num_vertices());
+    std::cout << "degrees: max " << max_degree << ", mean " << Table::num(mean, 4)
+              << ", isolated " << isolated << "\n";
+  }
+
+  if (const auto spot = args.get("spot")) {
+    const std::uint64_t rows = CliArgs::parse_u64("--spot", *spot);
+    mapped.advise_random();
+    const vertex_t n = g.num_vertices();
+    const vertex_t stride = std::max<vertex_t>(1, n / std::max<std::uint64_t>(rows, 1));
+    std::uint64_t checked = 0;
+    for (vertex_t v = 0; v < n && checked < rows; v += stride, ++checked) {
+      const auto row = g.neighbors(v);
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i] >= n)
+          throw std::runtime_error("spot check: row " + std::to_string(v) +
+                                   " has out-of-range target " + std::to_string(row[i]));
+        if (i != 0 && row[i] <= row[i - 1])
+          throw std::runtime_error("spot check: row " + std::to_string(v) +
+                                   " is not strictly sorted at position " +
+                                   std::to_string(i));
+      }
+    }
+    std::cout << "spot-checked " << checked
+              << " rows: sorted, deduplicated, targets in range\n";
+  }
+
+  if (const auto source = args.get("bfs")) {
+    const vertex_t src = parse_vertex_id("--bfs", *source);
+    const Timer timer;
+    const std::vector<std::uint64_t> level = bfs_levels(g, src);
+    std::uint64_t reached = 0, max_level = 0;
+    for (const std::uint64_t l : level) {
+      if (l == kUnreachable) continue;
+      ++reached;
+      max_level = std::max(max_level, l);
+    }
+    std::cout << "bfs from " << src << ": reached " << reached << " of "
+              << g.num_vertices() << " vertices, depth " << max_level << " in "
+              << Table::num(timer.seconds(), 3) << " s\n";
+  }
+
+  if (args.has_flag("triangles")) {
+    const Timer timer;
+    const std::uint64_t triangles = global_triangle_count(g);
+    std::cout << "global triangles: " << triangles << " in "
+              << Table::num(timer.seconds(), 3) << " s\n";
+  }
   return 0;
 }
 
@@ -512,15 +746,27 @@ int cmd_validate(const CliArgs& args) {
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const CliArgs args(argc, argv, 2,
-                     {"shuffle", "binary", "lcc", "loops", "async", "stats", "help"});
-  if (command == "synth") return cmd_synth(args);
+  if (command == "synth") {
+    // Each command parses with its own flag set — a name that is a flag for
+    // one command may take a value in another.
+    const CliArgs args(argc, argv, 2,
+                       {"shuffle", "binary", "lcc", "loops", "async", "stats", "help"});
+    return cmd_synth(args);
+  }
   if (command == "generate") {
     // "loops" is a valued option for generate/info/truth/validate, so
     // re-parse without it in the flag set.
     const CliArgs valued(argc, argv, 2,
                          {"shuffle", "binary", "async", "stats", "metrics", "resume", "help"});
     return cmd_generate(valued);
+  }
+  if (command == "merge") {
+    const CliArgs valued(argc, argv, 2, {"stats", "metrics", "help"});
+    return cmd_merge(valued);
+  }
+  if (command == "analyze") {
+    const CliArgs valued(argc, argv, 2, {"degrees", "triangles", "help"});
+    return cmd_analyze(valued);
   }
   if (command == "info" || command == "truth" || command == "validate" ||
       command == "ecc" || command == "closeness") {
