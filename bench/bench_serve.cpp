@@ -1,0 +1,258 @@
+// E9 — krond query-service latency and throughput (DESIGN.md §16).
+//
+// Runs the serve stack fully in-process (Catalog + Server on a Unix
+// socket + blocking Client) and measures the thing the service exists
+// for: once the per-product analytics context is built and cached, a
+// ground-truth query costs microseconds of evaluation plus one framed
+// round trip, while a cold query pays the whole factor-analytics build
+// (triangle censuses, all-BFS eccentricities).  The artifact records
+//   serve.cold_query.seconds        context rebuild + one query   (gated)
+//   serve.warm_closeness_per_sec    single-vertex round-trip QPS  (gated)
+//   serve.degree_per_sec            cheapest-statistic QPS        (gated)
+//   serve.batch_closeness_per_sec   batched values per second     (gated)
+//   serve.warm_vs_cold_speedup      cold / warm-p50 ratio         (gated)
+//   serve.warm.p50_us / p99_us      latency distribution   (informational)
+// and enforces the §16 acceptance bar: warm-cache p50 at least 100x
+// faster than a cold per-query recompute.
+//
+// KRON_SERVE_NO_CACHE=1 builds the Catalog in no-cache mode (every query
+// rebuilds the context) — the perf-gate negative control: the gated QPS
+// keys collapse by orders of magnitude, so the gate MUST trip.
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/distance_gt.hpp"
+#include "core/ground_truth.hpp"
+#include "gen/prefattach.hpp"
+#include "graph/ops.hpp"
+#include "serve/catalog.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace kron {
+namespace {
+
+constexpr std::uint64_t kSeed = 20190916;
+
+bool no_cache_requested() {
+  const char* value = std::getenv("KRON_SERVE_NO_CACHE");
+  return value != nullptr && *value != '\0' && std::string(value) != "0";
+}
+
+/// In-process serve stack bound to a private Unix socket; the socket file
+/// lives under the temp dir and is unlinked by Server::stop().
+struct ServeStack {
+  explicit ServeStack(bool no_cache)
+      : socket_path((std::filesystem::temp_directory_path() /
+                     ("bench_serve_" + std::to_string(::getpid()) + ".sock"))
+                        .string()),
+        catalog(no_cache) {
+    serve::ServerOptions options;
+    options.unix_path = socket_path;
+    server = std::make_unique<serve::Server>(catalog, options);
+    server->start();
+  }
+  ~ServeStack() {
+    if (server != nullptr) server->stop();
+  }
+  [[nodiscard]] serve::Client connect() const {
+    return serve::Client::connect_unix(socket_path);
+  }
+
+  std::string socket_path;
+  serve::Catalog catalog;
+  std::unique_ptr<serve::Server> server;
+};
+
+void print_artifact() {
+  bench::banner("E9", "krond query service: cold build vs warm cached queries");
+  const bool no_cache = no_cache_requested();
+  std::cout << "seed " << kSeed << (no_cache ? "  [KRON_SERVE_NO_CACHE]" : "") << "\n";
+  bench::JsonReport& report = bench::JsonReport::instance();
+
+  // Mid-size factors: large enough that the context build (triangle
+  // censuses + all-BFS eccentricities of both factors) dominates a single
+  // query by orders of magnitude, small enough for a tier-1-friendly run.
+  const EdgeList a = prepare_factor(make_pref_attachment(800, 3, kSeed), false);
+  const EdgeList b = prepare_factor(make_pref_attachment(500, 3, kSeed + 1), false);
+
+  ServeStack stack(no_cache);
+  serve::Client client = stack.connect();
+  client.register_factor("a", a);
+  client.register_factor("b", b);
+  client.define_product("c", "a", "b", LoopRegime::kFullLoops);
+
+  const std::uint64_t num_vertices =
+      a.num_vertices() * static_cast<std::uint64_t>(b.num_vertices());
+  std::cout << "product c = a (x) b: n_C = " << num_vertices << " ("
+            << a.num_vertices() << " x " << b.num_vertices()
+            << "), served over " << stack.socket_path << "\n";
+  report.add("gauge.serve.product_vertices", static_cast<double>(num_vertices));
+
+  // Query vertices: a fixed stride walk so repeated passes touch the same
+  // factor rows (the steady-state a catalog server actually reaches).
+  constexpr std::size_t kLatencySamples = 400;
+  std::vector<vertex_t> probes(kLatencySamples);
+  for (std::size_t i = 0; i < kLatencySamples; ++i)
+    probes[i] = static_cast<vertex_t>((i * 977) % num_vertices);
+
+  // --- cold: re-register a factor (bumps its generation, invalidating
+  // the cached context) and pay the full rebuild inside one query.
+  const double cold_seconds = bench::report_time(
+      "serve.cold_query", bench::time_repeated([&] {
+        client.register_factor("a", a);
+        benchmark::DoNotOptimize(client.query_closeness("c", {probes[0]}));
+      }));
+  std::cout << "cold query (context rebuild + 1 closeness): "
+            << Table::num(cold_seconds * 1e3, 2) << " ms\n";
+
+  // --- warm latency distribution: single-vertex closeness round trips.
+  {
+    std::vector<double> latencies(kLatencySamples);
+    const auto pass = [&] {
+      for (std::size_t i = 0; i < kLatencySamples; ++i) {
+        const Timer timer;
+        benchmark::DoNotOptimize(client.query_closeness("c", {probes[i]}));
+        latencies[i] = timer.seconds();
+      }
+    };
+    pass();  // warm the context cache and the factor BFS row caches
+    const bench::TimingSample total = bench::time_repeated(pass);
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = latencies[kLatencySamples / 2];
+    const double p99 = latencies[kLatencySamples * 99 / 100];
+    const double qps = static_cast<double>(kLatencySamples) / total.min_seconds;
+    report.add("serve.warm.p50_us", p50 * 1e6);
+    report.add("serve.warm.p99_us", p99 * 1e6);
+    report.add("serve.warm_closeness_per_sec", qps);
+    std::cout << "warm closeness round trips: p50 " << Table::num(p50 * 1e6, 1)
+              << " us, p99 " << Table::num(p99 * 1e6, 1) << " us, "
+              << Table::num(qps, 0) << " req/s\n";
+
+    const double speedup = cold_seconds / p50;
+    report.add("serve.warm_vs_cold_speedup", speedup);
+    std::cout << "warm p50 vs cold per-query recompute: "
+              << Table::num(speedup, 0) << "x\n";
+    if (!no_cache && speedup < 100.0)
+      throw std::runtime_error(
+          "serve acceptance violated: warm p50 only " + std::to_string(speedup) +
+          "x faster than cold recompute (need >= 100x)");
+  }
+
+  // --- cheapest statistic: degree needs no distance machinery, so this
+  // is close to pure framing + dispatch cost.
+  {
+    const bench::TimingSample total = bench::time_repeated([&] {
+      for (std::size_t i = 0; i < kLatencySamples; ++i)
+        benchmark::DoNotOptimize(
+            client.query("c", serve::Statistic::kDegree, {probes[i]}));
+    });
+    const double qps = static_cast<double>(kLatencySamples) / total.min_seconds;
+    report.add("serve.degree_per_sec", qps);
+    std::cout << "warm degree round trips: " << Table::num(qps, 0) << " req/s\n";
+  }
+
+  // --- batching: one request carrying a large vertex batch amortises the
+  // round trip and lets the server spread evaluation over the ThreadPool.
+  {
+    constexpr std::size_t kBatch = 4096;
+    std::vector<vertex_t> batch(kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i)
+      batch[i] = static_cast<vertex_t>((i * 131) % num_vertices);
+    const bench::TimingSample total = bench::time_repeated(
+        [&] { benchmark::DoNotOptimize(client.query_closeness("c", batch)); });
+    const double per_sec = static_cast<double>(kBatch) / total.min_seconds;
+    report.add("serve.batch_closeness_per_sec", per_sec);
+    std::cout << "batched closeness (" << kBatch << "/request): "
+              << Table::num(per_sec, 0) << " values/s\n";
+  }
+
+  // --- correctness spot check: served values equal the offline path the
+  // tools run (full bit-identity is pinned by tests/test_serve.cpp).
+  {
+    const KroneckerGroundTruth gt(a, b, LoopRegime::kFullLoops);
+    const DistanceGroundTruth distances(a, b);
+    const std::vector<vertex_t> spot(probes.begin(), probes.begin() + 8);
+    const std::vector<std::uint64_t> degrees =
+        client.query("c", serve::Statistic::kDegree, spot);
+    const std::vector<double> closeness = client.query_closeness("c", spot);
+    for (std::size_t i = 0; i < spot.size(); ++i) {
+      if (degrees[i] != gt.degree(spot[i]))
+        throw std::runtime_error("served degree disagrees with offline path at vertex " +
+                                 std::to_string(spot[i]));
+      if (closeness[i] != distances.closeness_fast(spot[i]))
+        throw std::runtime_error(
+            "served closeness is not bit-identical to the offline path at vertex " +
+            std::to_string(spot[i]));
+    }
+    std::cout << "spot-checked " << spot.size()
+              << " vertices against the offline ground truth: bit-identical\n";
+  }
+
+  client.shutdown_server();
+  stack.server->wait();
+  report.add("gauge.serve.requests_served",
+             static_cast<double>(stack.server->requests_served()));
+}
+
+// ---------------------------------------------------------------- timings
+
+void BM_QueryEncodeDecode(benchmark::State& state) {
+  // The codec hot path alone (no sockets): encode a 64-vertex query
+  // request, then bounds-check-decode it the way the server does.
+  std::vector<vertex_t> vertices(64);
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    vertices[i] = static_cast<vertex_t>(i * 977);
+  for (auto _ : state) {
+    serve::WireWriter writer;
+    writer.str("c");
+    writer.u8(static_cast<std::uint8_t>(serve::Statistic::kDegree));
+    writer.u32(static_cast<std::uint32_t>(vertices.size()));
+    for (const vertex_t v : vertices) writer.u64(v);
+    const std::vector<std::byte> payload = writer.take();
+    serve::WireReader reader(payload.data(), payload.size());
+    benchmark::DoNotOptimize(reader.str());
+    benchmark::DoNotOptimize(reader.u8());
+    std::uint64_t sum = 0;
+    const std::uint32_t count = reader.u32();
+    for (std::uint32_t i = 0; i < count; ++i) sum += reader.u64();
+    reader.finish();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_QueryEncodeDecode)->Unit(benchmark::kMicrosecond);
+
+struct PingFixture {
+  PingFixture() : stack(/*no_cache=*/false), client(stack.connect()) {}
+  ServeStack stack;
+  serve::Client client;
+};
+
+PingFixture& ping_fixture() {
+  static PingFixture instance;
+  return instance;
+}
+
+void BM_ServedPing(benchmark::State& state) {
+  // One full framed round trip over the Unix socket — the floor under
+  // every per-request latency number above.
+  for (auto _ : state) ping_fixture().client.ping();
+}
+BENCHMARK(BM_ServedPing)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace kron
+
+KRON_BENCH_MAIN_JSON(kron::print_artifact, "BENCH_serve.json")

@@ -1,6 +1,7 @@
 #include "core/distance_gt.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 
 #include "analytics/bfs.hpp"
@@ -76,15 +77,28 @@ DistanceGroundTruth::DistanceGroundTruth(const EdgeList& a, const EdgeList& b)
 }
 
 const std::vector<std::uint64_t>& DistanceGroundTruth::hops_row_a(vertex_t i) const {
-  auto it = rows_a_.find(i);
-  if (it == rows_a_.end()) it = rows_a_.emplace(i, hops_from(a_, i)).first;
-  return it->second;
+  {
+    std::shared_lock lock(rows_mutex_);
+    const auto it = rows_a_.find(i);
+    if (it != rows_a_.end()) return it->second;
+  }
+  // Run the BFS outside the exclusive section so a slow row does not
+  // serialize unrelated cache hits, then re-check under the write lock
+  // (another thread may have inserted the same row meanwhile).
+  auto row = hops_from(a_, i);
+  std::unique_lock lock(rows_mutex_);
+  return rows_a_.try_emplace(i, std::move(row)).first->second;
 }
 
 const std::vector<std::uint64_t>& DistanceGroundTruth::hops_row_b(vertex_t k) const {
-  auto it = rows_b_.find(k);
-  if (it == rows_b_.end()) it = rows_b_.emplace(k, hops_from(b_, k)).first;
-  return it->second;
+  {
+    std::shared_lock lock(rows_mutex_);
+    const auto it = rows_b_.find(k);
+    if (it != rows_b_.end()) return it->second;
+  }
+  auto row = hops_from(b_, k);
+  std::unique_lock lock(rows_mutex_);
+  return rows_b_.try_emplace(k, std::move(row)).first->second;
 }
 
 std::uint64_t DistanceGroundTruth::hops(vertex_t p, vertex_t q) const {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -109,7 +110,13 @@ class DistanceGroundTruth {
   Csr b_;
   std::vector<std::uint64_t> ecc_a_;
   std::vector<std::uint64_t> ecc_b_;
-  // BFS row caches (not thread-safe; benches query from one thread).
+  // BFS row caches.  Guarded by rows_mutex_ so concurrent readers (the
+  // krond query threads) can share one instance: lookups take a shared
+  // lock, a miss upgrades to exclusive for the BFS + insert.  Returned
+  // references stay valid across later inserts because unordered_map
+  // never invalidates references to existing elements, and entries are
+  // never erased.
+  mutable std::shared_mutex rows_mutex_;
   mutable std::unordered_map<vertex_t, std::vector<std::uint64_t>> rows_a_;
   mutable std::unordered_map<vertex_t, std::vector<std::uint64_t>> rows_b_;
 };

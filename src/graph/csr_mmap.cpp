@@ -9,7 +9,10 @@
 #include <system_error>
 #include <vector>
 
+#include <cerrno>
+
 #include "graph/shard_codec.hpp"
+#include "util/log.hpp"
 #include "util/overflow.hpp"
 #include "util/posix_io.hpp"
 #include "util/simd.hpp"
@@ -18,6 +21,26 @@
 namespace kron {
 
 namespace {
+
+// The mapping calls below are hints or teardown: failure must not abort a
+// query path, but it must not vanish either — a silently ignored madvise
+// means the RSS budget quietly stops holding, and a failed munmap leaks
+// the mapping for the process lifetime.  Both log with errno instead.
+void advise_or_warn(const void* map, std::size_t bytes, int advice,
+                    const char* what) noexcept {
+  if (map == nullptr || bytes == 0) return;
+  if (::madvise(const_cast<void*>(map), bytes, advice) != 0)
+    log_warn("CsrMmap: madvise(", what, ") failed: ", std::strerror(errno),
+             " (hint ignored; performance may degrade)");
+}
+
+void unmap_or_warn(void*& map, std::size_t bytes) noexcept {
+  if (map == nullptr) return;
+  if (::munmap(map, bytes) != 0)
+    log_warn("CsrMmap: munmap of ", bytes, " bytes failed: ", std::strerror(errno),
+             " (mapping leaked for the process lifetime)");
+  map = nullptr;
+}
 
 constexpr char kCsrMagic[8] = {'K', 'R', 'O', 'N', 'C', 'S', '1', '\0'};
 constexpr std::uint64_t kCsrVersion = 1;
@@ -195,7 +218,8 @@ CsrMmap::CsrMmap(const std::filesystem::path& path) {
     map_ = ::mmap(nullptr, map_bytes_, PROT_READ, MAP_SHARED, fd_, 0);
     if (map_ == MAP_FAILED) {
       map_ = nullptr;
-      throw std::runtime_error("CsrMmap: mmap failed for " + path.string());
+      throw std::runtime_error("CsrMmap: mmap failed for " + path.string() + ": " +
+                               std::strerror(errno));
     }
     const auto* offsets = reinterpret_cast<const std::uint64_t*>(
         static_cast<const char*>(map_) + sizeof(CsrFileHeader));
@@ -212,14 +236,14 @@ CsrMmap::CsrMmap(const std::filesystem::path& path) {
                     {offsets, static_cast<std::size_t>(header.num_vertices) + 1},
                     {targets, static_cast<std::size_t>(header.num_arcs)});
   } catch (...) {
-    if (map_ != nullptr) ::munmap(map_, map_bytes_);
+    unmap_or_warn(map_, map_bytes_);
     posix_io::close_fd(fd_);
     throw;
   }
 }
 
 CsrMmap::~CsrMmap() {
-  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+  unmap_or_warn(map_, map_bytes_);
   if (fd_ >= 0) posix_io::close_fd(fd_);
 }
 
@@ -232,15 +256,15 @@ CsrMmap::CsrMmap(CsrMmap&& other) noexcept
 }
 
 void CsrMmap::advise_sequential() const noexcept {
-  if (map_ != nullptr) ::madvise(map_, map_bytes_, MADV_SEQUENTIAL);
+  advise_or_warn(map_, map_bytes_, MADV_SEQUENTIAL, "MADV_SEQUENTIAL");
 }
 
 void CsrMmap::advise_random() const noexcept {
-  if (map_ != nullptr) ::madvise(map_, map_bytes_, MADV_RANDOM);
+  advise_or_warn(map_, map_bytes_, MADV_RANDOM, "MADV_RANDOM");
 }
 
 void CsrMmap::release_pages() const noexcept {
-  if (map_ != nullptr) ::madvise(map_, map_bytes_, MADV_DONTNEED);
+  advise_or_warn(map_, map_bytes_, MADV_DONTNEED, "MADV_DONTNEED");
 }
 
 }  // namespace kron

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/shard_codec.hpp"
+#include "util/env.hpp"
 #include "util/hash.hpp"
 #include "util/overflow.hpp"
 #include "util/posix_io.hpp"
@@ -396,10 +397,15 @@ ShardIoStats& ShardIoStats::operator+=(const ShardIoStats& o) noexcept {
 }
 
 std::size_t default_shard_buffer_bytes() {
-  if (const char* env = std::getenv("KRON_OOC_BUFFER_BYTES"); env != nullptr) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  // Strict full-token parse (util/env): strtoull used to wrap "-1" to
+  // 2^64-1 and read "4kb" as 4 — a misconfigured buffer must be diagnosed,
+  // not silently honoured at a nonsense size.
+  if (const auto v = env_u64("KRON_OOC_BUFFER_BYTES")) {
+    if (*v == 0)
+      throw std::runtime_error(
+          "KRON_OOC_BUFFER_BYTES must be a positive number of bytes, got '0' "
+          "(unset it for the default 1 MiB)");
+    return static_cast<std::size_t>(*v);
   }
   return std::size_t{1} << 20;
 }

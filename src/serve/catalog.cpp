@@ -1,0 +1,162 @@
+#include "serve/catalog.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "util/trace.hpp"
+
+namespace kron::serve {
+
+Catalog::Catalog(bool no_cache) : no_cache_(no_cache) {}
+
+void Catalog::register_factor(const std::string& name, EdgeList edges) {
+  if (name.empty()) throw std::invalid_argument("factor name must not be empty");
+  if (edges.num_vertices() == 0)
+    throw std::invalid_argument("factor '" + name + "' has no vertices");
+  // Canonicalise once here so every product build — cached or forced —
+  // starts from byte-identical factor state.
+  edges.symmetrize();
+  auto shared = std::make_shared<const EdgeList>(std::move(edges));
+  std::unique_lock lock(mutex_);
+  if (products_.count(name) != 0)
+    throw std::invalid_argument("name '" + name + "' already names a product");
+  FactorEntry& entry = factors_[name];
+  entry.edges = std::move(shared);
+  entry.generation = next_generation_++;
+}
+
+void Catalog::define_product(const std::string& name, const std::string& factor_a,
+                             const std::string& factor_b, LoopRegime regime) {
+  if (name.empty()) throw std::invalid_argument("product name must not be empty");
+  std::unique_lock lock(mutex_);
+  for (const std::string* factor : {&factor_a, &factor_b})
+    if (factors_.count(*factor) == 0)
+      throw StatusError(Status::kNotFound, "unknown factor '" + *factor + "'");
+  if (factors_.count(name) != 0)
+    throw std::invalid_argument("name '" + name + "' already names a factor");
+  ProductEntry& entry = products_[name];
+  entry.factor_a = factor_a;
+  entry.factor_b = factor_b;
+  entry.regime = regime;
+  entry.context = nullptr;  // redefinition always invalidates
+}
+
+std::shared_ptr<const ProductContext> Catalog::build_context(const ProductEntry& product) const {
+  TRACE_SPAN("serve.build_context");
+  std::shared_ptr<const EdgeList> edges_a, edges_b;
+  std::uint64_t gen_a = 0, gen_b = 0;
+  {
+    std::shared_lock lock(mutex_);
+    const auto it_a = factors_.find(product.factor_a);
+    const auto it_b = factors_.find(product.factor_b);
+    if (it_a == factors_.end())
+      throw StatusError(Status::kNotFound,
+                        "product references dropped factor '" + product.factor_a + "'");
+    if (it_b == factors_.end())
+      throw StatusError(Status::kNotFound,
+                        "product references dropped factor '" + product.factor_b + "'");
+    edges_a = it_a->second.edges;
+    edges_b = it_b->second.edges;
+    gen_a = it_a->second.generation;
+    gen_b = it_b->second.generation;
+  }
+  // The expensive part runs lock-free on factor snapshots: a concurrent
+  // re-registration at worst wastes this build (the generation check on
+  // store catches it).
+  auto context = std::make_shared<ProductContext>();
+  context->gen_a = gen_a;
+  context->gen_b = gen_b;
+  context->gt.emplace(*edges_a, *edges_b, product.regime);
+  if (product.regime == LoopRegime::kFullLoops) {
+    // Thm. 3 additionally needs connected factors; a disconnected one is
+    // not an error for the triangle statistics, it just leaves the
+    // distance family unsupported for this product.
+    try {
+      context->distances.emplace(*edges_a, *edges_b);
+    } catch (const std::invalid_argument&) {
+      context->distances.reset();
+    }
+  }
+  contexts_built_.fetch_add(1, std::memory_order_relaxed);
+  return context;
+}
+
+std::shared_ptr<const ProductContext> Catalog::product_context(const std::string& name) {
+  ProductEntry snapshot;
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = products_.find(name);
+    if (it == products_.end())
+      throw StatusError(Status::kNotFound, "unknown product '" + name + "'");
+    snapshot = it->second;
+    if (!no_cache_ && snapshot.context != nullptr) {
+      const auto it_a = factors_.find(snapshot.factor_a);
+      const auto it_b = factors_.find(snapshot.factor_b);
+      if (it_a != factors_.end() && it_b != factors_.end() &&
+          snapshot.context->gen_a == it_a->second.generation &&
+          snapshot.context->gen_b == it_b->second.generation)
+        return snapshot.context;  // cache hit: still built from current factors
+    }
+  }
+  auto fresh = build_context(snapshot);
+  if (no_cache_) return fresh;
+  std::unique_lock lock(mutex_);
+  const auto it = products_.find(name);
+  if (it == products_.end()) return fresh;  // dropped mid-build; still answer
+  ProductEntry& entry = it->second;
+  if (entry.context != nullptr) {
+    // A concurrent builder may have stored a context meanwhile; keep
+    // whichever is built from the newest factor generations so a stale
+    // lost-race build never overwrites a fresh one.
+    if (entry.context->gen_a >= fresh->gen_a && entry.context->gen_b >= fresh->gen_b)
+      return entry.context;
+  }
+  entry.context = fresh;
+  return fresh;
+}
+
+bool Catalog::drop(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  return factors_.erase(name) + products_.erase(name) > 0;
+}
+
+std::vector<FactorInfo> Catalog::factors() const {
+  std::shared_lock lock(mutex_);
+  std::vector<FactorInfo> out;
+  out.reserve(factors_.size());
+  for (const auto& [name, entry] : factors_)
+    out.push_back({name, entry.edges->num_vertices(), entry.edges->num_arcs(),
+                   entry.generation});
+  return out;
+}
+
+std::vector<ProductInfo> Catalog::products() const {
+  std::shared_lock lock(mutex_);
+  std::vector<ProductInfo> out;
+  out.reserve(products_.size());
+  for (const auto& [name, entry] : products_) {
+    ProductInfo info;
+    info.name = name;
+    info.factor_a = entry.factor_a;
+    info.factor_b = entry.factor_b;
+    info.regime = entry.regime;
+    if (entry.context != nullptr) {
+      const auto it_a = factors_.find(entry.factor_a);
+      const auto it_b = factors_.find(entry.factor_b);
+      info.cached = it_a != factors_.end() && it_b != factors_.end() &&
+                    entry.context->gen_a == it_a->second.generation &&
+                    entry.context->gen_b == it_b->second.generation;
+      info.has_distances = entry.context->distances.has_value();
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::uint64_t Catalog::contexts_built() const {
+  return contexts_built_.load(std::memory_order_relaxed);
+}
+
+}  // namespace kron::serve

@@ -1,0 +1,129 @@
+// Factor catalog and cached product analytics for krond (DESIGN.md §16).
+//
+// The catalog holds named factor edge lists and named Kronecker products
+// *by reference to their factors* — a product is a (factor_a, factor_b,
+// regime) triple, never a materialized graph, exactly the O(|E_C|^{1/2})
+// state discipline of the paper.  Analytics contexts (the
+// KroneckerGroundTruth, plus the DistanceGroundTruth where the regime
+// supports it) are built lazily on first query and cached per product.
+//
+// Invalidation is generational: every factor registration (including
+// re-registration under an existing name) gets a fresh monotonically
+// increasing generation number, and a cached context remembers the factor
+// generations it was built from.  A context is served only while both
+// generations still match the catalog, so re-registering a factor
+// invalidates every product built on it without any bookkeeping walk —
+// the next query simply rebuilds (and the rebuilt answers must be
+// bit-identical to a cold recompute; pinned by tests/test_serve.cpp).
+//
+// Thread safety: all public methods are safe to call concurrently.  The
+// catalog mutex is held only for map lookups and pointer swaps; ground
+// truth construction (the expensive part) runs outside it, and a lost
+// build race is resolved by double-checked re-validation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/distance_gt.hpp"
+#include "core/ground_truth.hpp"
+#include "graph/edge_list.hpp"
+
+namespace kron::serve {
+
+/// Immutable analytics bundle for one product, shared by every in-flight
+/// query that found it valid (queries keep their shared_ptr, so a
+/// concurrent invalidation never pulls state out from under an answer).
+struct ProductContext {
+  std::uint64_t gen_a = 0;  ///< factor generations this was built from
+  std::uint64_t gen_b = 0;
+  std::optional<KroneckerGroundTruth> gt;
+  /// Present only when the regime is kFullLoops (Thm. 3 needs loops on
+  /// both sides) and both factors are connected; distance queries against
+  /// a context without it fail kUnsupported.
+  std::optional<DistanceGroundTruth> distances;
+};
+
+struct FactorInfo {
+  std::string name;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_arcs = 0;
+  std::uint64_t generation = 0;
+};
+
+struct ProductInfo {
+  std::string name;
+  std::string factor_a;
+  std::string factor_b;
+  LoopRegime regime = LoopRegime::kFullLoops;
+  bool has_distances = false;  ///< meaningful only when cached
+  bool cached = false;         ///< a currently-valid context exists
+};
+
+class Catalog {
+ public:
+  /// `no_cache` disables context caching: every query rebuilds from the
+  /// factors (the KRON_SERVE_NO_CACHE=1 perf-gate control; also a
+  /// correctness oracle, since cached and uncached answers must agree).
+  explicit Catalog(bool no_cache = false);
+
+  /// Insert or replace the factor `name`.  The edge list must describe an
+  /// undirected graph once symmetrized/deduplicated; it is canonicalised
+  /// here so every later product build sees identical input.  Throws
+  /// std::invalid_argument on an unusable factor.
+  void register_factor(const std::string& name, EdgeList edges);
+
+  /// Define (or redefine) the product `name` = factor_a ⊗ factor_b under
+  /// `regime`.  Factors must already be registered; throws
+  /// std::invalid_argument otherwise.  Cheap: nothing is built here.
+  void define_product(const std::string& name, const std::string& factor_a,
+                      const std::string& factor_b, LoopRegime regime);
+
+  /// The analytics context for product `name`, building (and caching) it
+  /// if missing or stale.  Throws std::invalid_argument when the product
+  /// or either factor is gone.
+  [[nodiscard]] std::shared_ptr<const ProductContext> product_context(const std::string& name);
+
+  /// Remove the factor or product `name`.  Returns false when nothing by
+  /// that name exists.  Dropping a factor leaves dependent products
+  /// defined but unanswerable (their next query reports the missing
+  /// factor).
+  bool drop(const std::string& name);
+
+  [[nodiscard]] std::vector<FactorInfo> factors() const;
+  [[nodiscard]] std::vector<ProductInfo> products() const;
+
+  /// Contexts built since construction (cache misses + forced rebuilds) —
+  /// the observable the invalidation tests pin.
+  [[nodiscard]] std::uint64_t contexts_built() const;
+
+ private:
+  struct FactorEntry {
+    std::shared_ptr<const EdgeList> edges;  // canonical (symmetrized, deduped)
+    std::uint64_t generation = 0;
+  };
+  struct ProductEntry {
+    std::string factor_a;
+    std::string factor_b;
+    LoopRegime regime = LoopRegime::kFullLoops;
+    std::shared_ptr<const ProductContext> context;  // nullptr until first query
+  };
+
+  [[nodiscard]] std::shared_ptr<const ProductContext> build_context(
+      const ProductEntry& product) const;
+
+  const bool no_cache_;
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, FactorEntry> factors_;
+  std::map<std::string, ProductEntry> products_;
+  std::uint64_t next_generation_ = 1;
+  mutable std::atomic<std::uint64_t> contexts_built_{0};
+};
+
+}  // namespace kron::serve

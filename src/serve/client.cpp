@@ -1,0 +1,202 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/posix_io.hpp"
+
+namespace kron::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path) {
+  posix_io::ignore_sigpipe();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path '" + path + "' exceeds the AF_UNIX limit");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("krond client: socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    posix_io::close_fd(fd);
+    throw_errno("krond client: connect('" + path + "')");
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  posix_io::ignore_sigpipe();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("krond client: '" + host + "' is not an IPv4 address");
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("krond client: socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    posix_io::close_fd(fd);
+    throw_errno("krond client: connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) posix_io::close_fd(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) posix_io::close_fd(fd_);
+}
+
+std::vector<std::byte> Client::round_trip(Opcode opcode, const std::vector<std::byte>& payload) {
+  write_frame(fd_, opcode, Status::kOk, payload, "krond client request");
+  FrameHeader header;
+  std::vector<std::byte> reply;
+  if (!read_frame(fd_, header, reply, "krond client reply"))
+    throw std::runtime_error("krond client: server closed the connection before replying");
+  if (header.status != static_cast<std::uint16_t>(Status::kOk)) {
+    std::string message = "(no diagnostic)";
+    try {
+      WireReader in(reply);
+      message = in.str();
+    } catch (const ProtocolError&) {
+      // Keep the placeholder; the status alone still tells the story.
+    }
+    throw StatusError(static_cast<Status>(header.status), message);
+  }
+  return reply;
+}
+
+void Client::ping() { (void)round_trip(Opcode::kPing, {}); }
+
+void Client::register_factor(const std::string& name, const EdgeList& edges) {
+  WireWriter out;
+  out.str(name);
+  out.u64(edges.num_vertices());
+  out.u64(edges.num_arcs());
+  for (const Edge& edge : edges.edges()) {
+    out.u64(edge.u);
+    out.u64(edge.v);
+  }
+  (void)round_trip(Opcode::kRegisterFactor, out.bytes());
+}
+
+void Client::define_product(const std::string& name, const std::string& factor_a,
+                            const std::string& factor_b, LoopRegime regime) {
+  WireWriter out;
+  out.str(name);
+  out.str(factor_a);
+  out.str(factor_b);
+  out.u8(static_cast<std::uint8_t>(regime));
+  (void)round_trip(Opcode::kDefineProduct, out.bytes());
+}
+
+std::vector<std::uint64_t> Client::query_raw(const std::string& product, Statistic statistic,
+                                             const std::vector<std::uint64_t>& words,
+                                             std::size_t count) {
+  WireWriter out;
+  out.str(product);
+  out.u8(static_cast<std::uint8_t>(statistic));
+  out.u32(static_cast<std::uint32_t>(count));
+  for (const std::uint64_t word : words) out.u64(word);
+  const std::vector<std::byte> reply = round_trip(Opcode::kQuery, out.bytes());
+  WireReader in(reply);
+  const std::uint32_t got = in.u32();
+  if (got != count)
+    throw ProtocolError("query answered " + std::to_string(got) + " of " +
+                        std::to_string(count) + " items");
+  std::vector<std::uint64_t> values(got);
+  for (std::uint32_t i = 0; i < got; ++i) values[i] = in.u64();
+  in.finish();
+  return values;
+}
+
+std::vector<std::uint64_t> Client::query(const std::string& product, Statistic statistic,
+                                         const std::vector<vertex_t>& vertices) {
+  if (statistic_pairwise(statistic))
+    throw std::invalid_argument("query: pairwise statistic needs query_pairs");
+  return query_raw(product, statistic, vertices, vertices.size());
+}
+
+std::vector<std::uint64_t> Client::query_pairs(const std::string& product, Statistic statistic,
+                                               const std::vector<Edge>& pairs) {
+  if (!statistic_pairwise(statistic))
+    throw std::invalid_argument("query_pairs: per-vertex statistic needs query");
+  std::vector<std::uint64_t> words;
+  words.reserve(pairs.size() * 2);
+  for (const Edge& pair : pairs) {
+    words.push_back(pair.u);
+    words.push_back(pair.v);
+  }
+  return query_raw(product, statistic, words, pairs.size());
+}
+
+std::vector<double> Client::query_closeness(const std::string& product,
+                                            const std::vector<vertex_t>& vertices) {
+  const std::vector<std::uint64_t> bits =
+      query_raw(product, Statistic::kCloseness, vertices, vertices.size());
+  std::vector<double> values(bits.size());
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::memcpy(values.data(), bits.data(), bits.size() * sizeof(double));
+  return values;
+}
+
+CatalogSnapshot Client::catalog() {
+  const std::vector<std::byte> reply = round_trip(Opcode::kCatalog, {});
+  WireReader in(reply);
+  CatalogSnapshot snapshot;
+  const std::uint32_t num_factors = in.u32();
+  snapshot.factors.reserve(num_factors);
+  for (std::uint32_t i = 0; i < num_factors; ++i) {
+    FactorInfo factor;
+    factor.name = in.str();
+    factor.num_vertices = in.u64();
+    factor.num_arcs = in.u64();
+    factor.generation = in.u64();
+    snapshot.factors.push_back(std::move(factor));
+  }
+  const std::uint32_t num_products = in.u32();
+  snapshot.products.reserve(num_products);
+  for (std::uint32_t i = 0; i < num_products; ++i) {
+    ProductInfo product;
+    product.name = in.str();
+    product.factor_a = in.str();
+    product.factor_b = in.str();
+    product.regime = static_cast<LoopRegime>(in.u8());
+    product.has_distances = in.u8() != 0;
+    product.cached = in.u8() != 0;
+    snapshot.products.push_back(std::move(product));
+  }
+  in.finish();
+  return snapshot;
+}
+
+void Client::drop(const std::string& name) {
+  WireWriter out;
+  out.str(name);
+  (void)round_trip(Opcode::kDrop, out.bytes());
+}
+
+void Client::shutdown_server() { (void)round_trip(Opcode::kShutdown, {}); }
+
+}  // namespace kron::serve

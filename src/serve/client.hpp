@@ -1,0 +1,74 @@
+// Blocking client for the krond protocol (DESIGN.md §16).
+//
+// One Client is one connection; methods are synchronous request/response
+// and NOT thread-safe (open one Client per querying thread — the server
+// is the concurrent side).  Non-Ok responses rethrow as StatusError with
+// the server's diagnostic; transport failures are std::runtime_error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "serve/catalog.hpp"
+#include "serve/protocol.hpp"
+
+namespace kron::serve {
+
+struct CatalogSnapshot {
+  std::vector<FactorInfo> factors;
+  std::vector<ProductInfo> products;
+};
+
+class Client {
+ public:
+  [[nodiscard]] static Client connect_unix(const std::string& path);
+  [[nodiscard]] static Client connect_tcp(const std::string& host, std::uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  void ping();
+  void register_factor(const std::string& name, const EdgeList& edges);
+  void define_product(const std::string& name, const std::string& factor_a,
+                      const std::string& factor_b, LoopRegime regime);
+
+  /// Batched per-vertex query; `statistic` must not be pairwise.  Returns
+  /// one value per requested vertex, in request order.
+  [[nodiscard]] std::vector<std::uint64_t> query(const std::string& product,
+                                                 Statistic statistic,
+                                                 const std::vector<vertex_t>& vertices);
+
+  /// Batched pairwise query (kHops, kEdgeTriangles).
+  [[nodiscard]] std::vector<std::uint64_t> query_pairs(const std::string& product,
+                                                       Statistic statistic,
+                                                       const std::vector<Edge>& pairs);
+
+  /// Closeness centrality — the one real-valued statistic; values are the
+  /// server's doubles bit-for-bit (u64 transport, no text round trip).
+  [[nodiscard]] std::vector<double> query_closeness(const std::string& product,
+                                                    const std::vector<vertex_t>& vertices);
+
+  [[nodiscard]] CatalogSnapshot catalog();
+  void drop(const std::string& name);
+  void shutdown_server();
+
+  /// The raw socket, for tests that need to speak malformed frames.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  /// One request/response round trip; throws StatusError on non-Ok.
+  std::vector<std::byte> round_trip(Opcode opcode, const std::vector<std::byte>& payload);
+  std::vector<std::uint64_t> query_raw(const std::string& product, Statistic statistic,
+                                       const std::vector<std::uint64_t>& words,
+                                       std::size_t count);
+
+  int fd_ = -1;
+};
+
+}  // namespace kron::serve

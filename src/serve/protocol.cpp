@@ -1,0 +1,91 @@
+#include "serve/protocol.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/posix_io.hpp"
+
+namespace kron::serve {
+
+void validate_header(const FrameHeader& header) {
+  if (header.magic != kMagic) {
+    char got[16];
+    std::snprintf(got, sizeof(got), "%08X", header.magic);
+    throw ProtocolError(std::string("frame magic mismatch (got 0x") + got + ", want KRND)");
+  }
+  if (header.version != kVersion)
+    throw ProtocolError("unsupported protocol version " + std::to_string(header.version) +
+                        " (this build speaks version " + std::to_string(kVersion) + ")");
+  if (!opcode_known(header.opcode))
+    throw ProtocolError("unknown opcode " + std::to_string(header.opcode));
+  if (header.length > kMaxFrameBytes)
+    throw ProtocolError("frame length " + std::to_string(header.length) +
+                        " exceeds the " + std::to_string(kMaxFrameBytes) + "-byte cap");
+}
+
+void WireWriter::append(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::byte*>(data);
+  bytes_.insert(bytes_.end(), bytes, bytes + size);
+}
+
+void WireWriter::str(const std::string& s) {
+  if (s.size() > kMaxFrameBytes)
+    throw ProtocolError("string of " + std::to_string(s.size()) + " bytes cannot be framed");
+  u32(static_cast<std::uint32_t>(s.size()));
+  append(s.data(), s.size());
+}
+
+void WireReader::need(std::size_t bytes) const {
+  if (remaining() < bytes)
+    throw ProtocolError("payload truncated: need " + std::to_string(bytes) +
+                        " more bytes, have " + std::to_string(remaining()));
+}
+
+std::string WireReader::str() {
+  const std::uint32_t size = u32();
+  need(size);
+  std::string s(reinterpret_cast<const char*>(cur_), size);
+  cur_ += size;
+  return s;
+}
+
+void WireReader::finish() const {
+  if (remaining() != 0)
+    throw ProtocolError(std::to_string(remaining()) +
+                        " trailing bytes after the last expected field");
+}
+
+void write_frame(int fd, Opcode opcode, Status status, const std::vector<std::byte>& payload,
+                 const std::string& what) {
+  FrameHeader header;
+  header.opcode = static_cast<std::uint8_t>(opcode);
+  header.status = static_cast<std::uint16_t>(status);
+  header.length = payload.size();
+  // One gather would be marginally cheaper, but two full writes keep the
+  // EINTR/short-write handling in posix_io where every other caller has it.
+  posix_io::write_full(fd, &header, sizeof(header), what + " header");
+  if (!payload.empty()) posix_io::write_full(fd, payload.data(), payload.size(), what + " payload");
+}
+
+bool read_frame(int fd, FrameHeader& header, std::vector<std::byte>& payload,
+                const std::string& what) {
+  const std::size_t got = posix_io::read_full(fd, &header, sizeof(header), what + " header");
+  if (got == 0) return false;  // clean close between frames
+  if (got < sizeof(header))
+    throw ProtocolError(what + ": stream ended inside a frame header (" +
+                        std::to_string(got) + " of " + std::to_string(sizeof(header)) +
+                        " bytes)");
+  validate_header(header);
+  payload.resize(header.length);  // capped by validate_header
+  if (header.length > 0) {
+    const std::size_t body =
+        posix_io::read_full(fd, payload.data(), payload.size(), what + " payload");
+    if (body < payload.size())
+      throw ProtocolError(what + ": stream ended inside a frame payload (" +
+                          std::to_string(body) + " of " + std::to_string(payload.size()) +
+                          " bytes)");
+  }
+  return true;
+}
+
+}  // namespace kron::serve

@@ -1,0 +1,207 @@
+// Wire protocol of the krond ground-truth query service (DESIGN.md §16).
+//
+// Every message — request or response — is one length-prefixed frame:
+// a fixed 16-byte header followed by `length` payload bytes.  The framing
+// discipline matches the multi-process runtime's socket transport
+// (DESIGN.md §13): the header carries everything needed to size the read,
+// and the payload is decoded only through the bounds-checked WireReader
+// below, never by pointer arithmetic — the same untrusted-input stance as
+// the shard codec.  Frames are little-endian (the only byte order the
+// supported toolchain targets; the magic doubles as an endianness check
+// because a big-endian peer would present it byte-swapped).
+//
+// Requests carry an opcode and status 0; responses echo the opcode and
+// carry a Status.  Error responses' payload is a single string with the
+// diagnostic.  Closeness values travel as IEEE-754 bit patterns in a u64
+// (never text), so a served value is bit-identical to the offline
+// computation that produced it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kron::serve {
+
+/// Peer sent bytes that do not decode: bad magic, unsupported version, an
+/// oversized frame, or a payload shorter than its fields claim.  Server
+/// side this maps to Status::kBadRequest (when a reply is still possible);
+/// client side it propagates to the caller.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// "KRND" little-endian.
+inline constexpr std::uint32_t kMagic = 0x444E524Bu;
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Hard cap on one frame's payload.  Large enough for a multi-million-arc
+/// factor registration, small enough that a corrupt length field cannot
+/// drive an absurd allocation.
+inline constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{64} << 20;
+
+enum class Opcode : std::uint8_t {
+  kPing = 0,
+  kRegisterFactor = 1,  ///< name + edge list -> catalog entry
+  kDefineProduct = 2,   ///< name + two factor names + regime
+  kQuery = 3,           ///< product + statistic + vertex (pair) batch
+  kCatalog = 4,         ///< list factors and products
+  kDrop = 5,            ///< remove a factor or product by name
+  kShutdown = 6,        ///< stop the server after replying
+};
+
+/// Is `raw` one of the opcodes above?  (Decode validation; a cast alone
+/// would launder any byte into the enum.)
+[[nodiscard]] constexpr bool opcode_known(std::uint8_t raw) noexcept {
+  return raw <= static_cast<std::uint8_t>(Opcode::kShutdown);
+}
+
+enum class Status : std::uint16_t {
+  kOk = 0,
+  kBadRequest = 1,   ///< frame decoded but the request is malformed
+  kNotFound = 2,     ///< named factor/product is not in the catalog
+  kUnsupported = 3,  ///< statistic not defined for this product's regime
+  kServerError = 4,  ///< unexpected failure answering a valid request
+};
+
+/// A request that decoded but cannot be answered, with the Status the
+/// response frame should carry.  Thrown by the catalog (kNotFound) and
+/// the dispatch handlers; the client rethrows it for non-Ok responses so
+/// callers see the server's diagnostic verbatim.
+class StatusError : public std::runtime_error {
+ public:
+  StatusError(Status status, const std::string& message)
+      : std::runtime_error(message), status_(status) {}
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Per-vertex / per-pair statistics a Query can request.  The composition
+/// rule answering each one is the paper's: degrees and triangles via
+/// Cor. 1/2 (KroneckerGroundTruth), distances via Thm. 3-5
+/// (DistanceGroundTruth).
+enum class Statistic : std::uint8_t {
+  kDegree = 0,
+  kVertexTriangles = 1,
+  kEccentricity = 2,   ///< Cor. 4: max of factor eccentricities
+  kCloseness = 3,      ///< Thm. 4 via the bucketed fast path (double)
+  kHops = 4,           ///< Thm. 3: pairwise, max of factor hop counts
+  kEdgeTriangles = 5,  ///< Cor. 2: pairwise, requires (p, q) an edge of C
+};
+
+[[nodiscard]] constexpr bool statistic_known(std::uint8_t raw) noexcept {
+  return raw <= static_cast<std::uint8_t>(Statistic::kEdgeTriangles);
+}
+
+/// True for the statistics whose query payload is (p, q) pairs rather
+/// than single vertices.
+[[nodiscard]] constexpr bool statistic_pairwise(Statistic s) noexcept {
+  return s == Statistic::kHops || s == Statistic::kEdgeTriangles;
+}
+
+/// True when the answer is an IEEE double (transported as a bit-cast u64).
+[[nodiscard]] constexpr bool statistic_real_valued(Statistic s) noexcept {
+  return s == Statistic::kCloseness;
+}
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint8_t version = kVersion;
+  std::uint8_t opcode = 0;
+  std::uint16_t status = 0;
+  std::uint64_t length = 0;  ///< payload bytes following the header
+};
+static_assert(sizeof(FrameHeader) == 16, "wire header must be exactly 16 bytes");
+
+/// Validate a received header: magic, version, known opcode, sane length.
+/// Throws ProtocolError naming the offending field.
+void validate_header(const FrameHeader& header);
+
+/// Append-only payload builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(std::byte{v}); }
+  void u16(std::uint16_t v) { append(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { append(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { append(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  /// Length-prefixed (u32) byte string.
+  void str(const std::string& s);
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(bytes_); }
+
+ private:
+  void append(const void* data, std::size_t size);
+  std::vector<std::byte> bytes_;
+};
+
+/// Bounds-checked payload decoder over an untrusted buffer.  Every read
+/// checks the remaining byte count first and throws ProtocolError on
+/// overrun; `finish()` additionally rejects trailing bytes, so a payload
+/// either decodes exactly or is diagnosed.
+class WireReader {
+ public:
+  WireReader(const std::byte* data, std::size_t size) : cur_(data), end_(data + size) {}
+  explicit WireReader(const std::vector<std::byte>& buffer)
+      : WireReader(buffer.data(), buffer.size()) {}
+
+  [[nodiscard]] std::uint8_t u8() { return take<std::uint8_t>(); }
+  [[nodiscard]] std::uint16_t u16() { return take<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return take<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return take<std::uint64_t>(); }
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - cur_);
+  }
+
+  /// Reject trailing garbage after the last expected field.
+  void finish() const;
+
+ private:
+  template <typename T>
+  [[nodiscard]] T take() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, cur_, sizeof(T));
+    cur_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t bytes) const;
+
+  const std::byte* cur_;
+  const std::byte* end_;
+};
+
+// --- framed socket I/O ---------------------------------------------------
+
+/// Write one frame (header + payload) to `fd`.  Throws std::runtime_error
+/// (posix_io) on transport failure.
+void write_frame(int fd, Opcode opcode, Status status, const std::vector<std::byte>& payload,
+                 const std::string& what);
+
+/// Read one frame from `fd`.  Returns false on clean end-of-stream before
+/// any header byte (peer closed between requests).  Throws ProtocolError
+/// on a malformed header or a stream that ends mid-frame, std::runtime_error
+/// on transport failure.
+[[nodiscard]] bool read_frame(int fd, FrameHeader& header, std::vector<std::byte>& payload,
+                              const std::string& what);
+
+}  // namespace kron::serve

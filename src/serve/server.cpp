@@ -1,0 +1,448 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/posix_io.hpp"
+#include "util/trace.hpp"
+
+namespace kron::serve {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+int listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path '" + path + "' exceeds the " +
+                             std::to_string(sizeof(addr.sun_path) - 1) + "-byte AF_UNIX limit");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("krond: socket(AF_UNIX)");
+  // A stale path from a killed server would make bind fail with
+  // EADDRINUSE forever; unlinking first is the standard daemon idiom.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    posix_io::close_fd(fd);
+    throw_errno("krond: bind('" + path + "')");
+  }
+  if (::listen(fd, backlog) != 0) {
+    posix_io::close_fd(fd);
+    throw_errno("krond: listen('" + path + "')");
+  }
+  return fd;
+}
+
+int listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+               std::uint16_t& bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("krond: '" + host + "' is not an IPv4 address");
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("krond: socket(AF_INET)");
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    posix_io::close_fd(fd);
+    throw_errno("krond: bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, backlog) != 0) {
+    posix_io::close_fd(fd);
+    throw_errno("krond: listen(" + host + ":" + std::to_string(port) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    posix_io::close_fd(fd);
+    throw_errno("krond: getsockname");
+  }
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+std::vector<std::byte> error_payload(const std::string& message) {
+  WireWriter out;
+  out.str(message);
+  return out.take();
+}
+
+}  // namespace
+
+Server::Server(Catalog& catalog, ServerOptions options)
+    : catalog_(catalog), options_(std::move(options)) {
+  posix_io::ignore_sigpipe();  // a vanished client must surface as EPIPE
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC) != 0) throw_errno("krond: pipe2");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  try {
+    if (!options_.unix_path.empty())
+      listen_fd_ = listen_unix(options_.unix_path, options_.backlog);
+    else
+      listen_fd_ = listen_tcp(options_.host, options_.port, options_.backlog, bound_port_);
+  } catch (...) {
+    posix_io::close_fd(wake_read_);
+    posix_io::close_fd(wake_write_);
+    throw;
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  std::lock_guard lock(lifecycle_mutex_);
+  if (accept_running_ || stopped_) return;
+  accept_running_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_stop_async() noexcept {
+  stop_requested_.store(true, std::memory_order_release);
+  const char byte = 'q';
+  // Best-effort wake; if the pipe is full a wake is already pending.
+  (void)!::write(wake_write_, &byte, 1);
+}
+
+void Server::wait() {
+  std::unique_lock lock(lifecycle_mutex_);
+  stop_cv_.wait(lock, [this] {
+    return stop_requested_.load(std::memory_order_acquire) || stopped_;
+  });
+}
+
+void Server::stop() {
+  request_stop_async();
+  {
+    std::lock_guard lock(lifecycle_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock every connection thread parked in read_frame: shutdown(2)
+  // forces their pending reads to return EOF without racing the close of
+  // the descriptor number itself (the thread still owns the fd).
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (const int fd : connection_fds_) (void)::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(connections_mutex_);
+    workers.swap(connection_threads_);
+  }
+  for (std::thread& worker : workers)
+    if (worker.joinable()) worker.join();
+  if (listen_fd_ >= 0) {
+    posix_io::close_fd(listen_fd_);
+    listen_fd_ = -1;
+  }
+  posix_io::close_fd(wake_read_);
+  posix_io::close_fd(wake_write_);
+  wake_read_ = wake_write_ = -1;
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  stop_cv_.notify_all();
+}
+
+void Server::accept_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      log_warn("krond: accept poll failed: ", std::strerror(errno), " (accept loop exiting)");
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      log_warn("krond: accept failed: ", std::strerror(errno), " (accept loop exiting)");
+      break;
+    }
+    std::lock_guard lock(connections_mutex_);
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      posix_io::close_fd(conn);
+      break;
+    }
+    connection_fds_.push_back(conn);
+    connection_threads_.emplace_back([this, conn] { serve_connection(conn); });
+  }
+  {
+    std::lock_guard lock(lifecycle_mutex_);
+    accept_running_ = false;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::serve_connection(int fd) {
+  FrameHeader header;
+  std::vector<std::byte> payload;
+  bool keep_open = true;
+  while (keep_open && !stop_requested_.load(std::memory_order_acquire)) {
+    try {
+      if (!read_frame(fd, header, payload, "krond request")) break;  // peer closed
+    } catch (const ProtocolError& error) {
+      // The stream is unframed from here on (we cannot tell where the
+      // next request starts), so answer once and hang up.
+      log_warn("krond: dropping connection: ", error.what());
+      try {
+        write_frame(fd, Opcode::kPing, Status::kBadRequest, error_payload(error.what()),
+                    "krond error reply");
+      } catch (const std::exception&) {
+        // Peer is gone too; nothing left to tell it.
+      }
+      break;
+    } catch (const std::exception& error) {
+      log_warn("krond: connection read failed: ", error.what());
+      break;
+    }
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      keep_open = dispatch(fd, header.opcode, payload);
+    } catch (const std::exception& error) {
+      // dispatch() replies on its own; an exception here means the reply
+      // write itself failed.
+      log_warn("krond: reply failed: ", error.what());
+      break;
+    }
+  }
+  posix_io::close_fd(fd);
+  std::lock_guard lock(connections_mutex_);
+  for (auto it = connection_fds_.begin(); it != connection_fds_.end(); ++it) {
+    if (*it == fd) {
+      connection_fds_.erase(it);
+      break;
+    }
+  }
+}
+
+bool Server::dispatch(int fd, std::uint8_t raw_opcode, const std::vector<std::byte>& payload) {
+  TRACE_SPAN("serve.request");
+  const auto opcode = static_cast<Opcode>(raw_opcode);  // validated by read_frame
+  Status status = Status::kOk;
+  std::vector<std::byte> reply;
+  bool keep_open = true;
+  bool shutdown_after_reply = false;
+  try {
+    // Opcodes without a request body must arrive without one — a payload
+    // there means the peer framed something else, and answering it as a
+    // no-op would mask the desync.  Notably a garbage frame that happens
+    // to carry the shutdown opcode must NOT stop the server.
+    if ((opcode == Opcode::kPing || opcode == Opcode::kCatalog ||
+         opcode == Opcode::kShutdown) &&
+        !payload.empty())
+      throw ProtocolError("opcode " + std::to_string(raw_opcode) + " carries no payload, got " +
+                          std::to_string(payload.size()) + " bytes");
+    switch (opcode) {
+      case Opcode::kPing:
+        break;  // empty reply
+      case Opcode::kRegisterFactor:
+        reply = handle_register(payload);
+        break;
+      case Opcode::kDefineProduct:
+        reply = handle_define(payload);
+        break;
+      case Opcode::kQuery:
+        reply = handle_query(payload);
+        break;
+      case Opcode::kCatalog:
+        reply = handle_catalog();
+        break;
+      case Opcode::kDrop:
+        reply = handle_drop(payload);
+        break;
+      case Opcode::kShutdown:
+        shutdown_after_reply = true;
+        keep_open = false;
+        break;
+    }
+  } catch (const StatusError& error) {
+    status = error.status();
+    reply = error_payload(error.what());
+  } catch (const ProtocolError& error) {
+    status = Status::kBadRequest;
+    reply = error_payload(error.what());
+  } catch (const std::invalid_argument& error) {
+    status = Status::kBadRequest;
+    reply = error_payload(error.what());
+  } catch (const std::exception& error) {
+    status = Status::kServerError;
+    reply = error_payload(error.what());
+  }
+  write_frame(fd, opcode, status, reply, "krond reply");
+  if (shutdown_after_reply) request_stop_async();
+  return keep_open;
+}
+
+std::vector<std::byte> Server::handle_register(const std::vector<std::byte>& payload) {
+  TRACE_SPAN("serve.register_factor");
+  WireReader in(payload);
+  const std::string name = in.str();
+  const std::uint64_t n = in.u64();
+  const std::uint64_t arcs = in.u64();
+  // Size the whole batch against the actual payload BEFORE any allocation:
+  // a corrupt count must not drive a giant reserve, and `arcs * 16` must
+  // not wrap past 2^64 into a small number that passes the check.
+  if (arcs > kMaxFrameBytes / (2 * sizeof(std::uint64_t)) ||
+      in.remaining() != arcs * 2 * sizeof(std::uint64_t))
+    throw ProtocolError("factor payload declares " + std::to_string(arcs) +
+                        " arcs but carries " + std::to_string(in.remaining()) + " bytes");
+  EdgeList edges(n);
+  for (std::uint64_t e = 0; e < arcs; ++e) {
+    const vertex_t u = in.u64();
+    const vertex_t v = in.u64();
+    if (u >= n || v >= n)
+      throw StatusError(Status::kBadRequest,
+                        "arc (" + std::to_string(u) + ", " + std::to_string(v) +
+                            ") is out of range for " + std::to_string(n) + " vertices");
+    edges.add(u, v);
+  }
+  in.finish();
+  catalog_.register_factor(name, std::move(edges));
+  return {};
+}
+
+std::vector<std::byte> Server::handle_define(const std::vector<std::byte>& payload) {
+  TRACE_SPAN("serve.define_product");
+  WireReader in(payload);
+  const std::string name = in.str();
+  const std::string factor_a = in.str();
+  const std::string factor_b = in.str();
+  const std::uint8_t raw_regime = in.u8();
+  in.finish();
+  if (raw_regime > static_cast<std::uint8_t>(LoopRegime::kFullLoopsAOnly))
+    throw StatusError(Status::kBadRequest,
+                      "unknown loop regime " + std::to_string(raw_regime));
+  catalog_.define_product(name, factor_a, factor_b, static_cast<LoopRegime>(raw_regime));
+  return {};
+}
+
+std::vector<std::byte> Server::handle_query(const std::vector<std::byte>& payload) {
+  TRACE_SPAN("serve.query");
+  WireReader in(payload);
+  const std::string product = in.str();
+  const std::uint8_t raw_stat = in.u8();
+  if (!statistic_known(raw_stat))
+    throw StatusError(Status::kBadRequest, "unknown statistic " + std::to_string(raw_stat));
+  const auto stat = static_cast<Statistic>(raw_stat);
+  const std::uint64_t count = in.u32();
+  const std::uint64_t words = statistic_pairwise(stat) ? 2 * count : count;
+  if (in.remaining() != words * sizeof(std::uint64_t))
+    throw ProtocolError("query declares " + std::to_string(count) + " items but carries " +
+                        std::to_string(in.remaining()) + " bytes");
+  std::vector<std::uint64_t> args(words);
+  for (std::uint64_t w = 0; w < words; ++w) args[w] = in.u64();
+  in.finish();
+
+  const auto context = catalog_.product_context(product);
+  const KroneckerGroundTruth& gt = *context->gt;
+  const bool needs_distances = stat == Statistic::kEccentricity ||
+                               stat == Statistic::kCloseness || stat == Statistic::kHops;
+  if (needs_distances && !context->distances.has_value())
+    throw StatusError(Status::kUnsupported,
+                      "distance statistics need the full-loop regime (Thm. 3) and connected "
+                      "factors; product '" + product + "' does not qualify");
+  const vertex_t n = gt.num_vertices();
+  for (const std::uint64_t id : args)
+    if (id >= n)
+      throw StatusError(Status::kBadRequest, "vertex " + std::to_string(id) +
+                                                 " is out of range for " + std::to_string(n) +
+                                                 " product vertices");
+  TRACE_COUNTER_ADD("serve.query_items", count);
+
+  // Answer the batch on the shared pool; answers land at their request
+  // index so the response order matches the request order regardless of
+  // chunking.  Closeness doubles travel as bit patterns (bit-identical to
+  // the offline computation by construction — it IS the offline code).
+  std::vector<std::uint64_t> results(count);
+  const DistanceGroundTruth* distances =
+      context->distances.has_value() ? &*context->distances : nullptr;
+  parallel_for(
+      0, count,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t q = begin; q < end; ++q) {
+          switch (stat) {
+            case Statistic::kDegree:
+              results[q] = gt.degree(args[q]);
+              break;
+            case Statistic::kVertexTriangles:
+              results[q] = gt.vertex_triangles(args[q]);
+              break;
+            case Statistic::kEccentricity:
+              results[q] = distances->eccentricity(args[q]);
+              break;
+            case Statistic::kCloseness: {
+              const double value = distances->closeness_fast(args[q]);
+              std::memcpy(&results[q], &value, sizeof(value));
+              break;
+            }
+            case Statistic::kHops:
+              results[q] = distances->hops(args[2 * q], args[2 * q + 1]);
+              break;
+            case Statistic::kEdgeTriangles:
+              results[q] = gt.edge_triangles(args[2 * q], args[2 * q + 1]);
+              break;
+          }
+        }
+      },
+      options_.batch_grain);
+
+  WireWriter out;
+  out.u32(static_cast<std::uint32_t>(count));
+  for (const std::uint64_t value : results) out.u64(value);
+  return out.take();
+}
+
+std::vector<std::byte> Server::handle_catalog() {
+  TRACE_SPAN("serve.catalog");
+  const auto factors = catalog_.factors();
+  const auto products = catalog_.products();
+  WireWriter out;
+  out.u32(static_cast<std::uint32_t>(factors.size()));
+  for (const FactorInfo& factor : factors) {
+    out.str(factor.name);
+    out.u64(factor.num_vertices);
+    out.u64(factor.num_arcs);
+    out.u64(factor.generation);
+  }
+  out.u32(static_cast<std::uint32_t>(products.size()));
+  for (const ProductInfo& product : products) {
+    out.str(product.name);
+    out.str(product.factor_a);
+    out.str(product.factor_b);
+    out.u8(static_cast<std::uint8_t>(product.regime));
+    out.u8(product.has_distances ? 1 : 0);
+    out.u8(product.cached ? 1 : 0);
+  }
+  return out.take();
+}
+
+std::vector<std::byte> Server::handle_drop(const std::vector<std::byte>& payload) {
+  TRACE_SPAN("serve.drop");
+  WireReader in(payload);
+  const std::string name = in.str();
+  in.finish();
+  if (!catalog_.drop(name))
+    throw StatusError(Status::kNotFound, "nothing named '" + name + "' to drop");
+  return {};
+}
+
+}  // namespace kron::serve

@@ -1,0 +1,114 @@
+// krond server core: socket accept loop + request dispatch (DESIGN.md §16).
+//
+// One Server owns a listening socket (Unix-domain or loopback TCP), an
+// accept thread, and one thread per live connection.  Connections speak
+// the framed protocol of serve/protocol.hpp; request payloads are
+// untrusted and go through the bounds-checked WireReader, with decode
+// failures answered as kBadRequest (when the stream is still framed) or
+// by dropping the connection (when it is not).
+//
+// The query path is read-mostly: a connection thread resolves the named
+// product to a shared_ptr<const ProductContext> (building it on first
+// touch, Catalog's job) and then answers the whole batch lock-free
+// against that immutable context, chunking per-vertex work across the
+// process-global ThreadPool.  Answers are produced by the same
+// KroneckerGroundTruth / DistanceGroundTruth code the offline tools run,
+// so a served value is bit-identical to the offline path by construction.
+//
+// Shutdown has two triggers — the kShutdown opcode and
+// request_stop_async() (async-signal-safe, for krond's SIGINT/SIGTERM
+// handler) — both of which wake the accept loop via the self-pipe;
+// stop()/wait() then shut down every live connection socket (unblocking
+// their reads) and join all threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/catalog.hpp"
+
+namespace kron::serve {
+
+struct ServerOptions {
+  /// Listen on this Unix-domain socket path when non-empty (the path is
+  /// unlinked on stop); otherwise on `host`:`port` TCP.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; Server::port() reports the bound one
+  int backlog = 16;
+  /// parallel_for grain for query batches: below this many items a batch
+  /// is answered inline on the connection thread.
+  std::size_t batch_grain = 64;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so the bound port is known before any
+  /// thread starts); throws std::runtime_error on bind/listen failure.
+  Server(Catalog& catalog, ServerOptions options);
+  ~Server();  ///< calls stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Start the accept thread.  Idempotent.
+  void start();
+
+  /// Block until a kShutdown request (or request_stop_async) arrives.
+  void wait();
+
+  /// Tear down: close the listener, unblock and join every connection
+  /// thread, unlink the Unix socket path.  Idempotent; safe after wait().
+  void stop();
+
+  /// Async-signal-safe shutdown trigger (atomic store + self-pipe write).
+  void request_stop_async() noexcept;
+
+  /// The bound TCP port (meaningful when listening on TCP).
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Total requests answered (any status) since start — bench observable.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Decode + answer one request; returns true when the connection should
+  /// stay open afterwards.
+  bool dispatch(int fd, std::uint8_t opcode, const std::vector<std::byte>& payload);
+
+  std::vector<std::byte> handle_register(const std::vector<std::byte>& payload);
+  std::vector<std::byte> handle_define(const std::vector<std::byte>& payload);
+  std::vector<std::byte> handle_query(const std::vector<std::byte>& payload);
+  std::vector<std::byte> handle_catalog();
+  std::vector<std::byte> handle_drop(const std::vector<std::byte>& payload);
+
+  Catalog& catalog_;
+  const ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_read_ = -1;   // self-pipe: accept loop poll()s the read end,
+  int wake_write_ = -1;  // stop triggers write the other
+  std::uint16_t bound_port_ = 0;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  std::mutex lifecycle_mutex_;
+  std::condition_variable stop_cv_;
+  bool accept_running_ = false;
+  bool stopped_ = false;
+  std::thread accept_thread_;
+
+  std::mutex connections_mutex_;
+  std::vector<int> connection_fds_;        // live sockets, for shutdown(2)
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace kron::serve

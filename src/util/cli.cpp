@@ -15,13 +15,19 @@ CliArgs::CliArgs(int argc, const char* const* argv, int first,
     }
     const std::string name = token.substr(2);
     if (name.empty()) throw std::invalid_argument("CliArgs: bare '--' is not an option");
+    // Duplicates are rejected rather than resolved last-one-wins: a repeated
+    // flag is almost always a mangled invocation (edited command line, shell
+    // variable expanded twice), and silently keeping one of the two values
+    // hides which one the user meant.
     if (flags.count(name) != 0) {
-      flags_.insert(name);
+      if (!flags_.insert(name).second)
+        throw std::invalid_argument("option --" + name + " given more than once");
       continue;
     }
     if (i + 1 >= argc)
       throw std::invalid_argument("CliArgs: option --" + name + " needs a value");
-    values_[name] = argv[++i];
+    if (!values_.emplace(name, argv[++i]).second)
+      throw std::invalid_argument("option --" + name + " given more than once");
   }
 }
 

@@ -1,0 +1,28 @@
+#include "util/env.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace kron {
+
+std::uint64_t parse_env_u64(const std::string& var, const std::string& value) {
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  std::uint64_t parsed = 0;
+  const auto [next, ec] = std::from_chars(begin, end, parsed);
+  if (ec == std::errc::result_out_of_range)
+    throw std::runtime_error(var + " value '" + value + "' does not fit in 64 bits");
+  if (ec != std::errc() || next != end || value.empty())
+    throw std::runtime_error(var + " expects an unsigned integer, got '" + value +
+                             "' (unset it or use a plain byte/count value)");
+  return parsed;
+}
+
+std::optional<std::uint64_t> env_u64(const char* var) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return std::nullopt;
+  return parse_env_u64(var, raw);
+}
+
+}  // namespace kron

@@ -1,0 +1,28 @@
+// Strict environment-variable parsing.
+//
+// Every numeric knob read from the environment (KRON_THREADS,
+// KRON_OOC_BUFFER_BYTES, ...) goes through here so the full-token
+// `from_chars` convention of util/cli applies to env vars too: "-1" must
+// not wrap to 2^64-1, "4kb" must not silently parse as 4, and overflow
+// must be diagnosed — with an error naming the variable, never absorbed.
+// A process that tolerates a typo in its configuration serves wrong
+// numbers at full speed; one that names the typo gets fixed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace kron {
+
+/// Strict full-token unsigned parse of `value` (the text of env var
+/// `var`): the whole token must be consumed and fit in 64 bits.  Throws
+/// std::runtime_error naming the variable and the offending value.
+[[nodiscard]] std::uint64_t parse_env_u64(const std::string& var, const std::string& value);
+
+/// Read env var `var` and strict-parse it; nullopt when the variable is
+/// unset.  Set-but-malformed values throw (a typo must not silently fall
+/// back to a default).
+[[nodiscard]] std::optional<std::uint64_t> env_u64(const char* var);
+
+}  // namespace kron

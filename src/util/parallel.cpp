@@ -8,9 +8,11 @@
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
+#include "util/env.hpp"
 #include "util/trace.hpp"
 
 #if defined(__linux__)
@@ -26,13 +28,14 @@ namespace {
 thread_local bool tls_in_pool_task = false;
 
 int default_num_threads() {
-  if (const char* env = std::getenv("KRON_THREADS")) {
-    try {
-      const int parsed = std::stoi(env);
-      if (parsed > 0) return parsed;
-    } catch (const std::exception&) {
-      // Malformed KRON_THREADS falls through to hardware_concurrency.
-    }
+  // Strict full-token parse (util/env): stoi accepted "8x" as 8 and let
+  // "-1" or garbage fall back to hardware_concurrency silently — a typo in
+  // KRON_THREADS must be named, not absorbed into a surprise thread count.
+  if (const auto parsed = env_u64("KRON_THREADS")) {
+    if (*parsed == 0 || *parsed > 4096)
+      throw std::runtime_error("KRON_THREADS value " + std::to_string(*parsed) +
+                               " is outside [1, 4096]");
+    return static_cast<int>(*parsed);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

@@ -129,5 +129,35 @@ TEST(Cli, UnknownFlagAlsoRejected) {
   EXPECT_THROW(args.reject_unknown({"quiet"}), std::invalid_argument);
 }
 
+// Duplicate occurrences were previously resolved last-one-wins, silently
+// discarding the first value; both forms must now be diagnosed naming the
+// repeated flag.
+TEST(Cli, DuplicateValuedOptionRejected) {
+  try {
+    parse({"--out", "a.txt", "--ranks", "2", "--out", "b.txt"});
+    FAIL() << "expected duplicate diagnostic";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("--out"), std::string::npos);
+    EXPECT_NE(what.find("more than once"), std::string::npos);
+  }
+}
+
+TEST(Cli, DuplicateFlagRejected) {
+  try {
+    parse({"--shuffle", "--shuffle"}, {"shuffle"});
+    FAIL() << "expected duplicate diagnostic";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("--shuffle"), std::string::npos);
+  }
+}
+
+TEST(Cli, DistinctOptionsStillAccepted) {
+  const CliArgs args = parse({"--a", "x", "--b", "x", "--lcc"}, {"lcc"});
+  EXPECT_EQ(args.get("a"), "x");
+  EXPECT_EQ(args.get("b"), "x");
+  EXPECT_TRUE(args.has_flag("lcc"));
+}
+
 }  // namespace
 }  // namespace kron

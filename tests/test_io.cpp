@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -203,6 +204,50 @@ TEST(IoText, LeadingWhitespaceAccepted) {
   std::istringstream in("  0 1\n\t2 3\n");
   const EdgeList g = read_edge_list(in);
   EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+// ----------------------------------------------- shard buffer env override
+//
+// KRON_OOC_BUFFER_BYTES previously went through strtoull, which wrapped
+// "-1" to 2^64-1 (an absurd allocation request) and partial-parsed "4kb"
+// as 4 (a syscall-per-key storm).  The strict parse must reject both with
+// an error naming the variable, and keep honouring valid overrides.
+class ShardBufferEnv : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv("KRON_OOC_BUFFER_BYTES"); }
+};
+
+TEST_F(ShardBufferEnv, DefaultsToOneMiBWhenUnset) {
+  ::unsetenv("KRON_OOC_BUFFER_BYTES");
+  EXPECT_EQ(default_shard_buffer_bytes(), std::size_t{1} << 20);
+}
+
+TEST_F(ShardBufferEnv, HonoursValidOverride) {
+  ::setenv("KRON_OOC_BUFFER_BYTES", "512", 1);
+  EXPECT_EQ(default_shard_buffer_bytes(), 512u);
+}
+
+TEST_F(ShardBufferEnv, RejectsLenientParseFamily) {
+  for (const char* bad : {"-1", "4kb", "1 2", "", " 512", "99999999999999999999"}) {
+    ::setenv("KRON_OOC_BUFFER_BYTES", bad, 1);
+    try {
+      (void)default_shard_buffer_bytes();
+      FAIL() << "expected diagnostic for '" << bad << "'";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("KRON_OOC_BUFFER_BYTES"), std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST_F(ShardBufferEnv, RejectsZero) {
+  ::setenv("KRON_OOC_BUFFER_BYTES", "0", 1);
+  try {
+    (void)default_shard_buffer_bytes();
+    FAIL() << "expected diagnostic for '0'";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("positive"), std::string::npos);
+  }
 }
 
 }  // namespace

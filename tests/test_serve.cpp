@@ -1,0 +1,604 @@
+// krond query-service suite: wire protocol decoding, catalog lifecycle,
+// and client/server round trips against an in-process server.
+//
+// The two properties the service is sold on are pinned here:
+//  * served answers are BIT-IDENTICAL to the offline ground-truth classes
+//    (same inputs, same code, doubles compared by bit pattern through the
+//    u64 transport);
+//  * cached answers survive catalog churn correctly — re-registering a
+//    factor invalidates every product built on it, and the rebuilt
+//    answers equal a cold recompute exactly.
+//
+// The fuzz section feeds the server truncated frames, oversized lengths,
+// bad magic/version bytes, unknown opcodes and garbage payloads over a
+// raw socket: the server must answer kBadRequest where the stream is
+// still framed, hang up where it is not, never crash, and keep serving
+// well-formed clients afterwards.  Run under ASan for the leak half.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/distance_gt.hpp"
+#include "core/ground_truth.hpp"
+#include "graph/edge_list.hpp"
+#include "serve/catalog.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/posix_io.hpp"
+
+namespace kron::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Factor A: path 0-1-2-3 plus chord 1-3 (one triangle).  Factor B: 5-cycle.
+EdgeList factor_a() {
+  EdgeList g(4, {{0, 1}, {1, 2}, {2, 3}, {1, 3}});
+  g.symmetrize();
+  return g;
+}
+
+EdgeList factor_b() {
+  EdgeList g(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  g.symmetrize();
+  return g;
+}
+
+// A replacement for factor A with different analytics (star + chord).
+EdgeList factor_a2() {
+  EdgeList g(4, {{0, 1}, {0, 2}, {0, 3}, {2, 3}});
+  g.symmetrize();
+  return g;
+}
+
+std::uint64_t closeness_bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+// ------------------------------------------------------------ wire format
+
+TEST(ServeProtocol, HeaderIsSixteenBytes) {
+  static_assert(sizeof(FrameHeader) == 16);
+  FrameHeader header;
+  EXPECT_EQ(header.magic, kMagic);
+  EXPECT_NO_THROW(validate_header(header));
+}
+
+TEST(ServeProtocol, HeaderValidationNamesTheField) {
+  FrameHeader header;
+  header.magic = 0xDEADBEEF;
+  EXPECT_THROW(validate_header(header), ProtocolError);
+  header = FrameHeader{};
+  header.version = 9;
+  EXPECT_THROW(validate_header(header), ProtocolError);
+  header = FrameHeader{};
+  header.opcode = 200;
+  EXPECT_THROW(validate_header(header), ProtocolError);
+  header = FrameHeader{};
+  header.length = kMaxFrameBytes + 1;
+  EXPECT_THROW(validate_header(header), ProtocolError);
+}
+
+TEST(ServeProtocol, ReaderRejectsOverrun) {
+  WireWriter out;
+  out.u32(7);
+  const auto bytes = out.bytes();
+  WireReader in(bytes);
+  EXPECT_EQ(in.u32(), 7u);
+  EXPECT_THROW((void)in.u64(), ProtocolError);
+}
+
+TEST(ServeProtocol, ReaderRejectsTrailingBytes) {
+  WireWriter out;
+  out.u64(1);
+  out.u8(0);
+  const auto bytes = out.bytes();
+  WireReader in(bytes);
+  EXPECT_EQ(in.u64(), 1u);
+  EXPECT_THROW(in.finish(), ProtocolError);
+}
+
+TEST(ServeProtocol, StringLengthIsBoundsChecked) {
+  WireWriter out;
+  out.u32(1000);  // claims 1000 bytes, provides none
+  const auto bytes = out.bytes();
+  WireReader in(bytes);
+  EXPECT_THROW((void)in.str(), ProtocolError);
+}
+
+TEST(ServeProtocol, RoundTripPreservesValues) {
+  WireWriter out;
+  out.u8(3);
+  out.u64(~std::uint64_t{0});
+  out.f64(0.1 + 0.2);  // not exactly 0.3 — bit transport must not care
+  out.str("kron");
+  const auto bytes = out.bytes();
+  WireReader in(bytes);
+  EXPECT_EQ(in.u8(), 3u);
+  EXPECT_EQ(in.u64(), ~std::uint64_t{0});
+  EXPECT_EQ(closeness_bits(in.f64()), closeness_bits(0.1 + 0.2));
+  EXPECT_EQ(in.str(), "kron");
+  in.finish();
+}
+
+// --------------------------------------------------------------- catalog
+
+TEST(ServeCatalog, RegisterDefineQueryLifecycle) {
+  Catalog catalog;
+  catalog.register_factor("a", factor_a());
+  catalog.register_factor("b", factor_b());
+  catalog.define_product("c", "a", "b", LoopRegime::kFullLoops);
+  const auto context = catalog.product_context("c");
+  ASSERT_TRUE(context->gt.has_value());
+  EXPECT_TRUE(context->distances.has_value());
+  EXPECT_EQ(context->gt->num_vertices(), 20u);
+  EXPECT_EQ(catalog.contexts_built(), 1u);
+  // Second query is a cache hit: same object, no extra build.
+  EXPECT_EQ(catalog.product_context("c").get(), context.get());
+  EXPECT_EQ(catalog.contexts_built(), 1u);
+}
+
+TEST(ServeCatalog, ReregistrationInvalidatesDependentProducts) {
+  Catalog catalog;
+  catalog.register_factor("a", factor_a());
+  catalog.register_factor("b", factor_b());
+  catalog.define_product("c", "a", "b", LoopRegime::kFullLoops);
+  const auto before = catalog.product_context("c");
+  catalog.register_factor("a", factor_a2());
+  const auto after = catalog.product_context("c");
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_EQ(catalog.contexts_built(), 2u);
+  // The rebuilt context answers from the NEW factor, bit-for-bit equal to
+  // a cold offline recompute.
+  const KroneckerGroundTruth cold(factor_a2(), factor_b(), LoopRegime::kFullLoops);
+  const DistanceGroundTruth cold_dist(factor_a2(), factor_b());
+  for (vertex_t p = 0; p < cold.num_vertices(); ++p) {
+    EXPECT_EQ(after->gt->degree(p), cold.degree(p));
+    EXPECT_EQ(after->gt->vertex_triangles(p), cold.vertex_triangles(p));
+    EXPECT_EQ(closeness_bits(after->distances->closeness_fast(p)),
+              closeness_bits(cold_dist.closeness_fast(p)));
+  }
+}
+
+TEST(ServeCatalog, NoCacheModeRebuildsEveryQueryWithEqualAnswers) {
+  Catalog cached(false);
+  Catalog uncached(true);
+  for (Catalog* c : {&cached, &uncached}) {
+    c->register_factor("a", factor_a());
+    c->register_factor("b", factor_b());
+    c->define_product("c", "a", "b", LoopRegime::kFullLoops);
+  }
+  const auto warm = cached.product_context("c");
+  (void)uncached.product_context("c");
+  (void)uncached.product_context("c");
+  EXPECT_EQ(cached.contexts_built(), 1u);
+  EXPECT_EQ(uncached.contexts_built(), 2u);  // every call is a cold build
+  const auto cold = uncached.product_context("c");
+  for (vertex_t p = 0; p < warm->gt->num_vertices(); ++p) {
+    EXPECT_EQ(warm->gt->degree(p), cold->gt->degree(p));
+    EXPECT_EQ(closeness_bits(warm->distances->closeness_fast(p)),
+              closeness_bits(cold->distances->closeness_fast(p)));
+  }
+}
+
+TEST(ServeCatalog, NameCollisionsAndMissingNamesDiagnosed) {
+  Catalog catalog;
+  catalog.register_factor("a", factor_a());
+  catalog.register_factor("b", factor_b());
+  catalog.define_product("c", "a", "b", LoopRegime::kFullLoops);
+  EXPECT_THROW(catalog.register_factor("c", factor_a()), std::invalid_argument);
+  EXPECT_THROW(catalog.define_product("a", "a", "b", LoopRegime::kNoLoops),
+               std::invalid_argument);
+  EXPECT_THROW(catalog.define_product("d", "a", "nope", LoopRegime::kNoLoops), StatusError);
+  EXPECT_THROW((void)catalog.product_context("nope"), StatusError);
+  EXPECT_FALSE(catalog.drop("nope"));
+  EXPECT_TRUE(catalog.drop("a"));
+  // Product survives the drop but can no longer be answered.
+  EXPECT_THROW((void)catalog.product_context("c"), StatusError);
+}
+
+TEST(ServeCatalog, DisconnectedFactorLeavesDistancesUnsupported) {
+  EdgeList disconnected(4, {{0, 1}, {2, 3}});
+  disconnected.symmetrize();
+  Catalog catalog;
+  catalog.register_factor("d", disconnected);
+  catalog.register_factor("b", factor_b());
+  catalog.define_product("c", "d", "b", LoopRegime::kFullLoops);
+  const auto context = catalog.product_context("c");
+  EXPECT_TRUE(context->gt.has_value());        // triangles still fine
+  EXPECT_FALSE(context->distances.has_value());  // Thm. 3 needs connectivity
+}
+
+// ------------------------------------------------- client/server fixture
+
+class ServeRoundTrip : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = (fs::temp_directory_path() /
+                    ("kron_serve_" + std::to_string(::getpid()) + "_" +
+                     ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".sock"))
+                       .string();
+    catalog_ = std::make_unique<Catalog>();
+    ServerOptions options;
+    options.unix_path = socket_path_;
+    server_ = std::make_unique<Server>(*catalog_, options);
+    server_->start();
+  }
+
+  void TearDown() override {
+    server_->stop();
+    server_.reset();
+    catalog_.reset();
+  }
+
+  [[nodiscard]] Client client() const { return Client::connect_unix(socket_path_); }
+
+  /// Register the standard factors and define product "c" (full loops).
+  void populate(Client& c) const {
+    c.register_factor("a", factor_a());
+    c.register_factor("b", factor_b());
+    c.define_product("c", "a", "b", LoopRegime::kFullLoops);
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeRoundTrip, PingAndCatalog) {
+  Client c = client();
+  c.ping();
+  populate(c);
+  const CatalogSnapshot snapshot = c.catalog();
+  ASSERT_EQ(snapshot.factors.size(), 2u);
+  EXPECT_EQ(snapshot.factors[0].name, "a");
+  EXPECT_EQ(snapshot.factors[0].num_vertices, 4u);
+  ASSERT_EQ(snapshot.products.size(), 1u);
+  EXPECT_EQ(snapshot.products[0].name, "c");
+  EXPECT_FALSE(snapshot.products[0].cached);  // nothing queried yet
+}
+
+TEST_F(ServeRoundTrip, ServedAnswersAreBitIdenticalToOffline) {
+  Client c = client();
+  populate(c);
+  const KroneckerGroundTruth offline(factor_a(), factor_b(), LoopRegime::kFullLoops);
+  const DistanceGroundTruth offline_dist(factor_a(), factor_b());
+  const vertex_t n = offline.num_vertices();
+  std::vector<vertex_t> all(n);
+  for (vertex_t p = 0; p < n; ++p) all[p] = p;
+
+  const auto degrees = c.query("c", Statistic::kDegree, all);
+  const auto triangles = c.query("c", Statistic::kVertexTriangles, all);
+  const auto eccs = c.query("c", Statistic::kEccentricity, all);
+  const auto closeness = c.query_closeness("c", all);
+  ASSERT_EQ(degrees.size(), n);
+  for (vertex_t p = 0; p < n; ++p) {
+    EXPECT_EQ(degrees[p], offline.degree(p));
+    EXPECT_EQ(triangles[p], offline.vertex_triangles(p));
+    EXPECT_EQ(eccs[p], offline_dist.eccentricity(p));
+    EXPECT_EQ(closeness_bits(closeness[p]), closeness_bits(offline_dist.closeness_fast(p)))
+        << "closeness of vertex " << p << " not bit-identical";
+  }
+
+  // Pairwise statistics over real edges of C (and hop queries over
+  // arbitrary pairs).
+  std::vector<Edge> edges;
+  const EdgeList materialized = offline.materialize();
+  for (const Edge& edge : materialized.edges()) {
+    if (!is_loop(edge)) edges.push_back(edge);
+    if (edges.size() == 12) break;
+  }
+  const auto edge_triangles = c.query_pairs("c", Statistic::kEdgeTriangles, edges);
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    EXPECT_EQ(edge_triangles[i], offline.edge_triangles(edges[i].u, edges[i].v));
+  std::vector<Edge> pairs = {{0, 19}, {3, 3}, {7, 12}, {19, 0}};
+  const auto hops = c.query_pairs("c", Statistic::kHops, pairs);
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    EXPECT_EQ(hops[i], offline_dist.hops(pairs[i].u, pairs[i].v));
+}
+
+TEST_F(ServeRoundTrip, BatchEqualsSingleQueries) {
+  Client c = client();
+  populate(c);
+  const std::vector<vertex_t> batch = {0, 7, 13, 19, 4};
+  const auto batched = c.query("c", Statistic::kDegree, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto single = c.query("c", Statistic::kDegree, {batch[i]});
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_EQ(batched[i], single[0]);
+  }
+}
+
+TEST_F(ServeRoundTrip, ConcurrentClientsGetConsistentAnswers) {
+  {
+    Client c = client();
+    populate(c);
+  }
+  const KroneckerGroundTruth offline(factor_a(), factor_b(), LoopRegime::kFullLoops);
+  const DistanceGroundTruth offline_dist(factor_a(), factor_b());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        Client c = Client::connect_unix(socket_path_);
+        for (int round = 0; round < 20; ++round) {
+          const vertex_t p = static_cast<vertex_t>((t * 7 + round * 3) % 20);
+          if (c.query("c", Statistic::kDegree, {p})[0] != offline.degree(p)) ++failures;
+          if (closeness_bits(c.query_closeness("c", {p})[0]) !=
+              closeness_bits(offline_dist.closeness_fast(p)))
+            ++failures;
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServeRoundTrip, InvalidationOverTheWireMatchesColdRecompute) {
+  Client c = client();
+  populate(c);
+  (void)c.query("c", Statistic::kDegree, {0});  // warm the cache
+  EXPECT_EQ(catalog_->contexts_built(), 1u);
+  c.register_factor("a", factor_a2());  // invalidates product c
+  const auto degrees = c.query("c", Statistic::kDegree, {0, 5, 19});
+  EXPECT_EQ(catalog_->contexts_built(), 2u);
+  const KroneckerGroundTruth cold(factor_a2(), factor_b(), LoopRegime::kFullLoops);
+  EXPECT_EQ(degrees[0], cold.degree(0));
+  EXPECT_EQ(degrees[1], cold.degree(5));
+  EXPECT_EQ(degrees[2], cold.degree(19));
+}
+
+TEST_F(ServeRoundTrip, ErrorPathsCarryStatusAndDiagnostic) {
+  Client c = client();
+  populate(c);
+  try {
+    (void)c.query("nope", Statistic::kDegree, {0});
+    FAIL() << "expected kNotFound";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.status(), Status::kNotFound);
+    EXPECT_NE(std::string(error.what()).find("nope"), std::string::npos);
+  }
+  try {
+    (void)c.query("c", Statistic::kDegree, {10'000});
+    FAIL() << "expected kBadRequest";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.status(), Status::kBadRequest);
+  }
+  // A no-loop product supports triangles but not distances (Thm. 3 needs
+  // full loops on both factors).
+  c.define_product("plain", "a", "b", LoopRegime::kNoLoops);
+  EXPECT_NO_THROW((void)c.query("plain", Statistic::kVertexTriangles, {0}));
+  try {
+    (void)c.query("plain", Statistic::kEccentricity, {0});
+    FAIL() << "expected kUnsupported";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.status(), Status::kUnsupported);
+  }
+  // (0, 0) is a loop, never a countable edge.
+  try {
+    (void)c.query_pairs("c", Statistic::kEdgeTriangles, {{0, 0}});
+    FAIL() << "expected kBadRequest";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.status(), Status::kBadRequest);
+  }
+  try {
+    c.drop("nothing-here");
+    FAIL() << "expected kNotFound";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.status(), Status::kNotFound);
+  }
+  // The connection must still be usable after every error reply.
+  c.ping();
+}
+
+TEST_F(ServeRoundTrip, TcpTransportServesToo) {
+  Catalog catalog;
+  ServerOptions options;  // no unix_path -> loopback TCP, ephemeral port
+  Server tcp_server(catalog, options);
+  tcp_server.start();
+  ASSERT_NE(tcp_server.port(), 0);
+  Client c = Client::connect_tcp("127.0.0.1", tcp_server.port());
+  c.ping();
+  c.register_factor("a", factor_a());
+  c.register_factor("b", factor_b());
+  c.define_product("c", "a", "b", LoopRegime::kFullLoops);
+  const KroneckerGroundTruth offline(factor_a(), factor_b(), LoopRegime::kFullLoops);
+  EXPECT_EQ(c.query("c", Statistic::kDegree, {11})[0], offline.degree(11));
+  tcp_server.stop();
+}
+
+TEST_F(ServeRoundTrip, ShutdownOpcodeStopsTheServer) {
+  Client c = client();
+  c.shutdown_server();
+  server_->wait();  // must return promptly
+  server_->stop();
+  EXPECT_THROW((void)Client::connect_unix(socket_path_), std::runtime_error);
+}
+
+// ------------------------------------------------------- protocol fuzzing
+
+class ServeFuzz : public ServeRoundTrip {
+ protected:
+  /// Raw connected socket with a receive timeout (a hung read fails the
+  /// test instead of wedging the suite).
+  [[nodiscard]] int raw_socket() const {
+    Client c = Client::connect_unix(socket_path_);
+    const int fd = ::dup(c.fd());
+    timeval timeout{2, 0};
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    return fd;
+  }
+
+  static void send_bytes(int fd, const void* data, std::size_t size) {
+    posix_io::write_full(fd, data, size, "fuzz send");
+  }
+
+  /// Read one reply frame; returns its status, or nullopt when the server
+  /// hung up instead of replying.
+  static std::optional<Status> read_status(int fd) {
+    FrameHeader header;
+    std::vector<std::byte> payload;
+    try {
+      if (!read_frame(fd, header, payload, "fuzz reply")) return std::nullopt;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    return static_cast<Status>(header.status);
+  }
+
+  /// The invariant after every attack: a fresh well-formed client works.
+  void expect_still_serving() {
+    Client c = client();
+    c.ping();
+  }
+};
+
+TEST_F(ServeFuzz, TruncatedHeaderDropsConnectionOnly) {
+  const int fd = raw_socket();
+  const char half[7] = {0};
+  send_bytes(fd, half, sizeof(half));
+  (void)::shutdown(fd, SHUT_WR);
+  // A best-effort diagnostic, then hangup — never a wedge or a crash.
+  EXPECT_EQ(read_status(fd), Status::kBadRequest);
+  EXPECT_EQ(read_status(fd), std::nullopt);
+  posix_io::close_fd(fd);
+  expect_still_serving();
+}
+
+TEST_F(ServeFuzz, BadMagicIsRejected) {
+  const int fd = raw_socket();
+  FrameHeader header;
+  header.magic = 0x12345678;
+  send_bytes(fd, &header, sizeof(header));
+  EXPECT_EQ(read_status(fd), Status::kBadRequest);
+  EXPECT_EQ(read_status(fd), std::nullopt);  // and the server hangs up
+  posix_io::close_fd(fd);
+  expect_still_serving();
+}
+
+TEST_F(ServeFuzz, WrongVersionIsRejected) {
+  const int fd = raw_socket();
+  FrameHeader header;
+  header.version = 99;
+  send_bytes(fd, &header, sizeof(header));
+  EXPECT_EQ(read_status(fd), Status::kBadRequest);
+  posix_io::close_fd(fd);
+  expect_still_serving();
+}
+
+TEST_F(ServeFuzz, UnknownOpcodeIsRejected) {
+  const int fd = raw_socket();
+  FrameHeader header;
+  header.opcode = 250;
+  send_bytes(fd, &header, sizeof(header));
+  EXPECT_EQ(read_status(fd), Status::kBadRequest);
+  posix_io::close_fd(fd);
+  expect_still_serving();
+}
+
+TEST_F(ServeFuzz, OversizedLengthIsRejectedWithoutAllocation) {
+  const int fd = raw_socket();
+  FrameHeader header;
+  header.opcode = static_cast<std::uint8_t>(Opcode::kQuery);
+  header.length = ~std::uint64_t{0};  // 16 EiB claimed
+  send_bytes(fd, &header, sizeof(header));
+  EXPECT_EQ(read_status(fd), Status::kBadRequest);
+  posix_io::close_fd(fd);
+  expect_still_serving();
+}
+
+TEST_F(ServeFuzz, TruncatedPayloadDropsConnectionOnly) {
+  const int fd = raw_socket();
+  FrameHeader header;
+  header.opcode = static_cast<std::uint8_t>(Opcode::kQuery);
+  header.length = 64;  // promises 64 bytes, delivers 3
+  send_bytes(fd, &header, sizeof(header));
+  const char stub[3] = {1, 2, 3};
+  send_bytes(fd, stub, sizeof(stub));
+  (void)::shutdown(fd, SHUT_WR);
+  EXPECT_EQ(read_status(fd), Status::kBadRequest);  // diagnostic, then hangup
+  EXPECT_EQ(read_status(fd), std::nullopt);
+  posix_io::close_fd(fd);
+  expect_still_serving();
+}
+
+TEST_F(ServeFuzz, GarbagePayloadAnswersBadRequestAndKeepsConnection) {
+  const int fd = raw_socket();
+  // Well-framed frame whose payload is noise: must be answered, not fatal.
+  std::vector<std::byte> noise(48);
+  for (std::size_t i = 0; i < noise.size(); ++i)
+    noise[i] = static_cast<std::byte>((i * 37 + 11) & 0xFF);
+  FrameHeader header;
+  header.opcode = static_cast<std::uint8_t>(Opcode::kQuery);
+  header.length = noise.size();
+  send_bytes(fd, &header, sizeof(header));
+  send_bytes(fd, noise.data(), noise.size());
+  EXPECT_EQ(read_status(fd), Status::kBadRequest);
+  // Same connection, now a valid request: still answered.
+  FrameHeader ping;
+  ping.opcode = static_cast<std::uint8_t>(Opcode::kPing);
+  send_bytes(fd, &ping, sizeof(ping));
+  EXPECT_EQ(read_status(fd), Status::kOk);
+  posix_io::close_fd(fd);
+}
+
+TEST_F(ServeFuzz, EveryOpcodeSurvivesTruncatedAndNoisyPayloads) {
+  for (std::uint8_t opcode = 0; opcode_known(opcode); ++opcode) {
+    for (const std::size_t size : {std::size_t{1}, std::size_t{7}, std::size_t{33}}) {
+      const int fd = raw_socket();
+      std::vector<std::byte> noise(size);
+      for (std::size_t i = 0; i < size; ++i)
+        noise[i] = static_cast<std::byte>((i * 251 + opcode * 13) & 0xFF);
+      FrameHeader header;
+      header.opcode = opcode;
+      header.length = noise.size();
+      send_bytes(fd, &header, sizeof(header));
+      send_bytes(fd, noise.data(), noise.size());
+      const auto status = read_status(fd);
+      // Any framed answer (or a hangup for kShutdown) is acceptable; a
+      // crash or a wedge is not — the 2 s receive timeout converts a
+      // wedge into nullopt and the follow-up ping below catches a crash.
+      (void)status;
+      posix_io::close_fd(fd);
+    }
+  }
+  expect_still_serving();
+}
+
+TEST_F(ServeFuzz, QueryCountPayloadMismatchIsDiagnosed) {
+  Client c = client();
+  populate(c);
+  const int fd = raw_socket();
+  WireWriter out;
+  out.str("c");
+  out.u8(static_cast<std::uint8_t>(Statistic::kDegree));
+  out.u32(1000);  // claims 1000 vertices, sends one
+  out.u64(0);
+  FrameHeader header;
+  header.opcode = static_cast<std::uint8_t>(Opcode::kQuery);
+  header.length = out.bytes().size();
+  send_bytes(fd, &header, sizeof(header));
+  send_bytes(fd, out.bytes().data(), out.bytes().size());
+  EXPECT_EQ(read_status(fd), Status::kBadRequest);
+  posix_io::close_fd(fd);
+  expect_still_serving();
+}
+
+}  // namespace
+}  // namespace kron::serve

@@ -8,7 +8,10 @@
 
 #include <iostream>
 
+#include <cstdlib>
+
 #include "util/bitset.hpp"
+#include "util/env.hpp"
 #include "util/hash.hpp"
 #include "util/histogram.hpp"
 #include "util/log.hpp"
@@ -376,6 +379,48 @@ TEST(Overflow, CheckedOperationsAtBoundaries) {
   EXPECT_THROW((void)checked_mul(2, (~0ULL / 2) + 1), std::overflow_error);
   EXPECT_EQ(checked_add(~0ULL, 0), ~0ULL);
   EXPECT_THROW((void)checked_add(~0ULL - 1, 2), std::overflow_error);
+}
+
+// -------------------------------------------------------------------- env
+//
+// The strict env-var parse shares the stoull bug family with util/cli:
+// "-1" must not wrap, "4kb" must not read as 4, overflow must be named.
+
+TEST(Env, StrictParseAcceptsPlainIntegers) {
+  EXPECT_EQ(parse_env_u64("X", "0"), 0u);
+  EXPECT_EQ(parse_env_u64("X", "1048576"), 1048576u);
+  EXPECT_EQ(parse_env_u64("X", "18446744073709551615"), ~0ULL);
+}
+
+TEST(Env, StrictParseNamesVariableAndValue) {
+  for (const char* bad : {"-1", "4kb", "1 2", " 7", "", "0x10", "1e6"}) {
+    try {
+      (void)parse_env_u64("KRON_OOC_BUFFER_BYTES", bad);
+      FAIL() << "expected diagnostic for '" << bad << "'";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("KRON_OOC_BUFFER_BYTES"), std::string::npos)
+          << error.what();
+    }
+  }
+}
+
+TEST(Env, OverflowNamedNotWrapped) {
+  try {
+    (void)parse_env_u64("KRON_THREADS", "99999999999999999999");
+    FAIL() << "expected overflow diagnostic";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("does not fit in 64 bits"), std::string::npos);
+  }
+}
+
+TEST(Env, UnsetVariableIsNullopt) {
+  ::unsetenv("KRON_TEST_UNSET_VAR");
+  EXPECT_FALSE(env_u64("KRON_TEST_UNSET_VAR").has_value());
+  ::setenv("KRON_TEST_UNSET_VAR", "17", 1);
+  EXPECT_EQ(env_u64("KRON_TEST_UNSET_VAR"), 17u);
+  ::setenv("KRON_TEST_UNSET_VAR", "17x", 1);
+  EXPECT_THROW((void)env_u64("KRON_TEST_UNSET_VAR"), std::runtime_error);
+  ::unsetenv("KRON_TEST_UNSET_VAR");
 }
 
 }  // namespace

@@ -1,0 +1,290 @@
+// krond — the ground-truth query service front end (DESIGN.md §16).
+//
+// A long-running server holds a catalog of named factor graphs and named
+// Kronecker products *of* those factors, and answers per-vertex /
+// per-pair ground-truth queries (degree, triangles, eccentricity,
+// closeness, hop distance) over a framed binary protocol without ever
+// materialising a product.  The point of serving rather than batch
+// recomputation: factor analytics (triangle censuses, eccentricities,
+// BFS hop rows) are computed once per catalog state and amortised over
+// every query that follows.
+//
+// Commands (client commands reach a server via --socket PATH, or
+// --host H --port P):
+//   krond serve     --socket PATH | --port P [--host H] [--threads N]
+//                   [--no-cache]       run until SIGINT/SIGTERM/shutdown
+//   krond ping                         liveness round trip
+//   krond register  --name A --file G  load an edge list as factor A
+//   krond product   --name C --a A --b B [--loops none|both|a]
+//   krond query     --product C --stat degree|triangles|ecc|closeness
+//                   --vertices 0,1,2
+//   krond query     --product C --stat hops|edge-triangles --pairs 0:1,4:5
+//   krond catalog                      list factors and products
+//   krond drop      --name X           remove a factor or product
+//   krond shutdown                     stop the server
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+
+namespace kron {
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: krond <command> [options]\n"
+      "  serve     run the query server (--socket PATH or --port P)\n"
+      "  ping      liveness round trip against a running server\n"
+      "  register  load an edge-list file as a named factor\n"
+      "  product   define a named Kronecker product of two factors\n"
+      "  query     batched ground-truth queries against a product\n"
+      "  catalog   list registered factors and defined products\n"
+      "  drop      remove a factor or product by name\n"
+      "  shutdown  stop the server\n"
+      "every client command takes --socket PATH, or --host H --port P\n";
+  return 2;
+}
+
+serve::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  // Only async-signal-safe work here: an atomic store + one pipe write.
+  if (g_server != nullptr) g_server->request_stop_async();
+}
+
+LoopRegime parse_regime(const std::string& text) {
+  if (text == "none") return LoopRegime::kNoLoops;
+  if (text == "both") return LoopRegime::kFullLoops;
+  if (text == "a") return LoopRegime::kFullLoopsAOnly;
+  throw std::invalid_argument("option --loops expects none|both|a, got '" + text + "'");
+}
+
+serve::Statistic parse_statistic(const std::string& text) {
+  if (text == "degree") return serve::Statistic::kDegree;
+  if (text == "triangles") return serve::Statistic::kVertexTriangles;
+  if (text == "ecc") return serve::Statistic::kEccentricity;
+  if (text == "closeness") return serve::Statistic::kCloseness;
+  if (text == "hops") return serve::Statistic::kHops;
+  if (text == "edge-triangles") return serve::Statistic::kEdgeTriangles;
+  throw std::invalid_argument(
+      "option --stat expects degree|triangles|ecc|closeness|hops|edge-triangles, got '" +
+      text + "'");
+}
+
+/// Split "0,5,17" into ids (strict per-element parse).
+std::vector<vertex_t> parse_vertex_list(const std::string& text) {
+  std::vector<vertex_t> ids;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    ids.push_back(CliArgs::parse_u64("--vertices", item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return ids;
+}
+
+/// Split "0:1,4:5" into pairs (strict per-endpoint parse).
+std::vector<Edge> parse_pair_list(const std::string& text) {
+  std::vector<Edge> pairs;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos)
+      throw std::invalid_argument("option --pairs expects P:Q items, got '" + item + "'");
+    pairs.push_back({CliArgs::parse_u64("--pairs", item.substr(0, colon)),
+                     CliArgs::parse_u64("--pairs", item.substr(colon + 1))});
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return pairs;
+}
+
+/// Same extension dispatch as krongen: ".bin" is the binary codec,
+/// anything else the text parser.
+EdgeList load_factor(const std::string& path) {
+  return path.size() > 4 && path.substr(path.size() - 4) == ".bin"
+             ? read_edge_list_binary(path)
+             : read_edge_list_file(path);
+}
+
+serve::Client connect(const CliArgs& args) {
+  const auto socket_path = args.get("socket");
+  if (socket_path) return serve::Client::connect_unix(*socket_path);
+  const auto port = args.get("port");
+  if (!port)
+    throw std::invalid_argument("client commands need --socket PATH or --host H --port P");
+  return serve::Client::connect_tcp(
+      args.get_or("host", "127.0.0.1"),
+      static_cast<std::uint16_t>(args.get_u64("port", 0, 1, 65535)));
+}
+
+int cmd_serve(const CliArgs& args) {
+  args.reject_unknown({"socket", "host", "port", "threads", "no-cache", "grain"});
+  if (const auto threads = args.get("threads"))
+    ThreadPool::set_num_threads(static_cast<int>(args.get_u64("threads", 0, 1, 4096)));
+  serve::ServerOptions options;
+  options.unix_path = args.get_or("socket", "");
+  options.host = args.get_or("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(args.get_u64("port", 0, 0, 65535));
+  options.batch_grain = args.get_u64("grain", 64, 1, 1u << 20);
+  if (options.unix_path.empty() && !args.get("port"))
+    throw std::invalid_argument("serve needs --socket PATH or --port P");
+
+  serve::Catalog catalog(args.has_flag("no-cache"));
+  serve::Server server(catalog, options);
+  g_server = &server;
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  server.start();
+  if (!options.unix_path.empty())
+    std::cout << "krond: listening on " << options.unix_path << "\n";
+  else
+    std::cout << "krond: listening on " << options.host << ":" << server.port() << "\n";
+  std::cout.flush();
+  server.wait();
+  server.stop();
+  g_server = nullptr;
+  std::cout << "krond: stopped after " << server.requests_served() << " requests\n";
+  return 0;
+}
+
+int cmd_ping(const CliArgs& args) {
+  args.reject_unknown({"socket", "host", "port"});
+  connect(args).ping();
+  std::cout << "pong\n";
+  return 0;
+}
+
+int cmd_register(const CliArgs& args) {
+  args.reject_unknown({"socket", "host", "port", "name", "file"});
+  const std::string name = args.require("name");
+  const EdgeList edges = load_factor(args.require("file"));
+  serve::Client client = connect(args);
+  client.register_factor(name, edges);
+  std::cout << "registered factor '" << name << "': " << edges.num_vertices()
+            << " vertices, " << edges.num_arcs() << " arcs\n";
+  return 0;
+}
+
+int cmd_product(const CliArgs& args) {
+  args.reject_unknown({"socket", "host", "port", "name", "a", "b", "loops"});
+  const std::string name = args.require("name");
+  serve::Client client = connect(args);
+  client.define_product(name, args.require("a"), args.require("b"),
+                        parse_regime(args.get_or("loops", "both")));
+  std::cout << "defined product '" << name << "'\n";
+  return 0;
+}
+
+int cmd_query(const CliArgs& args) {
+  args.reject_unknown({"socket", "host", "port", "product", "stat", "vertices", "pairs"});
+  const std::string product = args.require("product");
+  const serve::Statistic stat = parse_statistic(args.require("stat"));
+  if (serve::statistic_pairwise(stat)) {
+    // Parse the batch before connecting so argument typos are diagnosed
+    // even when no server is up.
+    const std::vector<Edge> pairs = parse_pair_list(args.require("pairs"));
+    serve::Client client = connect(args);
+    const std::vector<std::uint64_t> values = client.query_pairs(product, stat, pairs);
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+      std::cout << pairs[i].u << " " << pairs[i].v << " " << values[i] << "\n";
+    return 0;
+  }
+  const std::vector<vertex_t> vertices = parse_vertex_list(args.require("vertices"));
+  serve::Client client = connect(args);
+  if (stat == serve::Statistic::kCloseness) {
+    const std::vector<double> values = client.query_closeness(product, vertices);
+    std::cout.precision(17);
+    for (std::size_t i = 0; i < vertices.size(); ++i)
+      std::cout << vertices[i] << " " << values[i] << "\n";
+    return 0;
+  }
+  const std::vector<std::uint64_t> values = client.query(product, stat, vertices);
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    std::cout << vertices[i] << " " << values[i] << "\n";
+  return 0;
+}
+
+int cmd_catalog(const CliArgs& args) {
+  args.reject_unknown({"socket", "host", "port"});
+  serve::Client client = connect(args);
+  const serve::CatalogSnapshot snapshot = client.catalog();
+  std::cout << "factors (" << snapshot.factors.size() << "):\n";
+  for (const auto& factor : snapshot.factors)
+    std::cout << "  " << factor.name << "  n=" << factor.num_vertices
+              << " arcs=" << factor.num_arcs << " gen=" << factor.generation << "\n";
+  std::cout << "products (" << snapshot.products.size() << "):\n";
+  for (const auto& product : snapshot.products) {
+    const char* regime = product.regime == LoopRegime::kNoLoops      ? "none"
+                         : product.regime == LoopRegime::kFullLoops ? "both"
+                                                                    : "a";
+    std::cout << "  " << product.name << " = " << product.factor_a << " (x) "
+              << product.factor_b << "  loops=" << regime
+              << (product.cached ? "  [cached" : "  [cold")
+              << (product.cached && product.has_distances ? ", distances]" : "]") << "\n";
+  }
+  return 0;
+}
+
+int cmd_drop(const CliArgs& args) {
+  args.reject_unknown({"socket", "host", "port", "name"});
+  const std::string name = args.require("name");
+  connect(args).drop(name);
+  std::cout << "dropped '" << name << "'\n";
+  return 0;
+}
+
+int cmd_shutdown(const CliArgs& args) {
+  args.reject_unknown({"socket", "host", "port"});
+  connect(args).shutdown_server();
+  std::cout << "server shutting down\n";
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const CliArgs args(argc, argv, 2, {"no-cache"});
+  if (command == "serve") return cmd_serve(args);
+  if (command == "ping") return cmd_ping(args);
+  if (command == "register") return cmd_register(args);
+  if (command == "product") return cmd_product(args);
+  if (command == "query") return cmd_query(args);
+  if (command == "catalog") return cmd_catalog(args);
+  if (command == "drop") return cmd_drop(args);
+  if (command == "shutdown") return cmd_shutdown(args);
+  std::cerr << "krond: unknown command '" << command << "'\n";
+  return usage();
+}
+
+}  // namespace
+}  // namespace kron
+
+int main(int argc, char** argv) {
+  try {
+    return kron::run(argc, argv);
+  } catch (const kron::serve::StatusError& error) {
+    std::cerr << "krond: server refused: " << error.what() << "\n";
+    return 1;
+  } catch (const std::exception& error) {
+    std::cerr << "krond: " << error.what() << "\n";
+    return 1;
+  }
+}
